@@ -1,0 +1,71 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//! relevance-weighted vs plain HITS edges, nepotism filter on/off,
+//! LRU vs Clock eviction, and crawl policy throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use focus_crawler::CrawlPolicy;
+use focus_distiller::memory::WeightedHits;
+use focus_distiller::DistillConfig;
+use focus_eval::common::{Scale, World};
+use focus_eval::fig5_harvest::run_crawl;
+use focus_eval::fig8d_distiller::build_graph;
+use minirel::buffer::{BufferPool, EvictionPolicy};
+use minirel::disk::DiskManager;
+
+fn distiller_ablations(c: &mut Criterion) {
+    let (edges, relevance) = build_graph(Scale::Tiny);
+    let mut g = c.benchmark_group("ablation_distiller");
+    g.sample_size(10);
+    for (name, weighted, nepotism) in [
+        ("weighted+nepotism", true, true),
+        ("unweighted", false, true),
+        ("no_nepotism", true, false),
+    ] {
+        let cfg = DistillConfig {
+            iterations: 5,
+            weighted_edges: weighted,
+            nepotism_filter: nepotism,
+            ..DistillConfig::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| WeightedHits::new(&edges, &relevance, cfg.clone()).run())
+        });
+    }
+    g.finish();
+}
+
+fn buffer_policy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffer_policy");
+    g.sample_size(10);
+    for (name, policy) in [("lru", EvictionPolicy::Lru), ("clock", EvictionPolicy::Clock)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut bp = BufferPool::new(DiskManager::in_memory(), 8, policy);
+                let pages: Vec<u32> = (0..64).map(|_| bp.allocate().unwrap()).collect();
+                // Skewed access: 80% hits on 20% of pages.
+                for i in 0..2000usize {
+                    let p = if i % 5 == 0 { pages[i % 64] } else { pages[i % 12] };
+                    bp.with_page(p, |b| b[0]).unwrap();
+                }
+                bp.stats().physical_reads
+            })
+        });
+    }
+    g.finish();
+}
+
+fn policy_ablation(c: &mut Criterion) {
+    let world = World::cycling(Scale::Tiny, 42);
+    let mut g = c.benchmark_group("ablation_crawl_policy");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("soft", CrawlPolicy::SoftFocus),
+        ("hard", CrawlPolicy::HardFocus),
+    ] {
+        g.bench_function(name, |b| b.iter(|| run_crawl(&world, policy, 100)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, distiller_ablations, buffer_policy_ablation, policy_ablation);
+criterion_main!(benches);

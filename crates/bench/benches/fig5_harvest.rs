@@ -1,0 +1,24 @@
+//! Bench for Figure 5: one focused and one unfocused crawl per iteration
+//! (tiny scale). Regenerate the full figure with
+//! `cargo run -p focus-eval --bin fig5 --release -- full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use focus_crawler::CrawlPolicy;
+use focus_eval::common::{Scale, World};
+use focus_eval::fig5_harvest::run_crawl;
+
+fn bench(c: &mut Criterion) {
+    let world = World::cycling(Scale::Tiny, 42);
+    let mut g = c.benchmark_group("fig5_harvest");
+    g.sample_size(10);
+    g.bench_function("soft_focus_crawl_150", |b| {
+        b.iter(|| run_crawl(&world, CrawlPolicy::SoftFocus, 150))
+    });
+    g.bench_function("unfocused_crawl_150", |b| {
+        b.iter(|| run_crawl(&world, CrawlPolicy::Unfocused, 150))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench for Figure 6: the full reference+test coverage experiment at
+//! tiny scale. Regenerate the figure with
+//! `cargo run -p focus-eval --bin fig6 --release -- full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use focus_eval::common::Scale;
+use focus_eval::fig6_coverage;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_coverage");
+    g.sample_size(10);
+    g.bench_function("reference_plus_test_crawl", |b| {
+        b.iter(|| fig6_coverage::run(Scale::Tiny))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench for Figure 7: crawl + final distillation + BFS distances.
+//! Regenerate with `cargo run -p focus-eval --bin fig7 --release -- full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use focus_eval::common::Scale;
+use focus_eval::fig7_distance;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_distance");
+    g.sample_size(10);
+    g.bench_function("crawl_distill_bfs", |b| b.iter(|| fig7_distance::run(Scale::Tiny)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the relational substrate: B+tree probes, external
+//! sort, and merge vs hash join — the primitives whose relative costs
+//! drive every Figure 8 result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minirel::btree::BTree;
+use minirel::buffer::{BufferPool, EvictionPolicy};
+use minirel::disk::DiskManager;
+use minirel::exec::{external_sort, hash_join, merge_join_inner, sort_rows, SortKey};
+use minirel::value::{encode_composite_key, Row, Value};
+
+fn pool(frames: usize) -> BufferPool {
+    BufferPool::new(DiskManager::in_memory(), frames, EvictionPolicy::Lru)
+}
+
+fn btree_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minirel_btree");
+    g.sample_size(20);
+    let mut bp = pool(256);
+    let mut bt = BTree::create(&mut bp).unwrap();
+    for i in 0..20_000i64 {
+        let k = encode_composite_key(&[Value::Int((i * 7919) % 100_000)]);
+        bt.insert(&mut bp, &k, minirel::Rid { page: i as u32, slot: 0 }).unwrap();
+    }
+    g.bench_function("probe_hot", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            let k = encode_composite_key(&[Value::Int(i)]);
+            bt.lookup(&mut bp, &k).unwrap()
+        })
+    });
+    let mut cold = pool(4);
+    let mut bt_cold = BTree::create(&mut cold).unwrap();
+    for i in 0..20_000i64 {
+        let k = encode_composite_key(&[Value::Int((i * 104729) % 1_000_000)]);
+        bt_cold.insert(&mut cold, &k, minirel::Rid { page: i as u32, slot: 0 }).unwrap();
+    }
+    g.bench_function("probe_cold_4_frames", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 104729) % 1_000_000;
+            let k = encode_composite_key(&[Value::Int(i)]);
+            bt_cold.lookup(&mut cold, &k).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn sort_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minirel_sort");
+    g.sample_size(10);
+    let rows: Vec<Row> = (0..20_000i64)
+        .map(|i| vec![Value::Int((i * 7919) % 100_000), Value::Float(i as f64)])
+        .collect();
+    g.bench_function("in_memory_20k", |b| {
+        b.iter(|| sort_rows(rows.clone(), &[SortKey::asc(0)]).unwrap())
+    });
+    g.bench_function("external_spilling_20k", |b| {
+        let mut bp = pool(64);
+        b.iter(|| external_sort(&mut bp, rows.clone(), &[SortKey::asc(0)], 1000).unwrap())
+    });
+    g.finish();
+}
+
+fn join_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minirel_join");
+    g.sample_size(10);
+    let left: Vec<Row> = (0..10_000i64).map(|i| vec![Value::Int(i % 2000), Value::Int(i)]).collect();
+    let right: Vec<Row> = (0..5_000i64).map(|i| vec![Value::Int(i % 2000), Value::Float(0.5)]).collect();
+    let ls = sort_rows(left.clone(), &[SortKey::asc(0)]).unwrap();
+    let rs = sort_rows(right.clone(), &[SortKey::asc(0)]).unwrap();
+    g.bench_function("merge_join_presorted", |b| {
+        b.iter(|| merge_join_inner(&ls, &rs, &[0], &[0]).unwrap())
+    });
+    g.bench_function("hash_join", |b| {
+        b.iter(|| hash_join(&left, &right, &[0], &[0], false).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, btree_bench, sort_bench, join_bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Bench-only crate; real content lives in benches/.

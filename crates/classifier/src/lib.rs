@@ -1,0 +1,32 @@
+//! # focus-classifier
+//!
+//! The hierarchical Bayesian (multinomial naive-Bayes) hypertext classifier
+//! of §2.1, with **all three** evaluation paths Figure 8(a) compares:
+//!
+//! * [`single_probe::SingleProbeSql`] — document-at-a-time, one B+tree
+//!   probe per (term × child-with-record): the row-store path (the "SQL"
+//!   bar);
+//! * [`single_probe::SingleProbeBlob`] — document-at-a-time, one probe per
+//!   term against the `BLOB` table whose payload packs all child records
+//!   (the "BLOB" bar);
+//! * [`bulk_probe`] — batch classification as one inner + one left outer
+//!   sort-merge join (Figure 3; the "CLI" bar, ~10× faster), both as
+//!   direct operator composition and as the verbatim SQL text.
+//!
+//! [`model`] holds the trained parameters and a pure in-memory inference
+//! path used by the crawl-loop experiments; unit tests pin that all four
+//! paths produce identical probabilities.
+//!
+//! Training (Eq. 1) and feature selection live in [`mod@train`]; relational
+//! persistence (Figure 1's `TAXONOMY`, `STAT_c0`, `BLOB`, `DOCUMENT`
+//! tables) in [`tables`].
+
+pub mod bulk_probe;
+pub mod model;
+pub mod single_probe;
+pub mod tables;
+pub mod train;
+
+pub use model::{NodeModel, Posterior, TrainedModel};
+pub use tables::ClassifierTables;
+pub use train::{train, TrainConfig};

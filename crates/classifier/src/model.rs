@@ -1,0 +1,293 @@
+//! Trained model parameters and pure in-memory inference.
+//!
+//! The math (§2.1.1): for internal node `c0` with children `{ci}`,
+//!
+//! ```text
+//! log Pr[ci | c0, d] ∝ logprior(ci) + Σ_{t ∈ d ∩ F(c0)} n(d,t)·log θ(ci,t)
+//! ```
+//!
+//! with `log θ(ci,t) = log(1 + n(ci,t)) − logdenom(ci)` for recorded terms
+//! and `−logdenom(ci)` otherwise, which yields the rewrite the Figure 3
+//! SQL (and our merge-join plan) evaluates:
+//!
+//! ```text
+//! Σ n(d,t)(logtheta + logdenom) − len_F(d)·logdenom(ci)
+//! ```
+//!
+//! Soft-focus relevance (Eq. 3): `R(d) = Σ_{good c} Pr[c|d]`, computed by
+//! chaining conditionals down the path nodes.
+
+use focus_types::hash::FxHashMap;
+use focus_types::{ClassId, Mark, Taxonomy, TermId, TermVec};
+
+/// Per-internal-node parameters.
+#[derive(Debug, Clone)]
+pub struct NodeModel {
+    /// The internal node this model discriminates under.
+    pub c0: ClassId,
+    /// `F(c0)` with recorded children: term → [(child, logtheta)], where
+    /// `logtheta = ln(1 + n(ci,t)) − logdenom(ci)`. A feature term may lack
+    /// an entry for a child with zero count (sparseness is preserved, as
+    /// the paper insists).
+    pub features: FxHashMap<TermId, Vec<(ClassId, f64)>>,
+    /// `logdenom(ci) = ln(|vocab(c0)| + Σ tokens(ci))` per child.
+    pub child_logdenom: FxHashMap<ClassId, f64>,
+    /// `logprior(ci) = ln Pr[ci | c0]` per child.
+    pub child_logprior: FxHashMap<ClassId, f64>,
+}
+
+impl NodeModel {
+    /// Children in taxonomy order.
+    pub fn children(&self, taxonomy: &Taxonomy) -> Vec<ClassId> {
+        taxonomy.children(self.c0).to_vec()
+    }
+
+    /// Evaluate `Pr[ci | c0, d]` for every child of `c0`.
+    pub fn posterior(&self, taxonomy: &Taxonomy, doc: &TermVec) -> Vec<(ClassId, f64)> {
+        let kids = taxonomy.children(self.c0);
+        if kids.is_empty() {
+            return Vec::new();
+        }
+        // len_F = total frequency of the doc's terms that are features.
+        let mut len_f: f64 = 0.0;
+        // partial[ci] = Σ freq·(logtheta + logdenom).
+        let mut partial: FxHashMap<ClassId, f64> = FxHashMap::default();
+        for (t, freq) in doc.iter() {
+            if let Some(recs) = self.features.get(&t) {
+                len_f += freq as f64;
+                for &(ci, logtheta) in recs {
+                    let ld = self.child_logdenom[&ci];
+                    *partial.entry(ci).or_insert(0.0) += freq as f64 * (logtheta + ld);
+                }
+            }
+        }
+        let mut logs: Vec<(ClassId, f64)> = kids
+            .iter()
+            .map(|&ci| {
+                let lp = self.child_logprior.get(&ci).copied().unwrap_or(f64::NEG_INFINITY);
+                let ld = self.child_logdenom.get(&ci).copied().unwrap_or(0.0);
+                let l = lp + partial.get(&ci).copied().unwrap_or(0.0) - len_f * ld;
+                (ci, l)
+            })
+            .collect();
+        normalize_log(&mut logs);
+        logs
+    }
+}
+
+/// Normalize log scores into probabilities in place (log-sum-exp).
+pub fn normalize_log(logs: &mut [(ClassId, f64)]) {
+    let max = logs
+        .iter()
+        .map(|&(_, l)| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let u = 1.0 / logs.len().max(1) as f64;
+        for (_, l) in logs.iter_mut() {
+            *l = u;
+        }
+        return;
+    }
+    let mut z = 0.0;
+    for (_, l) in logs.iter_mut() {
+        *l = (*l - max).exp();
+        z += *l;
+    }
+    for (_, l) in logs.iter_mut() {
+        *l /= z;
+    }
+}
+
+/// Classification outcome for one document.
+#[derive(Debug, Clone)]
+pub struct Posterior {
+    /// Best leaf under best-first descent.
+    pub best_leaf: ClassId,
+    /// `Pr[best_leaf | d]`.
+    pub best_leaf_prob: f64,
+    /// Soft-focus relevance `R(d) = Σ_{good} Pr[c|d]` (Eq. 3); 0 when no
+    /// good classes are marked.
+    pub relevance: f64,
+    /// `Pr[c|d]` for every evaluated class (path nodes' children).
+    pub class_probs: Vec<(ClassId, f64)>,
+}
+
+/// The full trained classifier.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The topic tree with good/path markings.
+    pub taxonomy: Taxonomy,
+    /// One model per internal node.
+    pub nodes: FxHashMap<ClassId, NodeModel>,
+}
+
+impl TrainedModel {
+    /// Per-node model lookup.
+    pub fn node(&self, c0: ClassId) -> Option<&NodeModel> {
+        self.nodes.get(&c0)
+    }
+
+    /// Best-first descent from the root to the most probable leaf.
+    pub fn classify_leaf(&self, doc: &TermVec) -> (ClassId, f64) {
+        let mut cur = ClassId::ROOT;
+        let mut prob = 1.0;
+        loop {
+            let node = match self.nodes.get(&cur) {
+                Some(n) => n,
+                None => return (cur, prob), // leaf (or untrained interior)
+            };
+            let post = node.posterior(&self.taxonomy, doc);
+            match post
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+            {
+                Some((ci, p)) => {
+                    cur = ci;
+                    prob *= p;
+                }
+                None => return (cur, prob),
+            }
+        }
+    }
+
+    /// Evaluate `Pr[c|d]` at the children of every *path* node (exactly the
+    /// classes soft focus needs) and derive `R(d)`. Also descends to the
+    /// best leaf for the hard-focus rule.
+    pub fn evaluate(&self, doc: &TermVec) -> Posterior {
+        let mut abs: FxHashMap<ClassId, f64> = FxHashMap::default();
+        abs.insert(ClassId::ROOT, 1.0);
+        let mut class_probs = Vec::new();
+        for c0 in self.taxonomy.path_nodes_topological() {
+            let parent_prob = abs.get(&c0).copied().unwrap_or(0.0);
+            if let Some(node) = self.nodes.get(&c0) {
+                for (ci, p) in node.posterior(&self.taxonomy, doc) {
+                    let ap = parent_prob * p;
+                    abs.insert(ci, ap);
+                    class_probs.push((ci, ap));
+                }
+            }
+        }
+        let relevance = self
+            .taxonomy
+            .good_set()
+            .iter()
+            .map(|c| abs.get(c).copied().unwrap_or(0.0))
+            .sum();
+        let (best_leaf, best_leaf_prob) = self.classify_leaf(doc);
+        Posterior { best_leaf, best_leaf_prob, relevance, class_probs }
+    }
+
+    /// Hard-focus acceptance (§2.1.2): is some ancestor of the best leaf
+    /// good?
+    pub fn hard_focus_accepts(&self, doc: &TermVec) -> bool {
+        let (leaf, _) = self.classify_leaf(doc);
+        self.taxonomy.hard_focus_accepts(leaf)
+    }
+
+    /// Number of internal nodes with models.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Do any good marks exist?
+    pub fn has_goods(&self) -> bool {
+        self.taxonomy.all().any(|c| self.taxonomy.mark(c) == Mark::Good)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built two-class model under the root: class 1 likes term 100,
+    /// class 2 likes term 200.
+    fn tiny_model() -> TrainedModel {
+        let mut tax = Taxonomy::new("root");
+        let a = tax.add_child(ClassId::ROOT, "a").unwrap();
+        let b = tax.add_child(ClassId::ROOT, "b").unwrap();
+        tax.mark_good(a).unwrap();
+        let mut features: FxHashMap<TermId, Vec<(ClassId, f64)>> = FxHashMap::default();
+        // denom = 10 for both; counts: a has n(100)=8, b has n(200)=8.
+        let denom = 10.0f64;
+        features.insert(TermId(100), vec![(a, (1.0f64 + 8.0).ln() - denom.ln())]);
+        features.insert(TermId(200), vec![(b, (1.0f64 + 8.0).ln() - denom.ln())]);
+        let mut child_logdenom = FxHashMap::default();
+        child_logdenom.insert(a, denom.ln());
+        child_logdenom.insert(b, denom.ln());
+        let mut child_logprior = FxHashMap::default();
+        child_logprior.insert(a, 0.5f64.ln());
+        child_logprior.insert(b, 0.5f64.ln());
+        let node = NodeModel { c0: ClassId::ROOT, features, child_logdenom, child_logprior };
+        let mut nodes = FxHashMap::default();
+        nodes.insert(ClassId::ROOT, node);
+        TrainedModel { taxonomy: tax, nodes }
+    }
+
+    #[test]
+    fn posterior_sums_to_one_and_prefers_matching_class() {
+        let m = tiny_model();
+        let doc = TermVec::from_counts([(TermId(100), 5)]);
+        let post = m.nodes[&ClassId::ROOT].posterior(&m.taxonomy, &doc);
+        let sum: f64 = post.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let pa = post.iter().find(|(c, _)| c.raw() == 1).unwrap().1;
+        assert!(pa > 0.99, "class a should dominate, got {pa}");
+    }
+
+    #[test]
+    fn hand_computed_posterior() {
+        let m = tiny_model();
+        // Doc with one occurrence of term 100:
+        // score(a) = ln(.5) + 1*ln(9/10); score(b) = ln(.5) + 1*ln(1/10)
+        // (term 100 absent from b → -logdenom).
+        let doc = TermVec::from_counts([(TermId(100), 1)]);
+        let post = m.nodes[&ClassId::ROOT].posterior(&m.taxonomy, &doc);
+        let pa = post.iter().find(|(c, _)| c.raw() == 1).unwrap().1;
+        let expect = 0.9 / (0.9 + 0.1);
+        assert!((pa - expect).abs() < 1e-9, "pa = {pa}, expect {expect}");
+    }
+
+    #[test]
+    fn relevance_tracks_good_class() {
+        let m = tiny_model();
+        let doc_a = TermVec::from_counts([(TermId(100), 4)]);
+        let doc_b = TermVec::from_counts([(TermId(200), 4)]);
+        let ra = m.evaluate(&doc_a).relevance;
+        let rb = m.evaluate(&doc_b).relevance;
+        assert!(ra > 0.9, "relevant doc R = {ra}");
+        assert!(rb < 0.1, "irrelevant doc R = {rb}");
+    }
+
+    #[test]
+    fn hard_focus_rule_via_model() {
+        let m = tiny_model();
+        assert!(m.hard_focus_accepts(&TermVec::from_counts([(TermId(100), 3)])));
+        assert!(!m.hard_focus_accepts(&TermVec::from_counts([(TermId(200), 3)])));
+    }
+
+    #[test]
+    fn unknown_terms_are_neutral() {
+        let m = tiny_model();
+        // A doc of only non-feature terms: posterior = priors.
+        let doc = TermVec::from_counts([(TermId(999), 10)]);
+        let post = m.nodes[&ClassId::ROOT].posterior(&m.taxonomy, &doc);
+        for (_, p) in post {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_doc_gets_priors() {
+        let m = tiny_model();
+        let post = m.nodes[&ClassId::ROOT].posterior(&m.taxonomy, &TermVec::default());
+        let sum: f64 = post.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_log_handles_degenerate_input() {
+        let mut logs = vec![(ClassId(1), f64::NEG_INFINITY), (ClassId(2), f64::NEG_INFINITY)];
+        normalize_log(&mut logs);
+        assert!((logs[0].1 - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,295 @@
+//! Frontier management over the `CRAWL` table.
+//!
+//! "An important aspect of this work is the design of flexible schemes for
+//! crawl frontier management" (§1.3). Work is checked out through the
+//! `(visited, numtries, negrel, serverload)` B+tree index — the paper's
+//! aggressive-discovery order — and every state change flows through the
+//! catalog so index and heap stay consistent (the "reinvented wheel" §3.1
+//! credits the DBMS for).
+
+use crate::tables::{crawl_col, frontier_row, visited};
+use focus_types::Oid;
+use minirel::value::encode_composite_key;
+use minirel::{Database, DbError, DbResult, Rid, Value};
+
+/// A claimed unit of work.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Page to fetch.
+    pub oid: Oid,
+    /// Its URL.
+    pub url: String,
+    /// Fetch attempts so far.
+    pub numtries: i64,
+    /// Stored log-relevance priority.
+    pub log_relevance: f64,
+}
+
+fn crawl_tid(db: &Database) -> DbResult<minirel::TableId> {
+    db.table_id("crawl")
+}
+
+fn oid_lookup(db: &mut Database, oid: Oid) -> DbResult<Option<(Rid, Vec<Value>)>> {
+    let tid = crawl_tid(db)?;
+    let (pool, catalog) = db.parts_mut();
+    let idx = catalog
+        .find_index(tid, &[crawl_col::OID])
+        .ok_or_else(|| DbError::Catalog("crawl lacks oid index".into()))?;
+    let key = encode_composite_key(&[Value::Int(oid.raw() as i64)]);
+    let rids = catalog.table(tid).indexes[idx].btree.lookup(pool, &key)?;
+    match rids.first() {
+        Some(&rid) => {
+            let row = catalog.get_row(pool, tid, rid)?;
+            Ok(Some((rid, row)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Insert a frontier entry, or raise the priority of an existing unvisited
+/// one (a second parent endorsing the same unseen URL). Returns whether a
+/// new row was created.
+pub fn upsert_frontier(
+    db: &mut Database,
+    oid: Oid,
+    url: &str,
+    log_relevance: f64,
+    serverload: i64,
+) -> DbResult<bool> {
+    match oid_lookup(db, oid)? {
+        None => {
+            let tid = crawl_tid(db)?;
+            db.insert(tid, frontier_row(oid, url, log_relevance, serverload))?;
+            Ok(true)
+        }
+        Some((rid, mut row)) => {
+            let state = row[crawl_col::VISITED].as_i64().unwrap_or(visited::DEAD);
+            let old = row[crawl_col::RELEVANCE].as_f64().unwrap_or(f64::NEG_INFINITY);
+            if state == visited::FRONTIER && log_relevance > old {
+                row[crawl_col::RELEVANCE] = Value::Float(log_relevance);
+                row[crawl_col::NEGREL] = Value::Float(-log_relevance);
+                let tid = crawl_tid(db)?;
+                let (pool, catalog) = db.parts_mut();
+                catalog.update_row(pool, tid, rid, row)?;
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Pop the best frontier entry (lowest `(numtries, −logR, serverload)`)
+/// and mark it claimed. `None` when the frontier is empty.
+pub fn claim_next(db: &mut Database) -> DbResult<Option<Claim>> {
+    let tid = crawl_tid(db)?;
+    let prefix = encode_composite_key(&[Value::Int(visited::FRONTIER)]);
+    let found = {
+        let (pool, catalog) = db.parts_mut();
+        let idx = catalog
+            .find_index(
+                tid,
+                &[crawl_col::VISITED, crawl_col::NUMTRIES, crawl_col::NEGREL, crawl_col::SERVERLOAD],
+            )
+            .ok_or_else(|| DbError::Catalog("crawl lacks frontier index".into()))?;
+        let hit = catalog.table(tid).indexes[idx]
+            .btree
+            .first_at_or_after(pool, &prefix)?;
+        match hit {
+            Some((key, rid)) if key.starts_with(&prefix) => Some(rid),
+            _ => None,
+        }
+    };
+    let Some(rid) = found else {
+        return Ok(None);
+    };
+    let (pool, catalog) = db.parts_mut();
+    let mut row = catalog.get_row(pool, tid, rid)?;
+    let claim = Claim {
+        oid: Oid(row[crawl_col::OID].as_i64().unwrap_or(0) as u64),
+        url: row[crawl_col::URL].as_str().unwrap_or("").to_owned(),
+        numtries: row[crawl_col::NUMTRIES].as_i64().unwrap_or(0),
+        log_relevance: row[crawl_col::RELEVANCE].as_f64().unwrap_or(0.0),
+    };
+    row[crawl_col::VISITED] = Value::Int(visited::CLAIMED);
+    catalog.update_row(pool, tid, rid, row)?;
+    Ok(Some(claim))
+}
+
+/// Record a successful fetch: relevance, best-leaf class, timestamps.
+pub fn mark_done(
+    db: &mut Database,
+    oid: Oid,
+    log_relevance: f64,
+    kcid: i64,
+    now_secs: i64,
+) -> DbResult<()> {
+    let Some((rid, mut row)) = oid_lookup(db, oid)? else {
+        return Err(DbError::Eval(format!("mark_done: {oid} not in crawl table")));
+    };
+    row[crawl_col::KCID] = Value::Int(kcid);
+    row[crawl_col::RELEVANCE] = Value::Float(log_relevance);
+    row[crawl_col::NEGREL] = Value::Float(-log_relevance);
+    row[crawl_col::LASTVISITED] = Value::Int(now_secs);
+    row[crawl_col::VISITED] = Value::Int(visited::DONE);
+    let tid = crawl_tid(db)?;
+    let (pool, catalog) = db.parts_mut();
+    catalog.update_row(pool, tid, rid, row)?;
+    Ok(())
+}
+
+/// Record a failed fetch; requeues (numtries+1) when retriable and under
+/// `max_tries`, otherwise marks the page dead.
+pub fn mark_failed(
+    db: &mut Database,
+    oid: Oid,
+    retriable: bool,
+    max_tries: i64,
+) -> DbResult<()> {
+    let Some((rid, mut row)) = oid_lookup(db, oid)? else {
+        return Err(DbError::Eval(format!("mark_failed: {oid} not in crawl table")));
+    };
+    let tries = row[crawl_col::NUMTRIES].as_i64().unwrap_or(0) + 1;
+    row[crawl_col::NUMTRIES] = Value::Int(tries);
+    row[crawl_col::VISITED] = Value::Int(if retriable && tries < max_tries {
+        visited::FRONTIER
+    } else {
+        visited::DEAD
+    });
+    let tid = crawl_tid(db)?;
+    let (pool, catalog) = db.parts_mut();
+    catalog.update_row(pool, tid, rid, row)?;
+    Ok(())
+}
+
+/// Raise the stored relevance of an *unvisited* page (distiller hub-boost
+/// trigger). No-op for visited pages or lower priorities.
+pub fn boost_unvisited(db: &mut Database, oid: Oid, log_relevance: f64) -> DbResult<()> {
+    upsert_frontier(db, oid, "", log_relevance, 0).map(|_| ())
+}
+
+/// Update only `lastvisited` (crawl-maintenance revisits touch a page
+/// without reclassifying it). Silently ignores unknown oids.
+pub fn touch_visited(db: &mut Database, oid: Oid, now_secs: i64) -> DbResult<()> {
+    if let Some((rid, mut row)) = oid_lookup(db, oid)? {
+        row[crawl_col::LASTVISITED] = Value::Int(now_secs);
+        let tid = crawl_tid(db)?;
+        let (pool, catalog) = db.parts_mut();
+        catalog.update_row(pool, tid, rid, row)?;
+    }
+    Ok(())
+}
+
+/// Number of poppable frontier entries (diagnostics / stagnation checks).
+pub fn frontier_len(db: &mut Database) -> DbResult<i64> {
+    Ok(db
+        .execute("select count(*) from crawl where visited = 0")?
+        .scalar_i64()
+        .unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::create_tables;
+
+    fn db() -> Database {
+        let mut db = Database::in_memory();
+        create_tables(&mut db).unwrap();
+        db
+    }
+
+    #[test]
+    fn claims_follow_priority_order() {
+        let mut db = db();
+        // Same numtries: order by descending relevance.
+        upsert_frontier(&mut db, Oid(1), "u1", -2.0, 0).unwrap();
+        upsert_frontier(&mut db, Oid(2), "u2", -0.5, 0).unwrap();
+        upsert_frontier(&mut db, Oid(3), "u3", -1.0, 0).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| {
+            claim_next(&mut db).unwrap().map(|c| c.oid.raw())
+        })
+        .collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert!(claim_next(&mut db).unwrap().is_none(), "frontier drained");
+    }
+
+    #[test]
+    fn numtries_dominates_relevance() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", 0.0, 0).unwrap();
+        // Fail oid 1 once: numtries=1, requeued.
+        claim_next(&mut db).unwrap();
+        mark_failed(&mut db, Oid(1), true, 5).unwrap();
+        // New lower-relevance page with numtries=0 must be claimed first.
+        upsert_frontier(&mut db, Oid(2), "u2", -3.0, 0).unwrap();
+        let c = claim_next(&mut db).unwrap().unwrap();
+        assert_eq!(c.oid, Oid(2));
+        let c = claim_next(&mut db).unwrap().unwrap();
+        assert_eq!(c.oid, Oid(1));
+        assert_eq!(c.numtries, 1);
+    }
+
+    #[test]
+    fn serverload_breaks_ties() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", -1.0, 10).unwrap();
+        upsert_frontier(&mut db, Oid(2), "u2", -1.0, 2).unwrap();
+        let c = claim_next(&mut db).unwrap().unwrap();
+        assert_eq!(c.oid, Oid(2), "lighter server first");
+    }
+
+    #[test]
+    fn upsert_raises_priority_only_upward() {
+        let mut db = db();
+        assert!(upsert_frontier(&mut db, Oid(1), "u1", -2.0, 0).unwrap());
+        assert!(!upsert_frontier(&mut db, Oid(1), "u1", -1.0, 0).unwrap());
+        assert!(!upsert_frontier(&mut db, Oid(1), "u1", -5.0, 0).unwrap());
+        let c = claim_next(&mut db).unwrap().unwrap();
+        assert!((c.log_relevance - -1.0).abs() < 1e-12, "kept the max");
+    }
+
+    #[test]
+    fn done_pages_leave_the_frontier() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", 0.0, 0).unwrap();
+        let c = claim_next(&mut db).unwrap().unwrap();
+        mark_done(&mut db, c.oid, -0.2, 5, 100).unwrap();
+        assert!(claim_next(&mut db).unwrap().is_none());
+        assert_eq!(frontier_len(&mut db).unwrap(), 0);
+        // Re-discovering a visited page does not resurrect it.
+        upsert_frontier(&mut db, Oid(1), "u1", 0.0, 0).unwrap();
+        assert!(claim_next(&mut db).unwrap().is_none());
+        let rs = db.execute("select kcid, lastvisited from crawl where oid = 1").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(5));
+        assert_eq!(rs.rows[0][1], Value::Int(100));
+    }
+
+    #[test]
+    fn failures_retry_then_die() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", 0.0, 0).unwrap();
+        for expected_tries in 1..3i64 {
+            let c = claim_next(&mut db).unwrap().unwrap();
+            assert_eq!(c.numtries, expected_tries - 1);
+            mark_failed(&mut db, c.oid, true, 3).unwrap();
+        }
+        // Third failure reaches max_tries: dead.
+        let c = claim_next(&mut db).unwrap().unwrap();
+        mark_failed(&mut db, c.oid, true, 3).unwrap();
+        assert!(claim_next(&mut db).unwrap().is_none());
+        // Non-retriable dies immediately.
+        upsert_frontier(&mut db, Oid(2), "u2", 0.0, 0).unwrap();
+        let c = claim_next(&mut db).unwrap().unwrap();
+        mark_failed(&mut db, c.oid, false, 3).unwrap();
+        assert!(claim_next(&mut db).unwrap().is_none());
+    }
+
+    #[test]
+    fn boost_raises_unvisited_priority() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", -4.0, 0).unwrap();
+        upsert_frontier(&mut db, Oid(2), "u2", -1.0, 0).unwrap();
+        boost_unvisited(&mut db, Oid(1), -0.1).unwrap();
+        let c = claim_next(&mut db).unwrap().unwrap();
+        assert_eq!(c.oid, Oid(1), "boosted page wins");
+    }
+}

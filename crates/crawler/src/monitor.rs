@@ -1,0 +1,241 @@
+//! Ad-hoc SQL crawl monitoring — §3.7 verbatim.
+//!
+//! "The ease with which we wrote ad-hoc utilities to monitor the crawler
+//! demonstrated the value of using a relational database." Each function
+//! here wraps one of the queries printed in the paper; they run against a
+//! live [`crate::session::CrawlSession`] database.
+
+use minirel::{Database, DbResult, ResultSet};
+
+/// Harvest-per-minute, the query behind the live Figure 5 applet:
+///
+/// ```sql
+/// select minute(lastvisited), avg(exp(relevance)) from CRAWL
+/// where lastvisited + 1 hour > current timestamp
+/// group by minute(lastvisited) order by minute(lastvisited)
+/// ```
+pub fn harvest_per_minute(db: &mut Database) -> DbResult<ResultSet> {
+    db.execute(
+        "select minute(lastvisited), avg(exp(relevance)) \
+         from crawl \
+         where lastvisited + 1 hour > current timestamp and visited = 1 \
+         group by minute(lastvisited) \
+         order by minute(lastvisited)",
+    )
+}
+
+/// The class census that diagnosed the mutual-funds stagnation:
+///
+/// ```sql
+/// with CENSUS(kcid, cnt) as
+///   (select kcid, count(oid) from CRAWL group by kcid)
+/// select kcid, cnt, name from CENSUS, TAXONOMY
+/// where CENSUS.kcid = TAXONOMY.kcid order by cnt
+/// ```
+pub fn census_by_class(db: &mut Database) -> DbResult<ResultSet> {
+    db.execute(
+        "with census(kcid, cnt) as \
+           (select kcid, count(oid) from crawl where visited = 1 group by kcid) \
+         select census.kcid, cnt, name from census, taxonomy \
+         where census.kcid = taxonomy.kcid order by cnt",
+    )
+}
+
+/// Possibly-missed neighbours of great hubs (ψ = a hub-score threshold,
+/// the paper uses the 90th percentile):
+///
+/// ```sql
+/// select url, relevance from CRAWL where oid in
+///   (select oid_dst from LINK
+///    where oid_src in (select oid from HUBS where score > ψ)
+///      and sid_src <> sid_dst)
+/// and numtries = 0
+/// ```
+pub fn missed_hub_neighbors(db: &mut Database, psi: f64) -> DbResult<ResultSet> {
+    db.execute(&format!(
+        "select url, relevance from crawl where oid in \
+           (select oid_dst from link \
+            where oid_src in (select oid from hubs where score > {psi}) \
+              and sid_src <> sid_dst) \
+         and numtries = 0 and visited = 0"
+    ))
+}
+
+/// Frontier health: poppable entries by numtries (stagnation shows up as
+/// an empty or all-high-numtries result).
+pub fn frontier_by_numtries(db: &mut Database) -> DbResult<ResultSet> {
+    db.execute(
+        "select numtries, count(*) from crawl where visited = 0 \
+         group by numtries order by numtries",
+    )
+}
+
+/// §1 "community evolution": count links from pages of class `src_kcid`
+/// to pages of class `dst_kcid` discovered at or after `since` — e.g.
+/// "the number of links from a page about environmental protection to a
+/// page related to oil and natural gas over the last year".
+pub fn community_evolution(
+    db: &mut Database,
+    src_kcid: i64,
+    dst_kcid: i64,
+    since: i64,
+) -> DbResult<i64> {
+    let rs = db.execute(&format!(
+        "select count(*) from link, crawl c1, crawl c2 \
+         where oid_src = c1.oid and oid_dst = c2.oid \
+           and c1.kcid = {src_kcid} and c2.kcid = {dst_kcid} \
+           and discovered >= {since}"
+    ))?;
+    Ok(rs.scalar_i64().unwrap_or(0))
+}
+
+/// §1 "spam filter" / "typed link" query class: pages classified as
+/// `target_kcid` that are cited by at least `min_citers` pages classified
+/// as `citer_kcid` — e.g. "pages apparently about database research which
+/// are cited by at least two pages about Hawaiian vacations".
+pub fn cross_topic_citations(
+    db: &mut Database,
+    target_kcid: i64,
+    citer_kcid: i64,
+    min_citers: i64,
+) -> DbResult<ResultSet> {
+    db.execute(&format!(
+        "with citers(oid_dst, cnt) as \
+           (select oid_dst, count(*) from link, crawl \
+            where oid_src = crawl.oid and kcid = {citer_kcid} \
+            group by oid_dst) \
+         select url, cnt from crawl, citers \
+         where crawl.oid = citers.oid_dst and kcid = {target_kcid} \
+           and cnt >= {min_citers} \
+         order by cnt desc"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables;
+    use focus_types::Taxonomy;
+    use minirel::Value;
+
+    fn db_with_crawl_rows() -> Database {
+        let mut db = Database::in_memory();
+        tables::create_tables(&mut db).unwrap();
+        let mut t = Taxonomy::new("root");
+        let inv = t.add_path("business/investing").unwrap();
+        t.add_path("business/investing/mutual-funds").unwrap();
+        let _ = inv;
+        tables::create_taxonomy_dim(&mut db, &t).unwrap();
+        db.execute("create table hubs (oid int, score float)").unwrap();
+        let crawl = db.table_id("crawl").unwrap();
+        // Visited rows in minutes 0 and 1, classes 2 (investing) and 3.
+        for i in 0..20i64 {
+            db.insert(
+                crawl,
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("http://h{}/p{i}", i % 3)),
+                    Value::Int(if i % 2 == 0 { 2 } else { 3 }),
+                    Value::Int(0),
+                    Value::Float(-0.5),
+                    Value::Float(0.5),
+                    Value::Int(0),
+                    Value::Int(i * 6), // spread over 2 minutes
+                    Value::Int(1),
+                ],
+            )
+            .unwrap();
+        }
+        // Frontier rows.
+        for i in 100..105i64 {
+            db.insert(
+                crawl,
+                vec![
+                    Value::Int(i),
+                    Value::Str(String::new()),
+                    Value::Int(-1),
+                    Value::Int(i % 2),
+                    Value::Float(0.0),
+                    Value::Float(0.0),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(0),
+                ],
+            )
+            .unwrap();
+        }
+        db.set_current_timestamp(120);
+        db
+    }
+
+    #[test]
+    fn harvest_query_groups_by_minute() {
+        let mut db = db_with_crawl_rows();
+        let rs = harvest_per_minute(&mut db).unwrap();
+        assert_eq!(rs.rows.len(), 2, "two minutes of data");
+        for row in &rs.rows {
+            let avg = row[1].as_f64().unwrap();
+            assert!((avg - (-0.5f64).exp()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn census_joins_names() {
+        let mut db = db_with_crawl_rows();
+        let rs = census_by_class(&mut db).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // Ordered by count ascending; both classes have 10.
+        for row in &rs.rows {
+            assert_eq!(row[1], Value::Int(10));
+            assert!(row[2].as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn missed_neighbors_query_runs() {
+        let mut db = db_with_crawl_rows();
+        // Hub 0 links to frontier page 100 cross-server.
+        db.execute("insert into hubs values (0, 0.9)").unwrap();
+        db.execute("insert into link values (0, 1, 100, 2, 0)").unwrap();
+        db.execute("insert into link values (0, 1, 101, 1, 0)").unwrap(); // nepotistic
+        let rs = missed_hub_neighbors(&mut db, 0.5).unwrap();
+        assert_eq!(rs.rows.len(), 1, "only the cross-server frontier page");
+    }
+
+    #[test]
+    fn community_evolution_counts_windowed_links() {
+        let mut db = db_with_crawl_rows();
+        // Visited rows: even oids are class 2, odd are class 3.
+        // Links class2 -> class3 at times 10 and 100; class3 -> class2 at 100.
+        db.execute("insert into link values (0, 1, 1, 2, 10)").unwrap();
+        db.execute("insert into link values (2, 1, 3, 2, 100)").unwrap();
+        db.execute("insert into link values (1, 1, 2, 2, 100)").unwrap();
+        assert_eq!(community_evolution(&mut db, 2, 3, 0).unwrap(), 2);
+        assert_eq!(community_evolution(&mut db, 2, 3, 50).unwrap(), 1);
+        assert_eq!(community_evolution(&mut db, 3, 2, 0).unwrap(), 1);
+        assert_eq!(community_evolution(&mut db, 3, 2, 200).unwrap(), 0);
+    }
+
+    #[test]
+    fn cross_topic_citation_query() {
+        let mut db = db_with_crawl_rows();
+        // Page 1 (class 3) cited by class-2 pages 0, 2, 4; page 3 (class
+        // 3) cited by only one class-2 page.
+        for (src, dst) in [(0i64, 1i64), (2, 1), (4, 1), (6, 3)] {
+            db.execute(&format!("insert into link values ({src}, 1, {dst}, 2, 0)"))
+                .unwrap();
+        }
+        let rs = cross_topic_citations(&mut db, 3, 2, 2).unwrap();
+        assert_eq!(rs.rows.len(), 1, "only page 1 has >= 2 citers");
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn frontier_census() {
+        let mut db = db_with_crawl_rows();
+        let rs = frontier_by_numtries(&mut db).unwrap();
+        assert_eq!(rs.rows.len(), 2); // numtries 0 and 1
+        let total: i64 = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 5);
+    }
+}

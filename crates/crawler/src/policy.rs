@@ -1,0 +1,91 @@
+//! Crawl policies (§2.1.2): how classification steers link expansion.
+
+use focus_classifier::model::Posterior;
+
+/// The three policies compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlPolicy {
+    /// Standard-crawler baseline (Figure 5(a)): every outlink enqueued at
+    /// a fixed neutral priority; classification happens only so harvest
+    /// can be measured.
+    Unfocused,
+    /// Hard focus: expand outlinks only when the page's best leaf class
+    /// has a good ancestor. The paper: "this turns out not to be a good
+    /// rule; crawls controlled by this rule may stagnate".
+    HardFocus,
+    /// Soft focus (Eq. 3): always expand; an outlink inherits the source
+    /// page's R(d) as its frontier priority. "More robust" — the paper
+    /// reports only this rule.
+    SoftFocus,
+}
+
+/// What the policy decides for one fetched page.
+#[derive(Debug, Clone, Copy)]
+pub struct Expansion {
+    /// Insert this page's outlinks into the frontier?
+    pub expand: bool,
+    /// log-relevance priority the outlinks inherit.
+    pub child_log_relevance: f64,
+}
+
+impl CrawlPolicy {
+    /// Apply the policy to a classified page. `hard_accepts` is the
+    /// hard-focus predicate evaluated on the page's best leaf.
+    pub fn decide(&self, posterior: &Posterior, hard_accepts: bool) -> Expansion {
+        match self {
+            CrawlPolicy::Unfocused => Expansion { expand: true, child_log_relevance: 0.0 },
+            CrawlPolicy::HardFocus => Expansion {
+                expand: hard_accepts,
+                // Accepted pages' links get top priority (R treated as 1).
+                child_log_relevance: 0.0,
+            },
+            CrawlPolicy::SoftFocus => Expansion {
+                expand: true,
+                child_log_relevance: log_clamped(posterior.relevance),
+            },
+        }
+    }
+}
+
+/// `ln R` with a floor so log-space priorities stay finite.
+pub fn log_clamped(r: f64) -> f64 {
+    r.max(1e-9).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_types::ClassId;
+
+    fn posterior(r: f64) -> Posterior {
+        Posterior {
+            best_leaf: ClassId(3),
+            best_leaf_prob: 0.9,
+            relevance: r,
+            class_probs: vec![],
+        }
+    }
+
+    #[test]
+    fn unfocused_always_expands_neutrally() {
+        let e = CrawlPolicy::Unfocused.decide(&posterior(0.01), false);
+        assert!(e.expand);
+        assert_eq!(e.child_log_relevance, 0.0);
+    }
+
+    #[test]
+    fn hard_focus_gates_on_acceptance() {
+        assert!(CrawlPolicy::HardFocus.decide(&posterior(0.9), true).expand);
+        assert!(!CrawlPolicy::HardFocus.decide(&posterior(0.9), false).expand);
+    }
+
+    #[test]
+    fn soft_focus_inherits_relevance() {
+        let e = CrawlPolicy::SoftFocus.decide(&posterior(0.5), false);
+        assert!(e.expand);
+        assert!((e.child_log_relevance - 0.5f64.ln()).abs() < 1e-12);
+        // Floor keeps zero-relevance finite.
+        let e = CrawlPolicy::SoftFocus.decide(&posterior(0.0), false);
+        assert!(e.child_log_relevance.is_finite());
+    }
+}

@@ -1,0 +1,202 @@
+//! The crawler's relational schema (Figure 1): `CRAWL` and `LINK`.
+//!
+//! ```text
+//! CRAWL(oid, url, kcid, numtries, relevance, negrel, serverload,
+//!       lastvisited, visited)
+//! LINK (oid_src, sid_src, oid_dst, sid_dst, discovered)
+//! ```
+//!
+//! `LINK.discovered` timestamps when the crawler first saw the edge, which
+//! powers the §1 community-evolution query class ("the number of links
+//! from a page about environmental protection to a page related to oil
+//! and natural gas over the last year").
+//!
+//! `relevance` holds log R(u). `negrel = −relevance` exists so the
+//! frontier index `(visited, numtries, negrel, serverload)` realizes the
+//! paper's lexicographic order with an ascending-only B+tree. `visited`
+//! encodes the lifecycle: 0 = frontier, 1 = fetched, 2 = claimed by a
+//! worker, 3 = dead. Edge weights are *not* stored in `LINK`; the
+//! distillation trigger derives `EF`/`EB` from current `CRAWL` relevance
+//! (the paper recomputes weights by trigger as the neighborhood changes).
+
+use focus_types::hash::fx64;
+use focus_types::{ClassId, Oid, ServerId};
+use minirel::{Database, DbResult, Value};
+
+/// `visited` states.
+pub mod visited {
+    /// On the frontier, poppable.
+    pub const FRONTIER: i64 = 0;
+    /// Successfully fetched and classified.
+    pub const DONE: i64 = 1;
+    /// Claimed by a worker (in flight).
+    pub const CLAIMED: i64 = 2;
+    /// Permanently failed.
+    pub const DEAD: i64 = 3;
+}
+
+/// Column positions in `CRAWL` (kept in one place; everything else
+/// indexes rows through these).
+pub mod crawl_col {
+    /// 64-bit URL hash.
+    pub const OID: usize = 0;
+    /// URL text.
+    pub const URL: usize = 1;
+    /// Best-leaf class of the fetched page (−1 before fetch).
+    pub const KCID: usize = 2;
+    /// Fetch attempts.
+    pub const NUMTRIES: usize = 3;
+    /// log R.
+    pub const RELEVANCE: usize = 4;
+    /// −log R (frontier index component).
+    pub const NEGREL: usize = 5;
+    /// Lazily-updated per-server fetch count at insert time.
+    pub const SERVERLOAD: usize = 6;
+    /// Seconds since session start at last visit.
+    pub const LASTVISITED: usize = 7;
+    /// Lifecycle state.
+    pub const VISITED: usize = 8;
+}
+
+/// Create `CRAWL` + `LINK` and their indexes.
+pub fn create_tables(db: &mut Database) -> DbResult<()> {
+    db.execute(
+        "create table crawl (oid int, url text, kcid int, numtries int, relevance float, \
+         negrel float, serverload int, lastvisited int, visited int)",
+    )?;
+    db.execute("create index crawl_oid on crawl (oid)")?;
+    db.execute(
+        "create index crawl_frontier on crawl (visited, numtries, negrel, serverload)",
+    )?;
+    db.execute(
+        "create table link (oid_src int, sid_src int, oid_dst int, sid_dst int, \
+         discovered int)",
+    )?;
+    db.execute("create index link_src on link (oid_src)")?;
+    Ok(())
+}
+
+/// Create the small `TAXONOMY` dimension used by the §3.7 monitoring
+/// queries (kcid → name/type), for sessions that classify in memory. The
+/// schema matches what [`focus_classifier::tables`] creates so the same
+/// monitor SQL works against either.
+pub fn create_taxonomy_dim(db: &mut Database, taxonomy: &focus_types::Taxonomy) -> DbResult<()> {
+    db.execute(
+        "create table taxonomy (pcid int, kcid int, logprior float, logdenom float, \
+         type text, name text)",
+    )?;
+    let tid = db.table_id("taxonomy")?;
+    for c in taxonomy.all() {
+        let parent = taxonomy.parent(c).map(|p| p.raw() as i64).unwrap_or(-1);
+        let mark = match taxonomy.mark(c) {
+            focus_types::Mark::Good => "good",
+            focus_types::Mark::Path => "path",
+            focus_types::Mark::Subsumed => "subsumed",
+            focus_types::Mark::Null => "null",
+        };
+        db.insert(
+            tid,
+            vec![
+                Value::Int(parent),
+                Value::Int(c.raw() as i64),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Str(mark.to_owned()),
+                Value::Str(taxonomy.name(c).to_owned()),
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+/// Derive the server id from a URL's host part. The paper keys servers by
+/// IP; we hash the hostname — same role (nepotism filtering, server-load
+/// throttling), no dependence on the simulator's internal ids.
+pub fn host_server_id(url: &str) -> ServerId {
+    let rest = url.split("://").nth(1).unwrap_or(url);
+    let host = rest.split('/').next().unwrap_or(rest);
+    ServerId(fx64(host.as_bytes()) as u32)
+}
+
+/// Build a fresh `CRAWL` row for a frontier entry.
+pub fn frontier_row(
+    oid: Oid,
+    url: &str,
+    log_relevance: f64,
+    serverload: i64,
+) -> Vec<Value> {
+    vec![
+        Value::Int(oid.raw() as i64),
+        Value::Str(url.to_owned()),
+        Value::Int(-1),
+        Value::Int(0),
+        Value::Float(log_relevance),
+        Value::Float(-log_relevance),
+        Value::Int(serverload),
+        Value::Int(0),
+        Value::Int(visited::FRONTIER),
+    ]
+}
+
+/// Decode the oid column.
+pub fn row_oid(row: &[Value]) -> Oid {
+    Oid(row[crawl_col::OID].as_i64().unwrap_or(0) as u64)
+}
+
+/// Decode the best-leaf class column.
+pub fn row_kcid(row: &[Value]) -> Option<ClassId> {
+    let v = row[crawl_col::KCID].as_i64()?;
+    if v < 0 {
+        None
+    } else {
+        Some(ClassId(v as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_create_and_accept_rows() {
+        let mut db = Database::in_memory();
+        create_tables(&mut db).unwrap();
+        let tid = db.table_id("crawl").unwrap();
+        let row = frontier_row(Oid(99), "http://h.example/x", -0.1, 0);
+        db.insert(tid, row).unwrap();
+        assert_eq!(db.table_len("crawl").unwrap(), 1);
+        let rs = db.execute("select url from crawl where oid = 99").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Str("http://h.example/x".into()));
+    }
+
+    #[test]
+    fn host_server_id_groups_by_host() {
+        let a = host_server_id("http://s1.cycling.example/page-1.html");
+        let b = host_server_id("http://s1.cycling.example/other/deep/page.html");
+        let c = host_server_id("http://s2.cycling.example/page-1.html");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // No scheme still works.
+        assert_eq!(host_server_id("s1.cycling.example/x"), a);
+    }
+
+    #[test]
+    fn taxonomy_dim_matches_marks() {
+        let mut t = focus_types::Taxonomy::new("root");
+        let a = t.add_child(ClassId::ROOT, "a").unwrap();
+        t.mark_good(a).unwrap();
+        let mut db = Database::in_memory();
+        create_taxonomy_dim(&mut db, &t).unwrap();
+        let rs = db.execute("select name from taxonomy where type = 'good'").unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("a".into()));
+    }
+
+    #[test]
+    fn row_decoding() {
+        let row = frontier_row(Oid(7), "u", -2.5, 3);
+        assert_eq!(row_oid(&row), Oid(7));
+        assert_eq!(row_kcid(&row), None);
+        assert_eq!(row[crawl_col::NEGREL], Value::Float(2.5));
+    }
+}

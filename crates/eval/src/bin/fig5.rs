@@ -1,0 +1,10 @@
+//! Regenerate Figure 5 (harvest rate). Usage: `fig5 [tiny|small|full]`.
+use focus_eval::common::Scale;
+use focus_eval::{fig5_harvest, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig5_harvest::run(scale);
+    fig5_harvest::print(&f);
+    report::dump_json("fig5", &f);
+}

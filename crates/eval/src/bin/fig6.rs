@@ -1,0 +1,10 @@
+//! Regenerate Figure 6 (coverage). Usage: `fig6 [tiny|small|full]`.
+use focus_eval::common::Scale;
+use focus_eval::{fig6_coverage, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig6_coverage::run(scale);
+    fig6_coverage::print(&f);
+    report::dump_json("fig6", &f);
+}

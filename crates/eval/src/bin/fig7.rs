@@ -1,0 +1,10 @@
+//! Regenerate Figure 7 (distance to top authorities + hub list).
+use focus_eval::common::Scale;
+use focus_eval::{fig7_distance, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig7_distance::run(scale);
+    fig7_distance::print(&f);
+    report::dump_json("fig7", &f);
+}

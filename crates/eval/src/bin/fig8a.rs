@@ -1,0 +1,10 @@
+//! Regenerate Figure 8(a) (classifier: SQL vs BLOB vs CLI).
+use focus_eval::common::Scale;
+use focus_eval::{fig8a_classifier, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig8a_classifier::run(scale);
+    fig8a_classifier::print(&f);
+    report::dump_json("fig8a", &f);
+}

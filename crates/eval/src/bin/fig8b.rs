@@ -1,0 +1,10 @@
+//! Regenerate Figure 8(b) (buffer-pool sweep).
+use focus_eval::common::Scale;
+use focus_eval::{fig8b_memory, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig8b_memory::run(scale);
+    fig8b_memory::print(&f);
+    report::dump_json("fig8b", &f);
+}

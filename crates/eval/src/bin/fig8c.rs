@@ -1,0 +1,10 @@
+//! Regenerate Figure 8(c) (output-size scaling).
+use focus_eval::common::Scale;
+use focus_eval::{fig8c_output, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig8c_output::run(scale);
+    fig8c_output::print(&f);
+    report::dump_json("fig8c", &f);
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 8(d) (distiller: naive vs join).
+use focus_eval::common::Scale;
+use focus_eval::{fig8d_distiller, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig8d_distiller::run(scale);
+    fig8d_distiller::print(&f);
+    report::dump_json("fig8d", &f);
+}

@@ -1,0 +1,10 @@
+//! Verify the §2 radius rules on the generated web.
+use focus_eval::common::Scale;
+use focus_eval::{radius_rules, report};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = radius_rules::run(scale);
+    radius_rules::print(&rows);
+    report::dump_json("radius", &rows);
+}

@@ -1,0 +1,131 @@
+//! Figure 5 — harvest rate: unfocused (a) vs. soft focus (b).
+//!
+//! "By far the most important indicator of the success of our system is
+//! the harvest rate, or the average fraction of crawled pages that are
+//! relevant." Both crawls start from the *same* keyword-search start set;
+//! the y-axis is a moving average of R(p) as judged by the classifier
+//! (which, as §3.4 argues, evaluates the architecture, not itself).
+
+use crate::common::{Scale, World};
+use crate::report::Series;
+use focus_crawler::session::{CrawlConfig, CrawlSession};
+use focus_crawler::CrawlPolicy;
+use serde::Serialize;
+
+/// Figure 5 output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// Moving-average harvest of the unfocused baseline (Fig 5a).
+    pub unfocused_avg100: Series,
+    /// Moving-average harvest of soft focus, window 100 (Fig 5b).
+    pub soft_avg100: Series,
+    /// Moving-average harvest of soft focus, window 1000.
+    pub soft_avg1000: Series,
+    /// Tail-mean harvest (last half) per policy.
+    pub unfocused_tail: f64,
+    /// Soft-focus tail mean.
+    pub soft_tail: f64,
+    /// Overall mean harvest, unfocused.
+    pub unfocused_mean: f64,
+    /// Overall mean harvest, soft focus.
+    pub soft_mean: f64,
+}
+
+/// Run one crawl with `policy` and return its raw harvest series.
+pub fn run_crawl(world: &World, policy: CrawlPolicy, budget: u64) -> Series {
+    let session = CrawlSession::new(
+        world.fetcher(),
+        world.model.clone(),
+        CrawlConfig {
+            policy,
+            threads: 4,
+            max_fetches: budget,
+            distill_every: if policy == CrawlPolicy::SoftFocus { Some(400) } else { None },
+            hub_boost_top_k: if policy == CrawlPolicy::SoftFocus { 10 } else { 0 },
+            ..CrawlConfig::default()
+        },
+    )
+    .expect("session");
+    session.seed(&world.start_set(20)).expect("seed");
+    let stats = session.run().expect("crawl");
+    Series::new(
+        format!("{policy:?}"),
+        stats.harvest.iter().map(|&(x, r)| (x as f64, r)),
+    )
+}
+
+fn moving_avg(s: &Series, window: usize) -> Series {
+    let w = window.max(1);
+    let mut out = Vec::new();
+    let mut sum = 0.0;
+    for (i, &(x, y)) in s.points.iter().enumerate() {
+        sum += y;
+        if i + 1 >= w {
+            out.push((x, sum / w as f64));
+            sum -= s.points[i + 1 - w].1;
+        }
+    }
+    Series::new(format!("{} avg{w}", s.name), out)
+}
+
+/// Run the full Figure 5 experiment.
+pub fn run(scale: Scale) -> Fig5 {
+    let world = World::cycling(scale, 42);
+    let budget = scale.fetch_budget();
+    let unf = run_crawl(&world, CrawlPolicy::Unfocused, budget);
+    let soft = run_crawl(&world, CrawlPolicy::SoftFocus, budget);
+    let win = match scale {
+        Scale::Tiny => 30,
+        _ => 100,
+    };
+    Fig5 {
+        unfocused_avg100: moving_avg(&unf, win),
+        soft_avg100: moving_avg(&soft, win),
+        soft_avg1000: moving_avg(&soft, win * 10),
+        unfocused_tail: unf.tail_mean(0.5),
+        soft_tail: soft.tail_mean(0.5),
+        unfocused_mean: unf.tail_mean(1.0),
+        soft_mean: soft.tail_mean(1.0),
+    }
+}
+
+/// Print in the paper's terms.
+pub fn print(f: &Fig5) {
+    println!("--- Figure 5: harvest rate (cycling) ---");
+    print!("{}", f.unfocused_avg100.ascii_chart(64, 10));
+    print!("{}", f.soft_avg100.ascii_chart(64, 10));
+    println!(
+        "tail harvest: unfocused {:.4}  vs  soft focus {:.4}  (ratio {:.1}x)",
+        f.unfocused_tail,
+        f.soft_tail,
+        f.soft_tail / f.unfocused_tail.max(1e-6)
+    );
+    println!(
+        "paper: unfocused \"completely lost within the next hundred page fetches\"; \
+         focused \"on an average, every second page is relevant\""
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_focus_dominates_unfocused() {
+        let f = run(Scale::Tiny);
+        assert!(
+            f.soft_tail > 2.0 * f.unfocused_tail,
+            "tail: soft {} vs unfocused {}",
+            f.soft_tail,
+            f.unfocused_tail
+        );
+        assert!(
+            f.soft_mean > 2.0 * f.unfocused_mean,
+            "mean: soft {} vs unfocused {}",
+            f.soft_mean,
+            f.unfocused_mean
+        );
+        assert!(f.soft_mean > 0.25, "absolute soft harvest {}", f.soft_mean);
+        assert!(!f.soft_avg100.points.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Figure 8(a) — classifier running time: SQL vs BLOB vs CLI (bulk).
+//!
+//! The measured task is the one both Figure 2 and Figure 3 perform:
+//! evaluate `Pr[ci | c0, d]` at a node `c0` for a batch of documents.
+//! The SQL and BLOB bars probe per document per term; the CLI bar is the
+//! sort-merge `BulkProbe`. The paper sees "over an order of magnitude
+//! reduction in overall running time … using the bulk formulation"; wall
+//! time here, plus machine-independent buffer-pool counters.
+
+use crate::common::{Scale, World};
+use focus_classifier::bulk_probe::bulk_posterior;
+use focus_classifier::single_probe::{SingleProbeBlob, SingleProbeSql};
+use focus_classifier::ClassifierTables;
+use focus_types::{ClassId, DocId, Document};
+use minirel::Database;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One variant's measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct VariantCost {
+    /// Variant name (SQL / BLOB / CLI).
+    pub name: String,
+    /// Wall microseconds per document.
+    pub us_per_doc: f64,
+    /// Buffer-pool logical reads for the whole batch.
+    pub logical_reads: u64,
+    /// Buffer-pool physical reads for the whole batch.
+    pub physical_reads: u64,
+}
+
+/// Figure 8(a) output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8a {
+    /// Per-variant costs, in paper order (SQL, BLOB, CLI).
+    pub variants: Vec<VariantCost>,
+    /// SQL time / CLI time.
+    pub sql_over_cli: f64,
+    /// BLOB time / CLI time.
+    pub blob_over_cli: f64,
+}
+
+/// Build a DB-backed classifier and a test batch from real (generated)
+/// pages. Returns `(db, tables, batch)`.
+pub fn setup(scale: Scale, frames: usize) -> (Database, ClassifierTables, Vec<Document>) {
+    let world = World::cycling(scale, 11);
+    let mut db = Database::in_memory_with_frames(frames);
+    let tables = ClassifierTables::create_and_load(&mut db, &world.model).expect("load model");
+    let n_docs = match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 150,
+        Scale::Full => 500,
+    };
+    let batch: Vec<Document> = world
+        .graph
+        .pages()
+        .iter()
+        .filter(|p| !p.terms.is_empty())
+        .take(n_docs)
+        .enumerate()
+        .map(|(i, p)| Document::new(DocId(i as u64), p.terms.clone()))
+        .collect();
+    tables.load_documents(&mut db, &batch).expect("load documents");
+    (db, tables, batch)
+}
+
+/// Run the comparison at the root node.
+pub fn run(scale: Scale) -> Fig8a {
+    let frames = match scale {
+        Scale::Tiny => 64,
+        Scale::Small => 96,
+        Scale::Full => 128,
+    };
+    let (mut db, tables, batch) = setup(scale, frames);
+    let c0 = ClassId::ROOT;
+    let n = batch.len() as f64;
+
+    let mut variants = Vec::new();
+
+    // SQL: row-store per-term probes.
+    db.reset_io_stats();
+    let t = Instant::now();
+    let sp = SingleProbeSql { tables: &tables };
+    for d in &batch {
+        sp.posterior(&mut db, c0, &d.terms).expect("sql probe");
+    }
+    let sql_us = t.elapsed().as_micros() as f64 / n;
+    let s = db.io_stats();
+    variants.push(VariantCost {
+        name: "SQL".into(),
+        us_per_doc: sql_us,
+        logical_reads: s.logical_reads,
+        physical_reads: s.physical_reads,
+    });
+
+    // BLOB: packed per-term probes.
+    db.reset_io_stats();
+    let t = Instant::now();
+    let bp = SingleProbeBlob { tables: &tables };
+    for d in &batch {
+        bp.posterior(&mut db, c0, &d.terms).expect("blob probe");
+    }
+    let blob_us = t.elapsed().as_micros() as f64 / n;
+    let s = db.io_stats();
+    variants.push(VariantCost {
+        name: "BLOB".into(),
+        us_per_doc: blob_us,
+        logical_reads: s.logical_reads,
+        physical_reads: s.physical_reads,
+    });
+
+    // CLI: bulk sort-merge.
+    db.reset_io_stats();
+    let t = Instant::now();
+    bulk_posterior(&mut db, &tables, c0).expect("bulk probe");
+    let cli_us = t.elapsed().as_micros() as f64 / n;
+    let s = db.io_stats();
+    variants.push(VariantCost {
+        name: "CLI".into(),
+        us_per_doc: cli_us,
+        logical_reads: s.logical_reads,
+        physical_reads: s.physical_reads,
+    });
+
+    Fig8a {
+        sql_over_cli: sql_us / cli_us.max(1e-9),
+        blob_over_cli: blob_us / cli_us.max(1e-9),
+        variants,
+    }
+}
+
+/// Print the comparison.
+pub fn print(f: &Fig8a) {
+    println!("--- Figure 8(a): classification running time ---");
+    println!("{:<6} {:>12} {:>14} {:>15}", "variant", "us/doc", "logical reads", "physical reads");
+    for v in &f.variants {
+        println!(
+            "{:<6} {:>12.1} {:>14} {:>15}",
+            v.name, v.us_per_doc, v.logical_reads, v.physical_reads
+        );
+    }
+    println!(
+        "speedup: SQL/CLI = {:.1}x, BLOB/CLI = {:.1}x   (paper: \"over an order of magnitude\")",
+        f.sql_over_cli, f.blob_over_cli
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_beats_both_single_probe_variants() {
+        let f = run(Scale::Tiny);
+        // Wall-time assertion only where the margin is huge (the paper's
+        // order-of-magnitude claim); finer orderings are asserted on the
+        // deterministic buffer-pool counters, which don't flake when the
+        // test host is loaded.
+        assert!(
+            f.sql_over_cli > 2.0,
+            "SQL should be much slower than CLI, ratio {}",
+            f.sql_over_cli
+        );
+        let sql = &f.variants[0];
+        let blob = &f.variants[1];
+        let cli = &f.variants[2];
+        // Per-(term × child) probing touches more pages than per-term
+        // probing, which touches more than one streaming pass.
+        assert!(
+            sql.logical_reads > blob.logical_reads,
+            "SQL reads {} <= BLOB reads {}",
+            sql.logical_reads,
+            blob.logical_reads
+        );
+        assert!(
+            blob.logical_reads > cli.logical_reads,
+            "BLOB reads {} <= CLI reads {}",
+            blob.logical_reads,
+            cli.logical_reads
+        );
+    }
+}

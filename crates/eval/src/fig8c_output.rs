@@ -1,0 +1,126 @@
+//! Figure 8(c) — output-size scaling: `BulkProbe` running time against
+//! `|{ci}| × |{d}|` (children × documents, the output row count) over
+//! varying nodes `c0` and document batches. The paper's scatter "shows
+//! that the bulk algorithm is roughly linear in output size".
+
+use crate::common::{Scale, World};
+use focus_classifier::bulk_probe::bulk_posterior;
+use focus_classifier::ClassifierTables;
+use focus_types::{DocId, Document};
+use minirel::Database;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Figure 8(c) output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8c {
+    /// Scatter of (output size = children × docs, wall µs).
+    pub points: Vec<(f64, f64)>,
+    /// R² of the least-squares line through the origin.
+    pub r_squared: f64,
+}
+
+/// Coefficient of determination for y ≈ kx through the origin
+/// (uncentered, the standard convention for no-intercept fits).
+fn r2_through_origin(points: &[(f64, f64)]) -> f64 {
+    let sxy: f64 = points.iter().map(|&(x, y)| x * y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| x * x).sum();
+    if sxx == 0.0 {
+        return 0.0;
+    }
+    let k = sxy / sxx;
+    let ss_res: f64 = points.iter().map(|&(x, y)| (y - k * x).powi(2)).sum();
+    let ss_tot: f64 = points.iter().map(|&(_, y)| y * y).sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Run the scatter.
+pub fn run(scale: Scale) -> Fig8c {
+    let world = World::cycling(scale, 23);
+    let batch_sizes: Vec<usize> = match scale {
+        Scale::Tiny => vec![20, 60, 120],
+        Scale::Small => vec![50, 100, 200, 400],
+        Scale::Full => vec![100, 250, 500, 1000, 2000],
+    };
+    // Internal nodes with varying child counts.
+    let nodes: Vec<_> = world
+        .model
+        .nodes
+        .keys()
+        .copied()
+        .filter(|c| !world.taxonomy.children(*c).is_empty())
+        .collect();
+    let pages: Vec<Document> = world
+        .graph
+        .pages()
+        .iter()
+        .filter(|p| !p.terms.is_empty())
+        .take(*batch_sizes.last().expect("non-empty"))
+        .enumerate()
+        .map(|(i, p)| Document::new(DocId(i as u64), p.terms.clone()))
+        .collect();
+
+    let mut points = Vec::new();
+    for &n_docs in &batch_sizes {
+        let mut db = Database::in_memory_with_frames(256);
+        let tables = ClassifierTables::create_and_load(&mut db, &world.model).expect("load");
+        let batch = &pages[..n_docs.min(pages.len())];
+        tables.load_documents(&mut db, batch).expect("docs");
+        for &c0 in &nodes {
+            let kids = world.taxonomy.children(c0).len();
+            let t = Instant::now();
+            let out = bulk_posterior(&mut db, &tables, c0).expect("bulk");
+            let us = t.elapsed().as_micros() as f64;
+            // Output size exactly |kids| × |docs|.
+            assert_eq!(out.len(), kids * batch.len());
+            points.push(((kids * batch.len()) as f64, us));
+        }
+    }
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    Fig8c { r_squared: r2_through_origin(&points), points }
+}
+
+/// Print the scatter summary.
+pub fn print(f: &Fig8c) {
+    println!("--- Figure 8(c): BulkProbe output-size scaling ---");
+    println!("{:>14} {:>12}", "kcid x did", "us");
+    for &(x, y) in &f.points {
+        println!("{x:>14.0} {y:>12.0}");
+    }
+    println!(
+        "linear fit through origin: R^2 = {:.3}   (paper: \"roughly linear in output size\")",
+        f.r_squared
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_roughly_linear_in_output() {
+        let f = run(Scale::Tiny);
+        assert!(f.points.len() >= 6, "need a real scatter, got {}", f.points.len());
+        assert!(
+            f.r_squared > 0.5,
+            "linearity too weak: R^2 = {} over {:?}",
+            f.r_squared,
+            f.points
+        );
+    }
+
+    #[test]
+    fn r2_math() {
+        // Perfectly linear data.
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((r2_through_origin(&pts) - 1.0).abs() < 1e-12);
+        // Anti-correlated data is not explained by a line through the
+        // origin.
+        let anti: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 10.0 - i as f64)).collect();
+        assert!(r2_through_origin(&anti) < 0.5, "{}", r2_through_origin(&anti));
+    }
+}

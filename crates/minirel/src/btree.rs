@@ -1,0 +1,683 @@
+//! B+tree secondary indexes over the buffer pool.
+//!
+//! Keys are memcomparable byte strings (see [`crate::value::encode_composite_key`]);
+//! payloads are record ids. Duplicate keys are allowed — `(key, rid)` pairs
+//! are unique. Every node visit goes through the buffer pool, so index
+//! probes are charged to the physical-I/O counters; this is what makes the
+//! `SingleProbe` classifier path of Figure 8(a/b) honest: *"there is little
+//! locality of access, because the records are small and most storage
+//! managers use page-level caching."*
+//!
+//! Deletion is lazy (no rebalancing/merging): pages may underflow but never
+//! violate ordering invariants. The workloads here delete far less than
+//! they insert, matching the paper's crawl tables.
+
+use crate::buffer::BufferPool;
+use crate::error::{DbError, DbResult};
+use crate::heap::Rid;
+use crate::page::{PageId, INVALID_PAGE, PAGE_SIZE};
+use std::ops::Bound;
+
+const LEAF: u8 = 0;
+const INTERNAL: u8 = 1;
+
+/// In-memory image of a leaf node.
+struct Leaf {
+    next: PageId,
+    /// Sorted by key, ties broken by rid.
+    entries: Vec<(Vec<u8>, Rid)>,
+}
+
+/// In-memory image of an internal node.
+struct Internal {
+    leftmost: PageId,
+    /// `entries[i] = (key_i, child_i)`: `child_i` holds keys `>= key_i`
+    /// (and `< key_{i+1}`); `leftmost` holds keys `< key_0`.
+    entries: Vec<(Vec<u8>, PageId)>,
+}
+
+enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+fn encode_rid(rid: Rid, out: &mut Vec<u8>) {
+    out.extend_from_slice(&rid.page.to_le_bytes());
+    out.extend_from_slice(&rid.slot.to_le_bytes());
+}
+
+/// Augmented key: user key ++ big-endian rid. Internal-node navigation
+/// always uses augmented keys so that *duplicate* user keys spanning a
+/// split stay reachable (the separator alone cannot disambiguate them).
+fn aug_key(key: &[u8], rid: Rid) -> Vec<u8> {
+    let mut k = Vec::with_capacity(key.len() + 6);
+    k.extend_from_slice(key);
+    k.extend_from_slice(&rid.page.to_be_bytes());
+    k.extend_from_slice(&rid.slot.to_be_bytes());
+    k
+}
+
+/// Minimal rid: the augmented key lower bound for a user key.
+const MIN_RID: Rid = Rid { page: 0, slot: 0 };
+
+fn decode_rid(b: &[u8]) -> Rid {
+    Rid {
+        page: u32::from_le_bytes(b[0..4].try_into().expect("rid page")),
+        slot: u16::from_le_bytes(b[4..6].try_into().expect("rid slot")),
+    }
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        match self {
+            Node::Leaf(l) => {
+                out.push(LEAF);
+                out.extend_from_slice(&(l.entries.len() as u16).to_le_bytes());
+                out.extend_from_slice(&l.next.to_le_bytes());
+                for (k, rid) in &l.entries {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    encode_rid(*rid, &mut out);
+                }
+            }
+            Node::Internal(n) => {
+                out.push(INTERNAL);
+                out.extend_from_slice(&(n.entries.len() as u16).to_le_bytes());
+                out.extend_from_slice(&n.leftmost.to_le_bytes());
+                for (k, child) in &n.entries {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&child.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(b: &[u8]) -> DbResult<Node> {
+        let ty = b[0];
+        let n = u16::from_le_bytes([b[1], b[2]]) as usize;
+        let first = u32::from_le_bytes(b[3..7].try_into().expect("node header"));
+        let mut off = 7;
+        let read_key = |off: &mut usize| -> DbResult<Vec<u8>> {
+            if *off + 2 > b.len() {
+                return Err(DbError::Page("truncated btree node".into()));
+            }
+            let klen = u16::from_le_bytes([b[*off], b[*off + 1]]) as usize;
+            *off += 2;
+            if *off + klen > b.len() {
+                return Err(DbError::Page("truncated btree key".into()));
+            }
+            let k = b[*off..*off + klen].to_vec();
+            *off += klen;
+            Ok(k)
+        };
+        match ty {
+            LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = read_key(&mut off)?;
+                    let rid = decode_rid(&b[off..off + 6]);
+                    off += 6;
+                    entries.push((k, rid));
+                }
+                Ok(Node::Leaf(Leaf { next: first, entries }))
+            }
+            INTERNAL => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = read_key(&mut off)?;
+                    let child =
+                        u32::from_le_bytes(b[off..off + 4].try_into().expect("child ptr"));
+                    off += 4;
+                    entries.push((k, child));
+                }
+                Ok(Node::Internal(Internal { leftmost: first, entries }))
+            }
+            t => Err(DbError::Page(format!("bad btree node type {t}"))),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Node::Leaf(l) => 7 + l.entries.iter().map(|(k, _)| 2 + k.len() + 6).sum::<usize>(),
+            Node::Internal(n) => {
+                7 + n.entries.iter().map(|(k, _)| 2 + k.len() + 4).sum::<usize>()
+            }
+        }
+    }
+}
+
+fn read_node(pool: &mut BufferPool, pid: PageId) -> DbResult<Node> {
+    pool.with_page(pid, Node::decode)?
+}
+
+fn write_node(pool: &mut BufferPool, pid: PageId, node: &Node) -> DbResult<()> {
+    let bytes = node.encode();
+    if bytes.len() > PAGE_SIZE {
+        return Err(DbError::Page("btree node overflow after split".into()));
+    }
+    pool.with_page_mut(pid, |b| {
+        b[..bytes.len()].copy_from_slice(&bytes);
+    })
+}
+
+/// A persistent B+tree index.
+#[derive(Debug)]
+pub struct BTree {
+    root: PageId,
+    len: u64,
+}
+
+impl BTree {
+    /// Create an empty tree (root is an empty leaf).
+    pub fn create(pool: &mut BufferPool) -> DbResult<BTree> {
+        let root = pool.allocate()?;
+        write_node(pool, root, &Node::Leaf(Leaf { next: INVALID_PAGE, entries: vec![] }))?;
+        Ok(BTree { root, len: 0 })
+    }
+
+    /// Number of `(key, rid)` entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an entry. Duplicate `(key, rid)` pairs are ignored.
+    pub fn insert(&mut self, pool: &mut BufferPool, key: &[u8], rid: Rid) -> DbResult<()> {
+        if let Some((sep, right)) = self.insert_rec(pool, self.root, key, rid)? {
+            // Root split: grow the tree by one level.
+            let new_root = pool.allocate()?;
+            let node = Node::Internal(Internal {
+                leftmost: self.root,
+                entries: vec![(sep, right)],
+            });
+            write_node(pool, new_root, &node)?;
+            self.root = new_root;
+        }
+        Ok(())
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_page))` when
+    /// the child split.
+    fn insert_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        key: &[u8],
+        rid: Rid,
+    ) -> DbResult<Option<(Vec<u8>, PageId)>> {
+        match read_node(pool, pid)? {
+            Node::Leaf(mut leaf) => {
+                let probe = (key.to_vec(), rid);
+                let pos = match leaf.entries.binary_search_by(|e| e.cmp(&probe)) {
+                    Ok(_) => return Ok(None), // exact duplicate
+                    Err(p) => p,
+                };
+                leaf.entries.insert(pos, probe);
+                self.len += 1;
+                let node = Node::Leaf(leaf);
+                if node.encoded_len() <= PAGE_SIZE {
+                    write_node(pool, pid, &node)?;
+                    return Ok(None);
+                }
+                // Split: move upper half right.
+                let mut leaf = match node {
+                    Node::Leaf(l) => l,
+                    _ => unreachable!(),
+                };
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let sep = aug_key(&right_entries[0].0, right_entries[0].1);
+                let right_pid = pool.allocate()?;
+                let right = Leaf { next: leaf.next, entries: right_entries };
+                leaf.next = right_pid;
+                write_node(pool, right_pid, &Node::Leaf(right))?;
+                write_node(pool, pid, &Node::Leaf(leaf))?;
+                Ok(Some((sep, right_pid)))
+            }
+            Node::Internal(mut node) => {
+                let akey = aug_key(key, rid);
+                let child_idx = child_index(&node, &akey);
+                let child = if child_idx == 0 {
+                    node.leftmost
+                } else {
+                    node.entries[child_idx - 1].1
+                };
+                if let Some((sep, right)) = self.insert_rec(pool, child, key, rid)? {
+                    let pos = node
+                        .entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(&sep[..]))
+                        .unwrap_or_else(|p| p);
+                    node.entries.insert(pos, (sep, right));
+                    let enc = Node::Internal(node);
+                    if enc.encoded_len() <= PAGE_SIZE {
+                        write_node(pool, pid, &enc)?;
+                        return Ok(None);
+                    }
+                    let mut node = match enc {
+                        Node::Internal(n) => n,
+                        _ => unreachable!(),
+                    };
+                    let mid = node.entries.len() / 2;
+                    let mut right_entries = node.entries.split_off(mid);
+                    // Middle key moves up; its child becomes right's leftmost.
+                    let (sep_up, sep_child) = right_entries.remove(0);
+                    let right_pid = pool.allocate()?;
+                    let right = Internal { leftmost: sep_child, entries: right_entries };
+                    write_node(pool, right_pid, &Node::Internal(right))?;
+                    write_node(pool, pid, &Node::Internal(node))?;
+                    Ok(Some((sep_up, right_pid)))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Remove an exact `(key, rid)` entry; returns whether it existed.
+    pub fn delete(&mut self, pool: &mut BufferPool, key: &[u8], rid: Rid) -> DbResult<bool> {
+        let leaf_pid = self.find_leaf(pool, &aug_key(key, rid))?;
+        let mut node = match read_node(pool, leaf_pid)? {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => return Err(DbError::Page("find_leaf hit internal".into())),
+        };
+        let probe = (key.to_vec(), rid);
+        match node.entries.binary_search_by(|e| e.cmp(&probe)) {
+            Ok(pos) => {
+                node.entries.remove(pos);
+                write_node(pool, leaf_pid, &Node::Leaf(node))?;
+                self.len -= 1;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Descend to the leaf that would hold `akey` (an *augmented* key).
+    fn find_leaf(&self, pool: &mut BufferPool, akey: &[u8]) -> DbResult<PageId> {
+        let mut pid = self.root;
+        loop {
+            match read_node(pool, pid)? {
+                Node::Leaf(_) => return Ok(pid),
+                Node::Internal(n) => {
+                    let idx = child_index(&n, akey);
+                    pid = if idx == 0 { n.leftmost } else { n.entries[idx - 1].1 };
+                }
+            }
+        }
+    }
+
+    /// All rids stored under exactly `key`.
+    pub fn lookup(&self, pool: &mut BufferPool, key: &[u8]) -> DbResult<Vec<Rid>> {
+        let mut out = Vec::new();
+        self.scan_range(pool, Bound::Included(key), Bound::Included(key), |_, rid| {
+            out.push(rid);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// All `(key, rid)` entries whose key starts with `prefix`.
+    pub fn lookup_prefix(
+        &self,
+        pool: &mut BufferPool,
+        prefix: &[u8],
+    ) -> DbResult<Vec<(Vec<u8>, Rid)>> {
+        let mut out = Vec::new();
+        self.scan_range(pool, Bound::Included(prefix), Bound::Unbounded, |k, rid| {
+            if !k.starts_with(prefix) {
+                return false;
+            }
+            out.push((k.to_vec(), rid));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// In-order scan over `[lo, hi]`; the callback returns `false` to stop.
+    pub fn scan_range(
+        &self,
+        pool: &mut BufferPool,
+        lo: Bound<&[u8]>,
+        hi: Bound<&[u8]>,
+        mut f: impl FnMut(&[u8], Rid) -> bool,
+    ) -> DbResult<()> {
+        let start_key: &[u8] = match lo {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let mut pid = self.find_leaf(pool, &aug_key(start_key, MIN_RID))?;
+        loop {
+            let leaf = match read_node(pool, pid)? {
+                Node::Leaf(l) => l,
+                Node::Internal(_) => return Err(DbError::Page("scan hit internal".into())),
+            };
+            for (k, rid) in &leaf.entries {
+                let after_lo = match lo {
+                    Bound::Included(l) => k.as_slice() >= l,
+                    Bound::Excluded(l) => k.as_slice() > l,
+                    Bound::Unbounded => true,
+                };
+                if !after_lo {
+                    continue;
+                }
+                let before_hi = match hi {
+                    Bound::Included(h) => k.as_slice() <= h,
+                    Bound::Excluded(h) => k.as_slice() < h,
+                    Bound::Unbounded => true,
+                };
+                if !before_hi {
+                    return Ok(());
+                }
+                if !f(k, *rid) {
+                    return Ok(());
+                }
+            }
+            if leaf.next == INVALID_PAGE {
+                return Ok(());
+            }
+            pid = leaf.next;
+        }
+    }
+
+    /// First entry at or after `key` (frontier pop support).
+    pub fn first_at_or_after(
+        &self,
+        pool: &mut BufferPool,
+        key: &[u8],
+    ) -> DbResult<Option<(Vec<u8>, Rid)>> {
+        let mut found = None;
+        self.scan_range(pool, Bound::Included(key), Bound::Unbounded, |k, rid| {
+            found = Some((k.to_vec(), rid));
+            false
+        })?;
+        Ok(found)
+    }
+
+    /// Structural check used by property tests: keys sorted within and
+    /// across leaves; `len` matches entry count.
+    pub fn validate(&self, pool: &mut BufferPool) -> DbResult<()> {
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0u64;
+        self.scan_range(pool, Bound::Unbounded, Bound::Unbounded, |k, _| {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() <= k, "btree order violated");
+            }
+            prev = Some(k.to_vec());
+            count += 1;
+            true
+        })?;
+        if count != self.len {
+            return Err(DbError::Page(format!(
+                "btree len {} != scanned {}",
+                self.len, count
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Index of the child of `node` that should contain `key`:
+/// 0 → `leftmost`, i → `entries[i-1].1`.
+fn child_index(node: &Internal, key: &[u8]) -> usize {
+    // First entry with key_i > key; descend just before it.
+    match node
+        .entries
+        .binary_search_by(|(k, _)| match k.as_slice().cmp(key) {
+            std::cmp::Ordering::Equal => std::cmp::Ordering::Less, // equal → right side
+            o => o,
+        }) {
+        Ok(_) => unreachable!("comparator never returns Equal"),
+        Err(p) => p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::EvictionPolicy;
+    use crate::disk::DiskManager;
+    use crate::value::{encode_composite_key, Value};
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(DiskManager::in_memory(), frames, EvictionPolicy::Lru)
+    }
+
+    fn rid(i: u32) -> Rid {
+        Rid { page: i, slot: (i % 7) as u16 }
+    }
+
+    fn key_i(i: i64) -> Vec<u8> {
+        encode_composite_key(&[Value::Int(i)])
+    }
+
+    #[test]
+    fn insert_lookup_small() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..100i64 {
+            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+        }
+        assert_eq!(bt.len(), 100);
+        for i in 0..100i64 {
+            assert_eq!(bt.lookup(&mut bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
+        }
+        assert!(bt.lookup(&mut bp, &key_i(1000)).unwrap().is_empty());
+        bt.validate(&mut bp).unwrap();
+    }
+
+    #[test]
+    fn many_inserts_force_splits_random_order() {
+        let mut bp = pool(64);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        // Pseudo-random insertion order without rand dependency here.
+        let n = 5000i64;
+        let mut x = 1i64;
+        let mut keys = Vec::new();
+        for _ in 0..n {
+            x = (x * 1103515245 + 12345) % 100_000;
+            keys.push(x);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        // Deterministic shuffle.
+        let len = shuffled.len();
+        for i in 0..len {
+            let j = (i * 7919 + 13) % len;
+            shuffled.swap(i, j);
+        }
+        for (i, &k) in shuffled.iter().enumerate() {
+            bt.insert(&mut bp, &key_i(k), rid(i as u32)).unwrap();
+        }
+        assert_eq!(bt.len() as usize, keys.len());
+        bt.validate(&mut bp).unwrap();
+        // Ordered scan returns sorted unique keys.
+        let mut scanned = Vec::new();
+        bt.scan_range(&mut bp, Bound::Unbounded, Bound::Unbounded, |k, _| {
+            scanned.push(k.to_vec());
+            true
+        })
+        .unwrap();
+        let expect: Vec<Vec<u8>> = keys.iter().map(|&k| key_i(k)).collect();
+        assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn duplicates_under_one_key() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..50u32 {
+            bt.insert(&mut bp, &key_i(7), rid(i)).unwrap();
+        }
+        // Exact duplicate (key, rid) ignored.
+        bt.insert(&mut bp, &key_i(7), rid(3)).unwrap();
+        assert_eq!(bt.len(), 50);
+        let rids = bt.lookup(&mut bp, &key_i(7)).unwrap();
+        assert_eq!(rids.len(), 50);
+    }
+
+    #[test]
+    fn duplicate_keys_across_splits_stay_deletable() {
+        // Regression: with separators carrying only the user key, equal
+        // keys split across leaves became unreachable for delete/lookup
+        // (this corrupted the crawler's frontier index).
+        let mut bp = pool(32);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        // Thousands of identical keys forces multi-level splits.
+        for i in 0..3000u32 {
+            bt.insert(&mut bp, &key_i(7), rid(i)).unwrap();
+        }
+        // Sprinkle other keys around them.
+        for i in 0..200i64 {
+            bt.insert(&mut bp, &key_i(i * 1000), rid(900_000 + i as u32)).unwrap();
+        }
+        assert_eq!(bt.lookup(&mut bp, &key_i(7)).unwrap().len(), 3000);
+        bt.validate(&mut bp).unwrap();
+        // Every duplicate must be individually deletable.
+        for i in 0..3000u32 {
+            assert!(
+                bt.delete(&mut bp, &key_i(7), rid(i)).unwrap(),
+                "duplicate {i} unreachable"
+            );
+        }
+        assert!(bt.lookup(&mut bp, &key_i(7)).unwrap().is_empty());
+        bt.validate(&mut bp).unwrap();
+    }
+
+    #[test]
+    fn delete_and_dangling() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..200i64 {
+            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+        }
+        for i in (0..200i64).step_by(2) {
+            assert!(bt.delete(&mut bp, &key_i(i), rid(i as u32)).unwrap());
+        }
+        assert!(!bt.delete(&mut bp, &key_i(0), rid(0)).unwrap());
+        assert_eq!(bt.len(), 100);
+        for i in 0..200i64 {
+            let hit = !bt.lookup(&mut bp, &key_i(i)).unwrap().is_empty();
+            assert_eq!(hit, i % 2 == 1, "key {i}");
+        }
+        bt.validate(&mut bp).unwrap();
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..100i64 {
+            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+        }
+        let collect = |bp: &mut BufferPool, lo: Bound<i64>, hi: Bound<i64>| -> Vec<u32> {
+            let lo_k = match lo {
+                Bound::Included(v) => Bound::Included(key_i(v)),
+                Bound::Excluded(v) => Bound::Excluded(key_i(v)),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let hi_k = match hi {
+                Bound::Included(v) => Bound::Included(key_i(v)),
+                Bound::Excluded(v) => Bound::Excluded(key_i(v)),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let mut out = Vec::new();
+            bt.scan_range(
+                bp,
+                match &lo_k {
+                    Bound::Included(k) => Bound::Included(k.as_slice()),
+                    Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+                    Bound::Unbounded => Bound::Unbounded,
+                },
+                match &hi_k {
+                    Bound::Included(k) => Bound::Included(k.as_slice()),
+                    Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+                    Bound::Unbounded => Bound::Unbounded,
+                },
+                |_, r| {
+                    out.push(r.page);
+                    true
+                },
+            )
+            .unwrap();
+            out
+        };
+        assert_eq!(
+            collect(&mut bp, Bound::Included(10), Bound::Excluded(13)),
+            vec![10, 11, 12]
+        );
+        assert_eq!(
+            collect(&mut bp, Bound::Excluded(97), Bound::Unbounded),
+            vec![98, 99]
+        );
+        assert_eq!(collect(&mut bp, Bound::Unbounded, Bound::Included(1)), vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_scan_on_composite_keys() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for c0 in 0..5i64 {
+            for t in 0..20i64 {
+                let k = encode_composite_key(&[Value::Int(c0), Value::Int(t)]);
+                bt.insert(&mut bp, &k, rid((c0 * 100 + t) as u32)).unwrap();
+            }
+        }
+        let prefix = encode_composite_key(&[Value::Int(3)]);
+        let hits = bt.lookup_prefix(&mut bp, &prefix).unwrap();
+        assert_eq!(hits.len(), 20);
+        for (_, r) in hits {
+            assert!((300..320).contains(&r.page));
+        }
+    }
+
+    #[test]
+    fn first_at_or_after() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in [10i64, 20, 30] {
+            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+        }
+        let (k, r) = bt.first_at_or_after(&mut bp, &key_i(15)).unwrap().unwrap();
+        assert_eq!(k, key_i(20));
+        assert_eq!(r.page, 20);
+        assert!(bt.first_at_or_after(&mut bp, &key_i(31)).unwrap().is_none());
+    }
+
+    #[test]
+    fn survives_tiny_buffer_pool() {
+        // Every node access must round-trip through a 2-frame pool.
+        let mut bp = pool(2);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..2000i64 {
+            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+        }
+        for i in (0..2000i64).step_by(97) {
+            assert_eq!(bt.lookup(&mut bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
+        }
+        bt.validate(&mut bp).unwrap();
+        assert!(bp.stats().evictions > 0);
+    }
+
+    #[test]
+    fn long_string_keys_split_correctly() {
+        let mut bp = pool(32);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..300 {
+            let k = encode_composite_key(&[Value::Str(format!(
+                "http://server-{:03}.example.org/a/very/long/path/segment/page-{i}.html",
+                i % 40
+            ))]);
+            bt.insert(&mut bp, &k, rid(i)).unwrap();
+        }
+        assert_eq!(bt.len(), 300);
+        bt.validate(&mut bp).unwrap();
+    }
+}

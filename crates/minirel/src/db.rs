@@ -1,0 +1,535 @@
+//! The database facade: buffer pool + catalog + SQL session.
+//!
+//! This is the "DB2 connection" the Focus system's modules (crawler,
+//! classifier, distiller, monitor) share. It exposes both the SQL path and
+//! direct storage handles — the paper's hot loops are ODBC/CLI routines,
+//! ours call the catalog/B+tree APIs directly through
+//! [`Database::parts_mut`].
+
+use crate::buffer::{BufferPool, EvictionPolicy, IoStats};
+use crate::catalog::{Catalog, TableId};
+use crate::disk::DiskManager;
+use crate::error::{DbError, DbResult};
+use crate::page::PAGE_SIZE;
+use crate::sql::run::{run_statement, SqlCtx, StmtResult};
+use crate::sql::{parse_script, parse_statement};
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+
+/// Rows + column names returned by a query.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Rows affected, for DML.
+    pub affected: u64,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// No rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First row, first column as i64 (convenience for `select count(*)`).
+    pub fn scalar_i64(&self) -> Option<i64> {
+        self.rows.first()?.first()?.as_i64()
+    }
+
+    /// First row, first column as f64.
+    pub fn scalar_f64(&self) -> Option<f64> {
+        self.rows.first()?.first()?.as_f64()
+    }
+
+    /// Render as an aligned text table (for examples and monitors).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = match v {
+                            Value::Float(f) => format!("{f:.4}"),
+                            other => other.to_string(),
+                        };
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("{s:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An embedded minirel database.
+pub struct Database {
+    pool: BufferPool,
+    catalog: Catalog,
+    current_timestamp: i64,
+    sort_budget_override: Option<usize>,
+}
+
+impl Database {
+    /// In-memory database with a default 256-frame (1 MB) buffer pool.
+    pub fn in_memory() -> Database {
+        Self::with_pool(DiskManager::in_memory(), 256, EvictionPolicy::Lru)
+    }
+
+    /// In-memory backing with an explicit pool size/policy (benchmarks).
+    pub fn in_memory_with_frames(frames: usize) -> Database {
+        Self::with_pool(DiskManager::in_memory(), frames, EvictionPolicy::Lru)
+    }
+
+    /// Temp-file-backed database (removed on drop).
+    pub fn on_temp_file(frames: usize) -> DbResult<Database> {
+        Ok(Self::with_pool(DiskManager::temp()?, frames, EvictionPolicy::Lru))
+    }
+
+    /// Full control over backing and eviction policy.
+    pub fn with_pool(disk: DiskManager, frames: usize, policy: EvictionPolicy) -> Database {
+        Database {
+            pool: BufferPool::new(disk, frames, policy),
+            catalog: Catalog::new(),
+            current_timestamp: 0,
+            sort_budget_override: None,
+        }
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> DbResult<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        self.run(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning the last result.
+    pub fn execute_script(&mut self, sql: &str) -> DbResult<ResultSet> {
+        let stmts = parse_script(sql)?;
+        let mut last = ResultSet::default();
+        for stmt in &stmts {
+            last = self.run(stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn run(&mut self, stmt: &crate::sql::Statement) -> DbResult<ResultSet> {
+        let budget = self.sort_budget_rows();
+        let mut ctx = SqlCtx {
+            pool: &mut self.pool,
+            catalog: &mut self.catalog,
+            current_timestamp: self.current_timestamp,
+            sort_budget_rows: budget,
+            ctes: HashMap::new(),
+        };
+        match run_statement(&mut ctx, stmt)? {
+            StmtResult::Rows(rel) => Ok(ResultSet {
+                columns: rel.cols.into_iter().map(|c| c.name).collect(),
+                rows: rel.rows,
+                affected: 0,
+            }),
+            StmtResult::Affected(n) => Ok(ResultSet { affected: n, ..Default::default() }),
+            StmtResult::Done => Ok(ResultSet::default()),
+        }
+    }
+
+    /// Set the session clock used by `current timestamp` (seconds).
+    pub fn set_current_timestamp(&mut self, secs: i64) {
+        self.current_timestamp = secs;
+    }
+
+    /// Session clock.
+    pub fn current_timestamp(&self) -> i64 {
+        self.current_timestamp
+    }
+
+    /// External-sort memory budget (rows). Defaults to a value proportional
+    /// to the buffer pool so that shrinking the pool also shrinks sort
+    /// memory — the coupling the Figure 8(b) sweep depends on.
+    pub fn sort_budget_rows(&self) -> usize {
+        self.sort_budget_override
+            .unwrap_or_else(|| (self.pool.capacity() * PAGE_SIZE / 48).max(64))
+    }
+
+    /// Override the sort budget (None restores the pool-derived default).
+    pub fn set_sort_budget_rows(&mut self, rows: Option<usize>) {
+        self.sort_budget_override = rows;
+    }
+
+    /// I/O counters of the buffer pool.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_io_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    /// Resize the buffer pool (flushes first).
+    pub fn set_pool_frames(&mut self, frames: usize) -> DbResult<()> {
+        self.pool.set_capacity(frames)
+    }
+
+    /// Buffer pool frame count.
+    pub fn pool_frames(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> DbResult<TableId> {
+        self.catalog.table_id(name)
+    }
+
+    /// Row count of a table.
+    pub fn table_len(&self, name: &str) -> DbResult<u64> {
+        Ok(self.catalog.table(self.catalog.table_id(name)?).heap.len())
+    }
+
+    /// Borrow the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Split borrows for direct-operator code paths (classifier/distiller
+    /// hot loops; the paper's CLI routines).
+    pub fn parts_mut(&mut self) -> (&mut BufferPool, &mut Catalog) {
+        (&mut self.pool, &mut self.catalog)
+    }
+
+    /// Insert a row through the typed API (faster than SQL for bulk loads).
+    pub fn insert(&mut self, table: TableId, row: Row) -> DbResult<()> {
+        self.catalog.insert_row(&mut self.pool, table, row)?;
+        Ok(())
+    }
+
+    /// Query helper asserting a single row.
+    pub fn query_row(&mut self, sql: &str) -> DbResult<Row> {
+        let rs = self.execute(sql)?;
+        match rs.rows.len() {
+            1 => Ok(rs.rows.into_iter().next().expect("len checked")),
+            n => Err(DbError::Eval(format!("expected exactly 1 row, got {n}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::in_memory()
+    }
+
+    #[test]
+    fn end_to_end_create_insert_select() {
+        let mut db = db();
+        db.execute("create table crawl (oid int, url text, relevance float, numtries int)")
+            .unwrap();
+        db.execute(
+            "insert into crawl values (1, 'http://a', 0.9, 0), (2, 'http://b', 0.2, 3), (3, 'http://c', 0.7, 0)",
+        )
+        .unwrap();
+        let rs = db
+            .execute("select url, relevance from crawl where relevance > 0.5 order by relevance desc")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["url", "relevance"]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("http://a".into()));
+        assert_eq!(rs.rows[1][0], Value::Str("http://c".into()));
+    }
+
+    #[test]
+    fn group_by_having_shape_of_monitoring_query() {
+        let mut db = db();
+        db.execute("create table crawl (oid int, relevance float, lastvisited int)").unwrap();
+        for i in 0..120 {
+            db.execute(&format!(
+                "insert into crawl values ({i}, {}, {})",
+                if i % 2 == 0 { "0.0" } else { "-2.0" },
+                i * 30 // two rows per minute
+            ))
+            .unwrap();
+        }
+        db.set_current_timestamp(3600);
+        let rs = db
+            .execute(
+                "select minute(lastvisited), avg(exp(relevance)) from crawl \
+                 where lastvisited + 1 hour > current timestamp \
+                 group by minute(lastvisited) order by minute(lastvisited)",
+            )
+            .unwrap();
+        // lastvisited ranges 0..3570; cutoff lastvisited > 0 → 119 rows,
+        // 60 minutes worth of groups.
+        assert_eq!(rs.rows.len(), 60);
+        // avg(exp(0)) and avg(exp(-2)) mix: strictly between exp(-2) and 1.
+        for row in &rs.rows {
+            let v = row[1].as_f64().unwrap();
+            assert!(v > 0.13 && v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn update_with_scalar_subquery_normalizes() {
+        let mut db = db();
+        db.execute("create table hubs (oid int, score float)").unwrap();
+        db.execute("insert into hubs values (1, 2.0), (2, 6.0)").unwrap();
+        db.execute("update hubs set (score) = score / (select sum(score) from hubs)").unwrap();
+        let rs = db.execute("select sum(score) from hubs").unwrap();
+        assert!((rs.scalar_f64().unwrap() - 1.0).abs() < 1e-12);
+        let rs = db.execute("select score from hubs where oid = 2").unwrap();
+        assert!((rs.scalar_f64().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure4_hub_update_runs() {
+        let mut db = db();
+        db.execute("create table auth (oid int, score float)").unwrap();
+        db.execute("create table hubs (oid int, score float)").unwrap();
+        db.execute(
+            "create table link (oid_src int, sid_src int, oid_dst int, sid_dst int, wgt_fwd float, wgt_rev float)",
+        )
+        .unwrap();
+        // Two servers; a nepotistic self-server edge must be ignored.
+        db.execute("insert into auth values (10, 0.5), (11, 0.5)").unwrap();
+        db.execute(
+            "insert into link values \
+             (1, 100, 10, 200, 1.0, 0.8), \
+             (1, 100, 11, 200, 1.0, 0.6), \
+             (2, 100, 10, 100, 1.0, 0.9)", // same server: filtered
+        )
+        .unwrap();
+        db.execute(
+            "insert into hubs(oid, score) \
+             (select oid_src, sum(score * wgt_rev) from auth, link \
+              where sid_src <> sid_dst and oid = oid_dst group by oid_src)",
+        )
+        .unwrap();
+        let rs = db.execute("select oid, score from hubs order by oid").unwrap();
+        assert_eq!(rs.rows.len(), 1); // only hub 1 (hub 2's edge was nepotistic)
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+        assert!((rs.rows[0][1].as_f64().unwrap() - (0.5 * 0.8 + 0.5 * 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure3_bulkprobe_shape_runs() {
+        let mut db = db();
+        db.execute("create table stat_c0 (kcid int, tid int, logtheta float)").unwrap();
+        db.execute("create table document (did int, tid int, freq int)").unwrap();
+        db.execute("create table taxonomy (pcid int, kcid int, logprior float, logdenom float)")
+            .unwrap();
+        // Taxonomy: parent 0 with kids 1, 2.
+        db.execute(
+            "insert into taxonomy values (0, 1, -0.69, -3.0), (0, 2, -0.69, -2.0)",
+        )
+        .unwrap();
+        // Features: term 7 known to both kids; term 8 only kid 1.
+        db.execute(
+            "insert into stat_c0 values (1, 7, -1.0), (2, 7, -2.0), (1, 8, -1.5)",
+        )
+        .unwrap();
+        // Document 100 mentions term 7 twice and unknown term 9 once.
+        db.execute("insert into document values (100, 7, 2), (100, 9, 1)").unwrap();
+        let rs = db
+            .execute(
+                "with
+                 partial(did, kcid, lpr1) as
+                  (select did, taxonomy.kcid, sum(freq * (logtheta + logdenom))
+                   from stat_c0, document, taxonomy
+                   where taxonomy.pcid = 0
+                     and stat_c0.tid = document.tid
+                     and stat_c0.kcid = taxonomy.kcid
+                   group by did, taxonomy.kcid),
+                 doclen(did, len) as
+                  (select did, sum(freq) from document
+                   where tid in (select tid from stat_c0) group by did),
+                 complete(did, kcid, lpr2) as
+                  (select did, kcid, - len * logdenom
+                   from doclen, taxonomy where pcid = 0)
+                 select c.did, c.kcid, lpr2 + coalesce(lpr1, 0)
+                 from complete as c left outer join partial as p
+                   on c.did = p.did and c.kcid = p.kcid
+                 order by c.kcid",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // Only term 7 is a feature present in the doc: len = 2.
+        // kid 1: lpr2 = -2*(-3) = 6; lpr1 = 2*(-1 + -3) = -8; total -2.
+        // kid 2: lpr2 = -2*(-2) = 4; lpr1 = 2*(-2 + -2) = -8; total -4.
+        assert_eq!(rs.rows[0][1], Value::Int(1));
+        assert!((rs.rows[0][2].as_f64().unwrap() - -2.0).abs() < 1e-9);
+        assert_eq!(rs.rows[1][1], Value::Int(2));
+        assert!((rs.rows[1][2].as_f64().unwrap() - -4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn census_query_with_cte_and_join() {
+        let mut db = db();
+        db.execute("create table crawl (oid int, kcid int)").unwrap();
+        db.execute("create table taxonomy (kcid int, name text)").unwrap();
+        db.execute("insert into taxonomy values (1, 'cycling'), (2, 'investing')").unwrap();
+        for i in 0..10 {
+            db.execute(&format!(
+                "insert into crawl values ({i}, {})",
+                if i < 7 { 1 } else { 2 }
+            ))
+            .unwrap();
+        }
+        let rs = db
+            .execute(
+                "with census(kcid, cnt) as
+                   (select kcid, count(oid) from crawl group by kcid)
+                 select census.kcid, cnt, name from census, taxonomy
+                 where census.kcid = taxonomy.kcid order by cnt",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][2], Value::Str("investing".into()));
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+        assert_eq!(rs.rows[1][1], Value::Int(7));
+    }
+
+    #[test]
+    fn nested_in_subqueries() {
+        let mut db = db();
+        db.execute("create table crawl (oid int, url text, relevance float, numtries int)")
+            .unwrap();
+        db.execute("create table hubs (oid int, score float)").unwrap();
+        db.execute(
+            "create table link (oid_src int, sid_src int, oid_dst int, sid_dst int)",
+        )
+        .unwrap();
+        db.execute("insert into hubs values (1, 0.9), (2, 0.001)").unwrap();
+        db.execute("insert into link values (1, 10, 5, 20), (2, 10, 6, 20), (1, 10, 7, 10)")
+            .unwrap();
+        db.execute(
+            "insert into crawl values (5, 'u5', 0.0, 0), (6, 'u6', 0.0, 0), (7, 'u7', 0.0, 0)",
+        )
+        .unwrap();
+        let rs = db
+            .execute(
+                "select url, relevance from crawl where oid in
+                   (select oid_dst from link
+                    where oid_src in (select oid from hubs where score > 0.5)
+                      and sid_src <> sid_dst)
+                 and numtries = 0",
+            )
+            .unwrap();
+        // Hub 1 → dst 5 (cross-server) and dst 7 (same server, filtered).
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("u5".into()));
+    }
+
+    #[test]
+    fn delete_and_affected_counts() {
+        let mut db = db();
+        db.execute("create table t (a int)").unwrap();
+        let rs = db.execute("insert into t values (1), (2), (3)").unwrap();
+        assert_eq!(rs.affected, 3);
+        let rs = db.execute("delete from t where a >= 2").unwrap();
+        assert_eq!(rs.affected, 2);
+        let rs = db.execute("select count(*) from t").unwrap();
+        assert_eq!(rs.scalar_i64(), Some(1));
+        let rs = db.execute("delete from t").unwrap();
+        assert_eq!(rs.affected, 1);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let mut db = db();
+        db.execute("create table t (a int)").unwrap();
+        db.execute("insert into t values (1), (1), (2), (2), (3)").unwrap();
+        let rs = db.execute("select distinct a from t order by a").unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        let rs = db.execute("select a from t order by a desc limit 2").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn select_star_and_qualified_star_join() {
+        let mut db = db();
+        db.execute("create table a (x int)").unwrap();
+        db.execute("create table b (x int, y int)").unwrap();
+        db.execute("insert into a values (1), (2)").unwrap();
+        db.execute("insert into b values (1, 10), (3, 30)").unwrap();
+        let rs = db.execute("select * from a join b on a.x = b.x").unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(1), Value::Int(10)]);
+        let rs = db
+            .execute("select a.x, b.y from a left outer join b on a.x = b.x order by a.x")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert!(rs.rows[1][1].is_null());
+    }
+
+    #[test]
+    fn binding_errors_are_descriptive() {
+        let mut db = db();
+        db.execute("create table t (a int)").unwrap();
+        let e = db.execute("select nope from t").unwrap_err();
+        assert!(e.to_string().contains("nope"));
+        assert!(e.to_string().contains("t.a"), "{e}");
+        assert!(db.execute("select * from missing").is_err());
+        assert!(db.execute("select sum(a), a from t").is_err()); // a not grouped
+    }
+
+    #[test]
+    fn io_stats_move_under_sql() {
+        let mut db = Database::in_memory_with_frames(4);
+        db.execute("create table t (a int, b text)").unwrap();
+        for i in 0..5000 {
+            db.insert(
+                db.table_id("t").unwrap(),
+                vec![Value::Int(i), Value::Str(format!("row-{i}"))],
+            )
+            .unwrap();
+        }
+        db.reset_io_stats();
+        db.execute("select count(*) from t").unwrap();
+        let s = db.io_stats();
+        assert!(s.logical_reads > 0);
+        assert!(s.physical_reads > 0, "4-frame pool must miss on a multi-page scan");
+    }
+
+    #[test]
+    fn result_set_table_rendering() {
+        let mut db = db();
+        db.execute("create table t (name text, score float)").unwrap();
+        db.execute("insert into t values ('alpha', 0.5)").unwrap();
+        let rs = db.execute("select name, score from t").unwrap();
+        let table = rs.to_table();
+        assert!(table.contains("name"));
+        assert!(table.contains("alpha"));
+        assert!(table.contains("0.5000"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The backing store for pages: a real file or an in-memory vector.
+//!
+//! The buffer pool talks to this and *only* this; its physical-read /
+//! physical-write counters count calls into `DiskManager`. The in-memory
+//! backend exists so tests and CI are hermetic, while the file backend is
+//! used by benchmarks that want OS-level I/O too. Counter behaviour is
+//! identical for both.
+
+use crate::error::{DbError, DbResult};
+use crate::page::{PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+enum Backend {
+    Memory(Vec<Box<[u8; PAGE_SIZE]>>),
+    File { file: File, path: PathBuf, delete_on_drop: bool, num_pages: u32 },
+}
+
+/// Allocates, reads and writes fixed-size pages.
+pub struct DiskManager {
+    backend: Backend,
+}
+
+impl DiskManager {
+    /// Pages live in process memory (hermetic tests, CI).
+    pub fn in_memory() -> Self {
+        DiskManager { backend: Backend::Memory(Vec::new()) }
+    }
+
+    /// Pages live in the file at `path` (created/truncated).
+    pub fn at_path(path: &Path) -> DbResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(DiskManager {
+            backend: Backend::File {
+                file,
+                path: path.to_owned(),
+                delete_on_drop: false,
+                num_pages: 0,
+            },
+        })
+    }
+
+    /// Pages live in a unique temp file removed on drop.
+    pub fn temp() -> DbResult<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "minirel-{}-{}-{n}.db",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let mut dm = Self::at_path(&path)?;
+        if let Backend::File { delete_on_drop, .. } = &mut dm.backend {
+            *delete_on_drop = true;
+        }
+        Ok(dm)
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> u32 {
+        match &self.backend {
+            Backend::Memory(v) => v.len() as u32,
+            Backend::File { num_pages, .. } => *num_pages,
+        }
+    }
+
+    /// Allocate a fresh zeroed page and return its id.
+    pub fn allocate(&mut self) -> DbResult<PageId> {
+        match &mut self.backend {
+            Backend::Memory(v) => {
+                v.push(Box::new([0u8; PAGE_SIZE]));
+                Ok((v.len() - 1) as PageId)
+            }
+            Backend::File { file, num_pages, .. } => {
+                let id = *num_pages;
+                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+                file.write_all(&[0u8; PAGE_SIZE])?;
+                *num_pages += 1;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Read page `id` into `buf`.
+    pub fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> DbResult<()> {
+        match &mut self.backend {
+            Backend::Memory(v) => {
+                let page = v
+                    .get(id as usize)
+                    .ok_or_else(|| DbError::Page(format!("page {id} not allocated")))?;
+                buf.copy_from_slice(&page[..]);
+                Ok(())
+            }
+            Backend::File { file, num_pages, .. } => {
+                if id >= *num_pages {
+                    return Err(DbError::Page(format!("page {id} not allocated")));
+                }
+                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+                file.read_exact(buf)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Write `buf` to page `id`.
+    pub fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        match &mut self.backend {
+            Backend::Memory(v) => {
+                let page = v
+                    .get_mut(id as usize)
+                    .ok_or_else(|| DbError::Page(format!("page {id} not allocated")))?;
+                page.copy_from_slice(buf);
+                Ok(())
+            }
+            Backend::File { file, num_pages, .. } => {
+                if id >= *num_pages {
+                    return Err(DbError::Page(format!("page {id} not allocated")));
+                }
+                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+                file.write_all(buf)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for DiskManager {
+    fn drop(&mut self) {
+        if let Backend::File { path, delete_on_drop: true, .. } = &self.backend {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut dm: DiskManager) {
+        let a = dm.allocate().unwrap();
+        let b = dm.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(dm.num_pages(), 2);
+        let mut wbuf = [0u8; PAGE_SIZE];
+        wbuf[0] = 0xAB;
+        wbuf[PAGE_SIZE - 1] = 0xCD;
+        dm.write(b, &wbuf).unwrap();
+        let mut rbuf = [0u8; PAGE_SIZE];
+        dm.read(b, &mut rbuf).unwrap();
+        assert_eq!(rbuf[0], 0xAB);
+        assert_eq!(rbuf[PAGE_SIZE - 1], 0xCD);
+        dm.read(a, &mut rbuf).unwrap();
+        assert!(rbuf.iter().all(|&x| x == 0), "fresh page must be zeroed");
+        assert!(dm.read(99, &mut rbuf).is_err());
+        assert!(dm.write(99, &wbuf).is_err());
+    }
+
+    #[test]
+    fn memory_backend() {
+        exercise(DiskManager::in_memory());
+    }
+
+    #[test]
+    fn file_backend_and_cleanup() {
+        let dm = DiskManager::temp().unwrap();
+        let path = match &dm.backend {
+            Backend::File { path, .. } => path.clone(),
+            _ => unreachable!(),
+        };
+        exercise(dm);
+        // dm dropped by exercise()
+        assert!(!path.exists(), "temp file should be removed on drop");
+    }
+}

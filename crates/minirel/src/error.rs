@@ -1,0 +1,74 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the storage layer, executor, and SQL front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// OS-level I/O failure (message carries `std::io::Error` text).
+    Io(String),
+    /// Page id out of range or page corrupt.
+    Page(String),
+    /// A record id no longer resolves to a live record.
+    BadRid { page: u32, slot: u16 },
+    /// Catalog misuse: duplicate/unknown table or index.
+    Catalog(String),
+    /// Schema violation: wrong arity or type for a row.
+    Schema(String),
+    /// SQL lexing/parsing failure with position information.
+    Parse(String),
+    /// Query refers to an unknown column/table/function.
+    Binding(String),
+    /// Runtime evaluation error (type mismatch, division by zero, …).
+    Eval(String),
+    /// A record larger than a page was inserted.
+    RecordTooLarge(usize),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Page(m) => write!(f, "page error: {m}"),
+            DbError::BadRid { page, slot } => {
+                write!(f, "dangling rid (page {page}, slot {slot})")
+            }
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Parse(m) => write!(f, "sql parse error: {m}"),
+            DbError::Binding(m) => write!(f, "binding error: {m}"),
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DbError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds page capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+/// Engine result alias.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_contextual() {
+        assert!(DbError::BadRid { page: 3, slot: 9 }.to_string().contains("page 3"));
+        assert!(DbError::Parse("near 'selec'".into()).to_string().contains("selec"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: DbError = std::io::Error::other("boom").into();
+        assert!(matches!(e, DbError::Io(_)));
+    }
+}

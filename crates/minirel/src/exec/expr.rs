@@ -1,0 +1,422 @@
+//! Bound (physical) expressions: evaluated against a row by column index.
+//!
+//! The SQL front-end lowers `AstExpr` into this form after name resolution;
+//! the classifier/distiller hot paths construct these directly.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{Row, Value};
+use std::cmp::Ordering;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division when both sides are Int; NULL on divide-by-zero
+    /// would hide bugs, so it errors instead)
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+/// Scalar functions available in the dialect — exactly those the paper's
+/// printed SQL uses, plus a couple of numeric conveniences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `exp(x)` — used by the monitoring query `avg(exp(relevance))`.
+    Exp,
+    /// Natural log.
+    Ln,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// `coalesce(a, b, …)` — Figure 3 uses `coalesce(lpr1, 0)`.
+    Coalesce,
+    /// `minute(ts)` — the §3.7 monitor groups by `minute(lastvisited)`;
+    /// timestamps are integer seconds, so this is `ts / 60`.
+    Minute,
+}
+
+impl Func {
+    /// Resolve a function name.
+    pub fn parse(name: &str) -> Option<Func> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "exp" => Func::Exp,
+            "ln" | "log" => Func::Ln,
+            "abs" => Func::Abs,
+            "sqrt" => Func::Sqrt,
+            "coalesce" => Func::Coalesce,
+            "minute" => Func::Minute,
+            _ => return None,
+        })
+    }
+}
+
+/// A bound expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column of the input row, by position.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Scalar function call.
+    Call(Func, Vec<Expr>),
+    /// `expr IN (v1, v2, …)` — subqueries are materialized to this.
+    InList(Box<Expr>, Vec<Value>, /*negated=*/ bool),
+    /// `expr IS NULL` / `IS NOT NULL`.
+    IsNull(Box<Expr>, /*negated=*/ bool),
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Shorthand: binary op.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// Evaluate against `row`.
+    pub fn eval(&self, row: &Row) -> DbResult<Value> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Eval(format!("column index {i} out of bounds"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Bin(op, l, r) => {
+                // Short-circuit logic ops.
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Int(
+                            (l.eval(row)?.is_truthy() && r.eval(row)?.is_truthy()) as i64,
+                        ))
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Int(
+                            (l.eval(row)?.is_truthy() || r.eval(row)?.is_truthy()) as i64,
+                        ))
+                    }
+                    _ => {}
+                }
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                eval_bin(*op, lv, rv)
+            }
+            Expr::Un(op, e) => {
+                let v = e.eval(row)?;
+                match op {
+                    UnOp::Not => Ok(Value::Int((!v.is_truthy()) as i64)),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        Value::Null => Ok(Value::Null),
+                        Value::Str(_) => Err(DbError::Eval("cannot negate a string".into())),
+                    },
+                }
+            }
+            Expr::Call(f, args) => eval_call(*f, args, row),
+            Expr::InList(e, list, negated) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Int(0));
+                }
+                let found = list.iter().any(|x| x == &v);
+                Ok(Value::Int((found != *negated) as i64))
+            }
+            Expr::IsNull(e, negated) => {
+                let v = e.eval(row)?;
+                Ok(Value::Int((v.is_null() != *negated) as i64))
+            }
+        }
+    }
+
+    /// Rewrite column indexes through `map` (used when an operator reorders
+    /// or prunes its input columns).
+    pub fn remap(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(map(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin(op, l, r) => Expr::bin(*op, l.remap(map), r.remap(map)),
+            Expr::Un(op, e) => Expr::Un(*op, Box::new(e.remap(map))),
+            Expr::Call(f, args) => {
+                Expr::Call(*f, args.iter().map(|a| a.remap(map)).collect())
+            }
+            Expr::InList(e, list, n) => {
+                Expr::InList(Box::new(e.remap(map)), list.clone(), *n)
+            }
+            Expr::IsNull(e, n) => Expr::IsNull(Box::new(e.remap(map)), *n),
+        }
+    }
+}
+
+fn numeric_pair(l: &Value, r: &Value, op: &str) -> DbResult<(f64, f64, bool)> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok((*a as f64, *b as f64, true)),
+        _ => {
+            let a = l
+                .as_f64()
+                .ok_or_else(|| DbError::Eval(format!("{op}: non-numeric operand {l}")))?;
+            let b = r
+                .as_f64()
+                .ok_or_else(|| DbError::Eval(format!("{op}: non-numeric operand {r}")))?;
+            Ok((a, b, false))
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: Value, r: Value) -> DbResult<Value> {
+    use BinOp::*;
+    match op {
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            // SQL three-valued logic collapsed to false on NULL operands,
+            // which is what every WHERE clause in the paper expects.
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Int(0));
+            }
+            let c = l.total_cmp(&r);
+            let b = match op {
+                Eq => c == Ordering::Equal,
+                Ne => c != Ordering::Equal,
+                Lt => c == Ordering::Less,
+                Le => c != Ordering::Greater,
+                Gt => c == Ordering::Greater,
+                Ge => c != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(b as i64))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            if let (Value::Str(a), Value::Str(b), Add) = (&l, &r, op) {
+                return Ok(Value::Str(format!("{a}{b}")));
+            }
+            let (a, b, both_int) = numeric_pair(&l, &r, "arithmetic")?;
+            if op == Div && b == 0.0 {
+                return Err(DbError::Eval("division by zero".into()));
+            }
+            let f = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => unreachable!(),
+            };
+            if both_int && op != Div {
+                Ok(Value::Int(f as i64))
+            } else if both_int && op == Div {
+                // Integer division truncates (matches the DB2 dialect the
+                // paper's minute()/grouping tricks rely on).
+                Ok(Value::Int((a / b).trunc() as i64))
+            } else {
+                Ok(Value::Float(f))
+            }
+        }
+        And | Or => unreachable!("handled by eval"),
+    }
+}
+
+fn eval_call(f: Func, args: &[Expr], row: &Row) -> DbResult<Value> {
+    let need = |n: usize| -> DbResult<()> {
+        if args.len() != n {
+            Err(DbError::Eval(format!("{f:?} expects {n} argument(s), got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+    match f {
+        Func::Coalesce => {
+            for a in args {
+                let v = a.eval(row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        Func::Minute => {
+            need(1)?;
+            match args[0].eval(row)? {
+                Value::Int(s) => Ok(Value::Int(s.div_euclid(60))),
+                Value::Null => Ok(Value::Null),
+                v => Err(DbError::Eval(format!("minute() expects an integer, got {v}"))),
+            }
+        }
+        Func::Exp | Func::Ln | Func::Abs | Func::Sqrt => {
+            need(1)?;
+            let v = args[0].eval(row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let x = v
+                .as_f64()
+                .ok_or_else(|| DbError::Eval(format!("{f:?}: non-numeric argument {v}")))?;
+            let y = match f {
+                Func::Exp => x.exp(),
+                Func::Ln => {
+                    if x <= 0.0 {
+                        return Err(DbError::Eval(format!("ln of non-positive value {x}")));
+                    }
+                    x.ln()
+                }
+                Func::Abs => x.abs(),
+                Func::Sqrt => {
+                    if x < 0.0 {
+                        return Err(DbError::Eval(format!("sqrt of negative value {x}")));
+                    }
+                    x.sqrt()
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(y))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(10), Value::Float(0.5), Value::Str("bike".into()), Value::Null]
+    }
+
+    #[test]
+    fn arithmetic_and_types() {
+        let r = row();
+        let e = Expr::bin(BinOp::Add, Expr::col(0), Expr::lit(5i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(15));
+        let e = Expr::bin(BinOp::Mul, Expr::col(1), Expr::lit(4i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(2.0));
+        // Integer division truncates.
+        let e = Expr::bin(BinOp::Div, Expr::lit(7i64), Expr::lit(2i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(3));
+        let e = Expr::bin(BinOp::Div, Expr::lit(7.0), Expr::lit(2i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(3.5));
+        // String concat via +.
+        let e = Expr::bin(BinOp::Add, Expr::col(2), Expr::lit("s"));
+        assert_eq!(e.eval(&r).unwrap(), Value::Str("bikes".into()));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64));
+        assert!(e.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_null_semantics() {
+        let r = row();
+        let e = Expr::bin(BinOp::Gt, Expr::col(0), Expr::lit(9i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+        // NULL comparisons are false.
+        let e = Expr::bin(BinOp::Eq, Expr::col(3), Expr::lit(0i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(0));
+        // NULL arithmetic propagates.
+        let e = Expr::bin(BinOp::Add, Expr::col(3), Expr::lit(1i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+        // Mixed int/float compare.
+        let e = Expr::bin(BinOp::Lt, Expr::col(1), Expr::lit(1i64));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn logic_ops() {
+        let r = row();
+        let t = Expr::lit(1i64);
+        let f = Expr::lit(0i64);
+        assert_eq!(Expr::bin(BinOp::And, t.clone(), f.clone()).eval(&r).unwrap(), Value::Int(0));
+        assert_eq!(Expr::bin(BinOp::Or, t.clone(), f.clone()).eval(&r).unwrap(), Value::Int(1));
+        assert_eq!(Expr::Un(UnOp::Not, Box::new(f)).eval(&r).unwrap(), Value::Int(1));
+        assert_eq!(
+            Expr::Un(UnOp::Neg, Box::new(Expr::col(1))).eval(&r).unwrap(),
+            Value::Float(-0.5)
+        );
+    }
+
+    #[test]
+    fn functions() {
+        let r = row();
+        let e = Expr::Call(Func::Exp, vec![Expr::lit(0.0)]);
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(1.0));
+        let e = Expr::Call(Func::Coalesce, vec![Expr::col(3), Expr::lit(9i64)]);
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(9));
+        let e = Expr::Call(Func::Minute, vec![Expr::lit(125i64)]);
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(2));
+        let e = Expr::Call(Func::Ln, vec![Expr::lit(-1.0)]);
+        assert!(e.eval(&r).is_err());
+        assert_eq!(Func::parse("COALESCE"), Some(Func::Coalesce));
+        assert_eq!(Func::parse("nope"), None);
+    }
+
+    #[test]
+    fn in_list_and_is_null() {
+        let r = row();
+        let e = Expr::InList(
+            Box::new(Expr::col(0)),
+            vec![Value::Int(9), Value::Int(10)],
+            false,
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+        let e = Expr::InList(Box::new(Expr::col(0)), vec![Value::Int(9)], true);
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1)); // NOT IN
+        let e = Expr::IsNull(Box::new(Expr::col(3)), false);
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+        let e = Expr::IsNull(Box::new(Expr::col(0)), true);
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn remap_rewrites_columns() {
+        let e = Expr::bin(BinOp::Add, Expr::col(0), Expr::col(2));
+        let m = e.remap(&|i| i + 10);
+        assert_eq!(m, Expr::bin(BinOp::Add, Expr::col(10), Expr::col(12)));
+    }
+
+    #[test]
+    fn out_of_bounds_column() {
+        let e = Expr::col(9);
+        assert!(e.eval(&row()).is_err());
+    }
+}

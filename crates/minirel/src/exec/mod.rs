@@ -1,0 +1,18 @@
+//! Physical operators.
+//!
+//! Execution is materialized dataflow: every operator consumes and produces
+//! `Vec<Row>`. What makes the I/O experiments honest is that the *inputs*
+//! stream from heap pages and B+trees through the buffer pool, and the
+//! [`sort`] operator spills runs back through the pool when its memory
+//! budget is exceeded — so a small pool hurts `BulkProbe` exactly the way
+//! Figure 8(b) shows for DB2.
+
+pub mod agg;
+pub mod expr;
+pub mod join;
+pub mod sort;
+
+pub use agg::{aggregate, AggCall, AggKind};
+pub use expr::{BinOp, Expr, Func, UnOp};
+pub use join::{hash_join, merge_join_inner, merge_join_left_outer, nested_loop_join};
+pub use sort::{external_sort, sort_rows, SortKey};

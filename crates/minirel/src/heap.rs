@@ -1,0 +1,259 @@
+//! Heap files: unordered collections of records over slotted pages.
+//!
+//! Each table's base data lives in one heap file. The page directory and
+//! free-space hints are kept in memory (the catalog owns them); record
+//! bytes flow through the buffer pool so scans and random `get`s are
+//! charged to the I/O counters.
+
+use crate::buffer::BufferPool;
+use crate::error::{DbError, DbResult};
+use crate::page::{PageId, SlottedMut, SlottedRef, PAGE_SIZE};
+
+/// Record id: physical address of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page within the database file.
+    pub page: PageId,
+    /// Slot within that page.
+    pub slot: u16,
+}
+
+/// A heap file. Cheap to clone would be wrong — the catalog owns exactly
+/// one per table.
+#[derive(Debug)]
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    /// Free-byte hints per page (same order as `pages`); refreshed on write.
+    free_hints: Vec<u16>,
+    live_records: u64,
+}
+
+impl HeapFile {
+    /// Create a heap file with one empty page.
+    pub fn create(pool: &mut BufferPool) -> DbResult<HeapFile> {
+        let pid = pool.allocate()?;
+        pool.with_page_mut(pid, |b| SlottedMut(b).init())?;
+        Ok(HeapFile {
+            pages: vec![pid],
+            free_hints: vec![PAGE_SIZE as u16 - 4],
+            live_records: 0,
+        })
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.live_records
+    }
+
+    /// True when no live records exist.
+    pub fn is_empty(&self) -> bool {
+        self.live_records == 0
+    }
+
+    /// Number of pages owned by this file.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The page ids backing this file, in file order (used by streaming
+    /// run readers in the external sort).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Insert a record, returning its address.
+    pub fn insert(&mut self, pool: &mut BufferPool, rec: &[u8]) -> DbResult<Rid> {
+        if rec.len() + 8 > PAGE_SIZE {
+            return Err(DbError::RecordTooLarge(rec.len()));
+        }
+        let needed = (rec.len() + 4) as u16;
+        // Try the last page first (append-mostly workloads), then any page
+        // whose hint says it fits, then grow the file.
+        let mut candidates: Vec<usize> = Vec::with_capacity(2);
+        let last = self.pages.len() - 1;
+        if self.free_hints[last] >= needed {
+            candidates.push(last);
+        }
+        if candidates.is_empty() {
+            if let Some(i) = self.free_hints.iter().position(|&f| f >= needed) {
+                candidates.push(i);
+            }
+        }
+        let idx = match candidates.first() {
+            Some(&i) => i,
+            None => {
+                let pid = pool.allocate()?;
+                pool.with_page_mut(pid, |b| SlottedMut(b).init())?;
+                self.pages.push(pid);
+                self.free_hints.push(PAGE_SIZE as u16 - 4);
+                self.pages.len() - 1
+            }
+        };
+        let pid = self.pages[idx];
+        let (slot, free) = pool.with_page_mut(pid, |b| {
+            let slot = SlottedMut(b).insert(rec);
+            let free = SlottedRef(b).free_space() as u16;
+            (slot, free)
+        })?;
+        self.free_hints[idx] = free;
+        let slot = slot?;
+        self.live_records += 1;
+        Ok(Rid { page: pid, slot })
+    }
+
+    /// Fetch the record at `rid`.
+    pub fn get(&self, pool: &mut BufferPool, rid: Rid) -> DbResult<Vec<u8>> {
+        if !self.pages.contains(&rid.page) {
+            return Err(DbError::BadRid { page: rid.page, slot: rid.slot });
+        }
+        pool.with_page(rid.page, |b| SlottedRef(b).record(rid.slot).map(<[u8]>::to_vec))?
+            .ok_or(DbError::BadRid { page: rid.page, slot: rid.slot })
+    }
+
+    /// Delete the record at `rid`.
+    pub fn delete(&mut self, pool: &mut BufferPool, rid: Rid) -> DbResult<()> {
+        let idx = self
+            .pages
+            .iter()
+            .position(|&p| p == rid.page)
+            .ok_or(DbError::BadRid { page: rid.page, slot: rid.slot })?;
+        let free = pool.with_page_mut(rid.page, |b| {
+            SlottedMut(b).delete(rid.slot)?;
+            Ok::<u16, DbError>(SlottedRef(b).free_space() as u16)
+        })??;
+        self.free_hints[idx] = free;
+        self.live_records -= 1;
+        Ok(())
+    }
+
+    /// Update in place when possible; otherwise delete + reinsert.
+    /// Returns the (possibly new) rid.
+    pub fn update(&mut self, pool: &mut BufferPool, rid: Rid, rec: &[u8]) -> DbResult<Rid> {
+        if !self.pages.contains(&rid.page) {
+            return Err(DbError::BadRid { page: rid.page, slot: rid.slot });
+        }
+        let fit = pool.with_page_mut(rid.page, |b| SlottedMut(b).update_in_place(rid.slot, rec))??;
+        if fit {
+            return Ok(rid);
+        }
+        self.delete(pool, rid)?;
+        self.insert(pool, rec)
+    }
+
+    /// Visit every live record in file order. The callback may not touch
+    /// the pool (we hold it); collect rids if you need random access after.
+    pub fn scan(
+        &self,
+        pool: &mut BufferPool,
+        mut f: impl FnMut(Rid, &[u8]),
+    ) -> DbResult<()> {
+        for &pid in &self.pages {
+            pool.with_page(pid, |b| {
+                for (slot, rec) in SlottedRef(b).records() {
+                    f(Rid { page: pid, slot }, rec);
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::EvictionPolicy;
+    use crate::disk::DiskManager;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(DiskManager::in_memory(), 8, EvictionPolicy::Lru)
+    }
+
+    #[test]
+    fn insert_get_roundtrip_many_pages() {
+        let mut bp = pool();
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let mut rids = Vec::new();
+        for i in 0..500u32 {
+            let rec = format!("record-{i}-{}", "x".repeat(i as usize % 60));
+            rids.push((hf.insert(&mut bp, rec.as_bytes()).unwrap(), rec));
+        }
+        assert!(hf.num_pages() > 1, "should have spilled to multiple pages");
+        assert_eq!(hf.len(), 500);
+        for (rid, rec) in &rids {
+            assert_eq!(hf.get(&mut bp, *rid).unwrap(), rec.as_bytes());
+        }
+    }
+
+    #[test]
+    fn scan_sees_exactly_live_records() {
+        let mut bp = pool();
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let mut rids = Vec::new();
+        for i in 0..50u32 {
+            rids.push(hf.insert(&mut bp, &i.to_le_bytes()).unwrap());
+        }
+        for rid in rids.iter().step_by(2) {
+            hf.delete(&mut bp, *rid).unwrap();
+        }
+        let mut seen = Vec::new();
+        hf.scan(&mut bp, |_, rec| {
+            seen.push(u32::from_le_bytes(rec.try_into().unwrap()));
+        })
+        .unwrap();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..50).filter(|i| i % 2 == 1).collect();
+        assert_eq!(seen, expect);
+        assert_eq!(hf.len(), 25);
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let mut bp = pool();
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let rid = hf.insert(&mut bp, b"0123456789").unwrap();
+        // Shrinking update stays put.
+        let same = hf.update(&mut bp, rid, b"abc").unwrap();
+        assert_eq!(same, rid);
+        assert_eq!(hf.get(&mut bp, rid).unwrap(), b"abc");
+        // Fill the page so a growing update must relocate.
+        let filler = vec![b'z'; 300];
+        while hf.num_pages() == 1 {
+            hf.insert(&mut bp, &filler).unwrap();
+        }
+        let grown = vec![b'g'; 900];
+        let moved = hf.update(&mut bp, rid, &grown).unwrap();
+        assert_eq!(hf.get(&mut bp, moved).unwrap(), grown);
+        if moved != rid {
+            assert!(hf.get(&mut bp, rid).is_err(), "old rid must be dead");
+        }
+    }
+
+    #[test]
+    fn deleted_rid_is_dangling() {
+        let mut bp = pool();
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let rid = hf.insert(&mut bp, b"x").unwrap();
+        hf.delete(&mut bp, rid).unwrap();
+        assert!(matches!(hf.get(&mut bp, rid), Err(DbError::BadRid { .. })));
+        assert!(hf.delete(&mut bp, rid).is_err());
+    }
+
+    #[test]
+    fn foreign_rid_rejected() {
+        let mut bp = pool();
+        let hf = HeapFile::create(&mut bp).unwrap();
+        let bad = Rid { page: 9999, slot: 0 };
+        assert!(matches!(hf.get(&mut bp, bad), Err(DbError::BadRid { .. })));
+    }
+
+    #[test]
+    fn record_too_large() {
+        let mut bp = pool();
+        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            hf.insert(&mut bp, &huge),
+            Err(DbError::RecordTooLarge(_))
+        ));
+    }
+}

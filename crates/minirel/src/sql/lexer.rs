@@ -1,0 +1,334 @@
+//! SQL lexer.
+//!
+//! Identifiers are case-insensitive; keywords are recognized by the parser
+//! from `Ident` tokens. String literals use single quotes with `''` as the
+//! escape. Comments: `-- to end of line` and `/* ... */`.
+
+use crate::error::{DbError, DbResult};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved; compare folded).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*` (both projection star and multiplication)
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenize `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    let err = |i: usize, msg: &str| -> DbError {
+        DbError::Parse(format!("{msg} at byte {i} of query"))
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err(start, "unterminated block comment"));
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err(start, "unterminated string literal"));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).expect("ascii digits");
+                if is_float {
+                    out.push(Token::Float(
+                        text.parse().map_err(|_| err(start, "bad float literal"))?,
+                    ));
+                } else {
+                    out.push(Token::Int(
+                        text.parse().map_err(|_| err(start, "integer literal out of range"))?,
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(
+                    std::str::from_utf8(&b[start..i]).expect("ascii ident").to_owned(),
+                ));
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            other => {
+                return Err(err(i, &format!("unexpected character '{}'", other as char)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let toks = tokenize("select oid, relevance from CRAWL where numtries >= 2").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert!(toks[0].is_kw("SELECT"));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Ge));
+        assert_eq!(toks.last(), Some(&Token::Int(2)));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = tokenize("1 2.5 1e3 1.5e-2 'it''s' 'x'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(0.015),
+                Token::Str("it's".into()),
+                Token::Str("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a<>b a!=b a<=b a>=b a<b a>b a=b a.b").unwrap();
+        let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Le,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq,
+                &Token::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("select 1 -- trailing\n/* block\ncomment */ , 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        assert!(tokenize("select 'unterminated").is_err());
+        assert!(tokenize("select #").is_err());
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn negative_handled_by_parser_not_lexer() {
+        let toks = tokenize("-5").unwrap();
+        assert_eq!(toks, vec![Token::Minus, Token::Int(5)]);
+    }
+}

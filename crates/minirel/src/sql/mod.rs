@@ -1,0 +1,14 @@
+//! SQL front-end: lexer → parser → binder/planner/runner.
+//!
+//! The dialect is sized to the paper: every statement printed in Figures
+//! 3–4 and §3.7 parses and runs (see `sql::parser` tests for the verbatim
+//! texts).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod run;
+
+pub use ast::{AstExpr, InsertSource, SelectStmt, Statement};
+pub use parser::{parse_script, parse_statement};
+pub use run::{run_select, run_statement, BoundCol, Relation, SqlCtx, StmtResult};

@@ -1,0 +1,859 @@
+//! Binding, planning, and execution of parsed statements.
+//!
+//! Planning is deliberately simple but covers the shapes the paper's SQL
+//! needs:
+//!
+//! * **CTEs** materialize in order and are visible to later CTEs and the
+//!   body (Figure 3).
+//! * **Equi-joins** (explicit `ON` or comma-FROM + WHERE conjuncts) run as
+//!   sort-merge joins through the external sorter — the access path the
+//!   paper credits for its I/O wins; non-equi predicates fall back to
+//!   nested loops.
+//! * Single-relation predicates are **pushed down** below joins
+//!   (`taxonomy.pcid = c0` filters TAXONOMY before it joins).
+//! * Uncorrelated **IN subqueries** materialize to value lists;
+//!   uncorrelated **scalar subqueries** evaluate once at bind time
+//!   (Figure 4's `score / (select sum(score) from hubs)`).
+//! * Aggregation rewrites projections over `GROUP BY` outputs, so shapes
+//!   like `avg(exp(relevance))` and `sum(x)/count(y)` work.
+
+use crate::buffer::BufferPool;
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::exec::agg::{aggregate, AggCall, AggKind};
+use crate::exec::expr::{BinOp, Expr, Func, UnOp};
+use crate::exec::join::{merge_join_inner, merge_join_left_outer, nested_loop_join};
+use crate::exec::sort::{external_sort, SortKey};
+use crate::sql::ast::*;
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A named output column of an intermediate relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundCol {
+    /// Binding qualifier (table alias / CTE name); `None` for computed.
+    pub qualifier: Option<String>,
+    /// Column name (lower-cased).
+    pub name: String,
+}
+
+/// A materialized intermediate relation.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Output columns.
+    pub cols: Vec<BoundCol>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+/// Execution context threading the storage handles and session state.
+pub struct SqlCtx<'a> {
+    /// Buffer pool (all I/O flows through it).
+    pub pool: &'a mut BufferPool,
+    /// Table catalog.
+    pub catalog: &'a mut Catalog,
+    /// Session clock for `current timestamp` (seconds).
+    pub current_timestamp: i64,
+    /// External-sort memory budget in rows.
+    pub sort_budget_rows: usize,
+    /// In-scope CTE results.
+    pub ctes: HashMap<String, Rc<Relation>>,
+}
+
+/// Result of running one statement.
+pub enum StmtResult {
+    /// SELECT output.
+    Rows(Relation),
+    /// Row count for DML.
+    Affected(u64),
+    /// DDL.
+    Done,
+}
+
+/// Run a parsed statement.
+pub fn run_statement(ctx: &mut SqlCtx<'_>, stmt: &Statement) -> DbResult<StmtResult> {
+    match stmt {
+        Statement::Select(q) => Ok(StmtResult::Rows(run_select(ctx, q)?)),
+        Statement::CreateTable { name, cols } => {
+            let schema = crate::schema::Schema::new(
+                cols.iter().map(|(n, t)| (n.clone(), *t)),
+            );
+            ctx.catalog.create_table(ctx.pool, name, schema)?;
+            Ok(StmtResult::Done)
+        }
+        Statement::CreateIndex { name, table, cols } => {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            ctx.catalog.create_index(ctx.pool, name, table, &refs)?;
+            Ok(StmtResult::Done)
+        }
+        Statement::DropTable { name } => {
+            ctx.catalog.drop_table(name)?;
+            Ok(StmtResult::Done)
+        }
+        Statement::Insert { table, cols, source } => run_insert(ctx, table, cols, source),
+        Statement::Update { table, sets, where_ } => run_update(ctx, table, sets, where_.as_ref()),
+        Statement::Delete { table, where_ } => run_delete(ctx, table, where_.as_ref()),
+    }
+}
+
+// ---------------------------------------------------------------- binding
+
+fn bind(ctx: &mut SqlCtx<'_>, e: &AstExpr, cols: &[BoundCol]) -> DbResult<Expr> {
+    match e {
+        AstExpr::Column { qualifier, name } => {
+            let i = resolve_col(cols, qualifier.as_deref(), name)?;
+            Ok(Expr::Col(i))
+        }
+        AstExpr::Int(i) => Ok(Expr::Lit(Value::Int(*i))),
+        AstExpr::Float(f) => Ok(Expr::Lit(Value::Float(*f))),
+        AstExpr::Str(s) => Ok(Expr::Lit(Value::Str(s.clone()))),
+        AstExpr::Null => Ok(Expr::Lit(Value::Null)),
+        AstExpr::CurrentTimestamp => Ok(Expr::Lit(Value::Int(ctx.current_timestamp))),
+        AstExpr::Bin(op, l, r) => {
+            Ok(Expr::bin(*op, bind(ctx, l, cols)?, bind(ctx, r, cols)?))
+        }
+        AstExpr::Neg(x) => Ok(Expr::Un(UnOp::Neg, Box::new(bind(ctx, x, cols)?))),
+        AstExpr::Not(x) => Ok(Expr::Un(UnOp::Not, Box::new(bind(ctx, x, cols)?))),
+        AstExpr::IsNull { expr, negated } => {
+            Ok(Expr::IsNull(Box::new(bind(ctx, expr, cols)?), *negated))
+        }
+        AstExpr::InList { expr, list, negated } => {
+            let bound = bind(ctx, expr, cols)?;
+            let mut vals = Vec::with_capacity(list.len());
+            for item in list {
+                let le = bind(ctx, item, &[])?;
+                vals.push(le.eval(&vec![])?);
+            }
+            Ok(Expr::InList(Box::new(bound), vals, *negated))
+        }
+        AstExpr::InSubquery { expr, query, negated } => {
+            let bound = bind(ctx, expr, cols)?;
+            let rel = run_select(ctx, query)?;
+            if rel.cols.len() != 1 {
+                return Err(DbError::Binding(
+                    "IN subquery must produce exactly one column".into(),
+                ));
+            }
+            let vals: Vec<Value> =
+                rel.rows.into_iter().map(|mut r| r.remove(0)).collect();
+            Ok(Expr::InList(Box::new(bound), vals, *negated))
+        }
+        AstExpr::ScalarSubquery(query) => {
+            let rel = run_select(ctx, query)?;
+            if rel.cols.len() != 1 {
+                return Err(DbError::Binding(
+                    "scalar subquery must produce exactly one column".into(),
+                ));
+            }
+            let v = match rel.rows.len() {
+                0 => Value::Null,
+                1 => rel.rows[0][0].clone(),
+                n => {
+                    return Err(DbError::Binding(format!(
+                        "scalar subquery produced {n} rows"
+                    )))
+                }
+            };
+            Ok(Expr::Lit(v))
+        }
+        AstExpr::Call { name, args, star } => {
+            if *star || AggKind::parse(name).is_some() {
+                return Err(DbError::Binding(format!(
+                    "aggregate {name}() is not allowed in this context"
+                )));
+            }
+            let f = Func::parse(name)
+                .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
+            let bound: Vec<Expr> =
+                args.iter().map(|a| bind(ctx, a, cols)).collect::<DbResult<_>>()?;
+            Ok(Expr::Call(f, bound))
+        }
+    }
+}
+
+fn resolve_col(cols: &[BoundCol], qualifier: Option<&str>, name: &str) -> DbResult<usize> {
+    let hits: Vec<usize> = cols
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            c.name == name
+                && match qualifier {
+                    Some(q) => c.qualifier.as_deref() == Some(q),
+                    None => true,
+                }
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match hits.as_slice() {
+        [i] => Ok(*i),
+        [] => Err(DbError::Binding(format!(
+            "unknown column {}{name} (available: {})",
+            qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+            cols.iter()
+                .map(|c| match &c.qualifier {
+                    Some(q) => format!("{q}.{}", c.name),
+                    None => c.name.clone(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
+        // Same-named columns from a self-join: first match wins, like the
+        // paper's DB2 queries that rely on unambiguous names.
+        many => Ok(many[0]),
+    }
+}
+
+/// Can `e` be fully bound against `cols`? (No side effects.)
+fn bindable(e: &AstExpr, cols: &[BoundCol]) -> bool {
+    match e {
+        AstExpr::Column { qualifier, name } => {
+            resolve_col(cols, qualifier.as_deref(), name).is_ok()
+        }
+        AstExpr::Int(_)
+        | AstExpr::Float(_)
+        | AstExpr::Str(_)
+        | AstExpr::Null
+        | AstExpr::CurrentTimestamp => true,
+        AstExpr::Bin(_, l, r) => bindable(l, cols) && bindable(r, cols),
+        AstExpr::Neg(x) | AstExpr::Not(x) => bindable(x, cols),
+        AstExpr::IsNull { expr, .. } => bindable(expr, cols),
+        AstExpr::InList { expr, .. } => bindable(expr, cols),
+        AstExpr::InSubquery { expr, .. } => bindable(expr, cols),
+        AstExpr::ScalarSubquery(_) => true,
+        AstExpr::Call { name, args, .. } => {
+            AggKind::parse(name).is_none() && args.iter().all(|a| bindable(a, cols))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- select
+
+/// Run a SELECT (CTE scope handled here).
+pub fn run_select(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation> {
+    let saved = ctx.ctes.clone();
+    let result = (|| {
+        for cte in &sel.ctes {
+            let mut rel = run_select(ctx, &cte.query)?;
+            if !cte.cols.is_empty() {
+                if cte.cols.len() != rel.cols.len() {
+                    return Err(DbError::Binding(format!(
+                        "CTE {} declares {} columns but query produces {}",
+                        cte.name,
+                        cte.cols.len(),
+                        rel.cols.len()
+                    )));
+                }
+                rel.cols = cte
+                    .cols
+                    .iter()
+                    .map(|n| BoundCol { qualifier: Some(cte.name.clone()), name: n.clone() })
+                    .collect();
+            } else {
+                for c in &mut rel.cols {
+                    c.qualifier = Some(cte.name.clone());
+                }
+            }
+            ctx.ctes.insert(cte.name.clone(), Rc::new(rel));
+        }
+        run_select_body(ctx, sel)
+    })();
+    ctx.ctes = saved;
+    result
+}
+
+fn load_source(ctx: &mut SqlCtx<'_>, item: &FromItem) -> DbResult<Relation> {
+    let binding = item.binding_name().to_ascii_lowercase();
+    if let Some(rel) = ctx.ctes.get(&item.table) {
+        let mut r = (**rel).clone();
+        for c in &mut r.cols {
+            c.qualifier = Some(binding.clone());
+        }
+        return Ok(r);
+    }
+    let tid = ctx.catalog.table_id(&item.table)?;
+    let cols: Vec<BoundCol> = ctx
+        .catalog
+        .table(tid)
+        .schema
+        .columns
+        .iter()
+        .map(|c| BoundCol { qualifier: Some(binding.clone()), name: c.name.clone() })
+        .collect();
+    let rows: Vec<Row> = ctx
+        .catalog
+        .scan_table(ctx.pool, tid)?
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    Ok(Relation { cols, rows })
+}
+
+/// Extract equi-join key pairs from `conjuncts` connecting `left` and
+/// `right` bindings. Returns (used conjunct indexes, left cols, right cols).
+fn equi_keys(
+    conjuncts: &[AstExpr],
+    left: &[BoundCol],
+    right: &[BoundCol],
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut used = Vec::new();
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let AstExpr::Bin(BinOp::Eq, a, b) = c {
+            let try_pair = |x: &AstExpr, y: &AstExpr| -> Option<(usize, usize)> {
+                let (xq, xn) = match x {
+                    AstExpr::Column { qualifier, name } => (qualifier.as_deref(), name),
+                    _ => return None,
+                };
+                let (yq, yn) = match y {
+                    AstExpr::Column { qualifier, name } => (qualifier.as_deref(), name),
+                    _ => return None,
+                };
+                let li = resolve_col(left, xq, xn).ok()?;
+                // x must NOT be resolvable on the right under its qualifier,
+                // unless it is qualified and clearly belongs to the left.
+                let rj = resolve_col(right, yq, yn).ok()?;
+                if resolve_col(right, xq, xn).is_ok() && xq.is_none() {
+                    return None; // ambiguous side
+                }
+                if resolve_col(left, yq, yn).is_ok() && yq.is_none() {
+                    return None;
+                }
+                Some((li, rj))
+            };
+            if let Some((li, rj)) = try_pair(a, b).or_else(|| try_pair(b, a)) {
+                used.push(i);
+                lk.push(li);
+                rk.push(rj);
+            }
+        }
+    }
+    (used, lk, rk)
+}
+
+fn join_relations(
+    ctx: &mut SqlCtx<'_>,
+    left: Relation,
+    right: Relation,
+    lk: &[usize],
+    rk: &[usize],
+    outer: bool,
+) -> DbResult<Relation> {
+    let cols: Vec<BoundCol> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
+    let budget = ctx.sort_budget_rows;
+    let lkeys: Vec<SortKey> = lk.iter().map(|&i| SortKey::asc(i)).collect();
+    let rkeys: Vec<SortKey> = rk.iter().map(|&i| SortKey::asc(i)).collect();
+    let ls = external_sort(ctx.pool, left.rows, &lkeys, budget)?;
+    let rs = external_sort(ctx.pool, right.rows, &rkeys, budget)?;
+    let rows = if outer {
+        merge_join_left_outer(&ls, &rs, lk, rk, rs.first().map_or(0, Vec::len))?
+    } else {
+        merge_join_inner(&ls, &rs, lk, rk)?
+    };
+    Ok(Relation { cols, rows })
+}
+
+fn filter_rel(ctx: &mut SqlCtx<'_>, rel: &mut Relation, pred: &AstExpr) -> DbResult<()> {
+    let e = bind(ctx, pred, &rel.cols)?;
+    let mut kept = Vec::with_capacity(rel.rows.len());
+    for row in rel.rows.drain(..) {
+        if e.eval(&row)?.is_truthy() {
+            kept.push(row);
+        }
+    }
+    rel.rows = kept;
+    Ok(())
+}
+
+fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation> {
+    // ----- FROM + WHERE (join graph) -----
+    let mut where_conjuncts: Vec<AstExpr> = sel
+        .where_
+        .clone()
+        .map(AstExpr::conjuncts)
+        .unwrap_or_default();
+    let mut consumed = vec![false; where_conjuncts.len()];
+
+    let mut acc: Relation = if sel.from.is_empty() {
+        Relation { cols: vec![], rows: vec![vec![]] }
+    } else {
+        load_source(ctx, &sel.from[0].item)?
+    };
+
+    // Pending comma-joined sources with single-source pushdown applied.
+    let mut pending: Vec<Relation> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let apply_pushdown = |ctx: &mut SqlCtx<'_>,
+                              rel: &mut Relation,
+                              conjs: &mut Vec<AstExpr>,
+                              consumed: &mut Vec<bool>|
+     -> DbResult<()> {
+        for (i, c) in conjs.iter().enumerate() {
+            if !consumed[i] && bindable(c, &rel.cols) {
+                consumed[i] = true;
+                filter_rel(ctx, rel, c)?;
+            }
+        }
+        Ok(())
+    };
+    apply_pushdown(ctx, &mut acc, &mut where_conjuncts, &mut consumed)?;
+
+    for fc in sel.from.iter().skip(1) {
+        match fc.kind {
+            JoinKind::Cross => {
+                let mut rel = load_source(ctx, &fc.item)?;
+                apply_pushdown(ctx, &mut rel, &mut where_conjuncts, &mut consumed)?;
+                pending.push(rel);
+            }
+            JoinKind::Inner | JoinKind::LeftOuter => {
+                let mut rel = load_source(ctx, &fc.item)?;
+                if fc.kind == JoinKind::Inner {
+                    apply_pushdown(ctx, &mut rel, &mut where_conjuncts, &mut consumed)?;
+                }
+                let on = fc.on.clone().ok_or_else(|| {
+                    DbError::Binding("JOIN requires an ON predicate".into())
+                })?;
+                let on_conj = on.clone().conjuncts();
+                let (used, lk, rk) = equi_keys(&on_conj, &acc.cols, &rel.cols);
+                if used.len() == on_conj.len() && !lk.is_empty() {
+                    acc = join_relations(ctx, acc, rel, &lk, &rk, fc.kind == JoinKind::LeftOuter)?;
+                } else {
+                    // Non-equi ON: nested loop over the concatenation.
+                    let cols: Vec<BoundCol> =
+                        acc.cols.iter().chain(rel.cols.iter()).cloned().collect();
+                    let pred = bind(ctx, &on, &cols)?;
+                    let rows =
+                        nested_loop_join(&acc.rows, &rel.rows, &pred, fc.kind == JoinKind::LeftOuter)?;
+                    acc = Relation { cols, rows };
+                }
+            }
+        }
+    }
+
+    // Greedily join pending comma sources using WHERE equi conjuncts.
+    // (pending index, consumed conjunct ids, left keys, right keys)
+    type JoinChoice = (usize, Vec<usize>, Vec<usize>, Vec<usize>);
+    while !pending.is_empty() {
+        let mut chosen: Option<JoinChoice> = None;
+        let unconsumed: Vec<AstExpr> = where_conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed[*i])
+            .map(|(_, c)| c.clone())
+            .collect();
+        let unconsumed_idx: Vec<usize> =
+            (0..where_conjuncts.len()).filter(|i| !consumed[*i]).collect();
+        for (pi, rel) in pending.iter().enumerate() {
+            let (used, lk, rk) = equi_keys(&unconsumed, &acc.cols, &rel.cols);
+            if !lk.is_empty() {
+                let global_used: Vec<usize> =
+                    used.iter().map(|&u| unconsumed_idx[u]).collect();
+                chosen = Some((pi, global_used, lk, rk));
+                break;
+            }
+        }
+        match chosen {
+            Some((pi, used, lk, rk)) => {
+                let rel = pending.remove(pi);
+                for u in used {
+                    consumed[u] = true;
+                }
+                acc = join_relations(ctx, acc, rel, &lk, &rk, false)?;
+            }
+            None => {
+                // True cartesian product (small dimension tables only, e.g.
+                // DOCLEN × TAXONOMY in Figure 3).
+                let rel = pending.remove(0);
+                let cols: Vec<BoundCol> =
+                    acc.cols.iter().chain(rel.cols.iter()).cloned().collect();
+                let pred = Expr::Lit(Value::Int(1));
+                let rows = nested_loop_join(&acc.rows, &rel.rows, &pred, false)?;
+                acc = Relation { cols, rows };
+            }
+        }
+    }
+
+    // Residual WHERE conjuncts.
+    for i in 0..where_conjuncts.len() {
+        if !consumed[i] {
+            let c = where_conjuncts[i].clone();
+            filter_rel(ctx, &mut acc, &c)?;
+        }
+    }
+
+    // ----- aggregation or plain projection -----
+    let has_agg = !sel.group_by.is_empty()
+        || sel.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.has_aggregate(),
+            Projection::Star => false,
+        });
+
+    let aliases: Vec<(Option<String>, AstExpr)> = sel
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Expr { expr, alias } => Some((alias.clone(), expr.clone())),
+            Projection::Star => None,
+        })
+        .collect();
+
+    let (mut rows, proj_exprs, out_cols) = if has_agg {
+        // Bind group exprs and collect aggregates from projections.
+        let mut aggs: Vec<AggCall> = Vec::new();
+        let group_bound: Vec<Expr> = sel
+            .group_by
+            .iter()
+            .map(|g| bind(ctx, g, &acc.cols))
+            .collect::<DbResult<_>>()?;
+        let mut proj_exprs = Vec::new();
+        let mut out_cols = Vec::new();
+        for (i, p) in sel.projections.iter().enumerate() {
+            match p {
+                Projection::Star => {
+                    return Err(DbError::Binding(
+                        "SELECT * is not allowed with GROUP BY/aggregates".into(),
+                    ))
+                }
+                Projection::Expr { expr, alias } => {
+                    let e = rewrite_agg(ctx, expr, &sel.group_by, &acc.cols, &mut aggs)?;
+                    proj_exprs.push(e);
+                    out_cols.push(BoundCol {
+                        qualifier: None,
+                        name: output_name(expr, alias.as_ref(), i),
+                    });
+                }
+            }
+        }
+        // ORDER BY binding in aggregate context.
+        let order_keys: Vec<SortKey> = sel
+            .order_by
+            .iter()
+            .map(|(e, desc)| {
+                let target = dealias(e, &aliases);
+                let bound = rewrite_agg(ctx, &target, &sel.group_by, &acc.cols, &mut aggs)?;
+                Ok(SortKey { expr: bound, desc: *desc })
+            })
+            .collect::<DbResult<_>>()?;
+        let agg_rows = aggregate(&acc.rows, &group_bound, &aggs)?;
+        let sorted = if order_keys.is_empty() {
+            agg_rows
+        } else {
+            external_sort(ctx.pool, agg_rows, &order_keys, ctx.sort_budget_rows)?
+        };
+        (sorted, proj_exprs, out_cols)
+    } else {
+        // Plain projection; ORDER BY binds against the input (aliases
+        // resolve to their defining expressions).
+        let order_keys: Vec<SortKey> = sel
+            .order_by
+            .iter()
+            .map(|(e, desc)| {
+                let target = dealias(e, &aliases);
+                Ok(SortKey { expr: bind(ctx, &target, &acc.cols)?, desc: *desc })
+            })
+            .collect::<DbResult<_>>()?;
+        let sorted = if order_keys.is_empty() {
+            acc.rows
+        } else {
+            external_sort(ctx.pool, acc.rows, &order_keys, ctx.sort_budget_rows)?
+        };
+        let mut proj_exprs = Vec::new();
+        let mut out_cols = Vec::new();
+        for (i, p) in sel.projections.iter().enumerate() {
+            match p {
+                Projection::Star => {
+                    for (j, c) in acc.cols.iter().enumerate() {
+                        proj_exprs.push(Expr::Col(j));
+                        out_cols.push(c.clone());
+                    }
+                }
+                Projection::Expr { expr, alias } => {
+                    proj_exprs.push(bind(ctx, expr, &acc.cols)?);
+                    out_cols.push(BoundCol {
+                        qualifier: None,
+                        name: output_name(expr, alias.as_ref(), i),
+                    });
+                }
+            }
+        }
+        (sorted, proj_exprs, out_cols)
+    };
+
+    if let Some(n) = sel.limit {
+        rows.truncate(n as usize);
+    }
+
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(proj_exprs.len());
+        for e in &proj_exprs {
+            out.push(e.eval(row)?);
+        }
+        out_rows.push(out);
+    }
+
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out_rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    Ok(Relation { cols: out_cols, rows: out_rows })
+}
+
+/// Replace a bare column that names a projection alias with the projection's
+/// defining expression (ORDER BY `cnt` where `cnt` aliases `count(oid)`).
+fn dealias(e: &AstExpr, aliases: &[(Option<String>, AstExpr)]) -> AstExpr {
+    if let AstExpr::Column { qualifier: None, name } = e {
+        for (alias, def) in aliases {
+            if alias.as_deref() == Some(name.as_str()) {
+                return def.clone();
+            }
+        }
+    }
+    e.clone()
+}
+
+fn output_name(expr: &AstExpr, alias: Option<&String>, i: usize) -> String {
+    if let Some(a) = alias {
+        return a.clone();
+    }
+    match expr {
+        AstExpr::Column { name, .. } => name.clone(),
+        AstExpr::Call { name, .. } => name.clone(),
+        _ => format!("col{i}"),
+    }
+}
+
+/// Loose structural equality used to match projections against GROUP BY
+/// expressions: qualifiers may be omitted on one side.
+fn ast_eq_loose(a: &AstExpr, b: &AstExpr) -> bool {
+    match (a, b) {
+        (
+            AstExpr::Column { qualifier: qa, name: na },
+            AstExpr::Column { qualifier: qb, name: nb },
+        ) => na == nb && (qa == qb || qa.is_none() || qb.is_none()),
+        (AstExpr::Bin(oa, la, ra), AstExpr::Bin(ob, lb, rb)) => {
+            oa == ob && ast_eq_loose(la, lb) && ast_eq_loose(ra, rb)
+        }
+        (AstExpr::Neg(xa), AstExpr::Neg(xb)) | (AstExpr::Not(xa), AstExpr::Not(xb)) => {
+            ast_eq_loose(xa, xb)
+        }
+        (
+            AstExpr::Call { name: na, args: aa, star: sa },
+            AstExpr::Call { name: nb, args: ab, star: sb },
+        ) => {
+            na == nb
+                && sa == sb
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| ast_eq_loose(x, y))
+        }
+        _ => a == b,
+    }
+}
+
+/// Rewrite a projection/order expression in aggregate context into an
+/// expression over `[group values ++ aggregate results]`.
+fn rewrite_agg(
+    ctx: &mut SqlCtx<'_>,
+    e: &AstExpr,
+    group_by: &[AstExpr],
+    input: &[BoundCol],
+    aggs: &mut Vec<AggCall>,
+) -> DbResult<Expr> {
+    // Whole expression equals a group expression?
+    for (i, g) in group_by.iter().enumerate() {
+        if ast_eq_loose(e, g) {
+            return Ok(Expr::Col(i));
+        }
+    }
+    match e {
+        AstExpr::Call { name, args, star } => {
+            if let Some(kind) = AggKind::parse(name) {
+                let kind = if *star { AggKind::CountStar } else { kind };
+                let arg = if *star {
+                    Expr::Lit(Value::Int(1))
+                } else {
+                    if args.len() != 1 {
+                        return Err(DbError::Binding(format!(
+                            "{name}() takes exactly one argument"
+                        )));
+                    }
+                    bind(ctx, &args[0], input)?
+                };
+                let idx = group_by.len() + aggs.len();
+                aggs.push(AggCall { kind, arg });
+                return Ok(Expr::Col(idx));
+            }
+            let f = Func::parse(name)
+                .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
+            let rewritten: Vec<Expr> = args
+                .iter()
+                .map(|a| rewrite_agg(ctx, a, group_by, input, aggs))
+                .collect::<DbResult<_>>()?;
+            Ok(Expr::Call(f, rewritten))
+        }
+        AstExpr::Bin(op, l, r) => Ok(Expr::bin(
+            *op,
+            rewrite_agg(ctx, l, group_by, input, aggs)?,
+            rewrite_agg(ctx, r, group_by, input, aggs)?,
+        )),
+        AstExpr::Neg(x) => Ok(Expr::Un(
+            UnOp::Neg,
+            Box::new(rewrite_agg(ctx, x, group_by, input, aggs)?),
+        )),
+        AstExpr::Not(x) => Ok(Expr::Un(
+            UnOp::Not,
+            Box::new(rewrite_agg(ctx, x, group_by, input, aggs)?),
+        )),
+        AstExpr::Int(_)
+        | AstExpr::Float(_)
+        | AstExpr::Str(_)
+        | AstExpr::Null
+        | AstExpr::CurrentTimestamp
+        | AstExpr::ScalarSubquery(_) => bind(ctx, e, &[]),
+        AstExpr::Column { qualifier, name } => Err(DbError::Binding(format!(
+            "column {}{name} must appear in GROUP BY or inside an aggregate",
+            qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+        ))),
+        other => Err(DbError::Binding(format!(
+            "unsupported expression in aggregate context: {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------- DML
+
+fn run_insert(
+    ctx: &mut SqlCtx<'_>,
+    table: &str,
+    cols: &[String],
+    source: &InsertSource,
+) -> DbResult<StmtResult> {
+    let tid = ctx.catalog.table_id(table)?;
+    let arity = ctx.catalog.table(tid).schema.arity();
+    let positions: Vec<usize> = if cols.is_empty() {
+        (0..arity).collect()
+    } else {
+        cols.iter()
+            .map(|c| {
+                ctx.catalog
+                    .table(tid)
+                    .schema
+                    .index_of(c)
+                    .ok_or_else(|| DbError::Binding(format!("no column {c} in {table}")))
+            })
+            .collect::<DbResult<_>>()?
+    };
+    let source_rows: Vec<Row> = match source {
+        InsertSource::Values(rows) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let mut row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    let bound = bind(ctx, e, &[])?;
+                    row.push(bound.eval(&vec![])?);
+                }
+                out.push(row);
+            }
+            out
+        }
+        InsertSource::Select(q) => run_select(ctx, q)?.rows,
+    };
+    let mut n = 0u64;
+    for src in source_rows {
+        if src.len() != positions.len() {
+            return Err(DbError::Schema(format!(
+                "INSERT provides {} values for {} columns",
+                src.len(),
+                positions.len()
+            )));
+        }
+        let mut row = vec![Value::Null; arity];
+        for (v, &p) in src.into_iter().zip(&positions) {
+            row[p] = v;
+        }
+        ctx.catalog.insert_row(ctx.pool, tid, row)?;
+        n += 1;
+    }
+    Ok(StmtResult::Affected(n))
+}
+
+fn table_cols(catalog: &Catalog, tid: crate::catalog::TableId, name: &str) -> Vec<BoundCol> {
+    catalog
+        .table(tid)
+        .schema
+        .columns
+        .iter()
+        .map(|c| BoundCol { qualifier: Some(name.to_owned()), name: c.name.clone() })
+        .collect()
+}
+
+fn run_update(
+    ctx: &mut SqlCtx<'_>,
+    table: &str,
+    sets: &[(String, AstExpr)],
+    where_: Option<&AstExpr>,
+) -> DbResult<StmtResult> {
+    let tid = ctx.catalog.table_id(table)?;
+    let cols = table_cols(ctx.catalog, tid, table);
+    let set_bound: Vec<(usize, Expr)> = sets
+        .iter()
+        .map(|(c, e)| {
+            let pos = ctx
+                .catalog
+                .table(tid)
+                .schema
+                .index_of(c)
+                .ok_or_else(|| DbError::Binding(format!("no column {c} in {table}")))?;
+            Ok((pos, bind(ctx, e, &cols)?))
+        })
+        .collect::<DbResult<_>>()?;
+    let pred = where_.map(|w| bind(ctx, w, &cols)).transpose()?;
+    let all = ctx.catalog.scan_table(ctx.pool, tid)?;
+    let mut updates = Vec::new();
+    for (rid, row) in all {
+        let hit = match &pred {
+            Some(p) => p.eval(&row)?.is_truthy(),
+            None => true,
+        };
+        if hit {
+            let mut new_row = row.clone();
+            for (pos, e) in &set_bound {
+                new_row[*pos] = e.eval(&row)?;
+            }
+            updates.push((rid, new_row));
+        }
+    }
+    let n = updates.len() as u64;
+    for (rid, new_row) in updates {
+        ctx.catalog.update_row(ctx.pool, tid, rid, new_row)?;
+    }
+    Ok(StmtResult::Affected(n))
+}
+
+fn run_delete(
+    ctx: &mut SqlCtx<'_>,
+    table: &str,
+    where_: Option<&AstExpr>,
+) -> DbResult<StmtResult> {
+    let tid = ctx.catalog.table_id(table)?;
+    let cols = table_cols(ctx.catalog, tid, table);
+    let pred = where_.map(|w| bind(ctx, w, &cols)).transpose()?;
+    let all = ctx.catalog.scan_table(ctx.pool, tid)?;
+    let mut victims = Vec::new();
+    for (rid, row) in all {
+        let hit = match &pred {
+            Some(p) => p.eval(&row)?.is_truthy(),
+            None => true,
+        };
+        if hit {
+            victims.push(rid);
+        }
+    }
+    let n = victims.len() as u64;
+    for rid in victims {
+        ctx.catalog.delete_row(ctx.pool, tid, rid)?;
+    }
+    Ok(StmtResult::Affected(n))
+}

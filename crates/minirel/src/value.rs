@@ -1,0 +1,434 @@
+//! SQL values: typed cells with total ordering and two byte encodings —
+//! a row codec (compact, for heap pages) and a *memcomparable* key codec
+//! (order-preserving, for B+tree keys).
+
+use crate::error::{DbError, DbResult};
+use bytes::{Buf, BufMut};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One cell of a row.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Sorts before everything; equal to itself for grouping.
+    Null,
+    /// 64-bit signed integer (holds `oid`s, `tid`s, counters, timestamps).
+    Int(i64),
+    /// 64-bit float (scores, relevance, log-probabilities).
+    Float(f64),
+    /// UTF-8 string (URLs, topic names).
+    Str(String),
+}
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int promoted to f64); `None` for Null/Str.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; floats are *not* silently truncated.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL truthiness: non-zero numbers are true; Null is false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Total order used by ORDER BY, sort operators, and key encoding:
+    /// `Null < numbers (Int/Float compared numerically) < strings`.
+    /// NaN sorts after all other floats.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+
+    // ----- row codec (compact, self-delimiting) -----
+
+    /// Append the compact row encoding of `self` to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Value::Null => buf.put_u8(0),
+            Value::Int(i) => {
+                buf.put_u8(1);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(2);
+                buf.put_f64_le(*f);
+            }
+            Value::Str(s) => {
+                buf.put_u8(3);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Decode one value from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> DbResult<Value> {
+        if buf.is_empty() {
+            return Err(DbError::Page("truncated value".into()));
+        }
+        let tag = buf.get_u8();
+        Ok(match tag {
+            0 => Value::Null,
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(DbError::Page("truncated int".into()));
+                }
+                Value::Int(buf.get_i64_le())
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(DbError::Page("truncated float".into()));
+                }
+                Value::Float(buf.get_f64_le())
+            }
+            3 => {
+                if buf.remaining() < 4 {
+                    return Err(DbError::Page("truncated string length".into()));
+                }
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n {
+                    return Err(DbError::Page("truncated string body".into()));
+                }
+                let s = std::str::from_utf8(&buf[..n])
+                    .map_err(|_| DbError::Page("invalid utf8 in string".into()))?
+                    .to_owned();
+                buf.advance(n);
+                Value::Str(s)
+            }
+            t => return Err(DbError::Page(format!("unknown value tag {t}"))),
+        })
+    }
+
+    // ----- key codec (memcomparable) -----
+
+    /// Append an order-preserving encoding: comparing encoded byte strings
+    /// with `memcmp` equals [`Value::total_cmp`] on the originals *within a
+    /// homogeneously-typed column* (which is what schema validation
+    /// guarantees for every indexed column — ints stored into float columns
+    /// are widened by [`crate::schema::Schema::check_row`]). Strings escape
+    /// `0x00` so composite keys stay self-delimiting.
+    pub fn encode_key(&self, buf: &mut Vec<u8>) {
+        match self {
+            Value::Null => buf.put_u8(0x01),
+            Value::Int(i) => {
+                buf.put_u8(0x02);
+                // Flip the sign bit so two's-complement sorts unsigned.
+                buf.put_u64(*i as u64 ^ (1u64 << 63));
+            }
+            Value::Float(f) => {
+                buf.put_u8(0x03);
+                buf.put_u64(f64_to_ordered_bits(*f));
+            }
+            Value::Str(s) => {
+                buf.put_u8(0x04);
+                for &b in s.as_bytes() {
+                    if b == 0x00 {
+                        buf.put_u8(0x00);
+                        buf.put_u8(0xFF);
+                    } else {
+                        buf.put_u8(b);
+                    }
+                }
+                buf.put_u8(0x00);
+                buf.put_u8(0x00);
+            }
+        }
+    }
+}
+
+/// Map f64 bit patterns to u64s whose unsigned order equals `total_cmp`.
+fn f64_to_ordered_bits(f: f64) -> u64 {
+    let bits = f.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1u64 << 63) // positive: set sign bit
+    } else {
+        !bits // negative: flip all
+    }
+}
+
+/// Encode a composite key.
+pub fn encode_composite_key(vals: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 9);
+    for v in vals {
+        v.encode_key(&mut out);
+    }
+    out
+}
+
+/// A row is just a boxed sequence of values.
+pub type Row = Vec<Value>;
+
+/// Encode a whole row with the compact codec.
+pub fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(row.len() * 10);
+    buf.put_u16_le(row.len() as u16);
+    for v in row {
+        v.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decode a whole row.
+pub fn decode_row(mut bytes: &[u8]) -> DbResult<Row> {
+    if bytes.len() < 2 {
+        return Err(DbError::Page("truncated row header".into()));
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(Value::decode(&mut bytes)?);
+    }
+    Ok(row)
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) => {
+                // Ints and equal-valued floats must hash alike because they
+                // compare equal (used as hash-join/group keys).
+                state.write_u8(1);
+                state.write_u64(f64_to_ordered_bits(*i as f64));
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                state.write_u64(f64_to_ordered_bits(*f));
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut s = buf.as_slice();
+        Value::decode(&mut s).unwrap()
+    }
+
+    #[test]
+    fn row_codec_round_trips() {
+        let row = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Str("http://example.org/?q=bike".into()),
+        ];
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+        for v in &row {
+            assert_eq!(&roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_row(&[]).is_err());
+        assert!(decode_row(&[5, 0, 9]).is_err()); // bogus tag 9
+        let mut buf = encode_row(&[Value::Str("hello".into())]);
+        buf.truncate(buf.len() - 2); // chop string body
+        assert!(decode_row(&buf).is_err());
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let vals = [
+            Value::Null,
+            Value::Float(f64::NEG_INFINITY),
+            Value::Int(-5),
+            Value::Float(-1.5),
+            Value::Int(0),
+            Value::Float(0.5),
+            Value::Int(1),
+            Value::Float(f64::INFINITY),
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        use std::hash::BuildHasher;
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        let b = std::collections::hash_map::RandomState::new();
+        let h = |v: &Value| {
+            
+            
+            b.hash_one(v)
+        };
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn key_encoding_preserves_order_per_type() {
+        // Key columns are homogeneously typed (schema validation widens
+        // ints in float columns), so order preservation is asserted within
+        // each type, with Null sorting below everything.
+        let groups: Vec<Vec<Value>> = vec![
+            vec![
+                Value::Null,
+                Value::Int(i64::MIN),
+                Value::Int(-1),
+                Value::Int(0),
+                Value::Int(7),
+                Value::Int(i64::MAX),
+            ],
+            vec![
+                Value::Null,
+                Value::Float(f64::NEG_INFINITY),
+                Value::Float(-1e300),
+                Value::Float(-0.0),
+                Value::Float(3.25),
+                Value::Float(f64::INFINITY),
+            ],
+            vec![
+                Value::Null,
+                Value::Str(String::new()),
+                Value::Str("a\u{0}b".into()),
+                Value::Str("ab".into()),
+                Value::Str("b".into()),
+            ],
+        ];
+        for vals in groups {
+            let keys: Vec<Vec<u8>> = vals
+                .iter()
+                .map(|v| {
+                    let mut b = Vec::new();
+                    v.encode_key(&mut b);
+                    b
+                })
+                .collect();
+            for i in 0..keys.len() - 1 {
+                assert!(
+                    keys[i] < keys[i + 1],
+                    "key order broken between {} and {}",
+                    vals[i],
+                    vals[i + 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composite_keys_are_prefix_free() {
+        // ("a", 1) must not collide with ("a\0...",) style confusions.
+        let k1 = encode_composite_key(&[Value::Str("a".into()), Value::Int(1)]);
+        let k2 = encode_composite_key(&[Value::Str("a\u{0}".into()), Value::Int(1)]);
+        let k3 = encode_composite_key(&[Value::Str("a".into()), Value::Int(2)]);
+        assert!(k1 < k2);
+        assert!(k1 < k3);
+        assert_ne!(k2, k3);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(2).is_truthy());
+        assert!(Value::Float(0.1).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+    }
+}

@@ -1,0 +1,164 @@
+//! SQL corner cases beyond the paper's queries: alias resolution, NULL
+//! propagation through aggregates and outer joins, error surfacing.
+
+use minirel::{Database, Value};
+
+fn db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute("create table t (a int, b float, s text)").unwrap();
+    db.execute(
+        "insert into t values (1, 0.5, 'x'), (2, 1.5, 'y'), (3, 2.5, 'x'), (4, null, null)",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn order_by_output_alias() {
+    let mut d = db();
+    let rs = d
+        .execute("select s, count(*) cnt from t where s is not null group by s order by cnt desc")
+        .unwrap();
+    assert_eq!(rs.columns, vec!["s", "cnt"]);
+    assert_eq!(rs.rows[0][0], Value::Str("x".into()));
+    assert_eq!(rs.rows[0][1], Value::Int(2));
+}
+
+#[test]
+fn aggregates_skip_nulls() {
+    let mut d = db();
+    let rs = d
+        .execute("select count(*), count(b), sum(b), avg(b), min(b), max(b) from t")
+        .unwrap();
+    let row = &rs.rows[0];
+    assert_eq!(row[0], Value::Int(4));
+    assert_eq!(row[1], Value::Int(3));
+    assert_eq!(row[2], Value::Float(4.5));
+    assert_eq!(row[3], Value::Float(1.5));
+    assert_eq!(row[4], Value::Float(0.5));
+    assert_eq!(row[5], Value::Float(2.5));
+}
+
+#[test]
+fn scalar_subquery_on_empty_result_is_null() {
+    let mut d = db();
+    let rs = d
+        .execute("select (select a from t where a > 100) from t where a = 1")
+        .unwrap();
+    assert!(rs.rows[0][0].is_null());
+}
+
+#[test]
+fn insert_with_column_mapping_defaults_missing_to_null() {
+    let mut d = db();
+    d.execute("insert into t (s, a) values ('z', 9)").unwrap();
+    let rs = d.execute("select a, b, s from t where a = 9").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(9));
+    assert!(rs.rows[0][1].is_null());
+    assert_eq!(rs.rows[0][2], Value::Str("z".into()));
+}
+
+#[test]
+fn insert_from_select() {
+    let mut d = db();
+    d.execute("create table t2 (a int, s text)").unwrap();
+    let rs = d
+        .execute("insert into t2 (a, s) (select a, s from t where s = 'x')")
+        .unwrap();
+    assert_eq!(rs.affected, 2);
+    assert_eq!(
+        d.execute("select count(*) from t2").unwrap().scalar_i64(),
+        Some(2)
+    );
+}
+
+#[test]
+fn division_by_zero_is_an_error_not_a_crash() {
+    let mut d = db();
+    let e = d.execute("select a / 0 from t").unwrap_err();
+    assert!(e.to_string().contains("division by zero"));
+    // The table is untouched afterwards.
+    assert_eq!(d.execute("select count(*) from t").unwrap().scalar_i64(), Some(4));
+}
+
+#[test]
+fn where_on_aggregate_is_rejected() {
+    let mut d = db();
+    assert!(d.execute("select a from t where sum(b) > 1").is_err());
+}
+
+#[test]
+fn group_by_with_null_group_key() {
+    let mut d = db();
+    let rs = d.execute("select s, count(*) from t group by s order by s").unwrap();
+    // NULL forms its own group and sorts first.
+    assert_eq!(rs.rows.len(), 3);
+    assert!(rs.rows[0][0].is_null());
+    assert_eq!(rs.rows[0][1], Value::Int(1));
+}
+
+#[test]
+fn three_way_join_with_mixed_predicates() {
+    let mut d = Database::in_memory();
+    d.execute("create table a (k int, v int)").unwrap();
+    d.execute("create table b (k int, w int)").unwrap();
+    d.execute("create table c (w int, name text)").unwrap();
+    d.execute("insert into a values (1, 10), (2, 20)").unwrap();
+    d.execute("insert into b values (1, 100), (2, 200)").unwrap();
+    d.execute("insert into c values (100, 'hundred'), (300, 'threehundred')").unwrap();
+    let rs = d
+        .execute(
+            "select name from a, b, c \
+             where a.k = b.k and b.w = c.w and v < 15",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Str("hundred".into()));
+}
+
+#[test]
+fn update_on_indexed_column_keeps_index_usable() {
+    let mut d = db();
+    d.execute("create index t_a on t (a)").unwrap();
+    d.execute("update t set a = a + 100 where a <= 2").unwrap();
+    let rs = d.execute("select count(*) from t where a = 101").unwrap();
+    assert_eq!(rs.scalar_i64(), Some(1));
+    let rs = d.execute("select count(*) from t where a = 1").unwrap();
+    assert_eq!(rs.scalar_i64(), Some(0));
+}
+
+#[test]
+fn string_comparison_and_concat() {
+    let mut d = db();
+    let rs = d.execute("select s + '!' from t where s > 'x' order by s").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Str("y!".into()));
+}
+
+#[test]
+fn select_without_from() {
+    let mut d = Database::in_memory();
+    let rs = d.execute("select 1 + 2, 'hi'").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(3), Value::Str("hi".into())]]);
+}
+
+#[test]
+fn cte_shadowing_is_scoped() {
+    let mut d = db();
+    // A CTE named `t` shadows the base table inside the query only.
+    let rs = d
+        .execute("with t(a) as (select 42) select a from t")
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(42)]]);
+    // Outside, the base table is intact.
+    assert_eq!(d.execute("select count(*) from t").unwrap().scalar_i64(), Some(4));
+}
+
+#[test]
+fn not_in_with_nulls_in_probe() {
+    let mut d = db();
+    // a = 4 row: `s` is NULL; NULL NOT IN (...) is false (not an error).
+    let rs = d.execute("select a from t where s not in ('x')").unwrap();
+    let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(got, vec![2]);
+}

@@ -1,0 +1,151 @@
+//! Model-based property tests of the storage primitives: the B+tree
+//! against `BTreeMap`, external sort against `sort`, merge join against
+//! nested loops, and codec round trips.
+
+use minirel::btree::BTree;
+use minirel::buffer::{BufferPool, EvictionPolicy};
+use minirel::disk::DiskManager;
+use minirel::exec::{external_sort, hash_join, merge_join_inner, sort_rows, SortKey};
+use minirel::value::{decode_row, encode_composite_key, encode_row, Row, Value};
+use minirel::Rid;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn pool(frames: usize) -> BufferPool {
+    BufferPool::new(DiskManager::in_memory(), frames, EvictionPolicy::Lru)
+}
+
+/// Random insert/delete ops on (key, rid) pairs.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u32),
+    Delete(i64, u32),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..2i32, 0..50i64, 0..6u32).prop_map(|(kind, k, r)| {
+            if kind == 0 {
+                Op::Insert(k, r)
+            } else {
+                Op::Delete(k, r)
+            }
+        }),
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn btree_matches_btreemap_model(ops in ops_strategy(), frames in 2usize..16) {
+        let mut bp = pool(frames);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        let mut model: BTreeMap<(Vec<u8>, Rid), ()> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, r) => {
+                    let key = encode_composite_key(&[Value::Int(k)]);
+                    let rid = Rid { page: r, slot: 0 };
+                    bt.insert(&mut bp, &key, rid).unwrap();
+                    model.insert((key, rid), ());
+                }
+                Op::Delete(k, r) => {
+                    let key = encode_composite_key(&[Value::Int(k)]);
+                    let rid = Rid { page: r, slot: 0 };
+                    let in_tree = bt.delete(&mut bp, &key, rid).unwrap();
+                    let in_model = model.remove(&(key, rid)).is_some();
+                    prop_assert_eq!(in_tree, in_model);
+                }
+            }
+        }
+        prop_assert_eq!(bt.len() as usize, model.len());
+        bt.validate(&mut bp).unwrap();
+        // Every surviving key is found with the right rid multiset.
+        for k in 0..50i64 {
+            let key = encode_composite_key(&[Value::Int(k)]);
+            let mut got = bt.lookup(&mut bp, &key).unwrap();
+            got.sort();
+            let mut expect: Vec<Rid> = model
+                .keys()
+                .filter(|(mk, _)| *mk == key)
+                .map(|&(_, r)| r)
+                .collect();
+            expect.sort();
+            prop_assert_eq!(got, expect, "key {}", k);
+        }
+    }
+
+    #[test]
+    fn external_sort_equals_std_sort(
+        vals in proptest::collection::vec((any::<i32>(), -1e6..1e6f64), 0..400),
+        budget in 2usize..64,
+    ) {
+        let rows: Vec<Row> = vals
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a as i64), Value::Float(b)])
+            .collect();
+        let keys = [SortKey::asc(0), SortKey::desc(1)];
+        let mut bp = pool(8);
+        let got = external_sort(&mut bp, rows.clone(), &keys, budget).unwrap();
+        let expect = sort_rows(rows, &keys).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn merge_join_equals_hash_join(
+        left in proptest::collection::vec(0..20i64, 0..60),
+        right in proptest::collection::vec(0..20i64, 0..60),
+    ) {
+        let l: Vec<Row> = left.iter().map(|&k| vec![Value::Int(k)]).collect();
+        let r: Vec<Row> = right.iter().map(|&k| vec![Value::Int(k)]).collect();
+        let ls = sort_rows(l.clone(), &[SortKey::asc(0)]).unwrap();
+        let rs = sort_rows(r.clone(), &[SortKey::asc(0)]).unwrap();
+        let mut merged = merge_join_inner(&ls, &rs, &[0], &[0]).unwrap();
+        let mut hashed = hash_join(&l, &r, &[0], &[0], false).unwrap();
+        let key = |row: &Row| row.iter().map(|v| format!("{v}|")).collect::<String>();
+        merged.sort_by_key(|r| key(r));
+        hashed.sort_by_key(|r| key(r));
+        prop_assert_eq!(merged, hashed);
+    }
+
+    #[test]
+    fn row_codec_roundtrips(
+        ints in proptest::collection::vec(any::<i64>(), 0..6),
+        text in "[a-zA-Z0-9 /:.?=-]{0,60}",
+        f in any::<f64>(),
+    ) {
+        let mut row: Row = ints.into_iter().map(Value::Int).collect();
+        row.push(Value::Str(text));
+        if !f.is_nan() {
+            row.push(Value::Float(f));
+        }
+        row.push(Value::Null);
+        let decoded = decode_row(&encode_row(&row)).unwrap();
+        prop_assert_eq!(decoded, row);
+    }
+
+    #[test]
+    fn key_encoding_is_order_preserving_for_ints(a in any::<i64>(), b in any::<i64>()) {
+        let ka = encode_composite_key(&[Value::Int(a)]);
+        let kb = encode_composite_key(&[Value::Int(b)]);
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+    }
+
+    #[test]
+    fn key_encoding_is_order_preserving_for_strings(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let ka = encode_composite_key(&[Value::Str(a.clone())]);
+        let kb = encode_composite_key(&[Value::Str(b.clone())]);
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+    }
+
+    #[test]
+    fn composite_key_order_is_lexicographic(
+        a1 in 0..10i64, a2 in 0..10i64, b1 in 0..10i64, b2 in 0..10i64,
+    ) {
+        let ka = encode_composite_key(&[Value::Int(a1), Value::Int(a2)]);
+        let kb = encode_composite_key(&[Value::Int(b1), Value::Int(b2)]);
+        prop_assert_eq!((a1, a2).cmp(&(b1, b2)), ka.cmp(&kb));
+    }
+}

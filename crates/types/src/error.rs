@@ -1,0 +1,62 @@
+//! Error type shared across the Focus crates.
+
+use std::fmt;
+
+/// Unified error for taxonomy/administration misuse and cross-crate plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FocusError {
+    /// A class id was used that is not present in the taxonomy.
+    UnknownClass(u16),
+    /// Taxonomy structural violation (cycles, second parent, …).
+    InvalidTaxonomy(String),
+    /// The good-set constraint of §1.1 was violated: no good topic may be
+    /// an ancestor of another good topic.
+    NestedGoodTopics { ancestor: u16, descendant: u16 },
+    /// Administration attempted on a frozen (already-trained) taxonomy.
+    Frozen,
+    /// Anything reported by the storage layer.
+    Storage(String),
+    /// A configuration value was out of its legal range.
+    Config(String),
+}
+
+impl fmt::Display for FocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FocusError::UnknownClass(c) => write!(f, "unknown class id {c}"),
+            FocusError::InvalidTaxonomy(m) => write!(f, "invalid taxonomy: {m}"),
+            FocusError::NestedGoodTopics { ancestor, descendant } => write!(
+                f,
+                "good topic {ancestor} is an ancestor of good topic {descendant} \
+                 (forbidden by the problem formulation, §1.1)"
+            ),
+            FocusError::Frozen => write!(f, "taxonomy is frozen after training"),
+            FocusError::Storage(m) => write!(f, "storage error: {m}"),
+            FocusError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FocusError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FocusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FocusError::NestedGoodTopics { ancestor: 3, descendant: 9 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9'));
+        assert!(FocusError::UnknownClass(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(FocusError::Frozen);
+        assert!(e.to_string().contains("frozen"));
+    }
+}

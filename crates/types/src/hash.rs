@@ -1,0 +1,149 @@
+//! A small, fast, deterministic byte hash (FxHash-style multiply-rotate).
+//!
+//! The paper stores terms under 32-bit hash codes and URLs under 64-bit
+//! `oid`s; both must be *stable across runs* so that persisted minirel
+//! tables remain valid. `std::collections::hash_map::DefaultHasher` is not
+//! documented as stable, so we implement the well-known Fx polynomial here
+//! (same construction rustc uses) rather than pull in another dependency.
+
+/// Seed folded into 32-bit term hashes so that `tid` space is not a simple
+/// truncation of `oid` space.
+pub const FX32_SEED: u32 = 0x9e37_79b9;
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// 64-bit Fx hash of a byte string.
+#[inline]
+pub fn fx64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+        h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+    let mut tail: u64 = 0;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    // Fold in the length so that "a" and "a\0" differ.
+    h = (h.rotate_left(5) ^ tail).wrapping_mul(K);
+    (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(K)
+}
+
+/// Combine two 64-bit hashes (used to key `(c0, t)` probes).
+#[inline]
+pub fn fx_combine(a: u64, b: u64) -> u64 {
+    (a.rotate_left(5) ^ b).wrapping_mul(K)
+}
+
+/// A `BuildHasher` for `HashMap`s on hot integer keys. FxHash is weak
+/// against adversarial keys but this system only hashes its own ids.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+/// Streaming hasher implementing [`std::hash::Hasher`] over the Fx
+/// polynomial.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.state = fx_combine(self.state, fx64(bytes));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = fx_combine(self.state, v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hasher};
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        // Not a collision-resistance proof; a smoke test that nearby keys
+        // spread out.
+        let hs: std::collections::HashSet<u64> = (0..10_000u64)
+            .map(|i| fx64(format!("url-{i}").as_bytes()))
+            .collect();
+        assert_eq!(hs.len(), 10_000);
+    }
+
+    #[test]
+    fn length_is_folded_in() {
+        assert_ne!(fx64(b"a"), fx64(b"a\0"));
+        assert_ne!(fx64(b""), fx64(b"\0"));
+    }
+
+    #[test]
+    fn hasher_streaming_matches_for_same_writes() {
+        let b = FxBuildHasher;
+        let mut h1 = b.build_hasher();
+        let mut h2 = b.build_hasher();
+        h1.write_u64(77);
+        h2.write_u64(77);
+        assert_eq!(h1.finish(), h2.finish());
+        h1.write_u32(5);
+        h2.write_u32(6);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn fx_map_usable() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * i);
+        }
+        assert_eq!(m[&9], 81);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(fx_combine(1, 2), fx_combine(2, 1));
+    }
+}

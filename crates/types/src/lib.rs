@@ -1,0 +1,21 @@
+//! # focus-types
+//!
+//! Shared vocabulary of the Focus resource-discovery system (VLDB 1999
+//! reproduction): strongly-typed identifiers, the topic taxonomy with the
+//! paper's *good / path / subsumed / null* marking algebra, sparse term
+//! vectors, and the hash functions the paper prescribes (64-bit URL `oid`s,
+//! 32-bit term ids, 16-bit class ids).
+//!
+//! Everything downstream — the synthetic web, the classifier, the distiller,
+//! the crawler, and the relational schemas — speaks these types.
+
+pub mod doc;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod taxonomy;
+
+pub use doc::{Document, TermVec};
+pub use error::{FocusError, Result};
+pub use ids::{ClassId, DocId, Oid, ServerId, TermId};
+pub use taxonomy::{Mark, Taxonomy, TaxonomyNode};

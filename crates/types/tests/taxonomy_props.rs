@@ -1,0 +1,118 @@
+//! Property tests of the taxonomy's marking algebra and structure.
+
+use focus_types::{ClassId, FocusError, Mark, Taxonomy};
+use proptest::prelude::*;
+
+/// Build a random tree: each node's parent is a uniformly random earlier
+/// node (always a valid tree), then apply random good-marks.
+fn tree_strategy() -> impl Strategy<Value = (Taxonomy, Vec<u16>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let parents = proptest::collection::vec(0u16..(n as u16), n - 1);
+        let marks = proptest::collection::vec(0u16..(n as u16), 0..6);
+        (parents, marks).prop_map(move |(parents, marks)| {
+            let mut t = Taxonomy::new("root");
+            for (i, p) in parents.iter().enumerate() {
+                // Parent index must be < current node id (i+1).
+                let parent = ClassId(*p % (i as u16 + 1));
+                t.add_child(parent, format!("n{}", i + 1)).expect("valid parent");
+            }
+            (t, marks)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn marking_preserves_invariants((mut t, marks) in tree_strategy()) {
+        for m in marks {
+            // May legitimately fail (nested goods); both outcomes must
+            // leave the structure valid.
+            match t.mark_good(ClassId(m)) {
+                Ok(()) => {}
+                Err(FocusError::NestedGoodTopics { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            t.validate().unwrap();
+        }
+        // Derived-mark coherence: every good node's proper ancestors are
+        // Path; every good node's proper descendants are Subsumed.
+        for g in t.good_set() {
+            for a in t.ancestors(g) {
+                prop_assert_eq!(t.mark(a), Mark::Path);
+            }
+            for s in t.subtree(g) {
+                if s != g {
+                    prop_assert_eq!(t.mark(s), Mark::Subsumed);
+                }
+            }
+        }
+        // Path nodes are in topological order and unique.
+        let path = t.path_nodes_topological();
+        for w in path.windows(2) {
+            prop_assert!(t.depth(w[0]) <= t.depth(w[1]));
+        }
+        let uniq: std::collections::HashSet<_> = path.iter().collect();
+        prop_assert_eq!(uniq.len(), path.len());
+    }
+
+    #[test]
+    fn unmark_restores_consistency((mut t, marks) in tree_strategy()) {
+        let mut applied = Vec::new();
+        for m in marks {
+            if t.mark_good(ClassId(m)).is_ok() {
+                applied.push(ClassId(m));
+            }
+        }
+        for g in applied {
+            t.unmark_good(g).unwrap();
+            t.validate().unwrap();
+        }
+        // After removing everything: no good/path/subsumed marks remain.
+        for c in t.all().collect::<Vec<_>>() {
+            prop_assert_eq!(t.mark(c), Mark::Null);
+        }
+    }
+
+    #[test]
+    fn ancestor_relation_is_a_partial_order((t, _) in tree_strategy()) {
+        let nodes: Vec<ClassId> = t.all().collect();
+        for &a in nodes.iter().take(12) {
+            // Reflexive.
+            prop_assert!(t.is_ancestor(a, a));
+            // Root is everyone's ancestor.
+            prop_assert!(t.is_ancestor(ClassId::ROOT, a));
+            for &b in nodes.iter().take(12) {
+                // Antisymmetric.
+                if a != b && t.is_ancestor(a, b) {
+                    prop_assert!(!t.is_ancestor(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_partitions_under_children((t, _) in tree_strategy()) {
+        // |subtree(c)| = 1 + Σ |subtree(child)| for every node.
+        for c in t.all().collect::<Vec<_>>() {
+            let direct = t.subtree(c).len();
+            let via_kids: usize =
+                1 + t.children(c).iter().map(|&k| t.subtree(k).len()).sum::<usize>();
+            prop_assert_eq!(direct, via_kids);
+        }
+    }
+
+    #[test]
+    fn hard_focus_agrees_with_good_ancestry((mut t, marks) in tree_strategy()) {
+        for m in marks {
+            let _ = t.mark_good(ClassId(m));
+        }
+        for c in t.all().collect::<Vec<_>>() {
+            let expected = std::iter::once(c)
+                .chain(t.ancestors(c))
+                .any(|x| t.mark(x) == Mark::Good);
+            prop_assert_eq!(t.hard_focus_accepts(c), expected);
+        }
+    }
+}

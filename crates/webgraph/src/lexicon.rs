@@ -1,0 +1,232 @@
+//! Per-topic multinomial term models (the generative model of §2.1.1,
+//! used in reverse: we *generate* documents from θ(c, t)).
+//!
+//! The vocabulary is split into a Zipf-distributed **background** shared by
+//! all topics (stopwords, boilerplate) and per-topic **signature** ranges.
+//! A page about topic `c` draws each term from its own signature with
+//! probability `sig_weight`, from an ancestor's signature with probability
+//! `anc_weight` (topical hierarchy: a mountain-biking page also uses
+//! general cycling vocabulary), and from the background otherwise.
+
+use focus_types::{ClassId, Taxonomy, TermId, TermVec};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Term-model parameters.
+#[derive(Debug, Clone)]
+pub struct LexiconConfig {
+    /// Background vocabulary size.
+    pub background_terms: u32,
+    /// Zipf exponent for the background.
+    pub zipf_s: f64,
+    /// Signature terms per topic.
+    pub signature_terms: u32,
+    /// Probability a token comes from the topic's own signature.
+    pub sig_weight: f64,
+    /// Probability a token comes from an ancestor topic's signature.
+    pub anc_weight: f64,
+}
+
+impl Default for LexiconConfig {
+    fn default() -> Self {
+        LexiconConfig {
+            background_terms: 20_000,
+            zipf_s: 1.07,
+            signature_terms: 120,
+            sig_weight: 0.35,
+            anc_weight: 0.12,
+        }
+    }
+}
+
+/// The term model for one taxonomy.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    cfg: LexiconConfig,
+    /// Cumulative Zipf distribution over background terms.
+    background_cdf: Vec<f64>,
+    num_topics: u16,
+}
+
+impl Lexicon {
+    /// Build the model for `taxonomy`.
+    pub fn new(taxonomy: &Taxonomy, cfg: LexiconConfig) -> Lexicon {
+        let n = cfg.background_terms as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(cfg.zipf_s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Lexicon { cfg, background_cdf: cdf, num_topics: taxonomy.len() as u16 }
+    }
+
+    /// The `j`-th signature term of `topic`. Signature ranges are disjoint
+    /// from the background and from each other.
+    pub fn signature_term(&self, topic: ClassId, j: u32) -> TermId {
+        debug_assert!(j < self.cfg.signature_terms);
+        debug_assert!(topic.raw() < self.num_topics);
+        TermId(
+            self.cfg.background_terms
+                + topic.raw() as u32 * self.cfg.signature_terms
+                + j,
+        )
+    }
+
+    /// Which topic (if any) owns `term` as a signature term.
+    pub fn topic_of_term(&self, term: TermId) -> Option<ClassId> {
+        let t = term.raw();
+        if t < self.cfg.background_terms {
+            return None;
+        }
+        let idx = (t - self.cfg.background_terms) / self.cfg.signature_terms;
+        if idx < self.num_topics as u32 {
+            Some(ClassId(idx as u16))
+        } else {
+            None
+        }
+    }
+
+    /// The first few signature terms double as the topic's "name keywords"
+    /// (what a user would type into AltaVista: `cycl* bicycl* bike`).
+    pub fn keyword_terms(&self, topic: ClassId, k: usize) -> Vec<TermId> {
+        (0..k.min(self.cfg.signature_terms as usize) as u32)
+            .map(|j| self.signature_term(topic, j))
+            .collect()
+    }
+
+    fn sample_background(&self, rng: &mut SmallRng) -> TermId {
+        let u: f64 = rng.gen();
+        let i = self.background_cdf.partition_point(|&c| c < u);
+        TermId(i.min(self.background_cdf.len() - 1) as u32)
+    }
+
+    fn sample_signature(&self, topic: ClassId, rng: &mut SmallRng) -> TermId {
+        // Within a signature, weight terms geometrically so some signature
+        // terms are much more frequent than others (like real topic words).
+        let m = self.cfg.signature_terms;
+        let u: f64 = rng.gen();
+        // Geometric-ish: j = floor(-ln(1-u) * m / 4), clamped.
+        let j = ((-(1.0 - u).ln()) * m as f64 / 4.0) as u32;
+        self.signature_term(topic, j.min(m - 1))
+    }
+
+    /// Generate a document of length `len` about `topic` (the Bernoulli /
+    /// multinomial model: each term drawn i.i.d. from θ(topic, ·)).
+    pub fn generate_doc(
+        &self,
+        taxonomy: &Taxonomy,
+        topic: ClassId,
+        len: usize,
+        rng: &mut SmallRng,
+    ) -> TermVec {
+        let ancestors = taxonomy.ancestors(topic);
+        let mut counts = Vec::with_capacity(len);
+        for _ in 0..len {
+            let u: f64 = rng.gen();
+            let t = if u < self.cfg.sig_weight && topic != ClassId::ROOT {
+                self.sample_signature(topic, rng)
+            } else if u < self.cfg.sig_weight + self.cfg.anc_weight && !ancestors.is_empty() {
+                // Pick a non-root ancestor when one exists.
+                let non_root: Vec<ClassId> =
+                    ancestors.iter().copied().filter(|&a| a != ClassId::ROOT).collect();
+                match non_root.as_slice() {
+                    [] => self.sample_background(rng),
+                    anc => self.sample_signature(anc[rng.gen_range(0..anc.len())], rng),
+                }
+            } else {
+                self.sample_background(rng)
+            };
+            counts.push((t, 1));
+        }
+        TermVec::from_counts(counts)
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &LexiconConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_types::Taxonomy;
+    use rand::SeedableRng;
+
+    fn setup() -> (Taxonomy, Lexicon) {
+        let mut t = Taxonomy::new("root");
+        let rec = t.add_child(ClassId::ROOT, "recreation").unwrap();
+        t.add_child(rec, "recreation/cycling").unwrap();
+        t.add_child(ClassId::ROOT, "business").unwrap();
+        let lex = Lexicon::new(&t, LexiconConfig::default());
+        (t, lex)
+    }
+
+    #[test]
+    fn signature_ranges_are_disjoint() {
+        let (_t, lex) = setup();
+        let a = lex.signature_term(ClassId(1), 0);
+        let b = lex.signature_term(ClassId(2), 0);
+        assert_ne!(a, b);
+        assert_eq!(lex.topic_of_term(a), Some(ClassId(1)));
+        assert_eq!(lex.topic_of_term(b), Some(ClassId(2)));
+        assert_eq!(lex.topic_of_term(TermId(5)), None, "background term");
+    }
+
+    #[test]
+    fn documents_prefer_their_topic_signature() {
+        let (t, lex) = setup();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cycling = ClassId(2);
+        let business = ClassId(3);
+        let doc = lex.generate_doc(&t, cycling, 400, &mut rng);
+        let count_for = |topic: ClassId| -> u64 {
+            doc.iter()
+                .filter(|(term, _)| lex.topic_of_term(*term) == Some(topic))
+                .map(|(_, c)| c as u64)
+                .sum()
+        };
+        let own = count_for(cycling);
+        let other = count_for(business);
+        assert!(own > 50, "own-signature mass too low: {own}");
+        assert_eq!(other, 0, "no business terms in a cycling doc");
+        // Ancestor (recreation) terms present but rarer than own.
+        let anc = count_for(ClassId(1));
+        assert!(anc > 0 && anc < own, "ancestor mass {anc} vs own {own}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (t, lex) = setup();
+        let d1 = lex.generate_doc(&t, ClassId(2), 100, &mut SmallRng::seed_from_u64(5));
+        let d2 = lex.generate_doc(&t, ClassId(2), 100, &mut SmallRng::seed_from_u64(5));
+        let d3 = lex.generate_doc(&t, ClassId(2), 100, &mut SmallRng::seed_from_u64(6));
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn background_is_zipfian() {
+        let (t, lex) = setup();
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Generate root-topic docs: pure background.
+        let doc = lex.generate_doc(&t, ClassId::ROOT, 20_000, &mut rng);
+        // The most frequent background term should dominate the tail.
+        let max = doc.iter().map(|(_, c)| c).max().unwrap();
+        assert!(max > 100, "head of Zipf too flat: {max}");
+        assert!(doc.num_terms() > 1000, "tail too short: {}", doc.num_terms());
+    }
+
+    #[test]
+    fn keyword_terms_prefix_of_signature() {
+        let (_t, lex) = setup();
+        let kw = lex.keyword_terms(ClassId(2), 3);
+        assert_eq!(kw.len(), 3);
+        assert_eq!(kw[0], lex.signature_term(ClassId(2), 0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # focus-webgraph
+//!
+//! A deterministic, seeded synthetic hypertext — the stand-in for the 1999
+//! Web the paper crawled. The generator reproduces the two statistical
+//! properties the whole Focus architecture rests on (§2):
+//!
+//! * **Radius-1 rule** — a relevant page is much more likely than an
+//!   irrelevant one to cite another relevant page: links prefer same-topic
+//!   targets with configurable probability.
+//! * **Radius-2 rule** — a page that points to one page of a topic very
+//!   likely points to more ("about a 45% chance" for Yahoo! top levels):
+//!   hub pages concentrate large link lists on one topic.
+//!
+//! Plus the nuisances the paper calls out: *universal* sites every topic
+//! links to (Netscape, Free Speech Online), pages on mixed-topic servers,
+//! dead links, timeouts, and malformed pages that crash naive crawlers.
+//!
+//! [`stats`] empirically verifies the radius rules on generated graphs;
+//! the crate's tests pin them.
+
+pub mod evolve;
+pub mod fetch;
+pub mod generator;
+pub mod lexicon;
+pub mod page;
+pub mod search;
+pub mod stats;
+
+pub use evolve::{evolve, EvolutionConfig, EvolvingFetcher};
+pub use fetch::{FetchError, FetchedPage, Fetcher, SimFetcher};
+pub use generator::{default_taxonomy, WebConfig, WebGraph};
+pub use lexicon::Lexicon;
+pub use page::{FailureMode, PageKind, SimPage};
+pub use search::keyword_search;

@@ -1,0 +1,81 @@
+//! Synthetic pages.
+
+use focus_types::{ClassId, Oid, ServerId, TermVec};
+
+/// Structural role of a page in the generated web.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// Ordinary topical content page.
+    Content,
+    /// Resource list: large outdegree concentrated on one topic — the
+    /// radius-2 rule made flesh, and what the distiller should find.
+    Hub,
+    /// Topic-neutral popular site (the paper's "Netscape and Free Speech
+    /// Online"): everything links to it; it should *not* surface as a
+    /// topical authority.
+    Universal,
+}
+
+/// Failure behaviour when fetched (the paper: "Few pages on the Web are
+/// formally checked for well-formedness, hence all crawlers crash").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Fetches fine.
+    None,
+    /// 404: permanently dead.
+    Dead,
+    /// Times out (retriable; drives `numtries` up).
+    Timeout,
+    /// Returns garbage bytes that tokenize to nothing.
+    Malformed,
+}
+
+/// One page of the synthetic web.
+#[derive(Debug, Clone)]
+pub struct SimPage {
+    /// 64-bit URL hash, the universal key.
+    pub oid: Oid,
+    /// Human-readable URL.
+    pub url: String,
+    /// Hosting server (nepotism filtering and `serverload` use this).
+    pub server: ServerId,
+    /// Ground-truth topic (never shown to the crawler; used by evaluation).
+    pub topic: ClassId,
+    /// Term-frequency content.
+    pub terms: TermVec,
+    /// Outgoing links.
+    pub outlinks: Vec<Oid>,
+    /// Structural role.
+    pub kind: PageKind,
+    /// Failure behaviour.
+    pub failure: FailureMode,
+}
+
+impl SimPage {
+    /// Outdegree.
+    pub fn outdegree(&self) -> usize {
+        self.outlinks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_types::TermVec;
+
+    #[test]
+    fn construction() {
+        let p = SimPage {
+            oid: Oid::of_url("http://x.example/a"),
+            url: "http://x.example/a".into(),
+            server: ServerId(3),
+            topic: ClassId(2),
+            terms: TermVec::default(),
+            outlinks: vec![Oid(1), Oid(2)],
+            kind: PageKind::Content,
+            failure: FailureMode::None,
+        };
+        assert_eq!(p.outdegree(), 2);
+        assert_eq!(p.kind, PageKind::Content);
+    }
+}

@@ -1,0 +1,101 @@
+//! Keyword search over the simulated corpus.
+//!
+//! Stands in for the paper's start-set construction: "representative crawls
+//! on bicycling starting from the result of topic distillation with keyword
+//! search cycl* bicycl* bike" and the coverage experiment's start sets from
+//! "Yahoo!, Infoseek, Excite … Alta Vista". Ranking is keyword-match mass ×
+//! log-indegree — crude, like a 1999 engine, which is the point: start sets
+//! are relevant but not the best hubs.
+
+use crate::generator::WebGraph;
+use focus_types::{ClassId, Oid, TermId};
+
+/// Rank pages by `Σ freq(keyword) × ln(1 + indegree)`; returns the top `k`.
+pub fn keyword_search(graph: &WebGraph, keywords: &[TermId], k: usize) -> Vec<Oid> {
+    let mut scored: Vec<(f64, Oid)> = Vec::new();
+    for p in graph.pages() {
+        let mass: u64 = keywords.iter().map(|&t| p.terms.freq(t) as u64).sum();
+        if mass > 0 {
+            let score = mass as f64 * (1.0 + graph.indegree(p.oid) as f64).ln();
+            scored.push((score, p.oid));
+        }
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, o)| o).collect()
+}
+
+/// Start set for a topic: keyword-search the topic's name keywords.
+pub fn topic_start_set(graph: &WebGraph, topic: ClassId, k: usize) -> Vec<Oid> {
+    let kw = graph.lexicon().keyword_terms(topic, 5);
+    keyword_search(graph, &kw, k)
+}
+
+/// Two *disjoint* start sets for the coverage experiment (§3.5): the
+/// reference crawl starts from `S1`, the test crawl from `S2`,
+/// `S1 ∩ S2 = ∅`.
+pub fn disjoint_start_sets(
+    graph: &WebGraph,
+    topic: ClassId,
+    k: usize,
+) -> (Vec<Oid>, Vec<Oid>) {
+    let pool = topic_start_set(graph, topic, k * 2);
+    let s1: Vec<Oid> = pool.iter().step_by(2).copied().take(k).collect();
+    let s2: Vec<Oid> = pool.iter().skip(1).step_by(2).copied().take(k).collect();
+    (s1, s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WebConfig, WebGraph};
+
+    fn graph() -> WebGraph {
+        WebGraph::generate(WebConfig::tiny(5))
+    }
+
+    #[test]
+    fn search_finds_topical_pages() {
+        let g = graph();
+        let cycling = g.taxonomy().find("recreation/cycling").unwrap();
+        let hits = topic_start_set(&g, cycling, 20);
+        assert!(!hits.is_empty());
+        let on_topic = hits
+            .iter()
+            .filter(|&&o| {
+                let t = g.topic_of(o).unwrap();
+                t == cycling || g.taxonomy().is_ancestor(t, cycling)
+            })
+            .count();
+        assert!(
+            on_topic * 2 > hits.len(),
+            "only {on_topic}/{} start pages on topic",
+            hits.len()
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_are_disjoint_and_nonempty() {
+        let g = graph();
+        let cycling = g.taxonomy().find("recreation/cycling").unwrap();
+        let (s1, s2) = disjoint_start_sets(&g, cycling, 10);
+        assert!(!s1.is_empty() && !s2.is_empty());
+        for o in &s1 {
+            assert!(!s2.contains(o), "start sets overlap");
+        }
+    }
+
+    #[test]
+    fn empty_keywords_give_empty_results() {
+        let g = graph();
+        assert!(keyword_search(&g, &[], 10).is_empty());
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let g = graph();
+        let cycling = g.taxonomy().find("recreation/cycling").unwrap();
+        let a = topic_start_set(&g, cycling, 15);
+        let b = topic_start_set(&g, cycling, 15);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,17 @@
+//! # focus-repro
+//!
+//! Root package of the reproduction workspace for *"Distributed Hypertext
+//! Resource Discovery Through Examples"* (Chakrabarti, van den Berg, Dom;
+//! VLDB 1999). It exists to host the workspace-spanning artifacts:
+//!
+//! * `examples/` — runnable binaries exercising the public API
+//!   (`quickstart`, `focused_vs_unfocused`, `crawl_monitor`,
+//!   `citation_sociology`, `sql_console`);
+//! * `tests/` — cross-crate integration and property tests (end-to-end
+//!   discovery, classifier-path agreement, distiller consistency, SQL
+//!   reference checks, web evolution + crawl maintenance).
+//!
+//! The library surface itself lives in the `focus` crate (re-exported
+//! here as [`system`]); see the workspace `README.md` for the map.
+
+pub use focus as system;

@@ -1,0 +1,201 @@
+//! Cross-crate integration: the full discover pipeline on a small world.
+
+use focus::prelude::*;
+use focus::ClassId;
+use std::sync::Arc;
+
+fn build_system(
+    graph: &Arc<WebGraph>,
+    good: &str,
+    policy: CrawlPolicy,
+    budget: u64,
+) -> (focus::FocusSystem, ClassId) {
+    let fetcher = Arc::new(SimFetcher::new(Arc::clone(graph), None));
+    let mut builder = FocusBuilder::new(graph.taxonomy().clone());
+    let topic = builder.mark_good_by_name(good).expect("topic exists");
+    for c in builder.taxonomy().all().collect::<Vec<_>>() {
+        if c != ClassId::ROOT {
+            builder.add_examples(c, graph.example_docs(c, 6, 11));
+        }
+    }
+    let system = builder
+        .crawl_config(CrawlConfig {
+            policy,
+            threads: 3,
+            max_fetches: budget,
+            distill_every: Some(120),
+            ..CrawlConfig::default()
+        })
+        .build(fetcher)
+        .expect("system builds");
+    (system, topic)
+}
+
+#[test]
+fn discovery_produces_topical_subgraph_with_hubs() {
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(31)));
+    let (system, topic) = build_system(&graph, "recreation/cycling", CrawlPolicy::SoftFocus, 300);
+    let seeds = focus::search::topic_start_set(&graph, topic, 12);
+    let outcome = system.discover(&seeds).expect("discovery runs");
+
+    assert!(outcome.stats.successes > 80, "successes {}", outcome.stats.successes);
+    assert!(outcome.stats.mean_harvest() > 0.25, "harvest {}", outcome.stats.mean_harvest());
+
+    // Ground-truth check: the majority of confidently-relevant discovered
+    // pages really are cycling pages.
+    let confident: Vec<_> = outcome
+        .visited
+        .iter()
+        .filter(|(_, r, _)| *r > 0.7)
+        .collect();
+    assert!(!confident.is_empty());
+    let truly = confident
+        .iter()
+        .filter(|(o, _, _)| graph.topic_of(*o) == Some(topic))
+        .count();
+    assert!(
+        truly * 10 >= confident.len() * 7,
+        "{truly}/{} confident pages are truly on-topic",
+        confident.len()
+    );
+
+    // Distillation surfaces true hub pages.
+    let hub_kinds: Vec<_> = outcome
+        .distill
+        .top_hubs(5)
+        .iter()
+        .filter_map(|&(o, _)| graph.page(o))
+        .map(|p| p.kind)
+        .collect();
+    assert!(
+        hub_kinds.contains(&focus_webgraph::PageKind::Hub),
+        "no true hub among the top-5: {hub_kinds:?}"
+    );
+}
+
+#[test]
+fn hard_focus_can_stagnate_where_soft_does_not() {
+    // §2.1.2: "crawls controlled by this rule may stagnate". With a
+    // narrow deep topic, hard focus throws away every off-best-leaf page;
+    // soft focus keeps crawling. We assert soft fetches strictly more.
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(57)));
+    let budget = 300;
+    let run = |policy| {
+        let (system, topic) =
+            build_system(&graph, "business/investing/mutual-funds", policy, budget);
+        let seeds = focus::search::topic_start_set(&graph, topic, 8);
+        system.discover(&seeds).expect("runs").stats
+    };
+    let soft = run(CrawlPolicy::SoftFocus);
+    let hard = run(CrawlPolicy::HardFocus);
+    assert!(
+        hard.attempts < soft.attempts || hard.successes < soft.successes,
+        "hard focus should fetch less: hard {}/{} vs soft {}/{}",
+        hard.attempts,
+        hard.successes,
+        soft.attempts,
+        soft.successes
+    );
+    // Soft focus consumes its whole budget.
+    assert_eq!(soft.attempts, budget);
+}
+
+#[test]
+fn monitoring_queries_run_against_live_session() {
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(73)));
+    let (system, topic) = build_system(&graph, "health/hiv", CrawlPolicy::SoftFocus, 250);
+    let seeds = focus::search::topic_start_set(&graph, topic, 10);
+    system.discover(&seeds).expect("runs");
+    system.with_db(|db| {
+        let census = focus_crawler::monitor::census_by_class(db).expect("census");
+        assert!(!census.rows.is_empty(), "census empty");
+        let harvest = focus_crawler::monitor::harvest_per_minute(db).expect("harvest");
+        assert!(!harvest.rows.is_empty(), "harvest-per-minute empty");
+        let frontier = focus_crawler::monitor::frontier_by_numtries(db).expect("frontier");
+        // May be empty if the crawl drained everything, but must not error.
+        let _ = frontier;
+        // The hub-neighbor tweak query runs after a distillation.
+        let rs = focus_crawler::monitor::missed_hub_neighbors(db, 0.0).expect("hub query");
+        let _ = rs;
+    });
+}
+
+#[test]
+fn discovery_is_robust_to_bad_seeds() {
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(91)));
+    let (system, topic) = build_system(&graph, "home/gardening", CrawlPolicy::SoftFocus, 150);
+    // Seeds include unknown oids (dead URLs) mixed with real ones.
+    let mut seeds = focus::search::topic_start_set(&graph, topic, 5);
+    seeds.push(focus::Oid(0xDEAD_BEEF));
+    seeds.push(focus::Oid(0xBAD_F00D));
+    let outcome = system.discover(&seeds).expect("runs despite dead seeds");
+    assert!(outcome.stats.successes > 10);
+    assert!(outcome.stats.failures >= 2, "dead seeds must be counted as failures");
+}
+
+#[test]
+fn backlink_expansion_reaches_citers() {
+    // §3.2's backward device: with backlink metadata served, a crawl can
+    // enqueue pages that *point to* a relevant page.
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(101)));
+    let mut taxonomy = graph.taxonomy().clone();
+    let cycling = taxonomy.find("recreation/cycling").unwrap();
+    taxonomy.mark_good(cycling).unwrap();
+    let model = {
+        let mut examples = Vec::new();
+        for c in taxonomy.all().collect::<Vec<_>>() {
+            if c != ClassId::ROOT {
+                for d in graph.example_docs(c, 6, 11) {
+                    examples.push((c, d));
+                }
+            }
+        }
+        focus_classifier::train::train(
+            &taxonomy,
+            &examples,
+            &focus_classifier::train::TrainConfig::default(),
+        )
+    };
+    let run = |backlinks: bool| {
+        let fetcher: Arc<dyn focus::Fetcher> = if backlinks {
+            Arc::new(
+                SimFetcher::new(Arc::clone(&graph), None).with_backlinks(),
+            )
+        } else {
+            Arc::new(SimFetcher::new(Arc::clone(&graph), None))
+        };
+        let session = focus_crawler::session::CrawlSession::new(
+            fetcher,
+            model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 1,
+                max_fetches: 120,
+                distill_every: None,
+                backlink_expansion_above: if backlinks { Some(0.5) } else { None },
+                ..CrawlConfig::default()
+            },
+        )
+        .unwrap();
+        session
+            .seed(&focus::search::topic_start_set(&graph, cycling, 8))
+            .unwrap();
+        session.run().unwrap();
+        session
+            .visited()
+            .iter()
+            .map(|&(o, _, _)| o)
+            .collect::<std::collections::HashSet<_>>()
+    };
+    let plain = run(false);
+    let with_back = run(true);
+    assert!(!with_back.is_empty());
+    // The backlink crawl reaches at least one page the forward crawl did
+    // not (a citer pulled in backwards).
+    let only_backward: Vec<_> = with_back.difference(&plain).collect();
+    assert!(
+        !only_backward.is_empty(),
+        "backlink expansion changed nothing over {} visited pages",
+        with_back.len()
+    );
+}

@@ -1,0 +1,142 @@
+//! Property tests: the SQL engine against in-memory reference
+//! computations on randomized data.
+
+use minirel::{Database, Value};
+use proptest::prelude::*;
+
+fn table_rows() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
+    proptest::collection::vec((0..40i64, 0..8i64, -10.0..10.0f64), 1..60)
+}
+
+fn load(db: &mut Database, rows: &[(i64, i64, f64)]) {
+    db.execute("create table t (a int, b int, x float)").unwrap();
+    let tid = db.table_id("t").unwrap();
+    for &(a, b, x) in rows {
+        db.insert(tid, vec![Value::Int(a), Value::Int(b), Value::Float(x)])
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filters_match_reference(rows in table_rows(), cut in -10.0..10.0f64) {
+        let mut db = Database::in_memory();
+        load(&mut db, &rows);
+        let rs = db
+            .execute(&format!("select count(*) from t where x > {cut}"))
+            .unwrap();
+        let expect = rows.iter().filter(|&&(_, _, x)| x > cut).count() as i64;
+        prop_assert_eq!(rs.scalar_i64(), Some(expect));
+    }
+
+    #[test]
+    fn group_by_sums_match_reference(rows in table_rows()) {
+        let mut db = Database::in_memory();
+        load(&mut db, &rows);
+        let rs = db
+            .execute("select b, sum(x), count(*) from t group by b order by b")
+            .unwrap();
+        let mut expect: std::collections::BTreeMap<i64, (f64, i64)> = Default::default();
+        for &(_, b, x) in &rows {
+            let e = expect.entry(b).or_insert((0.0, 0));
+            e.0 += x;
+            e.1 += 1;
+        }
+        prop_assert_eq!(rs.rows.len(), expect.len());
+        for row in &rs.rows {
+            let b = row[0].as_i64().unwrap();
+            let (sum, cnt) = expect[&b];
+            prop_assert!((row[1].as_f64().unwrap() - sum).abs() < 1e-6);
+            prop_assert_eq!(row[2].as_i64(), Some(cnt));
+        }
+    }
+
+    #[test]
+    fn order_by_is_sorted(rows in table_rows()) {
+        let mut db = Database::in_memory();
+        load(&mut db, &rows);
+        let rs = db.execute("select x from t order by x desc").unwrap();
+        let xs: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        for w in xs.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert_eq!(xs.len(), rows.len());
+    }
+
+    #[test]
+    fn join_matches_reference(
+        left in proptest::collection::vec((0..12i64, -5.0..5.0f64), 1..30),
+        right in proptest::collection::vec((0..12i64, 0..100i64), 1..30),
+    ) {
+        let mut db = Database::in_memory();
+        db.execute("create table l (k int, x float)").unwrap();
+        db.execute("create table r (k int, y int)").unwrap();
+        let lt = db.table_id("l").unwrap();
+        let rt = db.table_id("r").unwrap();
+        for &(k, x) in &left {
+            db.insert(lt, vec![Value::Int(k), Value::Float(x)]).unwrap();
+        }
+        for &(k, y) in &right {
+            db.insert(rt, vec![Value::Int(k), Value::Int(y)]).unwrap();
+        }
+        let rs = db
+            .execute("select count(*) from l, r where l.k = r.k")
+            .unwrap();
+        let expect: i64 = left
+            .iter()
+            .map(|&(k, _)| right.iter().filter(|&&(rk, _)| rk == k).count() as i64)
+            .sum();
+        prop_assert_eq!(rs.scalar_i64(), Some(expect));
+        // Left outer join: every left row appears at least once.
+        let rs = db
+            .execute("select count(*) from l left outer join r on l.k = r.k")
+            .unwrap();
+        let unmatched = left
+            .iter()
+            .filter(|&&(k, _)| !right.iter().any(|&(rk, _)| rk == k))
+            .count() as i64;
+        prop_assert_eq!(rs.scalar_i64(), Some(expect + unmatched));
+    }
+
+    #[test]
+    fn update_then_read_back(rows in table_rows(), delta in -5.0..5.0f64) {
+        let mut db = Database::in_memory();
+        load(&mut db, &rows);
+        db.execute(&format!("update t set x = x + {delta}")).unwrap();
+        let rs = db.execute("select sum(x) from t").unwrap();
+        let expect: f64 = rows.iter().map(|&(_, _, x)| x + delta).sum();
+        let got = rs.scalar_f64().unwrap();
+        prop_assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn delete_with_predicate(rows in table_rows(), cut in -10.0..10.0f64) {
+        let mut db = Database::in_memory();
+        load(&mut db, &rows);
+        db.execute(&format!("delete from t where x <= {cut}")).unwrap();
+        let rs = db.execute("select count(*) from t").unwrap();
+        let expect = rows.iter().filter(|&&(_, _, x)| x > cut).count() as i64;
+        prop_assert_eq!(rs.scalar_i64(), Some(expect));
+    }
+
+    #[test]
+    fn index_does_not_change_answers(rows in table_rows(), probe in 0..40i64) {
+        // Same query with and without a secondary index must agree.
+        let mut db1 = Database::in_memory();
+        load(&mut db1, &rows);
+        let mut db2 = Database::in_memory();
+        load(&mut db2, &rows);
+        db2.execute("create index t_a on t (a)").unwrap();
+        let q = format!("select count(*), sum(x) from t where a = {probe}");
+        let r1 = db1.execute(&q).unwrap();
+        let r2 = db2.execute(&q).unwrap();
+        prop_assert_eq!(r1.rows[0][0].as_i64(), r2.rows[0][0].as_i64());
+        let (s1, s2) = (r1.rows[0][1].as_f64(), r2.rows[0][1].as_f64());
+        match (s1, s2) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+}
