@@ -37,14 +37,21 @@ fn distiller_ablations(c: &mut Criterion) {
 fn buffer_policy_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_buffer_policy");
     g.sample_size(10);
-    for (name, policy) in [("lru", EvictionPolicy::Lru), ("clock", EvictionPolicy::Clock)] {
+    for (name, policy) in [
+        ("lru", EvictionPolicy::Lru),
+        ("clock", EvictionPolicy::Clock),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut bp = BufferPool::new(DiskManager::in_memory(), 8, policy);
                 let pages: Vec<u32> = (0..64).map(|_| bp.allocate().unwrap()).collect();
                 // Skewed access: 80% hits on 20% of pages.
                 for i in 0..2000usize {
-                    let p = if i % 5 == 0 { pages[i % 64] } else { pages[i % 12] };
+                    let p = if i % 5 == 0 {
+                        pages[i % 64]
+                    } else {
+                        pages[i % 12]
+                    };
                     bp.with_page(p, |b| b[0]).unwrap();
                 }
                 bp.stats().physical_reads
@@ -67,5 +74,10 @@ fn policy_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, distiller_ablations, buffer_policy_ablation, policy_ablation);
+criterion_group!(
+    benches,
+    distiller_ablations,
+    buffer_policy_ablation,
+    policy_ablation
+);
 criterion_main!(benches);

@@ -8,7 +8,9 @@ use focus_eval::fig7_distance;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_distance");
     g.sample_size(10);
-    g.bench_function("crawl_distill_bfs", |b| b.iter(|| fig7_distance::run(Scale::Tiny)));
+    g.bench_function("crawl_distill_bfs", |b| {
+        b.iter(|| fig7_distance::run(Scale::Tiny))
+    });
     g.finish();
 }
 

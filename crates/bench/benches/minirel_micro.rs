@@ -20,7 +20,15 @@ fn btree_bench(c: &mut Criterion) {
     let mut bt = BTree::create(&mut bp).unwrap();
     for i in 0..20_000i64 {
         let k = encode_composite_key(&[Value::Int((i * 7919) % 100_000)]);
-        bt.insert(&mut bp, &k, minirel::Rid { page: i as u32, slot: 0 }).unwrap();
+        bt.insert(
+            &mut bp,
+            &k,
+            minirel::Rid {
+                page: i as u32,
+                slot: 0,
+            },
+        )
+        .unwrap();
     }
     g.bench_function("probe_hot", |b| {
         let mut i = 0i64;
@@ -34,7 +42,16 @@ fn btree_bench(c: &mut Criterion) {
     let mut bt_cold = BTree::create(&mut cold).unwrap();
     for i in 0..20_000i64 {
         let k = encode_composite_key(&[Value::Int((i * 104729) % 1_000_000)]);
-        bt_cold.insert(&mut cold, &k, minirel::Rid { page: i as u32, slot: 0 }).unwrap();
+        bt_cold
+            .insert(
+                &mut cold,
+                &k,
+                minirel::Rid {
+                    page: i as u32,
+                    slot: 0,
+                },
+            )
+            .unwrap();
     }
     g.bench_function("probe_cold_4_frames", |b| {
         let mut i = 0i64;
@@ -66,8 +83,12 @@ fn sort_bench(c: &mut Criterion) {
 fn join_bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("minirel_join");
     g.sample_size(10);
-    let left: Vec<Row> = (0..10_000i64).map(|i| vec![Value::Int(i % 2000), Value::Int(i)]).collect();
-    let right: Vec<Row> = (0..5_000i64).map(|i| vec![Value::Int(i % 2000), Value::Float(0.5)]).collect();
+    let left: Vec<Row> = (0..10_000i64)
+        .map(|i| vec![Value::Int(i % 2000), Value::Int(i)])
+        .collect();
+    let right: Vec<Row> = (0..5_000i64)
+        .map(|i| vec![Value::Int(i % 2000), Value::Float(0.5)])
+        .collect();
     let ls = sort_rows(left.clone(), &[SortKey::asc(0)]).unwrap();
     let rs = sort_rows(right.clone(), &[SortKey::asc(0)]).unwrap();
     g.bench_function("merge_join_presorted", |b| {

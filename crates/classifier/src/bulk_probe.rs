@@ -103,7 +103,11 @@ pub fn bulk_posterior(
         let mut logs: Vec<(ClassId, f64)> = kids
             .iter()
             .map(|&ci| {
-                let lp = tables.logprior.get(&ci).copied().unwrap_or(f64::NEG_INFINITY);
+                let lp = tables
+                    .logprior
+                    .get(&ci)
+                    .copied()
+                    .unwrap_or(f64::NEG_INFINITY);
                 let ld = tables.logdenom.get(&ci).copied().unwrap_or(0.0);
                 let l1 = lpr1.get(&(did, ci.raw())).copied().unwrap_or(0.0);
                 (ci, lp + l1 - len * ld)
@@ -174,7 +178,11 @@ pub fn bulk_posterior_sql(
         let did = row[0].as_i64().unwrap_or(0);
         let kcid = ClassId(row[1].as_i64().unwrap_or(0) as u16);
         let l = row[2].as_f64().unwrap_or(f64::NEG_INFINITY);
-        let lp = tables.logprior.get(&kcid).copied().unwrap_or(f64::NEG_INFINITY);
+        let lp = tables
+            .logprior
+            .get(&kcid)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
         per_doc.entry(did).or_default().push((kcid, l + lp));
     }
     let mut out = Vec::new();
@@ -184,7 +192,14 @@ pub fn bulk_posterior_sql(
         // batch) get prior-only mass.
         for &ci in &kids {
             if !logs.iter().any(|(c, _)| *c == ci) {
-                logs.push((ci, tables.logprior.get(&ci).copied().unwrap_or(f64::NEG_INFINITY)));
+                logs.push((
+                    ci,
+                    tables
+                        .logprior
+                        .get(&ci)
+                        .copied()
+                        .unwrap_or(f64::NEG_INFINITY),
+                ));
             }
         }
         normalize_log(&mut logs);
@@ -239,7 +254,12 @@ mod tests {
     use crate::train::{train, TrainConfig};
     use focus_types::{Document, Taxonomy, TermId, TermVec};
 
-    fn setup() -> (Database, ClassifierTables, crate::model::TrainedModel, Vec<Document>) {
+    fn setup() -> (
+        Database,
+        ClassifierTables,
+        crate::model::TrainedModel,
+        Vec<Document>,
+    ) {
         let mut t = Taxonomy::new("root");
         let sport = t.add_child(ClassId::ROOT, "sport").unwrap();
         let cyc = t.add_child(sport, "cycling").unwrap();
@@ -274,7 +294,10 @@ mod tests {
         let mut db = Database::in_memory();
         let tables = ClassifierTables::create_and_load(&mut db, &model).unwrap();
         let batch = vec![
-            Document::new(DocId(1000), TermVec::from_counts([(TermId(10), 3), (TermId(2), 1)])),
+            Document::new(
+                DocId(1000),
+                TermVec::from_counts([(TermId(10), 3), (TermId(2), 1)]),
+            ),
             Document::new(DocId(1001), TermVec::from_counts([(TermId(20), 4)])),
             Document::new(DocId(1002), TermVec::from_counts([(TermId(30), 2)])),
             Document::new(DocId(1003), TermVec::from_counts([(TermId(999), 7)])),

@@ -64,7 +64,11 @@ impl NodeModel {
         let mut logs: Vec<(ClassId, f64)> = kids
             .iter()
             .map(|&ci| {
-                let lp = self.child_logprior.get(&ci).copied().unwrap_or(f64::NEG_INFINITY);
+                let lp = self
+                    .child_logprior
+                    .get(&ci)
+                    .copied()
+                    .unwrap_or(f64::NEG_INFINITY);
                 let ld = self.child_logdenom.get(&ci).copied().unwrap_or(0.0);
                 let l = lp + partial.get(&ci).copied().unwrap_or(0.0) - len_f * ld;
                 (ci, l)
@@ -137,10 +141,7 @@ impl TrainedModel {
                 None => return (cur, prob), // leaf (or untrained interior)
             };
             let post = node.posterior(&self.taxonomy, doc);
-            match post
-                .into_iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-            {
+            match post.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
                 Some((ci, p)) => {
                     cur = ci;
                     prob *= p;
@@ -174,7 +175,12 @@ impl TrainedModel {
             .map(|c| abs.get(c).copied().unwrap_or(0.0))
             .sum();
         let (best_leaf, best_leaf_prob) = self.classify_leaf(doc);
-        Posterior { best_leaf, best_leaf_prob, relevance, class_probs }
+        Posterior {
+            best_leaf,
+            best_leaf_prob,
+            relevance,
+            class_probs,
+        }
     }
 
     /// Hard-focus acceptance (§2.1.2): is some ancestor of the best leaf
@@ -191,7 +197,9 @@ impl TrainedModel {
 
     /// Do any good marks exist?
     pub fn has_goods(&self) -> bool {
-        self.taxonomy.all().any(|c| self.taxonomy.mark(c) == Mark::Good)
+        self.taxonomy
+            .all()
+            .any(|c| self.taxonomy.mark(c) == Mark::Good)
     }
 }
 
@@ -217,10 +225,18 @@ mod tests {
         let mut child_logprior = FxHashMap::default();
         child_logprior.insert(a, 0.5f64.ln());
         child_logprior.insert(b, 0.5f64.ln());
-        let node = NodeModel { c0: ClassId::ROOT, features, child_logdenom, child_logprior };
+        let node = NodeModel {
+            c0: ClassId::ROOT,
+            features,
+            child_logdenom,
+            child_logprior,
+        };
         let mut nodes = FxHashMap::default();
         nodes.insert(ClassId::ROOT, node);
-        TrainedModel { taxonomy: tax, nodes }
+        TrainedModel {
+            taxonomy: tax,
+            nodes,
+        }
     }
 
     #[test]
@@ -286,7 +302,10 @@ mod tests {
 
     #[test]
     fn normalize_log_handles_degenerate_input() {
-        let mut logs = vec![(ClassId(1), f64::NEG_INFINITY), (ClassId(2), f64::NEG_INFINITY)];
+        let mut logs = vec![
+            (ClassId(1), f64::NEG_INFINITY),
+            (ClassId(2), f64::NEG_INFINITY),
+        ];
         normalize_log(&mut logs);
         assert!((logs[0].1 - 0.5).abs() < 1e-12);
     }

@@ -49,8 +49,12 @@ impl ProbeSource for SingleProbeSql<'_> {
         let mut out = Vec::with_capacity(rids.len());
         for rid in rids {
             let row = catalog.get_row(pool, tid, rid)?;
-            let kcid = row[0].as_i64().ok_or_else(|| DbError::Eval("bad kcid".into()))?;
-            let lt = row[2].as_f64().ok_or_else(|| DbError::Eval("bad logtheta".into()))?;
+            let kcid = row[0]
+                .as_i64()
+                .ok_or_else(|| DbError::Eval("bad kcid".into()))?;
+            let lt = row[2]
+                .as_f64()
+                .ok_or_else(|| DbError::Eval("bad logtheta".into()))?;
             out.push((ClassId(kcid as u16), lt));
         }
         Ok(out)
@@ -68,8 +72,7 @@ impl ProbeSource for SingleProbeBlob<'_> {
         let idx = catalog
             .find_index(tid, &[0, 1])
             .ok_or_else(|| DbError::Catalog("blob lacks (pcid, tid) index".into()))?;
-        let key =
-            encode_composite_key(&[Value::Int(c0.raw() as i64), Value::Int(t as i64)]);
+        let key = encode_composite_key(&[Value::Int(c0.raw() as i64), Value::Int(t as i64)]);
         let rids = catalog.table(tid).indexes[idx].btree.lookup(pool, &key)?;
         match rids.first() {
             Some(&rid) => {
@@ -116,9 +119,16 @@ fn posterior_at<P: ProbeSource>(
     let mut logs: Vec<(ClassId, f64)> = kids
         .iter()
         .map(|&ci| {
-            let lp = tables.logprior.get(&ci).copied().unwrap_or(f64::NEG_INFINITY);
+            let lp = tables
+                .logprior
+                .get(&ci)
+                .copied()
+                .unwrap_or(f64::NEG_INFINITY);
             let ld = tables.logdenom.get(&ci).copied().unwrap_or(0.0);
-            (ci, lp + partial.get(&ci).copied().unwrap_or(0.0) - len_f * ld)
+            (
+                ci,
+                lp + partial.get(&ci).copied().unwrap_or(0.0) - len_f * ld,
+            )
         })
         .collect();
     normalize_log(&mut logs);
@@ -158,7 +168,12 @@ fn evaluate_with<P: ProbeSource>(src: &P, db: &mut Database, doc: &TermVec) -> D
             None => break,
         }
     }
-    Ok(Posterior { best_leaf: cur, best_leaf_prob: prob, relevance, class_probs })
+    Ok(Posterior {
+        best_leaf: cur,
+        best_leaf_prob: prob,
+        relevance,
+        class_probs,
+    })
 }
 
 impl SingleProbeSql<'_> {
@@ -213,7 +228,10 @@ mod tests {
         for i in 0..8u64 {
             ex.push((
                 ClassId(2),
-                Document::new(DocId(i), TermVec::from_counts([(TermId(10), 5), (TermId(2), 2)])),
+                Document::new(
+                    DocId(i),
+                    TermVec::from_counts([(TermId(10), 5), (TermId(2), 2)]),
+                ),
             ));
             ex.push((
                 ClassId(3),
@@ -303,7 +321,11 @@ mod tests {
         let sql = SingleProbeSql { tables: &tables };
         // A leaf has no stat table; posterior at a leaf is empty.
         let post = sql
-            .posterior(&mut db, ClassId(2), &TermVec::from_counts([(TermId(10), 1)]))
+            .posterior(
+                &mut db,
+                ClassId(2),
+                &TermVec::from_counts([(TermId(10), 1)]),
+            )
             .unwrap();
         assert!(post.is_empty());
     }

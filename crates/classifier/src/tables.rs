@@ -73,7 +73,11 @@ impl ClassifierTables {
         for (c0, node) in &model.nodes {
             // TAXONOMY rows for this parent's children.
             for &ci in tax.children(*c0) {
-                let lp = node.child_logprior.get(&ci).copied().unwrap_or(f64::NEG_INFINITY);
+                let lp = node
+                    .child_logprior
+                    .get(&ci)
+                    .copied()
+                    .unwrap_or(f64::NEG_INFINITY);
                 let ld = node.child_logdenom.get(&ci).copied().unwrap_or(0.0);
                 logprior.insert(ci, lp);
                 logdenom.insert(ci, ld);
@@ -125,7 +129,12 @@ impl ClassifierTables {
             }
             stat_tables.insert(*c0, tname);
         }
-        Ok(ClassifierTables { taxonomy: tax.clone(), stat_tables, logprior, logdenom })
+        Ok(ClassifierTables {
+            taxonomy: tax.clone(),
+            stat_tables,
+            logprior,
+            logdenom,
+        })
     }
 
     /// Replace the `DOCUMENT` table contents with `docs`. Empty documents
@@ -187,7 +196,10 @@ mod tests {
         for i in 0..6u64 {
             ex.push((
                 ClassId(1),
-                Document::new(DocId(i), TermVec::from_counts([(TermId(10), 4), (TermId(1), 1)])),
+                Document::new(
+                    DocId(i),
+                    TermVec::from_counts([(TermId(10), 4), (TermId(1), 1)]),
+                ),
             ));
             ex.push((
                 ClassId(2),
@@ -240,7 +252,10 @@ mod tests {
         let tables = ClassifierTables::create_and_load(&mut db, &m).unwrap();
         let docs = vec![
             Document::new(DocId(1), TermVec::from_counts([(TermId(10), 2)])),
-            Document::new(DocId(2), TermVec::from_counts([(TermId(20), 1), (TermId(1), 1)])),
+            Document::new(
+                DocId(2),
+                TermVec::from_counts([(TermId(20), 1), (TermId(1), 1)]),
+            ),
         ];
         tables.load_documents(&mut db, &docs).unwrap();
         assert_eq!(db.table_len("document").unwrap(), 3);

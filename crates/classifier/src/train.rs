@@ -25,7 +25,10 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { max_features: 4000, min_term_count: 2 }
+        TrainConfig {
+            max_features: 4000,
+            min_term_count: 2,
+        }
     }
 }
 
@@ -43,7 +46,10 @@ pub fn train(
             nodes.insert(c0, node);
         }
     }
-    TrainedModel { taxonomy: taxonomy.clone(), nodes }
+    TrainedModel {
+        taxonomy: taxonomy.clone(),
+        nodes,
+    }
 }
 
 /// Which child subtree of `c0` contains `topic` (None if outside `c0`).
@@ -109,7 +115,11 @@ fn train_node(
         let p_bar = total as f64 / grand_tokens.max(1) as f64;
         let mut score = 0.0;
         for &ci in kids {
-            let n_ci = counts.get(&ci).and_then(|c| c.get(&t)).copied().unwrap_or(0);
+            let n_ci = counts
+                .get(&ci)
+                .and_then(|c| c.get(&t))
+                .copied()
+                .unwrap_or(0);
             let tok_ci = tokens.get(&ci).copied().unwrap_or(0);
             if n_ci == 0 || tok_ci == 0 {
                 continue;
@@ -124,8 +134,7 @@ fn train_node(
     }
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     scored.truncate(cfg.max_features);
-    let feature_set: std::collections::HashSet<TermId> =
-        scored.iter().map(|&(_, t)| t).collect();
+    let feature_set: std::collections::HashSet<TermId> = scored.iter().map(|&(_, t)| t).collect();
 
     // ---- parameter estimation (Eq. 1) ----
     // denom(ci) = |vocab(c0)| + Σ_d Σ_t n(d,t) over D(ci).
@@ -144,7 +153,11 @@ fn train_node(
     for &t in &feature_set {
         let mut recs = Vec::new();
         for &ci in kids {
-            let n = counts.get(&ci).and_then(|c| c.get(&t)).copied().unwrap_or(0);
+            let n = counts
+                .get(&ci)
+                .and_then(|c| c.get(&t))
+                .copied()
+                .unwrap_or(0);
             if n > 0 {
                 let logtheta = (1.0 + n as f64).ln() - child_logdenom[&ci];
                 recs.push((ci, logtheta));
@@ -154,7 +167,12 @@ fn train_node(
             features.insert(t, recs);
         }
     }
-    Some(NodeModel { c0, features, child_logdenom, child_logprior })
+    Some(NodeModel {
+        c0,
+        features,
+        child_logdenom,
+        child_logprior,
+    })
 }
 
 #[cfg(test)]
@@ -216,9 +234,15 @@ mod tests {
         let mut t = taxonomy();
         t.mark_good(ClassId(2)).unwrap(); // cycling good
         let m = train(&t, &examples(), &TrainConfig::default());
-        let r_cyc = m.evaluate(&TermVec::from_counts([(TermId(10), 4)])).relevance;
-        let r_soc = m.evaluate(&TermVec::from_counts([(TermId(20), 4)])).relevance;
-        let r_fin = m.evaluate(&TermVec::from_counts([(TermId(30), 4)])).relevance;
+        let r_cyc = m
+            .evaluate(&TermVec::from_counts([(TermId(10), 4)]))
+            .relevance;
+        let r_soc = m
+            .evaluate(&TermVec::from_counts([(TermId(20), 4)]))
+            .relevance;
+        let r_fin = m
+            .evaluate(&TermVec::from_counts([(TermId(30), 4)]))
+            .relevance;
         assert!(r_cyc > 0.8, "cycling doc R = {r_cyc}");
         assert!(r_soc < 0.3, "soccer doc R = {r_soc}");
         assert!(r_fin < 0.2, "finance doc R = {r_fin}");
@@ -230,11 +254,21 @@ mod tests {
     #[test]
     fn background_terms_not_selected_as_features() {
         let t = taxonomy();
-        let m = train(&t, &examples(), &TrainConfig { max_features: 2, min_term_count: 1 });
+        let m = train(
+            &t,
+            &examples(),
+            &TrainConfig {
+                max_features: 2,
+                min_term_count: 1,
+            },
+        );
         let root = &m.nodes[&ClassId::ROOT];
         // With max 2 features, the uniform background term 1 must lose to
         // the discriminative ones.
-        assert!(!root.features.contains_key(&TermId(1)), "background term selected");
+        assert!(
+            !root.features.contains_key(&TermId(1)),
+            "background term selected"
+        );
     }
 
     #[test]
@@ -274,6 +308,9 @@ mod tests {
         let root = &m.nodes[&ClassId::ROOT];
         let p_fin = root.child_logprior[&ClassId(4)];
         let p_sport = root.child_logprior[&ClassId(1)];
-        assert!(p_fin > p_sport, "finance {p_fin} should outweigh sport {p_sport}");
+        assert!(
+            p_fin > p_sport,
+            "finance {p_fin} should outweigh sport {p_sport}"
+        );
     }
 }

@@ -75,9 +75,12 @@ impl FocusBuilder {
             return Err(FocusError::Config("no example documents supplied".into()));
         }
         let model = train(&self.taxonomy, &self.examples, &self.train_cfg);
-        let session = CrawlSession::new(fetcher, model.clone(), self.crawl_cfg.clone())
-            .map_err(|e| FocusError::Storage(e.to_string()))?;
-        Ok(FocusSystem::new(model, session, self.crawl_cfg))
+        let session = Arc::new(CrawlSession::new(
+            Arc::clone(&fetcher),
+            model.clone(),
+            self.crawl_cfg.clone(),
+        )?);
+        Ok(FocusSystem::new(model, session, self.crawl_cfg, fetcher))
     }
 }
 
@@ -99,7 +102,10 @@ mod tests {
         let a = t.add_child(ClassId::ROOT, "a").unwrap();
 
         let b1 = FocusBuilder::new(t.clone());
-        assert!(matches!(b1.build(Arc::clone(&fetcher)), Err(FocusError::Config(_))));
+        assert!(matches!(
+            b1.build(Arc::clone(&fetcher)),
+            Err(FocusError::Config(_))
+        ));
 
         let mut b2 = FocusBuilder::new(t.clone());
         b2.mark_good(a).unwrap();

@@ -29,29 +29,44 @@
 //!     }
 //! }
 //!
-//! // Train + crawl.
+//! // Train, then start a *controllable* crawl in the background.
 //! let system = builder
 //!     .crawl_config(CrawlConfig { max_fetches: 150, threads: 1, ..Default::default() })
 //!     .build(fetcher)
 //!     .unwrap();
 //! let seeds = focus::search::topic_start_set(&graph, cycling, 10);
-//! let outcome = system.discover(&seeds).unwrap();
+//! let mut run = system.start(&seeds).unwrap();
+//!
+//! // Watch it live (events), steer it (pause/mark_topic/add_seeds),
+//! // snapshot it (stats/checkpoint) — then take the classic outcome.
+//! let events = run.take_events().unwrap();
+//! let outcome = run.join().unwrap();
 //! assert!(outcome.stats.successes > 0);
+//! let classified = events
+//!     .filter(|e| matches!(e, DiscoveryEvent::PageClassified { .. }))
+//!     .count() as u64;
+//! assert_eq!(classified, outcome.stats.successes);
 //! ```
 
 pub mod admin;
 pub mod system;
 
 pub use admin::FocusBuilder;
-pub use system::{DiscoveryOutcome, FocusSystem};
+pub use system::{
+    DiscoveryEvent, DiscoveryOutcome, DiscoveryRun, DiscoverySnapshot, FocusSystem, RunOptions,
+};
 
 // Re-export the subsystem vocabulary so downstream users need one crate.
 pub use focus_classifier::model::{Posterior, TrainedModel};
 pub use focus_classifier::train::TrainConfig;
-pub use focus_crawler::session::{CrawlConfig, CrawlStats};
+pub use focus_crawler::events::{CrawlEvent, CrawlObserver, EventStream};
+pub use focus_crawler::run::RunState;
+pub use focus_crawler::session::{CrawlConfig, CrawlSession, CrawlStats};
 pub use focus_crawler::CrawlPolicy;
 pub use focus_distiller::{DistillConfig, DistillResult};
-pub use focus_types::{ClassId, DocId, Document, FocusError, Oid, ServerId, Taxonomy, TermId, TermVec};
+pub use focus_types::{
+    ClassId, DocId, Document, FocusError, Oid, ServerId, Taxonomy, TermId, TermVec,
+};
 pub use focus_webgraph::search;
 pub use focus_webgraph::{Fetcher, SimFetcher, WebConfig, WebGraph};
 pub use minirel::Database;
@@ -59,7 +74,11 @@ pub use minirel::Database;
 /// Everything a quickstart needs.
 pub mod prelude {
     pub use crate::admin::FocusBuilder;
-    pub use crate::system::{DiscoveryOutcome, FocusSystem};
+    pub use crate::system::{
+        DiscoveryEvent, DiscoveryOutcome, DiscoveryRun, DiscoverySnapshot, FocusSystem, RunOptions,
+    };
+    pub use focus_crawler::events::{CrawlEvent, CrawlObserver};
+    pub use focus_crawler::run::RunState;
     pub use focus_crawler::session::CrawlConfig;
     pub use focus_crawler::CrawlPolicy;
     pub use focus_types::{ClassId, Taxonomy};

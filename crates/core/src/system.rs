@@ -1,10 +1,33 @@
-//! The assembled resource-discovery system.
+//! The assembled resource-discovery system and its live run handle.
+//!
+//! The paper's defining workflow is *interactive* (§1.1, §3.7): an
+//! administrator starts a crawl, watches harvest, marks topics good or
+//! bad, injects seeds, and re-steers the frontier — all against a
+//! long-lived run. [`FocusSystem::start`] spawns that run in the
+//! background and returns a [`DiscoveryRun`]: a typed event stream,
+//! control commands, snapshots, and `join()` for the classic blocking
+//! outcome. [`FocusSystem::discover`] survives as a deprecated wrapper
+//! (`start(seeds)?.join()`).
 
 use focus_classifier::model::TrainedModel;
-use focus_crawler::session::{CrawlConfig, CrawlSession, CrawlStats};
+use focus_crawler::events::EventStream;
+use focus_crawler::run::{CrawlRun, RunState, StartOptions};
+use focus_crawler::session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats};
+use focus_crawler::CrawlPolicy;
 use focus_distiller::DistillResult;
-use focus_types::{FocusError, Oid, ServerId};
+use focus_types::{ClassId, FocusError, Oid, ServerId};
+use focus_webgraph::Fetcher;
 use minirel::Database;
+use std::sync::Arc;
+
+/// Everything a crawl needs to continue in a fresh session or process:
+/// the frontier, relevance state, link graph, stats, remaining budget,
+/// live policy, and good marking. Produced by
+/// [`DiscoveryRun::checkpoint`], consumed by [`FocusSystem::resume`].
+pub type DiscoverySnapshot = CrawlCheckpoint;
+
+/// Options for [`FocusSystem::start_with`].
+pub type RunOptions = StartOptions;
 
 /// What a discovery run produces.
 #[derive(Debug, Clone)]
@@ -21,16 +44,28 @@ pub struct DiscoveryOutcome {
 /// A trained, crawl-ready Focus instance.
 pub struct FocusSystem {
     model: TrainedModel,
-    session: CrawlSession,
+    session: Arc<CrawlSession>,
     cfg: CrawlConfig,
+    fetcher: Arc<dyn Fetcher>,
 }
 
 impl FocusSystem {
-    pub(crate) fn new(model: TrainedModel, session: CrawlSession, cfg: CrawlConfig) -> Self {
-        FocusSystem { model, session, cfg }
+    pub(crate) fn new(
+        model: TrainedModel,
+        session: Arc<CrawlSession>,
+        cfg: CrawlConfig,
+        fetcher: Arc<dyn Fetcher>,
+    ) -> Self {
+        FocusSystem {
+            model,
+            session,
+            cfg,
+            fetcher,
+        }
     }
 
-    /// The trained classifier.
+    /// The trained classifier **as built**. A live `mark_topic` changes
+    /// the *session's* copy; see [`CrawlSession::with_model`].
     pub fn model(&self) -> &TrainedModel {
         &self.model
     }
@@ -40,19 +75,49 @@ impl FocusSystem {
         &self.cfg
     }
 
-    /// The live crawl session (seed/run/monitor piecemeal).
-    pub fn session(&self) -> &CrawlSession {
+    /// The live crawl session (seed/monitor piecemeal).
+    pub fn session(&self) -> &Arc<CrawlSession> {
         &self.session
+    }
+
+    /// Seed with `D(C*)` and spawn the crawl in the background, returning
+    /// the steering handle.
+    pub fn start(&self, seeds: &[Oid]) -> Result<DiscoveryRun, FocusError> {
+        self.start_with(seeds, RunOptions::default())
+    }
+
+    /// [`FocusSystem::start`] with an explicit event-channel capacity and
+    /// observers.
+    pub fn start_with(&self, seeds: &[Oid], opts: RunOptions) -> Result<DiscoveryRun, FocusError> {
+        self.session.seed(seeds)?;
+        let run = self.session.start_with(opts)?;
+        Ok(DiscoveryRun { run })
     }
 
     /// Seed with `D(C*)` and crawl to the configured budget; ends with a
     /// final distillation.
+    #[deprecated(note = "use start() for a controllable run; this is start(seeds)?.join()")]
     pub fn discover(&self, seeds: &[Oid]) -> Result<DiscoveryOutcome, FocusError> {
-        let err = |e: minirel::DbError| FocusError::Storage(e.to_string());
-        self.session.seed(seeds).map_err(err)?;
-        let stats = self.session.run().map_err(err)?;
-        let distill = self.session.distill_now().map_err(err)?;
-        Ok(DiscoveryOutcome { stats, distill, visited: self.session.visited() })
+        self.start(seeds)?.join()
+    }
+
+    /// Rebuild a system around a [`DiscoverySnapshot`], so a checkpointed
+    /// crawl resumes in a fresh session: frontier, stats, budget, link
+    /// graph, and good marking all carry over. Call
+    /// [`FocusSystem::start`] with no (or extra) seeds to continue.
+    pub fn resume(&self, snapshot: &DiscoverySnapshot) -> Result<FocusSystem, FocusError> {
+        let session = Arc::new(CrawlSession::restore(
+            Arc::clone(&self.fetcher),
+            self.model.clone(),
+            self.cfg.clone(),
+            snapshot,
+        )?);
+        Ok(FocusSystem {
+            model: self.model.clone(),
+            session,
+            cfg: self.cfg.clone(),
+            fetcher: Arc::clone(&self.fetcher),
+        })
     }
 
     /// Ad-hoc SQL against the live crawl database (§3.7 monitoring).
@@ -61,17 +126,151 @@ impl FocusSystem {
     }
 }
 
+/// A live discovery run: the paper's admin console as an API.
+///
+/// Obtained from [`FocusSystem::start`]. Control commands are applied by
+/// the worker pool at page boundaries; snapshots and ad-hoc SQL are
+/// served from the shared session. Consume the handle with
+/// [`DiscoveryRun::join`] to get the classic [`DiscoveryOutcome`].
+pub struct DiscoveryRun {
+    run: CrawlRun,
+}
+
+impl DiscoveryRun {
+    /// Take ownership of the typed event stream (callable once; iterate
+    /// it from a monitoring thread — it ends when the run finishes).
+    pub fn take_events(&mut self) -> Option<EventStream> {
+        self.run.take_events()
+    }
+
+    /// Borrow the event stream, if not yet taken.
+    pub fn events(&self) -> Option<&EventStream> {
+        self.run.events()
+    }
+
+    /// Events dropped because the bounded channel was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.run.events_dropped()
+    }
+
+    /// Hold workers after in-flight fetches land; commands still apply.
+    pub fn pause(&self) {
+        self.run.pause()
+    }
+
+    /// Release paused workers.
+    pub fn resume(&self) {
+        self.run.resume()
+    }
+
+    /// Wind the run down; [`DiscoveryRun::join`] then returns promptly.
+    pub fn stop(&self) {
+        self.run.stop()
+    }
+
+    /// Inject new seeds into the live frontier at top priority.
+    pub fn add_seeds(&self, seeds: &[Oid]) {
+        self.run.add_seeds(seeds)
+    }
+
+    /// Raise the fetch budget of the live run.
+    pub fn add_budget(&self, extra: u64) {
+        self.run.add_budget(extra)
+    }
+
+    /// Switch the link-expansion policy for pages fetched from now on.
+    pub fn set_policy(&self, policy: CrawlPolicy) {
+        self.run.set_policy(policy)
+    }
+
+    /// Re-mark a topic and re-prioritize the frontier mid-crawl — the
+    /// paper's "one update statement marking the ancestor good fixed this
+    /// stagnation problem" (§3.7), as an API call.
+    pub fn mark_topic(&self, class: ClassId, good: bool) {
+        self.run.mark_topic(class, good)
+    }
+
+    /// [`DiscoveryRun::mark_topic`] by topic name.
+    pub fn mark_topic_by_name(&self, name: &str, good: bool) -> Result<ClassId, FocusError> {
+        let class = self
+            .run
+            .find_topic(name)
+            .ok_or_else(|| FocusError::InvalidTaxonomy(format!("no topic named {name}")))?;
+        self.run.mark_topic(class, good);
+        Ok(class)
+    }
+
+    /// Force a distillation pass at the next page boundary.
+    pub fn distill(&self) {
+        self.run.distill()
+    }
+
+    /// Distill synchronously and return the result (bypasses the command
+    /// queue; runs on the caller's thread).
+    pub fn distill_now(&self) -> Result<DistillResult, FocusError> {
+        Ok(self.run.session().distill_now()?)
+    }
+
+    /// Stats snapshot of the live run.
+    pub fn stats(&self) -> CrawlStats {
+        self.run.stats()
+    }
+
+    /// Lifecycle as seen from the handle.
+    pub fn state(&self) -> RunState {
+        self.run.state()
+    }
+
+    /// Have all workers exited?
+    pub fn is_finished(&self) -> bool {
+        self.run.is_finished()
+    }
+
+    /// Capture frontier + relevance state for [`FocusSystem::resume`].
+    /// Pause first for a snapshot stable against the run advancing.
+    pub fn checkpoint(&self) -> Result<DiscoverySnapshot, FocusError> {
+        Ok(self.run.checkpoint()?)
+    }
+
+    /// Ad-hoc SQL against the live crawl database (§3.7 monitoring).
+    pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        self.run.session().with_db(f)
+    }
+
+    /// The underlying session (shared with the [`FocusSystem`]).
+    pub fn session(&self) -> &Arc<CrawlSession> {
+        self.run.session()
+    }
+
+    /// Wait for the worker pool, then run a final distillation — the
+    /// classic blocking semantics `discover()` always had. Worker panics
+    /// surface as [`FocusError::Worker`].
+    pub fn join(self) -> Result<DiscoveryOutcome, FocusError> {
+        let session = Arc::clone(self.run.session());
+        let stats = self.run.join()?;
+        let distill = session.distill_now()?;
+        Ok(DiscoveryOutcome {
+            stats,
+            distill,
+            visited: session.visited(),
+        })
+    }
+}
+
+// Re-export the event vocabulary next to the run handle that produces it.
+pub use focus_crawler::events::CrawlEvent as DiscoveryEvent;
+
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::admin::FocusBuilder;
     use focus_crawler::session::CrawlConfig;
     use focus_types::ClassId;
     use focus_webgraph::{SimFetcher, WebConfig, WebGraph};
     use std::sync::Arc;
 
-    #[test]
-    fn end_to_end_discovery() {
-        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(17)));
+    fn cycling_system(seed: u64, budget: u64) -> (Arc<WebGraph>, FocusSystem, ClassId) {
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(seed)));
         let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
         let mut builder = FocusBuilder::new(graph.taxonomy().clone());
         let cycling = builder.mark_good_by_name("recreation/cycling").unwrap();
@@ -83,25 +282,105 @@ mod tests {
         }
         let system = builder
             .crawl_config(CrawlConfig {
-                max_fetches: 300,
+                max_fetches: budget,
                 threads: 2,
                 distill_every: Some(120),
                 ..CrawlConfig::default()
             })
             .build(fetcher)
             .unwrap();
+        (graph, system, cycling)
+    }
+
+    #[test]
+    fn end_to_end_discovery_via_start_join() {
+        let (graph, system, cycling) = cycling_system(17, 300);
         let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 12);
-        let outcome = system.discover(&seeds).unwrap();
+        let outcome = system.start(&seeds).unwrap().join().unwrap();
         assert!(outcome.stats.successes > 50);
         assert!(!outcome.distill.hubs.is_empty(), "final distillation ran");
         assert!(!outcome.visited.is_empty());
         // Monitoring works against the same database.
         let n = system.with_db(|db| {
-            db.execute("select count(*) from crawl").unwrap().scalar_i64().unwrap()
+            db.execute("select count(*) from crawl")
+                .unwrap()
+                .scalar_i64()
+                .unwrap()
         });
         assert!(n > 0);
         // The discovered subgraph is topical: mean harvest well above the
         // base rate of cycling pages in the web (~1/27 topics).
         assert!(outcome.stats.mean_harvest() > 0.2);
+    }
+
+    #[test]
+    fn deprecated_discover_still_works() {
+        let (graph, system, cycling) = cycling_system(23, 150);
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 10);
+        #[allow(deprecated)]
+        let outcome = system.discover(&seeds).unwrap();
+        assert!(outcome.stats.successes > 20);
+        assert_eq!(outcome.stats.attempts, 150);
+    }
+
+    #[test]
+    fn events_flow_while_running() {
+        let (graph, system, cycling) = cycling_system(29, 200);
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 10);
+        let mut run = system.start(&seeds).unwrap();
+        let events = run.take_events().unwrap();
+        let outcome = run.join().unwrap();
+        let all: Vec<DiscoveryEvent> = events.collect();
+        let classified = all
+            .iter()
+            .filter(|e| matches!(e, DiscoveryEvent::PageClassified { .. }))
+            .count() as u64;
+        assert_eq!(classified, outcome.stats.successes);
+        assert!(
+            all.iter()
+                .any(|e| matches!(e, DiscoveryEvent::BudgetExhausted { .. })),
+            "budget-bounded run must announce exhaustion: {all:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_the_crawl() {
+        let (graph, system, cycling) = cycling_system(41, 120);
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 10);
+        let run = system.start(&seeds).unwrap();
+        let outcome_stats = {
+            let snapshot_run = run;
+            // Let the budget run out, checkpoint the finished run.
+            while !snapshot_run.is_finished() {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let snapshot = snapshot_run.checkpoint().unwrap();
+            snapshot_run.join().unwrap();
+            // Fresh session, +80 budget, no new seeds: the restored
+            // frontier alone drives the continuation.
+            let resumed = system.resume(&snapshot).unwrap();
+            let run2 = resumed.start(&[]).unwrap();
+            run2.add_budget(80);
+            run2.join().unwrap()
+        };
+        assert_eq!(
+            outcome_stats.stats.attempts, 200,
+            "120 checkpointed + 80 fresh"
+        );
+        assert!(outcome_stats.stats.successes > 0);
+    }
+
+    #[test]
+    fn double_start_is_rejected() {
+        let (graph, system, cycling) = cycling_system(53, 100_000);
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 8);
+        let run = system.start(&seeds).unwrap();
+        assert!(matches!(system.start(&[]), Err(FocusError::Config(_))));
+        run.stop();
+        run.join().unwrap();
+        // After join the session is free again.
+        let run2 = system.start(&[]).unwrap();
+        run2.stop();
+        run2.join().unwrap();
     }
 }

@@ -46,33 +46,48 @@ fn oid_lookup(db: &mut Database, oid: Oid) -> DbResult<Option<(Rid, Vec<Value>)>
     }
 }
 
+/// What [`upsert_frontier`] did to the frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Upsert {
+    /// A new frontier row was created.
+    Created,
+    /// An existing unvisited row's priority was raised.
+    Raised,
+    /// Nothing changed: the page is visited/dead, or the priority was
+    /// not an improvement.
+    Unchanged,
+}
+
 /// Insert a frontier entry, or raise the priority of an existing unvisited
-/// one (a second parent endorsing the same unseen URL). Returns whether a
-/// new row was created.
+/// one (a second parent endorsing the same unseen URL).
 pub fn upsert_frontier(
     db: &mut Database,
     oid: Oid,
     url: &str,
     log_relevance: f64,
     serverload: i64,
-) -> DbResult<bool> {
+) -> DbResult<Upsert> {
     match oid_lookup(db, oid)? {
         None => {
             let tid = crawl_tid(db)?;
             db.insert(tid, frontier_row(oid, url, log_relevance, serverload))?;
-            Ok(true)
+            Ok(Upsert::Created)
         }
         Some((rid, mut row)) => {
             let state = row[crawl_col::VISITED].as_i64().unwrap_or(visited::DEAD);
-            let old = row[crawl_col::RELEVANCE].as_f64().unwrap_or(f64::NEG_INFINITY);
+            let old = row[crawl_col::RELEVANCE]
+                .as_f64()
+                .unwrap_or(f64::NEG_INFINITY);
             if state == visited::FRONTIER && log_relevance > old {
                 row[crawl_col::RELEVANCE] = Value::Float(log_relevance);
                 row[crawl_col::NEGREL] = Value::Float(-log_relevance);
                 let tid = crawl_tid(db)?;
                 let (pool, catalog) = db.parts_mut();
                 catalog.update_row(pool, tid, rid, row)?;
+                Ok(Upsert::Raised)
+            } else {
+                Ok(Upsert::Unchanged)
             }
-            Ok(false)
         }
     }
 }
@@ -87,7 +102,12 @@ pub fn claim_next(db: &mut Database) -> DbResult<Option<Claim>> {
         let idx = catalog
             .find_index(
                 tid,
-                &[crawl_col::VISITED, crawl_col::NUMTRIES, crawl_col::NEGREL, crawl_col::SERVERLOAD],
+                &[
+                    crawl_col::VISITED,
+                    crawl_col::NUMTRIES,
+                    crawl_col::NEGREL,
+                    crawl_col::SERVERLOAD,
+                ],
             )
             .ok_or_else(|| DbError::Catalog("crawl lacks frontier index".into()))?;
         let hit = catalog.table(tid).indexes[idx]
@@ -123,7 +143,9 @@ pub fn mark_done(
     now_secs: i64,
 ) -> DbResult<()> {
     let Some((rid, mut row)) = oid_lookup(db, oid)? else {
-        return Err(DbError::Eval(format!("mark_done: {oid} not in crawl table")));
+        return Err(DbError::Eval(format!(
+            "mark_done: {oid} not in crawl table"
+        )));
     };
     row[crawl_col::KCID] = Value::Int(kcid);
     row[crawl_col::RELEVANCE] = Value::Float(log_relevance);
@@ -138,14 +160,11 @@ pub fn mark_done(
 
 /// Record a failed fetch; requeues (numtries+1) when retriable and under
 /// `max_tries`, otherwise marks the page dead.
-pub fn mark_failed(
-    db: &mut Database,
-    oid: Oid,
-    retriable: bool,
-    max_tries: i64,
-) -> DbResult<()> {
+pub fn mark_failed(db: &mut Database, oid: Oid, retriable: bool, max_tries: i64) -> DbResult<()> {
     let Some((rid, mut row)) = oid_lookup(db, oid)? else {
-        return Err(DbError::Eval(format!("mark_failed: {oid} not in crawl table")));
+        return Err(DbError::Eval(format!(
+            "mark_failed: {oid} not in crawl table"
+        )));
     };
     let tries = row[crawl_col::NUMTRIES].as_i64().unwrap_or(0) + 1;
     row[crawl_col::NUMTRIES] = Value::Int(tries);
@@ -161,9 +180,28 @@ pub fn mark_failed(
 }
 
 /// Raise the stored relevance of an *unvisited* page (distiller hub-boost
-/// trigger). No-op for visited pages or lower priorities.
-pub fn boost_unvisited(db: &mut Database, oid: Oid, log_relevance: f64) -> DbResult<()> {
-    upsert_frontier(db, oid, "", log_relevance, 0).map(|_| ())
+/// trigger, §3.7 re-steering). No-op for visited/dead pages and for lower
+/// priorities. Returns whether a frontier priority actually changed (a
+/// row was created or raised).
+pub fn boost_unvisited(db: &mut Database, oid: Oid, log_relevance: f64) -> DbResult<bool> {
+    upsert_frontier(db, oid, "", log_relevance, 0).map(|u| u != Upsert::Unchanged)
+}
+
+/// Rewrite the stored relevance of a *visited* page after a good-mark
+/// change (§3.7), so monitoring SQL (`avg(exp(relevance))`, the paper's
+/// `log R(u) > −1` cut) reflects the new marking. No-op for rows that are
+/// not `DONE`.
+pub fn update_visited_relevance(db: &mut Database, oid: Oid, log_relevance: f64) -> DbResult<()> {
+    if let Some((rid, mut row)) = oid_lookup(db, oid)? {
+        if row[crawl_col::VISITED].as_i64() == Some(visited::DONE) {
+            row[crawl_col::RELEVANCE] = Value::Float(log_relevance);
+            row[crawl_col::NEGREL] = Value::Float(-log_relevance);
+            let tid = crawl_tid(db)?;
+            let (pool, catalog) = db.parts_mut();
+            catalog.update_row(pool, tid, rid, row)?;
+        }
+    }
+    Ok(())
 }
 
 /// Update only `lastvisited` (crawl-maintenance revisits touch a page
@@ -204,10 +242,8 @@ mod tests {
         upsert_frontier(&mut db, Oid(1), "u1", -2.0, 0).unwrap();
         upsert_frontier(&mut db, Oid(2), "u2", -0.5, 0).unwrap();
         upsert_frontier(&mut db, Oid(3), "u3", -1.0, 0).unwrap();
-        let order: Vec<u64> = std::iter::from_fn(|| {
-            claim_next(&mut db).unwrap().map(|c| c.oid.raw())
-        })
-        .collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| claim_next(&mut db).unwrap().map(|c| c.oid.raw())).collect();
         assert_eq!(order, vec![2, 3, 1]);
         assert!(claim_next(&mut db).unwrap().is_none(), "frontier drained");
     }
@@ -240,9 +276,18 @@ mod tests {
     #[test]
     fn upsert_raises_priority_only_upward() {
         let mut db = db();
-        assert!(upsert_frontier(&mut db, Oid(1), "u1", -2.0, 0).unwrap());
-        assert!(!upsert_frontier(&mut db, Oid(1), "u1", -1.0, 0).unwrap());
-        assert!(!upsert_frontier(&mut db, Oid(1), "u1", -5.0, 0).unwrap());
+        assert_eq!(
+            upsert_frontier(&mut db, Oid(1), "u1", -2.0, 0).unwrap(),
+            Upsert::Created
+        );
+        assert_eq!(
+            upsert_frontier(&mut db, Oid(1), "u1", -1.0, 0).unwrap(),
+            Upsert::Raised
+        );
+        assert_eq!(
+            upsert_frontier(&mut db, Oid(1), "u1", -5.0, 0).unwrap(),
+            Upsert::Unchanged
+        );
         let c = claim_next(&mut db).unwrap().unwrap();
         assert!((c.log_relevance - -1.0).abs() < 1e-12, "kept the max");
     }
@@ -258,7 +303,9 @@ mod tests {
         // Re-discovering a visited page does not resurrect it.
         upsert_frontier(&mut db, Oid(1), "u1", 0.0, 0).unwrap();
         assert!(claim_next(&mut db).unwrap().is_none());
-        let rs = db.execute("select kcid, lastvisited from crawl where oid = 1").unwrap();
+        let rs = db
+            .execute("select kcid, lastvisited from crawl where oid = 1")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(5));
         assert_eq!(rs.rows[0][1], Value::Int(100));
     }

@@ -20,12 +20,16 @@
 //! (the standard-crawler baseline of Figure 5(a); pages are still
 //! *classified* so harvest can be measured, but relevance never steers).
 
+pub mod events;
 pub mod frontier;
 pub mod monitor;
 pub mod policy;
+pub mod run;
 pub mod session;
 pub mod tables;
 
+pub use events::{CrawlEvent, CrawlObserver, EventStream};
 pub use policy::CrawlPolicy;
-pub use session::{CrawlConfig, CrawlSession, CrawlStats};
+pub use run::{Command, CrawlError, CrawlRun, RunState, StartOptions};
+pub use session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats};
 pub use tables::host_server_id;

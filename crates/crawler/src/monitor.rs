@@ -126,7 +126,8 @@ mod tests {
         t.add_path("business/investing/mutual-funds").unwrap();
         let _ = inv;
         tables::create_taxonomy_dim(&mut db, &t).unwrap();
-        db.execute("create table hubs (oid int, score float)").unwrap();
+        db.execute("create table hubs (oid int, score float)")
+            .unwrap();
         let crawl = db.table_id("crawl").unwrap();
         // Visited rows in minutes 0 and 1, classes 2 (investing) and 3.
         for i in 0..20i64 {
@@ -196,8 +197,10 @@ mod tests {
         let mut db = db_with_crawl_rows();
         // Hub 0 links to frontier page 100 cross-server.
         db.execute("insert into hubs values (0, 0.9)").unwrap();
-        db.execute("insert into link values (0, 1, 100, 2, 0)").unwrap();
-        db.execute("insert into link values (0, 1, 101, 1, 0)").unwrap(); // nepotistic
+        db.execute("insert into link values (0, 1, 100, 2, 0)")
+            .unwrap();
+        db.execute("insert into link values (0, 1, 101, 1, 0)")
+            .unwrap(); // nepotistic
         let rs = missed_hub_neighbors(&mut db, 0.5).unwrap();
         assert_eq!(rs.rows.len(), 1, "only the cross-server frontier page");
     }
@@ -207,9 +210,12 @@ mod tests {
         let mut db = db_with_crawl_rows();
         // Visited rows: even oids are class 2, odd are class 3.
         // Links class2 -> class3 at times 10 and 100; class3 -> class2 at 100.
-        db.execute("insert into link values (0, 1, 1, 2, 10)").unwrap();
-        db.execute("insert into link values (2, 1, 3, 2, 100)").unwrap();
-        db.execute("insert into link values (1, 1, 2, 2, 100)").unwrap();
+        db.execute("insert into link values (0, 1, 1, 2, 10)")
+            .unwrap();
+        db.execute("insert into link values (2, 1, 3, 2, 100)")
+            .unwrap();
+        db.execute("insert into link values (1, 1, 2, 2, 100)")
+            .unwrap();
         assert_eq!(community_evolution(&mut db, 2, 3, 0).unwrap(), 2);
         assert_eq!(community_evolution(&mut db, 2, 3, 50).unwrap(), 1);
         assert_eq!(community_evolution(&mut db, 3, 2, 0).unwrap(), 1);

@@ -33,7 +33,10 @@ impl CrawlPolicy {
     /// hard-focus predicate evaluated on the page's best leaf.
     pub fn decide(&self, posterior: &Posterior, hard_accepts: bool) -> Expansion {
         match self {
-            CrawlPolicy::Unfocused => Expansion { expand: true, child_log_relevance: 0.0 },
+            CrawlPolicy::Unfocused => Expansion {
+                expand: true,
+                child_log_relevance: 0.0,
+            },
             CrawlPolicy::HardFocus => Expansion {
                 expand: hard_accepts,
                 // Accepted pages' links get top priority (R treated as 1).
@@ -87,5 +90,49 @@ mod tests {
         // Floor keeps zero-relevance finite.
         let e = CrawlPolicy::SoftFocus.decide(&posterior(0.0), false);
         assert!(e.child_log_relevance.is_finite());
+    }
+
+    #[test]
+    fn soft_focus_clamps_at_the_relevance_boundaries() {
+        // R = 1 (perfectly relevant) maps to the top priority, ln 1 = 0.
+        let top = CrawlPolicy::SoftFocus.decide(&posterior(1.0), true);
+        assert_eq!(top.child_log_relevance, 0.0);
+        // The floor at R = 1e-9 bounds every priority from below...
+        let floor = 1e-9f64.ln();
+        let bottom = CrawlPolicy::SoftFocus.decide(&posterior(0.0), false);
+        assert_eq!(bottom.child_log_relevance, floor);
+        // ...including degenerate negative posteriors from float error.
+        let neg = CrawlPolicy::SoftFocus.decide(&posterior(-1e-12), false);
+        assert_eq!(neg.child_log_relevance, floor);
+        // Priorities are monotone in R above the floor.
+        let lo = CrawlPolicy::SoftFocus.decide(&posterior(1e-9), false);
+        let mid = CrawlPolicy::SoftFocus.decide(&posterior(0.3), false);
+        assert!(lo.child_log_relevance < mid.child_log_relevance);
+        assert!(mid.child_log_relevance < top.child_log_relevance);
+    }
+
+    #[test]
+    fn hard_vs_soft_disagree_only_on_expansion() {
+        // At the same posterior, hard focus gates expansion on the
+        // acceptance predicate while soft focus always expands; hard
+        // focus grants accepted pages top child priority (R treated as
+        // 1), soft focus propagates the measured R.
+        let p = posterior(0.4);
+        let hard_in = CrawlPolicy::HardFocus.decide(&p, true);
+        let hard_out = CrawlPolicy::HardFocus.decide(&p, false);
+        let soft = CrawlPolicy::SoftFocus.decide(&p, false);
+        assert!(hard_in.expand && !hard_out.expand && soft.expand);
+        assert_eq!(hard_in.child_log_relevance, 0.0);
+        assert!((soft.child_log_relevance - 0.4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_clamped_boundaries() {
+        assert_eq!(log_clamped(1.0), 0.0);
+        assert_eq!(log_clamped(0.0), 1e-9f64.ln());
+        assert_eq!(log_clamped(-5.0), 1e-9f64.ln());
+        assert!(log_clamped(f64::MIN_POSITIVE) >= 1e-9f64.ln());
+        // Above the floor the clamp is the identity under ln.
+        assert!((log_clamped(0.7) - 0.7f64.ln()).abs() < 1e-15);
     }
 }

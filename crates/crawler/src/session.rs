@@ -3,29 +3,58 @@
 //!
 //! Concurrency mirrors the paper's setup — many fetcher threads against
 //! one database: a worker *claims* a frontier entry under the lock,
-//! fetches (slow, lock released), then reacquires the lock to classify
-//! and update `CRAWL`/`LINK`. Crashing pages (malformed content, dead
-//! links, timeouts) are routine, not exceptional: they adjust `numtries`
-//! and the frontier, never corrupting table/index consistency.
+//! fetches (slow, lock released), classifies (pure, lock released), then
+//! reacquires the lock to record the page and update `CRAWL`/`LINK`.
+//! Crashing pages (malformed content, dead links, timeouts) are routine,
+//! not exceptional: they adjust `numtries` and the frontier, never
+//! corrupting table/index consistency.
+//!
+//! Shared state is split by role:
+//!
+//! * [`StoreState`] — the relational store and its in-memory caches
+//!   (link cache, relevance map, saved posteriors), guarded with the
+//!   counters by one mutex (one database, one lock, as in the paper);
+//! * counters ([`CounterState`]) — budget, attempt/success tallies,
+//!   in-flight count, first storage error, worker failures;
+//! * control ([`crate::run::ControlState`]) — the command queue and
+//!   lifecycle flags, deliberately *outside* the data mutex so steering a
+//!   crawl never contends with page processing.
+//!
+//! Workers drain the command queue between page fetches, so every
+//! control mutation (pause, new seeds, re-marked topics, policy swaps)
+//! lands at a page boundary with the tables consistent.
 
+use crate::events::{CrawlEvent, EventSink};
 use crate::frontier::{self, Claim};
 use crate::policy::{log_clamped, CrawlPolicy};
-use crate::tables::{self, host_server_id};
-use focus_classifier::model::TrainedModel;
+use crate::run::{Command, ControlState, CrawlError, CrawlRun, RunState, StartOptions};
+use crate::tables::{self, crawl_col, host_server_id, visited};
+use focus_classifier::model::{Posterior, TrainedModel};
 use focus_distiller::memory::{edges_from_links, WeightedHits};
 use focus_distiller::{DistillConfig, DistillResult};
 use focus_types::hash::FxHashMap;
-use focus_types::{Oid, ServerId};
+use focus_types::{ClassId, Oid, ServerId};
 use focus_webgraph::{FetchError, Fetcher};
 use minirel::{Database, DbResult, Value};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Below this linear relevance, a re-marked topic does not re-prioritize
+/// a visited page's outlinks (§3.7 re-steering; keeps the boost targeted
+/// at pages the new marking actually endorses).
+const RESTEER_MIN_RELEVANCE: f64 = 0.2;
+
+/// Posterior probabilities below this are not cached per page (the saved
+/// posteriors back mid-crawl re-marking; the tail adds nothing).
+const SAVED_PROB_FLOOR: f64 = 1e-4;
 
 /// Session parameters.
 #[derive(Debug, Clone)]
 pub struct CrawlConfig {
-    /// Link-expansion policy.
+    /// Initial link-expansion policy (switchable live via
+    /// [`CrawlRun::set_policy`]).
     pub policy: CrawlPolicy,
     /// Fetcher threads ("about thirty" in the paper; tests use 1 for
     /// determinism).
@@ -113,28 +142,61 @@ impl CrawlStats {
     }
 }
 
-struct Inner {
+/// The relational store and its in-memory caches.
+struct StoreState {
     db: Database,
+    /// Linear `R` of visited pages (distiller edge weights, re-steering).
     relevance: FxHashMap<Oid, f64>,
+    /// Saved per-page posteriors (classes above [`SAVED_PROB_FLOOR`]),
+    /// kept so a mid-crawl `mark_topic` can recompute relevance without
+    /// refetching (§3.7).
+    class_probs: FxHashMap<Oid, Vec<(ClassId, f64)>>,
+    /// Link cache `(src, sid_src, dst, sid_dst)` mirroring `LINK`.
     links: Vec<(Oid, u32, Oid, u32)>,
     server_counts: FxHashMap<ServerId, i64>,
-    stats: CrawlStats,
-    /// Fetch-attempt budget; [`CrawlSession::add_budget`] raises it so a
-    /// session can be resumed after maintenance.
-    budget: u64,
-    in_flight: usize,
+    /// Live link-expansion policy (starts at `cfg.policy`).
+    policy: CrawlPolicy,
     since_distill: usize,
     last_distill: Option<DistillResult>,
+}
+
+/// Budget and outcome counters.
+struct CounterState {
+    stats: CrawlStats,
+    /// Fetch-attempt budget; raised live by [`CrawlRun::add_budget`].
+    budget: u64,
+    in_flight: usize,
     error: Option<minirel::DbError>,
+    /// Rendered panic messages, one per failed worker.
+    worker_failures: Vec<String>,
+}
+
+struct Inner {
+    store: StoreState,
+    counters: CounterState,
 }
 
 /// A goal-directed crawl over any [`Fetcher`].
+///
+/// Wrap in an [`Arc`] and call [`CrawlSession::start`] for a live,
+/// steerable run, or [`CrawlSession::run`] for the blocking convenience
+/// path.
 pub struct CrawlSession {
     fetcher: Arc<dyn Fetcher>,
-    model: Arc<TrainedModel>,
+    /// Behind a rwlock so `mark_topic` can change the good set while
+    /// workers classify (§3.7 administration against a live crawl).
+    model: RwLock<TrainedModel>,
     cfg: CrawlConfig,
     inner: Mutex<Inner>,
+    control: ControlState,
     start: Instant,
+}
+
+/// What a worker decided to do with one scheduling tick.
+enum Tick {
+    Work(Claim),
+    EmptyFrontier,
+    Exit,
 }
 
 impl CrawlSession {
@@ -153,97 +215,429 @@ impl CrawlSession {
         db.execute("create table auth (oid int, score float)")?;
         db.execute("create index auth_oid on auth (oid)")?;
         let initial_budget = cfg.max_fetches;
+        let initial_policy = cfg.policy;
         Ok(CrawlSession {
             fetcher,
-            model: Arc::new(model),
+            model: RwLock::new(model),
             cfg,
             inner: Mutex::new(Inner {
-                db,
-                relevance: FxHashMap::default(),
-                links: Vec::new(),
-                server_counts: FxHashMap::default(),
-                stats: CrawlStats::default(),
-                budget: initial_budget,
-                in_flight: 0,
-                since_distill: 0,
-                last_distill: None,
-                error: None,
+                store: StoreState {
+                    db,
+                    relevance: FxHashMap::default(),
+                    class_probs: FxHashMap::default(),
+                    links: Vec::new(),
+                    server_counts: FxHashMap::default(),
+                    policy: initial_policy,
+                    since_distill: 0,
+                    last_distill: None,
+                },
+                counters: CounterState {
+                    stats: CrawlStats::default(),
+                    budget: initial_budget,
+                    in_flight: 0,
+                    error: None,
+                    worker_failures: Vec::new(),
+                },
             }),
+            control: ControlState::new(),
             start: Instant::now(),
         })
+    }
+
+    /// Rebuild a session from a [`CrawlCheckpoint`], so a crawl can be
+    /// resumed in a fresh process with its frontier, relevance state,
+    /// link graph, stats, remaining budget, and good marking intact.
+    pub fn restore(
+        fetcher: Arc<dyn Fetcher>,
+        model: TrainedModel,
+        cfg: CrawlConfig,
+        ckpt: &CrawlCheckpoint,
+    ) -> DbResult<CrawlSession> {
+        let session = CrawlSession::new(fetcher, model, cfg)?;
+        {
+            // The checkpoint's marking replaces the caller's wholesale:
+            // live `mark_topic` calls may have both added and *removed*
+            // good topics since the model was built, so clear first.
+            let mut model = session.model.write();
+            for c in model.taxonomy.good_set() {
+                model
+                    .taxonomy
+                    .unmark_good(c)
+                    .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
+            }
+            for name in &ckpt.good_topics {
+                let c = model.taxonomy.find(name).ok_or_else(|| {
+                    minirel::DbError::Eval(format!(
+                        "restore: checkpoint marks unknown topic {name:?}"
+                    ))
+                })?;
+                model
+                    .taxonomy
+                    .mark_good(c)
+                    .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
+            }
+        }
+        let mut g = session.inner.lock();
+        let crawl_tid = g.store.db.table_id("crawl")?;
+        for row in &ckpt.pages {
+            let mut r = tables::frontier_row(row.oid, &row.url, row.log_relevance, row.serverload);
+            r[crawl_col::KCID] = Value::Int(row.kcid);
+            r[crawl_col::NUMTRIES] = Value::Int(row.numtries);
+            r[crawl_col::LASTVISITED] = Value::Int(row.lastvisited);
+            r[crawl_col::VISITED] = Value::Int(row.state);
+            g.store.db.insert(crawl_tid, r)?;
+            if row.state == visited::DONE && !row.url.is_empty() {
+                *g.store
+                    .server_counts
+                    .entry(host_server_id(&row.url))
+                    .or_insert(0) += 1;
+            }
+        }
+        let link_tid = g.store.db.table_id("link")?;
+        for &(src, sid_src, dst, sid_dst, discovered) in &ckpt.links {
+            g.store.links.push((src, sid_src, dst, sid_dst));
+            g.store.db.insert(
+                link_tid,
+                vec![
+                    Value::Int(src.raw() as i64),
+                    Value::Int(sid_src as i64),
+                    Value::Int(dst.raw() as i64),
+                    Value::Int(sid_dst as i64),
+                    Value::Int(discovered),
+                ],
+            )?;
+        }
+        g.store.relevance = ckpt.relevance.iter().copied().collect();
+        g.store.class_probs = ckpt
+            .class_probs
+            .iter()
+            .map(|(o, v)| (*o, v.clone()))
+            .collect();
+        g.store.policy = ckpt.policy;
+        g.counters.stats = ckpt.stats.clone();
+        g.counters.budget = ckpt.stats.attempts + ckpt.budget_remaining;
+        drop(g);
+        Ok(session)
     }
 
     /// Seed the frontier with the start set `D(C*)` at top priority.
     pub fn seed(&self, seeds: &[Oid]) -> DbResult<()> {
         let mut g = self.inner.lock();
         for &oid in seeds {
-            frontier::upsert_frontier(&mut g.db, oid, "", 0.0, 0)?;
+            frontier::upsert_frontier(&mut g.store.db, oid, "", 0.0, 0)?;
         }
         Ok(())
     }
 
-    /// Run workers until the fetch budget is spent or the frontier
-    /// stagnates. Returns the final stats snapshot.
-    pub fn run(&self) -> DbResult<CrawlStats> {
-        let threads = self.cfg.threads.max(1);
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| self.worker());
-            }
-        });
-        let g = self.inner.lock();
-        if let Some(e) = &g.error {
-            return Err(e.clone());
-        }
-        Ok(g.stats.clone())
+    /// Spawn the worker pool in the background and return the steering
+    /// handle. The session stays usable for ad-hoc SQL while running.
+    pub fn start(self: &Arc<Self>) -> Result<CrawlRun, CrawlError> {
+        self.start_with(StartOptions::default())
     }
 
-    fn worker(&self) {
+    /// [`CrawlSession::start`] with an explicit event-channel capacity
+    /// and observers.
+    pub fn start_with(self: &Arc<Self>, opts: StartOptions) -> Result<CrawlRun, CrawlError> {
+        CrawlRun::launch(Arc::clone(self), opts)
+    }
+
+    /// Run workers until the fetch budget is spent or the frontier
+    /// stagnates, blocking the caller; the historical entry point, now a
+    /// thin wrapper over [`CrawlSession::start`] + [`CrawlRun::join`].
+    pub fn run(self: &Arc<Self>) -> Result<CrawlStats, CrawlError> {
+        self.start()?.join()
+    }
+
+    pub(crate) fn control(&self) -> &ControlState {
+        &self.control
+    }
+
+    /// Clear the previous run's verdict so a fresh `start()` is judged on
+    /// its own work. The tables themselves are left as-is: commands and
+    /// page processing only mutate them at page boundaries, so even an
+    /// aborted run leaves a frontier a new pool can continue from.
+    pub(crate) fn reset_run_diagnostics(&self) {
+        let mut g = self.inner.lock();
+        g.counters.error = None;
+        g.counters.worker_failures.clear();
+    }
+
+    /// The worker loop: drain control commands, honor pause/stop, claim,
+    /// fetch (lock released), classify (lock released), record.
+    pub(crate) fn worker(&self, sink: &EventSink) {
         loop {
-            let claim = {
-                let mut g = self.inner.lock();
-                if g.error.is_some() || g.stats.attempts >= g.budget {
-                    break;
+            self.control.drain(|cmd| self.apply_command(cmd, sink));
+            if self.control.abort.load(Ordering::Acquire) {
+                break;
+            }
+            match self.control.run_state() {
+                RunState::Stopping => break,
+                RunState::Paused => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
                 }
-                match frontier::claim_next(&mut g.db) {
-                    Ok(Some(c)) => {
-                        g.stats.attempts += 1;
-                        g.in_flight += 1;
-                        Some(c)
-                    }
-                    Ok(None) => None,
-                    Err(e) => {
-                        g.error = Some(e);
-                        break;
-                    }
-                }
-            };
-            match claim {
-                Some(c) => {
-                    // Fetch without holding the lock (network latency).
-                    let result = self.fetcher.fetch(c.oid);
-                    let mut g = self.inner.lock();
-                    g.in_flight -= 1;
-                    let attempt = g.stats.attempts;
-                    if let Err(e) = self.process(&mut g, &c, result, attempt) {
-                        g.error = Some(e);
-                        break;
-                    }
-                }
-                None => {
+                _ => {}
+            }
+            match self.next_tick(sink) {
+                Tick::Exit => break,
+                Tick::EmptyFrontier => {
                     // Empty frontier: if nothing is in flight either, the
                     // crawl has stagnated or finished.
-                    let done = {
+                    let (idle, attempts) = {
                         let g = self.inner.lock();
-                        g.in_flight == 0
+                        (g.counters.in_flight == 0, g.counters.stats.attempts)
                     };
-                    if done {
+                    if idle {
+                        if !self
+                            .control
+                            .stagnation_reported
+                            .swap(true, Ordering::AcqRel)
+                        {
+                            sink.emit(CrawlEvent::FrontierStagnated { attempts });
+                        }
                         break;
                     }
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
+                Tick::Work(claim) => {
+                    // Fetch without holding the lock (network latency).
+                    let result = self.fetcher.fetch(claim.oid);
+                    // Classify without holding the lock either: inference
+                    // is pure CPU and was the hottest section inside the
+                    // old critical section.
+                    let eval = result.as_ref().ok().map(|page| {
+                        let model = self.model.read();
+                        let post = model.evaluate(&page.terms);
+                        let hard = model.taxonomy.hard_focus_accepts(post.best_leaf);
+                        (post, hard)
+                    });
+                    let mut g = self.inner.lock();
+                    g.counters.in_flight -= 1;
+                    let attempt = g.counters.stats.attempts;
+                    if let Err(e) = self.process(&mut g, &claim, result, eval, attempt, sink) {
+                        g.counters.error = Some(e);
+                        self.control.abort.store(true, Ordering::Release);
+                        break;
+                    }
+                }
             }
         }
+    }
+
+    /// Claim the next unit of work, or decide why there is none.
+    fn next_tick(&self, sink: &EventSink) -> Tick {
+        let mut g = self.inner.lock();
+        if g.counters.error.is_some() {
+            return Tick::Exit;
+        }
+        if g.counters.stats.attempts >= g.counters.budget {
+            let attempts = g.counters.stats.attempts;
+            drop(g);
+            if !self.control.budget_reported.swap(true, Ordering::AcqRel) {
+                sink.emit(CrawlEvent::BudgetExhausted { attempts });
+            }
+            return Tick::Exit;
+        }
+        match frontier::claim_next(&mut g.store.db) {
+            Ok(Some(c)) => {
+                g.counters.stats.attempts += 1;
+                g.counters.in_flight += 1;
+                Tick::Work(c)
+            }
+            Ok(None) => Tick::EmptyFrontier,
+            Err(e) => {
+                g.counters.error = Some(e);
+                self.control.abort.store(true, Ordering::Release);
+                Tick::Exit
+            }
+        }
+    }
+
+    /// Apply one steering command at a page boundary.
+    pub(crate) fn apply_command(&self, cmd: Command, sink: &EventSink) {
+        match cmd {
+            Command::Pause => {
+                if self.control.run_state() == RunState::Running {
+                    self.control.set_state(RunState::Paused);
+                    sink.emit(CrawlEvent::Paused);
+                }
+            }
+            Command::Resume => {
+                if self.control.run_state() == RunState::Paused {
+                    self.control.set_state(RunState::Running);
+                    sink.emit(CrawlEvent::Resumed);
+                }
+            }
+            Command::Stop => {
+                self.control.set_state(RunState::Stopping);
+                if self.control.stop_reported_once() {
+                    let attempts = self.inner.lock().counters.stats.attempts;
+                    sink.emit(CrawlEvent::Stopped { attempts });
+                }
+            }
+            Command::AddSeeds(seeds) => {
+                let res = self.seed(&seeds);
+                self.control
+                    .stagnation_reported
+                    .store(false, Ordering::Release);
+                match res {
+                    Ok(()) => sink.emit(CrawlEvent::SeedsAdded { count: seeds.len() }),
+                    Err(e) => self.record_error(e),
+                }
+            }
+            Command::AddBudget(extra) => {
+                let budget = {
+                    let mut g = self.inner.lock();
+                    g.counters.budget += extra;
+                    g.counters.budget
+                };
+                self.control.budget_reported.store(false, Ordering::Release);
+                sink.emit(CrawlEvent::BudgetAdded { extra, budget });
+            }
+            Command::SetPolicy(policy) => {
+                self.inner.lock().store.policy = policy;
+                sink.emit(CrawlEvent::PolicyChanged {
+                    policy: policy_name(policy),
+                });
+            }
+            Command::MarkTopic { class, good } => {
+                self.apply_mark_topic(class, good, sink);
+            }
+            Command::Distill => {
+                let mut g = self.inner.lock();
+                if let Err(e) = self.distill_locked(&mut g, Some(sink)) {
+                    g.counters.error = Some(e);
+                    self.control.abort.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// §3.7 live re-steering: change the good marking, recompute visited
+    /// pages' relevance from their saved posteriors, and re-prioritize
+    /// the frontier entries those pages point to.
+    fn apply_mark_topic(&self, class: ClassId, good: bool, sink: &EventSink) {
+        let applied = {
+            let mut model = self.model.write();
+            let res = if good {
+                model.taxonomy.mark_good(class)
+            } else {
+                model.taxonomy.unmark_good(class)
+            };
+            res.is_ok()
+        };
+        sink.emit(CrawlEvent::TopicMarked {
+            class,
+            good,
+            applied,
+        });
+        if !applied {
+            return;
+        }
+        let model = self.model.read();
+        let goods = model.taxonomy.good_set();
+        let mut g = self.inner.lock();
+        // Recompute R(d) for every visited page under the new marking.
+        // A good class that was never evaluated (it sat below the old
+        // path nodes) borrows its deepest evaluated ancestor's
+        // probability — an upper bound, which is the right bias for
+        // discovery: over-approximating sends the crawler to look.
+        let recomputed: Vec<(Oid, f64)> = g
+            .store
+            .class_probs
+            .iter()
+            .map(|(&oid, probs)| {
+                let r: f64 = goods
+                    .iter()
+                    .map(|&gc| lookup_prob(&model.taxonomy, probs, gc))
+                    .sum();
+                (oid, r.min(1.0))
+            })
+            .collect();
+        for &(oid, r) in &recomputed {
+            g.store.relevance.insert(oid, r);
+            if let Err(e) = frontier::update_visited_relevance(&mut g.store.db, oid, log_clamped(r))
+            {
+                g.counters.error = Some(e);
+                self.control.abort.store(true, Ordering::Release);
+                return;
+            }
+        }
+        // Re-prioritize: unvisited targets of now-relevant pages inherit
+        // the new relevance, exactly the soft-focus rule applied
+        // retroactively.
+        let candidates: Vec<(Oid, f64)> = g
+            .store
+            .links
+            .iter()
+            .filter_map(|&(src, _, dst, _)| {
+                if g.store.relevance.contains_key(&dst) {
+                    return None; // already fetched
+                }
+                match g.store.relevance.get(&src) {
+                    Some(&r) if r > RESTEER_MIN_RELEVANCE => Some((dst, r)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let mut boosted = 0usize;
+        for (dst, r) in candidates {
+            match frontier::boost_unvisited(&mut g.store.db, dst, log_clamped(r)) {
+                Ok(true) => boosted += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    g.counters.error = Some(e);
+                    self.control.abort.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        }
+        self.control
+            .stagnation_reported
+            .store(false, Ordering::Release);
+        sink.emit(CrawlEvent::FrontierResteered { class, boosted });
+    }
+
+    fn record_error(&self, e: minirel::DbError) {
+        self.inner.lock().counters.error = Some(e);
+        self.control.abort.store(true, Ordering::Release);
+    }
+
+    /// Record a worker panic: surface it as an event and an error from
+    /// `join()`, and wind the whole pool down (partial stats must never
+    /// masquerade as success).
+    pub(crate) fn note_worker_panic(
+        &self,
+        worker: usize,
+        payload: &(dyn std::any::Any + Send),
+        sink: &EventSink,
+    ) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_owned());
+        self.inner
+            .lock()
+            .counters
+            .worker_failures
+            .push(format!("worker {worker}: {message}"));
+        self.control.abort.store(true, Ordering::Release);
+        self.control.set_state(RunState::Stopping);
+        sink.emit(CrawlEvent::WorkerFailed { worker, message });
+    }
+
+    /// Final verdict of a run: worker panics and storage errors win over
+    /// the happy path.
+    pub(crate) fn run_outcome(&self) -> Result<CrawlStats, CrawlError> {
+        let g = self.inner.lock();
+        if !g.counters.worker_failures.is_empty() {
+            return Err(CrawlError::Worker(g.counters.worker_failures.join("; ")));
+        }
+        if let Some(e) = &g.counters.error {
+            return Err(CrawlError::Db(e.clone()));
+        }
+        Ok(g.counters.stats.clone())
     }
 
     fn process(
@@ -251,46 +645,69 @@ impl CrawlSession {
         g: &mut Inner,
         claim: &Claim,
         result: Result<focus_webgraph::FetchedPage, FetchError>,
+        eval: Option<(Posterior, bool)>,
         attempt: u64,
+        sink: &EventSink,
     ) -> DbResult<()> {
         let now = self.start.elapsed().as_secs() as i64;
-        g.db.set_current_timestamp(now);
+        g.store.db.set_current_timestamp(now);
         match result {
             Err(FetchError::Timeout(_)) => {
-                g.stats.failures += 1;
-                frontier::mark_failed(&mut g.db, claim.oid, true, self.cfg.max_tries)
+                g.counters.stats.failures += 1;
+                frontier::mark_failed(&mut g.store.db, claim.oid, true, self.cfg.max_tries)?;
+                sink.emit(CrawlEvent::FetchFailed {
+                    oid: claim.oid,
+                    attempt,
+                    retriable: true,
+                });
+                Ok(())
             }
             Err(FetchError::NotFound(_)) => {
-                g.stats.failures += 1;
-                frontier::mark_failed(&mut g.db, claim.oid, false, self.cfg.max_tries)
+                g.counters.stats.failures += 1;
+                frontier::mark_failed(&mut g.store.db, claim.oid, false, self.cfg.max_tries)?;
+                sink.emit(CrawlEvent::FetchFailed {
+                    oid: claim.oid,
+                    attempt,
+                    retriable: false,
+                });
+                Ok(())
             }
             Ok(page) => {
-                let post = self.model.evaluate(&page.terms);
+                let (post, hard) = eval.expect("successful fetches are classified");
                 let r = post.relevance;
                 let log_r = log_clamped(r);
                 frontier::mark_done(
-                    &mut g.db,
+                    &mut g.store.db,
                     page.oid,
                     log_r,
                     post.best_leaf.raw() as i64,
                     now,
                 )?;
-                set_url(&mut g.db, page.oid, &page.url)?;
-                g.stats.successes += 1;
-                g.stats.harvest.push((attempt, r));
-                g.stats.completion_order.push((page.oid, r));
-                g.relevance.insert(page.oid, r);
+                set_url(&mut g.store.db, page.oid, &page.url)?;
+                g.counters.stats.successes += 1;
+                g.counters.stats.harvest.push((attempt, r));
+                g.counters.stats.completion_order.push((page.oid, r));
+                g.store.relevance.insert(page.oid, r);
+                g.store.class_probs.insert(
+                    page.oid,
+                    post.class_probs
+                        .iter()
+                        .copied()
+                        .filter(|&(_, p)| p > SAVED_PROB_FLOOR)
+                        .collect(),
+                );
                 let sid_src = host_server_id(&page.url);
-                *g.server_counts.entry(sid_src).or_insert(0) += 1;
+                *g.store.server_counts.entry(sid_src).or_insert(0) += 1;
 
                 // Record links and expand the frontier.
-                let hard = self.model.taxonomy.hard_focus_accepts(post.best_leaf);
-                let expansion = self.cfg.policy.decide(&post, hard);
-                let link_tid = g.db.table_id("link")?;
+                let expansion = g.store.policy.decide(&post, hard);
+                let link_tid = g.store.db.table_id("link")?;
                 for (dst, dst_url) in &page.outlinks {
                     let sid_dst = host_server_id(dst_url);
-                    g.links.push((page.oid, sid_src.raw(), *dst, sid_dst.raw()));
-                    g.db.insert(
+                    g.store
+                        .links
+                        .push((page.oid, sid_src.raw(), *dst, sid_dst.raw()));
+                    g.store.db.insert(
                         link_tid,
                         vec![
                             Value::Int(page.oid.raw() as i64),
@@ -301,10 +718,9 @@ impl CrawlSession {
                         ],
                     )?;
                     if expansion.expand {
-                        let load =
-                            g.server_counts.get(&sid_dst).copied().unwrap_or(0);
+                        let load = g.store.server_counts.get(&sid_dst).copied().unwrap_or(0);
                         frontier::upsert_frontier(
-                            &mut g.db,
+                            &mut g.store.db,
                             *dst,
                             dst_url,
                             expansion.child_log_relevance,
@@ -322,24 +738,34 @@ impl CrawlSession {
                             let prio = log_clamped(r * 0.8);
                             for (src, src_url) in citers {
                                 let sid = host_server_id(&src_url);
-                                let load =
-                                    g.server_counts.get(&sid).copied().unwrap_or(0);
+                                let load = g.store.server_counts.get(&sid).copied().unwrap_or(0);
                                 frontier::upsert_frontier(
-                                    &mut g.db, src, &src_url, prio, load,
+                                    &mut g.store.db,
+                                    src,
+                                    &src_url,
+                                    prio,
+                                    load,
                                 )?;
                             }
                         }
                     }
                 }
 
+                sink.emit(CrawlEvent::PageClassified {
+                    oid: page.oid,
+                    attempt,
+                    relevance: r,
+                    best_leaf: post.best_leaf,
+                });
+
                 // Distillation trigger (§3.1: "triggers to recompute
                 // relevance and centrality scores when the neighborhood
                 // of a page changed significantly").
-                g.since_distill += 1;
+                g.store.since_distill += 1;
                 if let Some(every) = self.cfg.distill_every {
-                    if g.since_distill >= every {
-                        g.since_distill = 0;
-                        self.distill_locked(g)?;
+                    if g.store.since_distill >= every {
+                        g.store.since_distill = 0;
+                        self.distill_locked(g, Some(sink))?;
                     }
                 }
                 Ok(())
@@ -347,20 +773,24 @@ impl CrawlSession {
         }
     }
 
-    fn distill_locked(&self, g: &mut Inner) -> DbResult<()> {
-        let edges = edges_from_links(&g.links, &g.relevance);
-        let result = WeightedHits::new(&edges, &g.relevance, self.cfg.distill.clone()).run();
-        g.stats.distillations += 1;
+    fn distill_locked(&self, g: &mut Inner, sink: Option<&EventSink>) -> DbResult<()> {
+        let edges = edges_from_links(&g.store.links, &g.store.relevance);
+        let result = WeightedHits::new(&edges, &g.store.relevance, self.cfg.distill.clone()).run();
+        g.counters.stats.distillations += 1;
         // Persist HUBS/AUTH so ad-hoc monitoring SQL sees live scores.
-        g.db.execute("delete from hubs")?;
-        g.db.execute("delete from auth")?;
-        let hubs_tid = g.db.table_id("hubs")?;
+        g.store.db.execute("delete from hubs")?;
+        g.store.db.execute("delete from auth")?;
+        let hubs_tid = g.store.db.table_id("hubs")?;
         for &(o, s) in result.top_hubs(200) {
-            g.db.insert(hubs_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
+            g.store
+                .db
+                .insert(hubs_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
         }
-        let auth_tid = g.db.table_id("auth")?;
+        let auth_tid = g.store.db.table_id("auth")?;
         for &(o, s) in result.top_auths(200) {
-            g.db.insert(auth_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
+            g.store
+                .db
+                .insert(auth_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
         }
         // Hub-boost trigger: raise priority of unvisited pages cited by
         // the best hubs.
@@ -372,24 +802,34 @@ impl CrawlSession {
                 .map(|&(o, _)| o)
                 .collect();
             let targets: Vec<Oid> = g
+                .store
                 .links
                 .iter()
                 .filter(|(src, ss, _, sd)| top.contains(src) && ss != sd)
                 .map(|&(_, _, dst, _)| dst)
-                .filter(|dst| !g.relevance.contains_key(dst))
+                .filter(|dst| !g.store.relevance.contains_key(dst))
                 .collect();
             for dst in targets {
-                frontier::boost_unvisited(&mut g.db, dst, boost)?;
+                frontier::boost_unvisited(&mut g.store.db, dst, boost)?;
             }
         }
-        g.last_distill = Some(result);
+        if let Some(sink) = sink {
+            sink.emit(CrawlEvent::DistillCompleted {
+                distillation: g.counters.stats.distillations,
+                top_hub: result.top_hubs(1).first().map(|&(o, _)| o),
+                top_auth: result.top_auths(1).first().map(|&(o, _)| o),
+            });
+        }
+        g.store.last_distill = Some(result);
         Ok(())
     }
 
-    /// Raise the fetch budget so [`Self::run`] can be called again to
-    /// continue the crawl (used after a maintenance pass).
+    /// Raise the fetch budget directly (between runs; a *live* run takes
+    /// [`CrawlRun::add_budget`], which also re-arms the exhaustion
+    /// event).
     pub fn add_budget(&self, extra: u64) {
-        self.inner.lock().budget += extra;
+        self.inner.lock().counters.budget += extra;
+        self.control.budget_reported.store(false, Ordering::Release);
     }
 
     /// Crawl-maintenance pass (§3.2): revisit the best hubs in
@@ -403,24 +843,30 @@ impl CrawlSession {
             Some(d) => d,
             None => self.distill_now()?,
         };
-        let hubs: Vec<Oid> = distill.top_hubs(top_k_hubs).iter().map(|&(o, _)| o).collect();
+        let hubs: Vec<Oid> = distill
+            .top_hubs(top_k_hubs)
+            .iter()
+            .map(|&(o, _)| o)
+            .collect();
         let mut revisited = 0;
         let mut new_links = 0;
         for hub in hubs {
-            let Ok(page) = self.fetcher.fetch(hub) else { continue };
+            let Ok(page) = self.fetcher.fetch(hub) else {
+                continue;
+            };
             revisited += 1;
             let mut g = self.inner.lock();
             let now = self.start.elapsed().as_secs() as i64;
             // Known outlinks of this hub.
             let known: Vec<i64> = {
-                let rs = g.db.execute(&format!(
+                let rs = g.store.db.execute(&format!(
                     "select oid_dst from link where oid_src = {}",
                     hub.raw() as i64
                 ))?;
                 rs.rows.iter().filter_map(|r| r[0].as_i64()).collect()
             };
             let sid_src = host_server_id(&page.url);
-            let link_tid = g.db.table_id("link")?;
+            let link_tid = g.store.db.table_id("link")?;
             let boost = log_clamped(0.95);
             for (dst, dst_url) in &page.outlinks {
                 if known.contains(&(dst.raw() as i64)) {
@@ -428,8 +874,10 @@ impl CrawlSession {
                 }
                 new_links += 1;
                 let sid_dst = host_server_id(dst_url);
-                g.links.push((hub, sid_src.raw(), *dst, sid_dst.raw()));
-                g.db.insert(
+                g.store
+                    .links
+                    .push((hub, sid_src.raw(), *dst, sid_dst.raw()));
+                g.store.db.insert(
                     link_tid,
                     vec![
                         Value::Int(hub.raw() as i64),
@@ -439,9 +887,9 @@ impl CrawlSession {
                         Value::Int(now),
                     ],
                 )?;
-                frontier::upsert_frontier(&mut g.db, *dst, dst_url, boost, 0)?;
+                frontier::upsert_frontier(&mut g.store.db, *dst, dst_url, boost, 0)?;
             }
-            frontier::touch_visited(&mut g.db, hub, now)?;
+            frontier::touch_visited(&mut g.store.db, hub, now)?;
         }
         Ok((revisited, new_links))
     }
@@ -449,24 +897,128 @@ impl CrawlSession {
     /// Force a distillation now (used at end-of-crawl by Figure 7).
     pub fn distill_now(&self) -> DbResult<DistillResult> {
         let mut g = self.inner.lock();
-        self.distill_locked(&mut g)?;
-        Ok(g.last_distill.clone().expect("just distilled"))
+        self.distill_locked(&mut g, None)?;
+        Ok(g.store.last_distill.clone().expect("just distilled"))
     }
 
     /// Latest distillation result, if any.
     pub fn last_distill(&self) -> Option<DistillResult> {
-        self.inner.lock().last_distill.clone()
+        self.inner.lock().store.last_distill.clone()
     }
 
     /// Stats snapshot.
     pub fn stats(&self) -> CrawlStats {
-        self.inner.lock().stats.clone()
+        self.inner.lock().counters.stats.clone()
+    }
+
+    /// The live link-expansion policy.
+    pub fn policy(&self) -> CrawlPolicy {
+        self.inner.lock().store.policy
+    }
+
+    /// The crawl configuration the session was built with. `policy` may
+    /// have been changed live since; see [`CrawlSession::policy`].
+    pub fn config(&self) -> &CrawlConfig {
+        &self.cfg
+    }
+
+    /// Resolve a topic name against the (live) taxonomy.
+    pub fn find_topic(&self, name: &str) -> Option<ClassId> {
+        self.model.read().taxonomy.find(name)
+    }
+
+    /// Run a closure against the trained model (live good marking).
+    pub fn with_model<R>(&self, f: impl FnOnce(&TrainedModel) -> R) -> R {
+        f(&self.model.read())
+    }
+
+    /// Capture everything needed to resume this crawl in a fresh session:
+    /// the full `CRAWL` table (in-flight claims demoted back to the
+    /// frontier), the link graph with discovery timestamps, relevance
+    /// state, saved posteriors, stats, remaining budget, live policy, and
+    /// the good marking.
+    pub fn checkpoint(&self) -> DbResult<CrawlCheckpoint> {
+        let mut g = self.inner.lock();
+        let rs = g.store.db.execute(
+            "select oid, url, kcid, numtries, relevance, serverload, lastvisited, \
+             visited from crawl",
+        )?;
+        let pages = rs
+            .rows
+            .iter()
+            .map(|row| {
+                let state = match row[7].as_i64().unwrap_or(visited::FRONTIER) {
+                    // A claim in flight at checkpoint time will not land
+                    // in the restored session: re-fetch it.
+                    visited::CLAIMED => visited::FRONTIER,
+                    s => s,
+                };
+                CheckpointPage {
+                    oid: Oid(row[0].as_i64().unwrap_or(0) as u64),
+                    url: row[1].as_str().unwrap_or("").to_owned(),
+                    kcid: row[2].as_i64().unwrap_or(-1),
+                    numtries: row[3].as_i64().unwrap_or(0),
+                    log_relevance: row[4].as_f64().unwrap_or(f64::NEG_INFINITY),
+                    serverload: row[5].as_i64().unwrap_or(0),
+                    lastvisited: row[6].as_i64().unwrap_or(0),
+                    state,
+                }
+            })
+            .collect();
+        let link_rs = g
+            .store
+            .db
+            .execute("select oid_src, sid_src, oid_dst, sid_dst, discovered from link")?;
+        let links = link_rs
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    Oid(row[0].as_i64().unwrap_or(0) as u64),
+                    row[1].as_i64().unwrap_or(0) as u32,
+                    Oid(row[2].as_i64().unwrap_or(0) as u64),
+                    row[3].as_i64().unwrap_or(0) as u32,
+                    row[4].as_i64().unwrap_or(0),
+                )
+            })
+            .collect();
+        let stats = g.counters.stats.clone();
+        let budget_remaining = g.counters.budget.saturating_sub(stats.attempts);
+        let relevance: Vec<(Oid, f64)> = g.store.relevance.iter().map(|(&o, &r)| (o, r)).collect();
+        let class_probs: Vec<(Oid, Vec<(ClassId, f64)>)> = g
+            .store
+            .class_probs
+            .iter()
+            .map(|(&o, v)| (o, v.clone()))
+            .collect();
+        let policy = g.store.policy;
+        drop(g);
+        let good_topics = {
+            let model = self.model.read();
+            model
+                .taxonomy
+                .good_set()
+                .into_iter()
+                .map(|c| model.taxonomy.name(c).to_owned())
+                .collect()
+        };
+        Ok(CrawlCheckpoint {
+            pages,
+            links,
+            relevance,
+            class_probs,
+            stats,
+            budget_remaining,
+            policy,
+            good_topics,
+        })
     }
 
     /// All visited pages as `(oid, linear R, server)`.
     pub fn visited(&self) -> Vec<(Oid, f64, ServerId)> {
         let mut g = self.inner.lock();
         let rs = g
+            .store
             .db
             .execute("select oid, relevance, url from crawl where visited = 1")
             .expect("crawl table exists");
@@ -484,17 +1036,103 @@ impl CrawlSession {
     /// Run a closure against the session database (ad-hoc monitoring SQL).
     pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         let mut g = self.inner.lock();
-        f(&mut g.db)
+        f(&mut g.store.db)
     }
 
     /// The in-memory link cache `(src, sid_src, dst, sid_dst)`.
     pub fn links(&self) -> Vec<(Oid, u32, Oid, u32)> {
-        self.inner.lock().links.clone()
+        self.inner.lock().store.links.clone()
     }
 
     /// Linear relevance map of visited pages.
     pub fn relevance_map(&self) -> FxHashMap<Oid, f64> {
-        self.inner.lock().relevance.clone()
+        self.inner.lock().store.relevance.clone()
+    }
+}
+
+/// `Pr[c|d]` from a saved posterior, falling back to the deepest
+/// evaluated ancestor (an upper bound) when `c` itself sat below the
+/// evaluated path nodes at fetch time.
+fn lookup_prob(taxonomy: &focus_types::Taxonomy, probs: &[(ClassId, f64)], class: ClassId) -> f64 {
+    let direct = |c: ClassId| probs.iter().find(|&&(pc, _)| pc == c).map(|&(_, p)| p);
+    if let Some(p) = direct(class) {
+        return p;
+    }
+    for anc in taxonomy.ancestors(class) {
+        if let Some(p) = direct(anc) {
+            return p;
+        }
+    }
+    0.0
+}
+
+fn policy_name(p: CrawlPolicy) -> &'static str {
+    match p {
+        CrawlPolicy::Unfocused => "Unfocused",
+        CrawlPolicy::HardFocus => "HardFocus",
+        CrawlPolicy::SoftFocus => "SoftFocus",
+    }
+}
+
+/// One `CRAWL` row captured by [`CrawlSession::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPage {
+    /// Page identity.
+    pub oid: Oid,
+    /// URL text (may be empty for seeds discovered without one).
+    pub url: String,
+    /// Best-leaf class (−1 before fetch).
+    pub kcid: i64,
+    /// Fetch attempts so far.
+    pub numtries: i64,
+    /// Stored log R.
+    pub log_relevance: f64,
+    /// Server-load column at insert time.
+    pub serverload: i64,
+    /// Seconds-since-start of the last visit.
+    pub lastvisited: i64,
+    /// Lifecycle state ([`crate::tables::visited`] constants).
+    pub state: i64,
+}
+
+/// Frontier + relevance state of a crawl, sufficient to resume the run in
+/// a fresh session ([`CrawlSession::restore`]) — the paper's long-lived
+/// crawls survive administrative restarts this way.
+#[derive(Debug, Clone)]
+pub struct CrawlCheckpoint {
+    /// Every `CRAWL` row (frontier, visited, dead; claims demoted).
+    pub pages: Vec<CheckpointPage>,
+    /// Every `LINK` row `(src, sid_src, dst, sid_dst, discovered)`.
+    pub links: Vec<(Oid, u32, Oid, u32, i64)>,
+    /// Linear relevance of visited pages.
+    pub relevance: Vec<(Oid, f64)>,
+    /// Saved per-page posteriors (for post-resume re-marking).
+    pub class_probs: Vec<(Oid, Vec<(ClassId, f64)>)>,
+    /// Counters and harvest series at checkpoint time.
+    pub stats: CrawlStats,
+    /// Fetch attempts left in the budget.
+    pub budget_remaining: u64,
+    /// Live link-expansion policy.
+    pub policy: CrawlPolicy,
+    /// Names of the good topics at checkpoint time.
+    pub good_topics: Vec<String>,
+}
+
+impl CrawlCheckpoint {
+    /// Frontier entries captured (poppable work after restore).
+    pub fn frontier_len(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| p.state == visited::FRONTIER)
+            .count()
+    }
+
+    /// Visited pages captured.
+    pub fn visited_len(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| p.state == visited::DONE)
+            .count()
     }
 }
 
@@ -518,16 +1156,16 @@ fn set_url(db: &mut Database, oid: Oid, url: &str) -> DbResult<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::CrawlObserver;
     use focus_classifier::train::{train, TrainConfig};
     use focus_types::ClassId;
-    use focus_webgraph::{SimFetcher, WebConfig, WebGraph};
+    use focus_webgraph::{FetchedPage, SimFetcher, WebConfig, WebGraph};
+    use std::sync::Mutex as StdMutex;
 
-    fn setup(policy: CrawlPolicy, max_fetches: u64) -> (Arc<WebGraph>, CrawlSession) {
-        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+    fn trained_model(graph: &Arc<WebGraph>, good: &str) -> TrainedModel {
         let mut taxonomy = graph.taxonomy().clone();
-        let cycling = taxonomy.find("recreation/cycling").unwrap();
-        taxonomy.mark_good(cycling).unwrap();
-        // Train from generated example docs for every topic.
+        let topic = taxonomy.find(good).unwrap();
+        taxonomy.mark_good(topic).unwrap();
         let mut examples = Vec::new();
         for c in taxonomy.all() {
             if c == ClassId::ROOT {
@@ -537,7 +1175,12 @@ mod tests {
                 examples.push((c, d));
             }
         }
-        let model = train(&taxonomy, &examples, &TrainConfig::default());
+        train(&taxonomy, &examples, &TrainConfig::default())
+    }
+
+    fn setup(policy: CrawlPolicy, max_fetches: u64) -> (Arc<WebGraph>, Arc<CrawlSession>) {
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
         let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
         let cfg = CrawlConfig {
             policy,
@@ -547,7 +1190,7 @@ mod tests {
             hub_boost_top_k: 5,
             ..CrawlConfig::default()
         };
-        let session = CrawlSession::new(fetcher, model, cfg).unwrap();
+        let session = Arc::new(CrawlSession::new(fetcher, model, cfg).unwrap());
         (graph, session)
     }
 
@@ -628,7 +1271,10 @@ mod tests {
         assert!(!session.links().is_empty());
         // CRAWL/LINK queryable via SQL.
         let n = session.with_db(|db| {
-            db.execute("select count(*) from link").unwrap().scalar_i64().unwrap()
+            db.execute("select count(*) from link")
+                .unwrap()
+                .scalar_i64()
+                .unwrap()
         });
         assert!(n > 0);
     }
@@ -636,24 +1282,12 @@ mod tests {
     #[test]
     fn single_thread_is_deterministic() {
         let run_once = || {
-            let (graph, _unused_session) = setup(CrawlPolicy::SoftFocus, 200);
+            let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
             let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
             let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 10);
-            let session = {
-                // Rebuild with 1 thread for determinism.
-                let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
-                let mut taxonomy = graph.taxonomy().clone();
-                taxonomy.mark_good(cycling).unwrap();
-                let mut examples = Vec::new();
-                for c in taxonomy.all() {
-                    if c == ClassId::ROOT {
-                        continue;
-                    }
-                    for d in graph.example_docs(c, 6, 99) {
-                        examples.push((c, d));
-                    }
-                }
-                let model = train(&taxonomy, &examples, &TrainConfig::default());
+            let model = trained_model(&graph, "recreation/cycling");
+            let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
+            let session = Arc::new(
                 CrawlSession::new(
                     fetcher,
                     model,
@@ -664,8 +1298,8 @@ mod tests {
                         ..CrawlConfig::default()
                     },
                 )
-                .unwrap()
-            };
+                .unwrap(),
+            );
             session.seed(&seeds).unwrap();
             let stats = session.run().unwrap();
             stats.harvest
@@ -684,5 +1318,317 @@ mod tests {
         for &(_, v) in &avg {
             assert!((v - 0.5).abs() < 0.11, "window mean {v} far from 0.5");
         }
+    }
+
+    /// Observer that records every event, for sequence assertions.
+    struct Recorder(StdMutex<Vec<CrawlEvent>>);
+
+    impl CrawlObserver for Arc<Recorder> {
+        fn on_event(&self, event: &CrawlEvent) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    fn position_of(events: &[CrawlEvent], pred: impl Fn(&CrawlEvent) -> bool) -> usize {
+        events
+            .iter()
+            .position(pred)
+            .unwrap_or_else(|| panic!("event not found in {events:?}"))
+    }
+
+    #[test]
+    fn pause_resume_stop_events_are_ordered() {
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 100_000);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        let recorder = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let run = session
+            .start_with(StartOptions {
+                observers: vec![Arc::new(Arc::clone(&recorder))],
+                ..StartOptions::default()
+            })
+            .unwrap();
+        // Let some pages land, then pause -> resume -> stop.
+        while run.stats().successes < 5 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        run.pause();
+        while run.state() != RunState::Paused {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let paused_attempts = run.stats().attempts;
+        // A paused crawl stops claiming; attempts stay flat.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(
+            run.stats().attempts,
+            paused_attempts,
+            "claimed while paused"
+        );
+        run.resume();
+        let resumed_at = run.stats().attempts;
+        while run.stats().attempts < resumed_at + 5 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        run.stop();
+        let stats = run.join().unwrap();
+        assert!(stats.attempts > paused_attempts, "no progress after resume");
+        let events = recorder.0.lock().unwrap().clone();
+        let paused = position_of(&events, |e| matches!(e, CrawlEvent::Paused));
+        let resumed = position_of(&events, |e| matches!(e, CrawlEvent::Resumed));
+        let stopped = position_of(&events, |e| matches!(e, CrawlEvent::Stopped { .. }));
+        assert!(paused < resumed, "Paused at {paused}, Resumed at {resumed}");
+        assert!(
+            resumed < stopped,
+            "Resumed at {resumed}, Stopped at {stopped}"
+        );
+        // Classification resumed between Resumed and Stopped.
+        assert!(
+            events[resumed..stopped]
+                .iter()
+                .any(|e| matches!(e, CrawlEvent::PageClassified { .. })),
+            "no pages classified between resume and stop: {events:?}"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_announced_once() {
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 40);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        let mut run = session.start().unwrap();
+        let events = run.take_events().unwrap();
+        let stats = run.join().unwrap();
+        assert_eq!(stats.attempts, 40);
+        let all: Vec<CrawlEvent> = events.collect();
+        let exhausted = all
+            .iter()
+            .filter(|e| matches!(e, CrawlEvent::BudgetExhausted { .. }))
+            .count();
+        assert_eq!(
+            exhausted, 1,
+            "expected exactly one BudgetExhausted: {all:?}"
+        );
+        let classified = all
+            .iter()
+            .filter(|e| matches!(e, CrawlEvent::PageClassified { .. }))
+            .count() as u64;
+        assert_eq!(classified, stats.successes, "one event per success");
+    }
+
+    /// A fetcher whose pages panic the worker after `ok_before` fetches.
+    struct PanickingFetcher {
+        inner: Arc<SimFetcher>,
+        ok_before: u64,
+        served: std::sync::atomic::AtomicU64,
+    }
+
+    impl Fetcher for PanickingFetcher {
+        fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+            let n = self.served.fetch_add(1, Ordering::Relaxed);
+            if n >= self.ok_before {
+                panic!("fetcher exploded on purpose (fetch #{n})");
+            }
+            self.inner.fetch(oid)
+        }
+
+        fn fetch_count(&self) -> u64 {
+            self.served.load(Ordering::Relaxed)
+        }
+
+        fn backlinks(&self, oid: Oid) -> Option<Vec<(Oid, String)>> {
+            self.inner.backlinks(oid)
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_event_and_error() {
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
+        let fetcher = Arc::new(PanickingFetcher {
+            inner: Arc::new(SimFetcher::new(Arc::clone(&graph), None)),
+            ok_before: 10,
+            served: std::sync::atomic::AtomicU64::new(0),
+        });
+        let session = Arc::new(
+            CrawlSession::new(
+                fetcher,
+                model,
+                CrawlConfig {
+                    threads: 2,
+                    max_fetches: 500,
+                    distill_every: None,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        // Silence the worker's panic backtrace; it is expected here.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut run = session.start().unwrap();
+        let events = run.take_events().unwrap();
+        let outcome = run.join();
+        std::panic::set_hook(prev_hook);
+        let err = outcome.expect_err("worker panic must fail the run");
+        assert!(
+            matches!(&err, CrawlError::Worker(m) if m.contains("exploded")),
+            "unexpected outcome: {err:?}"
+        );
+        let all: Vec<CrawlEvent> = events.collect();
+        assert!(
+            all.iter()
+                .any(|e| matches!(e, CrawlEvent::WorkerFailed { .. })),
+            "no WorkerFailed event: {all:?}"
+        );
+    }
+
+    /// A fetcher that panics while `explode` is set.
+    struct TogglePanicFetcher {
+        inner: Arc<SimFetcher>,
+        explode: std::sync::atomic::AtomicBool,
+    }
+
+    impl Fetcher for TogglePanicFetcher {
+        fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+            if self.explode.load(Ordering::Relaxed) {
+                panic!("toggled failure");
+            }
+            self.inner.fetch(oid)
+        }
+
+        fn fetch_count(&self) -> u64 {
+            self.inner.fetch_count()
+        }
+    }
+
+    #[test]
+    fn session_is_reusable_after_a_failed_run() {
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
+        let fetcher = Arc::new(TogglePanicFetcher {
+            inner: Arc::new(SimFetcher::new(Arc::clone(&graph), None)),
+            explode: std::sync::atomic::AtomicBool::new(true),
+        });
+        let session = Arc::new(
+            CrawlSession::new(
+                Arc::clone(&fetcher) as Arc<dyn Fetcher>,
+                model,
+                CrawlConfig {
+                    threads: 2,
+                    max_fetches: 100,
+                    distill_every: None,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let failed = session.run();
+        std::panic::set_hook(prev_hook);
+        assert!(matches!(failed, Err(CrawlError::Worker(_))), "{failed:?}");
+        // Heal the fetcher; a command pushed to the dead run must not
+        // leak into the next one, and the next run must be judged on its
+        // own work, not the stale panic.
+        fetcher.explode.store(false, Ordering::Relaxed);
+        let stats = session.run().expect("healthy rerun succeeds");
+        assert!(stats.successes > 0, "no progress after restart");
+    }
+
+    #[test]
+    fn checkpoint_restores_into_fresh_session() {
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 80);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        session.run().unwrap();
+        let ckpt = session.checkpoint().unwrap();
+        assert!(ckpt.visited_len() > 0);
+        assert!(
+            ckpt.frontier_len() > 0,
+            "budget-bounded crawl leaves a frontier"
+        );
+        assert_eq!(ckpt.stats.attempts, 80);
+        assert_eq!(ckpt.budget_remaining, 0);
+        assert_eq!(ckpt.good_topics, vec!["recreation/cycling".to_owned()]);
+
+        // Resume in a brand-new session against the same web.
+        let model = trained_model(&graph, "recreation/cycling");
+        let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
+        let restored = Arc::new(
+            CrawlSession::restore(
+                fetcher,
+                model,
+                CrawlConfig {
+                    threads: 2,
+                    max_fetches: 80,
+                    distill_every: Some(150),
+                    ..CrawlConfig::default()
+                },
+                &ckpt,
+            )
+            .unwrap(),
+        );
+        assert_eq!(restored.stats().attempts, 80, "stats carried over");
+        assert_eq!(restored.visited().len(), ckpt.visited_len());
+        restored.add_budget(60);
+        let stats = restored.run().unwrap();
+        assert_eq!(
+            stats.attempts, 140,
+            "run continued against the old frontier"
+        );
+        assert!(
+            stats.successes > ckpt.stats.successes,
+            "no new pages after restore"
+        );
+        // The harvest series is continuous: early entries are the
+        // checkpointed ones.
+        assert_eq!(
+            stats.harvest[..ckpt.stats.harvest.len()],
+            ckpt.stats.harvest[..],
+            "restored harvest prefix diverged"
+        );
+    }
+
+    #[test]
+    fn set_policy_switches_live() {
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 10_000);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        let run = session.start().unwrap();
+        run.set_policy(CrawlPolicy::Unfocused);
+        while session.policy() != CrawlPolicy::Unfocused && !run.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(session.policy(), CrawlPolicy::Unfocused);
+        run.stop();
+        run.join().unwrap();
     }
 }

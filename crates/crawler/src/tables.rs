@@ -65,9 +65,7 @@ pub fn create_tables(db: &mut Database) -> DbResult<()> {
          negrel float, serverload int, lastvisited int, visited int)",
     )?;
     db.execute("create index crawl_oid on crawl (oid)")?;
-    db.execute(
-        "create index crawl_frontier on crawl (visited, numtries, negrel, serverload)",
-    )?;
+    db.execute("create index crawl_frontier on crawl (visited, numtries, negrel, serverload)")?;
     db.execute(
         "create table link (oid_src int, sid_src int, oid_dst int, sid_dst int, \
          discovered int)",
@@ -119,12 +117,7 @@ pub fn host_server_id(url: &str) -> ServerId {
 }
 
 /// Build a fresh `CRAWL` row for a frontier entry.
-pub fn frontier_row(
-    oid: Oid,
-    url: &str,
-    log_relevance: f64,
-    serverload: i64,
-) -> Vec<Value> {
+pub fn frontier_row(oid: Oid, url: &str, log_relevance: f64, serverload: i64) -> Vec<Value> {
     vec![
         Value::Int(oid.raw() as i64),
         Value::Str(url.to_owned()),
@@ -187,7 +180,9 @@ mod tests {
         t.mark_good(a).unwrap();
         let mut db = Database::in_memory();
         create_taxonomy_dim(&mut db, &t).unwrap();
-        let rs = db.execute("select name from taxonomy where type = 'good'").unwrap();
+        let rs = db
+            .execute("select name from taxonomy where type = 'good'")
+            .unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Str("a".into()));
     }

@@ -97,7 +97,9 @@ pub fn init_auth_uniform(db: &mut Database) -> DbResult<()> {
     let n = rs.rows.len().max(1) as f64;
     let tid = db.table_id("auth")?;
     for row in rs.rows {
-        let oid = row[0].as_i64().ok_or_else(|| DbError::Eval("bad oid_dst".into()))?;
+        let oid = row[0]
+            .as_i64()
+            .ok_or_else(|| DbError::Eval("bad oid_dst".into()))?;
         db.insert(tid, vec![Value::Int(oid), Value::Float(1.0 / n)])?;
     }
     Ok(())
@@ -105,7 +107,11 @@ pub fn init_auth_uniform(db: &mut Database) -> DbResult<()> {
 
 /// One iteration via the Figure 4 SQL (UpdateHubs then UpdateAuth).
 pub fn join_iteration(db: &mut Database, cfg: &DistillConfig) -> DbResult<()> {
-    let nepotism = if cfg.nepotism_filter { "sid_src <> sid_dst and" } else { "" };
+    let nepotism = if cfg.nepotism_filter {
+        "sid_src <> sid_dst and"
+    } else {
+        ""
+    };
     let (fwd, rev) = if cfg.weighted_edges {
         ("score * wgt_fwd", "score * wgt_rev")
     } else {
@@ -136,11 +142,7 @@ pub fn join_iteration(db: &mut Database, cfg: &DistillConfig) -> DbResult<()> {
 }
 
 /// Index lookup of a score row by oid; returns (rid, score).
-fn lookup_score(
-    db: &mut Database,
-    table: &str,
-    oid: i64,
-) -> DbResult<Option<(minirel::Rid, f64)>> {
+fn lookup_score(db: &mut Database, table: &str, oid: i64) -> DbResult<Option<(minirel::Rid, f64)>> {
     let tid = db.table_id(table)?;
     let (pool, catalog) = db.parts_mut();
     let idx = catalog
@@ -167,7 +169,11 @@ pub fn naive_iteration(db: &mut Database, cfg: &DistillConfig) -> DbResult<Naive
     let link_tid = db.table_id("link")?;
     let links: Vec<Vec<Value>> = {
         let (pool, catalog) = db.parts_mut();
-        catalog.scan_table(pool, link_tid)?.into_iter().map(|(_, r)| r).collect()
+        catalog
+            .scan_table(pool, link_tid)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
     };
     timing.scan += t0.elapsed();
 
@@ -180,7 +186,11 @@ pub fn naive_iteration(db: &mut Database, cfg: &DistillConfig) -> DbResult<Naive
         }
         let oid_src = row[0].as_i64().unwrap_or(0);
         let oid_dst = row[2].as_i64().unwrap_or(0);
-        let wgt_rev = if cfg.weighted_edges { row[5].as_f64().unwrap_or(0.0) } else { 1.0 };
+        let wgt_rev = if cfg.weighted_edges {
+            row[5].as_f64().unwrap_or(0.0)
+        } else {
+            1.0
+        };
         let t1 = Instant::now();
         let a = lookup_score(db, "auth", oid_dst)?;
         timing.lookup += t1.elapsed();
@@ -221,7 +231,11 @@ pub fn naive_iteration(db: &mut Database, cfg: &DistillConfig) -> DbResult<Naive
         }
         let oid_src = row[0].as_i64().unwrap_or(0);
         let oid_dst = row[2].as_i64().unwrap_or(0);
-        let wgt_fwd = if cfg.weighted_edges { row[4].as_f64().unwrap_or(0.0) } else { 1.0 };
+        let wgt_fwd = if cfg.weighted_edges {
+            row[4].as_f64().unwrap_or(0.0)
+        } else {
+            1.0
+        };
         let t1 = Instant::now();
         let rel = lookup_score(db, "crawl", oid_dst)?;
         timing.lookup += t1.elapsed();
@@ -286,7 +300,12 @@ pub fn read_result(db: &mut Database) -> DbResult<DistillResult> {
     let to_vec = |rs: minirel::ResultSet| -> Vec<(Oid, f64)> {
         rs.rows
             .into_iter()
-            .map(|r| (i64_to_oid(r[0].as_i64().unwrap_or(0)), r[1].as_f64().unwrap_or(0.0)))
+            .map(|r| {
+                (
+                    i64_to_oid(r[0].as_i64().unwrap_or(0)),
+                    r[1].as_f64().unwrap_or(0.0),
+                )
+            })
             .collect()
     };
     let hubs = to_vec(db.execute("select oid, score from hubs order by score desc, oid")?);
@@ -353,7 +372,10 @@ mod tests {
     #[test]
     fn join_path_matches_memory_path() {
         let (edges, rel) = fixture();
-        let cfg = DistillConfig { iterations: 4, ..DistillConfig::default() };
+        let cfg = DistillConfig {
+            iterations: 4,
+            ..DistillConfig::default()
+        };
         let mem = WeightedHits::new(&edges, &rel, cfg.clone()).run();
         let mut db = setup(&edges, &rel);
         let sql = run(&mut db, &cfg).unwrap();
@@ -363,7 +385,10 @@ mod tests {
     #[test]
     fn naive_path_matches_join_path() {
         let (edges, rel) = fixture();
-        let cfg = DistillConfig { iterations: 3, ..DistillConfig::default() };
+        let cfg = DistillConfig {
+            iterations: 3,
+            ..DistillConfig::default()
+        };
         let mut db1 = setup(&edges, &rel);
         let sql = run(&mut db1, &cfg).unwrap();
         let mut db2 = setup(&edges, &rel);

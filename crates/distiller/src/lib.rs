@@ -96,7 +96,10 @@ impl DistillResult {
 
     /// Hub score of a page (0 when absent).
     pub fn hub_score(&self, oid: Oid) -> f64 {
-        self.hubs.iter().find(|(o, _)| *o == oid).map_or(0.0, |(_, s)| *s)
+        self.hubs
+            .iter()
+            .find(|(o, _)| *o == oid)
+            .map_or(0.0, |(_, s)| *s)
     }
 
     /// The ψ-quantile of hub scores (the §3.7 monitor uses the 90th

@@ -24,7 +24,11 @@ impl<'a> WeightedHits<'a> {
         relevance: &'a FxHashMap<Oid, f64>,
         cfg: DistillConfig,
     ) -> Self {
-        WeightedHits { edges, relevance, cfg }
+        WeightedHits {
+            edges,
+            relevance,
+            cfg,
+        }
     }
 
     /// Run `cfg.iterations` rounds of the Figure 4 mutual recursion.
@@ -166,7 +170,10 @@ mod tests {
         let without = WeightedHits::new(
             &edges,
             &rel,
-            DistillConfig { nepotism_filter: false, ..DistillConfig::default() },
+            DistillConfig {
+                nepotism_filter: false,
+                ..DistillConfig::default()
+            },
         )
         .run();
         assert!(without.hub_score(Oid(30)) > 0.0, "without filter it scores");
@@ -188,7 +195,14 @@ mod tests {
         // (just above rho so only the weighting defends). Authorities 10
         // and 11 have high relevance.
         let mut rel: FxHashMap<Oid, f64> = FxHashMap::default();
-        for (o, r) in [(1u64, 0.9), (2, 0.9), (3, 0.9), (10, 0.9), (11, 0.9), (50, 0.2)] {
+        for (o, r) in [
+            (1u64, 0.9),
+            (2, 0.9),
+            (3, 0.9),
+            (10, 0.9),
+            (11, 0.9),
+            (50, 0.2),
+        ] {
             rel.insert(Oid(o), r);
         }
         let links = vec![
@@ -205,17 +219,27 @@ mod tests {
         let unweighted = WeightedHits::new(
             &edges,
             &rel,
-            DistillConfig { weighted_edges: false, ..DistillConfig::default() },
+            DistillConfig {
+                weighted_edges: false,
+                ..DistillConfig::default()
+            },
         )
         .run();
         let rank = |r: &DistillResult, o: Oid| {
-            r.auths.iter().position(|&(x, _)| x == o).unwrap_or(usize::MAX)
+            r.auths
+                .iter()
+                .position(|&(x, _)| x == o)
+                .unwrap_or(usize::MAX)
         };
         // With weights the universal page ranks below both topical
         // authorities; without weights it wins (3 in-links vs 2).
         assert!(rank(&weighted, Oid(50)) > rank(&weighted, Oid(10)));
         assert!(rank(&weighted, Oid(50)) > rank(&weighted, Oid(11)));
-        assert_eq!(rank(&unweighted, Oid(50)), 0, "plain HITS crowns the universal page");
+        assert_eq!(
+            rank(&unweighted, Oid(50)),
+            0,
+            "plain HITS crowns the universal page"
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ fn main() {
                 "top lift: {}",
                 soc.first().map(|l| l.topic.as_str()).unwrap_or("-")
             ),
-            holds: soc.first().map(|l| l.topic == "health/first-aid").unwrap_or(false),
+            holds: soc
+                .first()
+                .map(|l| l.topic == "health/first-aid")
+                .unwrap_or(false),
         },
     ];
     print_comparisons(&comparisons);

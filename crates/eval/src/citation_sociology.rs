@@ -33,18 +33,20 @@ pub struct TopicLift {
 /// bicycling").
 pub fn run(scale: Scale) -> Vec<TopicLift> {
     let world = World::cycling(scale, 202);
-    let session = CrawlSession::new(
-        world.fetcher(),
-        world.model.clone(),
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 4,
-            max_fetches: scale.fetch_budget() / 2,
-            distill_every: None,
-            ..CrawlConfig::default()
-        },
-    )
-    .expect("session");
+    let session = std::sync::Arc::new(
+        CrawlSession::new(
+            world.fetcher(),
+            world.model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 4,
+                max_fetches: scale.fetch_budget() / 2,
+                distill_every: None,
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
     session.seed(&world.start_set(15)).expect("seed");
     session.run().expect("crawl");
 
@@ -89,8 +91,8 @@ pub fn run(scale: Scale) -> Vec<TopicLift> {
         .filter(|(c, _)| !excluded.contains(c))
         .map(|(&c, &n)| {
             let near = n as f64 / near_total.max(1) as f64;
-            let global = global_counts.get(&c).copied().unwrap_or(0) as f64
-                / global_total.max(1) as f64;
+            let global =
+                global_counts.get(&c).copied().unwrap_or(0) as f64 / global_total.max(1) as f64;
             TopicLift {
                 topic: world.taxonomy.name(c).to_owned(),
                 near_freq: near,
@@ -106,7 +108,10 @@ pub fn run(scale: Scale) -> Vec<TopicLift> {
 /// Print the lift table.
 pub fn print(lifts: &[TopicLift]) {
     println!("--- Citation sociology: topics within one link of cycling ---");
-    println!("{:<34} {:>10} {:>10} {:>7}", "topic", "near freq", "global", "lift");
+    println!(
+        "{:<34} {:>10} {:>10} {:>7}",
+        "topic", "near freq", "global", "lift"
+    );
     for l in lifts.iter().take(8) {
         println!(
             "{:<34} {:>10.4} {:>10.4} {:>7.2}",
@@ -125,7 +130,8 @@ mod tests {
         let lifts = run(Scale::Tiny);
         assert!(!lifts.is_empty());
         assert_eq!(
-            lifts[0].topic, "health/first-aid",
+            lifts[0].topic,
+            "health/first-aid",
             "expected first aid on top, got {:?}",
             lifts.iter().take(3).map(|l| &l.topic).collect::<Vec<_>>()
         );

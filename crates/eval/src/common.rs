@@ -121,7 +121,13 @@ impl World {
             .unwrap_or_else(|| panic!("no topic {topic_name}"));
         taxonomy.mark_good(topic).expect("markable");
         let model = train_model(&graph, &taxonomy, scale, seed);
-        World { graph, taxonomy, topic, model, scale }
+        World {
+            graph,
+            taxonomy,
+            topic,
+            model,
+            scale,
+        }
     }
 
     /// A fetcher over this world.
@@ -136,12 +142,7 @@ impl World {
 }
 
 /// Train a model from generated example documents for every topic.
-pub fn train_model(
-    graph: &WebGraph,
-    taxonomy: &Taxonomy,
-    scale: Scale,
-    seed: u64,
-) -> TrainedModel {
+pub fn train_model(graph: &WebGraph, taxonomy: &Taxonomy, scale: Scale, seed: u64) -> TrainedModel {
     let mut examples: Vec<(ClassId, Document)> = Vec::new();
     for c in taxonomy.all() {
         if c == ClassId::ROOT {

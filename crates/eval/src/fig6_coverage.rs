@@ -27,18 +27,20 @@ pub struct Fig6 {
 }
 
 fn crawl(world: &World, seeds: &[Oid], budget: u64) -> CrawlStats {
-    let session = CrawlSession::new(
-        world.fetcher(),
-        world.model.clone(),
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 4,
-            max_fetches: budget,
-            distill_every: Some(400),
-            ..CrawlConfig::default()
-        },
-    )
-    .expect("session");
+    let session = std::sync::Arc::new(
+        CrawlSession::new(
+            world.fetcher(),
+            world.model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 4,
+                max_fetches: budget,
+                distill_every: Some(400),
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
     session.seed(seeds).expect("seed");
     session.run().expect("crawl")
 }

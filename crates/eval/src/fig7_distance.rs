@@ -29,18 +29,20 @@ pub struct Fig7 {
 pub fn run(scale: Scale) -> Fig7 {
     let world = World::cycling(scale, 101);
     let seeds = world.start_set(20);
-    let session = CrawlSession::new(
-        world.fetcher(),
-        world.model.clone(),
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 4,
-            max_fetches: scale.fetch_budget(),
-            distill_every: Some(400),
-            ..CrawlConfig::default()
-        },
-    )
-    .expect("session");
+    let session = std::sync::Arc::new(
+        CrawlSession::new(
+            world.fetcher(),
+            world.model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 4,
+                max_fetches: scale.fetch_budget(),
+                distill_every: Some(400),
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
     session.seed(&seeds).expect("seed");
     session.run().expect("crawl");
     let distill = session.distill_now().expect("distill");
@@ -86,7 +88,10 @@ pub fn print(f: &Fig7) {
     for &(d, n) in &f.histogram {
         println!("  {d:>2}  {}", "#".repeat(n.min(60)));
     }
-    println!("max distance: {}; fraction beyond 2 links: {:.2}", f.max_distance, f.frac_beyond_2);
+    println!(
+        "max distance: {}; fraction beyond 2 links: {:.2}",
+        f.max_distance, f.frac_beyond_2
+    );
     println!("top hubs (cycling):");
     for (url, s) in &f.top_hubs {
         println!("  {s:.5}  {url}");

@@ -60,7 +60,9 @@ pub fn setup(scale: Scale, frames: usize) -> (Database, ClassifierTables, Vec<Do
         .enumerate()
         .map(|(i, p)| Document::new(DocId(i as u64), p.terms.clone()))
         .collect();
-    tables.load_documents(&mut db, &batch).expect("load documents");
+    tables
+        .load_documents(&mut db, &batch)
+        .expect("load documents");
     (db, tables, batch)
 }
 
@@ -132,7 +134,10 @@ pub fn run(scale: Scale) -> Fig8a {
 /// Print the comparison.
 pub fn print(f: &Fig8a) {
     println!("--- Figure 8(a): classification running time ---");
-    println!("{:<6} {:>12} {:>14} {:>15}", "variant", "us/doc", "logical reads", "physical reads");
+    println!(
+        "{:<6} {:>12} {:>14} {:>15}",
+        "variant", "us/doc", "logical reads", "physical reads"
+    );
     for v in &f.variants {
         println!(
             "{:<6} {:>12.1} {:>14} {:>15}",

@@ -48,7 +48,8 @@ pub fn run(scale: Scale) -> Fig8b {
         let t = Instant::now();
         let sp = SingleProbeBlob { tables: &tables };
         for d in &batch {
-            sp.posterior(&mut db, ClassId::ROOT, &d.terms).expect("probe");
+            sp.posterior(&mut db, ClassId::ROOT, &d.terms)
+                .expect("probe");
         }
         single.push((frames as f64, t.elapsed().as_micros() as f64 / n));
         single_io.push((frames as f64, db.io_stats().physical_reads as f64));

@@ -81,7 +81,10 @@ pub fn run(scale: Scale) -> Fig8c {
         }
     }
     points.sort_by(|a, b| a.0.total_cmp(&b.0));
-    Fig8c { r_squared: r2_through_origin(&points), points }
+    Fig8c {
+        r_squared: r2_through_origin(&points),
+        points,
+    }
 }
 
 /// Print the scatter summary.
@@ -104,7 +107,11 @@ mod tests {
     #[test]
     fn runtime_roughly_linear_in_output() {
         let f = run(Scale::Tiny);
-        assert!(f.points.len() >= 6, "need a real scatter, got {}", f.points.len());
+        assert!(
+            f.points.len() >= 6,
+            "need a real scatter, got {}",
+            f.points.len()
+        );
         assert!(
             f.r_squared > 0.5,
             "linearity too weak: R^2 = {} over {:?}",
@@ -121,6 +128,10 @@ mod tests {
         // Anti-correlated data is not explained by a line through the
         // origin.
         let anti: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 10.0 - i as f64)).collect();
-        assert!(r2_through_origin(&anti) < 0.5, "{}", r2_through_origin(&anti));
+        assert!(
+            r2_through_origin(&anti) < 0.5,
+            "{}",
+            r2_through_origin(&anti)
+        );
     }
 }

@@ -48,7 +48,9 @@ pub fn build_graph(scale: Scale) -> (Vec<LinkEdge>, FxHashMap<Oid, f64>) {
         .graph
         .pages()
         .iter()
-        .filter(|p| world.taxonomy.is_ancestor(focus_types::ClassId(1), p.topic) || p.topic == world.topic)
+        .filter(|p| {
+            world.taxonomy.is_ancestor(focus_types::ClassId(1), p.topic) || p.topic == world.topic
+        })
         .collect();
     for p in world.graph.pages() {
         if pages.len() >= n_pages {
@@ -121,14 +123,23 @@ pub fn run(scale: Scale) -> Fig8d {
 
 /// Print the comparison.
 pub fn print(f: &Fig8d) {
-    println!("--- Figure 8(d): distillation running time ({} edges) ---", f.num_edges);
+    println!(
+        "--- Figure 8(d): distillation running time ({} edges) ---",
+        f.num_edges
+    );
     let (scan, lookup, update) = f.naive_breakdown;
     println!(
         "naive (index): {:.0} us  [scan {:.0} | lookup {:.0} | update {:.0}]  phys reads {}",
         f.naive_us, scan, lookup, update, f.physical_reads.0
     );
-    println!("join:          {:.0} us  phys reads {}", f.join_us, f.physical_reads.1);
-    println!("ratio naive/join = {:.1}x   (paper: \"a factor of three faster\")", f.ratio);
+    println!(
+        "join:          {:.0} us  phys reads {}",
+        f.join_us, f.physical_reads.1
+    );
+    println!(
+        "ratio naive/join = {:.1}x   (paper: \"a factor of three faster\")",
+        f.ratio
+    );
 }
 
 #[cfg(test)]

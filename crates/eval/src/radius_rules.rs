@@ -31,7 +31,10 @@ pub struct TopicRadius {
 pub fn run(scale: Scale) -> Vec<TopicRadius> {
     let graph = WebGraph::generate(match scale {
         Scale::Tiny => WebConfig::tiny(55),
-        _ => WebConfig { seed: 55, ..WebConfig::default() },
+        _ => WebConfig {
+            seed: 55,
+            ..WebConfig::default()
+        },
     });
     let mut out = Vec::new();
     for name in [
@@ -40,7 +43,9 @@ pub fn run(scale: Scale) -> Vec<TopicRadius> {
         "health/hiv",
         "home/gardening",
     ] {
-        let Some(topic) = graph.taxonomy().find(name) else { continue };
+        let Some(topic) = graph.taxonomy().find(name) else {
+            continue;
+        };
         let r1 = radius1(&graph, topic);
         let r2 = radius2(&graph, topic);
         out.push(TopicRadius {
@@ -88,7 +93,12 @@ mod tests {
                 r.topic,
                 r.r2_second
             );
-            assert!(r.r2_inflation > 2.0, "{}: inflation {}", r.topic, r.r2_inflation);
+            assert!(
+                r.r2_inflation > 2.0,
+                "{}: inflation {}",
+                r.topic,
+                r.r2_inflation
+            );
         }
     }
 }

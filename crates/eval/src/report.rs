@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Build from any point iterator.
     pub fn new(name: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) -> Series {
-        Series { name: name.into(), points: points.into_iter().collect() }
+        Series {
+            name: name.into(),
+            points: points.into_iter().collect(),
+        }
     }
 
     /// Last y value (steady state of a converging curve).
@@ -42,7 +45,10 @@ impl Series {
         let pts = (0..n)
             .map(|i| self.points[(i as f64 * step) as usize])
             .collect();
-        Series { name: self.name.clone(), points: pts }
+        Series {
+            name: self.name.clone(),
+            points: pts,
+        }
     }
 
     /// Render as a fixed-width ASCII chart (y rescaled to `[0, ymax]`).

@@ -122,18 +122,23 @@ impl Node {
                     off += 6;
                     entries.push((k, rid));
                 }
-                Ok(Node::Leaf(Leaf { next: first, entries }))
+                Ok(Node::Leaf(Leaf {
+                    next: first,
+                    entries,
+                }))
             }
             INTERNAL => {
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     let k = read_key(&mut off)?;
-                    let child =
-                        u32::from_le_bytes(b[off..off + 4].try_into().expect("child ptr"));
+                    let child = u32::from_le_bytes(b[off..off + 4].try_into().expect("child ptr"));
                     off += 4;
                     entries.push((k, child));
                 }
-                Ok(Node::Internal(Internal { leftmost: first, entries }))
+                Ok(Node::Internal(Internal {
+                    leftmost: first,
+                    entries,
+                }))
             }
             t => Err(DbError::Page(format!("bad btree node type {t}"))),
         }
@@ -141,9 +146,19 @@ impl Node {
 
     fn encoded_len(&self) -> usize {
         match self {
-            Node::Leaf(l) => 7 + l.entries.iter().map(|(k, _)| 2 + k.len() + 6).sum::<usize>(),
+            Node::Leaf(l) => {
+                7 + l
+                    .entries
+                    .iter()
+                    .map(|(k, _)| 2 + k.len() + 6)
+                    .sum::<usize>()
+            }
             Node::Internal(n) => {
-                7 + n.entries.iter().map(|(k, _)| 2 + k.len() + 4).sum::<usize>()
+                7 + n
+                    .entries
+                    .iter()
+                    .map(|(k, _)| 2 + k.len() + 4)
+                    .sum::<usize>()
             }
         }
     }
@@ -174,7 +189,14 @@ impl BTree {
     /// Create an empty tree (root is an empty leaf).
     pub fn create(pool: &mut BufferPool) -> DbResult<BTree> {
         let root = pool.allocate()?;
-        write_node(pool, root, &Node::Leaf(Leaf { next: INVALID_PAGE, entries: vec![] }))?;
+        write_node(
+            pool,
+            root,
+            &Node::Leaf(Leaf {
+                next: INVALID_PAGE,
+                entries: vec![],
+            }),
+        )?;
         Ok(BTree { root, len: 0 })
     }
 
@@ -235,7 +257,10 @@ impl BTree {
                 let right_entries = leaf.entries.split_off(mid);
                 let sep = aug_key(&right_entries[0].0, right_entries[0].1);
                 let right_pid = pool.allocate()?;
-                let right = Leaf { next: leaf.next, entries: right_entries };
+                let right = Leaf {
+                    next: leaf.next,
+                    entries: right_entries,
+                };
                 leaf.next = right_pid;
                 write_node(pool, right_pid, &Node::Leaf(right))?;
                 write_node(pool, pid, &Node::Leaf(leaf))?;
@@ -269,7 +294,10 @@ impl BTree {
                     // Middle key moves up; its child becomes right's leftmost.
                     let (sep_up, sep_child) = right_entries.remove(0);
                     let right_pid = pool.allocate()?;
-                    let right = Internal { leftmost: sep_child, entries: right_entries };
+                    let right = Internal {
+                        leftmost: sep_child,
+                        entries: right_entries,
+                    };
                     write_node(pool, right_pid, &Node::Internal(right))?;
                     write_node(pool, pid, &Node::Internal(node))?;
                     Ok(Some((sep_up, right_pid)))
@@ -307,7 +335,11 @@ impl BTree {
                 Node::Leaf(_) => return Ok(pid),
                 Node::Internal(n) => {
                     let idx = child_index(&n, akey);
-                    pid = if idx == 0 { n.leftmost } else { n.entries[idx - 1].1 };
+                    pid = if idx == 0 {
+                        n.leftmost
+                    } else {
+                        n.entries[idx - 1].1
+                    };
                 }
             }
         }
@@ -316,10 +348,15 @@ impl BTree {
     /// All rids stored under exactly `key`.
     pub fn lookup(&self, pool: &mut BufferPool, key: &[u8]) -> DbResult<Vec<Rid>> {
         let mut out = Vec::new();
-        self.scan_range(pool, Bound::Included(key), Bound::Included(key), |_, rid| {
-            out.push(rid);
-            true
-        })?;
+        self.scan_range(
+            pool,
+            Bound::Included(key),
+            Bound::Included(key),
+            |_, rid| {
+                out.push(rid);
+                true
+            },
+        )?;
         Ok(out)
     }
 
@@ -450,7 +487,10 @@ mod tests {
     }
 
     fn rid(i: u32) -> Rid {
-        Rid { page: i, slot: (i % 7) as u16 }
+        Rid {
+            page: i,
+            slot: (i % 7) as u16,
+        }
     }
 
     fn key_i(i: i64) -> Vec<u8> {
@@ -536,7 +576,8 @@ mod tests {
         }
         // Sprinkle other keys around them.
         for i in 0..200i64 {
-            bt.insert(&mut bp, &key_i(i * 1000), rid(900_000 + i as u32)).unwrap();
+            bt.insert(&mut bp, &key_i(i * 1000), rid(900_000 + i as u32))
+                .unwrap();
         }
         assert_eq!(bt.lookup(&mut bp, &key_i(7)).unwrap().len(), 3000);
         bt.validate(&mut bp).unwrap();
@@ -617,7 +658,10 @@ mod tests {
             collect(&mut bp, Bound::Excluded(97), Bound::Unbounded),
             vec![98, 99]
         );
-        assert_eq!(collect(&mut bp, Bound::Unbounded, Bound::Included(1)), vec![0, 1]);
+        assert_eq!(
+            collect(&mut bp, Bound::Unbounded, Bound::Included(1)),
+            vec![0, 1]
+        );
     }
 
     #[test]

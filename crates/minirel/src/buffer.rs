@@ -162,11 +162,7 @@ impl BufferPool {
     }
 
     /// Run `f` over a mutable view of page `pid`; marks the frame dirty.
-    pub fn with_page_mut<R>(
-        &mut self,
-        pid: PageId,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> DbResult<R> {
+    pub fn with_page_mut<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
         let frame = self.fetch(pid)?;
         self.touch(frame);
         let fr = &mut self.frames[frame];
@@ -310,7 +306,7 @@ mod tests {
         let a = bp.allocate().unwrap();
         let b = bp.allocate().unwrap();
         let c = bp.allocate().unwrap(); // evicts a or b
-        // Touch a repeatedly so b becomes the LRU victim when d arrives.
+                                        // Touch a repeatedly so b becomes the LRU victim when d arrives.
         bp.with_page(a, |_| ()).unwrap();
         bp.with_page(a, |_| ()).unwrap();
         bp.reset_stats();

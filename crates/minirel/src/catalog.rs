@@ -73,7 +73,12 @@ impl Catalog {
         }
         let heap = HeapFile::create(pool)?;
         let id = self.tables.len();
-        self.tables.push(TableInfo { name: name.clone(), schema, heap, indexes: Vec::new() });
+        self.tables.push(TableInfo {
+            name: name.clone(),
+            schema,
+            heap,
+            indexes: Vec::new(),
+        });
         self.by_name.insert(name, id);
         Ok(id)
     }
@@ -128,7 +133,9 @@ impl Catalog {
         let tid = self.table_id(table)?;
         let t = &self.tables[tid];
         if t.indexes.iter().any(|i| i.name == index_name) {
-            return Err(DbError::Catalog(format!("index {index_name} already exists")));
+            return Err(DbError::Catalog(format!(
+                "index {index_name} already exists"
+            )));
         }
         let col_idx: Vec<usize> = cols
             .iter()
@@ -142,7 +149,11 @@ impl Catalog {
         // Backfill: materialize (key, rid) then insert (cannot hold pool
         // borrow across the scan).
         let mut entries: Vec<(Vec<u8>, Rid)> = Vec::new();
-        let info = IndexInfo { name: index_name.to_owned(), cols: col_idx, btree: BTree::create(pool)? };
+        let info = IndexInfo {
+            name: index_name.to_owned(),
+            cols: col_idx,
+            btree: BTree::create(pool)?,
+        };
         self.tables[tid].heap.scan(pool, |rid, bytes| {
             if let Ok(row) = decode_row(bytes) {
                 entries.push((info.key_of(&row), rid));
@@ -218,10 +229,12 @@ impl Catalog {
     pub fn scan_table(&self, pool: &mut BufferPool, tid: TableId) -> DbResult<Vec<(Rid, Row)>> {
         let mut out = Vec::with_capacity(self.tables[tid].heap.len() as usize);
         let mut err = None;
-        self.tables[tid].heap.scan(pool, |rid, bytes| match decode_row(bytes) {
-            Ok(row) => out.push((rid, row)),
-            Err(e) => err = Some(e),
-        })?;
+        self.tables[tid]
+            .heap
+            .scan(pool, |rid, bytes| match decode_row(bytes) {
+                Ok(row) => out.push((rid, row)),
+                Err(e) => err = Some(e),
+            })?;
         match err {
             Some(e) => Err(e),
             None => Ok(out),
@@ -274,12 +287,17 @@ mod tests {
     #[test]
     fn insert_and_index_lookup() {
         let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "crawl_oid", "crawl", &["oid"]).unwrap();
+        cat.create_index(&mut pool, "crawl_oid", "crawl", &["oid"])
+            .unwrap();
         for i in 0..100i64 {
             cat.insert_row(
                 &mut pool,
                 tid,
-                vec![Value::Int(i), Value::Str(format!("u{i}")), Value::Float(i as f64 / 100.0)],
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("u{i}")),
+                    Value::Float(i as f64 / 100.0),
+                ],
             )
             .unwrap();
         }
@@ -303,14 +321,16 @@ mod tests {
             .unwrap();
         }
         // Index created after the fact must see all rows.
-        cat.create_index(&mut pool, "late", "crawl", &["oid"]).unwrap();
+        cat.create_index(&mut pool, "late", "crawl", &["oid"])
+            .unwrap();
         assert_eq!(cat.table(tid).indexes[0].btree.len(), 50);
     }
 
     #[test]
     fn delete_maintains_indexes() {
         let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byoid", "crawl", &["oid"]).unwrap();
+        cat.create_index(&mut pool, "byoid", "crawl", &["oid"])
+            .unwrap();
         let rid = cat
             .insert_row(
                 &mut pool,
@@ -320,14 +340,19 @@ mod tests {
             .unwrap();
         cat.delete_row(&mut pool, tid, rid).unwrap();
         let key = encode_composite_key(&[Value::Int(5)]);
-        assert!(cat.table(tid).indexes[0].btree.lookup(&mut pool, &key).unwrap().is_empty());
+        assert!(cat.table(tid).indexes[0]
+            .btree
+            .lookup(&mut pool, &key)
+            .unwrap()
+            .is_empty());
         assert!(cat.get_row(&mut pool, tid, rid).is_err());
     }
 
     #[test]
     fn update_moves_index_entries() {
         let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"]).unwrap();
+        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"])
+            .unwrap();
         let rid = cat
             .insert_row(
                 &mut pool,
@@ -345,9 +370,16 @@ mod tests {
             .unwrap();
         let old_key = encode_composite_key(&[Value::Float(0.2)]);
         let new_key = encode_composite_key(&[Value::Float(0.9)]);
-        assert!(cat.table(tid).indexes[0].btree.lookup(&mut pool, &old_key).unwrap().is_empty());
+        assert!(cat.table(tid).indexes[0]
+            .btree
+            .lookup(&mut pool, &old_key)
+            .unwrap()
+            .is_empty());
         assert_eq!(
-            cat.table(tid).indexes[0].btree.lookup(&mut pool, &new_key).unwrap(),
+            cat.table(tid).indexes[0]
+                .btree
+                .lookup(&mut pool, &new_key)
+                .unwrap(),
             vec![new_rid]
         );
     }
@@ -356,7 +388,11 @@ mod tests {
     fn schema_violation_rejected() {
         let (mut pool, mut cat, tid) = setup();
         assert!(cat
-            .insert_row(&mut pool, tid, vec![Value::Str("no".into()), Value::Null, Value::Null])
+            .insert_row(
+                &mut pool,
+                tid,
+                vec![Value::Str("no".into()), Value::Null, Value::Null]
+            )
             .is_err());
         assert!(cat.insert_row(&mut pool, tid, vec![Value::Int(1)]).is_err());
     }
@@ -364,7 +400,8 @@ mod tests {
     #[test]
     fn find_index_prefix_match() {
         let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "c2", "crawl", &["oid", "relevance"]).unwrap();
+        cat.create_index(&mut pool, "c2", "crawl", &["oid", "relevance"])
+            .unwrap();
         assert_eq!(cat.find_index(tid, &[0]), Some(0));
         assert_eq!(cat.find_index(tid, &[0, 2]), Some(0));
         assert_eq!(cat.find_index(tid, &[2]), None);

@@ -113,7 +113,11 @@ impl Database {
 
     /// Temp-file-backed database (removed on drop).
     pub fn on_temp_file(frames: usize) -> DbResult<Database> {
-        Ok(Self::with_pool(DiskManager::temp()?, frames, EvictionPolicy::Lru))
+        Ok(Self::with_pool(
+            DiskManager::temp()?,
+            frames,
+            EvictionPolicy::Lru,
+        ))
     }
 
     /// Full control over backing and eviction policy.
@@ -157,7 +161,10 @@ impl Database {
                 rows: rel.rows,
                 affected: 0,
             }),
-            StmtResult::Affected(n) => Ok(ResultSet { affected: n, ..Default::default() }),
+            StmtResult::Affected(n) => Ok(ResultSet {
+                affected: n,
+                ..Default::default()
+            }),
             StmtResult::Done => Ok(ResultSet::default()),
         }
     }
@@ -260,7 +267,9 @@ mod tests {
         )
         .unwrap();
         let rs = db
-            .execute("select url, relevance from crawl where relevance > 0.5 order by relevance desc")
+            .execute(
+                "select url, relevance from crawl where relevance > 0.5 order by relevance desc",
+            )
             .unwrap();
         assert_eq!(rs.columns, vec!["url", "relevance"]);
         assert_eq!(rs.rows.len(), 2);
@@ -271,7 +280,8 @@ mod tests {
     #[test]
     fn group_by_having_shape_of_monitoring_query() {
         let mut db = db();
-        db.execute("create table crawl (oid int, relevance float, lastvisited int)").unwrap();
+        db.execute("create table crawl (oid int, relevance float, lastvisited int)")
+            .unwrap();
         for i in 0..120 {
             db.execute(&format!(
                 "insert into crawl values ({i}, {}, {})",
@@ -301,9 +311,12 @@ mod tests {
     #[test]
     fn update_with_scalar_subquery_normalizes() {
         let mut db = db();
-        db.execute("create table hubs (oid int, score float)").unwrap();
-        db.execute("insert into hubs values (1, 2.0), (2, 6.0)").unwrap();
-        db.execute("update hubs set (score) = score / (select sum(score) from hubs)").unwrap();
+        db.execute("create table hubs (oid int, score float)")
+            .unwrap();
+        db.execute("insert into hubs values (1, 2.0), (2, 6.0)")
+            .unwrap();
+        db.execute("update hubs set (score) = score / (select sum(score) from hubs)")
+            .unwrap();
         let rs = db.execute("select sum(score) from hubs").unwrap();
         assert!((rs.scalar_f64().unwrap() - 1.0).abs() < 1e-12);
         let rs = db.execute("select score from hubs where oid = 2").unwrap();
@@ -313,14 +326,17 @@ mod tests {
     #[test]
     fn figure4_hub_update_runs() {
         let mut db = db();
-        db.execute("create table auth (oid int, score float)").unwrap();
-        db.execute("create table hubs (oid int, score float)").unwrap();
+        db.execute("create table auth (oid int, score float)")
+            .unwrap();
+        db.execute("create table hubs (oid int, score float)")
+            .unwrap();
         db.execute(
             "create table link (oid_src int, sid_src int, oid_dst int, sid_dst int, wgt_fwd float, wgt_rev float)",
         )
         .unwrap();
         // Two servers; a nepotistic self-server edge must be ignored.
-        db.execute("insert into auth values (10, 0.5), (11, 0.5)").unwrap();
+        db.execute("insert into auth values (10, 0.5), (11, 0.5)")
+            .unwrap();
         db.execute(
             "insert into link values \
              (1, 100, 10, 200, 1.0, 0.8), \
@@ -334,7 +350,9 @@ mod tests {
               where sid_src <> sid_dst and oid = oid_dst group by oid_src)",
         )
         .unwrap();
-        let rs = db.execute("select oid, score from hubs order by oid").unwrap();
+        let rs = db
+            .execute("select oid, score from hubs order by oid")
+            .unwrap();
         assert_eq!(rs.rows.len(), 1); // only hub 1 (hub 2's edge was nepotistic)
         assert_eq!(rs.rows[0][0], Value::Int(1));
         assert!((rs.rows[0][1].as_f64().unwrap() - (0.5 * 0.8 + 0.5 * 0.6)).abs() < 1e-12);
@@ -343,22 +361,21 @@ mod tests {
     #[test]
     fn figure3_bulkprobe_shape_runs() {
         let mut db = db();
-        db.execute("create table stat_c0 (kcid int, tid int, logtheta float)").unwrap();
-        db.execute("create table document (did int, tid int, freq int)").unwrap();
+        db.execute("create table stat_c0 (kcid int, tid int, logtheta float)")
+            .unwrap();
+        db.execute("create table document (did int, tid int, freq int)")
+            .unwrap();
         db.execute("create table taxonomy (pcid int, kcid int, logprior float, logdenom float)")
             .unwrap();
         // Taxonomy: parent 0 with kids 1, 2.
-        db.execute(
-            "insert into taxonomy values (0, 1, -0.69, -3.0), (0, 2, -0.69, -2.0)",
-        )
-        .unwrap();
+        db.execute("insert into taxonomy values (0, 1, -0.69, -3.0), (0, 2, -0.69, -2.0)")
+            .unwrap();
         // Features: term 7 known to both kids; term 8 only kid 1.
-        db.execute(
-            "insert into stat_c0 values (1, 7, -1.0), (2, 7, -2.0), (1, 8, -1.5)",
-        )
-        .unwrap();
+        db.execute("insert into stat_c0 values (1, 7, -1.0), (2, 7, -2.0), (1, 8, -1.5)")
+            .unwrap();
         // Document 100 mentions term 7 twice and unknown term 9 once.
-        db.execute("insert into document values (100, 7, 2), (100, 9, 1)").unwrap();
+        db.execute("insert into document values (100, 7, 2), (100, 9, 1)")
+            .unwrap();
         let rs = db
             .execute(
                 "with
@@ -394,9 +411,12 @@ mod tests {
     #[test]
     fn census_query_with_cte_and_join() {
         let mut db = db();
-        db.execute("create table crawl (oid int, kcid int)").unwrap();
-        db.execute("create table taxonomy (kcid int, name text)").unwrap();
-        db.execute("insert into taxonomy values (1, 'cycling'), (2, 'investing')").unwrap();
+        db.execute("create table crawl (oid int, kcid int)")
+            .unwrap();
+        db.execute("create table taxonomy (kcid int, name text)")
+            .unwrap();
+        db.execute("insert into taxonomy values (1, 'cycling'), (2, 'investing')")
+            .unwrap();
         for i in 0..10 {
             db.execute(&format!(
                 "insert into crawl values ({i}, {})",
@@ -423,12 +443,12 @@ mod tests {
         let mut db = db();
         db.execute("create table crawl (oid int, url text, relevance float, numtries int)")
             .unwrap();
-        db.execute("create table hubs (oid int, score float)").unwrap();
-        db.execute(
-            "create table link (oid_src int, sid_src int, oid_dst int, sid_dst int)",
-        )
-        .unwrap();
-        db.execute("insert into hubs values (1, 0.9), (2, 0.001)").unwrap();
+        db.execute("create table hubs (oid int, score float)")
+            .unwrap();
+        db.execute("create table link (oid_src int, sid_src int, oid_dst int, sid_dst int)")
+            .unwrap();
+        db.execute("insert into hubs values (1, 0.9), (2, 0.001)")
+            .unwrap();
         db.execute("insert into link values (1, 10, 5, 20), (2, 10, 6, 20), (1, 10, 7, 10)")
             .unwrap();
         db.execute(
@@ -467,10 +487,13 @@ mod tests {
     fn distinct_and_limit() {
         let mut db = db();
         db.execute("create table t (a int)").unwrap();
-        db.execute("insert into t values (1), (1), (2), (2), (3)").unwrap();
+        db.execute("insert into t values (1), (1), (2), (2), (3)")
+            .unwrap();
         let rs = db.execute("select distinct a from t order by a").unwrap();
         assert_eq!(rs.rows.len(), 3);
-        let rs = db.execute("select a from t order by a desc limit 2").unwrap();
+        let rs = db
+            .execute("select a from t order by a desc limit 2")
+            .unwrap();
         assert_eq!(rs.rows.len(), 2);
         assert_eq!(rs.rows[0][0], Value::Int(3));
     }
@@ -484,7 +507,10 @@ mod tests {
         db.execute("insert into b values (1, 10), (3, 30)").unwrap();
         let rs = db.execute("select * from a join b on a.x = b.x").unwrap();
         assert_eq!(rs.rows.len(), 1);
-        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(1), Value::Int(10)]);
+        assert_eq!(
+            rs.rows[0],
+            vec![Value::Int(1), Value::Int(1), Value::Int(10)]
+        );
         let rs = db
             .execute("select a.x, b.y from a left outer join b on a.x = b.x order by a.x")
             .unwrap();
@@ -518,13 +544,17 @@ mod tests {
         db.execute("select count(*) from t").unwrap();
         let s = db.io_stats();
         assert!(s.logical_reads > 0);
-        assert!(s.physical_reads > 0, "4-frame pool must miss on a multi-page scan");
+        assert!(
+            s.physical_reads > 0,
+            "4-frame pool must miss on a multi-page scan"
+        );
     }
 
     #[test]
     fn result_set_table_rendering() {
         let mut db = db();
-        db.execute("create table t (name text, score float)").unwrap();
+        db.execute("create table t (name text, score float)")
+            .unwrap();
         db.execute("insert into t values ('alpha', 0.5)").unwrap();
         let rs = db.execute("select name, score from t").unwrap();
         let table = rs.to_table();

@@ -14,7 +14,12 @@ use std::path::{Path, PathBuf};
 
 enum Backend {
     Memory(Vec<Box<[u8; PAGE_SIZE]>>),
-    File { file: File, path: PathBuf, delete_on_drop: bool, num_pages: u32 },
+    File {
+        file: File,
+        path: PathBuf,
+        delete_on_drop: bool,
+        num_pages: u32,
+    },
 }
 
 /// Allocates, reads and writes fixed-size pages.
@@ -25,7 +30,9 @@ pub struct DiskManager {
 impl DiskManager {
     /// Pages live in process memory (hermetic tests, CI).
     pub fn in_memory() -> Self {
-        DiskManager { backend: Backend::Memory(Vec::new()) }
+        DiskManager {
+            backend: Backend::Memory(Vec::new()),
+        }
     }
 
     /// Pages live in the file at `path` (created/truncated).
@@ -81,7 +88,9 @@ impl DiskManager {
                 v.push(Box::new([0u8; PAGE_SIZE]));
                 Ok((v.len() - 1) as PageId)
             }
-            Backend::File { file, num_pages, .. } => {
+            Backend::File {
+                file, num_pages, ..
+            } => {
                 let id = *num_pages;
                 file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
                 file.write_all(&[0u8; PAGE_SIZE])?;
@@ -101,7 +110,9 @@ impl DiskManager {
                 buf.copy_from_slice(&page[..]);
                 Ok(())
             }
-            Backend::File { file, num_pages, .. } => {
+            Backend::File {
+                file, num_pages, ..
+            } => {
                 if id >= *num_pages {
                     return Err(DbError::Page(format!("page {id} not allocated")));
                 }
@@ -122,7 +133,9 @@ impl DiskManager {
                 page.copy_from_slice(buf);
                 Ok(())
             }
-            Backend::File { file, num_pages, .. } => {
+            Backend::File {
+                file, num_pages, ..
+            } => {
                 if id >= *num_pages {
                     return Err(DbError::Page(format!("page {id} not allocated")));
                 }
@@ -136,7 +149,12 @@ impl DiskManager {
 
 impl Drop for DiskManager {
     fn drop(&mut self) {
-        if let Backend::File { path, delete_on_drop: true, .. } = &self.backend {
+        if let Backend::File {
+            path,
+            delete_on_drop: true,
+            ..
+        } = &self.backend
+        {
             let _ = std::fs::remove_file(path);
         }
     }

@@ -62,8 +62,12 @@ mod tests {
 
     #[test]
     fn messages_are_contextual() {
-        assert!(DbError::BadRid { page: 3, slot: 9 }.to_string().contains("page 3"));
-        assert!(DbError::Parse("near 'selec'".into()).to_string().contains("selec"));
+        assert!(DbError::BadRid { page: 3, slot: 9 }
+            .to_string()
+            .contains("page 3"));
+        assert!(DbError::Parse("near 'selec'".into())
+            .to_string()
+            .contains("selec"));
     }
 
     #[test]

@@ -62,7 +62,14 @@ struct Acc {
 
 impl Acc {
     fn new() -> Acc {
-        Acc { sum: 0.0, sum_is_int: true, count: 0, rows: 0, min: None, max: None }
+        Acc {
+            sum: 0.0,
+            sum_is_int: true,
+            count: 0,
+            rows: 0,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, kind: AggKind, v: &Value) -> DbResult<()> {
@@ -129,8 +136,7 @@ pub fn aggregate(rows: &[Row], group: &[Expr], aggs: &[AggCall]) -> DbResult<Vec
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut state: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
     for row in rows {
-        let key: Vec<Value> =
-            group.iter().map(|g| g.eval(row)).collect::<DbResult<_>>()?;
+        let key: Vec<Value> = group.iter().map(|g| g.eval(row)).collect::<DbResult<_>>()?;
         let accs = state.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             vec![Acc::new(); aggs.len()]
@@ -176,7 +182,10 @@ mod tests {
     }
 
     fn call(kind: AggKind, col: usize) -> AggCall {
-        AggCall { kind, arg: Expr::Col(col) }
+        AggCall {
+            kind,
+            arg: Expr::Col(col),
+        }
     }
 
     #[test]
@@ -194,21 +203,27 @@ mod tests {
         .unwrap();
         assert_eq!(out.len(), 2);
         // Group 1: sum 2.0, count 2, count* 2, avg 1.0
-        assert_eq!(out[0], vec![
-            Value::Int(1),
-            Value::Float(2.0),
-            Value::Int(2),
-            Value::Int(2),
-            Value::Float(1.0)
-        ]);
+        assert_eq!(
+            out[0],
+            vec![
+                Value::Int(1),
+                Value::Float(2.0),
+                Value::Int(2),
+                Value::Int(2),
+                Value::Float(1.0)
+            ]
+        );
         // Group 2: NULL skipped by all but count(*).
-        assert_eq!(out[1], vec![
-            Value::Int(2),
-            Value::Float(4.0),
-            Value::Int(1),
-            Value::Int(2),
-            Value::Float(4.0)
-        ]);
+        assert_eq!(
+            out[1],
+            vec![
+                Value::Int(2),
+                Value::Float(4.0),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Float(4.0)
+            ]
+        );
     }
 
     #[test]
@@ -239,8 +254,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(global, vec![vec![Value::Int(0), Value::Null]]);
-        let grouped =
-            aggregate(&empty, &[Expr::Col(0)], &[call(AggKind::Count, 0)]).unwrap();
+        let grouped = aggregate(&empty, &[Expr::Col(0)], &[call(AggKind::Count, 0)]).unwrap();
         assert!(grouped.is_empty());
     }
 
@@ -257,12 +271,28 @@ mod tests {
             Expr::Col(0),
             Expr::bin(BinOp::Add, Expr::Col(1), Expr::Col(2)),
         );
-        let out = aggregate(&rows, &[], &[AggCall { kind: AggKind::Sum, arg }]).unwrap();
+        let out = aggregate(
+            &rows,
+            &[],
+            &[AggCall {
+                kind: AggKind::Sum,
+                arg,
+            }],
+        )
+        .unwrap();
         assert_eq!(out[0][0], Value::Float(2.0 * -4.0 + 3.0 * -5.0));
         // avg(exp(x)) shape from the monitoring query.
         let rows = vec![vec![Value::Float(0.0)], vec![Value::Float(0.0)]];
         let arg = Expr::Call(Func::Exp, vec![Expr::Col(0)]);
-        let out = aggregate(&rows, &[], &[AggCall { kind: AggKind::Avg, arg }]).unwrap();
+        let out = aggregate(
+            &rows,
+            &[],
+            &[AggCall {
+                kind: AggKind::Avg,
+                arg,
+            }],
+        )
+        .unwrap();
         assert_eq!(out[0][0], Value::Float(1.0));
     }
 

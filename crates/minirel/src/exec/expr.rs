@@ -178,12 +178,8 @@ impl Expr {
             Expr::Lit(v) => Expr::Lit(v.clone()),
             Expr::Bin(op, l, r) => Expr::bin(*op, l.remap(map), r.remap(map)),
             Expr::Un(op, e) => Expr::Un(*op, Box::new(e.remap(map))),
-            Expr::Call(f, args) => {
-                Expr::Call(*f, args.iter().map(|a| a.remap(map)).collect())
-            }
-            Expr::InList(e, list, n) => {
-                Expr::InList(Box::new(e.remap(map)), list.clone(), *n)
-            }
+            Expr::Call(f, args) => Expr::Call(*f, args.iter().map(|a| a.remap(map)).collect()),
+            Expr::InList(e, list, n) => Expr::InList(Box::new(e.remap(map)), list.clone(), *n),
             Expr::IsNull(e, n) => Expr::IsNull(Box::new(e.remap(map)), *n),
         }
     }
@@ -260,7 +256,10 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> DbResult<Value> {
 fn eval_call(f: Func, args: &[Expr], row: &Row) -> DbResult<Value> {
     let need = |n: usize| -> DbResult<()> {
         if args.len() != n {
-            Err(DbError::Eval(format!("{f:?} expects {n} argument(s), got {}", args.len())))
+            Err(DbError::Eval(format!(
+                "{f:?} expects {n} argument(s), got {}",
+                args.len()
+            )))
         } else {
             Ok(())
         }
@@ -280,7 +279,9 @@ fn eval_call(f: Func, args: &[Expr], row: &Row) -> DbResult<Value> {
             match args[0].eval(row)? {
                 Value::Int(s) => Ok(Value::Int(s.div_euclid(60))),
                 Value::Null => Ok(Value::Null),
-                v => Err(DbError::Eval(format!("minute() expects an integer, got {v}"))),
+                v => Err(DbError::Eval(format!(
+                    "minute() expects an integer, got {v}"
+                ))),
             }
         }
         Func::Exp | Func::Ln | Func::Abs | Func::Sqrt => {
@@ -319,7 +320,12 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        vec![Value::Int(10), Value::Float(0.5), Value::Str("bike".into()), Value::Null]
+        vec![
+            Value::Int(10),
+            Value::Float(0.5),
+            Value::Str("bike".into()),
+            Value::Null,
+        ]
     }
 
     #[test]
@@ -366,11 +372,24 @@ mod tests {
         let r = row();
         let t = Expr::lit(1i64);
         let f = Expr::lit(0i64);
-        assert_eq!(Expr::bin(BinOp::And, t.clone(), f.clone()).eval(&r).unwrap(), Value::Int(0));
-        assert_eq!(Expr::bin(BinOp::Or, t.clone(), f.clone()).eval(&r).unwrap(), Value::Int(1));
-        assert_eq!(Expr::Un(UnOp::Not, Box::new(f)).eval(&r).unwrap(), Value::Int(1));
         assert_eq!(
-            Expr::Un(UnOp::Neg, Box::new(Expr::col(1))).eval(&r).unwrap(),
+            Expr::bin(BinOp::And, t.clone(), f.clone())
+                .eval(&r)
+                .unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Or, t.clone(), f.clone()).eval(&r).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Expr::Un(UnOp::Not, Box::new(f)).eval(&r).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Expr::Un(UnOp::Neg, Box::new(Expr::col(1)))
+                .eval(&r)
+                .unwrap(),
             Value::Float(-0.5)
         );
     }

@@ -297,7 +297,11 @@ mod tests {
     fn merge_join_repeated_left_keys_rescan_right_group() {
         // Regression: ri must not advance past a group consumed by an
         // earlier equal left key.
-        let l = vec![vec![Value::Int(2)], vec![Value::Int(2)], vec![Value::Int(2)]];
+        let l = vec![
+            vec![Value::Int(2)],
+            vec![Value::Int(2)],
+            vec![Value::Int(2)],
+        ];
         let r = vec![vec![Value::Int(2)], vec![Value::Int(2)]];
         let out = merge_join_inner(&l, &r, &[0], &[0]).unwrap();
         assert_eq!(out.len(), 6);

@@ -30,12 +30,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key on column `i`.
     pub fn asc(i: usize) -> SortKey {
-        SortKey { expr: Expr::Col(i), desc: false }
+        SortKey {
+            expr: Expr::Col(i),
+            desc: false,
+        }
     }
 
     /// Descending key on column `i`.
     pub fn desc(i: usize) -> SortKey {
-        SortKey { expr: Expr::Col(i), desc: true }
+        SortKey {
+            expr: Expr::Col(i),
+            desc: true,
+        }
     }
 }
 
@@ -92,7 +98,8 @@ impl RunReader {
                 }
                 None => {
                     // Either a tombstone (runs have none) or end of page.
-                    let exhausted = pool.with_page(pid, |b| self.slot >= SlottedRef(b).slot_count())?;
+                    let exhausted =
+                        pool.with_page(pid, |b| self.slot >= SlottedRef(b).slot_count())?;
                     if exhausted {
                         self.page_idx += 1;
                         self.slot = 0;
@@ -133,7 +140,11 @@ pub fn external_sort(
         for row in &sorted {
             run.insert(pool, &encode_row(row))?;
         }
-        readers.push(RunReader { pages: run.pages().to_vec(), page_idx: 0, slot: 0 });
+        readers.push(RunReader {
+            pages: run.pages().to_vec(),
+            page_idx: 0,
+            slot: 0,
+        });
     }
     // K-way merge on (key, run_idx) min-heap.
     let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize)>> = BinaryHeap::new();
@@ -171,7 +182,9 @@ mod tests {
     }
 
     fn rows_of(vals: &[(i64, f64)]) -> Vec<Row> {
-        vals.iter().map(|&(a, b)| vec![Value::Int(a), Value::Float(b)]).collect()
+        vals.iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Float(b)])
+            .collect()
     }
 
     #[test]
@@ -242,11 +255,7 @@ mod tests {
 
     #[test]
     fn nulls_sort_first() {
-        let rows = vec![
-            vec![Value::Int(1)],
-            vec![Value::Null],
-            vec![Value::Int(-5)],
-        ];
+        let rows = vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(-5)]];
         let sorted = sort_rows(rows, &[SortKey::asc(0)]).unwrap();
         assert_eq!(sorted[0][0], Value::Null);
         assert_eq!(sorted[1][0], Value::Int(-5));
@@ -256,7 +265,9 @@ mod tests {
     fn smaller_budget_spills_more() {
         let io_with_budget = |budget: usize| {
             let mut bp = pool(4);
-            let rows: Vec<Row> = (0..2000).map(|i| vec![Value::Int((i * 7919) % 2000)]).collect();
+            let rows: Vec<Row> = (0..2000)
+                .map(|i| vec![Value::Int((i * 7919) % 2000)])
+                .collect();
             bp.reset_stats();
             external_sort(&mut bp, rows, &[SortKey::asc(0)], budget).unwrap();
             bp.stats().physical_reads + bp.stats().physical_writes

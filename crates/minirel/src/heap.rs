@@ -104,10 +104,18 @@ impl HeapFile {
     /// Fetch the record at `rid`.
     pub fn get(&self, pool: &mut BufferPool, rid: Rid) -> DbResult<Vec<u8>> {
         if !self.pages.contains(&rid.page) {
-            return Err(DbError::BadRid { page: rid.page, slot: rid.slot });
+            return Err(DbError::BadRid {
+                page: rid.page,
+                slot: rid.slot,
+            });
         }
-        pool.with_page(rid.page, |b| SlottedRef(b).record(rid.slot).map(<[u8]>::to_vec))?
-            .ok_or(DbError::BadRid { page: rid.page, slot: rid.slot })
+        pool.with_page(rid.page, |b| {
+            SlottedRef(b).record(rid.slot).map(<[u8]>::to_vec)
+        })?
+        .ok_or(DbError::BadRid {
+            page: rid.page,
+            slot: rid.slot,
+        })
     }
 
     /// Delete the record at `rid`.
@@ -116,7 +124,10 @@ impl HeapFile {
             .pages
             .iter()
             .position(|&p| p == rid.page)
-            .ok_or(DbError::BadRid { page: rid.page, slot: rid.slot })?;
+            .ok_or(DbError::BadRid {
+                page: rid.page,
+                slot: rid.slot,
+            })?;
         let free = pool.with_page_mut(rid.page, |b| {
             SlottedMut(b).delete(rid.slot)?;
             Ok::<u16, DbError>(SlottedRef(b).free_space() as u16)
@@ -130,9 +141,13 @@ impl HeapFile {
     /// Returns the (possibly new) rid.
     pub fn update(&mut self, pool: &mut BufferPool, rid: Rid, rec: &[u8]) -> DbResult<Rid> {
         if !self.pages.contains(&rid.page) {
-            return Err(DbError::BadRid { page: rid.page, slot: rid.slot });
+            return Err(DbError::BadRid {
+                page: rid.page,
+                slot: rid.slot,
+            });
         }
-        let fit = pool.with_page_mut(rid.page, |b| SlottedMut(b).update_in_place(rid.slot, rec))??;
+        let fit =
+            pool.with_page_mut(rid.page, |b| SlottedMut(b).update_in_place(rid.slot, rec))??;
         if fit {
             return Ok(rid);
         }
@@ -142,11 +157,7 @@ impl HeapFile {
 
     /// Visit every live record in file order. The callback may not touch
     /// the pool (we hold it); collect rids if you need random access after.
-    pub fn scan(
-        &self,
-        pool: &mut BufferPool,
-        mut f: impl FnMut(Rid, &[u8]),
-    ) -> DbResult<()> {
+    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(Rid, &[u8])) -> DbResult<()> {
         for &pid in &self.pages {
             pool.with_page(pid, |b| {
                 for (slot, rec) in SlottedRef(b).records() {
@@ -242,7 +253,10 @@ mod tests {
     fn foreign_rid_rejected() {
         let mut bp = pool();
         let hf = HeapFile::create(&mut bp).unwrap();
-        let bad = Rid { page: 9999, slot: 0 };
+        let bad = Rid {
+            page: 9999,
+            slot: 0,
+        };
         assert!(matches!(hf.get(&mut bp, bad), Err(DbError::BadRid { .. })));
     }
 

@@ -231,7 +231,9 @@ mod tests {
         let s = SlottedMut(&mut buf).insert(b"0123456789").unwrap();
         assert!(SlottedMut(&mut buf).update_in_place(s, b"abc").unwrap());
         assert_eq!(SlottedRef(&buf).record(s).unwrap(), b"abc");
-        assert!(!SlottedMut(&mut buf).update_in_place(s, b"longer than before").unwrap());
+        assert!(!SlottedMut(&mut buf)
+            .update_in_place(s, b"longer than before")
+            .unwrap());
         // Unchanged after failed grow.
         assert_eq!(SlottedRef(&buf).record(s).unwrap(), b"abc");
     }

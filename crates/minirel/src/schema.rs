@@ -63,7 +63,10 @@ pub struct Column {
 impl Column {
     /// Construct (name is lower-cased; SQL identifiers are case-insensitive).
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into().to_ascii_lowercase(), ty }
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+        }
     }
 }
 

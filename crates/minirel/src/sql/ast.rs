@@ -274,7 +274,11 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = AstExpr::Call { name: "sum".into(), args: vec![AstExpr::Int(1)], star: false };
+        let agg = AstExpr::Call {
+            name: "sum".into(),
+            args: vec![AstExpr::Int(1)],
+            star: false,
+        };
         assert!(agg.has_aggregate());
         let wrapped = AstExpr::Bin(
             BinOp::Div,
@@ -288,7 +292,10 @@ mod tests {
         assert!(wrapped.has_aggregate());
         let plain = AstExpr::Call {
             name: "exp".into(),
-            args: vec![AstExpr::Column { qualifier: None, name: "x".into() }],
+            args: vec![AstExpr::Column {
+                qualifier: None,
+                name: "x".into(),
+            }],
             star: false,
         };
         assert!(!plain.has_aggregate());
@@ -296,9 +303,15 @@ mod tests {
 
     #[test]
     fn binding_name_prefers_alias() {
-        let f = FromItem { table: "complete".into(), alias: Some("c".into()) };
+        let f = FromItem {
+            table: "complete".into(),
+            alias: Some("c".into()),
+        };
         assert_eq!(f.binding_name(), "c");
-        let g = FromItem { table: "crawl".into(), alias: None };
+        let g = FromItem {
+            table: "crawl".into(),
+            alias: None,
+        };
         assert_eq!(g.binding_name(), "crawl");
     }
 }

@@ -88,9 +88,8 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
     let b = input.as_bytes();
     let mut i = 0;
     let mut out = Vec::new();
-    let err = |i: usize, msg: &str| -> DbError {
-        DbError::Parse(format!("{msg} at byte {i} of query"))
-    };
+    let err =
+        |i: usize, msg: &str| -> DbError { DbError::Parse(format!("{msg} at byte {i} of query")) };
     while i < b.len() {
         let c = b[i];
         match c {
@@ -231,7 +230,8 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     ));
                 } else {
                     out.push(Token::Int(
-                        text.parse().map_err(|_| err(start, "integer literal out of range"))?,
+                        text.parse()
+                            .map_err(|_| err(start, "integer literal out of range"))?,
                     ));
                 }
             }
@@ -241,7 +241,9 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     i += 1;
                 }
                 out.push(Token::Ident(
-                    std::str::from_utf8(&b[start..i]).expect("ascii ident").to_owned(),
+                    std::str::from_utf8(&b[start..i])
+                        .expect("ascii ident")
+                        .to_owned(),
                 ));
             }
             b'.' => {
@@ -289,7 +291,10 @@ mod tests {
     #[test]
     fn operators() {
         let toks = tokenize("a<>b a!=b a<=b a>=b a<b a>b a=b a.b").unwrap();
-        let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
         assert_eq!(
             ops,
             vec![

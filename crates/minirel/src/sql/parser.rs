@@ -9,8 +9,8 @@ use crate::sql::lexer::{tokenize, Token};
 /// Words that terminate an implicit alias position.
 const RESERVED: &[&str] = &[
     "select", "from", "where", "group", "order", "limit", "left", "right", "inner", "outer",
-    "join", "on", "as", "and", "or", "not", "in", "is", "null", "values", "set", "by",
-    "asc", "desc", "with", "union", "having", "distinct", "insert", "update", "delete",
+    "join", "on", "as", "and", "or", "not", "in", "is", "null", "values", "set", "by", "asc",
+    "desc", "with", "union", "having", "distinct", "insert", "update", "delete",
 ];
 
 /// Parse one SQL statement (a trailing `;` is allowed).
@@ -204,7 +204,11 @@ impl Parser {
         }
         let mut from = Vec::new();
         if self.eat_kw("from") {
-            from.push(FromClause { kind: JoinKind::Cross, item: self.from_item()?, on: None });
+            from.push(FromClause {
+                kind: JoinKind::Cross,
+                item: self.from_item()?,
+                on: None,
+            });
             loop {
                 if self.eat(&Token::Comma) {
                     from.push(FromClause {
@@ -219,20 +223,32 @@ impl Parser {
                     let item = self.from_item()?;
                     self.expect_kw("on")?;
                     let on = self.expr()?;
-                    from.push(FromClause { kind: JoinKind::LeftOuter, item, on: Some(on) });
+                    from.push(FromClause {
+                        kind: JoinKind::LeftOuter,
+                        item,
+                        on: Some(on),
+                    });
                 } else if self.at_kw("inner") || self.at_kw("join") {
                     self.eat_kw("inner");
                     self.expect_kw("join")?;
                     let item = self.from_item()?;
                     self.expect_kw("on")?;
                     let on = self.expr()?;
-                    from.push(FromClause { kind: JoinKind::Inner, item, on: Some(on) });
+                    from.push(FromClause {
+                        kind: JoinKind::Inner,
+                        item,
+                        on: Some(on),
+                    });
                 } else {
                     break;
                 }
             }
         }
-        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -268,7 +284,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { ctes, projections, from, where_, group_by, order_by, limit, distinct })
+        Ok(SelectStmt {
+            ctes,
+            projections,
+            from,
+            where_,
+            group_by,
+            order_by,
+            limit,
+            distinct,
+        })
     }
 
     #[allow(clippy::wrong_self_convention)] // "from" = SQL FROM, not a conversion
@@ -334,7 +359,11 @@ impl Parser {
         } else {
             return Err(self.err("expected VALUES or SELECT in INSERT"));
         };
-        Ok(Statement::Insert { table, cols, source })
+        Ok(Statement::Insert {
+            table,
+            cols,
+            source,
+        })
     }
 
     fn update(&mut self) -> DbResult<Statement> {
@@ -355,14 +384,26 @@ impl Parser {
                 break;
             }
         }
-        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, where_ })
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_,
+        })
     }
 
     fn delete(&mut self) -> DbResult<Statement> {
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, where_ })
     }
 
@@ -438,7 +479,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(AstExpr::IsNull { expr: Box::new(e), negated });
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(e),
+                negated,
+            });
         }
         // [NOT] IN
         let negated_in = if self.at_kw("not") && self.peek2().is_some_and(|t| t.is_kw("in")) {
@@ -466,7 +510,11 @@ impl Parser {
                 }
             }
             self.expect(&Token::RParen)?;
-            return Ok(AstExpr::InList { expr: Box::new(e), list, negated: negated_in });
+            return Ok(AstExpr::InList {
+                expr: Box::new(e),
+                list,
+                negated: negated_in,
+            });
         }
         let op = match self.peek() {
             Some(Token::Eq) => Some(BinOp::Eq),
@@ -602,7 +650,11 @@ impl Parser {
                     self.bump();
                     if self.eat(&Token::Star) {
                         self.expect(&Token::RParen)?;
-                        return Ok(AstExpr::Call { name: lower, args: vec![], star: true });
+                        return Ok(AstExpr::Call {
+                            name: lower,
+                            args: vec![],
+                            star: true,
+                        });
                     }
                     let mut args = Vec::new();
                     if self.peek() != Some(&Token::RParen) {
@@ -614,14 +666,24 @@ impl Parser {
                         }
                     }
                     self.expect(&Token::RParen)?;
-                    return Ok(AstExpr::Call { name: lower, args, star: false });
+                    return Ok(AstExpr::Call {
+                        name: lower,
+                        args,
+                        star: false,
+                    });
                 }
                 // Qualified column?
                 if self.eat(&Token::Dot) {
                     let name = self.ident()?;
-                    return Ok(AstExpr::Column { qualifier: Some(lower), name });
+                    return Ok(AstExpr::Column {
+                        qualifier: Some(lower),
+                        name,
+                    });
                 }
-                Ok(AstExpr::Column { qualifier: None, name: lower })
+                Ok(AstExpr::Column {
+                    qualifier: None,
+                    name: lower,
+                })
             }
             _ => Err(self.err("expected an expression")),
         }
@@ -634,7 +696,10 @@ mod tests {
 
     #[test]
     fn simple_select() {
-        let s = parse_statement("select oid, url from crawl where relevance > 0.5 order by oid desc limit 10").unwrap();
+        let s = parse_statement(
+            "select oid, url from crawl where relevance > 0.5 order by oid desc limit 10",
+        )
+        .unwrap();
         let q = match s {
             Statement::Select(q) => q,
             _ => panic!("not a select"),
@@ -699,7 +764,11 @@ mod tests {
         assert_eq!(stmts.len(), 3);
         assert!(matches!(stmts[0], Statement::Delete { .. }));
         match &stmts[1] {
-            Statement::Insert { table, cols, source } => {
+            Statement::Insert {
+                table,
+                cols,
+                source,
+            } => {
                 assert_eq!(table, "hubs");
                 assert_eq!(cols, &["oid", "score"]);
                 assert!(matches!(source, InsertSource::Select(_)));
@@ -786,7 +855,10 @@ mod tests {
             _ => panic!(),
         };
         match &q.projections[0] {
-            Projection::Expr { expr: AstExpr::Call { star, .. }, .. } => assert!(star),
+            Projection::Expr {
+                expr: AstExpr::Call { star, .. },
+                ..
+            } => assert!(star),
             p => panic!("unexpected projection {p:?}"),
         }
         match q.where_.as_ref().unwrap() {
@@ -804,7 +876,10 @@ mod tests {
         };
         // ((1 + (2*3)) - (-4))
         match &q.projections[0] {
-            Projection::Expr { expr: AstExpr::Bin(BinOp::Sub, l, r), .. } => {
+            Projection::Expr {
+                expr: AstExpr::Bin(BinOp::Sub, l, r),
+                ..
+            } => {
                 assert!(matches!(**l, AstExpr::Bin(BinOp::Add, _, _)));
                 assert!(matches!(**r, AstExpr::Neg(_)));
             }

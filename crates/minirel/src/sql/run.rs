@@ -76,9 +76,7 @@ pub fn run_statement(ctx: &mut SqlCtx<'_>, stmt: &Statement) -> DbResult<StmtRes
     match stmt {
         Statement::Select(q) => Ok(StmtResult::Rows(run_select(ctx, q)?)),
         Statement::CreateTable { name, cols } => {
-            let schema = crate::schema::Schema::new(
-                cols.iter().map(|(n, t)| (n.clone(), *t)),
-            );
+            let schema = crate::schema::Schema::new(cols.iter().map(|(n, t)| (n.clone(), *t)));
             ctx.catalog.create_table(ctx.pool, name, schema)?;
             Ok(StmtResult::Done)
         }
@@ -91,8 +89,16 @@ pub fn run_statement(ctx: &mut SqlCtx<'_>, stmt: &Statement) -> DbResult<StmtRes
             ctx.catalog.drop_table(name)?;
             Ok(StmtResult::Done)
         }
-        Statement::Insert { table, cols, source } => run_insert(ctx, table, cols, source),
-        Statement::Update { table, sets, where_ } => run_update(ctx, table, sets, where_.as_ref()),
+        Statement::Insert {
+            table,
+            cols,
+            source,
+        } => run_insert(ctx, table, cols, source),
+        Statement::Update {
+            table,
+            sets,
+            where_,
+        } => run_update(ctx, table, sets, where_.as_ref()),
         Statement::Delete { table, where_ } => run_delete(ctx, table, where_.as_ref()),
     }
 }
@@ -110,15 +116,17 @@ fn bind(ctx: &mut SqlCtx<'_>, e: &AstExpr, cols: &[BoundCol]) -> DbResult<Expr> 
         AstExpr::Str(s) => Ok(Expr::Lit(Value::Str(s.clone()))),
         AstExpr::Null => Ok(Expr::Lit(Value::Null)),
         AstExpr::CurrentTimestamp => Ok(Expr::Lit(Value::Int(ctx.current_timestamp))),
-        AstExpr::Bin(op, l, r) => {
-            Ok(Expr::bin(*op, bind(ctx, l, cols)?, bind(ctx, r, cols)?))
-        }
+        AstExpr::Bin(op, l, r) => Ok(Expr::bin(*op, bind(ctx, l, cols)?, bind(ctx, r, cols)?)),
         AstExpr::Neg(x) => Ok(Expr::Un(UnOp::Neg, Box::new(bind(ctx, x, cols)?))),
         AstExpr::Not(x) => Ok(Expr::Un(UnOp::Not, Box::new(bind(ctx, x, cols)?))),
         AstExpr::IsNull { expr, negated } => {
             Ok(Expr::IsNull(Box::new(bind(ctx, expr, cols)?), *negated))
         }
-        AstExpr::InList { expr, list, negated } => {
+        AstExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let bound = bind(ctx, expr, cols)?;
             let mut vals = Vec::with_capacity(list.len());
             for item in list {
@@ -127,7 +135,11 @@ fn bind(ctx: &mut SqlCtx<'_>, e: &AstExpr, cols: &[BoundCol]) -> DbResult<Expr> 
             }
             Ok(Expr::InList(Box::new(bound), vals, *negated))
         }
-        AstExpr::InSubquery { expr, query, negated } => {
+        AstExpr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             let bound = bind(ctx, expr, cols)?;
             let rel = run_select(ctx, query)?;
             if rel.cols.len() != 1 {
@@ -135,8 +147,7 @@ fn bind(ctx: &mut SqlCtx<'_>, e: &AstExpr, cols: &[BoundCol]) -> DbResult<Expr> 
                     "IN subquery must produce exactly one column".into(),
                 ));
             }
-            let vals: Vec<Value> =
-                rel.rows.into_iter().map(|mut r| r.remove(0)).collect();
+            let vals: Vec<Value> = rel.rows.into_iter().map(|mut r| r.remove(0)).collect();
             Ok(Expr::InList(Box::new(bound), vals, *negated))
         }
         AstExpr::ScalarSubquery(query) => {
@@ -165,8 +176,10 @@ fn bind(ctx: &mut SqlCtx<'_>, e: &AstExpr, cols: &[BoundCol]) -> DbResult<Expr> 
             }
             let f = Func::parse(name)
                 .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
-            let bound: Vec<Expr> =
-                args.iter().map(|a| bind(ctx, a, cols)).collect::<DbResult<_>>()?;
+            let bound: Vec<Expr> = args
+                .iter()
+                .map(|a| bind(ctx, a, cols))
+                .collect::<DbResult<_>>()?;
             Ok(Expr::Call(f, bound))
         }
     }
@@ -247,7 +260,10 @@ pub fn run_select(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation> 
                 rel.cols = cte
                     .cols
                     .iter()
-                    .map(|n| BoundCol { qualifier: Some(cte.name.clone()), name: n.clone() })
+                    .map(|n| BoundCol {
+                        qualifier: Some(cte.name.clone()),
+                        name: n.clone(),
+                    })
                     .collect();
             } else {
                 for c in &mut rel.cols {
@@ -278,7 +294,10 @@ fn load_source(ctx: &mut SqlCtx<'_>, item: &FromItem) -> DbResult<Relation> {
         .schema
         .columns
         .iter()
-        .map(|c| BoundCol { qualifier: Some(binding.clone()), name: c.name.clone() })
+        .map(|c| BoundCol {
+            qualifier: Some(binding.clone()),
+            name: c.name.clone(),
+        })
         .collect();
     let rows: Vec<Row> = ctx
         .catalog
@@ -376,7 +395,10 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
     let mut consumed = vec![false; where_conjuncts.len()];
 
     let mut acc: Relation = if sel.from.is_empty() {
-        Relation { cols: vec![], rows: vec![vec![]] }
+        Relation {
+            cols: vec![],
+            rows: vec![vec![]],
+        }
     } else {
         load_source(ctx, &sel.from[0].item)?
     };
@@ -385,9 +407,9 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
     let mut pending: Vec<Relation> = Vec::new();
     #[allow(clippy::type_complexity)]
     let apply_pushdown = |ctx: &mut SqlCtx<'_>,
-                              rel: &mut Relation,
-                              conjs: &mut Vec<AstExpr>,
-                              consumed: &mut Vec<bool>|
+                          rel: &mut Relation,
+                          conjs: &mut Vec<AstExpr>,
+                          consumed: &mut Vec<bool>|
      -> DbResult<()> {
         for (i, c) in conjs.iter().enumerate() {
             if !consumed[i] && bindable(c, &rel.cols) {
@@ -411,9 +433,10 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
                 if fc.kind == JoinKind::Inner {
                     apply_pushdown(ctx, &mut rel, &mut where_conjuncts, &mut consumed)?;
                 }
-                let on = fc.on.clone().ok_or_else(|| {
-                    DbError::Binding("JOIN requires an ON predicate".into())
-                })?;
+                let on = fc
+                    .on
+                    .clone()
+                    .ok_or_else(|| DbError::Binding("JOIN requires an ON predicate".into()))?;
                 let on_conj = on.clone().conjuncts();
                 let (used, lk, rk) = equi_keys(&on_conj, &acc.cols, &rel.cols);
                 if used.len() == on_conj.len() && !lk.is_empty() {
@@ -423,8 +446,12 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
                     let cols: Vec<BoundCol> =
                         acc.cols.iter().chain(rel.cols.iter()).cloned().collect();
                     let pred = bind(ctx, &on, &cols)?;
-                    let rows =
-                        nested_loop_join(&acc.rows, &rel.rows, &pred, fc.kind == JoinKind::LeftOuter)?;
+                    let rows = nested_loop_join(
+                        &acc.rows,
+                        &rel.rows,
+                        &pred,
+                        fc.kind == JoinKind::LeftOuter,
+                    )?;
                     acc = Relation { cols, rows };
                 }
             }
@@ -442,13 +469,13 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
             .filter(|(i, _)| !consumed[*i])
             .map(|(_, c)| c.clone())
             .collect();
-        let unconsumed_idx: Vec<usize> =
-            (0..where_conjuncts.len()).filter(|i| !consumed[*i]).collect();
+        let unconsumed_idx: Vec<usize> = (0..where_conjuncts.len())
+            .filter(|i| !consumed[*i])
+            .collect();
         for (pi, rel) in pending.iter().enumerate() {
             let (used, lk, rk) = equi_keys(&unconsumed, &acc.cols, &rel.cols);
             if !lk.is_empty() {
-                let global_used: Vec<usize> =
-                    used.iter().map(|&u| unconsumed_idx[u]).collect();
+                let global_used: Vec<usize> = used.iter().map(|&u| unconsumed_idx[u]).collect();
                 chosen = Some((pi, global_used, lk, rk));
                 break;
             }
@@ -465,8 +492,7 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
                 // True cartesian product (small dimension tables only, e.g.
                 // DOCLEN × TAXONOMY in Figure 3).
                 let rel = pending.remove(0);
-                let cols: Vec<BoundCol> =
-                    acc.cols.iter().chain(rel.cols.iter()).cloned().collect();
+                let cols: Vec<BoundCol> = acc.cols.iter().chain(rel.cols.iter()).cloned().collect();
                 let pred = Expr::Lit(Value::Int(1));
                 let rows = nested_loop_join(&acc.rows, &rel.rows, &pred, false)?;
                 acc = Relation { cols, rows };
@@ -532,7 +558,10 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
             .map(|(e, desc)| {
                 let target = dealias(e, &aliases);
                 let bound = rewrite_agg(ctx, &target, &sel.group_by, &acc.cols, &mut aggs)?;
-                Ok(SortKey { expr: bound, desc: *desc })
+                Ok(SortKey {
+                    expr: bound,
+                    desc: *desc,
+                })
             })
             .collect::<DbResult<_>>()?;
         let agg_rows = aggregate(&acc.rows, &group_bound, &aggs)?;
@@ -550,7 +579,10 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
             .iter()
             .map(|(e, desc)| {
                 let target = dealias(e, &aliases);
-                Ok(SortKey { expr: bind(ctx, &target, &acc.cols)?, desc: *desc })
+                Ok(SortKey {
+                    expr: bind(ctx, &target, &acc.cols)?,
+                    desc: *desc,
+                })
             })
             .collect::<DbResult<_>>()?;
         let sorted = if order_keys.is_empty() {
@@ -598,13 +630,20 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
         out_rows.retain(|r| seen.insert(r.clone()));
     }
 
-    Ok(Relation { cols: out_cols, rows: out_rows })
+    Ok(Relation {
+        cols: out_cols,
+        rows: out_rows,
+    })
 }
 
 /// Replace a bare column that names a projection alias with the projection's
 /// defining expression (ORDER BY `cnt` where `cnt` aliases `count(oid)`).
 fn dealias(e: &AstExpr, aliases: &[(Option<String>, AstExpr)]) -> AstExpr {
-    if let AstExpr::Column { qualifier: None, name } = e {
+    if let AstExpr::Column {
+        qualifier: None,
+        name,
+    } = e
+    {
         for (alias, def) in aliases {
             if alias.as_deref() == Some(name.as_str()) {
                 return def.clone();
@@ -630,8 +669,14 @@ fn output_name(expr: &AstExpr, alias: Option<&String>, i: usize) -> String {
 fn ast_eq_loose(a: &AstExpr, b: &AstExpr) -> bool {
     match (a, b) {
         (
-            AstExpr::Column { qualifier: qa, name: na },
-            AstExpr::Column { qualifier: qb, name: nb },
+            AstExpr::Column {
+                qualifier: qa,
+                name: na,
+            },
+            AstExpr::Column {
+                qualifier: qb,
+                name: nb,
+            },
         ) => na == nb && (qa == qb || qa.is_none() || qb.is_none()),
         (AstExpr::Bin(oa, la, ra), AstExpr::Bin(ob, lb, rb)) => {
             oa == ob && ast_eq_loose(la, lb) && ast_eq_loose(ra, rb)
@@ -640,8 +685,16 @@ fn ast_eq_loose(a: &AstExpr, b: &AstExpr) -> bool {
             ast_eq_loose(xa, xb)
         }
         (
-            AstExpr::Call { name: na, args: aa, star: sa },
-            AstExpr::Call { name: nb, args: ab, star: sb },
+            AstExpr::Call {
+                name: na,
+                args: aa,
+                star: sa,
+            },
+            AstExpr::Call {
+                name: nb,
+                args: ab,
+                star: sb,
+            },
         ) => {
             na == nb
                 && sa == sb
@@ -714,7 +767,10 @@ fn rewrite_agg(
         | AstExpr::ScalarSubquery(_) => bind(ctx, e, &[]),
         AstExpr::Column { qualifier, name } => Err(DbError::Binding(format!(
             "column {}{name} must appear in GROUP BY or inside an aggregate",
-            qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+            qualifier
+                .as_deref()
+                .map(|q| format!("{q}."))
+                .unwrap_or_default()
         ))),
         other => Err(DbError::Binding(format!(
             "unsupported expression in aggregate context: {other:?}"
@@ -785,7 +841,10 @@ fn table_cols(catalog: &Catalog, tid: crate::catalog::TableId, name: &str) -> Ve
         .schema
         .columns
         .iter()
-        .map(|c| BoundCol { qualifier: Some(name.to_owned()), name: c.name.clone() })
+        .map(|c| BoundCol {
+            qualifier: Some(name.to_owned()),
+            name: c.name.clone(),
+        })
         .collect()
 }
 
@@ -832,11 +891,7 @@ fn run_update(
     Ok(StmtResult::Affected(n))
 }
 
-fn run_delete(
-    ctx: &mut SqlCtx<'_>,
-    table: &str,
-    where_: Option<&AstExpr>,
-) -> DbResult<StmtResult> {
+fn run_delete(ctx: &mut SqlCtx<'_>, table: &str, where_: Option<&AstExpr>) -> DbResult<StmtResult> {
     let tid = ctx.catalog.table_id(table)?;
     let cols = table_cols(ctx.catalog, tid, table);
     let pred = where_.map(|w| bind(ctx, w, &cols)).transpose()?;

@@ -354,11 +354,7 @@ mod tests {
         use std::hash::BuildHasher;
         assert_eq!(Value::Int(3), Value::Float(3.0));
         let b = std::collections::hash_map::RandomState::new();
-        let h = |v: &Value| {
-            
-            
-            b.hash_one(v)
-        };
+        let h = |v: &Value| b.hash_one(v);
         assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
     }
 

@@ -5,11 +5,10 @@ use minirel::{Database, Value};
 
 fn db() -> Database {
     let mut db = Database::in_memory();
-    db.execute("create table t (a int, b float, s text)").unwrap();
-    db.execute(
-        "insert into t values (1, 0.5, 'x'), (2, 1.5, 'y'), (3, 2.5, 'x'), (4, null, null)",
-    )
-    .unwrap();
+    db.execute("create table t (a int, b float, s text)")
+        .unwrap();
+    db.execute("insert into t values (1, 0.5, 'x'), (2, 1.5, 'y'), (3, 2.5, 'x'), (4, null, null)")
+        .unwrap();
     db
 }
 
@@ -78,7 +77,10 @@ fn division_by_zero_is_an_error_not_a_crash() {
     let e = d.execute("select a / 0 from t").unwrap_err();
     assert!(e.to_string().contains("division by zero"));
     // The table is untouched afterwards.
-    assert_eq!(d.execute("select count(*) from t").unwrap().scalar_i64(), Some(4));
+    assert_eq!(
+        d.execute("select count(*) from t").unwrap().scalar_i64(),
+        Some(4)
+    );
 }
 
 #[test]
@@ -90,7 +92,9 @@ fn where_on_aggregate_is_rejected() {
 #[test]
 fn group_by_with_null_group_key() {
     let mut d = db();
-    let rs = d.execute("select s, count(*) from t group by s order by s").unwrap();
+    let rs = d
+        .execute("select s, count(*) from t group by s order by s")
+        .unwrap();
     // NULL forms its own group and sorts first.
     assert_eq!(rs.rows.len(), 3);
     assert!(rs.rows[0][0].is_null());
@@ -104,8 +108,10 @@ fn three_way_join_with_mixed_predicates() {
     d.execute("create table b (k int, w int)").unwrap();
     d.execute("create table c (w int, name text)").unwrap();
     d.execute("insert into a values (1, 10), (2, 20)").unwrap();
-    d.execute("insert into b values (1, 100), (2, 200)").unwrap();
-    d.execute("insert into c values (100, 'hundred'), (300, 'threehundred')").unwrap();
+    d.execute("insert into b values (1, 100), (2, 200)")
+        .unwrap();
+    d.execute("insert into c values (100, 'hundred'), (300, 'threehundred')")
+        .unwrap();
     let rs = d
         .execute(
             "select name from a, b, c \
@@ -130,7 +136,9 @@ fn update_on_indexed_column_keeps_index_usable() {
 #[test]
 fn string_comparison_and_concat() {
     let mut d = db();
-    let rs = d.execute("select s + '!' from t where s > 'x' order by s").unwrap();
+    let rs = d
+        .execute("select s + '!' from t where s > 'x' order by s")
+        .unwrap();
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::Str("y!".into()));
 }
@@ -151,7 +159,10 @@ fn cte_shadowing_is_scoped() {
         .unwrap();
     assert_eq!(rs.rows, vec![vec![Value::Int(42)]]);
     // Outside, the base table is intact.
-    assert_eq!(d.execute("select count(*) from t").unwrap().scalar_i64(), Some(4));
+    assert_eq!(
+        d.execute("select count(*) from t").unwrap().scalar_i64(),
+        Some(4)
+    );
 }
 
 #[test]

@@ -16,8 +16,16 @@ pub enum FocusError {
     Frozen,
     /// Anything reported by the storage layer.
     Storage(String),
+    /// A crawl worker thread panicked; the run's stats are partial.
+    Worker(String),
     /// A configuration value was out of its legal range.
     Config(String),
+}
+
+impl From<minirel::DbError> for FocusError {
+    fn from(e: minirel::DbError) -> FocusError {
+        FocusError::Storage(e.to_string())
+    }
 }
 
 impl fmt::Display for FocusError {
@@ -25,13 +33,17 @@ impl fmt::Display for FocusError {
         match self {
             FocusError::UnknownClass(c) => write!(f, "unknown class id {c}"),
             FocusError::InvalidTaxonomy(m) => write!(f, "invalid taxonomy: {m}"),
-            FocusError::NestedGoodTopics { ancestor, descendant } => write!(
+            FocusError::NestedGoodTopics {
+                ancestor,
+                descendant,
+            } => write!(
                 f,
                 "good topic {ancestor} is an ancestor of good topic {descendant} \
                  (forbidden by the problem formulation, §1.1)"
             ),
             FocusError::Frozen => write!(f, "taxonomy is frozen after training"),
             FocusError::Storage(m) => write!(f, "storage error: {m}"),
+            FocusError::Worker(m) => write!(f, "crawl worker failed: {m}"),
             FocusError::Config(m) => write!(f, "configuration error: {m}"),
         }
     }
@@ -48,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = FocusError::NestedGoodTopics { ancestor: 3, descendant: 9 };
+        let e = FocusError::NestedGoodTopics {
+            ancestor: 3,
+            descendant: 9,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('9'));
         assert!(FocusError::UnknownClass(7).to_string().contains('7'));

@@ -14,7 +14,8 @@ fn tree_strategy() -> impl Strategy<Value = (Taxonomy, Vec<u16>)> {
             for (i, p) in parents.iter().enumerate() {
                 // Parent index must be < current node id (i+1).
                 let parent = ClassId(*p % (i as u16 + 1));
-                t.add_child(parent, format!("n{}", i + 1)).expect("valid parent");
+                t.add_child(parent, format!("n{}", i + 1))
+                    .expect("valid parent");
             }
             (t, marks)
         })

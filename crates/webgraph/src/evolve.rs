@@ -60,7 +60,11 @@ pub fn evolve(base: &WebGraph, generation: u32, cfg: &EvolutionConfig) -> WebGra
 
     // --- new content pages per topic ---
     let mut new_by_topic: Vec<(ClassId, Vec<Oid>)> = Vec::new();
-    for topic in taxonomy.all().filter(|&c| c != ClassId::ROOT).collect::<Vec<_>>() {
+    for topic in taxonomy
+        .all()
+        .filter(|&c| c != ClassId::ROOT)
+        .collect::<Vec<_>>()
+    {
         let tname = taxonomy.name(topic).replace('/', ".");
         let mut fresh = Vec::new();
         for i in 0..cfg.new_pages_per_topic {
@@ -139,7 +143,10 @@ pub struct EvolvingFetcher {
 impl EvolvingFetcher {
     /// Start at generation 0.
     pub fn new(graph: Arc<WebGraph>) -> EvolvingFetcher {
-        EvolvingFetcher { graph: RwLock::new(graph), fetches: AtomicU64::new(0) }
+        EvolvingFetcher {
+            graph: RwLock::new(graph),
+            fetches: AtomicU64::new(0),
+        }
     }
 
     /// Replace the web (the next fetch sees the new generation).
@@ -219,7 +226,11 @@ mod tests {
             .pages()
             .iter()
             .filter(|p| p.kind == PageKind::Hub)
-            .any(|p| next.page(p.oid).map(|q| q.outdegree() > p.outdegree()).unwrap_or(false));
+            .any(|p| {
+                next.page(p.oid)
+                    .map(|q| q.outdegree() > p.outdegree())
+                    .unwrap_or(false)
+            });
         assert!(grew, "no hub picked up new links");
     }
 
@@ -245,10 +256,14 @@ mod tests {
             .find(|p| p.kind == PageKind::Hub && p.failure == FailureMode::None)
             .expect("hub exists");
         let before = fetcher.fetch(hub.oid).unwrap().outlinks.len();
-        let next = Arc::new(evolve(&base, 1, &EvolutionConfig {
-            hub_update_fraction: 1.0,
-            ..EvolutionConfig::default()
-        }));
+        let next = Arc::new(evolve(
+            &base,
+            1,
+            &EvolutionConfig {
+                hub_update_fraction: 1.0,
+                ..EvolutionConfig::default()
+            },
+        ));
         fetcher.swap(Arc::clone(&next));
         let after = fetcher.fetch(hub.oid).unwrap().outlinks.len();
         assert!(after >= before, "links must not vanish");
@@ -258,7 +273,11 @@ mod tests {
             .pages()
             .iter()
             .filter(|p| p.kind == PageKind::Hub)
-            .any(|p| next.page(p.oid).map(|q| q.outdegree() > p.outdegree()).unwrap_or(false));
+            .any(|p| {
+                next.page(p.oid)
+                    .map(|q| q.outdegree() > p.outdegree())
+                    .unwrap_or(false)
+            });
         assert!(grew);
     }
 }

@@ -184,7 +184,13 @@ impl Fetcher for SimFetcher {
                 .map(|srcs| {
                     srcs.iter()
                         .map(|&s| {
-                            (s, self.graph.page(s).map(|p| p.url.clone()).unwrap_or_default())
+                            (
+                                s,
+                                self.graph
+                                    .page(s)
+                                    .map(|p| p.url.clone())
+                                    .unwrap_or_default(),
+                            )
                         })
                         .collect()
                 })
@@ -239,7 +245,12 @@ mod tests {
     #[test]
     fn dead_pages_404_forever() {
         let f = fetcher();
-        if let Some(p) = f.graph().pages().iter().find(|p| p.failure == FailureMode::Dead) {
+        if let Some(p) = f
+            .graph()
+            .pages()
+            .iter()
+            .find(|p| p.failure == FailureMode::Dead)
+        {
             for _ in 0..5 {
                 assert!(matches!(f.fetch(p.oid), Err(FetchError::NotFound(_))));
             }
@@ -250,7 +261,12 @@ mod tests {
     #[test]
     fn timeouts_recover_after_retries() {
         let f = fetcher();
-        if let Some(p) = f.graph().pages().iter().find(|p| p.failure == FailureMode::Timeout) {
+        if let Some(p) = f
+            .graph()
+            .pages()
+            .iter()
+            .find(|p| p.failure == FailureMode::Timeout)
+        {
             let mut failures = 0;
             let mut ok = false;
             for _ in 0..6 {
@@ -323,7 +339,10 @@ mod backlink_tests {
         // Every claimed citer really links to the target.
         for (src, url) in &back {
             let sp = graph.page(*src).expect("citer exists");
-            assert!(sp.outlinks.contains(&target.oid), "{url} does not cite target");
+            assert!(
+                sp.outlinks.contains(&target.oid),
+                "{url} does not cite target"
+            );
         }
     }
 }

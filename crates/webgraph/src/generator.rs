@@ -18,7 +18,7 @@
 use crate::lexicon::{Lexicon, LexiconConfig};
 use crate::page::{FailureMode, PageKind, SimPage};
 use focus_types::hash::FxHashMap;
-use focus_types::{ClassId, Document, DocId, Oid, ServerId, Taxonomy, TermVec};
+use focus_types::{ClassId, DocId, Document, Oid, ServerId, Taxonomy, TermVec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -170,15 +170,10 @@ impl WebGraph {
     }
 
     /// Generate over a custom taxonomy and lexicon.
-    pub fn generate_with(
-        taxonomy: Taxonomy,
-        lex_cfg: LexiconConfig,
-        cfg: WebConfig,
-    ) -> WebGraph {
+    pub fn generate_with(taxonomy: Taxonomy, lex_cfg: LexiconConfig, cfg: WebConfig) -> WebGraph {
         let lexicon = Lexicon::new(&taxonomy, lex_cfg);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let topics: Vec<ClassId> =
-            taxonomy.all().filter(|&c| c != ClassId::ROOT).collect();
+        let topics: Vec<ClassId> = taxonomy.all().filter(|&c| c != ClassId::ROOT).collect();
 
         // Resolve affinities to class pairs.
         let affinity: FxHashMap<ClassId, ClassId> = cfg
@@ -204,7 +199,12 @@ impl WebGraph {
                 let is_hub = i >= cfg.pages_per_topic;
                 let server = servers[rng.gen_range(0..servers.len())];
                 let url = if is_hub {
-                    format!("http://s{}.{}.example/links-{}.html", server.raw(), tname, i)
+                    format!(
+                        "http://s{}.{}.example/links-{}.html",
+                        server.raw(),
+                        tname,
+                        i
+                    )
                 } else {
                     format!("http://s{}.{}.example/page-{}.html", server.raw(), tname, i)
                 };
@@ -234,7 +234,11 @@ impl WebGraph {
                     topic,
                     terms,
                     outlinks: Vec::new(),
-                    kind: if is_hub { PageKind::Hub } else { PageKind::Content },
+                    kind: if is_hub {
+                        PageKind::Hub
+                    } else {
+                        PageKind::Content
+                    },
                     failure,
                 });
             }
@@ -284,7 +288,10 @@ impl WebGraph {
                     acc += weights[o];
                     cdf.push(acc);
                 }
-                TopicPages { oids: oids.clone(), cdf }
+                TopicPages {
+                    oids: oids.clone(),
+                    cdf,
+                }
             })
             .collect();
         let universal: Vec<Oid> = pages
@@ -329,9 +336,7 @@ impl WebGraph {
             pages.iter().map(|p| (p.oid, p.topic, p.kind)).collect();
         for (idx, &(oid, topic, kind)) in page_meta.iter().enumerate() {
             let outdeg = match kind {
-                PageKind::Hub => {
-                    cfg.outdegree_hub / 2 + rng.gen_range(0..cfg.outdegree_hub.max(1))
-                }
+                PageKind::Hub => cfg.outdegree_hub / 2 + rng.gen_range(0..cfg.outdegree_hub.max(1)),
                 PageKind::Universal => rng.gen_range(2..6),
                 PageKind::Content => {
                     cfg.outdegree_content / 2 + rng.gen_range(0..cfg.outdegree_content.max(1))
@@ -362,12 +367,14 @@ impl WebGraph {
                             let pool = &related[topic.raw() as usize];
                             let rt = pool[rng.gen_range(0..pool.len())];
                             samplers[rt.raw() as usize].sample(&mut rng)
-                        } else if let Some(aff) = aff.filter(|_| {
-                            u < cfg.p_same_topic + cfg.p_related + cfg.p_affinity
-                        }) {
+                        } else if let Some(aff) =
+                            aff.filter(|_| u < cfg.p_same_topic + cfg.p_related + cfg.p_affinity)
+                        {
                             samplers[aff.raw() as usize].sample(&mut rng)
-                        } else if u
-                            < cfg.p_same_topic + cfg.p_related + cfg.p_affinity + cfg.p_universal
+                        } else if u < cfg.p_same_topic
+                            + cfg.p_related
+                            + cfg.p_affinity
+                            + cfg.p_universal
                             && !universal.is_empty()
                         {
                             Some(universal[rng.gen_range(0..universal.len())])
@@ -408,7 +415,15 @@ impl WebGraph {
                 *indegree.entry(t).or_insert(0) += 1;
             }
         }
-        WebGraph { taxonomy, lexicon, cfg, pages, by_oid, by_topic, indegree }
+        WebGraph {
+            taxonomy,
+            lexicon,
+            cfg,
+            pages,
+            by_oid,
+            by_topic,
+            indegree,
+        }
     }
 
     /// Number of pages.
@@ -469,7 +484,9 @@ impl WebGraph {
         (0..n)
             .map(|i| {
                 let len = self.cfg.doc_len.max(40);
-                let terms = self.lexicon.generate_doc(&self.taxonomy, topic, len, &mut rng);
+                let terms = self
+                    .lexicon
+                    .generate_doc(&self.taxonomy, topic, len, &mut rng);
                 Document::new(DocId((topic.raw() as u64) << 32 | i as u64), terms)
             })
             .collect()
@@ -530,8 +547,7 @@ mod tests {
         let g = tiny();
         let cfg = g.config();
         let topics = g.taxonomy().len() - 1; // non-root
-        let expected =
-            topics * (cfg.pages_per_topic + cfg.hubs_per_topic) + cfg.universal_sites;
+        let expected = topics * (cfg.pages_per_topic + cfg.hubs_per_topic) + cfg.universal_sites;
         assert_eq!(g.len(), expected);
         // Every topic has pages.
         for c in g.taxonomy().all() {
@@ -599,7 +615,11 @@ mod tests {
         let start = vec![g.pages()[0].oid];
         let d = g.shortest_distances(&start);
         assert_eq!(d[&start[0]], 0);
-        assert!(d.len() > 10, "web should be well-connected, reached {}", d.len());
+        assert!(
+            d.len() > 10,
+            "web should be well-connected, reached {}",
+            d.len()
+        );
         // Triangle inequality spot check: all neighbors at distance <= 1.
         for &n in &g.pages()[0].outlinks {
             assert!(d[&n] <= 1);
@@ -627,7 +647,11 @@ mod tests {
     #[test]
     fn failure_modes_present_but_rare() {
         let g = WebGraph::generate(WebConfig::default());
-        let dead = g.pages().iter().filter(|p| p.failure == FailureMode::Dead).count();
+        let dead = g
+            .pages()
+            .iter()
+            .filter(|p| p.failure == FailureMode::Dead)
+            .count();
         let frac = dead as f64 / g.len() as f64;
         assert!(frac > 0.005 && frac < 0.05, "dead fraction {frac}");
     }

@@ -62,7 +62,11 @@ impl Lexicon {
         for c in &mut cdf {
             *c /= total;
         }
-        Lexicon { cfg, background_cdf: cdf, num_topics: taxonomy.len() as u16 }
+        Lexicon {
+            cfg,
+            background_cdf: cdf,
+            num_topics: taxonomy.len() as u16,
+        }
     }
 
     /// The `j`-th signature term of `topic`. Signature ranges are disjoint
@@ -70,11 +74,7 @@ impl Lexicon {
     pub fn signature_term(&self, topic: ClassId, j: u32) -> TermId {
         debug_assert!(j < self.cfg.signature_terms);
         debug_assert!(topic.raw() < self.num_topics);
-        TermId(
-            self.cfg.background_terms
-                + topic.raw() as u32 * self.cfg.signature_terms
-                + j,
-        )
+        TermId(self.cfg.background_terms + topic.raw() as u32 * self.cfg.signature_terms + j)
     }
 
     /// Which topic (if any) owns `term` as a signature term.
@@ -132,8 +132,11 @@ impl Lexicon {
                 self.sample_signature(topic, rng)
             } else if u < self.cfg.sig_weight + self.cfg.anc_weight && !ancestors.is_empty() {
                 // Pick a non-root ancestor when one exists.
-                let non_root: Vec<ClassId> =
-                    ancestors.iter().copied().filter(|&a| a != ClassId::ROOT).collect();
+                let non_root: Vec<ClassId> = ancestors
+                    .iter()
+                    .copied()
+                    .filter(|&a| a != ClassId::ROOT)
+                    .collect();
                 match non_root.as_slice() {
                     [] => self.sample_background(rng),
                     anc => self.sample_signature(anc[rng.gen_range(0..anc.len())], rng),
@@ -219,7 +222,11 @@ mod tests {
         // The most frequent background term should dominate the tail.
         let max = doc.iter().map(|(_, c)| c).max().unwrap();
         assert!(max > 100, "head of Zipf too flat: {max}");
-        assert!(doc.num_terms() > 1000, "tail too short: {}", doc.num_terms());
+        assert!(
+            doc.num_terms() > 1000,
+            "tail too short: {}",
+            doc.num_terms()
+        );
     }
 
     #[test]

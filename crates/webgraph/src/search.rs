@@ -33,11 +33,7 @@ pub fn topic_start_set(graph: &WebGraph, topic: ClassId, k: usize) -> Vec<Oid> {
 /// Two *disjoint* start sets for the coverage experiment (§3.5): the
 /// reference crawl starts from `S1`, the test crawl from `S2`,
 /// `S1 ∩ S2 = ∅`.
-pub fn disjoint_start_sets(
-    graph: &WebGraph,
-    topic: ClassId,
-    k: usize,
-) -> (Vec<Oid>, Vec<Oid>) {
+pub fn disjoint_start_sets(graph: &WebGraph, topic: ClassId, k: usize) -> (Vec<Oid>, Vec<Oid>) {
     let pool = topic_start_set(graph, topic, k * 2);
     let s1: Vec<Oid> = pool.iter().step_by(2).copied().take(k).collect();
     let s2: Vec<Oid> = pool.iter().skip(1).step_by(2).copied().take(k).collect();

@@ -38,7 +38,11 @@ pub fn radius1(graph: &WebGraph, topic: ClassId) -> Radius1 {
         if p.kind == PageKind::Universal {
             continue;
         }
-        let counter = if p.topic == topic { &mut on_topic } else { &mut off_topic };
+        let counter = if p.topic == topic {
+            &mut on_topic
+        } else {
+            &mut off_topic
+        };
         for &t in &p.outlinks {
             counter[0] += 1;
             if graph.topic_of(t) == Some(topic) {

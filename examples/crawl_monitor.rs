@@ -1,6 +1,7 @@
-//! §3.7 re-enacted: monitor a live crawl with ad-hoc SQL, diagnose the
-//! paper's mutual-funds stagnation, and fix it with one administrative
-//! update.
+//! §3.7 re-enacted **live**: monitor a running crawl through its event
+//! stream and ad-hoc SQL, diagnose the paper's stagnation anecdote, and
+//! fix it *without stopping the run* — pause, mark a second topic good,
+//! resume, and watch the harvest recover.
 //!
 //! ```sh
 //! cargo run --release --example crawl_monitor
@@ -8,53 +9,91 @@
 //!
 //! The paper's anecdote: a crawl on *mutual funds* dropped in relevance;
 //! a census by class showed the neighborhood full of pages about
-//! *investing in general* — an **ancestor** of mutual-funds. "One update
-//! statement marking the ancestor good fixed this stagnation problem."
+//! *investing in general*. "One update statement marking the ancestor
+//! good fixed this stagnation problem." Here the update statement is
+//! [`focus_crawler::CrawlRun::mark_topic`], applied to a paused live run
+//! and followed by an automatic frontier re-prioritization.
 
+use focus::prelude::*;
 use focus_crawler::monitor;
-use focus_crawler::session::{CrawlConfig, CrawlSession};
-use focus_crawler::CrawlPolicy;
+use focus_crawler::RunState;
 use focus_eval::common::{train_model, Scale};
-use focus_webgraph::{SimFetcher, WebGraph};
 use std::sync::Arc;
+use std::time::Duration;
 
-fn crawl_with_goods(
-    graph: &Arc<WebGraph>,
-    goods: &[&str],
-    budget: u64,
-) -> (CrawlSession, f64) {
-    let mut taxonomy = graph.taxonomy().clone();
-    for g in goods {
-        let c = taxonomy.find(g).expect("topic");
-        taxonomy.mark_good(c).expect("markable");
-    }
-    let model = train_model(graph, &taxonomy, Scale::Small, 5);
-    let fetcher = Arc::new(SimFetcher::new(Arc::clone(graph), None));
-    let session = CrawlSession::new(
-        fetcher,
-        model,
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 4,
-            max_fetches: budget,
-            distill_every: Some(250),
-            ..CrawlConfig::default()
-        },
-    )
-    .expect("session");
-    let topic = graph.taxonomy().find(goods[0]).expect("topic");
-    session.seed(&focus_webgraph::search::topic_start_set(graph, topic, 15)).expect("seed");
-    let stats = session.run().expect("crawl");
-    (session, stats.mean_harvest())
-}
+const PHASE1_ATTEMPTS: u64 = 500;
+const PHASE2_ATTEMPTS: u64 = 1000;
 
 fn main() {
     let graph = Arc::new(WebGraph::generate(Scale::Small.web_config(99)));
+    let mut taxonomy = graph.taxonomy().clone();
+    let funds = taxonomy
+        .find("business/investing/mutual-funds")
+        .expect("topic");
+    taxonomy.mark_good(funds).expect("markable");
+    let model = train_model(&graph, &taxonomy, Scale::Small, 5);
+    let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
+    let session = Arc::new(
+        focus::CrawlSession::new(
+            fetcher,
+            model,
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 4,
+                // The run is steered and stopped by hand; the budget only
+                // backstops a forgotten console.
+                max_fetches: 100_000,
+                distill_every: Some(250),
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
+    session
+        .seed(&focus::search::topic_start_set(&graph, funds, 15))
+        .expect("seed");
 
-    println!("=== crawl 1: good = {{business/investing/mutual-funds}} ===");
-    let (session, harvest1) =
-        crawl_with_goods(&graph, &["business/investing/mutual-funds"], 500);
-    println!("mean harvest: {harvest1:.3}\n");
+    println!("=== phase 1: crawl good = {{business/investing/mutual-funds}} ===");
+    let mut run = session.start().expect("no other run active");
+    let events = run.take_events().expect("first take");
+
+    // Live monitoring: drain events while the crawl runs, printing a
+    // harvest tick every 100 classified pages.
+    let relevance_cut = (-1.0f64).exp();
+    let mut classified = 0u64;
+    let mut relevant = 0u64;
+    while run.stats().attempts < PHASE1_ATTEMPTS && !run.is_finished() {
+        while let Some(ev) = events.try_next() {
+            match ev {
+                CrawlEvent::PageClassified { relevance, .. } => {
+                    classified += 1;
+                    if relevance > relevance_cut {
+                        relevant += 1;
+                    }
+                    if classified.is_multiple_of(100) {
+                        println!(
+                            "  [live] {classified} pages, running harvest {:.3}",
+                            relevant as f64 / classified as f64
+                        );
+                    }
+                }
+                CrawlEvent::DistillCompleted { distillation, .. } => {
+                    println!("  [live] distillation #{distillation} republished HUBS/AUTH");
+                }
+                CrawlEvent::FrontierStagnated { attempts } => {
+                    println!("  [live] frontier stagnated after {attempts} attempts");
+                }
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    run.pause();
+    while run.state() != RunState::Paused && !run.is_finished() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let phase1 = run.stats();
+    println!("phase-1 mean harvest: {:.3}\n", phase1.mean_harvest());
 
     println!("-- monitoring query 1: harvest per minute (the live applet) --");
     session.with_db(|db| {
@@ -69,7 +108,7 @@ fn main() {
     });
     println!(
         "\nThe census shows the neighborhood dominated by broader investing/\
-         business pages — the ancestor topic, exactly the paper's diagnosis.\n"
+         business pages — the sibling/ancestor topics, the paper's diagnosis.\n"
     );
 
     println!("-- monitoring query 3: frontier health --");
@@ -78,24 +117,77 @@ fn main() {
         print!("{}", rs.to_table());
     });
 
-    println!("\n=== crawl 2: ancestor business/investing ALSO marked good ===");
-    let (session2, harvest2) = crawl_with_goods(
-        &graph,
-        &["business/investing/mutual-funds", "business/investing/stocks"],
-        500,
+    println!("\n=== phase 2: live re-steering of the *paused* run ===");
+    println!("mark business/investing/stocks good -> re-prioritize -> resume");
+    let stocks = run
+        .find_topic("business/investing/stocks")
+        .expect("sibling topic");
+    run.mark_topic(stocks, true);
+    run.add_seeds(&focus::search::topic_start_set(&graph, stocks, 5));
+    run.resume();
+
+    let mut steered_classified = 0u64;
+    let mut steered_relevant = 0u64;
+    loop {
+        while let Some(ev) = events.try_next() {
+            match ev {
+                CrawlEvent::TopicMarked {
+                    class,
+                    good,
+                    applied,
+                } => {
+                    println!("  [live] TopicMarked {class} good={good} applied={applied}");
+                }
+                CrawlEvent::FrontierResteered { boosted, .. } => {
+                    println!("  [live] frontier re-prioritized: {boosted} entries boosted");
+                }
+                CrawlEvent::Paused => println!("  [live] paused"),
+                CrawlEvent::Resumed => println!("  [live] resumed"),
+                CrawlEvent::SeedsAdded { count } => {
+                    println!("  [live] {count} stocks seeds injected");
+                }
+                CrawlEvent::PageClassified { relevance, .. } => {
+                    steered_classified += 1;
+                    if relevance > relevance_cut {
+                        steered_relevant += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if run.stats().attempts >= PHASE2_ATTEMPTS || run.is_finished() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    run.stop();
+    let total = run.join().expect("run completes");
+
+    let steered_harvest = if steered_classified > 0 {
+        steered_relevant as f64 / steered_classified as f64
+    } else {
+        0.0
+    };
+    let phase1_harvest = if classified > 0 {
+        relevant as f64 / classified as f64
+    } else {
+        0.0
+    };
+    println!(
+        "\nphase-2 harvest (post-steering pages only): {steered_harvest:.3}  \
+         (phase 1 was {phase1_harvest:.3})"
     );
-    println!("mean harvest: {harvest2:.3}  (was {harvest1:.3})");
     println!(
         "{}",
-        if harvest2 > harvest1 {
-            "harvest recovered — one administrative change re-steered the crawl."
+        if steered_harvest > phase1_harvest {
+            "harvest recovered — one administrative command re-steered the live crawl."
         } else {
             "harvest did not improve at this scale; try --release / larger budget."
         }
     );
 
     println!("\n-- missed neighbors of great hubs (priority tweak query) --");
-    session2.with_db(|db| {
+    session.with_db(|db| {
         let psi = db
             .execute("select max(score) from hubs")
             .ok()
@@ -103,9 +195,17 @@ fn main() {
             .unwrap_or(0.0)
             * 0.5;
         let rs = monitor::missed_hub_neighbors(db, psi).expect("query");
-        println!("{} unvisited pages cited by top hubs (showing 5):", rs.rows.len());
+        println!(
+            "{} unvisited pages cited by top hubs (showing 5):",
+            rs.rows.len()
+        );
         for row in rs.rows.iter().take(5) {
             println!("  {}", row[0]);
         }
     });
+
+    println!(
+        "\nfinal stats: {} attempts, {} successes, {} distillations",
+        total.attempts, total.successes, total.distillations
+    );
 }

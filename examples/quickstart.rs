@@ -46,8 +46,26 @@ fn main() {
         .expect("system builds");
 
     let seeds = focus::search::topic_start_set(&graph, cycling, 15);
-    println!("seeding with {} keyword-search results for 'cycling'...", seeds.len());
-    let outcome = system.discover(&seeds).expect("crawl runs");
+    println!(
+        "seeding with {} keyword-search results for 'cycling'...",
+        seeds.len()
+    );
+
+    // Start a controllable background run, watch its event stream live,
+    // then join for the classic batch outcome. (`discover(&seeds)` still
+    // works and is exactly `start(&seeds)?.join()`.)
+    let mut run = system.start(&seeds).expect("crawl starts");
+    let events = run.take_events().expect("event stream");
+    let mut ticks = 0u64;
+    for ev in events {
+        if let focus::DiscoveryEvent::PageClassified { relevance, .. } = ev {
+            ticks += 1;
+            if ticks.is_multiple_of(100) {
+                println!("  [live] {ticks} pages classified (last R = {relevance:.3})");
+            }
+        }
+    }
+    let outcome = run.join().expect("crawl runs");
 
     // 4. Results.
     println!(
@@ -70,12 +88,10 @@ fn main() {
 
     // 5. The crawl state is a real database: ask it anything.
     let harvest = system.with_db(|db| {
-        db.execute(
-            "select count(*) from crawl where visited = 1 and relevance > -1",
-        )
-        .expect("sql runs")
-        .scalar_i64()
-        .unwrap_or(0)
+        db.execute("select count(*) from crawl where visited = 1 and relevance > -1")
+            .expect("sql runs")
+            .scalar_i64()
+            .unwrap_or(0)
     });
     println!("\npages with log R > -1 (the paper's relevance cut): {harvest}");
 }

@@ -18,18 +18,20 @@ use std::io::{BufRead, Write};
 fn main() {
     println!("running a short focused crawl to populate the database...");
     let world = World::cycling(Scale::Tiny, 3);
-    let session = CrawlSession::new(
-        world.fetcher(),
-        world.model.clone(),
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 2,
-            max_fetches: 250,
-            distill_every: Some(100),
-            ..CrawlConfig::default()
-        },
-    )
-    .expect("session");
+    let session = std::sync::Arc::new(
+        CrawlSession::new(
+            world.fetcher(),
+            world.model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 2,
+                max_fetches: 250,
+                distill_every: Some(100),
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
     session.seed(&world.start_set(10)).expect("seed");
     let stats = session.run().expect("crawl");
     println!(

@@ -44,8 +44,21 @@ fn trained() -> focus_classifier::TrainedModel {
 
 fn doc_strategy() -> impl Strategy<Value = TermVec> {
     // Random docs over the known vocabulary plus unknown terms.
-    proptest::collection::vec((prop_oneof![Just(1u32), Just(10), Just(20), Just(30), Just(40), 50..60u32], 1..6u32), 0..8)
-        .prop_map(|pairs| TermVec::from_counts(pairs.into_iter().map(|(t, f)| (TermId(t), f))))
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                Just(1u32),
+                Just(10),
+                Just(20),
+                Just(30),
+                Just(40),
+                50..60u32
+            ],
+            1..6u32,
+        ),
+        0..8,
+    )
+    .prop_map(|pairs| TermVec::from_counts(pairs.into_iter().map(|(t, f)| (TermId(t), f))))
 }
 
 proptest! {
@@ -131,5 +144,8 @@ fn relevance_monotone_in_good_set() {
     model2.taxonomy = t;
     let r2 = model2.evaluate(&doc).relevance;
     assert!(r2 >= r1 - 1e-12, "R must not decrease: {r1} -> {r2}");
-    assert!(r2 > r1 + 0.1, "doc about a/y should gain a lot: {r1} -> {r2}");
+    assert!(
+        r2 > r1 + 0.1,
+        "doc about a/y should gain a lot: {r1} -> {r2}"
+    );
 }

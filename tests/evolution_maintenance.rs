@@ -19,18 +19,20 @@ fn maintenance_discovers_new_resources_after_evolution() {
     let model = train_model(&base, &taxonomy, Scale::Tiny, 47);
     let fetcher = Arc::new(EvolvingFetcher::new(Arc::clone(&base)));
 
-    let session = CrawlSession::new(
-        Arc::clone(&fetcher) as Arc<dyn focus_webgraph::Fetcher>,
-        model,
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 2,
-            max_fetches: 160,
-            distill_every: Some(80),
-            ..CrawlConfig::default()
-        },
-    )
-    .unwrap();
+    let session = Arc::new(
+        CrawlSession::new(
+            Arc::clone(&fetcher) as Arc<dyn focus_webgraph::Fetcher>,
+            model,
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 2,
+                max_fetches: 160,
+                distill_every: Some(80),
+                ..CrawlConfig::default()
+            },
+        )
+        .unwrap(),
+    );
     session
         .seed(&focus_webgraph::search::topic_start_set(&base, cycling, 10))
         .unwrap();
@@ -61,7 +63,10 @@ fn maintenance_discovers_new_resources_after_evolution() {
     // Resume crawling: the new resources get fetched.
     session.add_budget(80);
     let stats2 = session.run().unwrap();
-    assert!(stats2.successes > stats1.successes, "no new fetches after maintenance");
+    assert!(
+        stats2.successes > stats1.successes,
+        "no new fetches after maintenance"
+    );
     let newly_fetched: Vec<_> = session
         .visited()
         .iter()
@@ -74,7 +79,10 @@ fn maintenance_discovers_new_resources_after_evolution() {
         .iter()
         .filter(|&&o| base.page(o).is_none() && gen1.page(o).is_some())
         .count();
-    assert!(gen1_pages > 0, "no generation-1 page discovered via maintenance");
+    assert!(
+        gen1_pages > 0,
+        "no generation-1 page discovered via maintenance"
+    );
 }
 
 #[test]
@@ -87,18 +95,20 @@ fn community_evolution_query_counts_new_cross_topic_links() {
     taxonomy.mark_good(cycling).unwrap();
     let model = train_model(&base, &taxonomy, Scale::Tiny, 61);
     let fetcher = Arc::new(EvolvingFetcher::new(Arc::clone(&base)));
-    let session = CrawlSession::new(
-        Arc::clone(&fetcher) as Arc<dyn focus_webgraph::Fetcher>,
-        model,
-        CrawlConfig {
-            policy: CrawlPolicy::SoftFocus,
-            threads: 1,
-            max_fetches: 120,
-            distill_every: Some(60),
-            ..CrawlConfig::default()
-        },
-    )
-    .unwrap();
+    let session = Arc::new(
+        CrawlSession::new(
+            Arc::clone(&fetcher) as Arc<dyn focus_webgraph::Fetcher>,
+            model,
+            CrawlConfig {
+                policy: CrawlPolicy::SoftFocus,
+                threads: 1,
+                max_fetches: 120,
+                distill_every: Some(60),
+                ..CrawlConfig::default()
+            },
+        )
+        .unwrap(),
+    );
     session
         .seed(&focus_webgraph::search::topic_start_set(&base, cycling, 8))
         .unwrap();
@@ -108,8 +118,7 @@ fn community_evolution_query_counts_new_cross_topic_links() {
     // (the affinity the generator builds in).
     let first_aid = base.taxonomy().find("health/first-aid").unwrap();
     let all_time = session.with_db(|db| {
-        monitor::community_evolution(db, cycling.raw() as i64, first_aid.raw() as i64, 0)
-            .unwrap()
+        monitor::community_evolution(db, cycling.raw() as i64, first_aid.raw() as i64, 0).unwrap()
     });
     // Window starting "after the crawl" must contain no links.
     let future = session.with_db(|db| {
@@ -126,8 +135,7 @@ fn community_evolution_query_counts_new_cross_topic_links() {
 
     // The spam-filter query class also runs on live data.
     let rs = session.with_db(|db| {
-        monitor::cross_topic_citations(db, first_aid.raw() as i64, cycling.raw() as i64, 1)
-            .unwrap()
+        monitor::cross_topic_citations(db, first_aid.raw() as i64, cycling.raw() as i64, 1).unwrap()
     });
     assert!(
         !rs.rows.is_empty(),

@@ -9,7 +9,8 @@ fn table_rows() -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
 }
 
 fn load(db: &mut Database, rows: &[(i64, i64, f64)]) {
-    db.execute("create table t (a int, b int, x float)").unwrap();
+    db.execute("create table t (a int, b int, x float)")
+        .unwrap();
     let tid = db.table_id("t").unwrap();
     for &(a, b, x) in rows {
         db.insert(tid, vec![Value::Int(a), Value::Int(b), Value::Float(x)])

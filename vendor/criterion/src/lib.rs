@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Keeps the workspace's benches compiling and runnable offline. Each
+//! benchmark is timed with a short fixed schedule (warmup + median of a
+//! handful of samples) and printed as one line — no statistics, HTML
+//! reports, or baseline comparisons. Numbers are indicative only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the one function benches commonly use.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Workload size declaration; printed next to the timing when set.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function_name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label a parameterized benchmark.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    measured: Duration,
+}
+
+impl Bencher {
+    /// Run `f` on the stand-in's fixed schedule and record the median
+    /// per-iteration time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup, then a few timed samples of several iterations each.
+        black_box(f());
+        let iters_per_sample = 3u32;
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                start.elapsed() / iters_per_sample
+            })
+            .collect();
+        times.sort();
+        self.measured = times[times.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stand-in's schedule is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare the workload size of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: 5,
+            measured: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.name, b.measured);
+        self
+    }
+
+    /// Time one benchmark over an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: 5,
+            measured: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.name, b.measured);
+        self
+    }
+
+    /// End the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, t: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if t > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / t.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if t > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / t.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {t:?}/iter{rate}", self.name);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Time one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_owned(),
+            throughput: None,
+        };
+        g.bench_function(name, f);
+        self
+    }
+}
+
+/// Declare the benchmark functions a target runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Provides the API subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `prop_filter`, range/tuple/`Just`/`any`/char-class-string strategies,
+//! [`collection::vec`], `prop_oneof!`, and the `proptest!`/`prop_assert*`
+//! macros. Cases are generated from a seed derived from the test's module
+//! path and name, so failures reproduce across runs. **No shrinking**: a
+//! failing case reports its inputs via the assertion message only.
+
+/// Deterministic split-mix style generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seeded construction; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a over bytes; seeds per-test generators from the test's name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs — the case is skipped, not failed.
+    Reject(String),
+    /// `prop_assert*!` failed — the test fails.
+    Fail(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`cases` is the only knob this workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    use super::Gen;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, g: &mut Gen) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy built on it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Reject values failing `keep` (retries up to an internal cap).
+        fn prop_filter<F>(self, whence: impl Into<String>, keep: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                whence: whence.into(),
+                keep,
+            }
+        }
+
+        /// Type-erase for heterogeneous unions (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, g: &mut Gen) -> V {
+            (**self).generate(g)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, g: &mut Gen) -> O {
+            (self.f)(self.base.generate(g))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, g: &mut Gen) -> S2::Value {
+            (self.f)(self.base.generate(g)).generate(g)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        whence: String,
+        keep: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, g: &mut Gen) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(g);
+                if (self.keep)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted 1000 attempts: {}", self.whence);
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _g: &mut Gen) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from at least one alternative.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, g: &mut Gen) -> V {
+            let i = g.below(self.options.len() as u64) as usize;
+            self.options[i].generate(g)
+        }
+    }
+
+    /// Full-domain generation for `any::<T>()`.
+    pub trait Arbitrary {
+        fn arbitrary(g: &mut Gen) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(g: &mut Gen) -> $t {
+                    g.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(g: &mut Gen) -> bool {
+            g.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Any bit pattern: includes subnormals, infinities, and NaN,
+        /// like real proptest's `any::<f64>()`.
+        fn arbitrary(g: &mut Gen) -> f64 {
+            f64::from_bits(g.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(g: &mut Gen) -> f32 {
+            f32::from_bits(g.next_u64() as u32)
+        }
+    }
+
+    /// Strategy over a type's full domain.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<T>()` — generate arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, g: &mut Gen) -> T {
+            T::arbitrary(g)
+        }
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, g: &mut Gen) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + g.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, g: &mut Gen) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + g.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, g: &mut Gen) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (g.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! strategy_tuple {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, g: &mut Gen) -> Self::Value {
+                    ($(self.$idx.generate(g),)+)
+                }
+            }
+        };
+    }
+
+    strategy_tuple!(A.0);
+    strategy_tuple!(A.0, B.1);
+    strategy_tuple!(A.0, B.1, C.2);
+    strategy_tuple!(A.0, B.1, C.2, D.3);
+
+    /// Char-class string patterns (`"[a-z0-9 ]{0,12}"`): the only regex
+    /// shape this workspace's tests use. Anything else is a panic naming
+    /// the unsupported pattern.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, g: &mut Gen) -> String {
+            let (alphabet, lo, hi) = parse_charclass_pattern(self);
+            let len = lo + g.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[g.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn unsupported_pattern(pat: &str) -> ! {
+        panic!(
+            "proptest stand-in supports only \"[chars]{{lo,hi}}\" string \
+             patterns, got {pat:?}; extend vendor/proptest"
+        )
+    }
+
+    fn parse_charclass_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let Some(rest) = pat.strip_prefix('[') else {
+            unsupported_pattern(pat);
+        };
+        let Some(close) = rest.find(']') else {
+            unsupported_pattern(pat);
+        };
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` is a range unless `-` is first or last in the class.
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                for c in class[i]..=class[i + 2] {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            unsupported_pattern(pat);
+        }
+        let Some(counts) = rest[close + 1..]
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+        else {
+            unsupported_pattern(pat);
+        };
+        let Some((lo, hi)) = counts.split_once(',') else {
+            unsupported_pattern(pat);
+        };
+        let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) else {
+            unsupported_pattern(pat);
+        };
+        assert!(lo <= hi, "bad repetition bounds in {pat:?}");
+        (alphabet, lo, hi)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::Gen;
+
+    /// Element-count specification for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + g.below(span) as usize;
+            (0..len).map(|_| self.element.generate(g)).collect()
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*;` idiom expects.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// The property-test declaration macro. Each `fn name(pat in strategy)`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let base = $crate::fnv1a(
+                    concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+                );
+                for case in 0..cfg.cases {
+                    let mut gen = $crate::Gen::new(
+                        base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let ( $($pat,)+ ) =
+                        ( $($crate::strategy::Strategy::generate(&$strat, &mut gen),)+ );
+                    let result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match result {
+                        ::core::result::Result::Ok(()) => {}
+                        // Rejected cases are skipped without a retry; the
+                        // budgets in this workspace tolerate the loss.
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {}: {}",
+                                stringify!($name), case, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = crate::Gen::new(1);
+        let mut b = crate::Gen::new(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn charclass_pattern_shapes() {
+        let mut g = crate::Gen::new(3);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-c9]{2,4}", &mut g);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc9".contains(c)), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_strategies(v in crate::collection::vec(0..10u32, 1..5), x in 3..9i64) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!((3..9).contains(&x), "x = {}", x);
+        }
+
+        #[test]
+        fn combinators_compose((n, v) in (1usize..4).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(prop_oneof![Just(7u32), 100..110u32], n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+            for e in v {
+                prop_assert!(e == 7 || (100..110).contains(&e));
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0..10i32) {
+            prop_assume!(x != 5);
+            prop_assert_ne!(x, 5);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Real serde serializes through a visitor; this stand-in materializes a
+//! [`JsonValue`] tree instead, which is all `serde_json::to_string_pretty`
+//! (the only serializer this workspace uses) needs. `#[derive(Serialize)]`
+//! is a real proc-macro (re-exported from `serde_derive`) that walks
+//! struct fields; `#[derive(Deserialize)]` compiles to nothing because no
+//! code in this workspace deserializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON document tree — the stand-in's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Types renderable as JSON. The derive macro implements this for structs
+/// (objects), newtype structs (transparent), and unit-variant enums
+/// (variant-name strings), mirroring serde's default representations.
+pub trait Serialize {
+    /// Materialize this value as a JSON tree.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Marker for the `Deserialize` derive import; no workspace code
+/// deserializes, so the trait has no surface.
+pub trait DeserializeOwned {}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::UInt(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::UInt(*self as u64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    };
+}
+
+ser_tuple!(A.0);
+ser_tuple!(A.0, B.1);
+ser_tuple!(A.0, B.1, C.2);
+ser_tuple!(A.0, B.1, C.2, D.3);
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> JsonValue {
+        let mut entries: Vec<(String, JsonValue)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Object(entries)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_nodes() {
+        assert_eq!(3i32.to_json_value(), JsonValue::Int(3));
+        assert_eq!(3u64.to_json_value(), JsonValue::UInt(3));
+        assert_eq!(true.to_json_value(), JsonValue::Bool(true));
+        assert_eq!("x".to_json_value(), JsonValue::Str("x".into()));
+        assert_eq!(None::<i32>.to_json_value(), JsonValue::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1i64, 2.0f64)];
+        assert_eq!(
+            v.to_json_value(),
+            JsonValue::Array(vec![JsonValue::Array(vec![
+                JsonValue::Int(1),
+                JsonValue::Float(2.0)
+            ])])
+        );
+    }
+}

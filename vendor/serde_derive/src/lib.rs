@@ -1,0 +1,233 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` without `syn`/`quote` by walking the
+//! raw token stream. Supported shapes — the only ones this workspace
+//! derives on — are non-generic named structs, tuple structs, and enums
+//! of unit variants; anything else is a compile error naming the gap.
+//! `#[derive(Deserialize)]` expands to nothing: no workspace code
+//! deserializes, so the derive only needs to satisfy the attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by materializing a `JsonValue` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::JsonValue::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::JsonValue::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::JsonValue::Null".to_owned(),
+        Shape::UnitEnum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::JsonValue::Str(\
+                         ::std::string::String::from(\"{v}\")),",
+                        name = item.name
+                    )
+                })
+                .collect::<String>();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::JsonValue {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive stand-in emitted invalid Rust")
+}
+
+/// No-op: satisfies `#[derive(Deserialize)]` attributes; nothing in this
+/// workspace calls a deserializer.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stand-in: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive stand-in: generic type {name} is not supported; \
+                 implement serde::Serialize by hand or extend vendor/serde_derive"
+            );
+        }
+    }
+    let shape = match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+        }
+        (k, t) => panic!("serde_derive stand-in: unsupported item {k} {name}: {t:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a braced struct body. Types are skipped by consuming
+/// tokens until a comma at angle-bracket depth zero (delimited groups are
+/// single tokens, so only `<`/`>` need tracking).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive stand-in: expected field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stand-in: expected ':', got {other:?}"),
+        }
+        let mut depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => continue 'fields,
+                _ => {}
+            }
+        }
+        break;
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for t in body {
+        saw_token = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma and a separator comma are indistinguishable here;
+    // tuple structs in this workspace never use trailing commas.
+    if saw_token {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of a unit-variant-only enum body.
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match toks.peek() {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        toks.next();
+                    }
+                    Some(other) => panic!(
+                        "serde_derive stand-in: enum {enum_name} has a non-unit \
+                         variant near {other:?}; extend vendor/serde_derive"
+                    ),
+                }
+            }
+            None => break,
+            other => panic!("serde_derive stand-in: unexpected token {other:?}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`): renders the
+//! stand-in serde's [`JsonValue`] tree as JSON text. Only the entry points
+//! this workspace calls are provided.
+
+use serde::{JsonValue, Serialize};
+use std::fmt;
+
+/// Serialization error. The tree renderer is total, so this is only a
+/// placeholder to keep call sites' `Result` handling source-compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `serde_json`-shaped result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Render two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &JsonValue, indent: Option<usize>, depth: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => out.push_str(&i.to_string()),
+        JsonValue::UInt(u) => out.push_str(&u.to_string()),
+        JsonValue::Float(f) => {
+            // JSON has no NaN/Infinity; serde_json emits null for them.
+            if f.is_finite() {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep floats round-trippable as floats.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => write_escaped(out, s),
+        JsonValue::Array(items) => {
+            write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+                write_value(out, &items[i], indent, depth + 1);
+            });
+        }
+        JsonValue::Object(entries) => {
+            write_seq(out, indent, depth, entries.len(), '{', '}', |out, i| {
+                let (k, val) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let v = vec![(1i64, "a".to_string())];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  [\n    1,\n    \"a\"\n  ]\n]");
+        assert_eq!(to_string(&v).unwrap(), "[[1,\"a\"]]");
+    }
+
+    #[test]
+    fn escapes_and_specials() {
+        let s = to_string(&"a\"b\n").unwrap();
+        assert_eq!(s, "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+}
