@@ -1,0 +1,289 @@
+//! Frontier hot-path benchmark: B+tree descents — counted as buffer-pool
+//! logical reads, since every index node visit is one page request —
+//! per crawled page for the per-link path versus the batched path, plus
+//! end-to-end crawl throughput (pages/sec) at 1/2/4/8 workers.
+//!
+//! Appends one trajectory point to `BENCH_frontier.json` at the repo
+//! root so successive PRs can chart the hot path's cost over time.
+//!
+//! Run with `cargo bench --bench frontier_throughput`.
+
+use focus_crawler::frontier::{self, FrontierEntry};
+use focus_crawler::session::{CrawlConfig, CrawlSession};
+use focus_crawler::{tables, CrawlPolicy};
+use focus_eval::common::{Scale, World};
+use focus_types::Oid;
+use minirel::{Database, Value};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pages to crawl in the descent-count comparison.
+const PAGES: usize = 400;
+/// Synthetic outlinks per page.
+const OUTLINKS: u64 = 12;
+/// Claim-batch size for the batched path.
+const BATCH: usize = 8;
+/// Fetch budget for the throughput crawls.
+const CRAWL_BUDGET: u64 = 800;
+/// Simulated network latency per fetch in the throughput crawls.
+const FETCH_LATENCY_US: u64 = 200;
+
+#[derive(Debug, Serialize)]
+struct ThroughputPoint {
+    workers: usize,
+    batch_size: usize,
+    attempts: u64,
+    pages_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchPoint {
+    bench: &'static str,
+    unix_time: u64,
+    pages: usize,
+    outlinks_per_page: u64,
+    reads_per_page_per_link: f64,
+    reads_per_page_batched: f64,
+    /// per-link ÷ batched; the PR acceptance bar is ≥ 2.0.
+    descent_reduction: f64,
+    throughput: Vec<ThroughputPoint>,
+}
+
+/// Deterministic synthetic outlink set for a page: a mix of fresh
+/// targets and revisits of earlier ones, so both the create and the
+/// raise paths of the upsert run.
+fn synth_outlinks(page: u64) -> Vec<(Oid, String)> {
+    (0..OUTLINKS)
+        .map(|j| {
+            let x = (page
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(j.wrapping_mul(1442695040888963407)))
+                >> 16;
+            let oid = x % 5000 + 1;
+            (
+                Oid(oid),
+                format!("http://s{:02}.example.org/p{}.html", oid % 24, oid),
+            )
+        })
+        .collect()
+}
+
+fn seeded_db() -> Database {
+    let mut db = Database::in_memory_with_frames(512);
+    tables::create_tables(&mut db).expect("tables");
+    for i in 0..64u64 {
+        frontier::upsert_frontier(
+            &mut db,
+            Oid(1_000_000 + i),
+            &format!("http://seed.example.org/{i}"),
+            0.0,
+            0,
+        )
+        .expect("seed");
+    }
+    db
+}
+
+fn link_row(src: Oid, dst: Oid) -> Vec<Value> {
+    vec![
+        Value::Int(src.raw() as i64),
+        Value::Int((src.raw() % 24) as i64),
+        Value::Int(dst.raw() as i64),
+        Value::Int((dst.raw() % 24) as i64),
+        Value::Int(1),
+    ]
+}
+
+/// The pre-batching hot path: one claim, one mark_done, then one full
+/// B+tree descent per LINK row and per outlink upsert.
+fn run_per_link() -> f64 {
+    let mut db = seeded_db();
+    let link_tid = db.table_id("link").expect("link");
+    db.reset_io_stats();
+    let mut processed = 0usize;
+    while processed < PAGES {
+        let Some(claim) = frontier::claim_next(&mut db).expect("claim") else {
+            break;
+        };
+        frontier::mark_done(&mut db, claim.oid, &claim.url, -0.3, 5, 1).expect("done");
+        for (dst, dst_url) in synth_outlinks(claim.oid.raw()) {
+            db.insert(link_tid, link_row(claim.oid, dst)).expect("link");
+            frontier::upsert_frontier(&mut db, dst, &dst_url, -0.7, 0).expect("upsert");
+        }
+        processed += 1;
+    }
+    assert_eq!(processed, PAGES, "frontier ran dry early");
+    db.io_stats().logical_reads as f64 / processed as f64
+}
+
+/// The batched hot path: claims checked out [`BATCH`] at a time, LINK
+/// rows inserted with one sorted pass per index, outlinks upserted with
+/// one ordered oid-index pass per page.
+fn run_batched() -> f64 {
+    let mut db = seeded_db();
+    let link_tid = db.table_id("link").expect("link");
+    db.reset_io_stats();
+    let mut processed = 0usize;
+    while processed < PAGES {
+        let claims =
+            frontier::claim_batch(&mut db, BATCH.min(PAGES - processed)).expect("claim batch");
+        if claims.is_empty() {
+            break;
+        }
+        for claim in claims {
+            frontier::mark_done(&mut db, claim.oid, &claim.url, -0.3, 5, 1).expect("done");
+            let outlinks = synth_outlinks(claim.oid.raw());
+            let rows = outlinks
+                .iter()
+                .map(|(dst, _)| link_row(claim.oid, *dst))
+                .collect();
+            db.insert_many(link_tid, rows).expect("links");
+            let entries: Vec<FrontierEntry> = outlinks
+                .into_iter()
+                .map(|(oid, url)| FrontierEntry {
+                    oid,
+                    url,
+                    log_relevance: -0.7,
+                    serverload: 0,
+                })
+                .collect();
+            frontier::upsert_batch(&mut db, &entries).expect("upsert batch");
+            processed += 1;
+        }
+    }
+    assert_eq!(processed, PAGES, "frontier ran dry early");
+    db.io_stats().logical_reads as f64 / processed as f64
+}
+
+/// One full crawl of the tiny synthetic web; returns pages/sec. Fetches
+/// carry a small simulated network latency ([`FETCH_LATENCY_US`]): with
+/// free fetches the crawl is pure CPU and worker count is noise; with a
+/// per-fetch cost, scaling shows whether workers add throughput or just
+/// lock contention.
+fn crawl_throughput(world: &World, workers: usize, batch_size: usize) -> ThroughputPoint {
+    let fetcher = Arc::new(focus_webgraph::SimFetcher::new(
+        Arc::clone(&world.graph),
+        Some(std::time::Duration::from_micros(FETCH_LATENCY_US)),
+    ));
+    let session = Arc::new(
+        CrawlSession::new(
+            fetcher,
+            world.model.clone(),
+            CrawlConfig {
+                // Unfocused expansion keeps the frontier saturated for
+                // the whole budget: this measures the storage hot path,
+                // not topical exhaustion.
+                policy: CrawlPolicy::Unfocused,
+                threads: workers,
+                max_fetches: CRAWL_BUDGET,
+                distill_every: None,
+                batch_size,
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
+    session.seed(&world.start_set(10)).expect("seed");
+    let t = Instant::now();
+    let stats = session.run().expect("crawl");
+    let secs = t.elapsed().as_secs_f64();
+    ThroughputPoint {
+        workers,
+        batch_size,
+        attempts: stats.attempts,
+        pages_per_sec: stats.attempts as f64 / secs,
+    }
+}
+
+/// Append `point` to the JSON array in BENCH_frontier.json (created on
+/// first run). The vendored serde_json only serializes, so appending is
+/// done textually.
+fn append_point(point: &BenchPoint) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontier.json");
+    let rendered = serde_json::to_string_pretty(point).expect("serialize");
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if head.trim_end().ends_with('[') => format!("[\n{rendered}\n]"),
+                Some(head) => format!("{},\n{rendered}\n]", head.trim_end()),
+                None => format!("[\n{rendered}\n]"),
+            }
+        }
+        Err(_) => format!("[\n{rendered}\n]"),
+    };
+    std::fs::write(path, body + "\n").expect("write BENCH_frontier.json");
+    println!("wrote trajectory point to {path}");
+}
+
+fn main() {
+    println!("--- frontier hot path: B+tree descents per crawled page ---");
+    let per_link = run_per_link();
+    let batched = run_batched();
+    let reduction = per_link / batched;
+    println!("per-link path: {per_link:8.1} logical reads/page");
+    println!("batched path:  {batched:8.1} logical reads/page  (claim batch {BATCH})");
+    println!(
+        "reduction:     {reduction:8.2}x  ({})",
+        if reduction >= 2.0 {
+            "PASS: >= 2x"
+        } else {
+            "FAIL: < 2x"
+        }
+    );
+
+    println!("--- crawl throughput, {CRAWL_BUDGET}-fetch budget, tiny web ---");
+    let world = World::cycling(Scale::Tiny, 23);
+    let mut throughput = Vec::new();
+    // Unbatched single-worker baseline, then the batched ladder.
+    for &(workers, batch) in &[
+        (1, 1),
+        (4, 1),
+        (1, BATCH),
+        (2, BATCH),
+        (4, BATCH),
+        (8, BATCH),
+    ] {
+        let p = crawl_throughput(&world, workers, batch);
+        println!(
+            "workers {:>2}  batch {:>2}: {:>9.0} pages/sec ({} attempts)",
+            p.workers, p.batch_size, p.pages_per_sec, p.attempts
+        );
+        throughput.push(p);
+    }
+    let base = throughput
+        .iter()
+        .find(|p| p.workers == 1 && p.batch_size == 1)
+        .map(|p| p.pages_per_sec)
+        .unwrap_or(0.0);
+    let four = throughput
+        .iter()
+        .find(|p| p.workers == 4 && p.batch_size == BATCH)
+        .map(|p| p.pages_per_sec)
+        .unwrap_or(0.0);
+    println!(
+        "4 workers batched vs 1 worker unbatched: {:.2}x ({})",
+        four / base,
+        if four >= base {
+            "PASS: no worse"
+        } else {
+            "FAIL: regressed"
+        }
+    );
+
+    let point = BenchPoint {
+        bench: "frontier",
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        pages: PAGES,
+        outlinks_per_page: OUTLINKS,
+        reads_per_page_per_link: per_link,
+        reads_per_page_batched: batched,
+        descent_reduction: reduction,
+        throughput,
+    };
+    append_point(&point);
+}

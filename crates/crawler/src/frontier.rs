@@ -25,8 +25,73 @@ pub struct Claim {
     pub log_relevance: f64,
 }
 
+/// One frontier upsert in a batch (an outlink endorsement, a seed, or a
+/// distiller boost).
+#[derive(Debug, Clone)]
+pub struct FrontierEntry {
+    /// Page to enqueue.
+    pub oid: Oid,
+    /// Its URL ("" when only the oid is known, e.g. distiller boosts).
+    pub url: String,
+    /// Priority: log R of the endorsing parent (0.0 = top).
+    pub log_relevance: f64,
+    /// Per-server fetch count at insert time.
+    pub serverload: i64,
+}
+
+/// What a batch upsert did, in aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchUpsert {
+    /// New frontier rows created.
+    pub created: usize,
+    /// Existing unvisited rows whose priority rose.
+    pub raised: usize,
+}
+
+impl BatchUpsert {
+    /// Rows whose frontier priority actually changed.
+    pub fn changed(&self) -> usize {
+        self.created + self.raised
+    }
+}
+
 fn crawl_tid(db: &Database) -> DbResult<minirel::TableId> {
     db.table_id("crawl")
+}
+
+fn oid_key(oid: Oid) -> Vec<u8> {
+    encode_composite_key(&[Value::Int(oid.raw() as i64)])
+}
+
+/// Strictly decode one column; a mistyped value is storage corruption,
+/// not a default (a fabricated `Oid(0)` or `""` would silently poison
+/// claims, checkpoints, and events downstream).
+fn col_i64(row: &[Value], col: usize, what: &str) -> DbResult<i64> {
+    row[col]
+        .as_i64()
+        .ok_or_else(|| DbError::Corrupt(format!("crawl.{what}: expected int, got {}", row[col])))
+}
+
+fn col_f64(row: &[Value], col: usize, what: &str) -> DbResult<f64> {
+    row[col]
+        .as_f64()
+        .ok_or_else(|| DbError::Corrupt(format!("crawl.{what}: expected float, got {}", row[col])))
+}
+
+fn col_str<'a>(row: &'a [Value], col: usize, what: &str) -> DbResult<&'a str> {
+    row[col]
+        .as_str()
+        .ok_or_else(|| DbError::Corrupt(format!("crawl.{what}: expected text, got {}", row[col])))
+}
+
+/// Strictly decode a frontier row into a [`Claim`].
+fn decode_claim(row: &[Value]) -> DbResult<Claim> {
+    Ok(Claim {
+        oid: Oid(col_i64(row, crawl_col::OID, "oid")? as u64),
+        url: col_str(row, crawl_col::URL, "url")?.to_owned(),
+        numtries: col_i64(row, crawl_col::NUMTRIES, "numtries")?,
+        log_relevance: col_f64(row, crawl_col::RELEVANCE, "relevance")?,
+    })
 }
 
 fn oid_lookup(db: &mut Database, oid: Oid) -> DbResult<Option<(Rid, Vec<Value>)>> {
@@ -74,10 +139,8 @@ pub fn upsert_frontier(
             Ok(Upsert::Created)
         }
         Some((rid, mut row)) => {
-            let state = row[crawl_col::VISITED].as_i64().unwrap_or(visited::DEAD);
-            let old = row[crawl_col::RELEVANCE]
-                .as_f64()
-                .unwrap_or(f64::NEG_INFINITY);
+            let state = col_i64(&row, crawl_col::VISITED, "visited")?;
+            let old = col_f64(&row, crawl_col::RELEVANCE, "relevance")?;
             if state == visited::FRONTIER && log_relevance > old {
                 row[crawl_col::RELEVANCE] = Value::Float(log_relevance);
                 row[crawl_col::NEGREL] = Value::Float(-log_relevance);
@@ -92,52 +155,183 @@ pub fn upsert_frontier(
     }
 }
 
+/// Batch upsert: the whole outlink set of a page (or a seed batch) in
+/// one ordered pass over the oid index — sort by oid, `lookup_many`
+/// once, then partition into *creates* (one `insert_many` keeping heap
+/// and both indexes consistent) and *raises* (one `update_many`).
+///
+/// Duplicate oids within the batch collapse to the per-link sequential
+/// semantics: the first occurrence's url/serverload win, the priority is
+/// the maximum endorsement.
+pub fn upsert_batch(db: &mut Database, items: &[FrontierEntry]) -> DbResult<BatchUpsert> {
+    if items.is_empty() {
+        return Ok(BatchUpsert::default());
+    }
+    // Dedup by oid, preserving first-occurrence url/serverload and max
+    // priority; then order by encoded key for the single index pass.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (items[i].oid, i));
+    let mut merged: Vec<FrontierEntry> = Vec::with_capacity(items.len());
+    for &i in &order {
+        match merged.last_mut() {
+            Some(last) if last.oid == items[i].oid => {
+                last.log_relevance = last.log_relevance.max(items[i].log_relevance);
+            }
+            _ => merged.push(items[i].clone()),
+        }
+    }
+    let mut keyed: Vec<(Vec<u8>, FrontierEntry)> =
+        merged.into_iter().map(|e| (oid_key(e.oid), e)).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let (keys, merged): (Vec<Vec<u8>>, Vec<FrontierEntry>) = keyed.into_iter().unzip();
+
+    let tid = crawl_tid(db)?;
+    let (pool, catalog) = db.parts_mut();
+    let idx = catalog
+        .find_index(tid, &[crawl_col::OID])
+        .ok_or_else(|| DbError::Catalog("crawl lacks oid index".into()))?;
+    let hits = catalog.table(tid).indexes[idx]
+        .btree
+        .lookup_many(pool, &keys)?;
+
+    let mut creates: Vec<Vec<Value>> = Vec::new();
+    let mut raises: Vec<(Rid, Vec<Value>, Vec<Value>)> = Vec::new();
+    let mut out = BatchUpsert::default();
+    for (e, rids) in merged.iter().zip(&hits) {
+        match rids.first() {
+            None => {
+                creates.push(frontier_row(e.oid, &e.url, e.log_relevance, e.serverload));
+            }
+            Some(&rid) => {
+                let row = catalog.get_row(pool, tid, rid)?;
+                let state = col_i64(&row, crawl_col::VISITED, "visited")?;
+                let old = col_f64(&row, crawl_col::RELEVANCE, "relevance")?;
+                if state == visited::FRONTIER && e.log_relevance > old {
+                    let mut new_row = row.clone();
+                    new_row[crawl_col::RELEVANCE] = Value::Float(e.log_relevance);
+                    new_row[crawl_col::NEGREL] = Value::Float(-e.log_relevance);
+                    raises.push((rid, row, new_row));
+                }
+            }
+        }
+    }
+    out.created = creates.len();
+    out.raised = raises.len();
+    if !creates.is_empty() {
+        catalog.insert_many(pool, tid, creates)?;
+    }
+    if !raises.is_empty() {
+        catalog.update_many(pool, tid, raises)?;
+    }
+    Ok(out)
+}
+
 /// Pop the best frontier entry (lowest `(numtries, −logR, serverload)`)
 /// and mark it claimed. `None` when the frontier is empty.
 pub fn claim_next(db: &mut Database) -> DbResult<Option<Claim>> {
-    let tid = crawl_tid(db)?;
-    let prefix = encode_composite_key(&[Value::Int(visited::FRONTIER)]);
-    let found = {
-        let (pool, catalog) = db.parts_mut();
-        let idx = catalog
-            .find_index(
-                tid,
-                &[
-                    crawl_col::VISITED,
-                    crawl_col::NUMTRIES,
-                    crawl_col::NEGREL,
-                    crawl_col::SERVERLOAD,
-                ],
-            )
-            .ok_or_else(|| DbError::Catalog("crawl lacks frontier index".into()))?;
-        let hit = catalog.table(tid).indexes[idx]
-            .btree
-            .first_at_or_after(pool, &prefix)?;
-        match hit {
-            Some((key, rid)) if key.starts_with(&prefix) => Some(rid),
-            _ => None,
-        }
-    };
-    let Some(rid) = found else {
-        return Ok(None);
-    };
-    let (pool, catalog) = db.parts_mut();
-    let mut row = catalog.get_row(pool, tid, rid)?;
-    let claim = Claim {
-        oid: Oid(row[crawl_col::OID].as_i64().unwrap_or(0) as u64),
-        url: row[crawl_col::URL].as_str().unwrap_or("").to_owned(),
-        numtries: row[crawl_col::NUMTRIES].as_i64().unwrap_or(0),
-        log_relevance: row[crawl_col::RELEVANCE].as_f64().unwrap_or(0.0),
-    };
-    row[crawl_col::VISITED] = Value::Int(visited::CLAIMED);
-    catalog.update_row(pool, tid, rid, row)?;
-    Ok(Some(claim))
+    Ok(claim_batch(db, 1)?.pop())
 }
 
-/// Record a successful fetch: relevance, best-leaf class, timestamps.
+/// Pop the `n` best frontier entries in one pass: a single range scan
+/// of the frontier index gathers the rids, and one batch update flips
+/// them all to `CLAIMED` — the range-pop counterpart of the paper's
+/// batch access paths. Returns fewer than `n` (possibly zero) claims
+/// when the frontier runs short.
+pub fn claim_batch(db: &mut Database, n: usize) -> DbResult<Vec<Claim>> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let tid = crawl_tid(db)?;
+    let prefix = encode_composite_key(&[Value::Int(visited::FRONTIER)]);
+    let (pool, catalog) = db.parts_mut();
+    let idx = catalog
+        .find_index(
+            tid,
+            &[
+                crawl_col::VISITED,
+                crawl_col::NUMTRIES,
+                crawl_col::NEGREL,
+                crawl_col::SERVERLOAD,
+            ],
+        )
+        .ok_or_else(|| DbError::Catalog("crawl lacks frontier index".into()))?;
+    let hits = catalog.table(tid).indexes[idx]
+        .btree
+        .first_n_at_or_after(pool, &prefix, n)?;
+    let rids: Vec<Rid> = hits
+        .into_iter()
+        .take_while(|(key, _)| key.starts_with(&prefix))
+        .map(|(_, rid)| rid)
+        .collect();
+    let mut claims = Vec::with_capacity(rids.len());
+    let mut updates = Vec::with_capacity(rids.len());
+    for rid in rids {
+        let row = catalog.get_row(pool, tid, rid)?;
+        if col_i64(&row, crawl_col::VISITED, "visited")? != visited::FRONTIER {
+            return Err(DbError::Corrupt(format!(
+                "frontier index points at non-frontier row (oid {})",
+                row[crawl_col::OID]
+            )));
+        }
+        claims.push(decode_claim(&row)?);
+        let mut new_row = row.clone();
+        new_row[crawl_col::VISITED] = Value::Int(visited::CLAIMED);
+        updates.push((rid, row, new_row));
+    }
+    if !updates.is_empty() {
+        catalog.update_many(pool, tid, updates)?;
+    }
+    Ok(claims)
+}
+
+/// Return claims to the frontier *unfetched* — a worker winding down on
+/// `stop()` hands its not-yet-fetched batch remainder back, so the work
+/// survives for the next run (or a checkpoint) instead of being fetched
+/// after the administrator asked for a stop. One ordered oid-index pass
+/// plus one batch update, like the claim itself.
+pub fn unclaim_batch(db: &mut Database, claims: &[Claim]) -> DbResult<()> {
+    if claims.is_empty() {
+        return Ok(());
+    }
+    let mut keys: Vec<Vec<u8>> = claims.iter().map(|c| oid_key(c.oid)).collect();
+    keys.sort_unstable();
+    let tid = crawl_tid(db)?;
+    let (pool, catalog) = db.parts_mut();
+    let idx = catalog
+        .find_index(tid, &[crawl_col::OID])
+        .ok_or_else(|| DbError::Catalog("crawl lacks oid index".into()))?;
+    let hits = catalog.table(tid).indexes[idx]
+        .btree
+        .lookup_many(pool, &keys)?;
+    let mut updates = Vec::with_capacity(claims.len());
+    for (key, rids) in keys.iter().zip(&hits) {
+        let Some(&rid) = rids.first() else {
+            return Err(DbError::Corrupt(format!(
+                "unclaim: claimed row vanished (key {key:?})"
+            )));
+        };
+        let row = catalog.get_row(pool, tid, rid)?;
+        if col_i64(&row, crawl_col::VISITED, "visited")? != visited::CLAIMED {
+            return Err(DbError::Corrupt(format!(
+                "unclaim: row not claimed (oid {})",
+                row[crawl_col::OID]
+            )));
+        }
+        let mut new_row = row.clone();
+        new_row[crawl_col::VISITED] = Value::Int(visited::FRONTIER);
+        updates.push((rid, row, new_row));
+    }
+    catalog.update_many(pool, tid, updates)?;
+    Ok(())
+}
+
+/// Record a successful fetch: relevance, best-leaf class, timestamps,
+/// and the fetched URL (filled in for rows that entered the frontier by
+/// oid alone) — one row update instead of two.
 pub fn mark_done(
     db: &mut Database,
     oid: Oid,
+    url: &str,
     log_relevance: f64,
     kcid: i64,
     now_secs: i64,
@@ -152,6 +346,9 @@ pub fn mark_done(
     row[crawl_col::NEGREL] = Value::Float(-log_relevance);
     row[crawl_col::LASTVISITED] = Value::Int(now_secs);
     row[crawl_col::VISITED] = Value::Int(visited::DONE);
+    if !url.is_empty() {
+        row[crawl_col::URL] = Value::Str(url.to_owned());
+    }
     let tid = crawl_tid(db)?;
     let (pool, catalog) = db.parts_mut();
     catalog.update_row(pool, tid, rid, row)?;
@@ -182,9 +379,19 @@ pub fn mark_failed(db: &mut Database, oid: Oid, retriable: bool, max_tries: i64)
 /// Raise the stored relevance of an *unvisited* page (distiller hub-boost
 /// trigger, §3.7 re-steering). No-op for visited/dead pages and for lower
 /// priorities. Returns whether a frontier priority actually changed (a
-/// row was created or raised).
+/// row was created or raised). A one-entry [`upsert_batch`], so single
+/// boosts and batch boosts share one semantic path.
 pub fn boost_unvisited(db: &mut Database, oid: Oid, log_relevance: f64) -> DbResult<bool> {
-    upsert_frontier(db, oid, "", log_relevance, 0).map(|u| u != Upsert::Unchanged)
+    let res = upsert_batch(
+        db,
+        &[FrontierEntry {
+            oid,
+            url: String::new(),
+            log_relevance,
+            serverload: 0,
+        }],
+    )?;
+    Ok(res.changed() > 0)
 }
 
 /// Rewrite the stored relevance of a *visited* page after a good-mark
@@ -297,7 +504,7 @@ mod tests {
         let mut db = db();
         upsert_frontier(&mut db, Oid(1), "u1", 0.0, 0).unwrap();
         let c = claim_next(&mut db).unwrap().unwrap();
-        mark_done(&mut db, c.oid, -0.2, 5, 100).unwrap();
+        mark_done(&mut db, c.oid, "u1", -0.2, 5, 100).unwrap();
         assert!(claim_next(&mut db).unwrap().is_none());
         assert_eq!(frontier_len(&mut db).unwrap(), 0);
         // Re-discovering a visited page does not resurrect it.
@@ -338,5 +545,130 @@ mod tests {
         boost_unvisited(&mut db, Oid(1), -0.1).unwrap();
         let c = claim_next(&mut db).unwrap().unwrap();
         assert_eq!(c.oid, Oid(1), "boosted page wins");
+    }
+
+    fn entry(oid: u64, url: &str, r: f64, load: i64) -> FrontierEntry {
+        FrontierEntry {
+            oid: Oid(oid),
+            url: url.to_owned(),
+            log_relevance: r,
+            serverload: load,
+        }
+    }
+
+    #[test]
+    fn upsert_batch_matches_sequential_upserts() {
+        // The batch path must land the exact same CRAWL state as the
+        // per-link loop, including intra-batch duplicates.
+        let items = vec![
+            entry(10, "a", -2.0, 1),
+            entry(11, "b", -0.5, 0),
+            entry(10, "a2", -0.25, 9), // dup: raises 10, keeps url "a"
+            entry(12, "c", -3.0, 2),
+            entry(11, "b2", -4.0, 0), // dup: no improvement
+        ];
+        let mut seq = db();
+        upsert_frontier(&mut seq, Oid(5), "pre", -1.0, 0).unwrap();
+        for e in &items {
+            upsert_frontier(&mut seq, e.oid, &e.url, e.log_relevance, e.serverload).unwrap();
+        }
+        let mut bat = db();
+        upsert_frontier(&mut bat, Oid(5), "pre", -1.0, 0).unwrap();
+        let res = upsert_batch(&mut bat, &items).unwrap();
+        assert_eq!(
+            res,
+            BatchUpsert {
+                created: 3,
+                raised: 0
+            }
+        );
+        let dump = |d: &mut Database| {
+            d.execute("select oid, url, relevance, serverload from crawl order by oid")
+                .unwrap()
+                .rows
+        };
+        assert_eq!(dump(&mut seq), dump(&mut bat));
+        // A second batch over existing rows takes the raise path.
+        let res =
+            upsert_batch(&mut bat, &[entry(10, "x", -0.1, 0), entry(5, "y", -2.0, 0)]).unwrap();
+        assert_eq!(
+            res,
+            BatchUpsert {
+                created: 0,
+                raised: 1
+            }
+        );
+        upsert_frontier(&mut seq, Oid(10), "x", -0.1, 0).unwrap();
+        upsert_frontier(&mut seq, Oid(5), "y", -2.0, 0).unwrap();
+        assert_eq!(dump(&mut seq), dump(&mut bat));
+    }
+
+    #[test]
+    fn upsert_batch_skips_visited_and_dead_rows() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", -1.0, 0).unwrap();
+        let c = claim_next(&mut db).unwrap().unwrap();
+        mark_done(&mut db, c.oid, "u1", -0.2, 3, 10).unwrap();
+        let res = upsert_batch(&mut db, &[entry(1, "u1", 0.0, 0)]).unwrap();
+        assert_eq!(res.changed(), 0, "visited page must not resurrect");
+        assert!(claim_next(&mut db).unwrap().is_none());
+    }
+
+    #[test]
+    fn claim_batch_pops_in_priority_order() {
+        let mut db = db();
+        for (oid, r) in [(1u64, -2.0), (2, -0.5), (3, -1.0), (4, -0.1), (5, -3.0)] {
+            upsert_frontier(&mut db, Oid(oid), &format!("u{oid}"), r, 0).unwrap();
+        }
+        let batch = claim_batch(&mut db, 3).unwrap();
+        let oids: Vec<u64> = batch.iter().map(|c| c.oid.raw()).collect();
+        assert_eq!(oids, vec![4, 2, 3], "three best, best first");
+        // Claimed rows are out of the frontier; the rest still pop.
+        let rest = claim_batch(&mut db, 10).unwrap();
+        let oids: Vec<u64> = rest.iter().map(|c| c.oid.raw()).collect();
+        assert_eq!(oids, vec![1, 5]);
+        assert!(claim_batch(&mut db, 4).unwrap().is_empty(), "drained");
+    }
+
+    #[test]
+    fn claim_batch_agrees_with_repeated_claim_next() {
+        let build = || {
+            let mut d = db();
+            for i in 0..40u64 {
+                let r = -((i % 7) as f64) / 3.0;
+                upsert_frontier(&mut d, Oid(i + 1), &format!("u{i}"), r, (i % 3) as i64).unwrap();
+            }
+            d
+        };
+        let mut one = build();
+        let singly: Vec<u64> =
+            std::iter::from_fn(|| claim_next(&mut one).unwrap().map(|c| c.oid.raw())).collect();
+        let mut many = build();
+        let mut batched = Vec::new();
+        loop {
+            let b = claim_batch(&mut many, 7).unwrap();
+            if b.is_empty() {
+                break;
+            }
+            batched.extend(b.into_iter().map(|c| c.oid.raw()));
+        }
+        assert_eq!(singly, batched);
+    }
+
+    #[test]
+    fn corrupt_rows_error_instead_of_fabricating_values() {
+        let mut db = db();
+        // Bypass the typed helpers: insert a row whose url column is
+        // Null (every column type admits Null), so the decode layer must
+        // catch it rather than fabricate "".
+        let tid = db.table_id("crawl").unwrap();
+        let mut row = frontier_row(Oid(7), "u7", -0.5, 0);
+        row[crawl_col::URL] = Value::Null;
+        db.insert(tid, row).unwrap();
+        let err = claim_next(&mut db).unwrap_err();
+        assert!(
+            matches!(err, DbError::Corrupt(ref m) if m.contains("url")),
+            "expected Corrupt(url), got {err:?}"
+        );
     }
 }

@@ -206,6 +206,10 @@ pub struct StartOptions {
     pub event_capacity: usize,
     /// Observers notified synchronously of every event.
     pub observers: Vec<Arc<dyn CrawlObserver>>,
+    /// Override for this run's frontier claim-batch size (`None` uses
+    /// [`crate::session::CrawlConfig::batch_size`]). 1 restores strict
+    /// claim-per-page behavior, e.g. for latency-sensitive steering.
+    pub batch_size: Option<usize>,
 }
 
 impl Default for StartOptions {
@@ -213,6 +217,7 @@ impl Default for StartOptions {
         StartOptions {
             event_capacity: 4096,
             observers: Vec::new(),
+            batch_size: None,
         }
     }
 }
@@ -248,6 +253,10 @@ impl CrawlRun {
             Arc::clone(&dropped),
         ));
         let threads = session.config().threads.max(1);
+        let batch_size = opts
+            .batch_size
+            .unwrap_or(session.config().batch_size)
+            .max(1);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let s = Arc::clone(&session);
@@ -256,7 +265,7 @@ impl CrawlRun {
                 .name(format!("crawl-worker-{i}"))
                 .spawn(move || {
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        s.worker(&worker_sink)
+                        s.worker(&worker_sink, batch_size)
                     }));
                     if let Err(payload) = caught {
                         // `as_ref` reaches the panic payload itself; a

@@ -25,7 +25,7 @@
 //! lands at a page boundary with the tables consistent.
 
 use crate::events::{CrawlEvent, EventSink};
-use crate::frontier::{self, Claim};
+use crate::frontier::{self, Claim, FrontierEntry};
 use crate::policy::{log_clamped, CrawlPolicy};
 use crate::run::{Command, ControlState, CrawlError, CrawlRun, RunState, StartOptions};
 use crate::tables::{self, crawl_col, host_server_id, visited};
@@ -77,6 +77,13 @@ pub struct CrawlConfig {
     pub backlink_expansion_above: Option<f64>,
     /// Buffer-pool frames for the session database.
     pub db_frames: usize,
+    /// Frontier entries a worker claims per critical section (§3.1's
+    /// batch-oriented access paths). Each claimed page is still fetched
+    /// and classified outside the lock and flushed at its own page
+    /// boundary; the batch only amortizes the B+tree descents of
+    /// claiming. 1 restores strict claim-per-page behavior. Overridable
+    /// per run via [`crate::run::StartOptions::batch_size`].
+    pub batch_size: usize,
 }
 
 impl Default for CrawlConfig {
@@ -91,6 +98,7 @@ impl Default for CrawlConfig {
             hub_boost_top_k: 10,
             backlink_expansion_above: None,
             db_frames: 512,
+            batch_size: 8,
         }
     }
 }
@@ -194,7 +202,13 @@ pub struct CrawlSession {
 
 /// What a worker decided to do with one scheduling tick.
 enum Tick {
-    Work(Claim),
+    /// A claimed batch: up to `batch_size` frontier entries checked out
+    /// in one critical section. `first_attempt` is the attempt index of
+    /// the first claim (claims are numbered at claim time).
+    Work {
+        claims: Vec<Claim>,
+        first_attempt: u64,
+    },
     EmptyFrontier,
     Exit,
 }
@@ -279,13 +293,14 @@ impl CrawlSession {
         }
         let mut g = session.inner.lock();
         let crawl_tid = g.store.db.table_id("crawl")?;
+        let mut crawl_rows = Vec::with_capacity(ckpt.pages.len());
         for row in &ckpt.pages {
             let mut r = tables::frontier_row(row.oid, &row.url, row.log_relevance, row.serverload);
             r[crawl_col::KCID] = Value::Int(row.kcid);
             r[crawl_col::NUMTRIES] = Value::Int(row.numtries);
             r[crawl_col::LASTVISITED] = Value::Int(row.lastvisited);
             r[crawl_col::VISITED] = Value::Int(row.state);
-            g.store.db.insert(crawl_tid, r)?;
+            crawl_rows.push(r);
             if row.state == visited::DONE && !row.url.is_empty() {
                 *g.store
                     .server_counts
@@ -293,20 +308,20 @@ impl CrawlSession {
                     .or_insert(0) += 1;
             }
         }
+        g.store.db.insert_many(crawl_tid, crawl_rows)?;
         let link_tid = g.store.db.table_id("link")?;
+        let mut link_rows = Vec::with_capacity(ckpt.links.len());
         for &(src, sid_src, dst, sid_dst, discovered) in &ckpt.links {
             g.store.links.push((src, sid_src, dst, sid_dst));
-            g.store.db.insert(
-                link_tid,
-                vec![
-                    Value::Int(src.raw() as i64),
-                    Value::Int(sid_src as i64),
-                    Value::Int(dst.raw() as i64),
-                    Value::Int(sid_dst as i64),
-                    Value::Int(discovered),
-                ],
-            )?;
+            link_rows.push(vec![
+                Value::Int(src.raw() as i64),
+                Value::Int(sid_src as i64),
+                Value::Int(dst.raw() as i64),
+                Value::Int(sid_dst as i64),
+                Value::Int(discovered),
+            ]);
         }
+        g.store.db.insert_many(link_tid, link_rows)?;
         g.store.relevance = ckpt.relevance.iter().copied().collect();
         g.store.class_probs = ckpt
             .class_probs
@@ -321,11 +336,24 @@ impl CrawlSession {
     }
 
     /// Seed the frontier with the start set `D(C*)` at top priority.
+    ///
+    /// URLs are resolved through [`Fetcher::url_of`] (outside the lock)
+    /// so seeded rows — and the claims, checkpoints, and events cut from
+    /// them — carry real URLs rather than `""`. A fetcher that cannot
+    /// resolve metadata leaves the row oid-keyed with an empty URL; the
+    /// URL is then filled in when the page is fetched.
     pub fn seed(&self, seeds: &[Oid]) -> DbResult<()> {
+        let entries: Vec<FrontierEntry> = seeds
+            .iter()
+            .map(|&oid| FrontierEntry {
+                oid,
+                url: self.fetcher.url_of(oid).unwrap_or_default(),
+                log_relevance: 0.0,
+                serverload: 0,
+            })
+            .collect();
         let mut g = self.inner.lock();
-        for &oid in seeds {
-            frontier::upsert_frontier(&mut g.store.db, oid, "", 0.0, 0)?;
-        }
+        frontier::upsert_batch(&mut g.store.db, &entries)?;
         Ok(())
     }
 
@@ -362,9 +390,12 @@ impl CrawlSession {
         g.counters.worker_failures.clear();
     }
 
-    /// The worker loop: drain control commands, honor pause/stop, claim,
-    /// fetch (lock released), classify (lock released), record.
-    pub(crate) fn worker(&self, sink: &EventSink) {
+    /// The worker loop: drain control commands, honor pause/stop, claim
+    /// a small batch in one critical section, then for each claimed page
+    /// fetch (lock released), classify (lock released), and flush the
+    /// page's accumulated writes in one short critical section at the
+    /// page boundary (where steering commands also drain).
+    pub(crate) fn worker(&self, sink: &EventSink, batch_size: usize) {
         loop {
             self.control.drain(|cmd| self.apply_command(cmd, sink));
             if self.control.abort.load(Ordering::Acquire) {
@@ -378,11 +409,13 @@ impl CrawlSession {
                 }
                 _ => {}
             }
-            match self.next_tick(sink) {
+            match self.next_tick(sink, batch_size) {
                 Tick::Exit => break,
                 Tick::EmptyFrontier => {
                     // Empty frontier: if nothing is in flight either, the
-                    // crawl has stagnated or finished.
+                    // crawl has stagnated or finished. A peer may still
+                    // be mid-fetch and about to enqueue links, so wait
+                    // rather than exit while work is in flight.
                     let (idle, attempts) = {
                         let g = self.inner.lock();
                         (g.counters.in_flight == 0, g.counters.stats.attempts)
@@ -399,24 +432,11 @@ impl CrawlSession {
                     }
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
-                Tick::Work(claim) => {
-                    // Fetch without holding the lock (network latency).
-                    let result = self.fetcher.fetch(claim.oid);
-                    // Classify without holding the lock either: inference
-                    // is pure CPU and was the hottest section inside the
-                    // old critical section.
-                    let eval = result.as_ref().ok().map(|page| {
-                        let model = self.model.read();
-                        let post = model.evaluate(&page.terms);
-                        let hard = model.taxonomy.hard_focus_accepts(post.best_leaf);
-                        (post, hard)
-                    });
-                    let mut g = self.inner.lock();
-                    g.counters.in_flight -= 1;
-                    let attempt = g.counters.stats.attempts;
-                    if let Err(e) = self.process(&mut g, &claim, result, eval, attempt, sink) {
-                        g.counters.error = Some(e);
-                        self.control.abort.store(true, Ordering::Release);
+                Tick::Work {
+                    claims,
+                    first_attempt,
+                } => {
+                    if self.process_batch(&claims, first_attempt, sink) {
                         break;
                     }
                 }
@@ -424,8 +444,78 @@ impl CrawlSession {
         }
     }
 
-    /// Claim the next unit of work, or decide why there is none.
-    fn next_tick(&self, sink: &EventSink) -> Tick {
+    /// Process one claimed batch: fetch + classify each page outside the
+    /// lock, flush its writes in one short critical section, and honor
+    /// control at every *page* boundary — pause parks here (claims held,
+    /// no further fetches), stop hands the unfetched remainder back to
+    /// the frontier via [`frontier::unclaim_batch`], so pause/stop
+    /// latency stays one page, not one batch. Returns `true` when the
+    /// worker should exit its loop.
+    fn process_batch(&self, claims: &[Claim], first_attempt: u64, sink: &EventSink) -> bool {
+        let mut i = 0usize;
+        while i < claims.len() {
+            let claim = &claims[i];
+            let attempt = first_attempt + i as u64;
+            // Fetch without holding the lock (network latency).
+            let result = self.fetcher.fetch(claim.oid);
+            // Classify without holding the lock either: inference is
+            // pure CPU and was the hottest section inside the old
+            // critical section.
+            let eval = result.as_ref().ok().map(|page| {
+                let model = self.model.read();
+                let post = model.evaluate(&page.terms);
+                let hard = model.taxonomy.hard_focus_accepts(post.best_leaf);
+                (post, hard)
+            });
+            let mut g = self.inner.lock();
+            g.counters.in_flight -= 1;
+            if let Err(e) = self.process(&mut g, claim, result, eval, attempt, sink) {
+                g.counters.error = Some(e);
+                self.control.abort.store(true, Ordering::Release);
+                return true;
+            }
+            drop(g);
+            i += 1;
+            // Page boundary inside the batch: steering commands take
+            // effect between pages, not only between batches.
+            self.control.drain(|cmd| self.apply_command(cmd, sink));
+            // A pause parks right here, with the batch remainder checked
+            // out but no further fetches issued (attempts stay flat, as
+            // the pause contract promises).
+            while self.control.run_state() == RunState::Paused
+                && !self.control.abort.load(Ordering::Acquire)
+            {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                self.control.drain(|cmd| self.apply_command(cmd, sink));
+            }
+            if self.control.abort.load(Ordering::Acquire) {
+                return true;
+            }
+            if self.control.run_state() == RunState::Stopping {
+                // Hand the unfetched remainder back to the frontier so
+                // a stop ends within one page and the work survives for
+                // checkpoints and the next run. `attempts` stays as
+                // counted (it is monotone by contract); only the
+                // in-flight gauge is released.
+                let rest = &claims[i..];
+                if !rest.is_empty() {
+                    let mut g = self.inner.lock();
+                    g.counters.in_flight -= rest.len();
+                    if let Err(e) = frontier::unclaim_batch(&mut g.store.db, rest) {
+                        g.counters.error = Some(e);
+                        self.control.abort.store(true, Ordering::Release);
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Claim the next batch of work, or decide why there is none. The
+    /// batch is clamped to the remaining budget so attempts never exceed
+    /// it; each claim is numbered at claim time (the harvest x-axis).
+    fn next_tick(&self, sink: &EventSink, batch_size: usize) -> Tick {
         let mut g = self.inner.lock();
         if g.counters.error.is_some() {
             return Tick::Exit;
@@ -438,13 +528,19 @@ impl CrawlSession {
             }
             return Tick::Exit;
         }
-        match frontier::claim_next(&mut g.store.db) {
-            Ok(Some(c)) => {
-                g.counters.stats.attempts += 1;
-                g.counters.in_flight += 1;
-                Tick::Work(c)
+        let remaining = (g.counters.budget - g.counters.stats.attempts) as usize;
+        let want = batch_size.max(1).min(remaining);
+        match frontier::claim_batch(&mut g.store.db, want) {
+            Ok(claims) if claims.is_empty() => Tick::EmptyFrontier,
+            Ok(claims) => {
+                let first_attempt = g.counters.stats.attempts + 1;
+                g.counters.stats.attempts += claims.len() as u64;
+                g.counters.in_flight += claims.len();
+                Tick::Work {
+                    claims,
+                    first_attempt,
+                }
             }
-            Ok(None) => Tick::EmptyFrontier,
             Err(e) => {
                 g.counters.error = Some(e);
                 self.control.abort.store(true, Ordering::Release);
@@ -580,18 +676,23 @@ impl CrawlSession {
                 }
             })
             .collect();
-        let mut boosted = 0usize;
-        for (dst, r) in candidates {
-            match frontier::boost_unvisited(&mut g.store.db, dst, log_clamped(r)) {
-                Ok(true) => boosted += 1,
-                Ok(false) => {}
-                Err(e) => {
-                    g.counters.error = Some(e);
-                    self.control.abort.store(true, Ordering::Release);
-                    return;
-                }
+        let boosts: Vec<FrontierEntry> = candidates
+            .into_iter()
+            .map(|(dst, r)| FrontierEntry {
+                oid: dst,
+                url: String::new(),
+                log_relevance: log_clamped(r),
+                serverload: 0,
+            })
+            .collect();
+        let boosted = match frontier::upsert_batch(&mut g.store.db, &boosts) {
+            Ok(res) => res.changed(),
+            Err(e) => {
+                g.counters.error = Some(e);
+                self.control.abort.store(true, Ordering::Release);
+                return;
             }
-        }
+        };
         self.control
             .stagnation_reported
             .store(false, Ordering::Release);
@@ -679,11 +780,11 @@ impl CrawlSession {
                 frontier::mark_done(
                     &mut g.store.db,
                     page.oid,
+                    &page.url,
                     log_r,
                     post.best_leaf.raw() as i64,
                     now,
                 )?;
-                set_url(&mut g.store.db, page.oid, &page.url)?;
                 g.counters.stats.successes += 1;
                 g.counters.stats.harvest.push((attempt, r));
                 g.counters.stats.completion_order.push((page.oid, r));
@@ -699,35 +800,39 @@ impl CrawlSession {
                 let sid_src = host_server_id(&page.url);
                 *g.store.server_counts.entry(sid_src).or_insert(0) += 1;
 
-                // Record links and expand the frontier.
+                // Record links and expand the frontier. The whole page's
+                // LINK rows land through one batch insert and its
+                // outlink endorsements through one `upsert_batch` pass —
+                // one ordered index traversal each, instead of a full
+                // B+tree descent per outlink.
                 let expansion = g.store.policy.decide(&post, hard);
                 let link_tid = g.store.db.table_id("link")?;
+                let mut link_rows = Vec::with_capacity(page.outlinks.len());
+                let mut expansions = Vec::new();
                 for (dst, dst_url) in &page.outlinks {
                     let sid_dst = host_server_id(dst_url);
                     g.store
                         .links
                         .push((page.oid, sid_src.raw(), *dst, sid_dst.raw()));
-                    g.store.db.insert(
-                        link_tid,
-                        vec![
-                            Value::Int(page.oid.raw() as i64),
-                            Value::Int(sid_src.raw() as i64),
-                            Value::Int(dst.raw() as i64),
-                            Value::Int(sid_dst.raw() as i64),
-                            Value::Int(now),
-                        ],
-                    )?;
+                    link_rows.push(vec![
+                        Value::Int(page.oid.raw() as i64),
+                        Value::Int(sid_src.raw() as i64),
+                        Value::Int(dst.raw() as i64),
+                        Value::Int(sid_dst.raw() as i64),
+                        Value::Int(now),
+                    ]);
                     if expansion.expand {
                         let load = g.store.server_counts.get(&sid_dst).copied().unwrap_or(0);
-                        frontier::upsert_frontier(
-                            &mut g.store.db,
-                            *dst,
-                            dst_url,
-                            expansion.child_log_relevance,
-                            load,
-                        )?;
+                        expansions.push(FrontierEntry {
+                            oid: *dst,
+                            url: dst_url.clone(),
+                            log_relevance: expansion.child_log_relevance,
+                            serverload: load,
+                        });
                     }
                 }
+                g.store.db.insert_many(link_tid, link_rows)?;
+                frontier::upsert_batch(&mut g.store.db, &expansions)?;
 
                 // Backward expansion: a highly relevant page's *citers*
                 // are hub candidates (radius-2); enqueue them when the
@@ -736,17 +841,21 @@ impl CrawlSession {
                     if r > threshold {
                         if let Some(citers) = self.fetcher.backlinks(page.oid) {
                             let prio = log_clamped(r * 0.8);
-                            for (src, src_url) in citers {
-                                let sid = host_server_id(&src_url);
-                                let load = g.store.server_counts.get(&sid).copied().unwrap_or(0);
-                                frontier::upsert_frontier(
-                                    &mut g.store.db,
-                                    src,
-                                    &src_url,
-                                    prio,
-                                    load,
-                                )?;
-                            }
+                            let backlinks: Vec<FrontierEntry> = citers
+                                .into_iter()
+                                .map(|(src, src_url)| {
+                                    let sid = host_server_id(&src_url);
+                                    let load =
+                                        g.store.server_counts.get(&sid).copied().unwrap_or(0);
+                                    FrontierEntry {
+                                        oid: src,
+                                        url: src_url,
+                                        log_relevance: prio,
+                                        serverload: load,
+                                    }
+                                })
+                                .collect();
+                            frontier::upsert_batch(&mut g.store.db, &backlinks)?;
                         }
                     }
                 }
@@ -801,17 +910,21 @@ impl CrawlSession {
                 .iter()
                 .map(|&(o, _)| o)
                 .collect();
-            let targets: Vec<Oid> = g
+            let targets: Vec<FrontierEntry> = g
                 .store
                 .links
                 .iter()
                 .filter(|(src, ss, _, sd)| top.contains(src) && ss != sd)
                 .map(|&(_, _, dst, _)| dst)
                 .filter(|dst| !g.store.relevance.contains_key(dst))
+                .map(|dst| FrontierEntry {
+                    oid: dst,
+                    url: String::new(),
+                    log_relevance: boost,
+                    serverload: 0,
+                })
                 .collect();
-            for dst in targets {
-                frontier::boost_unvisited(&mut g.store.db, dst, boost)?;
-            }
+            frontier::upsert_batch(&mut g.store.db, &targets)?;
         }
         if let Some(sink) = sink {
             sink.emit(CrawlEvent::DistillCompleted {
@@ -868,6 +981,8 @@ impl CrawlSession {
             let sid_src = host_server_id(&page.url);
             let link_tid = g.store.db.table_id("link")?;
             let boost = log_clamped(0.95);
+            let mut link_rows = Vec::new();
+            let mut enqueues = Vec::new();
             for (dst, dst_url) in &page.outlinks {
                 if known.contains(&(dst.raw() as i64)) {
                     continue;
@@ -877,18 +992,22 @@ impl CrawlSession {
                 g.store
                     .links
                     .push((hub, sid_src.raw(), *dst, sid_dst.raw()));
-                g.store.db.insert(
-                    link_tid,
-                    vec![
-                        Value::Int(hub.raw() as i64),
-                        Value::Int(sid_src.raw() as i64),
-                        Value::Int(dst.raw() as i64),
-                        Value::Int(sid_dst.raw() as i64),
-                        Value::Int(now),
-                    ],
-                )?;
-                frontier::upsert_frontier(&mut g.store.db, *dst, dst_url, boost, 0)?;
+                link_rows.push(vec![
+                    Value::Int(hub.raw() as i64),
+                    Value::Int(sid_src.raw() as i64),
+                    Value::Int(dst.raw() as i64),
+                    Value::Int(sid_dst.raw() as i64),
+                    Value::Int(now),
+                ]);
+                enqueues.push(FrontierEntry {
+                    oid: *dst,
+                    url: dst_url.clone(),
+                    log_relevance: boost,
+                    serverload: 0,
+                });
             }
+            g.store.db.insert_many(link_tid, link_rows)?;
+            frontier::upsert_batch(&mut g.store.db, &enqueues)?;
             frontier::touch_visited(&mut g.store.db, hub, now)?;
         }
         Ok((revisited, new_links))
@@ -1134,23 +1253,6 @@ impl CrawlCheckpoint {
             .filter(|p| p.state == visited::DONE)
             .count()
     }
-}
-
-fn set_url(db: &mut Database, oid: Oid, url: &str) -> DbResult<()> {
-    if url.is_empty() {
-        return Ok(());
-    }
-    let tid = db.table_id("crawl")?;
-    let (pool, catalog) = db.parts_mut();
-    let idx = catalog.find_index(tid, &[0]).expect("crawl oid index");
-    let key = minirel::value::encode_composite_key(&[Value::Int(oid.raw() as i64)]);
-    let rids = catalog.table(tid).indexes[idx].btree.lookup(pool, &key)?;
-    if let Some(&rid) = rids.first() {
-        let mut row = catalog.get_row(pool, tid, rid)?;
-        row[crate::tables::crawl_col::URL] = Value::Str(url.to_owned());
-        catalog.update_row(pool, tid, rid, row)?;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -1611,6 +1713,252 @@ mod tests {
             ckpt.stats.harvest[..],
             "restored harvest prefix diverged"
         );
+    }
+
+    #[test]
+    fn seeds_carry_real_urls() {
+        // Satellite of the empty-URL bug: `seed()` must resolve URLs via
+        // the fetcher's metadata so claims, checkpoints, and monitoring
+        // SQL never see "" for seeds.
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 50);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 10);
+        session.seed(&seeds).unwrap();
+        let empty = session.with_db(|db| {
+            db.execute("select count(*) from crawl where url = ''")
+                .unwrap()
+                .scalar_i64()
+                .unwrap()
+        });
+        assert_eq!(empty, 0, "seeded frontier rows must carry real URLs");
+        let mut g = session.inner.lock();
+        let claim = frontier::claim_next(&mut g.store.db).unwrap().unwrap();
+        assert!(!claim.url.is_empty(), "claims of seeds carry the URL");
+        drop(g);
+        let ckpt = session.checkpoint().unwrap();
+        assert!(
+            ckpt.pages.iter().all(|p| !p.url.is_empty()),
+            "checkpointed seeds must carry URLs"
+        );
+    }
+
+    /// A fetcher that always times out (everything is retriable, nothing
+    /// ever lands).
+    struct AllTimeoutFetcher;
+
+    impl Fetcher for AllTimeoutFetcher {
+        fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+            Err(FetchError::Timeout(oid))
+        }
+
+        fn fetch_count(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn in_flight_drains_on_failure_paths() {
+        // Every attempt fails; if any error path forgot to decrement
+        // `in_flight`, the EmptyFrontier branch would see phantom work
+        // forever and the run would never stagnate (this test would
+        // hang).
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
+        let session = Arc::new(
+            CrawlSession::new(
+                Arc::new(AllTimeoutFetcher),
+                model,
+                CrawlConfig {
+                    threads: 3,
+                    max_fetches: 1000,
+                    max_tries: 2,
+                    distill_every: None,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        session.seed(&[Oid(1), Oid(2), Oid(3)]).unwrap();
+        let recorder = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let run = session
+            .start_with(StartOptions {
+                observers: vec![Arc::new(Arc::clone(&recorder))],
+                ..StartOptions::default()
+            })
+            .unwrap();
+        let stats = run.join().unwrap();
+        // 3 seeds × 2 tries each, then all dead.
+        assert_eq!(stats.attempts, 6);
+        assert_eq!(stats.failures, 6);
+        assert_eq!(stats.successes, 0);
+        let events = recorder.0.lock().unwrap().clone();
+        let stagnated = events
+            .iter()
+            .filter(|e| matches!(e, CrawlEvent::FrontierStagnated { .. }))
+            .count();
+        assert_eq!(
+            stagnated, 1,
+            "stagnation announced exactly once: {events:?}"
+        );
+    }
+
+    /// A fetcher that holds every fetch for a fixed delay, widening the
+    /// window in which a peer worker sees an empty frontier while work
+    /// is in flight.
+    struct SlowFetcher {
+        inner: Arc<SimFetcher>,
+        delay: std::time::Duration,
+    }
+
+    impl Fetcher for SlowFetcher {
+        fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+            std::thread::sleep(self.delay);
+            self.inner.fetch(oid)
+        }
+
+        fn fetch_count(&self) -> u64 {
+            self.inner.fetch_count()
+        }
+
+        fn url_of(&self, oid: Oid) -> Option<String> {
+            self.inner.url_of(oid)
+        }
+    }
+
+    #[test]
+    fn workers_wait_for_in_flight_peers_instead_of_finishing() {
+        // One seed, several workers: all but one worker see an empty
+        // frontier immediately while the fetch is in flight. They must
+        // idle-wait — not emit FrontierStagnated or exit — because the
+        // in-flight page is about to enqueue its outlinks.
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 1);
+        let model = trained_model(&graph, "recreation/cycling");
+        let fetcher = Arc::new(SlowFetcher {
+            inner: Arc::new(SimFetcher::new(Arc::clone(&graph), None)),
+            delay: std::time::Duration::from_millis(3),
+        });
+        let budget = 25;
+        let session = Arc::new(
+            CrawlSession::new(
+                fetcher,
+                model,
+                CrawlConfig {
+                    threads: 4,
+                    max_fetches: budget,
+                    distill_every: None,
+                    // claim-per-page: maximizes empty-frontier windows
+                    batch_size: 1,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        session.seed(&seeds).unwrap();
+        let recorder = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let run = session
+            .start_with(StartOptions {
+                observers: vec![Arc::new(Arc::clone(&recorder))],
+                ..StartOptions::default()
+            })
+            .unwrap();
+        let stats = run.join().unwrap();
+        assert!(
+            stats.attempts > 1,
+            "peers must survive the single-seed start: {stats:?}"
+        );
+        let events = recorder.0.lock().unwrap().clone();
+        for e in &events {
+            if let CrawlEvent::FrontierStagnated { attempts } = e {
+                assert!(
+                    *attempts > 1,
+                    "premature stagnation with a peer in flight: {events:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stop_mid_batch_returns_unfetched_claims_within_one_page() {
+        // A stop (here: pause → stop while parked) must end the batch at
+        // the next page boundary and hand the unfetched remainder back
+        // to the frontier — not fetch out the whole batch first.
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 10);
+        let model = trained_model(&graph, "recreation/cycling");
+        let fetcher = Arc::new(SlowFetcher {
+            inner: Arc::new(SimFetcher::new(Arc::clone(&graph), None)),
+            delay: std::time::Duration::from_millis(10),
+        });
+        let session = Arc::new(
+            CrawlSession::new(
+                fetcher,
+                model,
+                CrawlConfig {
+                    threads: 1,
+                    max_fetches: 100_000,
+                    distill_every: None,
+                    batch_size: 16,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        session.seed(&seeds).unwrap();
+        let run = session.start().unwrap();
+        while run.stats().successes < 1 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        run.pause();
+        while run.state() != RunState::Paused && !run.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        run.stop();
+        let stats = run.join().unwrap();
+        // The worker paused mid-batch after a page or two of its
+        // 16-claim batch; the rest must have been returned, not fetched.
+        assert!(
+            stats.successes + stats.failures < stats.attempts,
+            "stop processed the whole batch: {stats:?}"
+        );
+        // Nothing may be left stuck in the CLAIMED state.
+        let claimed = session.with_db(|db| {
+            db.execute("select count(*) from crawl where visited = 2")
+                .unwrap()
+                .scalar_i64()
+                .unwrap()
+        });
+        assert_eq!(claimed, 0, "claims leaked after stop");
+        // The returned work is poppable again.
+        let mut g = session.inner.lock();
+        assert!(
+            frontier::claim_next(&mut g.store.db).unwrap().is_some(),
+            "returned claims must be poppable"
+        );
+    }
+
+    #[test]
+    fn batch_size_override_applies_per_run() {
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 62);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        let run = session
+            .start_with(StartOptions {
+                batch_size: Some(4),
+                ..StartOptions::default()
+            })
+            .unwrap();
+        let stats = run.join().unwrap();
+        // The budget is honored exactly even when it is not a multiple
+        // of the batch size (claims are clamped to the remainder).
+        assert_eq!(stats.attempts, 62);
+        assert!(stats.successes > 0);
     }
 
     #[test]

@@ -2,6 +2,15 @@
 //! `|{ci}| × |{d}|` (children × documents, the output row count) over
 //! varying nodes `c0` and document batches. The paper's scatter "shows
 //! that the bulk algorithm is roughly linear in output size".
+//!
+//! Two de-flaking measures keep the linearity assertion deterministic:
+//! every point is measured with a *warm* buffer pool (one untimed probe
+//! first) as the **median of several timed runs**, and alongside wall
+//! time the pool's logical-read count is recorded as a load-independent
+//! work proxy — the same `IoStats` the paper-style experiments charge
+//! physical access to. Logical reads are exactly the page touches the
+//! algorithm makes, so their fit is reproducible on any machine while
+//! wall time remains the headline number on an idle one.
 
 use crate::common::{Scale, World};
 use focus_classifier::bulk_probe::bulk_posterior;
@@ -11,13 +20,22 @@ use minirel::Database;
 use serde::Serialize;
 use std::time::Instant;
 
+/// Timed repetitions per point (median taken).
+const TIMED_RUNS: usize = 3;
+
 /// Figure 8(c) output.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig8c {
-    /// Scatter of (output size = children × docs, wall µs).
+    /// Scatter of (output size = children × docs, median wall µs over
+    /// [`TIMED_RUNS`] warm runs).
     pub points: Vec<(f64, f64)>,
-    /// R² of the least-squares line through the origin.
+    /// Scatter of (output size, buffer-pool logical reads) — the
+    /// deterministic work proxy for the same probes.
+    pub points_io: Vec<(f64, f64)>,
+    /// R² of the least-squares line through the origin (wall time).
     pub r_squared: f64,
+    /// R² of the logical-read fit (machine-load independent).
+    pub r_squared_io: f64,
 }
 
 /// Coefficient of determination for y ≈ kx through the origin
@@ -65,6 +83,7 @@ pub fn run(scale: Scale) -> Fig8c {
         .collect();
 
     let mut points = Vec::new();
+    let mut points_io = Vec::new();
     for &n_docs in &batch_sizes {
         let mut db = Database::in_memory_with_frames(256);
         let tables = ClassifierTables::create_and_load(&mut db, &world.model).expect("load");
@@ -72,31 +91,51 @@ pub fn run(scale: Scale) -> Fig8c {
         tables.load_documents(&mut db, batch).expect("docs");
         for &c0 in &nodes {
             let kids = world.taxonomy.children(c0).len();
-            let t = Instant::now();
+            // Warm run: fills the buffer pool so no timed run pays
+            // first-touch costs, and measures the probe's logical page
+            // touches (identical on every run, hit or miss).
+            db.reset_io_stats();
             let out = bulk_posterior(&mut db, &tables, c0).expect("bulk");
-            let us = t.elapsed().as_micros() as f64;
+            let reads = db.io_stats().logical_reads as f64;
             // Output size exactly |kids| × |docs|.
             assert_eq!(out.len(), kids * batch.len());
-            points.push(((kids * batch.len()) as f64, us));
+            let mut times: Vec<f64> = (0..TIMED_RUNS)
+                .map(|_| {
+                    let t = Instant::now();
+                    let timed = bulk_posterior(&mut db, &tables, c0).expect("bulk");
+                    let us = t.elapsed().as_secs_f64() * 1e6;
+                    assert_eq!(timed.len(), out.len());
+                    us
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            let median = times[times.len() / 2];
+            let x = (kids * batch.len()) as f64;
+            points.push((x, median));
+            points_io.push((x, reads));
         }
     }
     points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    points_io.sort_by(|a, b| a.0.total_cmp(&b.0));
     Fig8c {
         r_squared: r2_through_origin(&points),
+        r_squared_io: r2_through_origin(&points_io),
         points,
+        points_io,
     }
 }
 
 /// Print the scatter summary.
 pub fn print(f: &Fig8c) {
     println!("--- Figure 8(c): BulkProbe output-size scaling ---");
-    println!("{:>14} {:>12}", "kcid x did", "us");
-    for &(x, y) in &f.points {
-        println!("{x:>14.0} {y:>12.0}");
+    println!("{:>14} {:>12} {:>14}", "kcid x did", "us", "logical reads");
+    for (&(x, y), &(_, io)) in f.points.iter().zip(&f.points_io) {
+        println!("{x:>14.0} {y:>12.0} {io:>14.0}");
     }
     println!(
-        "linear fit through origin: R^2 = {:.3}   (paper: \"roughly linear in output size\")",
-        f.r_squared
+        "linear fit through origin: R^2 = {:.3} (wall), {:.3} (logical reads)   \
+         (paper: \"roughly linear in output size\")",
+        f.r_squared, f.r_squared_io
     );
 }
 
@@ -112,12 +151,24 @@ mod tests {
             "need a real scatter, got {}",
             f.points.len()
         );
+        // The logical-read proxy is deterministic: it must fit a line
+        // through the origin on any machine, loaded or not.
         assert!(
-            f.r_squared > 0.5,
-            "linearity too weak: R^2 = {} over {:?}",
-            f.r_squared,
-            f.points
+            f.r_squared_io > 0.5,
+            "work not linear in output size: R^2 = {} over {:?}",
+            f.r_squared_io,
+            f.points_io
         );
+        // Warm-pool median wall time should fit too; a loaded CI runner
+        // sets FOCUS_LAX_TIMING=1 to skip only this wall-clock half.
+        if std::env::var_os("FOCUS_LAX_TIMING").is_none() {
+            assert!(
+                f.r_squared > 0.5,
+                "linearity too weak: R^2 = {} over {:?}",
+                f.r_squared,
+                f.points
+            );
+        }
     }
 
     #[test]

@@ -345,6 +345,235 @@ impl BTree {
         }
     }
 
+    /// Read the leaf node at `pid`, failing on internal nodes.
+    fn read_leaf(&self, pool: &mut BufferPool, pid: PageId) -> DbResult<Leaf> {
+        match read_node(pool, pid)? {
+            Node::Leaf(l) => Ok(l),
+            Node::Internal(_) => Err(DbError::Page("expected leaf node".into())),
+        }
+    }
+
+    /// All rids for each of `keys`, answered in one ordered pass.
+    ///
+    /// `keys` must be sorted ascending (duplicates allowed). Instead of
+    /// one root-to-leaf descent per key, the pass holds its current leaf
+    /// and only re-descends when the next key falls beyond it — the
+    /// "sort once, merge once" batch access path of §3.1, applied to
+    /// point lookups. Buffer-pool reads drop from `O(keys × depth)` to
+    /// roughly one visit per distinct leaf touched.
+    pub fn lookup_many(&self, pool: &mut BufferPool, keys: &[Vec<u8>]) -> DbResult<Vec<Vec<Rid>>> {
+        let mut out: Vec<Vec<Rid>> = Vec::with_capacity(keys.len());
+        let mut cur: Option<Leaf> = None;
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                debug_assert!(keys[i - 1] <= *key, "lookup_many requires sorted keys");
+                if keys[i - 1] == *key {
+                    // Equal neighbor: the pass has already advanced past
+                    // this key's entries; reuse the previous answer.
+                    let prev = out[i - 1].clone();
+                    out.push(prev);
+                    continue;
+                }
+            }
+            // The current leaf can serve `key` only if `key` does not
+            // sort past its last entry; otherwise descend afresh.
+            let reuse = cur.as_ref().is_some_and(|l| {
+                l.entries
+                    .last()
+                    .is_some_and(|(k, _)| k.as_slice() >= key.as_slice())
+            });
+            if !reuse {
+                let pid = self.find_leaf(pool, &aug_key(key, MIN_RID))?;
+                cur = Some(self.read_leaf(pool, pid)?);
+            }
+            let mut rids = Vec::new();
+            loop {
+                let leaf = cur.as_ref().expect("leaf loaded");
+                let start = leaf
+                    .entries
+                    .partition_point(|(k, _)| k.as_slice() < key.as_slice());
+                for (k, rid) in &leaf.entries[start..] {
+                    if k == key {
+                        rids.push(*rid);
+                    } else {
+                        break;
+                    }
+                }
+                // Matches can only continue in the next leaf when this
+                // leaf ends at or before `key` (duplicate span, or a key
+                // that sits on a leaf boundary).
+                let spills = leaf.next != INVALID_PAGE
+                    && leaf
+                        .entries
+                        .last()
+                        .is_none_or(|(k, _)| k.as_slice() <= key.as_slice());
+                if !spills {
+                    break;
+                }
+                let next = leaf.next;
+                cur = Some(self.read_leaf(pool, next)?);
+            }
+            out.push(rids);
+        }
+        Ok(out)
+    }
+
+    /// Insert a sorted batch of `(key, rid)` entries in one ordered
+    /// pass: the batch is partitioned over the tree's subtrees and each
+    /// affected node is read and written once, instead of once per
+    /// entry. Exact duplicate pairs are ignored, as in
+    /// [`BTree::insert`]. Entries must be sorted by `(key, rid)`.
+    pub fn insert_many(
+        &mut self,
+        pool: &mut BufferPool,
+        entries: &[(Vec<u8>, Rid)],
+    ) -> DbResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0] <= w[1]),
+            "insert_many requires sorted entries"
+        );
+        let mut pending = self.insert_many_rec(pool, self.root, entries)?;
+        // Root split(s): grow by one level per round until the new root
+        // fits (a huge batch can hand back more separators than one
+        // internal node holds).
+        while !pending.is_empty() {
+            let new_root = pool.allocate()?;
+            let node = Internal {
+                leftmost: self.root,
+                entries: pending,
+            };
+            self.root = new_root;
+            pending = write_internal_split(pool, new_root, node)?;
+        }
+        Ok(())
+    }
+
+    fn insert_many_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        entries: &[(Vec<u8>, Rid)],
+    ) -> DbResult<Vec<(Vec<u8>, PageId)>> {
+        match read_node(pool, pid)? {
+            Node::Leaf(mut leaf) => {
+                for (key, rid) in entries {
+                    let probe = (key.clone(), *rid);
+                    if let Err(pos) = leaf.entries.binary_search(&probe) {
+                        leaf.entries.insert(pos, probe);
+                        self.len += 1;
+                    }
+                }
+                write_leaf_split(pool, pid, leaf)
+            }
+            Node::Internal(mut node) => {
+                // Partition the (sorted) batch among children by the same
+                // augmented-key rule the single-entry descent uses.
+                let mut seps: Vec<(Vec<u8>, PageId)> = Vec::new();
+                let mut lo = 0usize;
+                while lo < entries.len() {
+                    let akey = aug_key(&entries[lo].0, entries[lo].1);
+                    let child_idx = child_index(&node, &akey);
+                    let child = if child_idx == 0 {
+                        node.leftmost
+                    } else {
+                        node.entries[child_idx - 1].1
+                    };
+                    // This child receives every entry below the next
+                    // separator.
+                    let hi = match node.entries.get(child_idx) {
+                        Some((sep, _)) => {
+                            lo + entries[lo..].partition_point(|(k, r)| {
+                                aug_key(k, *r).as_slice() < sep.as_slice()
+                            })
+                        }
+                        None => entries.len(),
+                    };
+                    seps.extend(self.insert_many_rec(pool, child, &entries[lo..hi])?);
+                    lo = hi;
+                }
+                for sep in seps {
+                    let pos = node
+                        .entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(&sep.0[..]))
+                        .unwrap_or_else(|p| p);
+                    node.entries.insert(pos, sep);
+                }
+                write_internal_split(pool, pid, node)
+            }
+        }
+    }
+
+    /// Remove a sorted batch of exact `(key, rid)` entries in one
+    /// ordered pass; returns how many existed and were removed.
+    /// Deletion stays lazy (no rebalancing), like [`BTree::delete`].
+    pub fn delete_many(
+        &mut self,
+        pool: &mut BufferPool,
+        entries: &[(Vec<u8>, Rid)],
+    ) -> DbResult<usize> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        debug_assert!(
+            entries.windows(2).all(|w| w[0] <= w[1]),
+            "delete_many requires sorted entries"
+        );
+        let removed = self.delete_many_rec(pool, self.root, entries)?;
+        self.len -= removed as u64;
+        Ok(removed)
+    }
+
+    fn delete_many_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        entries: &[(Vec<u8>, Rid)],
+    ) -> DbResult<usize> {
+        match read_node(pool, pid)? {
+            Node::Leaf(mut leaf) => {
+                let mut removed = 0;
+                for (key, rid) in entries {
+                    let probe = (key.clone(), *rid);
+                    if let Ok(pos) = leaf.entries.binary_search(&probe) {
+                        leaf.entries.remove(pos);
+                        removed += 1;
+                    }
+                }
+                if removed > 0 {
+                    write_node(pool, pid, &Node::Leaf(leaf))?;
+                }
+                Ok(removed)
+            }
+            Node::Internal(node) => {
+                let mut removed = 0;
+                let mut lo = 0usize;
+                while lo < entries.len() {
+                    let akey = aug_key(&entries[lo].0, entries[lo].1);
+                    let child_idx = child_index(&node, &akey);
+                    let child = if child_idx == 0 {
+                        node.leftmost
+                    } else {
+                        node.entries[child_idx - 1].1
+                    };
+                    let hi = match node.entries.get(child_idx) {
+                        Some((sep, _)) => {
+                            lo + entries[lo..].partition_point(|(k, r)| {
+                                aug_key(k, *r).as_slice() < sep.as_slice()
+                            })
+                        }
+                        None => entries.len(),
+                    };
+                    removed += self.delete_many_rec(pool, child, &entries[lo..hi])?;
+                    lo = hi;
+                }
+                Ok(removed)
+            }
+        }
+    }
+
     /// All rids stored under exactly `key`.
     pub fn lookup(&self, pool: &mut BufferPool, key: &[u8]) -> DbResult<Vec<Rid>> {
         let mut out = Vec::new();
@@ -429,12 +658,28 @@ impl BTree {
         pool: &mut BufferPool,
         key: &[u8],
     ) -> DbResult<Option<(Vec<u8>, Rid)>> {
-        let mut found = None;
+        Ok(self.first_n_at_or_after(pool, key, 1)?.pop())
+    }
+
+    /// Up to `n` entries at or after `key`, in order, from a single
+    /// descent plus a leaf walk (range-pop support: the frontier's
+    /// batch claim takes the n best entries in one pass instead of n
+    /// full descents).
+    pub fn first_n_at_or_after(
+        &self,
+        pool: &mut BufferPool,
+        key: &[u8],
+        n: usize,
+    ) -> DbResult<Vec<(Vec<u8>, Rid)>> {
+        let mut out = Vec::new();
+        if n == 0 {
+            return Ok(out);
+        }
         self.scan_range(pool, Bound::Included(key), Bound::Unbounded, |k, rid| {
-            found = Some((k.to_vec(), rid));
-            false
+            out.push((k.to_vec(), rid));
+            out.len() < n
         })?;
-        Ok(found)
+        Ok(out)
     }
 
     /// Structural check used by property tests: keys sorted within and
@@ -458,6 +703,110 @@ impl BTree {
         }
         Ok(())
     }
+}
+
+/// Batch splits target this fill so a freshly split node absorbs more
+/// inserts before splitting again (a 100%-full chunk would split on the
+/// very next insert).
+const SPLIT_FILL: usize = (PAGE_SIZE * 2) / 3;
+
+/// Write `leaf` back to `pid`, splitting it into however many chained
+/// leaves a batch insert requires. Returns the separators of every new
+/// right sibling (empty when the node fit as-is).
+fn write_leaf_split(
+    pool: &mut BufferPool,
+    pid: PageId,
+    leaf: Leaf,
+) -> DbResult<Vec<(Vec<u8>, PageId)>> {
+    let node = Node::Leaf(leaf);
+    if node.encoded_len() <= PAGE_SIZE {
+        write_node(pool, pid, &node)?;
+        return Ok(Vec::new());
+    }
+    let leaf = match node {
+        Node::Leaf(l) => l,
+        _ => unreachable!(),
+    };
+    // Greedy chunking under the split-fill target; each chunk becomes
+    // one leaf in the original chain position.
+    let mut chunks: Vec<Vec<(Vec<u8>, Rid)>> = vec![Vec::new()];
+    let mut size = 7usize;
+    for e in leaf.entries {
+        let esz = 2 + e.0.len() + 6;
+        if size + esz > SPLIT_FILL && !chunks.last().expect("non-empty").is_empty() {
+            chunks.push(Vec::new());
+            size = 7;
+        }
+        size += esz;
+        chunks.last_mut().expect("non-empty").push(e);
+    }
+    let tail_next = leaf.next;
+    let mut seps = Vec::with_capacity(chunks.len() - 1);
+    let mut pids = vec![pid];
+    for chunk in &chunks[1..] {
+        let new_pid = pool.allocate()?;
+        seps.push((aug_key(&chunk[0].0, chunk[0].1), new_pid));
+        pids.push(new_pid);
+    }
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let next = pids.get(i + 1).copied().unwrap_or(tail_next);
+        write_node(
+            pool,
+            pids[i],
+            &Node::Leaf(Leaf {
+                next,
+                entries: chunk,
+            }),
+        )?;
+    }
+    Ok(seps)
+}
+
+/// Write internal `node` back to `pid`, splitting it into however many
+/// internal nodes a batch insert requires; between chunks, one entry's
+/// key moves up as the separator and its child becomes the next chunk's
+/// leftmost (the multi-way generalization of the single-insert split).
+fn write_internal_split(
+    pool: &mut BufferPool,
+    pid: PageId,
+    node: Internal,
+) -> DbResult<Vec<(Vec<u8>, PageId)>> {
+    let enc = Node::Internal(node);
+    if enc.encoded_len() <= PAGE_SIZE {
+        write_node(pool, pid, &enc)?;
+        return Ok(Vec::new());
+    }
+    let node = match enc {
+        Node::Internal(n) => n,
+        _ => unreachable!(),
+    };
+    let mut seps = Vec::new();
+    let mut cur = Internal {
+        leftmost: node.leftmost,
+        entries: Vec::new(),
+    };
+    let mut cur_pid = pid;
+    let mut size = 7usize;
+    for (key, child) in node.entries {
+        let esz = 2 + key.len() + 4;
+        if size + esz > SPLIT_FILL && !cur.entries.is_empty() {
+            // `key` moves up; `child` seeds the next chunk.
+            write_node(pool, cur_pid, &Node::Internal(cur))?;
+            let new_pid = pool.allocate()?;
+            seps.push((key, new_pid));
+            cur = Internal {
+                leftmost: child,
+                entries: Vec::new(),
+            };
+            cur_pid = new_pid;
+            size = 7;
+            continue;
+        }
+        size += esz;
+        cur.entries.push((key, child));
+    }
+    write_node(pool, cur_pid, &Node::Internal(cur))?;
+    Ok(seps)
 }
 
 /// Index of the child of `node` that should contain `key`:
@@ -693,6 +1042,148 @@ mod tests {
         assert_eq!(k, key_i(20));
         assert_eq!(r.page, 20);
         assert!(bt.first_at_or_after(&mut bp, &key_i(31)).unwrap().is_none());
+    }
+
+    #[test]
+    fn lookup_many_agrees_with_singular_lookups() {
+        let mut bp = pool(32);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..4000i64 {
+            bt.insert(&mut bp, &key_i((i * 7919) % 1000), rid(i as u32))
+                .unwrap();
+        }
+        // Sorted probe set with misses, duplicates, and heavy-duplicate
+        // keys spanning leaves.
+        let probes: Vec<Vec<u8>> = (0..1200i64).step_by(3).map(key_i).collect();
+        let batch = bt.lookup_many(&mut bp, &probes).unwrap();
+        for (k, rids) in probes.iter().zip(&batch) {
+            let mut single = bt.lookup(&mut bp, k).unwrap();
+            let mut got = rids.clone();
+            single.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, single, "mismatch for key {k:?}");
+        }
+        // Equal neighboring keys are served too.
+        let dup = vec![key_i(7), key_i(7), key_i(700)];
+        let batch = bt.lookup_many(&mut bp, &dup).unwrap();
+        assert_eq!(batch[0], batch[1]);
+        // One ordered pass touches far fewer pages than per-key descents.
+        bp.reset_stats();
+        bt.lookup_many(&mut bp, &probes).unwrap();
+        let batched = bp.stats().logical_reads;
+        bp.reset_stats();
+        for k in &probes {
+            bt.lookup(&mut bp, k).unwrap();
+        }
+        let singular = bp.stats().logical_reads;
+        assert!(
+            batched * 2 <= singular,
+            "batched pass {batched} reads vs {singular} singular"
+        );
+    }
+
+    #[test]
+    fn insert_many_matches_repeated_insert() {
+        let mut bp_a = pool(64);
+        let mut a = BTree::create(&mut bp_a).unwrap();
+        let mut bp_b = pool(64);
+        let mut b = BTree::create(&mut bp_b).unwrap();
+        // Pre-populate both identically, then add a large sorted batch
+        // (with duplicates of existing pairs) to each via the two paths.
+        for i in 0..500i64 {
+            a.insert(&mut bp_a, &key_i(i * 3), rid(i as u32)).unwrap();
+            b.insert(&mut bp_b, &key_i(i * 3), rid(i as u32)).unwrap();
+        }
+        let mut batch: Vec<(Vec<u8>, Rid)> = (0..3000i64)
+            .map(|i| (key_i((i * 31) % 2000), rid(50_000 + i as u32)))
+            .collect();
+        // Exact duplicates of existing entries must be ignored.
+        batch.push((key_i(0), rid(0)));
+        batch.push((key_i(3), rid(1)));
+        batch.sort_unstable();
+        a.insert_many(&mut bp_a, &batch).unwrap();
+        for (k, r) in &batch {
+            b.insert(&mut bp_b, k, *r).unwrap();
+        }
+        assert_eq!(a.len(), b.len());
+        a.validate(&mut bp_a).unwrap();
+        b.validate(&mut bp_b).unwrap();
+        let mut scan_a = Vec::new();
+        a.scan_range(&mut bp_a, Bound::Unbounded, Bound::Unbounded, |k, r| {
+            scan_a.push((k.to_vec(), r));
+            true
+        })
+        .unwrap();
+        let mut scan_b = Vec::new();
+        b.scan_range(&mut bp_b, Bound::Unbounded, Bound::Unbounded, |k, r| {
+            scan_b.push((k.to_vec(), r));
+            true
+        })
+        .unwrap();
+        assert_eq!(scan_a, scan_b);
+    }
+
+    #[test]
+    fn insert_many_into_empty_tree_grows_levels() {
+        let mut bp = pool(128);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        // One huge batch from empty: forces multi-way leaf splits and at
+        // least one root-growth round in a single call.
+        let batch: Vec<(Vec<u8>, Rid)> =
+            (0..20_000i64).map(|i| (key_i(i), rid(i as u32))).collect();
+        bt.insert_many(&mut bp, &batch).unwrap();
+        assert_eq!(bt.len(), 20_000);
+        bt.validate(&mut bp).unwrap();
+        for i in (0..20_000i64).step_by(977) {
+            assert_eq!(bt.lookup(&mut bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
+        }
+    }
+
+    #[test]
+    fn delete_many_removes_exactly_the_batch() {
+        let mut bp = pool(64);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..2000i64 {
+            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+        }
+        let mut batch: Vec<(Vec<u8>, Rid)> = (0..2000i64)
+            .step_by(2)
+            .map(|i| (key_i(i), rid(i as u32)))
+            .collect();
+        // Misses are counted out, not errors.
+        batch.push((key_i(99_999), rid(1)));
+        batch.sort_unstable();
+        let removed = bt.delete_many(&mut bp, &batch).unwrap();
+        assert_eq!(removed, 1000);
+        assert_eq!(bt.len(), 1000);
+        bt.validate(&mut bp).unwrap();
+        for i in 0..2000i64 {
+            let hit = !bt.lookup(&mut bp, &key_i(i)).unwrap().is_empty();
+            assert_eq!(hit, i % 2 == 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn first_n_at_or_after_walks_in_order() {
+        let mut bp = pool(16);
+        let mut bt = BTree::create(&mut bp).unwrap();
+        for i in 0..100i64 {
+            bt.insert(&mut bp, &key_i(i * 10), rid(i as u32)).unwrap();
+        }
+        let hits = bt.first_n_at_or_after(&mut bp, &key_i(55), 4).unwrap();
+        let keys: Vec<Vec<u8>> = hits.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![key_i(60), key_i(70), key_i(80), key_i(90)]);
+        // Asking past the end returns what exists.
+        assert_eq!(
+            bt.first_n_at_or_after(&mut bp, &key_i(985), 10)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(bt
+            .first_n_at_or_after(&mut bp, &key_i(0), 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

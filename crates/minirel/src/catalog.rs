@@ -185,6 +185,95 @@ impl Catalog {
         Ok(rid)
     }
 
+    /// Insert many rows in one batch. Heap appends happen row by row,
+    /// but every secondary index is then maintained with a single
+    /// sorted [`crate::btree::BTree::insert_many`] pass — the batch
+    /// write path the crawler's frontier flush rides on.
+    pub fn insert_many(
+        &mut self,
+        pool: &mut BufferPool,
+        tid: TableId,
+        rows: Vec<Row>,
+    ) -> DbResult<Vec<Rid>> {
+        let t = &mut self.tables[tid];
+        let mut rows = rows;
+        for row in &mut rows {
+            t.schema.check_row(row)?;
+        }
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|row| encode_row(row)).collect();
+        let recs: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+        let rids = t.heap.insert_many(pool, &recs)?;
+        for idx in &mut t.indexes {
+            let mut entries: Vec<(Vec<u8>, Rid)> = rows
+                .iter()
+                .zip(&rids)
+                .map(|(row, &rid)| (idx.key_of(row), rid))
+                .collect();
+            entries.sort_unstable();
+            idx.btree.insert_many(pool, &entries)?;
+        }
+        Ok(rids)
+    }
+
+    /// Replace many rows in one batch; index maintenance is two sorted
+    /// passes per index (`delete_many` the stale keys, `insert_many`
+    /// the new ones) instead of one descent pair per row. Returns each
+    /// row's (possibly new) rid, in input order.
+    ///
+    /// `updates` are `(rid, old_row, new_row)`; `old_row` must be
+    /// exactly the row currently stored at `rid`. Callers on the hot
+    /// path (the frontier's claim/upsert batches) just read those rows
+    /// to decide the update, so taking them here instead of re-fetching
+    /// halves the heap traffic of the batch. Rows are validated and
+    /// encoded *before* the first heap write, so a schema violation or
+    /// oversized row anywhere in the batch mutates nothing.
+    pub fn update_many(
+        &mut self,
+        pool: &mut BufferPool,
+        tid: TableId,
+        updates: Vec<(Rid, Row, Row)>,
+    ) -> DbResult<Vec<Rid>> {
+        let t = &mut self.tables[tid];
+        let mut rids = Vec::with_capacity(updates.len());
+        let mut old_rows = Vec::with_capacity(updates.len());
+        let mut new_rows = Vec::with_capacity(updates.len());
+        let mut encoded = Vec::with_capacity(updates.len());
+        for (rid, old_row, mut new_row) in updates {
+            t.schema.check_row(&mut new_row)?;
+            let enc = encode_row(&new_row);
+            if enc.len() + 8 > crate::page::PAGE_SIZE {
+                return Err(DbError::RecordTooLarge(enc.len()));
+            }
+            rids.push(rid);
+            old_rows.push(old_row);
+            new_rows.push(new_row);
+            encoded.push(enc);
+        }
+        let mut new_rids = Vec::with_capacity(rids.len());
+        for (&rid, enc) in rids.iter().zip(&encoded) {
+            new_rids.push(t.heap.update(pool, rid, enc)?);
+        }
+        for idx in &mut t.indexes {
+            let mut stale: Vec<(Vec<u8>, Rid)> = Vec::new();
+            let mut fresh: Vec<(Vec<u8>, Rid)> = Vec::new();
+            for (((old_row, new_row), &old_rid), &new_rid) in
+                old_rows.iter().zip(&new_rows).zip(&rids).zip(&new_rids)
+            {
+                let old_key = idx.key_of(old_row);
+                let new_key = idx.key_of(new_row);
+                if old_key != new_key || new_rid != old_rid {
+                    stale.push((old_key, old_rid));
+                    fresh.push((new_key, new_rid));
+                }
+            }
+            stale.sort_unstable();
+            fresh.sort_unstable();
+            idx.btree.delete_many(pool, &stale)?;
+            idx.btree.insert_many(pool, &fresh)?;
+        }
+        Ok(new_rids)
+    }
+
     /// Read the row at `rid`.
     pub fn get_row(&self, pool: &mut BufferPool, tid: TableId, rid: Rid) -> DbResult<Row> {
         let bytes = self.tables[tid].heap.get(pool, rid)?;
@@ -382,6 +471,144 @@ mod tests {
                 .unwrap(),
             vec![new_rid]
         );
+    }
+
+    #[test]
+    fn insert_many_maintains_all_indexes() {
+        let (mut pool, mut cat, tid) = setup();
+        cat.create_index(&mut pool, "byoid", "crawl", &["oid"])
+            .unwrap();
+        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"])
+            .unwrap();
+        let rows: Vec<Row> = (0..200i64)
+            .map(|i| {
+                vec![
+                    Value::Int((i * 37) % 500),
+                    Value::Str(format!("u{i}")),
+                    Value::Float((i % 10) as f64 / 10.0),
+                ]
+            })
+            .collect();
+        let rids = cat.insert_many(&mut pool, tid, rows.clone()).unwrap();
+        assert_eq!(rids.len(), 200);
+        for (row, rid) in rows.iter().zip(&rids) {
+            let key = encode_composite_key(&[row[0].clone()]);
+            let hits = cat.table(tid).indexes[0]
+                .btree
+                .lookup(&mut pool, &key)
+                .unwrap();
+            assert!(hits.contains(rid), "oid index lost {row:?}");
+        }
+        assert_eq!(cat.table(tid).indexes[1].btree.len(), 200);
+    }
+
+    #[test]
+    fn update_many_moves_index_entries() {
+        let (mut pool, mut cat, tid) = setup();
+        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"])
+            .unwrap();
+        let mut rids = Vec::new();
+        for i in 0..50i64 {
+            rids.push(
+                cat.insert_row(
+                    &mut pool,
+                    tid,
+                    vec![Value::Int(i), Value::Str("u".into()), Value::Float(0.2)],
+                )
+                .unwrap(),
+            );
+        }
+        let updates: Vec<(Rid, Row, Row)> = rids
+            .iter()
+            .map(|&rid| {
+                (
+                    rid,
+                    cat.get_row(&mut pool, tid, rid).unwrap(),
+                    vec![Value::Int(-1), Value::Str("u".into()), Value::Float(0.9)],
+                )
+            })
+            .collect();
+        let new_rids = cat.update_many(&mut pool, tid, updates).unwrap();
+        let old_key = encode_composite_key(&[Value::Float(0.2)]);
+        let new_key = encode_composite_key(&[Value::Float(0.9)]);
+        assert!(cat.table(tid).indexes[0]
+            .btree
+            .lookup(&mut pool, &old_key)
+            .unwrap()
+            .is_empty());
+        let mut hits = cat.table(tid).indexes[0]
+            .btree
+            .lookup(&mut pool, &new_key)
+            .unwrap();
+        hits.sort_unstable();
+        let mut want = new_rids.clone();
+        want.sort_unstable();
+        assert_eq!(hits, want);
+        for rid in new_rids {
+            assert_eq!(cat.get_row(&mut pool, tid, rid).unwrap()[0], Value::Int(-1));
+        }
+    }
+
+    #[test]
+    fn batch_mutations_are_all_or_nothing_on_validation_errors() {
+        let (mut pool, mut cat, tid) = setup();
+        cat.create_index(&mut pool, "byoid", "crawl", &["oid"])
+            .unwrap();
+        let rid = cat
+            .insert_row(
+                &mut pool,
+                tid,
+                vec![Value::Int(1), Value::Str("u1".into()), Value::Float(0.1)],
+            )
+            .unwrap();
+        let old = cat.get_row(&mut pool, tid, rid).unwrap();
+        // A schema-violating row *later* in the batch must leave the
+        // earlier row untouched in heap AND indexes.
+        let res = cat.update_many(
+            &mut pool,
+            tid,
+            vec![
+                (
+                    rid,
+                    old.clone(),
+                    vec![Value::Int(2), Value::Str("u1".into()), Value::Float(0.9)],
+                ),
+                (
+                    rid,
+                    old.clone(),
+                    vec![Value::Str("not an oid".into()), Value::Null, Value::Null],
+                ),
+            ],
+        );
+        assert!(res.is_err());
+        assert_eq!(cat.get_row(&mut pool, tid, rid).unwrap(), old);
+        let key = encode_composite_key(&[Value::Int(1)]);
+        assert_eq!(
+            cat.table(tid).indexes[0]
+                .btree
+                .lookup(&mut pool, &key)
+                .unwrap(),
+            vec![rid],
+            "index must still carry the untouched row"
+        );
+        // An oversized row anywhere in an insert batch inserts nothing.
+        let heap_before = cat.table(tid).heap.len();
+        let idx_before = cat.table(tid).indexes[0].btree.len();
+        let res = cat.insert_many(
+            &mut pool,
+            tid,
+            vec![
+                vec![Value::Int(5), Value::Str("ok".into()), Value::Float(0.0)],
+                vec![
+                    Value::Int(6),
+                    Value::Str("x".repeat(crate::page::PAGE_SIZE)),
+                    Value::Float(0.0),
+                ],
+            ],
+        );
+        assert!(matches!(res, Err(DbError::RecordTooLarge(_))));
+        assert_eq!(cat.table(tid).heap.len(), heap_before);
+        assert_eq!(cat.table(tid).indexes[0].btree.len(), idx_before);
     }
 
     #[test]

@@ -239,6 +239,14 @@ impl Database {
         Ok(())
     }
 
+    /// Insert many rows in one batch: each secondary index is
+    /// maintained with a single sorted pass instead of one descent per
+    /// row (the §3.1 batch-oriented access path, write side).
+    pub fn insert_many(&mut self, table: TableId, rows: Vec<Row>) -> DbResult<()> {
+        self.catalog.insert_many(&mut self.pool, table, rows)?;
+        Ok(())
+    }
+
     /// Query helper asserting a single row.
     pub fn query_row(&mut self, sql: &str) -> DbResult<Row> {
         let rs = self.execute(sql)?;

@@ -23,6 +23,10 @@ pub enum DbError {
     Eval(String),
     /// A record larger than a page was inserted.
     RecordTooLarge(usize),
+    /// A stored row decoded to values its consumer cannot accept —
+    /// on-disk corruption or a schema drifting out from under its
+    /// readers. Never masked with fabricated defaults.
+    Corrupt(String),
 }
 
 impl fmt::Display for DbError {
@@ -41,6 +45,7 @@ impl fmt::Display for DbError {
             DbError::RecordTooLarge(n) => {
                 write!(f, "record of {n} bytes exceeds page capacity")
             }
+            DbError::Corrupt(m) => write!(f, "corrupt row: {m}"),
         }
     }
 }

@@ -61,6 +61,14 @@ pub trait Fetcher: Send + Sync {
     fn backlinks(&self, _oid: Oid) -> Option<Vec<(Oid, String)>> {
         None
     }
+    /// Resolve the URL text behind an oid *without* charging a fetch —
+    /// the metadata a crawl administrator has in hand when seeding by
+    /// keyword search (§1.1's start set carries real URLs, so seeded
+    /// frontier rows, claims, and checkpoints should too). Default:
+    /// unknown.
+    fn url_of(&self, _oid: Oid) -> Option<String> {
+        None
+    }
 }
 
 /// Shared reverse-adjacency map (target → citers).
@@ -172,6 +180,10 @@ impl Fetcher for SimFetcher {
 
     fn fetch_count(&self) -> u64 {
         self.fetches.load(Ordering::Relaxed)
+    }
+
+    fn url_of(&self, oid: Oid) -> Option<String> {
+        self.graph.page(oid).map(|p| p.url.clone())
     }
 
     fn backlinks(&self, oid: Oid) -> Option<Vec<(Oid, String)>> {
