@@ -43,7 +43,7 @@ fn buffer_policy_ablation(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut bp = BufferPool::new(DiskManager::in_memory(), 8, policy);
+                let bp = BufferPool::new(DiskManager::in_memory(), 8, policy);
                 let pages: Vec<u32> = (0..64).map(|_| bp.allocate().unwrap()).collect();
                 // Skewed access: 80% hits on 20% of pages.
                 for i in 0..2000usize {

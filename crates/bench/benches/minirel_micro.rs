@@ -16,12 +16,12 @@ fn pool(frames: usize) -> BufferPool {
 fn btree_bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("minirel_btree");
     g.sample_size(20);
-    let mut bp = pool(256);
-    let mut bt = BTree::create(&mut bp).unwrap();
+    let bp = pool(256);
+    let mut bt = BTree::create(&bp).unwrap();
     for i in 0..20_000i64 {
         let k = encode_composite_key(&[Value::Int((i * 7919) % 100_000)]);
         bt.insert(
-            &mut bp,
+            &bp,
             &k,
             minirel::Rid {
                 page: i as u32,
@@ -35,16 +35,16 @@ fn btree_bench(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % 100_000;
             let k = encode_composite_key(&[Value::Int(i)]);
-            bt.lookup(&mut bp, &k).unwrap()
+            bt.lookup(&bp, &k).unwrap()
         })
     });
-    let mut cold = pool(4);
-    let mut bt_cold = BTree::create(&mut cold).unwrap();
+    let cold = pool(4);
+    let mut bt_cold = BTree::create(&cold).unwrap();
     for i in 0..20_000i64 {
         let k = encode_composite_key(&[Value::Int((i * 104729) % 1_000_000)]);
         bt_cold
             .insert(
-                &mut cold,
+                &cold,
                 &k,
                 minirel::Rid {
                     page: i as u32,
@@ -58,7 +58,7 @@ fn btree_bench(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 104729) % 1_000_000;
             let k = encode_composite_key(&[Value::Int(i)]);
-            bt_cold.lookup(&mut cold, &k).unwrap()
+            bt_cold.lookup(&cold, &k).unwrap()
         })
     });
     g.finish();
@@ -74,8 +74,8 @@ fn sort_bench(c: &mut Criterion) {
         b.iter(|| sort_rows(rows.clone(), &[SortKey::asc(0)]).unwrap())
     });
     g.bench_function("external_spilling_20k", |b| {
-        let mut bp = pool(64);
-        b.iter(|| external_sort(&mut bp, rows.clone(), &[SortKey::asc(0)], 1000).unwrap())
+        let bp = pool(64);
+        b.iter(|| external_sort(&bp, rows.clone(), &[SortKey::asc(0)], 1000).unwrap())
     });
     g.finish();
 }

@@ -120,9 +120,26 @@ impl FocusSystem {
         })
     }
 
-    /// Ad-hoc SQL against the live crawl database (§3.7 monitoring).
+    /// Ad-hoc SQL against the live crawl database with **exclusive**
+    /// access (DDL/DML). Blocks workers for the duration; monitoring
+    /// SELECTs should use [`FocusSystem::sql`] or
+    /// [`FocusSystem::with_db_read`], which run concurrently with the
+    /// crawl.
     pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         self.session.with_db(f)
+    }
+
+    /// Read-only access to the live crawl database, concurrent with the
+    /// crawl and with other monitors (§3.7 monitoring).
+    pub fn with_db_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        self.session.with_db_read(f)
+    }
+
+    /// Ad-hoc SQL against the live session: SELECTs run under the read
+    /// lock (never stalling the crawl); other statements escalate to
+    /// exclusive access.
+    pub fn sql(&self, sql: &str) -> Result<minirel::ResultSet, FocusError> {
+        Ok(self.session.sql(sql)?)
     }
 }
 
@@ -232,9 +249,25 @@ impl DiscoveryRun {
         Ok(self.run.checkpoint()?)
     }
 
-    /// Ad-hoc SQL against the live crawl database (§3.7 monitoring).
+    /// Ad-hoc SQL against the live crawl database with **exclusive**
+    /// access (applied at a page boundary; blocks workers while held).
+    /// Monitoring SELECTs should prefer [`DiscoveryRun::sql`] or
+    /// [`DiscoveryRun::with_db_read`].
     pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         self.run.session().with_db(f)
+    }
+
+    /// Read-only access to the live crawl database, concurrent with the
+    /// crawl and with other monitors (§3.7 monitoring).
+    pub fn with_db_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        self.run.session().with_db_read(f)
+    }
+
+    /// Ad-hoc SQL against the live run — the paper's §3.7 console.
+    /// SELECTs take the store's read lock and run *while the crawl
+    /// runs*; DDL/DML escalates to exclusive access.
+    pub fn sql(&self, sql: &str) -> Result<minirel::ResultSet, FocusError> {
+        Ok(self.run.session().sql(sql)?)
     }
 
     /// The underlying session (shared with the [`FocusSystem`]).

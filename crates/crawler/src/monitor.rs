@@ -14,8 +14,8 @@ use minirel::{Database, DbResult, ResultSet};
 /// where lastvisited + 1 hour > current timestamp
 /// group by minute(lastvisited) order by minute(lastvisited)
 /// ```
-pub fn harvest_per_minute(db: &mut Database) -> DbResult<ResultSet> {
-    db.execute(
+pub fn harvest_per_minute(db: &Database) -> DbResult<ResultSet> {
+    db.query(
         "select minute(lastvisited), avg(exp(relevance)) \
          from crawl \
          where lastvisited + 1 hour > current timestamp and visited = 1 \
@@ -32,8 +32,8 @@ pub fn harvest_per_minute(db: &mut Database) -> DbResult<ResultSet> {
 /// select kcid, cnt, name from CENSUS, TAXONOMY
 /// where CENSUS.kcid = TAXONOMY.kcid order by cnt
 /// ```
-pub fn census_by_class(db: &mut Database) -> DbResult<ResultSet> {
-    db.execute(
+pub fn census_by_class(db: &Database) -> DbResult<ResultSet> {
+    db.query(
         "with census(kcid, cnt) as \
            (select kcid, count(oid) from crawl where visited = 1 group by kcid) \
          select census.kcid, cnt, name from census, taxonomy \
@@ -51,8 +51,8 @@ pub fn census_by_class(db: &mut Database) -> DbResult<ResultSet> {
 ///      and sid_src <> sid_dst)
 /// and numtries = 0
 /// ```
-pub fn missed_hub_neighbors(db: &mut Database, psi: f64) -> DbResult<ResultSet> {
-    db.execute(&format!(
+pub fn missed_hub_neighbors(db: &Database, psi: f64) -> DbResult<ResultSet> {
+    db.query(&format!(
         "select url, relevance from crawl where oid in \
            (select oid_dst from link \
             where oid_src in (select oid from hubs where score > {psi}) \
@@ -63,8 +63,8 @@ pub fn missed_hub_neighbors(db: &mut Database, psi: f64) -> DbResult<ResultSet> 
 
 /// Frontier health: poppable entries by numtries (stagnation shows up as
 /// an empty or all-high-numtries result).
-pub fn frontier_by_numtries(db: &mut Database) -> DbResult<ResultSet> {
-    db.execute(
+pub fn frontier_by_numtries(db: &Database) -> DbResult<ResultSet> {
+    db.query(
         "select numtries, count(*) from crawl where visited = 0 \
          group by numtries order by numtries",
     )
@@ -75,12 +75,12 @@ pub fn frontier_by_numtries(db: &mut Database) -> DbResult<ResultSet> {
 /// "the number of links from a page about environmental protection to a
 /// page related to oil and natural gas over the last year".
 pub fn community_evolution(
-    db: &mut Database,
+    db: &Database,
     src_kcid: i64,
     dst_kcid: i64,
     since: i64,
 ) -> DbResult<i64> {
-    let rs = db.execute(&format!(
+    let rs = db.query(&format!(
         "select count(*) from link, crawl c1, crawl c2 \
          where oid_src = c1.oid and oid_dst = c2.oid \
            and c1.kcid = {src_kcid} and c2.kcid = {dst_kcid} \
@@ -94,12 +94,12 @@ pub fn community_evolution(
 /// as `citer_kcid` — e.g. "pages apparently about database research which
 /// are cited by at least two pages about Hawaiian vacations".
 pub fn cross_topic_citations(
-    db: &mut Database,
+    db: &Database,
     target_kcid: i64,
     citer_kcid: i64,
     min_citers: i64,
 ) -> DbResult<ResultSet> {
-    db.execute(&format!(
+    db.query(&format!(
         "with citers(oid_dst, cnt) as \
            (select oid_dst, count(*) from link, crawl \
             where oid_src = crawl.oid and kcid = {citer_kcid} \
@@ -171,8 +171,8 @@ mod tests {
 
     #[test]
     fn harvest_query_groups_by_minute() {
-        let mut db = db_with_crawl_rows();
-        let rs = harvest_per_minute(&mut db).unwrap();
+        let db = db_with_crawl_rows();
+        let rs = harvest_per_minute(&db).unwrap();
         assert_eq!(rs.rows.len(), 2, "two minutes of data");
         for row in &rs.rows {
             let avg = row[1].as_f64().unwrap();
@@ -182,8 +182,8 @@ mod tests {
 
     #[test]
     fn census_joins_names() {
-        let mut db = db_with_crawl_rows();
-        let rs = census_by_class(&mut db).unwrap();
+        let db = db_with_crawl_rows();
+        let rs = census_by_class(&db).unwrap();
         assert_eq!(rs.rows.len(), 2);
         // Ordered by count ascending; both classes have 10.
         for row in &rs.rows {
@@ -201,7 +201,7 @@ mod tests {
             .unwrap();
         db.execute("insert into link values (0, 1, 101, 1, 0)")
             .unwrap(); // nepotistic
-        let rs = missed_hub_neighbors(&mut db, 0.5).unwrap();
+        let rs = missed_hub_neighbors(&db, 0.5).unwrap();
         assert_eq!(rs.rows.len(), 1, "only the cross-server frontier page");
     }
 
@@ -216,10 +216,10 @@ mod tests {
             .unwrap();
         db.execute("insert into link values (1, 1, 2, 2, 100)")
             .unwrap();
-        assert_eq!(community_evolution(&mut db, 2, 3, 0).unwrap(), 2);
-        assert_eq!(community_evolution(&mut db, 2, 3, 50).unwrap(), 1);
-        assert_eq!(community_evolution(&mut db, 3, 2, 0).unwrap(), 1);
-        assert_eq!(community_evolution(&mut db, 3, 2, 200).unwrap(), 0);
+        assert_eq!(community_evolution(&db, 2, 3, 0).unwrap(), 2);
+        assert_eq!(community_evolution(&db, 2, 3, 50).unwrap(), 1);
+        assert_eq!(community_evolution(&db, 3, 2, 0).unwrap(), 1);
+        assert_eq!(community_evolution(&db, 3, 2, 200).unwrap(), 0);
     }
 
     #[test]
@@ -231,15 +231,15 @@ mod tests {
             db.execute(&format!("insert into link values ({src}, 1, {dst}, 2, 0)"))
                 .unwrap();
         }
-        let rs = cross_topic_citations(&mut db, 3, 2, 2).unwrap();
+        let rs = cross_topic_citations(&db, 3, 2, 2).unwrap();
         assert_eq!(rs.rows.len(), 1, "only page 1 has >= 2 citers");
         assert_eq!(rs.rows[0][1], Value::Int(3));
     }
 
     #[test]
     fn frontier_census() {
-        let mut db = db_with_crawl_rows();
-        let rs = frontier_by_numtries(&mut db).unwrap();
+        let db = db_with_crawl_rows();
+        let rs = frontier_by_numtries(&db).unwrap();
         assert_eq!(rs.rows.len(), 2); // numtries 0 and 1
         let total: i64 = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
         assert_eq!(total, 5);

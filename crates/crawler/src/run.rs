@@ -120,6 +120,11 @@ const STATE_STOPPING: u8 = 2;
 /// contends with page processing.
 pub(crate) struct ControlState {
     queue: Mutex<VecDeque<Command>>,
+    /// Serializes command *application* (not submission): drainers hold
+    /// this — never `queue` — while running handlers, so a slow command
+    /// (e.g. a `mark_topic` re-prioritization sweep) cannot block
+    /// [`ControlState::push`] from the control thread.
+    applying: Mutex<()>,
     state: AtomicU8,
     /// A run's workers are alive (guards against double `start()`).
     active: AtomicBool,
@@ -135,6 +140,7 @@ impl ControlState {
     pub(crate) fn new() -> ControlState {
         ControlState {
             queue: Mutex::new(VecDeque::new()),
+            applying: Mutex::new(()),
             state: AtomicU8::new(STATE_RUNNING),
             active: AtomicBool::new(false),
             abort: AtomicBool::new(false),
@@ -148,13 +154,25 @@ impl ControlState {
         self.queue.lock().push_back(cmd);
     }
 
-    /// Apply every queued command in order. The queue lock is held across
-    /// application so commands from one handle are never interleaved by
-    /// two workers draining concurrently.
+    /// Apply every queued command in order. The `applying` mutex (held
+    /// for the whole drain) keeps two workers from interleaving their
+    /// application; the `queue` lock is taken only for the instant of
+    /// each pop, so `push()` from the control thread never waits on a
+    /// slow command handler. Commands pushed *during* application are
+    /// picked up by the same drain — the loop re-pops until the queue is
+    /// observed empty — preserving the old in-order guarantee.
     pub(crate) fn drain(&self, mut apply: impl FnMut(Command)) {
-        let mut q = self.queue.lock();
-        while let Some(cmd) = q.pop_front() {
-            apply(cmd);
+        // Fast path: nothing queued, don't touch the apply lock.
+        if self.queue.lock().is_empty() {
+            return;
+        }
+        let _serialize = self.applying.lock();
+        loop {
+            let cmd = self.queue.lock().pop_front();
+            match cmd {
+                Some(cmd) => apply(cmd),
+                None => break,
+            }
         }
     }
 

@@ -9,16 +9,29 @@
 //! not exceptional: they adjust `numtries` and the frontier, never
 //! corrupting table/index consistency.
 //!
-//! Shared state is split by role:
+//! Shared state is split by role — and by **lock kind**, so observing a
+//! crawl never stops it:
 //!
 //! * [`StoreState`] — the relational store and its in-memory caches
-//!   (link cache, relevance map, saved posteriors), guarded with the
-//!   counters by one mutex (one database, one lock, as in the paper);
-//! * counters ([`CounterState`]) — budget, attempt/success tallies,
-//!   in-flight count, first storage error, worker failures;
+//!   (link cache, relevance map, saved posteriors) behind a
+//!   `RwLock`: monitors ([`CrawlSession::sql`],
+//!   [`CrawlSession::with_db_read`], [`CrawlSession::checkpoint`],
+//!   [`CrawlSession::visited`]) take **read** locks, concurrent with
+//!   each other; workers take the **write** lock only for the short
+//!   claim and page-flush critical sections;
+//! * counters ([`CounterState`]) — budget, attempt tally and in-flight
+//!   gauge as atomics (readable without any lock), success/failure
+//!   tallies and the harvest series behind their own small mutex;
+//! * diagnostics ([`RunDiag`]) — first storage error and worker panics,
+//!   another small mutex;
 //! * control ([`crate::run::ControlState`]) — the command queue and
-//!   lifecycle flags, deliberately *outside* the data mutex so steering a
-//!   crawl never contends with page processing.
+//!   lifecycle flags, deliberately *outside* every data lock so steering
+//!   a crawl never contends with page processing.
+//!
+//! Lock order (always acquire left before right, release before going
+//! back left): `model → store → counters/diag`. Monitors touch only
+//! `store` (read) or the counter mutex, so they can never deadlock with
+//! workers.
 //!
 //! Workers drain the command queue between page fetches, so every
 //! control mutation (pause, new seeds, re-marked topics, policy swaps)
@@ -35,9 +48,9 @@ use focus_distiller::{DistillConfig, DistillResult};
 use focus_types::hash::FxHashMap;
 use focus_types::{ClassId, Oid, ServerId};
 use focus_webgraph::{FetchError, Fetcher};
-use minirel::{Database, DbResult, Value};
+use minirel::{Database, DbError, DbResult, ResultSet, Value};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -168,20 +181,31 @@ struct StoreState {
     last_distill: Option<DistillResult>,
 }
 
-/// Budget and outcome counters.
+/// Budget and outcome counters. The hot gauges are atomics so
+/// [`CrawlSession::stats`] and the worker idle checks never touch the
+/// store lock; the series (harvest, completion order) live behind their
+/// own mutex, locked only at page completions and snapshots.
 struct CounterState {
-    stats: CrawlStats,
-    /// Fetch-attempt budget; raised live by [`CrawlRun::add_budget`].
-    budget: u64,
-    in_flight: usize,
-    error: Option<minirel::DbError>,
-    /// Rendered panic messages, one per failed worker.
-    worker_failures: Vec<String>,
+    /// Fetch attempts claimed so far. Incremented only under the store
+    /// *write* lock (claims serialize there), so `attempts ≤ budget`
+    /// holds exactly; read anywhere without a lock.
+    attempts: AtomicU64,
+    /// Fetch-attempt budget; raised live by [`CrawlRun::add_budget`]
+    /// (monotonically increasing while a run is live).
+    budget: AtomicU64,
+    /// Claims checked out and not yet flushed (pool-wide gauge).
+    in_flight: AtomicUsize,
+    /// Success/failure tallies and the harvest series. `attempts` inside
+    /// is refreshed from the atomic at snapshot time.
+    tallies: Mutex<CrawlStats>,
 }
 
-struct Inner {
-    store: StoreState,
-    counters: CounterState,
+/// First storage error and worker-panic messages of the current run.
+#[derive(Default)]
+struct RunDiag {
+    error: Option<DbError>,
+    /// Rendered panic messages, one per failed worker.
+    worker_failures: Vec<String>,
 }
 
 /// A goal-directed crawl over any [`Fetcher`].
@@ -195,7 +219,11 @@ pub struct CrawlSession {
     /// workers classify (§3.7 administration against a live crawl).
     model: RwLock<TrainedModel>,
     cfg: CrawlConfig,
-    inner: Mutex<Inner>,
+    /// The relational store: readers share, writers exclude (see the
+    /// module docs for the lock order).
+    store: RwLock<StoreState>,
+    counters: CounterState,
+    diag: Mutex<RunDiag>,
     control: ControlState,
     start: Instant,
 }
@@ -209,7 +237,15 @@ enum Tick {
         claims: Vec<Claim>,
         first_attempt: u64,
     },
-    EmptyFrontier,
+    /// The frontier had nothing poppable. `idle` and `attempts` are
+    /// read inside the same critical section as the empty claim —
+    /// `in_flight` only falls *after* a page's outlinks are flushed,
+    /// under that same lock — so `idle == true` is a race-free verdict
+    /// that no in-flight work can still repopulate the frontier.
+    EmptyFrontier {
+        idle: bool,
+        attempts: u64,
+    },
     Exit,
 }
 
@@ -234,25 +270,23 @@ impl CrawlSession {
             fetcher,
             model: RwLock::new(model),
             cfg,
-            inner: Mutex::new(Inner {
-                store: StoreState {
-                    db,
-                    relevance: FxHashMap::default(),
-                    class_probs: FxHashMap::default(),
-                    links: Vec::new(),
-                    server_counts: FxHashMap::default(),
-                    policy: initial_policy,
-                    since_distill: 0,
-                    last_distill: None,
-                },
-                counters: CounterState {
-                    stats: CrawlStats::default(),
-                    budget: initial_budget,
-                    in_flight: 0,
-                    error: None,
-                    worker_failures: Vec::new(),
-                },
+            store: RwLock::new(StoreState {
+                db,
+                relevance: FxHashMap::default(),
+                class_probs: FxHashMap::default(),
+                links: Vec::new(),
+                server_counts: FxHashMap::default(),
+                policy: initial_policy,
+                since_distill: 0,
+                last_distill: None,
             }),
+            counters: CounterState {
+                attempts: AtomicU64::new(0),
+                budget: AtomicU64::new(initial_budget),
+                in_flight: AtomicUsize::new(0),
+                tallies: Mutex::new(CrawlStats::default()),
+            },
+            diag: Mutex::new(RunDiag::default()),
             control: ControlState::new(),
             start: Instant::now(),
         })
@@ -291,8 +325,8 @@ impl CrawlSession {
                     .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
             }
         }
-        let mut g = session.inner.lock();
-        let crawl_tid = g.store.db.table_id("crawl")?;
+        let mut g = session.store.write();
+        let crawl_tid = g.db.table_id("crawl")?;
         let mut crawl_rows = Vec::with_capacity(ckpt.pages.len());
         for row in &ckpt.pages {
             let mut r = tables::frontier_row(row.oid, &row.url, row.log_relevance, row.serverload);
@@ -302,17 +336,14 @@ impl CrawlSession {
             r[crawl_col::VISITED] = Value::Int(row.state);
             crawl_rows.push(r);
             if row.state == visited::DONE && !row.url.is_empty() {
-                *g.store
-                    .server_counts
-                    .entry(host_server_id(&row.url))
-                    .or_insert(0) += 1;
+                *g.server_counts.entry(host_server_id(&row.url)).or_insert(0) += 1;
             }
         }
-        g.store.db.insert_many(crawl_tid, crawl_rows)?;
-        let link_tid = g.store.db.table_id("link")?;
+        g.db.insert_many(crawl_tid, crawl_rows)?;
+        let link_tid = g.db.table_id("link")?;
         let mut link_rows = Vec::with_capacity(ckpt.links.len());
         for &(src, sid_src, dst, sid_dst, discovered) in &ckpt.links {
-            g.store.links.push((src, sid_src, dst, sid_dst));
+            g.links.push((src, sid_src, dst, sid_dst));
             link_rows.push(vec![
                 Value::Int(src.raw() as i64),
                 Value::Int(sid_src as i64),
@@ -321,17 +352,24 @@ impl CrawlSession {
                 Value::Int(discovered),
             ]);
         }
-        g.store.db.insert_many(link_tid, link_rows)?;
-        g.store.relevance = ckpt.relevance.iter().copied().collect();
-        g.store.class_probs = ckpt
+        g.db.insert_many(link_tid, link_rows)?;
+        g.relevance = ckpt.relevance.iter().copied().collect();
+        g.class_probs = ckpt
             .class_probs
             .iter()
             .map(|(o, v)| (*o, v.clone()))
             .collect();
-        g.store.policy = ckpt.policy;
-        g.counters.stats = ckpt.stats.clone();
-        g.counters.budget = ckpt.stats.attempts + ckpt.budget_remaining;
+        g.policy = ckpt.policy;
         drop(g);
+        *session.counters.tallies.lock() = ckpt.stats.clone();
+        session
+            .counters
+            .attempts
+            .store(ckpt.stats.attempts, Ordering::Release);
+        session.counters.budget.store(
+            ckpt.stats.attempts + ckpt.budget_remaining,
+            Ordering::Release,
+        );
         Ok(session)
     }
 
@@ -352,8 +390,8 @@ impl CrawlSession {
                 serverload: 0,
             })
             .collect();
-        let mut g = self.inner.lock();
-        frontier::upsert_batch(&mut g.store.db, &entries)?;
+        let mut g = self.store.write();
+        frontier::upsert_batch(&mut g.db, &entries)?;
         Ok(())
     }
 
@@ -385,9 +423,37 @@ impl CrawlSession {
     /// page processing only mutate them at page boundaries, so even an
     /// aborted run leaves a frontier a new pool can continue from.
     pub(crate) fn reset_run_diagnostics(&self) {
-        let mut g = self.inner.lock();
-        g.counters.error = None;
-        g.counters.worker_failures.clear();
+        let mut d = self.diag.lock();
+        d.error = None;
+        d.worker_failures.clear();
+        drop(d);
+        // A panicking worker can die holding claims it never released;
+        // zero the gauge so the stale count cannot convince the next
+        // run's idle check that phantom work is still in flight (which
+        // would spin its workers forever once the frontier drains). No
+        // workers are alive here: `ControlState::activate` guarantees
+        // one run at a time.
+        self.counters.in_flight.store(0, Ordering::Release);
+    }
+
+    /// Hand claims that will not be fetched back to the frontier
+    /// (stop or abort mid-batch): release the in-flight gauge and flip
+    /// the rows back to poppable, so the work survives for checkpoints
+    /// and the next run instead of leaking as stuck `CLAIMED` rows.
+    fn release_unfetched(&self, rest: &[Claim]) {
+        if rest.is_empty() {
+            return;
+        }
+        let mut g = self.store.write();
+        self.counters
+            .in_flight
+            .fetch_sub(rest.len(), Ordering::AcqRel);
+        if let Err(e) = frontier::unclaim_batch(&mut g.db, rest) {
+            drop(g);
+            // `record_error` keeps the first error, so this cannot mask
+            // the failure that aborted the run.
+            self.record_error(e);
+        }
     }
 
     /// The worker loop: drain control commands, honor pause/stop, claim
@@ -411,15 +477,12 @@ impl CrawlSession {
             }
             match self.next_tick(sink, batch_size) {
                 Tick::Exit => break,
-                Tick::EmptyFrontier => {
-                    // Empty frontier: if nothing is in flight either, the
+                Tick::EmptyFrontier { idle, attempts } => {
+                    // Empty frontier: if nothing was in flight either
+                    // (judged inside the claim's critical section), the
                     // crawl has stagnated or finished. A peer may still
                     // be mid-fetch and about to enqueue links, so wait
                     // rather than exit while work is in flight.
-                    let (idle, attempts) = {
-                        let g = self.inner.lock();
-                        (g.counters.in_flight == 0, g.counters.stats.attempts)
-                    };
                     if idle {
                         if !self
                             .control
@@ -467,11 +530,16 @@ impl CrawlSession {
                 let hard = model.taxonomy.hard_focus_accepts(post.best_leaf);
                 (post, hard)
             });
-            let mut g = self.inner.lock();
-            g.counters.in_flight -= 1;
-            if let Err(e) = self.process(&mut g, claim, result, eval, attempt, sink) {
-                g.counters.error = Some(e);
-                self.control.abort.store(true, Ordering::Release);
+            let mut g = self.store.write();
+            let res = self.process(&mut g, claim, result, eval, attempt, sink);
+            // The gauge falls only after the page's outlinks are in the
+            // frontier (still under the write lock): a peer observing
+            // `in_flight == 0` with an empty frontier can trust it.
+            self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
+            if let Err(e) = res {
+                drop(g);
+                self.record_error(e);
+                self.release_unfetched(&claims[i + 1..]);
                 return true;
             }
             drop(g);
@@ -488,24 +556,15 @@ impl CrawlSession {
                 std::thread::sleep(std::time::Duration::from_micros(200));
                 self.control.drain(|cmd| self.apply_command(cmd, sink));
             }
-            if self.control.abort.load(Ordering::Acquire) {
-                return true;
-            }
-            if self.control.run_state() == RunState::Stopping {
-                // Hand the unfetched remainder back to the frontier so
-                // a stop ends within one page and the work survives for
-                // checkpoints and the next run. `attempts` stays as
-                // counted (it is monotone by contract); only the
-                // in-flight gauge is released.
-                let rest = &claims[i..];
-                if !rest.is_empty() {
-                    let mut g = self.inner.lock();
-                    g.counters.in_flight -= rest.len();
-                    if let Err(e) = frontier::unclaim_batch(&mut g.store.db, rest) {
-                        g.counters.error = Some(e);
-                        self.control.abort.store(true, Ordering::Release);
-                    }
-                }
+            // Abort (a peer failed) and stop both end the batch at this
+            // page boundary; either way the unfetched remainder goes
+            // back to the frontier. `attempts` stays as counted (it is
+            // monotone by contract); only the in-flight gauge is
+            // released.
+            if self.control.abort.load(Ordering::Acquire)
+                || self.control.run_state() == RunState::Stopping
+            {
+                self.release_unfetched(&claims[i..]);
                 return true;
             }
         }
@@ -515,35 +574,64 @@ impl CrawlSession {
     /// Claim the next batch of work, or decide why there is none. The
     /// batch is clamped to the remaining budget so attempts never exceed
     /// it; each claim is numbered at claim time (the harvest x-axis).
+    ///
+    /// `attempts` is only ever advanced here, under the store *write*
+    /// lock, so the budget check and the increment are atomic against
+    /// every other claimer; a concurrent `add_budget` can only widen the
+    /// window between the check and the claim, never shrink it.
     fn next_tick(&self, sink: &EventSink, batch_size: usize) -> Tick {
-        let mut g = self.inner.lock();
-        if g.counters.error.is_some() {
+        let budget_spent = || {
+            let attempts = self.counters.attempts.load(Ordering::Acquire);
+            let budget = self.counters.budget.load(Ordering::Acquire);
+            (attempts >= budget).then_some(attempts)
+        };
+        // Cheap pre-check without the store lock.
+        if let Some(attempts) = budget_spent() {
+            if !self.control.budget_reported.swap(true, Ordering::AcqRel) {
+                sink.emit(CrawlEvent::BudgetExhausted { attempts });
+            }
             return Tick::Exit;
         }
-        if g.counters.stats.attempts >= g.counters.budget {
-            let attempts = g.counters.stats.attempts;
+        let mut g = self.store.write();
+        // Re-check under the lock: a peer may have claimed the remainder
+        // while this worker waited.
+        if let Some(attempts) = budget_spent() {
             drop(g);
             if !self.control.budget_reported.swap(true, Ordering::AcqRel) {
                 sink.emit(CrawlEvent::BudgetExhausted { attempts });
             }
             return Tick::Exit;
         }
-        let remaining = (g.counters.budget - g.counters.stats.attempts) as usize;
+        let attempts = self.counters.attempts.load(Ordering::Acquire);
+        let budget = self.counters.budget.load(Ordering::Acquire);
+        let remaining = (budget - attempts) as usize;
         let want = batch_size.max(1).min(remaining);
-        match frontier::claim_batch(&mut g.store.db, want) {
-            Ok(claims) if claims.is_empty() => Tick::EmptyFrontier,
+        match frontier::claim_batch(&mut g.db, want) {
+            Ok(claims) if claims.is_empty() => {
+                // Verdict under the same lock as the empty claim: any
+                // flush that completed before it contributed its
+                // outlinks to this claim, and any still-running flush
+                // holds the gauge up (it falls under this lock, after
+                // the flush).
+                let idle = self.counters.in_flight.load(Ordering::Acquire) == 0;
+                Tick::EmptyFrontier { idle, attempts }
+            }
             Ok(claims) => {
-                let first_attempt = g.counters.stats.attempts + 1;
-                g.counters.stats.attempts += claims.len() as u64;
-                g.counters.in_flight += claims.len();
+                let first_attempt = attempts + 1;
+                self.counters
+                    .attempts
+                    .fetch_add(claims.len() as u64, Ordering::AcqRel);
+                self.counters
+                    .in_flight
+                    .fetch_add(claims.len(), Ordering::AcqRel);
                 Tick::Work {
                     claims,
                     first_attempt,
                 }
             }
             Err(e) => {
-                g.counters.error = Some(e);
-                self.control.abort.store(true, Ordering::Release);
+                drop(g);
+                self.record_error(e);
                 Tick::Exit
             }
         }
@@ -567,7 +655,7 @@ impl CrawlSession {
             Command::Stop => {
                 self.control.set_state(RunState::Stopping);
                 if self.control.stop_reported_once() {
-                    let attempts = self.inner.lock().counters.stats.attempts;
+                    let attempts = self.counters.attempts.load(Ordering::Acquire);
                     sink.emit(CrawlEvent::Stopped { attempts });
                 }
             }
@@ -582,16 +670,12 @@ impl CrawlSession {
                 }
             }
             Command::AddBudget(extra) => {
-                let budget = {
-                    let mut g = self.inner.lock();
-                    g.counters.budget += extra;
-                    g.counters.budget
-                };
+                let budget = self.counters.budget.fetch_add(extra, Ordering::AcqRel) + extra;
                 self.control.budget_reported.store(false, Ordering::Release);
                 sink.emit(CrawlEvent::BudgetAdded { extra, budget });
             }
             Command::SetPolicy(policy) => {
-                self.inner.lock().store.policy = policy;
+                self.store.write().policy = policy;
                 sink.emit(CrawlEvent::PolicyChanged {
                     policy: policy_name(policy),
                 });
@@ -600,10 +684,10 @@ impl CrawlSession {
                 self.apply_mark_topic(class, good, sink);
             }
             Command::Distill => {
-                let mut g = self.inner.lock();
+                let mut g = self.store.write();
                 if let Err(e) = self.distill_locked(&mut g, Some(sink)) {
-                    g.counters.error = Some(e);
-                    self.control.abort.store(true, Ordering::Release);
+                    drop(g);
+                    self.record_error(e);
                 }
             }
         }
@@ -632,14 +716,13 @@ impl CrawlSession {
         }
         let model = self.model.read();
         let goods = model.taxonomy.good_set();
-        let mut g = self.inner.lock();
+        let mut g = self.store.write();
         // Recompute R(d) for every visited page under the new marking.
         // A good class that was never evaluated (it sat below the old
         // path nodes) borrows its deepest evaluated ancestor's
         // probability — an upper bound, which is the right bias for
         // discovery: over-approximating sends the crawler to look.
         let recomputed: Vec<(Oid, f64)> = g
-            .store
             .class_probs
             .iter()
             .map(|(&oid, probs)| {
@@ -651,11 +734,10 @@ impl CrawlSession {
             })
             .collect();
         for &(oid, r) in &recomputed {
-            g.store.relevance.insert(oid, r);
-            if let Err(e) = frontier::update_visited_relevance(&mut g.store.db, oid, log_clamped(r))
-            {
-                g.counters.error = Some(e);
-                self.control.abort.store(true, Ordering::Release);
+            g.relevance.insert(oid, r);
+            if let Err(e) = frontier::update_visited_relevance(&mut g.db, oid, log_clamped(r)) {
+                drop(g);
+                self.record_error(e);
                 return;
             }
         }
@@ -663,14 +745,13 @@ impl CrawlSession {
         // the new relevance, exactly the soft-focus rule applied
         // retroactively.
         let candidates: Vec<(Oid, f64)> = g
-            .store
             .links
             .iter()
             .filter_map(|&(src, _, dst, _)| {
-                if g.store.relevance.contains_key(&dst) {
+                if g.relevance.contains_key(&dst) {
                     return None; // already fetched
                 }
-                match g.store.relevance.get(&src) {
+                match g.relevance.get(&src) {
                     Some(&r) if r > RESTEER_MIN_RELEVANCE => Some((dst, r)),
                     _ => None,
                 }
@@ -685,11 +766,11 @@ impl CrawlSession {
                 serverload: 0,
             })
             .collect();
-        let boosted = match frontier::upsert_batch(&mut g.store.db, &boosts) {
+        let boosted = match frontier::upsert_batch(&mut g.db, &boosts) {
             Ok(res) => res.changed(),
             Err(e) => {
-                g.counters.error = Some(e);
-                self.control.abort.store(true, Ordering::Release);
+                drop(g);
+                self.record_error(e);
                 return;
             }
         };
@@ -699,8 +780,16 @@ impl CrawlSession {
         sink.emit(CrawlEvent::FrontierResteered { class, boosted });
     }
 
-    fn record_error(&self, e: minirel::DbError) {
-        self.inner.lock().counters.error = Some(e);
+    /// Record the first storage error of the run and wind the pool down.
+    /// Callers must not hold the store lock (the diag mutex is ordered
+    /// after it, but keeping this lock-free of the store also means an
+    /// error can be recorded while another worker is mid-flush).
+    fn record_error(&self, e: DbError) {
+        let mut d = self.diag.lock();
+        if d.error.is_none() {
+            d.error = Some(e);
+        }
+        drop(d);
         self.control.abort.store(true, Ordering::Release);
     }
 
@@ -718,9 +807,8 @@ impl CrawlSession {
             .map(|s| (*s).to_owned())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "opaque panic payload".to_owned());
-        self.inner
+        self.diag
             .lock()
-            .counters
             .worker_failures
             .push(format!("worker {worker}: {message}"));
         self.control.abort.store(true, Ordering::Release);
@@ -731,19 +819,20 @@ impl CrawlSession {
     /// Final verdict of a run: worker panics and storage errors win over
     /// the happy path.
     pub(crate) fn run_outcome(&self) -> Result<CrawlStats, CrawlError> {
-        let g = self.inner.lock();
-        if !g.counters.worker_failures.is_empty() {
-            return Err(CrawlError::Worker(g.counters.worker_failures.join("; ")));
+        let d = self.diag.lock();
+        if !d.worker_failures.is_empty() {
+            return Err(CrawlError::Worker(d.worker_failures.join("; ")));
         }
-        if let Some(e) = &g.counters.error {
+        if let Some(e) = &d.error {
             return Err(CrawlError::Db(e.clone()));
         }
-        Ok(g.counters.stats.clone())
+        drop(d);
+        Ok(self.stats())
     }
 
     fn process(
         &self,
-        g: &mut Inner,
+        g: &mut StoreState,
         claim: &Claim,
         result: Result<focus_webgraph::FetchedPage, FetchError>,
         eval: Option<(Posterior, bool)>,
@@ -751,11 +840,11 @@ impl CrawlSession {
         sink: &EventSink,
     ) -> DbResult<()> {
         let now = self.start.elapsed().as_secs() as i64;
-        g.store.db.set_current_timestamp(now);
+        g.db.set_current_timestamp(now);
         match result {
             Err(FetchError::Timeout(_)) => {
-                g.counters.stats.failures += 1;
-                frontier::mark_failed(&mut g.store.db, claim.oid, true, self.cfg.max_tries)?;
+                self.counters.tallies.lock().failures += 1;
+                frontier::mark_failed(&mut g.db, claim.oid, true, self.cfg.max_tries)?;
                 sink.emit(CrawlEvent::FetchFailed {
                     oid: claim.oid,
                     attempt,
@@ -764,8 +853,8 @@ impl CrawlSession {
                 Ok(())
             }
             Err(FetchError::NotFound(_)) => {
-                g.counters.stats.failures += 1;
-                frontier::mark_failed(&mut g.store.db, claim.oid, false, self.cfg.max_tries)?;
+                self.counters.tallies.lock().failures += 1;
+                frontier::mark_failed(&mut g.db, claim.oid, false, self.cfg.max_tries)?;
                 sink.emit(CrawlEvent::FetchFailed {
                     oid: claim.oid,
                     attempt,
@@ -778,18 +867,24 @@ impl CrawlSession {
                 let r = post.relevance;
                 let log_r = log_clamped(r);
                 frontier::mark_done(
-                    &mut g.store.db,
+                    &mut g.db,
                     page.oid,
                     &page.url,
                     log_r,
                     post.best_leaf.raw() as i64,
                     now,
                 )?;
-                g.counters.stats.successes += 1;
-                g.counters.stats.harvest.push((attempt, r));
-                g.counters.stats.completion_order.push((page.oid, r));
-                g.store.relevance.insert(page.oid, r);
-                g.store.class_probs.insert(
+                {
+                    // Tallies lock nests inside the store write lock
+                    // (module lock order), held just for the pushes so
+                    // `stats()` sees the series in db-commit order.
+                    let mut t = self.counters.tallies.lock();
+                    t.successes += 1;
+                    t.harvest.push((attempt, r));
+                    t.completion_order.push((page.oid, r));
+                }
+                g.relevance.insert(page.oid, r);
+                g.class_probs.insert(
                     page.oid,
                     post.class_probs
                         .iter()
@@ -798,22 +893,20 @@ impl CrawlSession {
                         .collect(),
                 );
                 let sid_src = host_server_id(&page.url);
-                *g.store.server_counts.entry(sid_src).or_insert(0) += 1;
+                *g.server_counts.entry(sid_src).or_insert(0) += 1;
 
                 // Record links and expand the frontier. The whole page's
                 // LINK rows land through one batch insert and its
                 // outlink endorsements through one `upsert_batch` pass —
                 // one ordered index traversal each, instead of a full
                 // B+tree descent per outlink.
-                let expansion = g.store.policy.decide(&post, hard);
-                let link_tid = g.store.db.table_id("link")?;
+                let expansion = g.policy.decide(&post, hard);
+                let link_tid = g.db.table_id("link")?;
                 let mut link_rows = Vec::with_capacity(page.outlinks.len());
                 let mut expansions = Vec::new();
                 for (dst, dst_url) in &page.outlinks {
                     let sid_dst = host_server_id(dst_url);
-                    g.store
-                        .links
-                        .push((page.oid, sid_src.raw(), *dst, sid_dst.raw()));
+                    g.links.push((page.oid, sid_src.raw(), *dst, sid_dst.raw()));
                     link_rows.push(vec![
                         Value::Int(page.oid.raw() as i64),
                         Value::Int(sid_src.raw() as i64),
@@ -822,7 +915,7 @@ impl CrawlSession {
                         Value::Int(now),
                     ]);
                     if expansion.expand {
-                        let load = g.store.server_counts.get(&sid_dst).copied().unwrap_or(0);
+                        let load = g.server_counts.get(&sid_dst).copied().unwrap_or(0);
                         expansions.push(FrontierEntry {
                             oid: *dst,
                             url: dst_url.clone(),
@@ -831,8 +924,8 @@ impl CrawlSession {
                         });
                     }
                 }
-                g.store.db.insert_many(link_tid, link_rows)?;
-                frontier::upsert_batch(&mut g.store.db, &expansions)?;
+                g.db.insert_many(link_tid, link_rows)?;
+                frontier::upsert_batch(&mut g.db, &expansions)?;
 
                 // Backward expansion: a highly relevant page's *citers*
                 // are hub candidates (radius-2); enqueue them when the
@@ -845,8 +938,7 @@ impl CrawlSession {
                                 .into_iter()
                                 .map(|(src, src_url)| {
                                     let sid = host_server_id(&src_url);
-                                    let load =
-                                        g.store.server_counts.get(&sid).copied().unwrap_or(0);
+                                    let load = g.server_counts.get(&sid).copied().unwrap_or(0);
                                     FrontierEntry {
                                         oid: src,
                                         url: src_url,
@@ -855,7 +947,7 @@ impl CrawlSession {
                                     }
                                 })
                                 .collect();
-                            frontier::upsert_batch(&mut g.store.db, &backlinks)?;
+                            frontier::upsert_batch(&mut g.db, &backlinks)?;
                         }
                     }
                 }
@@ -870,10 +962,10 @@ impl CrawlSession {
                 // Distillation trigger (§3.1: "triggers to recompute
                 // relevance and centrality scores when the neighborhood
                 // of a page changed significantly").
-                g.store.since_distill += 1;
+                g.since_distill += 1;
                 if let Some(every) = self.cfg.distill_every {
-                    if g.store.since_distill >= every {
-                        g.store.since_distill = 0;
+                    if g.since_distill >= every {
+                        g.since_distill = 0;
                         self.distill_locked(g, Some(sink))?;
                     }
                 }
@@ -882,24 +974,24 @@ impl CrawlSession {
         }
     }
 
-    fn distill_locked(&self, g: &mut Inner, sink: Option<&EventSink>) -> DbResult<()> {
-        let edges = edges_from_links(&g.store.links, &g.store.relevance);
-        let result = WeightedHits::new(&edges, &g.store.relevance, self.cfg.distill.clone()).run();
-        g.counters.stats.distillations += 1;
+    fn distill_locked(&self, g: &mut StoreState, sink: Option<&EventSink>) -> DbResult<()> {
+        let edges = edges_from_links(&g.links, &g.relevance);
+        let result = WeightedHits::new(&edges, &g.relevance, self.cfg.distill.clone()).run();
+        let distillation = {
+            let mut t = self.counters.tallies.lock();
+            t.distillations += 1;
+            t.distillations
+        };
         // Persist HUBS/AUTH so ad-hoc monitoring SQL sees live scores.
-        g.store.db.execute("delete from hubs")?;
-        g.store.db.execute("delete from auth")?;
-        let hubs_tid = g.store.db.table_id("hubs")?;
+        g.db.execute("delete from hubs")?;
+        g.db.execute("delete from auth")?;
+        let hubs_tid = g.db.table_id("hubs")?;
         for &(o, s) in result.top_hubs(200) {
-            g.store
-                .db
-                .insert(hubs_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
+            g.db.insert(hubs_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
         }
-        let auth_tid = g.store.db.table_id("auth")?;
+        let auth_tid = g.db.table_id("auth")?;
         for &(o, s) in result.top_auths(200) {
-            g.store
-                .db
-                .insert(auth_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
+            g.db.insert(auth_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
         }
         // Hub-boost trigger: raise priority of unvisited pages cited by
         // the best hubs.
@@ -911,12 +1003,11 @@ impl CrawlSession {
                 .map(|&(o, _)| o)
                 .collect();
             let targets: Vec<FrontierEntry> = g
-                .store
                 .links
                 .iter()
                 .filter(|(src, ss, _, sd)| top.contains(src) && ss != sd)
                 .map(|&(_, _, dst, _)| dst)
-                .filter(|dst| !g.store.relevance.contains_key(dst))
+                .filter(|dst| !g.relevance.contains_key(dst))
                 .map(|dst| FrontierEntry {
                     oid: dst,
                     url: String::new(),
@@ -924,16 +1015,16 @@ impl CrawlSession {
                     serverload: 0,
                 })
                 .collect();
-            frontier::upsert_batch(&mut g.store.db, &targets)?;
+            frontier::upsert_batch(&mut g.db, &targets)?;
         }
         if let Some(sink) = sink {
             sink.emit(CrawlEvent::DistillCompleted {
-                distillation: g.counters.stats.distillations,
+                distillation,
                 top_hub: result.top_hubs(1).first().map(|&(o, _)| o),
                 top_auth: result.top_auths(1).first().map(|&(o, _)| o),
             });
         }
-        g.store.last_distill = Some(result);
+        g.last_distill = Some(result);
         Ok(())
     }
 
@@ -941,7 +1032,7 @@ impl CrawlSession {
     /// [`CrawlRun::add_budget`], which also re-arms the exhaustion
     /// event).
     pub fn add_budget(&self, extra: u64) {
-        self.inner.lock().counters.budget += extra;
+        self.counters.budget.fetch_add(extra, Ordering::AcqRel);
         self.control.budget_reported.store(false, Ordering::Release);
     }
 
@@ -968,18 +1059,18 @@ impl CrawlSession {
                 continue;
             };
             revisited += 1;
-            let mut g = self.inner.lock();
+            let mut g = self.store.write();
             let now = self.start.elapsed().as_secs() as i64;
             // Known outlinks of this hub.
             let known: Vec<i64> = {
-                let rs = g.store.db.execute(&format!(
+                let rs = g.db.query(&format!(
                     "select oid_dst from link where oid_src = {}",
                     hub.raw() as i64
                 ))?;
                 rs.rows.iter().filter_map(|r| r[0].as_i64()).collect()
             };
             let sid_src = host_server_id(&page.url);
-            let link_tid = g.store.db.table_id("link")?;
+            let link_tid = g.db.table_id("link")?;
             let boost = log_clamped(0.95);
             let mut link_rows = Vec::new();
             let mut enqueues = Vec::new();
@@ -989,9 +1080,7 @@ impl CrawlSession {
                 }
                 new_links += 1;
                 let sid_dst = host_server_id(dst_url);
-                g.store
-                    .links
-                    .push((hub, sid_src.raw(), *dst, sid_dst.raw()));
+                g.links.push((hub, sid_src.raw(), *dst, sid_dst.raw()));
                 link_rows.push(vec![
                     Value::Int(hub.raw() as i64),
                     Value::Int(sid_src.raw() as i64),
@@ -1006,33 +1095,37 @@ impl CrawlSession {
                     serverload: 0,
                 });
             }
-            g.store.db.insert_many(link_tid, link_rows)?;
-            frontier::upsert_batch(&mut g.store.db, &enqueues)?;
-            frontier::touch_visited(&mut g.store.db, hub, now)?;
+            g.db.insert_many(link_tid, link_rows)?;
+            frontier::upsert_batch(&mut g.db, &enqueues)?;
+            frontier::touch_visited(&mut g.db, hub, now)?;
         }
         Ok((revisited, new_links))
     }
 
     /// Force a distillation now (used at end-of-crawl by Figure 7).
     pub fn distill_now(&self) -> DbResult<DistillResult> {
-        let mut g = self.inner.lock();
+        let mut g = self.store.write();
         self.distill_locked(&mut g, None)?;
-        Ok(g.store.last_distill.clone().expect("just distilled"))
+        Ok(g.last_distill.clone().expect("just distilled"))
     }
 
     /// Latest distillation result, if any.
     pub fn last_distill(&self) -> Option<DistillResult> {
-        self.inner.lock().store.last_distill.clone()
+        self.store.read().last_distill.clone()
     }
 
-    /// Stats snapshot.
+    /// Stats snapshot. Touches only the counter state — never the store
+    /// lock — so it completes in bounded time even while workers are
+    /// mid-flush.
     pub fn stats(&self) -> CrawlStats {
-        self.inner.lock().counters.stats.clone()
+        let mut stats = self.counters.tallies.lock().clone();
+        stats.attempts = self.counters.attempts.load(Ordering::Acquire);
+        stats
     }
 
     /// The live link-expansion policy.
     pub fn policy(&self) -> CrawlPolicy {
-        self.inner.lock().store.policy
+        self.store.read().policy
     }
 
     /// The crawl configuration the session was built with. `policy` may
@@ -1057,8 +1150,10 @@ impl CrawlSession {
     /// state, saved posteriors, stats, remaining budget, live policy, and
     /// the good marking.
     pub fn checkpoint(&self) -> DbResult<CrawlCheckpoint> {
-        let mut g = self.inner.lock();
-        let rs = g.store.db.execute(
+        // Read lock: a checkpoint is SELECTs + cache clones, so it runs
+        // concurrently with monitors and only briefly excludes writers.
+        let g = self.store.read();
+        let rs = g.db.query(
             "select oid, url, kcid, numtries, relevance, serverload, lastvisited, \
              visited from crawl",
         )?;
@@ -1084,10 +1179,8 @@ impl CrawlSession {
                 }
             })
             .collect();
-        let link_rs = g
-            .store
-            .db
-            .execute("select oid_src, sid_src, oid_dst, sid_dst, discovered from link")?;
+        let link_rs =
+            g.db.query("select oid_src, sid_src, oid_dst, sid_dst, discovered from link")?;
         let links = link_rs
             .rows
             .iter()
@@ -1101,16 +1194,16 @@ impl CrawlSession {
                 )
             })
             .collect();
-        let stats = g.counters.stats.clone();
-        let budget_remaining = g.counters.budget.saturating_sub(stats.attempts);
-        let relevance: Vec<(Oid, f64)> = g.store.relevance.iter().map(|(&o, &r)| (o, r)).collect();
-        let class_probs: Vec<(Oid, Vec<(ClassId, f64)>)> = g
-            .store
-            .class_probs
-            .iter()
-            .map(|(&o, v)| (o, v.clone()))
-            .collect();
-        let policy = g.store.policy;
+        let stats = self.stats();
+        let budget_remaining = self
+            .counters
+            .budget
+            .load(Ordering::Acquire)
+            .saturating_sub(stats.attempts);
+        let relevance: Vec<(Oid, f64)> = g.relevance.iter().map(|(&o, &r)| (o, r)).collect();
+        let class_probs: Vec<(Oid, Vec<(ClassId, f64)>)> =
+            g.class_probs.iter().map(|(&o, v)| (o, v.clone())).collect();
+        let policy = g.policy;
         drop(g);
         let good_topics = {
             let model = self.model.read();
@@ -1133,14 +1226,13 @@ impl CrawlSession {
         })
     }
 
-    /// All visited pages as `(oid, linear R, server)`.
+    /// All visited pages as `(oid, linear R, server)`. Read-locked:
+    /// concurrent with other monitors.
     pub fn visited(&self) -> Vec<(Oid, f64, ServerId)> {
-        let mut g = self.inner.lock();
-        let rs = g
-            .store
-            .db
-            .execute("select oid, relevance, url from crawl where visited = 1")
-            .expect("crawl table exists");
+        let g = self.store.read();
+        let rs =
+            g.db.query("select oid, relevance, url from crawl where visited = 1")
+                .expect("crawl table exists");
         rs.rows
             .into_iter()
             .map(|row| {
@@ -1152,20 +1244,50 @@ impl CrawlSession {
             .collect()
     }
 
-    /// Run a closure against the session database (ad-hoc monitoring SQL).
+    /// Run a closure against the session database with **exclusive**
+    /// access (ad-hoc DDL/DML, or multi-statement reads that need a
+    /// stable view). Blocks workers for the duration — prefer
+    /// [`CrawlSession::sql`] or [`CrawlSession::with_db_read`] for
+    /// monitoring.
     pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        let mut g = self.inner.lock();
-        f(&mut g.store.db)
+        let mut g = self.store.write();
+        f(&mut g.db)
+    }
+
+    /// Run a closure against the session database under the **read**
+    /// lock, concurrent with other monitors and with `stats()`. The
+    /// closure gets `&Database`, so only `query()` and other `&self`
+    /// accessors are available — exactly the §3.7 monitoring surface.
+    pub fn with_db_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        let g = self.store.read();
+        f(&g.db)
+    }
+
+    /// Ad-hoc SQL against the live session (§3.7). SELECT statements run
+    /// under the store's *read* lock — many monitors can query at once,
+    /// and the crawl only pauses them for its short page-flush critical
+    /// sections. Anything else (DDL/DML steering surgery) escalates to
+    /// the write lock and runs exclusively at the next page boundary.
+    pub fn sql(&self, sql: &str) -> DbResult<ResultSet> {
+        {
+            let g = self.store.read();
+            match g.db.query(sql) {
+                // Not a SELECT: fall through to the exclusive path.
+                Err(DbError::ReadOnly(_)) => {}
+                other => return other,
+            }
+        }
+        self.store.write().db.execute(sql)
     }
 
     /// The in-memory link cache `(src, sid_src, dst, sid_dst)`.
     pub fn links(&self) -> Vec<(Oid, u32, Oid, u32)> {
-        self.inner.lock().store.links.clone()
+        self.store.read().links.clone()
     }
 
     /// Linear relevance map of visited pages.
     pub fn relevance_map(&self) -> FxHashMap<Oid, f64> {
-        self.inner.lock().store.relevance.clone()
+        self.store.read().relevance.clone()
     }
 }
 
@@ -1657,6 +1779,66 @@ mod tests {
         assert!(stats.successes > 0, "no progress after restart");
     }
 
+    /// A fetcher whose very first fetch panics (unwinding out of the
+    /// worker with claims checked out and the in-flight gauge raised),
+    /// and which serves hard 404s ever after.
+    struct PanicThenDeadFetcher {
+        served: std::sync::atomic::AtomicU64,
+    }
+
+    impl Fetcher for PanicThenDeadFetcher {
+        fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+            if self.served.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("first fetch dies with the batch checked out");
+            }
+            Err(FetchError::NotFound(oid))
+        }
+
+        fn fetch_count(&self) -> u64 {
+            self.served.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn in_flight_leaked_by_a_panicked_run_does_not_wedge_the_next() {
+        // The panic unwinds with several claims never released: the
+        // in-flight gauge stays raised and the rows stay CLAIMED. The
+        // next run must still be able to detect stagnation — if the
+        // stale gauge leaked across runs, its workers would wait for
+        // phantom in-flight work forever and this test would hang.
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
+        let session = Arc::new(
+            CrawlSession::new(
+                Arc::new(PanicThenDeadFetcher {
+                    served: std::sync::atomic::AtomicU64::new(0),
+                }),
+                model,
+                CrawlConfig {
+                    threads: 2,
+                    max_fetches: 1000,
+                    max_tries: 3,
+                    distill_every: None,
+                    batch_size: 8,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        session.seed(&[Oid(1), Oid(2), Oid(3)]).unwrap();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let failed = session.run();
+        std::panic::set_hook(prev_hook);
+        assert!(matches!(failed, Err(CrawlError::Worker(_))), "{failed:?}");
+
+        // Fresh frontier, everything 404s: the rerun must stagnate and
+        // return rather than spin on the leaked gauge.
+        session.seed(&[Oid(4), Oid(5), Oid(6)]).unwrap();
+        let stats = session.run().expect("rerun must terminate");
+        assert!(stats.failures > 0, "rerun made no attempts: {stats:?}");
+    }
+
     #[test]
     fn checkpoint_restores_into_fresh_session() {
         let (graph, session) = setup(CrawlPolicy::SoftFocus, 80);
@@ -1731,8 +1913,8 @@ mod tests {
                 .unwrap()
         });
         assert_eq!(empty, 0, "seeded frontier rows must carry real URLs");
-        let mut g = session.inner.lock();
-        let claim = frontier::claim_next(&mut g.store.db).unwrap().unwrap();
+        let mut g = session.store.write();
+        let claim = frontier::claim_next(&mut g.db).unwrap().unwrap();
         assert!(!claim.url.is_empty(), "claims of seeds carry the URL");
         drop(g);
         let ckpt = session.checkpoint().unwrap();
@@ -1932,9 +2114,9 @@ mod tests {
         });
         assert_eq!(claimed, 0, "claims leaked after stop");
         // The returned work is poppable again.
-        let mut g = session.inner.lock();
+        let mut g = session.store.write();
         assert!(
-            frontier::claim_next(&mut g.store.db).unwrap().is_some(),
+            frontier::claim_next(&mut g.db).unwrap().is_some(),
             "returned claims must be poppable"
         );
     }

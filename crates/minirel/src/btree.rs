@@ -164,11 +164,244 @@ impl Node {
     }
 }
 
-fn read_node(pool: &mut BufferPool, pid: PageId) -> DbResult<Node> {
+fn read_node(pool: &BufferPool, pid: PageId) -> DbResult<Node> {
     pool.with_page(pid, Node::decode)?
 }
 
-fn write_node(pool: &mut BufferPool, pid: PageId, node: &Node) -> DbResult<()> {
+// ---------------------------------------------------------------- raw access
+//
+// The hot paths (descent, point lookup, single insert/delete, batch
+// partitioning) never materialize a [`Node`]: decoding allocates one
+// `Vec<u8>` per key, and a crawl touches dozens of nodes per page
+// fetched, so the decode/encode churn — not disk — was the dominant
+// per-page cost. These helpers parse the encoded bytes in place; the
+// decode path survives for structural changes (splits), which are rare.
+
+/// Header bytes before the first entry (type, u16 count, u32 next/leftmost).
+const HDR: usize = 7;
+/// Payload width after each key: a 6-byte rid in leaves…
+const LEAF_PAYLOAD: usize = 6;
+/// …or a 4-byte child pointer in internal nodes.
+const INTERNAL_PAYLOAD: usize = 4;
+
+/// A validated, borrowed view of an encoded node: one bounds-checking
+/// walk up front, then allocation-free iteration.
+struct RawNode<'a> {
+    b: &'a [u8],
+    leaf: bool,
+    n: usize,
+    /// Bytes used by header + entries (the in-place insert bound).
+    used: usize,
+}
+
+impl<'a> RawNode<'a> {
+    fn parse(b: &'a [u8]) -> DbResult<RawNode<'a>> {
+        let leaf = match b[0] {
+            LEAF => true,
+            INTERNAL => false,
+            t => return Err(DbError::Page(format!("bad btree node type {t}"))),
+        };
+        let n = u16::from_le_bytes([b[1], b[2]]) as usize;
+        let payload = if leaf { LEAF_PAYLOAD } else { INTERNAL_PAYLOAD };
+        let mut off = HDR;
+        for _ in 0..n {
+            if off + 2 > b.len() {
+                return Err(DbError::Page("truncated btree node".into()));
+            }
+            let klen = u16::from_le_bytes([b[off], b[off + 1]]) as usize;
+            off += 2 + klen + payload;
+            if off > b.len() {
+                return Err(DbError::Page("truncated btree key".into()));
+            }
+        }
+        Ok(RawNode {
+            b,
+            leaf,
+            n,
+            used: off,
+        })
+    }
+
+    /// `next` pointer of a leaf / `leftmost` child of an internal node.
+    fn first(&self) -> u32 {
+        u32::from_le_bytes(self.b[3..7].try_into().expect("node header"))
+    }
+
+    /// Iterate `(entry_offset, key, payload)` without allocating.
+    fn entries(&self) -> RawEntries<'a> {
+        RawEntries {
+            b: self.b,
+            payload: if self.leaf {
+                LEAF_PAYLOAD
+            } else {
+                INTERNAL_PAYLOAD
+            },
+            off: HDR,
+            left: self.n,
+        }
+    }
+}
+
+struct RawEntries<'a> {
+    b: &'a [u8],
+    payload: usize,
+    off: usize,
+    left: usize,
+}
+
+impl<'a> Iterator for RawEntries<'a> {
+    type Item = (usize, &'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.left == 0 {
+            return None;
+        }
+        let off = self.off;
+        let klen = u16::from_le_bytes([self.b[off], self.b[off + 1]]) as usize;
+        let key = &self.b[off + 2..off + 2 + klen];
+        let payload = &self.b[off + 2 + klen..off + 2 + klen + self.payload];
+        self.off = off + 2 + klen + self.payload;
+        self.left -= 1;
+        Some((off, key, payload))
+    }
+}
+
+fn set_count(b: &mut [u8], n: usize) {
+    b[1..3].copy_from_slice(&(n as u16).to_le_bytes());
+}
+
+fn payload_rid(p: &[u8]) -> Rid {
+    decode_rid(p)
+}
+
+fn payload_child(p: &[u8]) -> PageId {
+    u32::from_le_bytes(p.try_into().expect("child ptr"))
+}
+
+/// Compare `(key ++ rid_be)` against `sep` without building the
+/// augmented key (the descent/partition comparisons run once per node
+/// entry — materializing each one allocated on every hop).
+fn cmp_aug(key: &[u8], rid: Rid, sep: &[u8]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let mut rb = [0u8; 6];
+    rb[..4].copy_from_slice(&rid.page.to_be_bytes());
+    rb[4..].copy_from_slice(&rid.slot.to_be_bytes());
+    if sep.len() <= key.len() {
+        match key[..sep.len()].cmp(sep) {
+            // Augmented key strictly longer: it sorts after its prefix.
+            Ordering::Equal => Ordering::Greater,
+            c => c,
+        }
+    } else {
+        match key.cmp(&sep[..key.len()]) {
+            Ordering::Equal => rb[..].cmp(&sep[key.len()..]),
+            c => c,
+        }
+    }
+}
+
+/// Leaf-entry order: `(key, rid)` tuples.
+fn cmp_entry(k: &[u8], r: Rid, probe_key: &[u8], probe_rid: Rid) -> std::cmp::Ordering {
+    k.cmp(probe_key).then_with(|| r.cmp(&probe_rid))
+}
+
+/// Child of an internal node that should contain `akey` (augmented):
+/// rightmost child whose separator is `<= akey` (equal separators send
+/// the search right, exactly like [`child_index`] on the decoded form).
+fn raw_child_for(node: &RawNode<'_>, akey: &[u8]) -> PageId {
+    let mut child = node.first();
+    for (_, sep, p) in node.entries() {
+        if sep <= akey {
+            child = payload_child(p);
+        } else {
+            break;
+        }
+    }
+    child
+}
+
+/// Outcome of an in-place leaf insert attempt.
+enum FastInsert {
+    Inserted,
+    Duplicate,
+    /// The entry does not fit: the caller takes the decode-and-split path.
+    NoFit,
+}
+
+/// Insert `(key, rid)` into the encoded leaf `b` by shifting the entry
+/// tail, without decoding. One memmove, zero allocations.
+fn raw_leaf_insert(b: &mut [u8], key: &[u8], rid: Rid) -> DbResult<FastInsert> {
+    let (n, used, ins_off, dup) = {
+        let node = RawNode::parse(b)?;
+        if !node.leaf {
+            return Err(DbError::Page("expected leaf node".into()));
+        }
+        let mut ins = node.used;
+        let mut dup = false;
+        for (off, k, p) in node.entries() {
+            match cmp_entry(k, payload_rid(p), key, rid) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    dup = true;
+                    break;
+                }
+                std::cmp::Ordering::Greater => {
+                    ins = off;
+                    break;
+                }
+            }
+        }
+        (node.n, node.used, ins, dup)
+    };
+    if dup {
+        return Ok(FastInsert::Duplicate);
+    }
+    let esz = 2 + key.len() + LEAF_PAYLOAD;
+    if used + esz > b.len() {
+        return Ok(FastInsert::NoFit);
+    }
+    b.copy_within(ins_off..used, ins_off + esz);
+    b[ins_off..ins_off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    b[ins_off + 2..ins_off + 2 + key.len()].copy_from_slice(key);
+    let rid_off = ins_off + 2 + key.len();
+    b[rid_off..rid_off + 4].copy_from_slice(&rid.page.to_le_bytes());
+    b[rid_off + 4..rid_off + 6].copy_from_slice(&rid.slot.to_le_bytes());
+    set_count(b, n + 1);
+    Ok(FastInsert::Inserted)
+}
+
+/// Remove `(key, rid)` from the encoded leaf `b` in place; returns
+/// whether it existed.
+fn raw_leaf_delete(b: &mut [u8], key: &[u8], rid: Rid) -> DbResult<bool> {
+    let (n, used, hit) = {
+        let node = RawNode::parse(b)?;
+        if !node.leaf {
+            return Err(DbError::Page("expected leaf node".into()));
+        }
+        let mut hit: Option<(usize, usize)> = None;
+        for (off, k, p) in node.entries() {
+            match cmp_entry(k, payload_rid(p), key, rid) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    hit = Some((off, 2 + k.len() + LEAF_PAYLOAD));
+                    break;
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        (node.n, node.used, hit)
+    };
+    match hit {
+        None => Ok(false),
+        Some((off, esz)) => {
+            b.copy_within(off + esz..used, off);
+            set_count(b, n - 1);
+            Ok(true)
+        }
+    }
+}
+
+fn write_node(pool: &BufferPool, pid: PageId, node: &Node) -> DbResult<()> {
     let bytes = node.encode();
     if bytes.len() > PAGE_SIZE {
         return Err(DbError::Page("btree node overflow after split".into()));
@@ -187,7 +420,7 @@ pub struct BTree {
 
 impl BTree {
     /// Create an empty tree (root is an empty leaf).
-    pub fn create(pool: &mut BufferPool) -> DbResult<BTree> {
+    pub fn create(pool: &BufferPool) -> DbResult<BTree> {
         let root = pool.allocate()?;
         write_node(
             pool,
@@ -211,7 +444,25 @@ impl BTree {
     }
 
     /// Insert an entry. Duplicate `(key, rid)` pairs are ignored.
-    pub fn insert(&mut self, pool: &mut BufferPool, key: &[u8], rid: Rid) -> DbResult<()> {
+    ///
+    /// Fast path: descend without decoding, splice the entry into the
+    /// leaf in place. Only a full leaf falls back to the decode-and-
+    /// split machinery.
+    pub fn insert(&mut self, pool: &BufferPool, key: &[u8], rid: Rid) -> DbResult<()> {
+        let leaf_pid = self.find_leaf(pool, &aug_key(key, rid))?;
+        let outcome = pool.with_page_mut_if(leaf_pid, |b| {
+            let r = raw_leaf_insert(b, key, rid);
+            let dirtied = matches!(r, Ok(FastInsert::Inserted));
+            (r, dirtied)
+        })??;
+        match outcome {
+            FastInsert::Inserted => {
+                self.len += 1;
+                return Ok(());
+            }
+            FastInsert::Duplicate => return Ok(()),
+            FastInsert::NoFit => {}
+        }
         if let Some((sep, right)) = self.insert_rec(pool, self.root, key, rid)? {
             // Root split: grow the tree by one level.
             let new_root = pool.allocate()?;
@@ -229,7 +480,7 @@ impl BTree {
     /// the child split.
     fn insert_rec(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         pid: PageId,
         key: &[u8],
         rid: Rid,
@@ -309,47 +560,37 @@ impl BTree {
     }
 
     /// Remove an exact `(key, rid)` entry; returns whether it existed.
-    pub fn delete(&mut self, pool: &mut BufferPool, key: &[u8], rid: Rid) -> DbResult<bool> {
+    /// In-place shift; deletion stays lazy (no rebalancing), so no
+    /// structural fallback is ever needed.
+    pub fn delete(&mut self, pool: &BufferPool, key: &[u8], rid: Rid) -> DbResult<bool> {
         let leaf_pid = self.find_leaf(pool, &aug_key(key, rid))?;
-        let mut node = match read_node(pool, leaf_pid)? {
-            Node::Leaf(l) => l,
-            Node::Internal(_) => return Err(DbError::Page("find_leaf hit internal".into())),
-        };
-        let probe = (key.to_vec(), rid);
-        match node.entries.binary_search_by(|e| e.cmp(&probe)) {
-            Ok(pos) => {
-                node.entries.remove(pos);
-                write_node(pool, leaf_pid, &Node::Leaf(node))?;
-                self.len -= 1;
-                Ok(true)
-            }
-            Err(_) => Ok(false),
+        let existed = pool.with_page_mut_if(leaf_pid, |b| {
+            let r = raw_leaf_delete(b, key, rid);
+            let dirtied = matches!(r, Ok(true));
+            (r, dirtied)
+        })??;
+        if existed {
+            self.len -= 1;
         }
+        Ok(existed)
     }
 
     /// Descend to the leaf that would hold `akey` (an *augmented* key).
-    fn find_leaf(&self, pool: &mut BufferPool, akey: &[u8]) -> DbResult<PageId> {
+    /// Each hop reads the node bytes in place — no decode, no allocation.
+    fn find_leaf(&self, pool: &BufferPool, akey: &[u8]) -> DbResult<PageId> {
         let mut pid = self.root;
         loop {
-            match read_node(pool, pid)? {
-                Node::Leaf(_) => return Ok(pid),
-                Node::Internal(n) => {
-                    let idx = child_index(&n, akey);
-                    pid = if idx == 0 {
-                        n.leftmost
-                    } else {
-                        n.entries[idx - 1].1
-                    };
+            let next = pool.with_page(pid, |b| -> DbResult<Option<PageId>> {
+                let node = RawNode::parse(b)?;
+                if node.leaf {
+                    return Ok(None);
                 }
+                Ok(Some(raw_child_for(&node, akey)))
+            })??;
+            match next {
+                None => return Ok(pid),
+                Some(child) => pid = child,
             }
-        }
-    }
-
-    /// Read the leaf node at `pid`, failing on internal nodes.
-    fn read_leaf(&self, pool: &mut BufferPool, pid: PageId) -> DbResult<Leaf> {
-        match read_node(pool, pid)? {
-            Node::Leaf(l) => Ok(l),
-            Node::Internal(_) => Err(DbError::Page("expected leaf node".into())),
         }
     }
 
@@ -361,9 +602,16 @@ impl BTree {
     /// "sort once, merge once" batch access path of §3.1, applied to
     /// point lookups. Buffer-pool reads drop from `O(keys × depth)` to
     /// roughly one visit per distinct leaf touched.
-    pub fn lookup_many(&self, pool: &mut BufferPool, keys: &[Vec<u8>]) -> DbResult<Vec<Vec<Rid>>> {
+    pub fn lookup_many(&self, pool: &BufferPool, keys: &[Vec<u8>]) -> DbResult<Vec<Vec<Rid>>> {
+        // The current leaf is held as a page-sized scratch copy and
+        // re-parsed per key — one 4 KB memcpy per leaf visited instead
+        // of a per-entry-allocating decode.
         let mut out: Vec<Vec<Rid>> = Vec::with_capacity(keys.len());
-        let mut cur: Option<Leaf> = None;
+        let mut scratch: Box<[u8; PAGE_SIZE]> = Box::new([0u8; PAGE_SIZE]);
+        let mut have_leaf = false;
+        let load = |pool: &BufferPool, scratch: &mut [u8; PAGE_SIZE], pid: PageId| {
+            pool.with_page(pid, |b| scratch.copy_from_slice(b))
+        };
         for (i, key) in keys.iter().enumerate() {
             if i > 0 {
                 debug_assert!(keys[i - 1] <= *key, "lookup_many requires sorted keys");
@@ -377,41 +625,43 @@ impl BTree {
             }
             // The current leaf can serve `key` only if `key` does not
             // sort past its last entry; otherwise descend afresh.
-            let reuse = cur.as_ref().is_some_and(|l| {
-                l.entries
+            let reuse = have_leaf && {
+                let node = RawNode::parse(&scratch[..])?;
+                node.entries()
                     .last()
-                    .is_some_and(|(k, _)| k.as_slice() >= key.as_slice())
-            });
+                    .is_some_and(|(_, k, _)| k >= key.as_slice())
+            };
             if !reuse {
                 let pid = self.find_leaf(pool, &aug_key(key, MIN_RID))?;
-                cur = Some(self.read_leaf(pool, pid)?);
+                load(pool, &mut scratch, pid)?;
+                have_leaf = true;
             }
             let mut rids = Vec::new();
             loop {
-                let leaf = cur.as_ref().expect("leaf loaded");
-                let start = leaf
-                    .entries
-                    .partition_point(|(k, _)| k.as_slice() < key.as_slice());
-                for (k, rid) in &leaf.entries[start..] {
-                    if k == key {
-                        rids.push(*rid);
-                    } else {
-                        break;
+                let node = RawNode::parse(&scratch[..])?;
+                if !node.leaf {
+                    return Err(DbError::Page("expected leaf node".into()));
+                }
+                let mut last_key_le = true;
+                for (_, k, p) in node.entries() {
+                    match k.cmp(key.as_slice()) {
+                        std::cmp::Ordering::Less => {}
+                        std::cmp::Ordering::Equal => rids.push(payload_rid(p)),
+                        std::cmp::Ordering::Greater => {
+                            last_key_le = false;
+                            break;
+                        }
                     }
                 }
                 // Matches can only continue in the next leaf when this
                 // leaf ends at or before `key` (duplicate span, or a key
                 // that sits on a leaf boundary).
-                let spills = leaf.next != INVALID_PAGE
-                    && leaf
-                        .entries
-                        .last()
-                        .is_none_or(|(k, _)| k.as_slice() <= key.as_slice());
+                let spills = node.first() != INVALID_PAGE && last_key_le;
                 if !spills {
                     break;
                 }
-                let next = leaf.next;
-                cur = Some(self.read_leaf(pool, next)?);
+                let next = node.first();
+                load(pool, &mut scratch, next)?;
             }
             out.push(rids);
         }
@@ -423,11 +673,7 @@ impl BTree {
     /// affected node is read and written once, instead of once per
     /// entry. Exact duplicate pairs are ignored, as in
     /// [`BTree::insert`]. Entries must be sorted by `(key, rid)`.
-    pub fn insert_many(
-        &mut self,
-        pool: &mut BufferPool,
-        entries: &[(Vec<u8>, Rid)],
-    ) -> DbResult<()> {
+    pub fn insert_many(&mut self, pool: &BufferPool, entries: &[(Vec<u8>, Rid)]) -> DbResult<()> {
         if entries.is_empty() {
             return Ok(());
         }
@@ -451,49 +697,118 @@ impl BTree {
         Ok(())
     }
 
+    /// Partition the (sorted) batch among this node's children by the
+    /// same augmented-key rule the single-entry descent uses — reading
+    /// the node bytes in place, so a no-split batch never decodes an
+    /// internal node.
+    fn raw_partition(
+        &self,
+        pool: &BufferPool,
+        pid: PageId,
+        entries: &[(Vec<u8>, Rid)],
+    ) -> DbResult<Option<Vec<(PageId, usize, usize)>>> {
+        pool.with_page(pid, |b| -> DbResult<Option<Vec<(PageId, usize, usize)>>> {
+            let node = RawNode::parse(b)?;
+            if node.leaf {
+                return Ok(None);
+            }
+            let mut segs: Vec<(PageId, usize, usize)> = Vec::new();
+            let mut lo = 0usize;
+            let mut child = node.first();
+            for (_, sep, p) in node.entries() {
+                let hi = lo
+                    + entries[lo..]
+                        .partition_point(|(k, r)| cmp_aug(k, *r, sep) == std::cmp::Ordering::Less);
+                if hi > lo {
+                    segs.push((child, lo, hi));
+                }
+                lo = hi;
+                child = payload_child(p);
+                if lo == entries.len() {
+                    break;
+                }
+            }
+            if lo < entries.len() {
+                segs.push((child, lo, entries.len()));
+            }
+            Ok(Some(segs))
+        })?
+    }
+
     fn insert_many_rec(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         pid: PageId,
         entries: &[(Vec<u8>, Rid)],
     ) -> DbResult<Vec<(Vec<u8>, PageId)>> {
-        match read_node(pool, pid)? {
-            Node::Leaf(mut leaf) => {
-                for (key, rid) in entries {
-                    let probe = (key.clone(), *rid);
-                    if let Err(pos) = leaf.entries.binary_search(&probe) {
-                        leaf.entries.insert(pos, probe);
-                        self.len += 1;
+        match self.raw_partition(pool, pid, entries)? {
+            None => {
+                // Leaf. Fast path: splice entries in place until one
+                // does not fit; only then decode what the page now
+                // holds and take the multi-way split path for the rest.
+                let (placed, done) = pool.with_page_mut_if(pid, |b| {
+                    let mut placed = 0u64;
+                    let mut i = 0usize;
+                    let mut err = None;
+                    while i < entries.len() {
+                        match raw_leaf_insert(b, &entries[i].0, entries[i].1) {
+                            Ok(FastInsert::Inserted) => {
+                                placed += 1;
+                                i += 1;
+                            }
+                            Ok(FastInsert::Duplicate) => i += 1,
+                            Ok(FastInsert::NoFit) => break,
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let dirtied = placed > 0;
+                    (
+                        match err {
+                            Some(e) => Err(e),
+                            None => Ok((placed, i)),
+                        },
+                        dirtied,
+                    )
+                })??;
+                self.len += placed;
+                if done == entries.len() {
+                    return Ok(Vec::new());
+                }
+                let mut leaf = match read_node(pool, pid)? {
+                    Node::Leaf(l) => l,
+                    Node::Internal(_) => unreachable!("raw_partition said leaf"),
+                };
+                for (key, rid) in &entries[done..] {
+                    match leaf
+                        .entries
+                        .binary_search_by(|(k, r)| cmp_entry(k, *r, key, *rid))
+                    {
+                        Ok(_) => {}
+                        Err(pos) => {
+                            leaf.entries.insert(pos, (key.clone(), *rid));
+                            self.len += 1;
+                        }
                     }
                 }
                 write_leaf_split(pool, pid, leaf)
             }
-            Node::Internal(mut node) => {
-                // Partition the (sorted) batch among children by the same
-                // augmented-key rule the single-entry descent uses.
+            Some(segs) => {
                 let mut seps: Vec<(Vec<u8>, PageId)> = Vec::new();
-                let mut lo = 0usize;
-                while lo < entries.len() {
-                    let akey = aug_key(&entries[lo].0, entries[lo].1);
-                    let child_idx = child_index(&node, &akey);
-                    let child = if child_idx == 0 {
-                        node.leftmost
-                    } else {
-                        node.entries[child_idx - 1].1
-                    };
-                    // This child receives every entry below the next
-                    // separator.
-                    let hi = match node.entries.get(child_idx) {
-                        Some((sep, _)) => {
-                            lo + entries[lo..].partition_point(|(k, r)| {
-                                aug_key(k, *r).as_slice() < sep.as_slice()
-                            })
-                        }
-                        None => entries.len(),
-                    };
+                for (child, lo, hi) in segs {
                     seps.extend(self.insert_many_rec(pool, child, &entries[lo..hi])?);
-                    lo = hi;
                 }
+                if seps.is_empty() {
+                    return Ok(Vec::new());
+                }
+                // A child split: decode this node, thread the new
+                // separators in, and split it too if needed.
+                let mut node = match read_node(pool, pid)? {
+                    Node::Internal(n) => n,
+                    Node::Leaf(_) => unreachable!("raw_partition said internal"),
+                };
                 for sep in seps {
                     let pos = node
                         .entries
@@ -511,7 +826,7 @@ impl BTree {
     /// Deletion stays lazy (no rebalancing), like [`BTree::delete`].
     pub fn delete_many(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         entries: &[(Vec<u8>, Rid)],
     ) -> DbResult<usize> {
         if entries.is_empty() {
@@ -528,46 +843,40 @@ impl BTree {
 
     fn delete_many_rec(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         pid: PageId,
         entries: &[(Vec<u8>, Rid)],
     ) -> DbResult<usize> {
-        match read_node(pool, pid)? {
-            Node::Leaf(mut leaf) => {
-                let mut removed = 0;
-                for (key, rid) in entries {
-                    let probe = (key.clone(), *rid);
-                    if let Ok(pos) = leaf.entries.binary_search(&probe) {
-                        leaf.entries.remove(pos);
-                        removed += 1;
-                    }
-                }
-                if removed > 0 {
-                    write_node(pool, pid, &Node::Leaf(leaf))?;
-                }
-                Ok(removed)
-            }
-            Node::Internal(node) => {
-                let mut removed = 0;
-                let mut lo = 0usize;
-                while lo < entries.len() {
-                    let akey = aug_key(&entries[lo].0, entries[lo].1);
-                    let child_idx = child_index(&node, &akey);
-                    let child = if child_idx == 0 {
-                        node.leftmost
-                    } else {
-                        node.entries[child_idx - 1].1
-                    };
-                    let hi = match node.entries.get(child_idx) {
-                        Some((sep, _)) => {
-                            lo + entries[lo..].partition_point(|(k, r)| {
-                                aug_key(k, *r).as_slice() < sep.as_slice()
-                            })
+        match self.raw_partition(pool, pid, entries)? {
+            None => {
+                // Leaf: in-place shifts, no decode/encode round-trip.
+                pool.with_page_mut_if(pid, |b| {
+                    let mut removed = 0usize;
+                    let mut err = None;
+                    for (key, rid) in entries {
+                        match raw_leaf_delete(b, key, *rid) {
+                            Ok(true) => removed += 1,
+                            Ok(false) => {}
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
                         }
-                        None => entries.len(),
-                    };
+                    }
+                    let dirtied = removed > 0;
+                    (
+                        match err {
+                            Some(e) => Err(e),
+                            None => Ok(removed),
+                        },
+                        dirtied,
+                    )
+                })?
+            }
+            Some(segs) => {
+                let mut removed = 0;
+                for (child, lo, hi) in segs {
                     removed += self.delete_many_rec(pool, child, &entries[lo..hi])?;
-                    lo = hi;
                 }
                 Ok(removed)
             }
@@ -575,7 +884,7 @@ impl BTree {
     }
 
     /// All rids stored under exactly `key`.
-    pub fn lookup(&self, pool: &mut BufferPool, key: &[u8]) -> DbResult<Vec<Rid>> {
+    pub fn lookup(&self, pool: &BufferPool, key: &[u8]) -> DbResult<Vec<Rid>> {
         let mut out = Vec::new();
         self.scan_range(
             pool,
@@ -590,11 +899,7 @@ impl BTree {
     }
 
     /// All `(key, rid)` entries whose key starts with `prefix`.
-    pub fn lookup_prefix(
-        &self,
-        pool: &mut BufferPool,
-        prefix: &[u8],
-    ) -> DbResult<Vec<(Vec<u8>, Rid)>> {
+    pub fn lookup_prefix(&self, pool: &BufferPool, prefix: &[u8]) -> DbResult<Vec<(Vec<u8>, Rid)>> {
         let mut out = Vec::new();
         self.scan_range(pool, Bound::Included(prefix), Bound::Unbounded, |k, rid| {
             if !k.starts_with(prefix) {
@@ -607,9 +912,13 @@ impl BTree {
     }
 
     /// In-order scan over `[lo, hi]`; the callback returns `false` to stop.
+    ///
+    /// Each leaf is copied into a page-sized scratch buffer once (so the
+    /// callback runs outside the buffer-pool latch and may safely call
+    /// back into the pool), then iterated without decoding.
     pub fn scan_range(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         lo: Bound<&[u8]>,
         hi: Bound<&[u8]>,
         mut f: impl FnMut(&[u8], Rid) -> bool,
@@ -619,43 +928,45 @@ impl BTree {
             Bound::Unbounded => &[],
         };
         let mut pid = self.find_leaf(pool, &aug_key(start_key, MIN_RID))?;
+        let mut scratch: Box<[u8; PAGE_SIZE]> = Box::new([0u8; PAGE_SIZE]);
         loop {
-            let leaf = match read_node(pool, pid)? {
-                Node::Leaf(l) => l,
-                Node::Internal(_) => return Err(DbError::Page("scan hit internal".into())),
-            };
-            for (k, rid) in &leaf.entries {
+            pool.with_page(pid, |b| scratch.copy_from_slice(b))?;
+            let node = RawNode::parse(&scratch[..])?;
+            if !node.leaf {
+                return Err(DbError::Page("scan hit internal".into()));
+            }
+            for (_, k, p) in node.entries() {
                 let after_lo = match lo {
-                    Bound::Included(l) => k.as_slice() >= l,
-                    Bound::Excluded(l) => k.as_slice() > l,
+                    Bound::Included(l) => k >= l,
+                    Bound::Excluded(l) => k > l,
                     Bound::Unbounded => true,
                 };
                 if !after_lo {
                     continue;
                 }
                 let before_hi = match hi {
-                    Bound::Included(h) => k.as_slice() <= h,
-                    Bound::Excluded(h) => k.as_slice() < h,
+                    Bound::Included(h) => k <= h,
+                    Bound::Excluded(h) => k < h,
                     Bound::Unbounded => true,
                 };
                 if !before_hi {
                     return Ok(());
                 }
-                if !f(k, *rid) {
+                if !f(k, payload_rid(p)) {
                     return Ok(());
                 }
             }
-            if leaf.next == INVALID_PAGE {
+            if node.first() == INVALID_PAGE {
                 return Ok(());
             }
-            pid = leaf.next;
+            pid = node.first();
         }
     }
 
     /// First entry at or after `key` (frontier pop support).
     pub fn first_at_or_after(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         key: &[u8],
     ) -> DbResult<Option<(Vec<u8>, Rid)>> {
         Ok(self.first_n_at_or_after(pool, key, 1)?.pop())
@@ -667,7 +978,7 @@ impl BTree {
     /// full descents).
     pub fn first_n_at_or_after(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         key: &[u8],
         n: usize,
     ) -> DbResult<Vec<(Vec<u8>, Rid)>> {
@@ -684,7 +995,7 @@ impl BTree {
 
     /// Structural check used by property tests: keys sorted within and
     /// across leaves; `len` matches entry count.
-    pub fn validate(&self, pool: &mut BufferPool) -> DbResult<()> {
+    pub fn validate(&self, pool: &BufferPool) -> DbResult<()> {
         let mut prev: Option<Vec<u8>> = None;
         let mut count = 0u64;
         self.scan_range(pool, Bound::Unbounded, Bound::Unbounded, |k, _| {
@@ -714,7 +1025,7 @@ const SPLIT_FILL: usize = (PAGE_SIZE * 2) / 3;
 /// leaves a batch insert requires. Returns the separators of every new
 /// right sibling (empty when the node fit as-is).
 fn write_leaf_split(
-    pool: &mut BufferPool,
+    pool: &BufferPool,
     pid: PageId,
     leaf: Leaf,
 ) -> DbResult<Vec<(Vec<u8>, PageId)>> {
@@ -767,7 +1078,7 @@ fn write_leaf_split(
 /// key moves up as the separator and its child becomes the next chunk's
 /// leftmost (the multi-way generalization of the single-insert split).
 fn write_internal_split(
-    pool: &mut BufferPool,
+    pool: &BufferPool,
     pid: PageId,
     node: Internal,
 ) -> DbResult<Vec<(Vec<u8>, PageId)>> {
@@ -848,23 +1159,23 @@ mod tests {
 
     #[test]
     fn insert_lookup_small() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..100i64 {
-            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i), rid(i as u32)).unwrap();
         }
         assert_eq!(bt.len(), 100);
         for i in 0..100i64 {
-            assert_eq!(bt.lookup(&mut bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
+            assert_eq!(bt.lookup(&bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
         }
-        assert!(bt.lookup(&mut bp, &key_i(1000)).unwrap().is_empty());
-        bt.validate(&mut bp).unwrap();
+        assert!(bt.lookup(&bp, &key_i(1000)).unwrap().is_empty());
+        bt.validate(&bp).unwrap();
     }
 
     #[test]
     fn many_inserts_force_splits_random_order() {
-        let mut bp = pool(64);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(64);
+        let mut bt = BTree::create(&bp).unwrap();
         // Pseudo-random insertion order without rand dependency here.
         let n = 5000i64;
         let mut x = 1i64;
@@ -883,13 +1194,13 @@ mod tests {
             shuffled.swap(i, j);
         }
         for (i, &k) in shuffled.iter().enumerate() {
-            bt.insert(&mut bp, &key_i(k), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(k), rid(i as u32)).unwrap();
         }
         assert_eq!(bt.len() as usize, keys.len());
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
         // Ordered scan returns sorted unique keys.
         let mut scanned = Vec::new();
-        bt.scan_range(&mut bp, Bound::Unbounded, Bound::Unbounded, |k, _| {
+        bt.scan_range(&bp, Bound::Unbounded, Bound::Unbounded, |k, _| {
             scanned.push(k.to_vec());
             true
         })
@@ -900,15 +1211,15 @@ mod tests {
 
     #[test]
     fn duplicates_under_one_key() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..50u32 {
-            bt.insert(&mut bp, &key_i(7), rid(i)).unwrap();
+            bt.insert(&bp, &key_i(7), rid(i)).unwrap();
         }
         // Exact duplicate (key, rid) ignored.
-        bt.insert(&mut bp, &key_i(7), rid(3)).unwrap();
+        bt.insert(&bp, &key_i(7), rid(3)).unwrap();
         assert_eq!(bt.len(), 50);
-        let rids = bt.lookup(&mut bp, &key_i(7)).unwrap();
+        let rids = bt.lookup(&bp, &key_i(7)).unwrap();
         assert_eq!(rids.len(), 50);
     }
 
@@ -917,57 +1228,57 @@ mod tests {
         // Regression: with separators carrying only the user key, equal
         // keys split across leaves became unreachable for delete/lookup
         // (this corrupted the crawler's frontier index).
-        let mut bp = pool(32);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(32);
+        let mut bt = BTree::create(&bp).unwrap();
         // Thousands of identical keys forces multi-level splits.
         for i in 0..3000u32 {
-            bt.insert(&mut bp, &key_i(7), rid(i)).unwrap();
+            bt.insert(&bp, &key_i(7), rid(i)).unwrap();
         }
         // Sprinkle other keys around them.
         for i in 0..200i64 {
-            bt.insert(&mut bp, &key_i(i * 1000), rid(900_000 + i as u32))
+            bt.insert(&bp, &key_i(i * 1000), rid(900_000 + i as u32))
                 .unwrap();
         }
-        assert_eq!(bt.lookup(&mut bp, &key_i(7)).unwrap().len(), 3000);
-        bt.validate(&mut bp).unwrap();
+        assert_eq!(bt.lookup(&bp, &key_i(7)).unwrap().len(), 3000);
+        bt.validate(&bp).unwrap();
         // Every duplicate must be individually deletable.
         for i in 0..3000u32 {
             assert!(
-                bt.delete(&mut bp, &key_i(7), rid(i)).unwrap(),
+                bt.delete(&bp, &key_i(7), rid(i)).unwrap(),
                 "duplicate {i} unreachable"
             );
         }
-        assert!(bt.lookup(&mut bp, &key_i(7)).unwrap().is_empty());
-        bt.validate(&mut bp).unwrap();
+        assert!(bt.lookup(&bp, &key_i(7)).unwrap().is_empty());
+        bt.validate(&bp).unwrap();
     }
 
     #[test]
     fn delete_and_dangling() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..200i64 {
-            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i), rid(i as u32)).unwrap();
         }
         for i in (0..200i64).step_by(2) {
-            assert!(bt.delete(&mut bp, &key_i(i), rid(i as u32)).unwrap());
+            assert!(bt.delete(&bp, &key_i(i), rid(i as u32)).unwrap());
         }
-        assert!(!bt.delete(&mut bp, &key_i(0), rid(0)).unwrap());
+        assert!(!bt.delete(&bp, &key_i(0), rid(0)).unwrap());
         assert_eq!(bt.len(), 100);
         for i in 0..200i64 {
-            let hit = !bt.lookup(&mut bp, &key_i(i)).unwrap().is_empty();
+            let hit = !bt.lookup(&bp, &key_i(i)).unwrap().is_empty();
             assert_eq!(hit, i % 2 == 1, "key {i}");
         }
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
     }
 
     #[test]
     fn range_scan_bounds() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..100i64 {
-            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i), rid(i as u32)).unwrap();
         }
-        let collect = |bp: &mut BufferPool, lo: Bound<i64>, hi: Bound<i64>| -> Vec<u32> {
+        let collect = |bp: &BufferPool, lo: Bound<i64>, hi: Bound<i64>| -> Vec<u32> {
             let lo_k = match lo {
                 Bound::Included(v) => Bound::Included(key_i(v)),
                 Bound::Excluded(v) => Bound::Excluded(key_i(v)),
@@ -1000,31 +1311,31 @@ mod tests {
             out
         };
         assert_eq!(
-            collect(&mut bp, Bound::Included(10), Bound::Excluded(13)),
+            collect(&bp, Bound::Included(10), Bound::Excluded(13)),
             vec![10, 11, 12]
         );
         assert_eq!(
-            collect(&mut bp, Bound::Excluded(97), Bound::Unbounded),
+            collect(&bp, Bound::Excluded(97), Bound::Unbounded),
             vec![98, 99]
         );
         assert_eq!(
-            collect(&mut bp, Bound::Unbounded, Bound::Included(1)),
+            collect(&bp, Bound::Unbounded, Bound::Included(1)),
             vec![0, 1]
         );
     }
 
     #[test]
     fn prefix_scan_on_composite_keys() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for c0 in 0..5i64 {
             for t in 0..20i64 {
                 let k = encode_composite_key(&[Value::Int(c0), Value::Int(t)]);
-                bt.insert(&mut bp, &k, rid((c0 * 100 + t) as u32)).unwrap();
+                bt.insert(&bp, &k, rid((c0 * 100 + t) as u32)).unwrap();
             }
         }
         let prefix = encode_composite_key(&[Value::Int(3)]);
-        let hits = bt.lookup_prefix(&mut bp, &prefix).unwrap();
+        let hits = bt.lookup_prefix(&bp, &prefix).unwrap();
         assert_eq!(hits.len(), 20);
         for (_, r) in hits {
             assert!((300..320).contains(&r.page));
@@ -1033,31 +1344,31 @@ mod tests {
 
     #[test]
     fn first_at_or_after() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in [10i64, 20, 30] {
-            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i), rid(i as u32)).unwrap();
         }
-        let (k, r) = bt.first_at_or_after(&mut bp, &key_i(15)).unwrap().unwrap();
+        let (k, r) = bt.first_at_or_after(&bp, &key_i(15)).unwrap().unwrap();
         assert_eq!(k, key_i(20));
         assert_eq!(r.page, 20);
-        assert!(bt.first_at_or_after(&mut bp, &key_i(31)).unwrap().is_none());
+        assert!(bt.first_at_or_after(&bp, &key_i(31)).unwrap().is_none());
     }
 
     #[test]
     fn lookup_many_agrees_with_singular_lookups() {
-        let mut bp = pool(32);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(32);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..4000i64 {
-            bt.insert(&mut bp, &key_i((i * 7919) % 1000), rid(i as u32))
+            bt.insert(&bp, &key_i((i * 7919) % 1000), rid(i as u32))
                 .unwrap();
         }
         // Sorted probe set with misses, duplicates, and heavy-duplicate
         // keys spanning leaves.
         let probes: Vec<Vec<u8>> = (0..1200i64).step_by(3).map(key_i).collect();
-        let batch = bt.lookup_many(&mut bp, &probes).unwrap();
+        let batch = bt.lookup_many(&bp, &probes).unwrap();
         for (k, rids) in probes.iter().zip(&batch) {
-            let mut single = bt.lookup(&mut bp, k).unwrap();
+            let mut single = bt.lookup(&bp, k).unwrap();
             let mut got = rids.clone();
             single.sort_unstable();
             got.sort_unstable();
@@ -1065,15 +1376,15 @@ mod tests {
         }
         // Equal neighboring keys are served too.
         let dup = vec![key_i(7), key_i(7), key_i(700)];
-        let batch = bt.lookup_many(&mut bp, &dup).unwrap();
+        let batch = bt.lookup_many(&bp, &dup).unwrap();
         assert_eq!(batch[0], batch[1]);
         // One ordered pass touches far fewer pages than per-key descents.
         bp.reset_stats();
-        bt.lookup_many(&mut bp, &probes).unwrap();
+        bt.lookup_many(&bp, &probes).unwrap();
         let batched = bp.stats().logical_reads;
         bp.reset_stats();
         for k in &probes {
-            bt.lookup(&mut bp, k).unwrap();
+            bt.lookup(&bp, k).unwrap();
         }
         let singular = bp.stats().logical_reads;
         assert!(
@@ -1084,15 +1395,15 @@ mod tests {
 
     #[test]
     fn insert_many_matches_repeated_insert() {
-        let mut bp_a = pool(64);
-        let mut a = BTree::create(&mut bp_a).unwrap();
-        let mut bp_b = pool(64);
-        let mut b = BTree::create(&mut bp_b).unwrap();
+        let bp_a = pool(64);
+        let mut a = BTree::create(&bp_a).unwrap();
+        let bp_b = pool(64);
+        let mut b = BTree::create(&bp_b).unwrap();
         // Pre-populate both identically, then add a large sorted batch
         // (with duplicates of existing pairs) to each via the two paths.
         for i in 0..500i64 {
-            a.insert(&mut bp_a, &key_i(i * 3), rid(i as u32)).unwrap();
-            b.insert(&mut bp_b, &key_i(i * 3), rid(i as u32)).unwrap();
+            a.insert(&bp_a, &key_i(i * 3), rid(i as u32)).unwrap();
+            b.insert(&bp_b, &key_i(i * 3), rid(i as u32)).unwrap();
         }
         let mut batch: Vec<(Vec<u8>, Rid)> = (0..3000i64)
             .map(|i| (key_i((i * 31) % 2000), rid(50_000 + i as u32)))
@@ -1101,21 +1412,21 @@ mod tests {
         batch.push((key_i(0), rid(0)));
         batch.push((key_i(3), rid(1)));
         batch.sort_unstable();
-        a.insert_many(&mut bp_a, &batch).unwrap();
+        a.insert_many(&bp_a, &batch).unwrap();
         for (k, r) in &batch {
-            b.insert(&mut bp_b, k, *r).unwrap();
+            b.insert(&bp_b, k, *r).unwrap();
         }
         assert_eq!(a.len(), b.len());
-        a.validate(&mut bp_a).unwrap();
-        b.validate(&mut bp_b).unwrap();
+        a.validate(&bp_a).unwrap();
+        b.validate(&bp_b).unwrap();
         let mut scan_a = Vec::new();
-        a.scan_range(&mut bp_a, Bound::Unbounded, Bound::Unbounded, |k, r| {
+        a.scan_range(&bp_a, Bound::Unbounded, Bound::Unbounded, |k, r| {
             scan_a.push((k.to_vec(), r));
             true
         })
         .unwrap();
         let mut scan_b = Vec::new();
-        b.scan_range(&mut bp_b, Bound::Unbounded, Bound::Unbounded, |k, r| {
+        b.scan_range(&bp_b, Bound::Unbounded, Bound::Unbounded, |k, r| {
             scan_b.push((k.to_vec(), r));
             true
         })
@@ -1125,26 +1436,26 @@ mod tests {
 
     #[test]
     fn insert_many_into_empty_tree_grows_levels() {
-        let mut bp = pool(128);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(128);
+        let mut bt = BTree::create(&bp).unwrap();
         // One huge batch from empty: forces multi-way leaf splits and at
         // least one root-growth round in a single call.
         let batch: Vec<(Vec<u8>, Rid)> =
             (0..20_000i64).map(|i| (key_i(i), rid(i as u32))).collect();
-        bt.insert_many(&mut bp, &batch).unwrap();
+        bt.insert_many(&bp, &batch).unwrap();
         assert_eq!(bt.len(), 20_000);
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
         for i in (0..20_000i64).step_by(977) {
-            assert_eq!(bt.lookup(&mut bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
+            assert_eq!(bt.lookup(&bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
         }
     }
 
     #[test]
     fn delete_many_removes_exactly_the_batch() {
-        let mut bp = pool(64);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(64);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..2000i64 {
-            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i), rid(i as u32)).unwrap();
         }
         let mut batch: Vec<(Vec<u8>, Rid)> = (0..2000i64)
             .step_by(2)
@@ -1153,35 +1464,33 @@ mod tests {
         // Misses are counted out, not errors.
         batch.push((key_i(99_999), rid(1)));
         batch.sort_unstable();
-        let removed = bt.delete_many(&mut bp, &batch).unwrap();
+        let removed = bt.delete_many(&bp, &batch).unwrap();
         assert_eq!(removed, 1000);
         assert_eq!(bt.len(), 1000);
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
         for i in 0..2000i64 {
-            let hit = !bt.lookup(&mut bp, &key_i(i)).unwrap().is_empty();
+            let hit = !bt.lookup(&bp, &key_i(i)).unwrap().is_empty();
             assert_eq!(hit, i % 2 == 1, "key {i}");
         }
     }
 
     #[test]
     fn first_n_at_or_after_walks_in_order() {
-        let mut bp = pool(16);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(16);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..100i64 {
-            bt.insert(&mut bp, &key_i(i * 10), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i * 10), rid(i as u32)).unwrap();
         }
-        let hits = bt.first_n_at_or_after(&mut bp, &key_i(55), 4).unwrap();
+        let hits = bt.first_n_at_or_after(&bp, &key_i(55), 4).unwrap();
         let keys: Vec<Vec<u8>> = hits.iter().map(|(k, _)| k.clone()).collect();
         assert_eq!(keys, vec![key_i(60), key_i(70), key_i(80), key_i(90)]);
         // Asking past the end returns what exists.
         assert_eq!(
-            bt.first_n_at_or_after(&mut bp, &key_i(985), 10)
-                .unwrap()
-                .len(),
+            bt.first_n_at_or_after(&bp, &key_i(985), 10).unwrap().len(),
             1
         );
         assert!(bt
-            .first_n_at_or_after(&mut bp, &key_i(0), 0)
+            .first_n_at_or_after(&bp, &key_i(0), 0)
             .unwrap()
             .is_empty());
     }
@@ -1189,30 +1498,30 @@ mod tests {
     #[test]
     fn survives_tiny_buffer_pool() {
         // Every node access must round-trip through a 2-frame pool.
-        let mut bp = pool(2);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(2);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..2000i64 {
-            bt.insert(&mut bp, &key_i(i), rid(i as u32)).unwrap();
+            bt.insert(&bp, &key_i(i), rid(i as u32)).unwrap();
         }
         for i in (0..2000i64).step_by(97) {
-            assert_eq!(bt.lookup(&mut bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
+            assert_eq!(bt.lookup(&bp, &key_i(i)).unwrap(), vec![rid(i as u32)]);
         }
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
         assert!(bp.stats().evictions > 0);
     }
 
     #[test]
     fn long_string_keys_split_correctly() {
-        let mut bp = pool(32);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(32);
+        let mut bt = BTree::create(&bp).unwrap();
         for i in 0..300 {
             let k = encode_composite_key(&[Value::Str(format!(
                 "http://server-{:03}.example.org/a/very/long/path/segment/page-{i}.html",
                 i % 40
             ))]);
-            bt.insert(&mut bp, &k, rid(i)).unwrap();
+            bt.insert(&bp, &k, rid(i)).unwrap();
         }
         assert_eq!(bt.len(), 300);
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
     }
 }

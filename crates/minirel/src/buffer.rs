@@ -15,10 +15,40 @@
 //! I/O counters, plus the eviction count, which the benchmark harness
 //! reports alongside wall-clock time: counters are machine-independent
 //! evidence that the access-path shapes match the paper.
+//!
+//! # Concurrency
+//!
+//! The pool has **interior mutability**: every method takes `&self`, so
+//! concurrent readers (monitoring SQL, catalog scans, B+tree probes) can
+//! share one pool without an external lock. Frames are partitioned into
+//! lock-striped **shards** — a page lives in shard `pid % N`, each shard
+//! behind its own short [`parking_lot::Mutex`] — so two threads touching
+//! different shards never contend. The I/O counters are atomics.
+//!
+//! Latch order, which every caller and this module obey:
+//!
+//! 1. **shard → disk**: a shard lock may acquire the disk lock (to fault
+//!    a page in or write a victim back), never the reverse;
+//! 2. **one shard at a time**: no code path holds two shard locks at
+//!    once ([`BufferPool::copy_page`] reads the source out, releases it,
+//!    then writes the destination);
+//! 3. **page closures must not re-enter the pool**: the closure passed
+//!    to [`BufferPool::with_page`] / [`BufferPool::with_page_mut`] runs
+//!    while the shard lock is held, so calling any pool method from
+//!    inside it can deadlock. Callers copy what they need out of the
+//!    page and return.
+//!
+//! The pool serializes *page accesses within a shard*, not logical
+//! operations: higher layers (e.g. [`crate::db::Database`] behind the
+//! crawler's session lock) are responsible for ordering writers against
+//! readers. What the pool guarantees is that a single page view is never
+//! torn and the counters never lose increments.
 
 use crate::disk::DiskManager;
 use crate::error::{DbError, DbResult};
 use crate::page::{PageId, INVALID_PAGE, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Replacement policy. LRU is the default; Clock exists for the ablation
 /// bench (`bench_ablation` in `focus-bench`).
@@ -64,6 +94,34 @@ impl IoStats {
     }
 }
 
+/// Atomic backing for [`IoStats`]: counters increment under a shard lock
+/// or none at all, so they must never lose updates from parallel readers.
+#[derive(Debug, Default)]
+struct AtomicIoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
 struct Frame {
     page: PageId,
     data: Box<[u8; PAGE_SIZE]>,
@@ -84,15 +142,59 @@ impl Frame {
     }
 }
 
-/// A pool of `capacity` frames in front of a [`DiskManager`].
-pub struct BufferPool {
-    disk: DiskManager,
+/// One lock stripe: the frames (and their map) for pages whose id hashes
+/// here. All fields are guarded by the shard's mutex.
+struct Shard {
     frames: Vec<Frame>,
     map: std::collections::HashMap<PageId, usize>,
     clock_hand: usize,
     tick: u64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            frames: (0..capacity).map(|_| Frame::empty()).collect(),
+            map: std::collections::HashMap::with_capacity(capacity * 2),
+            clock_hand: 0,
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.tick += 1;
+        self.frames[frame].last_used = self.tick;
+        self.frames[frame].ref_bit = true;
+    }
+}
+
+/// Upper bound on lock stripes.
+const MAX_SHARDS: usize = 16;
+
+/// Minimum frames per stripe. Striping trades eviction precision for
+/// concurrency (LRU/Clock run per shard), so tiny pools — where every
+/// frame matters and the Figure 8(b)-style sweeps live — stay at one
+/// shard with exact global eviction, and the stripe count grows only
+/// when each stripe still has a real working set.
+const MIN_FRAMES_PER_SHARD: usize = 8;
+
+fn shard_count(capacity: usize) -> usize {
+    (capacity / MIN_FRAMES_PER_SHARD).clamp(1, MAX_SHARDS)
+}
+
+/// A pool of `capacity` frames in front of a [`DiskManager`], safe to
+/// share across threads (`&self` everywhere; see the module docs for the
+/// latch order).
+pub struct BufferPool {
+    disk: Mutex<DiskManager>,
+    shards: Vec<Mutex<Shard>>,
     policy: EvictionPolicy,
-    stats: IoStats,
+    stats: AtomicIoStats,
+    /// Total frames across shards. Cached: it only changes through
+    /// `&mut self` ([`BufferPool::set_capacity`]), and reading it must
+    /// not touch the shard latches — `Database::sort_budget_rows` asks
+    /// on every statement, including the concurrent read path.
+    capacity: usize,
 }
 
 impl BufferPool {
@@ -100,78 +202,117 @@ impl BufferPool {
     pub fn new(disk: DiskManager, capacity: usize, policy: EvictionPolicy) -> Self {
         let capacity = capacity.max(1);
         BufferPool {
-            disk,
-            frames: (0..capacity).map(|_| Frame::empty()).collect(),
-            map: std::collections::HashMap::with_capacity(capacity * 2),
-            clock_hand: 0,
-            tick: 0,
+            disk: Mutex::new(disk),
+            shards: Self::build_shards(capacity, shard_count(capacity)),
             policy,
-            stats: IoStats::default(),
+            stats: AtomicIoStats::default(),
+            capacity,
         }
     }
 
-    /// Number of frames.
+    fn build_shards(capacity: usize, nshards: usize) -> Vec<Mutex<Shard>> {
+        // Distribute frames as evenly as possible; every shard gets ≥ 1.
+        (0..nshards)
+            .map(|i| {
+                let cap = capacity / nshards + usize::from(i < capacity % nshards);
+                Mutex::new(Shard::new(cap.max(1)))
+            })
+            .collect()
+    }
+
+    fn shard_of(&self, pid: PageId) -> &Mutex<Shard> {
+        &self.shards[pid as usize % self.shards.len()]
+    }
+
+    /// Number of frames. A plain field read: safe on the hot path.
     pub fn capacity(&self) -> usize {
-        self.frames.len()
+        self.capacity
     }
 
     /// Resize the pool (flushes everything first). Used by the Figure 8(b)
-    /// buffer sweep.
+    /// buffer sweep. Not safe to race with concurrent page access — the
+    /// caller must be the sole user (it is `&mut self` for that reason).
     pub fn set_capacity(&mut self, capacity: usize) -> DbResult<()> {
         self.flush_all()?;
         let capacity = capacity.max(1);
-        self.frames = (0..capacity).map(|_| Frame::empty()).collect();
-        self.map.clear();
-        self.clock_hand = 0;
+        self.shards = Self::build_shards(capacity, shard_count(capacity));
+        self.capacity = capacity;
         Ok(())
     }
 
     /// Counters since construction (or the last [`Self::reset_stats`]).
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Zero the counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Total pages allocated in the underlying file.
     pub fn num_pages(&self) -> u32 {
-        self.disk.num_pages()
+        self.disk.lock().num_pages()
     }
 
     /// Allocate a fresh zeroed page; it enters the pool dirty.
-    pub fn allocate(&mut self) -> DbResult<PageId> {
-        let pid = self.disk.allocate()?;
-        let frame = self.victim_frame()?;
-        let f = &mut self.frames[frame];
+    pub fn allocate(&self) -> DbResult<PageId> {
+        let pid = self.disk.lock().allocate()?;
+        let mut shard = self.shard_of(pid).lock();
+        let frame = self.victim_frame(&mut shard)?;
+        let f = &mut shard.frames[frame];
         f.page = pid;
         f.data.fill(0);
         f.dirty = true;
-        self.touch(frame);
-        self.map.insert(pid, frame);
+        shard.touch(frame);
+        shard.map.insert(pid, frame);
         Ok(pid)
     }
 
     /// Run `f` over an immutable view of page `pid`.
-    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
-        let frame = self.fetch(pid)?;
-        self.touch(frame);
-        Ok(f(&self.frames[frame].data[..]))
+    ///
+    /// `f` runs under the page's shard lock: it must not call back into
+    /// the pool (copy data out instead).
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> DbResult<R> {
+        let mut shard = self.shard_of(pid).lock();
+        let frame = self.fetch(&mut shard, pid)?;
+        shard.touch(frame);
+        Ok(f(&shard.frames[frame].data[..]))
     }
 
     /// Run `f` over a mutable view of page `pid`; marks the frame dirty.
-    pub fn with_page_mut<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
-        let frame = self.fetch(pid)?;
-        self.touch(frame);
-        let fr = &mut self.frames[frame];
-        fr.dirty = true;
-        Ok(f(&mut fr.data[..]))
+    ///
+    /// Same re-entrancy rule as [`BufferPool::with_page`].
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> DbResult<R> {
+        self.with_page_mut_if(pid, |b| (f(b), true))
     }
 
-    /// Copy page `src` onto page `dst` (used by B+tree splits).
-    pub fn copy_page(&mut self, src: PageId, dst: PageId) -> DbResult<()> {
+    /// Run `f` over a mutable view of page `pid`, marking the frame
+    /// dirty only when `f` reports it actually mutated (second tuple
+    /// element). For write paths that may turn out to be no-ops — a
+    /// duplicate index insert, a delete miss — so an untouched page is
+    /// never written back and `physical_writes` stays honest.
+    ///
+    /// Same re-entrancy rule as [`BufferPool::with_page`].
+    pub fn with_page_mut_if<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8]) -> (R, bool),
+    ) -> DbResult<R> {
+        let mut shard = self.shard_of(pid).lock();
+        let frame = self.fetch(&mut shard, pid)?;
+        shard.touch(frame);
+        let fr = &mut shard.frames[frame];
+        let (r, dirtied) = f(&mut fr.data[..]);
+        if dirtied {
+            fr.dirty = true;
+        }
+        Ok(r)
+    }
+
+    /// Copy page `src` onto page `dst` (used by B+tree splits). The two
+    /// shard locks are taken one after the other, never nested.
+    pub fn copy_page(&self, src: PageId, dst: PageId) -> DbResult<()> {
         let buf = self.with_page(src, |b| {
             let mut tmp = [0u8; PAGE_SIZE];
             tmp.copy_from_slice(b);
@@ -181,48 +322,46 @@ impl BufferPool {
     }
 
     /// Write every dirty frame back to disk.
-    pub fn flush_all(&mut self) -> DbResult<()> {
-        for i in 0..self.frames.len() {
-            if self.frames[i].page != INVALID_PAGE && self.frames[i].dirty {
-                self.stats.physical_writes += 1;
-                self.disk.write(self.frames[i].page, &self.frames[i].data)?;
-                self.frames[i].dirty = false;
+    pub fn flush_all(&self) -> DbResult<()> {
+        for s in &self.shards {
+            let mut shard = s.lock();
+            for i in 0..shard.frames.len() {
+                if shard.frames[i].page != INVALID_PAGE && shard.frames[i].dirty {
+                    self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    self.disk
+                        .lock()
+                        .write(shard.frames[i].page, &shard.frames[i].data)?;
+                    shard.frames[i].dirty = false;
+                }
             }
         }
         Ok(())
     }
 
-    fn touch(&mut self, frame: usize) {
-        self.tick += 1;
-        self.frames[frame].last_used = self.tick;
-        self.frames[frame].ref_bit = true;
-    }
-
-    fn fetch(&mut self, pid: PageId) -> DbResult<usize> {
-        self.stats.logical_reads += 1;
-        if let Some(&frame) = self.map.get(&pid) {
+    fn fetch(&self, shard: &mut Shard, pid: PageId) -> DbResult<usize> {
+        self.stats.logical_reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(&frame) = shard.map.get(&pid) {
             return Ok(frame);
         }
-        self.stats.physical_reads += 1;
-        let frame = self.victim_frame()?;
-        // Borrow dance: read into the frame buffer directly.
-        let f = &mut self.frames[frame];
-        self.disk.read(pid, &mut f.data)?;
+        self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+        let frame = self.victim_frame(shard)?;
+        let f = &mut shard.frames[frame];
+        self.disk.lock().read(pid, &mut f.data)?;
         f.page = pid;
         f.dirty = false;
-        self.map.insert(pid, frame);
+        shard.map.insert(pid, frame);
         Ok(frame)
     }
 
-    /// Pick a frame to hold a new page, evicting (and write-backing) its
-    /// current occupant if needed.
-    fn victim_frame(&mut self) -> DbResult<usize> {
+    /// Pick a frame within `shard` to hold a new page, evicting (and
+    /// write-backing) its current occupant if needed.
+    fn victim_frame(&self, shard: &mut Shard) -> DbResult<usize> {
         // Prefer an empty frame.
-        if let Some(i) = self.frames.iter().position(|f| f.page == INVALID_PAGE) {
+        if let Some(i) = shard.frames.iter().position(|f| f.page == INVALID_PAGE) {
             return Ok(i);
         }
         let victim = match self.policy {
-            EvictionPolicy::Lru => self
+            EvictionPolicy::Lru => shard
                 .frames
                 .iter()
                 .enumerate()
@@ -230,31 +369,31 @@ impl BufferPool {
                 .map(|(i, _)| i)
                 .ok_or_else(|| DbError::Page("buffer pool has no frames".into()))?,
             EvictionPolicy::Clock => {
-                let n = self.frames.len();
-                let mut hand = self.clock_hand;
+                let n = shard.frames.len();
+                let mut hand = shard.clock_hand;
                 let mut spins = 0;
                 loop {
-                    if !self.frames[hand].ref_bit {
+                    if !shard.frames[hand].ref_bit {
                         break;
                     }
-                    self.frames[hand].ref_bit = false;
+                    shard.frames[hand].ref_bit = false;
                     hand = (hand + 1) % n;
                     spins += 1;
                     if spins > 2 * n {
                         break; // all referenced; take current
                     }
                 }
-                self.clock_hand = (hand + 1) % n;
+                shard.clock_hand = (hand + 1) % n;
                 hand
             }
         };
-        let f = &mut self.frames[victim];
+        let f = &mut shard.frames[victim];
         if f.dirty {
-            self.stats.physical_writes += 1;
-            self.disk.write(f.page, &f.data)?;
+            self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+            self.disk.lock().write(f.page, &f.data)?;
         }
-        self.stats.evictions += 1;
-        self.map.remove(&f.page);
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        shard.map.remove(&f.page);
         f.page = INVALID_PAGE;
         f.dirty = false;
         Ok(victim)
@@ -271,7 +410,7 @@ mod tests {
 
     #[test]
     fn data_survives_eviction() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let pages: Vec<PageId> = (0..8).map(|_| bp.allocate().unwrap()).collect();
         for (i, &p) in pages.iter().enumerate() {
             bp.with_page_mut(p, |b| b[0] = i as u8).unwrap();
@@ -287,7 +426,7 @@ mod tests {
 
     #[test]
     fn hits_do_not_touch_disk() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let p = bp.allocate().unwrap();
         bp.with_page_mut(p, |b| b[7] = 9).unwrap();
         bp.reset_stats();
@@ -302,7 +441,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_cold_page() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let a = bp.allocate().unwrap();
         let b = bp.allocate().unwrap();
         let c = bp.allocate().unwrap(); // evicts a or b
@@ -318,7 +457,7 @@ mod tests {
 
     #[test]
     fn clock_policy_works_too() {
-        let mut bp = BufferPool::new(DiskManager::in_memory(), 3, EvictionPolicy::Clock);
+        let bp = BufferPool::new(DiskManager::in_memory(), 3, EvictionPolicy::Clock);
         let pages: Vec<PageId> = (0..10).map(|_| bp.allocate().unwrap()).collect();
         for (i, &p) in pages.iter().enumerate() {
             bp.with_page_mut(p, |buf| buf[1] = i as u8).unwrap();
@@ -331,7 +470,7 @@ mod tests {
     #[test]
     fn sequential_scan_thrashes_small_pool_but_not_large() {
         let run = |cap: usize| -> u64 {
-            let mut bp = pool(cap);
+            let bp = pool(cap);
             let pages: Vec<PageId> = (0..16).map(|_| bp.allocate().unwrap()).collect();
             bp.flush_all().unwrap();
             bp.reset_stats();
@@ -359,7 +498,7 @@ mod tests {
 
     #[test]
     fn copy_page_copies() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let a = bp.allocate().unwrap();
         let b = bp.allocate().unwrap();
         bp.with_page_mut(a, |buf| buf[100] = 42).unwrap();
@@ -369,11 +508,43 @@ mod tests {
 
     #[test]
     fn stats_since() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let p = bp.allocate().unwrap();
         let before = bp.stats();
         bp.with_page(p, |_| ()).unwrap();
         let delta = bp.stats().since(&before);
         assert_eq!(delta.logical_reads, 1);
+    }
+
+    #[test]
+    fn capacity_is_preserved_across_sharding() {
+        for cap in [1, 2, 3, 15, 16, 17, 64, 100] {
+            assert_eq!(pool(cap).capacity(), cap, "capacity {cap} distorted");
+        }
+    }
+
+    #[test]
+    fn parallel_readers_count_every_logical_read() {
+        let bp = std::sync::Arc::new(pool(32));
+        let pages: Vec<PageId> = (0..16).map(|_| bp.allocate().unwrap()).collect();
+        bp.reset_stats();
+        let threads = 4;
+        let rounds = 250;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let bp = std::sync::Arc::clone(&bp);
+                let pages = pages.clone();
+                s.spawn(move || {
+                    for i in 0..rounds {
+                        bp.with_page(pages[i % pages.len()], |_| ()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            bp.stats().logical_reads,
+            (threads * rounds) as u64,
+            "atomic counters must not lose increments"
+        );
     }
 }

@@ -63,7 +63,7 @@ impl Catalog {
     /// Register a new table.
     pub fn create_table(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         name: &str,
         schema: Schema,
     ) -> DbResult<TableId> {
@@ -125,7 +125,7 @@ impl Catalog {
     /// Create a B+tree index on `cols` of `table`, backfilling existing rows.
     pub fn create_index(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         index_name: &str,
         table: &str,
         cols: &[&str],
@@ -169,12 +169,7 @@ impl Catalog {
     }
 
     /// Insert a row (validates, widens, maintains indexes).
-    pub fn insert_row(
-        &mut self,
-        pool: &mut BufferPool,
-        tid: TableId,
-        mut row: Row,
-    ) -> DbResult<Rid> {
+    pub fn insert_row(&mut self, pool: &BufferPool, tid: TableId, mut row: Row) -> DbResult<Rid> {
         let t = &mut self.tables[tid];
         t.schema.check_row(&mut row)?;
         let rid = t.heap.insert(pool, &encode_row(&row))?;
@@ -191,7 +186,7 @@ impl Catalog {
     /// write path the crawler's frontier flush rides on.
     pub fn insert_many(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         tid: TableId,
         rows: Vec<Row>,
     ) -> DbResult<Vec<Rid>> {
@@ -229,7 +224,7 @@ impl Catalog {
     /// oversized row anywhere in the batch mutates nothing.
     pub fn update_many(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         tid: TableId,
         updates: Vec<(Rid, Row, Row)>,
     ) -> DbResult<Vec<Rid>> {
@@ -275,13 +270,13 @@ impl Catalog {
     }
 
     /// Read the row at `rid`.
-    pub fn get_row(&self, pool: &mut BufferPool, tid: TableId, rid: Rid) -> DbResult<Row> {
+    pub fn get_row(&self, pool: &BufferPool, tid: TableId, rid: Rid) -> DbResult<Row> {
         let bytes = self.tables[tid].heap.get(pool, rid)?;
         decode_row(&bytes)
     }
 
     /// Delete the row at `rid`, removing its index entries.
-    pub fn delete_row(&mut self, pool: &mut BufferPool, tid: TableId, rid: Rid) -> DbResult<()> {
+    pub fn delete_row(&mut self, pool: &BufferPool, tid: TableId, rid: Rid) -> DbResult<()> {
         let row = self.get_row(pool, tid, rid)?;
         let t = &mut self.tables[tid];
         for idx in &mut t.indexes {
@@ -294,7 +289,7 @@ impl Catalog {
     /// Replace the row at `rid`; returns the row's (possibly new) rid.
     pub fn update_row(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         tid: TableId,
         rid: Rid,
         mut new_row: Row,
@@ -314,8 +309,32 @@ impl Catalog {
         Ok(new_rid)
     }
 
+    /// Materialize rows of a table with only the columns marked in
+    /// `keep` decoded (the rest are `Null` placeholders at their
+    /// original positions). The scan half of SELECT column pruning:
+    /// unreferenced text columns never allocate.
+    pub fn scan_rows_pruned(
+        &self,
+        pool: &BufferPool,
+        tid: TableId,
+        keep: &[bool],
+    ) -> DbResult<Vec<Row>> {
+        let mut out = Vec::with_capacity(self.tables[tid].heap.len() as usize);
+        let mut err = None;
+        self.tables[tid].heap.scan(pool, |_, bytes| {
+            match crate::value::decode_row_pruned(bytes, keep) {
+                Ok(row) => out.push(row),
+                Err(e) => err = Some(e),
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
     /// Materialize every row of a table (decoded).
-    pub fn scan_table(&self, pool: &mut BufferPool, tid: TableId) -> DbResult<Vec<(Rid, Row)>> {
+    pub fn scan_table(&self, pool: &BufferPool, tid: TableId) -> DbResult<Vec<(Rid, Row)>> {
         let mut out = Vec::with_capacity(self.tables[tid].heap.len() as usize);
         let mut err = None;
         self.tables[tid]
@@ -347,11 +366,11 @@ mod tests {
     use crate::schema::ColumnType;
 
     fn setup() -> (BufferPool, Catalog, TableId) {
-        let mut pool = BufferPool::new(DiskManager::in_memory(), 32, EvictionPolicy::Lru);
+        let pool = BufferPool::new(DiskManager::in_memory(), 32, EvictionPolicy::Lru);
         let mut cat = Catalog::new();
         let tid = cat
             .create_table(
-                &mut pool,
+                &pool,
                 "crawl",
                 Schema::new([
                     ("oid", ColumnType::Int),
@@ -365,9 +384,9 @@ mod tests {
 
     #[test]
     fn create_and_duplicate_table() {
-        let (mut pool, mut cat, _) = setup();
+        let (pool, mut cat, _) = setup();
         assert!(cat
-            .create_table(&mut pool, "CRAWL", Schema::new([("x", ColumnType::Int)]))
+            .create_table(&pool, "CRAWL", Schema::new([("x", ColumnType::Int)]))
             .is_err());
         assert_eq!(cat.table_names(), vec!["crawl"]);
         assert!(cat.table_id("nope").is_err());
@@ -375,12 +394,12 @@ mod tests {
 
     #[test]
     fn insert_and_index_lookup() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "crawl_oid", "crawl", &["oid"])
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "crawl_oid", "crawl", &["oid"])
             .unwrap();
         for i in 0..100i64 {
             cat.insert_row(
-                &mut pool,
+                &pool,
                 tid,
                 vec![
                     Value::Int(i),
@@ -392,66 +411,64 @@ mod tests {
         }
         let key = encode_composite_key(&[Value::Int(42)]);
         let t = cat.table(tid);
-        let rids = t.indexes[0].btree.lookup(&mut pool, &key).unwrap();
+        let rids = t.indexes[0].btree.lookup(&pool, &key).unwrap();
         assert_eq!(rids.len(), 1);
-        let row = cat.get_row(&mut pool, tid, rids[0]).unwrap();
+        let row = cat.get_row(&pool, tid, rids[0]).unwrap();
         assert_eq!(row[1], Value::Str("u42".into()));
     }
 
     #[test]
     fn backfilled_index_matches_fresh_index() {
-        let (mut pool, mut cat, tid) = setup();
+        let (pool, mut cat, tid) = setup();
         for i in 0..50i64 {
             cat.insert_row(
-                &mut pool,
+                &pool,
                 tid,
                 vec![Value::Int(i), Value::Str("u".into()), Value::Float(0.5)],
             )
             .unwrap();
         }
         // Index created after the fact must see all rows.
-        cat.create_index(&mut pool, "late", "crawl", &["oid"])
-            .unwrap();
+        cat.create_index(&pool, "late", "crawl", &["oid"]).unwrap();
         assert_eq!(cat.table(tid).indexes[0].btree.len(), 50);
     }
 
     #[test]
     fn delete_maintains_indexes() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byoid", "crawl", &["oid"])
-            .unwrap();
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "byoid", "crawl", &["oid"]).unwrap();
         let rid = cat
             .insert_row(
-                &mut pool,
+                &pool,
                 tid,
                 vec![Value::Int(5), Value::Str("u5".into()), Value::Float(0.1)],
             )
             .unwrap();
-        cat.delete_row(&mut pool, tid, rid).unwrap();
+        cat.delete_row(&pool, tid, rid).unwrap();
         let key = encode_composite_key(&[Value::Int(5)]);
         assert!(cat.table(tid).indexes[0]
             .btree
-            .lookup(&mut pool, &key)
+            .lookup(&pool, &key)
             .unwrap()
             .is_empty());
-        assert!(cat.get_row(&mut pool, tid, rid).is_err());
+        assert!(cat.get_row(&pool, tid, rid).is_err());
     }
 
     #[test]
     fn update_moves_index_entries() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"])
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "byrel", "crawl", &["relevance"])
             .unwrap();
         let rid = cat
             .insert_row(
-                &mut pool,
+                &pool,
                 tid,
                 vec![Value::Int(1), Value::Str("u".into()), Value::Float(0.2)],
             )
             .unwrap();
         let new_rid = cat
             .update_row(
-                &mut pool,
+                &pool,
                 tid,
                 rid,
                 vec![Value::Int(1), Value::Str("u".into()), Value::Float(0.9)],
@@ -461,13 +478,13 @@ mod tests {
         let new_key = encode_composite_key(&[Value::Float(0.9)]);
         assert!(cat.table(tid).indexes[0]
             .btree
-            .lookup(&mut pool, &old_key)
+            .lookup(&pool, &old_key)
             .unwrap()
             .is_empty());
         assert_eq!(
             cat.table(tid).indexes[0]
                 .btree
-                .lookup(&mut pool, &new_key)
+                .lookup(&pool, &new_key)
                 .unwrap(),
             vec![new_rid]
         );
@@ -475,10 +492,9 @@ mod tests {
 
     #[test]
     fn insert_many_maintains_all_indexes() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byoid", "crawl", &["oid"])
-            .unwrap();
-        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"])
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "byoid", "crawl", &["oid"]).unwrap();
+        cat.create_index(&pool, "byrel", "crawl", &["relevance"])
             .unwrap();
         let rows: Vec<Row> = (0..200i64)
             .map(|i| {
@@ -489,14 +505,11 @@ mod tests {
                 ]
             })
             .collect();
-        let rids = cat.insert_many(&mut pool, tid, rows.clone()).unwrap();
+        let rids = cat.insert_many(&pool, tid, rows.clone()).unwrap();
         assert_eq!(rids.len(), 200);
         for (row, rid) in rows.iter().zip(&rids) {
             let key = encode_composite_key(&[row[0].clone()]);
-            let hits = cat.table(tid).indexes[0]
-                .btree
-                .lookup(&mut pool, &key)
-                .unwrap();
+            let hits = cat.table(tid).indexes[0].btree.lookup(&pool, &key).unwrap();
             assert!(hits.contains(rid), "oid index lost {row:?}");
         }
         assert_eq!(cat.table(tid).indexes[1].btree.len(), 200);
@@ -504,14 +517,14 @@ mod tests {
 
     #[test]
     fn update_many_moves_index_entries() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byrel", "crawl", &["relevance"])
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "byrel", "crawl", &["relevance"])
             .unwrap();
         let mut rids = Vec::new();
         for i in 0..50i64 {
             rids.push(
                 cat.insert_row(
-                    &mut pool,
+                    &pool,
                     tid,
                     vec![Value::Int(i), Value::Str("u".into()), Value::Float(0.2)],
                 )
@@ -523,49 +536,48 @@ mod tests {
             .map(|&rid| {
                 (
                     rid,
-                    cat.get_row(&mut pool, tid, rid).unwrap(),
+                    cat.get_row(&pool, tid, rid).unwrap(),
                     vec![Value::Int(-1), Value::Str("u".into()), Value::Float(0.9)],
                 )
             })
             .collect();
-        let new_rids = cat.update_many(&mut pool, tid, updates).unwrap();
+        let new_rids = cat.update_many(&pool, tid, updates).unwrap();
         let old_key = encode_composite_key(&[Value::Float(0.2)]);
         let new_key = encode_composite_key(&[Value::Float(0.9)]);
         assert!(cat.table(tid).indexes[0]
             .btree
-            .lookup(&mut pool, &old_key)
+            .lookup(&pool, &old_key)
             .unwrap()
             .is_empty());
         let mut hits = cat.table(tid).indexes[0]
             .btree
-            .lookup(&mut pool, &new_key)
+            .lookup(&pool, &new_key)
             .unwrap();
         hits.sort_unstable();
         let mut want = new_rids.clone();
         want.sort_unstable();
         assert_eq!(hits, want);
         for rid in new_rids {
-            assert_eq!(cat.get_row(&mut pool, tid, rid).unwrap()[0], Value::Int(-1));
+            assert_eq!(cat.get_row(&pool, tid, rid).unwrap()[0], Value::Int(-1));
         }
     }
 
     #[test]
     fn batch_mutations_are_all_or_nothing_on_validation_errors() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "byoid", "crawl", &["oid"])
-            .unwrap();
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "byoid", "crawl", &["oid"]).unwrap();
         let rid = cat
             .insert_row(
-                &mut pool,
+                &pool,
                 tid,
                 vec![Value::Int(1), Value::Str("u1".into()), Value::Float(0.1)],
             )
             .unwrap();
-        let old = cat.get_row(&mut pool, tid, rid).unwrap();
+        let old = cat.get_row(&pool, tid, rid).unwrap();
         // A schema-violating row *later* in the batch must leave the
         // earlier row untouched in heap AND indexes.
         let res = cat.update_many(
-            &mut pool,
+            &pool,
             tid,
             vec![
                 (
@@ -581,13 +593,10 @@ mod tests {
             ],
         );
         assert!(res.is_err());
-        assert_eq!(cat.get_row(&mut pool, tid, rid).unwrap(), old);
+        assert_eq!(cat.get_row(&pool, tid, rid).unwrap(), old);
         let key = encode_composite_key(&[Value::Int(1)]);
         assert_eq!(
-            cat.table(tid).indexes[0]
-                .btree
-                .lookup(&mut pool, &key)
-                .unwrap(),
+            cat.table(tid).indexes[0].btree.lookup(&pool, &key).unwrap(),
             vec![rid],
             "index must still carry the untouched row"
         );
@@ -595,7 +604,7 @@ mod tests {
         let heap_before = cat.table(tid).heap.len();
         let idx_before = cat.table(tid).indexes[0].btree.len();
         let res = cat.insert_many(
-            &mut pool,
+            &pool,
             tid,
             vec![
                 vec![Value::Int(5), Value::Str("ok".into()), Value::Float(0.0)],
@@ -613,21 +622,21 @@ mod tests {
 
     #[test]
     fn schema_violation_rejected() {
-        let (mut pool, mut cat, tid) = setup();
+        let (pool, mut cat, tid) = setup();
         assert!(cat
             .insert_row(
-                &mut pool,
+                &pool,
                 tid,
                 vec![Value::Str("no".into()), Value::Null, Value::Null]
             )
             .is_err());
-        assert!(cat.insert_row(&mut pool, tid, vec![Value::Int(1)]).is_err());
+        assert!(cat.insert_row(&pool, tid, vec![Value::Int(1)]).is_err());
     }
 
     #[test]
     fn find_index_prefix_match() {
-        let (mut pool, mut cat, tid) = setup();
-        cat.create_index(&mut pool, "c2", "crawl", &["oid", "relevance"])
+        let (pool, mut cat, tid) = setup();
+        cat.create_index(&pool, "c2", "crawl", &["oid", "relevance"])
             .unwrap();
         assert_eq!(cat.find_index(tid, &[0]), Some(0));
         assert_eq!(cat.find_index(tid, &[0, 2]), Some(0));

@@ -4,17 +4,33 @@
 //! classifier, distiller, monitor) share. It exposes both the SQL path and
 //! direct storage handles — the paper's hot loops are ODBC/CLI routines,
 //! ours call the catalog/B+tree APIs directly through
-//! [`Database::parts_mut`].
+//! [`Database::parts_mut`] (writers) and [`Database::parts`] (readers).
+//!
+//! # What `&self` vs `&mut self` promises
+//!
+//! The receiver type is the concurrency contract:
+//!
+//! * `&self` methods ([`Database::query`], [`Database::io_stats`],
+//!   [`Database::catalog`], [`Database::parts`], …) never change logical
+//!   database state and are safe to call from many threads at once —
+//!   page traffic goes through the interior-mutable, lock-striped
+//!   [`BufferPool`], which serializes frame access per shard.
+//! * `&mut self` methods ([`Database::execute`], [`Database::insert`],
+//!   …) may rewrite heap pages and B+tree nodes; Rust's aliasing rules
+//!   make them exclusive against every reader.
+//!
+//! Share a `Database` behind an `RwLock` (as the crawler's session does)
+//! and SELECT-only monitoring runs under the read lock, concurrent with
+//! other monitors, while mutations take the write lock.
 
 use crate::buffer::{BufferPool, EvictionPolicy, IoStats};
 use crate::catalog::{Catalog, TableId};
 use crate::disk::DiskManager;
 use crate::error::{DbError, DbResult};
 use crate::page::PAGE_SIZE;
-use crate::sql::run::{run_statement, SqlCtx, StmtResult};
-use crate::sql::{parse_script, parse_statement};
+use crate::sql::run::{run_select, run_statement, Relation, SqlCtx, StmtResult};
+use crate::sql::{parse_script, parse_statement, Statement};
 use crate::value::{Row, Value};
-use std::collections::HashMap;
 
 /// Rows + column names returned by a query.
 #[derive(Debug, Clone, Default)]
@@ -146,21 +162,45 @@ impl Database {
         Ok(last)
     }
 
+    /// Execute a **SELECT** through shared borrows only — the read path
+    /// monitors use so observing a crawl never blocks it. Returns
+    /// [`DbError::ReadOnly`] for any other statement kind; route DDL/DML
+    /// through [`Database::execute`], which is exclusive.
+    pub fn query(&self, sql: &str) -> DbResult<ResultSet> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(q) = &stmt else {
+            return Err(DbError::ReadOnly(format!(
+                "query() accepts SELECT only (got {})",
+                sql.split_whitespace().next().unwrap_or("")
+            )));
+        };
+        let mut ctx = SqlCtx::new(
+            &self.pool,
+            &self.catalog,
+            self.current_timestamp,
+            self.sort_budget_rows(),
+        );
+        Ok(Self::rows_result(run_select(&mut ctx, q)?))
+    }
+
+    fn rows_result(rel: Relation) -> ResultSet {
+        ResultSet {
+            columns: rel.cols.into_iter().map(|c| c.name).collect(),
+            rows: rel.rows,
+            affected: 0,
+        }
+    }
+
     fn run(&mut self, stmt: &crate::sql::Statement) -> DbResult<ResultSet> {
         let budget = self.sort_budget_rows();
-        let mut ctx = SqlCtx {
-            pool: &mut self.pool,
-            catalog: &mut self.catalog,
-            current_timestamp: self.current_timestamp,
-            sort_budget_rows: budget,
-            ctes: HashMap::new(),
-        };
-        match run_statement(&mut ctx, stmt)? {
-            StmtResult::Rows(rel) => Ok(ResultSet {
-                columns: rel.cols.into_iter().map(|c| c.name).collect(),
-                rows: rel.rows,
-                affected: 0,
-            }),
+        match run_statement(
+            &self.pool,
+            &mut self.catalog,
+            self.current_timestamp,
+            budget,
+            stmt,
+        )? {
+            StmtResult::Rows(rel) => Ok(Self::rows_result(rel)),
             StmtResult::Affected(n) => Ok(ResultSet {
                 affected: n,
                 ..Default::default()
@@ -192,13 +232,14 @@ impl Database {
         self.sort_budget_override = rows;
     }
 
-    /// I/O counters of the buffer pool.
+    /// I/O counters of the buffer pool (atomic; callable concurrently
+    /// with readers and writers).
     pub fn io_stats(&self) -> IoStats {
         self.pool.stats()
     }
 
     /// Zero the I/O counters.
-    pub fn reset_io_stats(&mut self) {
+    pub fn reset_io_stats(&self) {
         self.pool.reset_stats();
     }
 
@@ -228,14 +269,22 @@ impl Database {
     }
 
     /// Split borrows for direct-operator code paths (classifier/distiller
-    /// hot loops; the paper's CLI routines).
-    pub fn parts_mut(&mut self) -> (&mut BufferPool, &mut Catalog) {
-        (&mut self.pool, &mut self.catalog)
+    /// hot loops; the paper's CLI routines). The pool comes back shared —
+    /// it is interior-mutable — while the catalog borrow is exclusive,
+    /// so heap/index mutations stay single-writer.
+    pub fn parts_mut(&mut self) -> (&BufferPool, &mut Catalog) {
+        (&self.pool, &mut self.catalog)
+    }
+
+    /// Shared split borrows for read-only operator paths (index probes,
+    /// scans) that can run concurrently with other readers.
+    pub fn parts(&self) -> (&BufferPool, &Catalog) {
+        (&self.pool, &self.catalog)
     }
 
     /// Insert a row through the typed API (faster than SQL for bulk loads).
     pub fn insert(&mut self, table: TableId, row: Row) -> DbResult<()> {
-        self.catalog.insert_row(&mut self.pool, table, row)?;
+        self.catalog.insert_row(&self.pool, table, row)?;
         Ok(())
     }
 
@@ -243,7 +292,7 @@ impl Database {
     /// maintained with a single sorted pass instead of one descent per
     /// row (the §3.1 batch-oriented access path, write side).
     pub fn insert_many(&mut self, table: TableId, rows: Vec<Row>) -> DbResult<()> {
-        self.catalog.insert_many(&mut self.pool, table, rows)?;
+        self.catalog.insert_many(&self.pool, table, rows)?;
         Ok(())
     }
 

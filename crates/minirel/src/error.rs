@@ -27,6 +27,9 @@ pub enum DbError {
     /// on-disk corruption or a schema drifting out from under its
     /// readers. Never masked with fabricated defaults.
     Corrupt(String),
+    /// A mutating statement reached a read-only entry point
+    /// (`Database::query` accepts SELECT only).
+    ReadOnly(String),
 }
 
 impl fmt::Display for DbError {
@@ -46,6 +49,7 @@ impl fmt::Display for DbError {
                 write!(f, "record of {n} bytes exceeds page capacity")
             }
             DbError::Corrupt(m) => write!(f, "corrupt row: {m}"),
+            DbError::ReadOnly(m) => write!(f, "read-only violation: {m}"),
         }
     }
 }

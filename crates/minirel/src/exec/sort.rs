@@ -79,7 +79,7 @@ struct RunReader {
 }
 
 impl RunReader {
-    fn next(&mut self, pool: &mut BufferPool) -> DbResult<Option<Row>> {
+    fn next(&mut self, pool: &BufferPool) -> DbResult<Option<Row>> {
         while self.page_idx < self.pages.len() {
             let pid = self.pages[self.page_idx];
             let slot = self.slot;
@@ -118,7 +118,7 @@ impl RunReader {
 /// are not reclaimed (the paged file only grows), mirroring sort spill
 /// space of the era's engines between reorgs.
 pub fn external_sort(
-    pool: &mut BufferPool,
+    pool: &BufferPool,
     rows: Vec<Row>,
     keys: &[SortKey],
     mem_budget_rows: usize,
@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn external_matches_in_memory() {
-        let mut bp = pool(8);
+        let bp = pool(8);
         let n = 3000;
         let mut rows = Vec::new();
         let mut x: i64 = 42;
@@ -224,19 +224,19 @@ mod tests {
         }
         let keys = [SortKey::asc(0)];
         let expect = sort_rows(rows.clone(), &keys).unwrap();
-        let got = external_sort(&mut bp, rows, &keys, 100).unwrap();
+        let got = external_sort(&bp, rows, &keys, 100).unwrap();
         assert_eq!(got, expect);
         assert!(bp.stats().physical_writes > 0, "must have spilled runs");
     }
 
     #[test]
     fn external_desc_with_strings() {
-        let mut bp = pool(8);
+        let bp = pool(8);
         let rows: Vec<Row> = (0..500)
             .map(|i| vec![Value::Str(format!("url-{:04}", (i * 37) % 500))])
             .collect();
         let keys = [SortKey::desc(0)];
-        let got = external_sort(&mut bp, rows, &keys, 50).unwrap();
+        let got = external_sort(&bp, rows, &keys, 50).unwrap();
         for w in got.windows(2) {
             assert!(w[0][0] >= w[1][0]);
         }
@@ -245,10 +245,10 @@ mod tests {
 
     #[test]
     fn small_input_does_not_spill() {
-        let mut bp = pool(8);
+        let bp = pool(8);
         bp.reset_stats();
         let rows = rows_of(&[(2, 0.0), (1, 0.0)]);
-        let got = external_sort(&mut bp, rows, &[SortKey::asc(0)], 100).unwrap();
+        let got = external_sort(&bp, rows, &[SortKey::asc(0)], 100).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!(bp.stats().physical_writes, 0);
     }
@@ -264,12 +264,12 @@ mod tests {
     #[test]
     fn smaller_budget_spills_more() {
         let io_with_budget = |budget: usize| {
-            let mut bp = pool(4);
+            let bp = pool(4);
             let rows: Vec<Row> = (0..2000)
                 .map(|i| vec![Value::Int((i * 7919) % 2000)])
                 .collect();
             bp.reset_stats();
-            external_sort(&mut bp, rows, &[SortKey::asc(0)], budget).unwrap();
+            external_sort(&bp, rows, &[SortKey::asc(0)], budget).unwrap();
             bp.stats().physical_reads + bp.stats().physical_writes
         };
         let tight = io_with_budget(50);

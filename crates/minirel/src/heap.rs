@@ -30,7 +30,7 @@ pub struct HeapFile {
 
 impl HeapFile {
     /// Create a heap file with one empty page.
-    pub fn create(pool: &mut BufferPool) -> DbResult<HeapFile> {
+    pub fn create(pool: &BufferPool) -> DbResult<HeapFile> {
         let pid = pool.allocate()?;
         pool.with_page_mut(pid, |b| SlottedMut(b).init())?;
         Ok(HeapFile {
@@ -62,7 +62,7 @@ impl HeapFile {
     }
 
     /// Insert a record, returning its address.
-    pub fn insert(&mut self, pool: &mut BufferPool, rec: &[u8]) -> DbResult<Rid> {
+    pub fn insert(&mut self, pool: &BufferPool, rec: &[u8]) -> DbResult<Rid> {
         if rec.len() + 8 > PAGE_SIZE {
             return Err(DbError::RecordTooLarge(rec.len()));
         }
@@ -106,7 +106,7 @@ impl HeapFile {
     /// page access instead of paying one per record — the heap half of
     /// the batch write path (the B+tree half is
     /// [`crate::btree::BTree::insert_many`]).
-    pub fn insert_many(&mut self, pool: &mut BufferPool, recs: &[&[u8]]) -> DbResult<Vec<Rid>> {
+    pub fn insert_many(&mut self, pool: &BufferPool, recs: &[&[u8]]) -> DbResult<Vec<Rid>> {
         // Validate the whole batch before touching any page: a mid-batch
         // failure must not leave a prefix of the records inserted (the
         // caller's index maintenance runs only after all heap appends).
@@ -168,7 +168,7 @@ impl HeapFile {
     }
 
     /// Fetch the record at `rid`.
-    pub fn get(&self, pool: &mut BufferPool, rid: Rid) -> DbResult<Vec<u8>> {
+    pub fn get(&self, pool: &BufferPool, rid: Rid) -> DbResult<Vec<u8>> {
         if !self.pages.contains(&rid.page) {
             return Err(DbError::BadRid {
                 page: rid.page,
@@ -185,7 +185,7 @@ impl HeapFile {
     }
 
     /// Delete the record at `rid`.
-    pub fn delete(&mut self, pool: &mut BufferPool, rid: Rid) -> DbResult<()> {
+    pub fn delete(&mut self, pool: &BufferPool, rid: Rid) -> DbResult<()> {
         let idx = self
             .pages
             .iter()
@@ -205,7 +205,7 @@ impl HeapFile {
 
     /// Update in place when possible; otherwise delete + reinsert.
     /// Returns the (possibly new) rid.
-    pub fn update(&mut self, pool: &mut BufferPool, rid: Rid, rec: &[u8]) -> DbResult<Rid> {
+    pub fn update(&mut self, pool: &BufferPool, rid: Rid, rec: &[u8]) -> DbResult<Rid> {
         if !self.pages.contains(&rid.page) {
             return Err(DbError::BadRid {
                 page: rid.page,
@@ -223,7 +223,7 @@ impl HeapFile {
 
     /// Visit every live record in file order. The callback may not touch
     /// the pool (we hold it); collect rids if you need random access after.
-    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(Rid, &[u8])) -> DbResult<()> {
+    pub fn scan(&self, pool: &BufferPool, mut f: impl FnMut(Rid, &[u8])) -> DbResult<()> {
         for &pid in &self.pages {
             pool.with_page(pid, |b| {
                 for (slot, rec) in SlottedRef(b).records() {
@@ -247,33 +247,33 @@ mod tests {
 
     #[test]
     fn insert_get_roundtrip_many_pages() {
-        let mut bp = pool();
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let bp = pool();
+        let mut hf = HeapFile::create(&bp).unwrap();
         let mut rids = Vec::new();
         for i in 0..500u32 {
             let rec = format!("record-{i}-{}", "x".repeat(i as usize % 60));
-            rids.push((hf.insert(&mut bp, rec.as_bytes()).unwrap(), rec));
+            rids.push((hf.insert(&bp, rec.as_bytes()).unwrap(), rec));
         }
         assert!(hf.num_pages() > 1, "should have spilled to multiple pages");
         assert_eq!(hf.len(), 500);
         for (rid, rec) in &rids {
-            assert_eq!(hf.get(&mut bp, *rid).unwrap(), rec.as_bytes());
+            assert_eq!(hf.get(&bp, *rid).unwrap(), rec.as_bytes());
         }
     }
 
     #[test]
     fn scan_sees_exactly_live_records() {
-        let mut bp = pool();
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let bp = pool();
+        let mut hf = HeapFile::create(&bp).unwrap();
         let mut rids = Vec::new();
         for i in 0..50u32 {
-            rids.push(hf.insert(&mut bp, &i.to_le_bytes()).unwrap());
+            rids.push(hf.insert(&bp, &i.to_le_bytes()).unwrap());
         }
         for rid in rids.iter().step_by(2) {
-            hf.delete(&mut bp, *rid).unwrap();
+            hf.delete(&bp, *rid).unwrap();
         }
         let mut seen = Vec::new();
-        hf.scan(&mut bp, |_, rec| {
+        hf.scan(&bp, |_, rec| {
             seen.push(u32::from_le_bytes(rec.try_into().unwrap()));
         })
         .unwrap();
@@ -285,48 +285,48 @@ mod tests {
 
     #[test]
     fn update_in_place_and_relocating() {
-        let mut bp = pool();
-        let mut hf = HeapFile::create(&mut bp).unwrap();
-        let rid = hf.insert(&mut bp, b"0123456789").unwrap();
+        let bp = pool();
+        let mut hf = HeapFile::create(&bp).unwrap();
+        let rid = hf.insert(&bp, b"0123456789").unwrap();
         // Shrinking update stays put.
-        let same = hf.update(&mut bp, rid, b"abc").unwrap();
+        let same = hf.update(&bp, rid, b"abc").unwrap();
         assert_eq!(same, rid);
-        assert_eq!(hf.get(&mut bp, rid).unwrap(), b"abc");
+        assert_eq!(hf.get(&bp, rid).unwrap(), b"abc");
         // Fill the page so a growing update must relocate.
         let filler = vec![b'z'; 300];
         while hf.num_pages() == 1 {
-            hf.insert(&mut bp, &filler).unwrap();
+            hf.insert(&bp, &filler).unwrap();
         }
         let grown = vec![b'g'; 900];
-        let moved = hf.update(&mut bp, rid, &grown).unwrap();
-        assert_eq!(hf.get(&mut bp, moved).unwrap(), grown);
+        let moved = hf.update(&bp, rid, &grown).unwrap();
+        assert_eq!(hf.get(&bp, moved).unwrap(), grown);
         if moved != rid {
-            assert!(hf.get(&mut bp, rid).is_err(), "old rid must be dead");
+            assert!(hf.get(&bp, rid).is_err(), "old rid must be dead");
         }
     }
 
     #[test]
     fn insert_many_matches_singular_inserts_with_fewer_page_touches() {
-        let mut bp = pool();
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let bp = pool();
+        let mut hf = HeapFile::create(&bp).unwrap();
         let recs: Vec<Vec<u8>> = (0..500u32)
             .map(|i| format!("record-{i}-{}", "x".repeat((i % 40) as usize)).into_bytes())
             .collect();
         let refs: Vec<&[u8]> = recs.iter().map(Vec::as_slice).collect();
         bp.reset_stats();
-        let rids = hf.insert_many(&mut bp, &refs).unwrap();
+        let rids = hf.insert_many(&bp, &refs).unwrap();
         let batched_reads = bp.stats().logical_reads;
         assert_eq!(rids.len(), 500);
         assert_eq!(hf.len(), 500);
         for (rec, rid) in recs.iter().zip(&rids) {
-            assert_eq!(&hf.get(&mut bp, *rid).unwrap(), rec);
+            assert_eq!(&hf.get(&bp, *rid).unwrap(), rec);
         }
         // Same workload through the singular path touches far more pages.
-        let mut bp2 = pool();
-        let mut hf2 = HeapFile::create(&mut bp2).unwrap();
+        let bp2 = pool();
+        let mut hf2 = HeapFile::create(&bp2).unwrap();
         bp2.reset_stats();
         for rec in &refs {
-            hf2.insert(&mut bp2, rec).unwrap();
+            hf2.insert(&bp2, rec).unwrap();
         }
         assert!(
             batched_reads * 2 <= bp2.stats().logical_reads,
@@ -336,39 +336,39 @@ mod tests {
         // Oversized records still error.
         let huge = vec![0u8; PAGE_SIZE];
         assert!(matches!(
-            hf.insert_many(&mut bp, &[huge.as_slice()]),
+            hf.insert_many(&bp, &[huge.as_slice()]),
             Err(DbError::RecordTooLarge(_))
         ));
     }
 
     #[test]
     fn deleted_rid_is_dangling() {
-        let mut bp = pool();
-        let mut hf = HeapFile::create(&mut bp).unwrap();
-        let rid = hf.insert(&mut bp, b"x").unwrap();
-        hf.delete(&mut bp, rid).unwrap();
-        assert!(matches!(hf.get(&mut bp, rid), Err(DbError::BadRid { .. })));
-        assert!(hf.delete(&mut bp, rid).is_err());
+        let bp = pool();
+        let mut hf = HeapFile::create(&bp).unwrap();
+        let rid = hf.insert(&bp, b"x").unwrap();
+        hf.delete(&bp, rid).unwrap();
+        assert!(matches!(hf.get(&bp, rid), Err(DbError::BadRid { .. })));
+        assert!(hf.delete(&bp, rid).is_err());
     }
 
     #[test]
     fn foreign_rid_rejected() {
-        let mut bp = pool();
-        let hf = HeapFile::create(&mut bp).unwrap();
+        let bp = pool();
+        let hf = HeapFile::create(&bp).unwrap();
         let bad = Rid {
             page: 9999,
             slot: 0,
         };
-        assert!(matches!(hf.get(&mut bp, bad), Err(DbError::BadRid { .. })));
+        assert!(matches!(hf.get(&bp, bad), Err(DbError::BadRid { .. })));
     }
 
     #[test]
     fn record_too_large() {
-        let mut bp = pool();
-        let mut hf = HeapFile::create(&mut bp).unwrap();
+        let bp = pool();
+        let mut hf = HeapFile::create(&bp).unwrap();
         let huge = vec![0u8; PAGE_SIZE];
         assert!(matches!(
-            hf.insert(&mut bp, &huge),
+            hf.insert(&bp, &huge),
             Err(DbError::RecordTooLarge(_))
         ));
     }

@@ -47,18 +47,40 @@ pub struct Relation {
     pub rows: Vec<Row>,
 }
 
-/// Execution context threading the storage handles and session state.
+/// Execution context for the **read-only** half of the engine: SELECT
+/// binding, planning, and evaluation. Holds shared borrows only, so a
+/// SELECT can run from `&Database` concurrently with other readers
+/// (mutating statements go through [`run_statement`], which owns the
+/// `&mut Catalog` and builds read contexts for its scan/bind phases).
 pub struct SqlCtx<'a> {
-    /// Buffer pool (all I/O flows through it).
-    pub pool: &'a mut BufferPool,
-    /// Table catalog.
-    pub catalog: &'a mut Catalog,
+    /// Buffer pool (all I/O flows through it; interior-mutable, `&self`).
+    pub pool: &'a BufferPool,
+    /// Table catalog (shared: reads only).
+    pub catalog: &'a Catalog,
     /// Session clock for `current timestamp` (seconds).
     pub current_timestamp: i64,
     /// External-sort memory budget in rows.
     pub sort_budget_rows: usize,
     /// In-scope CTE results.
     pub ctes: HashMap<String, Rc<Relation>>,
+}
+
+impl<'a> SqlCtx<'a> {
+    /// A fresh context with an empty CTE scope.
+    pub fn new(
+        pool: &'a BufferPool,
+        catalog: &'a Catalog,
+        current_timestamp: i64,
+        sort_budget_rows: usize,
+    ) -> SqlCtx<'a> {
+        SqlCtx {
+            pool,
+            catalog,
+            current_timestamp,
+            sort_budget_rows,
+            ctes: HashMap::new(),
+        }
+    }
 }
 
 /// Result of running one statement.
@@ -71,35 +93,69 @@ pub enum StmtResult {
     Done,
 }
 
-/// Run a parsed statement.
-pub fn run_statement(ctx: &mut SqlCtx<'_>, stmt: &Statement) -> DbResult<StmtResult> {
+/// Run a parsed statement. DML/DDL takes the catalog exclusively; the
+/// read phases (binding, subqueries, table scans) run through a shared
+/// [`SqlCtx`] reborrowed from it, and mutations are applied afterwards.
+pub fn run_statement(
+    pool: &BufferPool,
+    catalog: &mut Catalog,
+    current_timestamp: i64,
+    sort_budget_rows: usize,
+    stmt: &Statement,
+) -> DbResult<StmtResult> {
     match stmt {
-        Statement::Select(q) => Ok(StmtResult::Rows(run_select(ctx, q)?)),
+        Statement::Select(q) => {
+            let mut ctx = SqlCtx::new(pool, catalog, current_timestamp, sort_budget_rows);
+            Ok(StmtResult::Rows(run_select(&mut ctx, q)?))
+        }
         Statement::CreateTable { name, cols } => {
             let schema = crate::schema::Schema::new(cols.iter().map(|(n, t)| (n.clone(), *t)));
-            ctx.catalog.create_table(ctx.pool, name, schema)?;
+            catalog.create_table(pool, name, schema)?;
             Ok(StmtResult::Done)
         }
         Statement::CreateIndex { name, table, cols } => {
             let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            ctx.catalog.create_index(ctx.pool, name, table, &refs)?;
+            catalog.create_index(pool, name, table, &refs)?;
             Ok(StmtResult::Done)
         }
         Statement::DropTable { name } => {
-            ctx.catalog.drop_table(name)?;
+            catalog.drop_table(name)?;
             Ok(StmtResult::Done)
         }
         Statement::Insert {
             table,
             cols,
             source,
-        } => run_insert(ctx, table, cols, source),
+        } => run_insert(
+            pool,
+            catalog,
+            current_timestamp,
+            sort_budget_rows,
+            table,
+            cols,
+            source,
+        ),
         Statement::Update {
             table,
             sets,
             where_,
-        } => run_update(ctx, table, sets, where_.as_ref()),
-        Statement::Delete { table, where_ } => run_delete(ctx, table, where_.as_ref()),
+        } => run_update(
+            pool,
+            catalog,
+            current_timestamp,
+            sort_budget_rows,
+            table,
+            sets,
+            where_.as_ref(),
+        ),
+        Statement::Delete { table, where_ } => run_delete(
+            pool,
+            catalog,
+            current_timestamp,
+            sort_budget_rows,
+            table,
+            where_.as_ref(),
+        ),
     }
 }
 
@@ -278,7 +334,83 @@ pub fn run_select(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation> 
     result
 }
 
-fn load_source(ctx: &mut SqlCtx<'_>, item: &FromItem) -> DbResult<Relation> {
+/// Column names referenced anywhere in a statement, for scan pruning.
+/// `None` means "needs every column" (a `*` projection somewhere).
+/// Over-approximates freely — names are collected unqualified and
+/// across subqueries — because pruning an extra column is a correctness
+/// bug while keeping one is only a few wasted nanoseconds.
+fn gather_cols(sel: &SelectStmt) -> Option<std::collections::HashSet<String>> {
+    fn walk_expr(e: &AstExpr, out: &mut std::collections::HashSet<String>) -> bool {
+        match e {
+            AstExpr::Column { name, .. } => {
+                out.insert(name.clone());
+                true
+            }
+            AstExpr::Int(_)
+            | AstExpr::Float(_)
+            | AstExpr::Str(_)
+            | AstExpr::Null
+            | AstExpr::CurrentTimestamp => true,
+            AstExpr::Bin(_, l, r) => walk_expr(l, out) && walk_expr(r, out),
+            AstExpr::Neg(x) | AstExpr::Not(x) => walk_expr(x, out),
+            AstExpr::IsNull { expr, .. } => walk_expr(expr, out),
+            AstExpr::InList { expr, list, .. } => {
+                walk_expr(expr, out) && list.iter().all(|x| walk_expr(x, out))
+            }
+            AstExpr::InSubquery { expr, query, .. } => walk_expr(expr, out) && walk_sel(query, out),
+            AstExpr::ScalarSubquery(q) => walk_sel(q, out),
+            AstExpr::Call { args, .. } => args.iter().all(|a| walk_expr(a, out)),
+        }
+    }
+    fn walk_sel(sel: &SelectStmt, out: &mut std::collections::HashSet<String>) -> bool {
+        for cte in &sel.ctes {
+            if !walk_sel(&cte.query, out) {
+                return false;
+            }
+        }
+        for p in &sel.projections {
+            match p {
+                Projection::Star => return false,
+                Projection::Expr { expr, .. } => {
+                    if !walk_expr(expr, out) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for fc in &sel.from {
+            if let Some(on) = &fc.on {
+                if !walk_expr(on, out) {
+                    return false;
+                }
+            }
+        }
+        if let Some(w) = &sel.where_ {
+            if !walk_expr(w, out) {
+                return false;
+            }
+        }
+        for g in &sel.group_by {
+            if !walk_expr(g, out) {
+                return false;
+            }
+        }
+        for (e, _) in &sel.order_by {
+            if !walk_expr(e, out) {
+                return false;
+            }
+        }
+        true
+    }
+    let mut out = std::collections::HashSet::new();
+    walk_sel(sel, &mut out).then_some(out)
+}
+
+fn load_source(
+    ctx: &mut SqlCtx<'_>,
+    item: &FromItem,
+    wanted: Option<&std::collections::HashSet<String>>,
+) -> DbResult<Relation> {
     let binding = item.binding_name().to_ascii_lowercase();
     if let Some(rel) = ctx.ctes.get(&item.table) {
         let mut r = (**rel).clone();
@@ -299,12 +431,20 @@ fn load_source(ctx: &mut SqlCtx<'_>, item: &FromItem) -> DbResult<Relation> {
             name: c.name.clone(),
         })
         .collect();
-    let rows: Vec<Row> = ctx
-        .catalog
-        .scan_table(ctx.pool, tid)?
-        .into_iter()
-        .map(|(_, r)| r)
-        .collect();
+    let rows: Vec<Row> = match wanted {
+        // Column pruning: decode only the referenced columns of a base
+        // table; the rest stay Null placeholders nothing will read.
+        Some(names) => {
+            let keep: Vec<bool> = cols.iter().map(|c| names.contains(&c.name)).collect();
+            ctx.catalog.scan_rows_pruned(ctx.pool, tid, &keep)?
+        }
+        None => ctx
+            .catalog
+            .scan_table(ctx.pool, tid)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect(),
+    };
     Ok(Relation { cols, rows })
 }
 
@@ -387,6 +527,7 @@ fn filter_rel(ctx: &mut SqlCtx<'_>, rel: &mut Relation, pred: &AstExpr) -> DbRes
 
 fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation> {
     // ----- FROM + WHERE (join graph) -----
+    let wanted = gather_cols(sel);
     let mut where_conjuncts: Vec<AstExpr> = sel
         .where_
         .clone()
@@ -400,7 +541,7 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
             rows: vec![vec![]],
         }
     } else {
-        load_source(ctx, &sel.from[0].item)?
+        load_source(ctx, &sel.from[0].item, wanted.as_ref())?
     };
 
     // Pending comma-joined sources with single-source pushdown applied.
@@ -424,12 +565,12 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
     for fc in sel.from.iter().skip(1) {
         match fc.kind {
             JoinKind::Cross => {
-                let mut rel = load_source(ctx, &fc.item)?;
+                let mut rel = load_source(ctx, &fc.item, wanted.as_ref())?;
                 apply_pushdown(ctx, &mut rel, &mut where_conjuncts, &mut consumed)?;
                 pending.push(rel);
             }
             JoinKind::Inner | JoinKind::LeftOuter => {
-                let mut rel = load_source(ctx, &fc.item)?;
+                let mut rel = load_source(ctx, &fc.item, wanted.as_ref())?;
                 if fc.kind == JoinKind::Inner {
                     apply_pushdown(ctx, &mut rel, &mut where_conjuncts, &mut consumed)?;
                 }
@@ -780,20 +921,24 @@ fn rewrite_agg(
 
 // ---------------------------------------------------------------- DML
 
+#[allow(clippy::too_many_arguments)]
 fn run_insert(
-    ctx: &mut SqlCtx<'_>,
+    pool: &BufferPool,
+    catalog: &mut Catalog,
+    current_timestamp: i64,
+    sort_budget_rows: usize,
     table: &str,
     cols: &[String],
     source: &InsertSource,
 ) -> DbResult<StmtResult> {
-    let tid = ctx.catalog.table_id(table)?;
-    let arity = ctx.catalog.table(tid).schema.arity();
+    let tid = catalog.table_id(table)?;
+    let arity = catalog.table(tid).schema.arity();
     let positions: Vec<usize> = if cols.is_empty() {
         (0..arity).collect()
     } else {
         cols.iter()
             .map(|c| {
-                ctx.catalog
+                catalog
                     .table(tid)
                     .schema
                     .index_of(c)
@@ -801,20 +946,26 @@ fn run_insert(
             })
             .collect::<DbResult<_>>()?
     };
-    let source_rows: Vec<Row> = match source {
-        InsertSource::Values(rows) => {
-            let mut out = Vec::with_capacity(rows.len());
-            for exprs in rows {
-                let mut row = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    let bound = bind(ctx, e, &[])?;
-                    row.push(bound.eval(&vec![])?);
+    // Read phase: evaluate the source rows (VALUES expressions may hold
+    // scalar subqueries; INSERT..SELECT is a full query) against a
+    // shared-borrow context, before any mutation.
+    let source_rows: Vec<Row> = {
+        let mut ctx = SqlCtx::new(pool, catalog, current_timestamp, sort_budget_rows);
+        match source {
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        let bound = bind(&mut ctx, e, &[])?;
+                        row.push(bound.eval(&vec![])?);
+                    }
+                    out.push(row);
                 }
-                out.push(row);
+                out
             }
-            out
+            InsertSource::Select(q) => run_select(&mut ctx, q)?.rows,
         }
-        InsertSource::Select(q) => run_select(ctx, q)?.rows,
     };
     let mut n = 0u64;
     for src in source_rows {
@@ -829,7 +980,7 @@ fn run_insert(
         for (v, &p) in src.into_iter().zip(&positions) {
             row[p] = v;
         }
-        ctx.catalog.insert_row(ctx.pool, tid, row)?;
+        catalog.insert_row(pool, tid, row)?;
         n += 1;
     }
     Ok(StmtResult::Affected(n))
@@ -848,67 +999,88 @@ fn table_cols(catalog: &Catalog, tid: crate::catalog::TableId, name: &str) -> Ve
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_update(
-    ctx: &mut SqlCtx<'_>,
+    pool: &BufferPool,
+    catalog: &mut Catalog,
+    current_timestamp: i64,
+    sort_budget_rows: usize,
     table: &str,
     sets: &[(String, AstExpr)],
     where_: Option<&AstExpr>,
 ) -> DbResult<StmtResult> {
-    let tid = ctx.catalog.table_id(table)?;
-    let cols = table_cols(ctx.catalog, tid, table);
-    let set_bound: Vec<(usize, Expr)> = sets
-        .iter()
-        .map(|(c, e)| {
-            let pos = ctx
-                .catalog
-                .table(tid)
-                .schema
-                .index_of(c)
-                .ok_or_else(|| DbError::Binding(format!("no column {c} in {table}")))?;
-            Ok((pos, bind(ctx, e, &cols)?))
-        })
-        .collect::<DbResult<_>>()?;
-    let pred = where_.map(|w| bind(ctx, w, &cols)).transpose()?;
-    let all = ctx.catalog.scan_table(ctx.pool, tid)?;
-    let mut updates = Vec::new();
-    for (rid, row) in all {
-        let hit = match &pred {
-            Some(p) => p.eval(&row)?.is_truthy(),
-            None => true,
-        };
-        if hit {
-            let mut new_row = row.clone();
-            for (pos, e) in &set_bound {
-                new_row[*pos] = e.eval(&row)?;
+    let tid = catalog.table_id(table)?;
+    // Read phase: bind SET expressions and the predicate (both may hold
+    // subqueries), scan the table, and compute every new row — all
+    // against shared borrows, then apply.
+    let updates =
+        {
+            let mut ctx = SqlCtx::new(pool, catalog, current_timestamp, sort_budget_rows);
+            let cols = table_cols(ctx.catalog, tid, table);
+            let set_bound: Vec<(usize, Expr)> =
+                sets.iter()
+                    .map(|(c, e)| {
+                        let pos =
+                            ctx.catalog.table(tid).schema.index_of(c).ok_or_else(|| {
+                                DbError::Binding(format!("no column {c} in {table}"))
+                            })?;
+                        Ok((pos, bind(&mut ctx, e, &cols)?))
+                    })
+                    .collect::<DbResult<Vec<_>>>()?;
+            let pred = where_.map(|w| bind(&mut ctx, w, &cols)).transpose()?;
+            let all = ctx.catalog.scan_table(ctx.pool, tid)?;
+            let mut updates = Vec::new();
+            for (rid, row) in all {
+                let hit = match &pred {
+                    Some(p) => p.eval(&row)?.is_truthy(),
+                    None => true,
+                };
+                if hit {
+                    let mut new_row = row.clone();
+                    for (pos, e) in &set_bound {
+                        new_row[*pos] = e.eval(&row)?;
+                    }
+                    updates.push((rid, new_row));
+                }
             }
-            updates.push((rid, new_row));
-        }
-    }
+            updates
+        };
     let n = updates.len() as u64;
     for (rid, new_row) in updates {
-        ctx.catalog.update_row(ctx.pool, tid, rid, new_row)?;
+        catalog.update_row(pool, tid, rid, new_row)?;
     }
     Ok(StmtResult::Affected(n))
 }
 
-fn run_delete(ctx: &mut SqlCtx<'_>, table: &str, where_: Option<&AstExpr>) -> DbResult<StmtResult> {
-    let tid = ctx.catalog.table_id(table)?;
-    let cols = table_cols(ctx.catalog, tid, table);
-    let pred = where_.map(|w| bind(ctx, w, &cols)).transpose()?;
-    let all = ctx.catalog.scan_table(ctx.pool, tid)?;
-    let mut victims = Vec::new();
-    for (rid, row) in all {
-        let hit = match &pred {
-            Some(p) => p.eval(&row)?.is_truthy(),
-            None => true,
-        };
-        if hit {
-            victims.push(rid);
+fn run_delete(
+    pool: &BufferPool,
+    catalog: &mut Catalog,
+    current_timestamp: i64,
+    sort_budget_rows: usize,
+    table: &str,
+    where_: Option<&AstExpr>,
+) -> DbResult<StmtResult> {
+    let tid = catalog.table_id(table)?;
+    let victims = {
+        let mut ctx = SqlCtx::new(pool, catalog, current_timestamp, sort_budget_rows);
+        let cols = table_cols(ctx.catalog, tid, table);
+        let pred = where_.map(|w| bind(&mut ctx, w, &cols)).transpose()?;
+        let all = ctx.catalog.scan_table(ctx.pool, tid)?;
+        let mut victims = Vec::new();
+        for (rid, row) in all {
+            let hit = match &pred {
+                Some(p) => p.eval(&row)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                victims.push(rid);
+            }
         }
-    }
+        victims
+    };
     let n = victims.len() as u64;
     for rid in victims {
-        ctx.catalog.delete_row(ctx.pool, tid, rid)?;
+        catalog.delete_row(pool, tid, rid)?;
     }
     Ok(StmtResult::Affected(n))
 }

@@ -222,6 +222,53 @@ pub fn decode_row(mut bytes: &[u8]) -> DbResult<Row> {
     Ok(row)
 }
 
+/// Skip one encoded value without materializing it (no allocation, no
+/// UTF-8 validation) — the cursor half of column-pruned decoding.
+fn skip_value(buf: &mut &[u8]) -> DbResult<()> {
+    if buf.is_empty() {
+        return Err(DbError::Page("truncated value".into()));
+    }
+    let tag = buf.get_u8();
+    let skip = match tag {
+        0 => 0,
+        1 | 2 => 8,
+        3 => {
+            if buf.remaining() < 4 {
+                return Err(DbError::Page("truncated string length".into()));
+            }
+            buf.get_u32_le() as usize
+        }
+        t => return Err(DbError::Page(format!("bad value tag {t}"))),
+    };
+    if buf.remaining() < skip {
+        return Err(DbError::Page("truncated value body".into()));
+    }
+    buf.advance(skip);
+    Ok(())
+}
+
+/// Decode a row keeping only the columns marked in `keep`; the rest
+/// come back as [`Value::Null`] placeholders (same arity, same column
+/// positions). Skipped columns are never materialized — in particular,
+/// text columns allocate nothing — which is what makes column-pruned
+/// scans cheap. `keep` shorter than the row keeps nothing past its end.
+pub fn decode_row_pruned(mut bytes: &[u8], keep: &[bool]) -> DbResult<Row> {
+    if bytes.len() < 2 {
+        return Err(DbError::Page("truncated row header".into()));
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut row = Vec::with_capacity(n);
+    for i in 0..n {
+        if keep.get(i).copied().unwrap_or(false) {
+            row.push(Value::decode(&mut bytes)?);
+        } else {
+            skip_value(&mut bytes)?;
+            row.push(Value::Null);
+        }
+    }
+    Ok(row)
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         self.total_cmp(other) == Ordering::Equal

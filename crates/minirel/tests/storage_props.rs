@@ -40,32 +40,32 @@ proptest! {
 
     #[test]
     fn btree_matches_btreemap_model(ops in ops_strategy(), frames in 2usize..16) {
-        let mut bp = pool(frames);
-        let mut bt = BTree::create(&mut bp).unwrap();
+        let bp = pool(frames);
+        let mut bt = BTree::create(&bp).unwrap();
         let mut model: BTreeMap<(Vec<u8>, Rid), ()> = BTreeMap::new();
         for op in &ops {
             match *op {
                 Op::Insert(k, r) => {
                     let key = encode_composite_key(&[Value::Int(k)]);
                     let rid = Rid { page: r, slot: 0 };
-                    bt.insert(&mut bp, &key, rid).unwrap();
+                    bt.insert(&bp, &key, rid).unwrap();
                     model.insert((key, rid), ());
                 }
                 Op::Delete(k, r) => {
                     let key = encode_composite_key(&[Value::Int(k)]);
                     let rid = Rid { page: r, slot: 0 };
-                    let in_tree = bt.delete(&mut bp, &key, rid).unwrap();
+                    let in_tree = bt.delete(&bp, &key, rid).unwrap();
                     let in_model = model.remove(&(key, rid)).is_some();
                     prop_assert_eq!(in_tree, in_model);
                 }
             }
         }
         prop_assert_eq!(bt.len() as usize, model.len());
-        bt.validate(&mut bp).unwrap();
+        bt.validate(&bp).unwrap();
         // Every surviving key is found with the right rid multiset.
         for k in 0..50i64 {
             let key = encode_composite_key(&[Value::Int(k)]);
-            let mut got = bt.lookup(&mut bp, &key).unwrap();
+            let mut got = bt.lookup(&bp, &key).unwrap();
             got.sort();
             let mut expect: Vec<Rid> = model
                 .keys()
@@ -87,8 +87,8 @@ proptest! {
             .map(|&(a, b)| vec![Value::Int(a as i64), Value::Float(b)])
             .collect();
         let keys = [SortKey::asc(0), SortKey::desc(1)];
-        let mut bp = pool(8);
-        let got = external_sort(&mut bp, rows.clone(), &keys, budget).unwrap();
+        let bp = pool(8);
+        let got = external_sort(&bp, rows.clone(), &keys, budget).unwrap();
         let expect = sort_rows(rows, &keys).unwrap();
         prop_assert_eq!(got, expect);
     }

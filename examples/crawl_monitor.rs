@@ -96,13 +96,13 @@ fn main() {
     println!("phase-1 mean harvest: {:.3}\n", phase1.mean_harvest());
 
     println!("-- monitoring query 1: harvest per minute (the live applet) --");
-    session.with_db(|db| {
+    session.with_db_read(|db| {
         let rs = monitor::harvest_per_minute(db).expect("query");
         print!("{}", rs.to_table());
     });
 
     println!("-- monitoring query 2: census by class (the diagnosis) --");
-    session.with_db(|db| {
+    session.with_db_read(|db| {
         let rs = monitor::census_by_class(db).expect("query");
         print!("{}", rs.to_table());
     });
@@ -112,7 +112,7 @@ fn main() {
     );
 
     println!("-- monitoring query 3: frontier health --");
-    session.with_db(|db| {
+    session.with_db_read(|db| {
         let rs = monitor::frontier_by_numtries(db).expect("query");
         print!("{}", rs.to_table());
     });
@@ -187,9 +187,9 @@ fn main() {
     );
 
     println!("\n-- missed neighbors of great hubs (priority tweak query) --");
-    session.with_db(|db| {
+    session.with_db_read(|db| {
         let psi = db
-            .execute("select max(score) from hubs")
+            .query("select max(score) from hubs")
             .ok()
             .and_then(|rs| rs.scalar_f64())
             .unwrap_or(0.0)

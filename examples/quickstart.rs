@@ -87,8 +87,8 @@ fn main() {
     }
 
     // 5. The crawl state is a real database: ask it anything.
-    let harvest = system.with_db(|db| {
-        db.execute("select count(*) from crawl where visited = 1 and relevance > -1")
+    let harvest = system.with_db_read(|db| {
+        db.query("select count(*) from crawl where visited = 1 and relevance > -1")
             .expect("sql runs")
             .scalar_i64()
             .unwrap_or(0)

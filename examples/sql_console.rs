@@ -57,7 +57,7 @@ fn main() {
         if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
             break;
         }
-        session.with_db(|db| match db.execute(line) {
+        match session.sql(line) {
             Ok(rs) if rs.columns.is_empty() => {
                 println!("ok ({} rows affected)", rs.affected)
             }
@@ -66,7 +66,7 @@ fn main() {
                 println!("({} rows)", rs.rows.len());
             }
             Err(e) => println!("error: {e}"),
-        });
+        }
     }
     println!("bye");
 }

@@ -128,7 +128,7 @@ fn monitoring_queries_run_against_live_session() {
     let (system, topic) = build_system(&graph, "health/hiv", CrawlPolicy::SoftFocus, 250);
     let seeds = focus::search::topic_start_set(&graph, topic, 10);
     system.start(&seeds).expect("starts").join().expect("runs");
-    system.with_db(|db| {
+    system.with_db_read(|db| {
         let census = focus_crawler::monitor::census_by_class(db).expect("census");
         assert!(!census.rows.is_empty(), "census empty");
         let harvest = focus_crawler::monitor::harvest_per_minute(db).expect("harvest");

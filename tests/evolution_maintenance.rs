@@ -117,11 +117,11 @@ fn community_evolution_query_counts_new_cross_topic_links() {
     // The best-populated class pair: cycling pages to first-aid pages
     // (the affinity the generator builds in).
     let first_aid = base.taxonomy().find("health/first-aid").unwrap();
-    let all_time = session.with_db(|db| {
+    let all_time = session.with_db_read(|db| {
         monitor::community_evolution(db, cycling.raw() as i64, first_aid.raw() as i64, 0).unwrap()
     });
     // Window starting "after the crawl" must contain no links.
-    let future = session.with_db(|db| {
+    let future = session.with_db_read(|db| {
         monitor::community_evolution(
             db,
             cycling.raw() as i64,
@@ -134,7 +134,7 @@ fn community_evolution_query_counts_new_cross_topic_links() {
     assert_eq!(future, 0);
 
     // The spam-filter query class also runs on live data.
-    let rs = session.with_db(|db| {
+    let rs = session.with_db_read(|db| {
         monitor::cross_topic_citations(db, first_aid.raw() as i64, cycling.raw() as i64, 1).unwrap()
     });
     assert!(
