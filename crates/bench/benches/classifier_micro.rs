@@ -1,0 +1,155 @@
+//! Classifier hot-path microbenchmark: documents/second for the
+//! reference `TrainedModel` path (hash probes + per-node allocations)
+//! versus the compiled CSR engine (`CompiledModel` + per-worker
+//! `Scratch`, zero allocations per document) on the Figure 8(a)
+//! workload — real generated pages evaluated end to end (path-node
+//! posteriors, soft relevance, best-first descent).
+//!
+//! Wall-clock numbers are the **median of [`REPS`] runs** per variant,
+//! with reps interleaved across variants (rep 0 of each, then rep 1, …)
+//! exactly like `frontier_throughput`: machine drift between
+//! measurement blocks otherwise fabricates cross-variant regressions.
+//!
+//! Appends one trajectory point to `BENCH_classifier.json` at the repo
+//! root. The PR acceptance bar is compiled ≥ 3× reference docs/sec.
+//!
+//! Run with `cargo bench --bench classifier_micro`.
+
+use focus_eval::common::{Scale, World};
+use focus_types::Document;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Timed repetitions per variant (median reported, interleaved).
+const REPS: usize = 5;
+/// Evaluation sweeps per rep, so one rep is long enough (tens of ms)
+/// that timer resolution and scheduler jitter stay in the noise.
+const SWEEPS: usize = 20;
+
+#[derive(Debug, Serialize)]
+struct BenchPoint {
+    bench: &'static str,
+    unix_time: u64,
+    docs: usize,
+    reps: usize,
+    sweeps: usize,
+    /// Mean distinct terms per document (workload shape, for trend
+    /// comparability across PRs).
+    mean_terms_per_doc: f64,
+    reference_docs_per_sec: f64,
+    compiled_docs_per_sec: f64,
+    /// compiled ÷ reference; the PR acceptance bar is ≥ 3.0.
+    speedup: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// Append `point` to the JSON array in BENCH_classifier.json (created
+/// on first run). The vendored serde_json only serializes, so appending
+/// is done textually, mirroring `frontier_throughput`.
+fn append_point(point: &BenchPoint) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_classifier.json");
+    let rendered = serde_json::to_string_pretty(point).expect("serialize");
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if head.trim_end().ends_with('[') => format!("[\n{rendered}\n]"),
+                Some(head) => format!("{},\n{rendered}\n]", head.trim_end()),
+                None => format!("[\n{rendered}\n]"),
+            }
+        }
+        Err(_) => format!("[\n{rendered}\n]"),
+    };
+    std::fs::write(path, body + "\n").expect("write BENCH_classifier.json");
+    println!("wrote trajectory point to {path}");
+}
+
+fn main() {
+    // The Fig 8(a) workload: generated pages with non-empty content,
+    // same world seed as the figure.
+    let world = World::cycling(Scale::Tiny, 11);
+    let docs: Vec<Document> = world
+        .graph
+        .pages()
+        .iter()
+        .filter(|p| !p.terms.is_empty())
+        .enumerate()
+        .map(|(i, p)| Document::new(focus_types::DocId(i as u64), p.terms.clone()))
+        .collect();
+    let mean_terms =
+        docs.iter().map(|d| d.terms.num_terms()).sum::<usize>() as f64 / docs.len() as f64;
+    println!(
+        "--- classifier hot path: {} docs ({:.0} distinct terms each), {} sweeps/rep, median of {} ---",
+        docs.len(),
+        mean_terms,
+        SWEEPS,
+        REPS
+    );
+
+    let compiled = &world.compiled;
+    let mut scratch = compiled.scratch();
+    // Sanity + warm-up: both paths agree before we time anything.
+    for d in &docs {
+        let want = world.model.evaluate(&d.terms);
+        let got = compiled.evaluate_into(&d.terms, &mut scratch);
+        assert_eq!(want.best_leaf, got.best_leaf);
+        assert!((want.relevance - got.relevance).abs() < 1e-9);
+    }
+
+    let evals_per_rep = (docs.len() * SWEEPS) as f64;
+    let mut ref_rates = Vec::with_capacity(REPS);
+    let mut comp_rates = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        // Reference path: fresh maps and vectors per node per document.
+        let t = Instant::now();
+        for _ in 0..SWEEPS {
+            for d in &docs {
+                std::hint::black_box(world.model.evaluate(&d.terms));
+            }
+        }
+        ref_rates.push(evals_per_rep / t.elapsed().as_secs_f64());
+
+        // Compiled path: CSR merge join into the warm scratch.
+        let t = Instant::now();
+        for _ in 0..SWEEPS {
+            for d in &docs {
+                std::hint::black_box(compiled.evaluate_into(&d.terms, &mut scratch));
+            }
+        }
+        comp_rates.push(evals_per_rep / t.elapsed().as_secs_f64());
+    }
+
+    let reference = median(ref_rates);
+    let compiled_rate = median(comp_rates);
+    let speedup = compiled_rate / reference;
+    println!("reference (TrainedModel::evaluate): {reference:>12.0} docs/sec");
+    println!("compiled  (CompiledModel, scratch): {compiled_rate:>12.0} docs/sec");
+    println!(
+        "speedup:                            {speedup:>12.2}x  ({})",
+        if speedup >= 3.0 {
+            "PASS: >= 3x"
+        } else {
+            "FAIL: < 3x"
+        }
+    );
+
+    let point = BenchPoint {
+        bench: "classifier",
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        docs: docs.len(),
+        reps: REPS,
+        sweeps: SWEEPS,
+        mean_terms_per_doc: mean_terms,
+        reference_docs_per_sec: reference,
+        compiled_docs_per_sec: compiled_rate,
+        speedup,
+    };
+    append_point(&point);
+}

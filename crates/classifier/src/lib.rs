@@ -13,20 +13,29 @@
 //!   sort-merge join (Figure 3; the "CLI" bar, ~10× faster), both as
 //!   direct operator composition and as the verbatim SQL text.
 //!
-//! [`model`] holds the trained parameters and a pure in-memory inference
-//! path used by the crawl-loop experiments; unit tests pin that all four
-//! paths produce identical probabilities.
+//! [`model`] holds the trained parameters and a pure in-memory *reference*
+//! inference path; unit tests pin that all four paths produce identical
+//! probabilities.
+//!
+//! [`compiled`] is what the crawl hot path actually runs:
+//! [`compiled::CompiledModel`] lowers a trained model into dense interned
+//! classes, CSR feature postings with `logtheta + logdenom` pre-combined,
+//! and a merge-join evaluator over a caller-provided
+//! [`compiled::Scratch`] — zero allocations and zero hash probes per
+//! document. Equivalence proptests pin it to the reference path.
 //!
 //! Training (Eq. 1) and feature selection live in [`mod@train`]; relational
 //! persistence (Figure 1's `TAXONOMY`, `STAT_c0`, `BLOB`, `DOCUMENT`
 //! tables) in [`tables`].
 
 pub mod bulk_probe;
+pub mod compiled;
 pub mod model;
 pub mod single_probe;
 pub mod tables;
 pub mod train;
 
+pub use compiled::{CompiledModel, EvalSummary, Scratch};
 pub use model::{NodeModel, Posterior, TrainedModel};
 pub use tables::ClassifierTables;
 pub use train::{train, TrainConfig};

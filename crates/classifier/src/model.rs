@@ -56,7 +56,11 @@ impl NodeModel {
             if let Some(recs) = self.features.get(&t) {
                 len_f += freq as f64;
                 for &(ci, logtheta) in recs {
-                    let ld = self.child_logdenom[&ci];
+                    // A skewed/partial training set can leave a posting
+                    // whose child never accumulated a denominator; default
+                    // to 0.0 like every sibling lookup instead of
+                    // panicking on the missing key.
+                    let ld = self.child_logdenom.get(&ci).copied().unwrap_or(0.0);
                     *partial.entry(ci).or_insert(0.0) += freq as f64 * (logtheta + ld);
                 }
             }
@@ -298,6 +302,40 @@ mod tests {
         let post = m.nodes[&ClassId::ROOT].posterior(&m.taxonomy, &TermVec::default());
         let sum: f64 = post.iter().map(|&(_, p)| p).sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_training_set_does_not_panic() {
+        // Regression: a posting can reference a child that never made it
+        // into `child_logdenom` (skewed training data where one subtree
+        // contributed features but no token mass). The lookup used to be
+        // `self.child_logdenom[&ci]`, which panicked; it must default to
+        // 0.0 like the sibling prior/denominator lookups.
+        let mut tax = Taxonomy::new("root");
+        let a = tax.add_child(ClassId::ROOT, "a").unwrap();
+        let b = tax.add_child(ClassId::ROOT, "b").unwrap();
+        let mut features: FxHashMap<TermId, Vec<(ClassId, f64)>> = FxHashMap::default();
+        // Term 7 has postings for both children, but only `a` has a
+        // recorded denominator and prior.
+        features.insert(TermId(7), vec![(a, -1.0), (b, -2.0)]);
+        let mut child_logdenom = FxHashMap::default();
+        child_logdenom.insert(a, 10.0f64.ln());
+        let mut child_logprior = FxHashMap::default();
+        child_logprior.insert(a, 0.5f64.ln());
+        let node = NodeModel {
+            c0: ClassId::ROOT,
+            features,
+            child_logdenom,
+            child_logprior,
+        };
+        let doc = TermVec::from_counts([(TermId(7), 3)]);
+        let post = node.posterior(&tax, &doc);
+        assert_eq!(post.len(), 2);
+        let sum: f64 = post.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "still a distribution: {sum}");
+        // The fully-trained child keeps all the evidence-backed mass.
+        let pa = post.iter().find(|(c, _)| *c == a).unwrap().1;
+        assert!(pa.is_finite());
     }
 
     #[test]

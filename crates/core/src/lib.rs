@@ -57,6 +57,7 @@ pub use system::{
 };
 
 // Re-export the subsystem vocabulary so downstream users need one crate.
+pub use focus_classifier::compiled::{CompiledModel, EvalSummary, Scratch};
 pub use focus_classifier::model::{Posterior, TrainedModel};
 pub use focus_classifier::train::TrainConfig;
 pub use focus_crawler::events::{CrawlEvent, CrawlObserver, EventStream};

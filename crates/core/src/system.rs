@@ -70,6 +70,15 @@ impl FocusSystem {
         &self.model
     }
 
+    /// The compiled inference engine serving the crawl hot path — a
+    /// consistent snapshot under the *live* marking (it tracks
+    /// `mark_topic`, unlike [`FocusSystem::model`]). Pair with a
+    /// per-thread [`focus_classifier::compiled::Scratch`] to classify
+    /// documents exactly as — and as fast as — the crawl does.
+    pub fn compiled(&self) -> std::sync::Arc<focus_classifier::CompiledModel> {
+        self.session.compiled()
+    }
+
     /// The crawl configuration in effect.
     pub fn config(&self) -> &CrawlConfig {
         &self.cfg
@@ -270,6 +279,12 @@ impl DiscoveryRun {
         Ok(self.run.session().sql(sql)?)
     }
 
+    /// The compiled classifier snapshot currently steering this run
+    /// (tracks live `mark_topic` re-marks).
+    pub fn compiled(&self) -> Arc<focus_classifier::CompiledModel> {
+        self.run.session().compiled()
+    }
+
     /// The underlying session (shared with the [`FocusSystem`]).
     pub fn session(&self) -> &Arc<CrawlSession> {
         self.run.session()
@@ -390,10 +405,16 @@ mod tests {
             let snapshot = snapshot_run.checkpoint().unwrap();
             snapshot_run.join().unwrap();
             // Fresh session, +80 budget, no new seeds: the restored
-            // frontier alone drives the continuation.
+            // frontier alone drives the continuation. The raise goes
+            // through the session *before* start: the resumed run's
+            // budget is already exhausted, so `CrawlRun::add_budget`
+            // (a command drained at page boundaries) can lose the race
+            // with the workers' immediate exit — its documented
+            // semantics land the raise at join() for the *next* run,
+            // which is not what this test wants to measure.
             let resumed = system.resume(&snapshot).unwrap();
+            resumed.session().add_budget(80);
             let run2 = resumed.start(&[]).unwrap();
-            run2.add_budget(80);
             run2.join().unwrap()
         };
         assert_eq!(
@@ -401,6 +422,37 @@ mod tests {
             "120 checkpointed + 80 fresh"
         );
         assert!(outcome_stats.stats.successes > 0);
+    }
+
+    #[test]
+    fn compiled_snapshot_tracks_live_remarking() {
+        use focus_types::Mark;
+        let (graph, system, cycling) = cycling_system(61, 100_000);
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 8);
+        let run = system.start(&seeds).unwrap();
+        let before = run.compiled();
+        let gardening = system.session().find_topic("home/gardening").unwrap();
+        assert_eq!(before.taxonomy().mark(gardening), Mark::Null);
+        run.mark_topic(gardening, true);
+        // The swap lands when a worker drains the command queue at a
+        // page boundary; poll for it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if run.compiled().taxonomy().mark(gardening) == Mark::Good {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "mark_topic never recompiled the model"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        run.stop();
+        run.join().unwrap();
+        // The pre-remark snapshot is immutable: holders keep classifying
+        // under the marking they captured.
+        assert_eq!(before.taxonomy().mark(gardening), Mark::Null);
+        assert_eq!(before.taxonomy().mark(cycling), Mark::Good);
     }
 
     #[test]

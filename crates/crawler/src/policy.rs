@@ -1,5 +1,6 @@
 //! Crawl policies (§2.1.2): how classification steers link expansion.
 
+use focus_classifier::compiled::EvalSummary;
 use focus_classifier::model::Posterior;
 
 /// The three policies compared in the paper's evaluation.
@@ -32,6 +33,19 @@ impl CrawlPolicy {
     /// Apply the policy to a classified page. `hard_accepts` is the
     /// hard-focus predicate evaluated on the page's best leaf.
     pub fn decide(&self, posterior: &Posterior, hard_accepts: bool) -> Expansion {
+        self.decide_scores(posterior.relevance, hard_accepts)
+    }
+
+    /// Apply the policy to a compiled-path evaluation — the crawl hot
+    /// path's entry point. The decision needs only the relevance scalar
+    /// and the hard-focus verdict, both of which the compiled engine
+    /// returns by value; no owned [`Posterior`] has to exist.
+    pub fn decide_eval(&self, eval: &EvalSummary) -> Expansion {
+        self.decide_scores(eval.relevance, eval.hard_accepts)
+    }
+
+    /// The policy on its raw inputs.
+    fn decide_scores(&self, relevance: f64, hard_accepts: bool) -> Expansion {
         match self {
             CrawlPolicy::Unfocused => Expansion {
                 expand: true,
@@ -44,7 +58,7 @@ impl CrawlPolicy {
             },
             CrawlPolicy::SoftFocus => Expansion {
                 expand: true,
-                child_log_relevance: log_clamped(posterior.relevance),
+                child_log_relevance: log_clamped(relevance),
             },
         }
     }
@@ -80,6 +94,30 @@ mod tests {
     fn hard_focus_gates_on_acceptance() {
         assert!(CrawlPolicy::HardFocus.decide(&posterior(0.9), true).expand);
         assert!(!CrawlPolicy::HardFocus.decide(&posterior(0.9), false).expand);
+    }
+
+    #[test]
+    fn compiled_summary_path_agrees_with_reference_path() {
+        for r in [0.0, 0.3, 1.0] {
+            for hard in [false, true] {
+                let eval = EvalSummary {
+                    best_leaf: ClassId(3),
+                    best_leaf_prob: 0.9,
+                    relevance: r,
+                    hard_accepts: hard,
+                };
+                for policy in [
+                    CrawlPolicy::Unfocused,
+                    CrawlPolicy::HardFocus,
+                    CrawlPolicy::SoftFocus,
+                ] {
+                    let a = policy.decide(&posterior(r), hard);
+                    let b = policy.decide_eval(&eval);
+                    assert_eq!(a.expand, b.expand);
+                    assert_eq!(a.child_log_relevance, b.child_log_relevance);
+                }
+            }
+        }
     }
 
     #[test]

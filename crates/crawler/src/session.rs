@@ -29,9 +29,19 @@
 //!   a crawl never contends with page processing.
 //!
 //! Lock order (always acquire left before right, release before going
-//! back left): `model → store → counters/diag`. Monitors touch only
-//! `store` (read) or the counter mutex, so they can never deadlock with
-//! workers.
+//! back left): `model → compiled → store → counters/diag`. Monitors
+//! touch only `store` (read) or the counter mutex, so they can never
+//! deadlock with workers.
+//!
+//! **Classification never holds a lock.** The crawl hot path evaluates
+//! the classifier through an [`Arc<CompiledModel>`] swapped behind its
+//! own `RwLock`: a worker clones the `Arc` (a refcount bump under a
+//! momentary read lock) and drops the lock *before* inference, so a
+//! `mark_topic` retrain — which compiles a fresh model and swaps the
+//! `Arc` in — never contends with in-flight classification, and
+//! in-flight pages finish under the model they started with. Each
+//! worker owns a [`Scratch`] (never shared) so steady-state inference
+//! performs zero heap allocations.
 //!
 //! Workers drain the command queue between page fetches, so every
 //! control mutation (pause, new seeds, re-marked topics, policy swaps)
@@ -42,7 +52,8 @@ use crate::frontier::{self, Claim, FrontierEntry};
 use crate::policy::{log_clamped, CrawlPolicy};
 use crate::run::{Command, ControlState, CrawlError, CrawlRun, RunState, StartOptions};
 use crate::tables::{self, crawl_col, host_server_id, visited};
-use focus_classifier::model::{Posterior, TrainedModel};
+use focus_classifier::compiled::{CompiledModel, EvalSummary, Scratch};
+use focus_classifier::model::TrainedModel;
 use focus_distiller::memory::{edges_from_links, WeightedHits};
 use focus_distiller::{DistillConfig, DistillResult};
 use focus_types::hash::FxHashMap;
@@ -215,9 +226,14 @@ struct RunDiag {
 /// path.
 pub struct CrawlSession {
     fetcher: Arc<dyn Fetcher>,
+    /// The trained parameters — the *source of truth* for markings.
     /// Behind a rwlock so `mark_topic` can change the good set while
     /// workers classify (§3.7 administration against a live crawl).
     model: RwLock<TrainedModel>,
+    /// The compiled inference engine the hot path runs. Workers clone
+    /// the `Arc` and release the lock before evaluating; topic re-marks
+    /// compile a fresh model and swap the `Arc` in (see module docs).
+    compiled: RwLock<Arc<CompiledModel>>,
     cfg: CrawlConfig,
     /// The relational store: readers share, writers exclude (see the
     /// module docs for the lock order).
@@ -266,9 +282,11 @@ impl CrawlSession {
         db.execute("create index auth_oid on auth (oid)")?;
         let initial_budget = cfg.max_fetches;
         let initial_policy = cfg.policy;
+        let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
             model: RwLock::new(model),
+            compiled: RwLock::new(compiled),
             cfg,
             store: RwLock::new(StoreState {
                 db,
@@ -297,34 +315,32 @@ impl CrawlSession {
     /// link graph, stats, remaining budget, and good marking intact.
     pub fn restore(
         fetcher: Arc<dyn Fetcher>,
-        model: TrainedModel,
+        mut model: TrainedModel,
         cfg: CrawlConfig,
         ckpt: &CrawlCheckpoint,
     ) -> DbResult<CrawlSession> {
-        let session = CrawlSession::new(fetcher, model, cfg)?;
-        {
-            // The checkpoint's marking replaces the caller's wholesale:
-            // live `mark_topic` calls may have both added and *removed*
-            // good topics since the model was built, so clear first.
-            let mut model = session.model.write();
-            for c in model.taxonomy.good_set() {
-                model
-                    .taxonomy
-                    .unmark_good(c)
-                    .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
-            }
-            for name in &ckpt.good_topics {
-                let c = model.taxonomy.find(name).ok_or_else(|| {
-                    minirel::DbError::Eval(format!(
-                        "restore: checkpoint marks unknown topic {name:?}"
-                    ))
-                })?;
-                model
-                    .taxonomy
-                    .mark_good(c)
-                    .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
-            }
+        // The checkpoint's marking replaces the caller's wholesale:
+        // live `mark_topic` calls may have both added and *removed*
+        // good topics since the model was built, so clear first. Doing
+        // this *before* construction means the one construction-time
+        // compile — and the `TAXONOMY` dim table — already reflect the
+        // restored marking.
+        for c in model.taxonomy.good_set() {
+            model
+                .taxonomy
+                .unmark_good(c)
+                .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
         }
+        for name in &ckpt.good_topics {
+            let c = model.taxonomy.find(name).ok_or_else(|| {
+                minirel::DbError::Eval(format!("restore: checkpoint marks unknown topic {name:?}"))
+            })?;
+            model
+                .taxonomy
+                .mark_good(c)
+                .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
+        }
+        let session = CrawlSession::new(fetcher, model, cfg)?;
         let mut g = session.store.write();
         let crawl_tid = g.db.table_id("crawl")?;
         let mut crawl_rows = Vec::with_capacity(ckpt.pages.len());
@@ -462,6 +478,10 @@ impl CrawlSession {
     /// page's accumulated writes in one short critical section at the
     /// page boundary (where steering commands also drain).
     pub(crate) fn worker(&self, sink: &EventSink, batch_size: usize) {
+        // Per-worker inference buffers: warmed up on the first page,
+        // zero allocations per page after that. Never shared (the
+        // `Scratch` contract), so no lock guards it.
+        let mut scratch = Scratch::default();
         loop {
             self.control.drain(|cmd| self.apply_command(cmd, sink));
             if self.control.abort.load(Ordering::Acquire) {
@@ -499,7 +519,7 @@ impl CrawlSession {
                     claims,
                     first_attempt,
                 } => {
-                    if self.process_batch(&claims, first_attempt, sink) {
+                    if self.process_batch(&claims, first_attempt, sink, &mut scratch) {
                         break;
                     }
                 }
@@ -514,21 +534,38 @@ impl CrawlSession {
     /// the frontier via [`frontier::unclaim_batch`], so pause/stop
     /// latency stays one page, not one batch. Returns `true` when the
     /// worker should exit its loop.
-    fn process_batch(&self, claims: &[Claim], first_attempt: u64, sink: &EventSink) -> bool {
+    fn process_batch(
+        &self,
+        claims: &[Claim],
+        first_attempt: u64,
+        sink: &EventSink,
+        scratch: &mut Scratch,
+    ) -> bool {
         let mut i = 0usize;
         while i < claims.len() {
             let claim = &claims[i];
             let attempt = first_attempt + i as u64;
             // Fetch without holding the lock (network latency).
             let result = self.fetcher.fetch(claim.oid);
-            // Classify without holding the lock either: inference is
-            // pure CPU and was the hottest section inside the old
-            // critical section.
+            // Classify without holding *any* lock: clone the compiled
+            // engine's Arc (a refcount bump under a momentary read
+            // lock), drop the lock, then run zero-alloc inference in
+            // this worker's scratch. A concurrent retrain swaps the Arc
+            // without waiting for us; this page finishes under the
+            // model it started with.
             let eval = result.as_ref().ok().map(|page| {
-                let model = self.model.read();
-                let post = model.evaluate(&page.terms);
-                let hard = model.taxonomy.hard_focus_accepts(post.best_leaf);
-                (post, hard)
+                let compiled = Arc::clone(&self.compiled.read());
+                let summary = compiled.evaluate_into(&page.terms, scratch);
+                // Saved posteriors back §3.7 re-marking; the tail below
+                // the floor adds nothing. Filtered here, outside the
+                // store lock.
+                let saved: Vec<(ClassId, f64)> = scratch
+                    .class_probs()
+                    .iter()
+                    .copied()
+                    .filter(|&(_, p)| p > SAVED_PROB_FLOOR)
+                    .collect();
+                (summary, saved)
             });
             let mut g = self.store.write();
             let res = self.process(&mut g, claim, result, eval, attempt, sink);
@@ -715,6 +752,11 @@ impl CrawlSession {
             return;
         }
         let model = self.model.read();
+        // Recompile against the new marking and swap the Arc in. Workers
+        // cloned their Arc before evaluating, so nothing waits on this;
+        // pages classified from here on see the new good set. Lock order
+        // model → compiled per the module docs.
+        *self.compiled.write() = Arc::new(CompiledModel::compile(&model));
         let goods = model.taxonomy.good_set();
         let mut g = self.store.write();
         // Recompute R(d) for every visited page under the new marking.
@@ -835,7 +877,7 @@ impl CrawlSession {
         g: &mut StoreState,
         claim: &Claim,
         result: Result<focus_webgraph::FetchedPage, FetchError>,
-        eval: Option<(Posterior, bool)>,
+        eval: Option<(EvalSummary, Vec<(ClassId, f64)>)>,
         attempt: u64,
         sink: &EventSink,
     ) -> DbResult<()> {
@@ -863,15 +905,15 @@ impl CrawlSession {
                 Ok(())
             }
             Ok(page) => {
-                let (post, hard) = eval.expect("successful fetches are classified");
-                let r = post.relevance;
+                let (summary, saved_probs) = eval.expect("successful fetches are classified");
+                let r = summary.relevance;
                 let log_r = log_clamped(r);
                 frontier::mark_done(
                     &mut g.db,
                     page.oid,
                     &page.url,
                     log_r,
-                    post.best_leaf.raw() as i64,
+                    summary.best_leaf.raw() as i64,
                     now,
                 )?;
                 {
@@ -884,14 +926,7 @@ impl CrawlSession {
                     t.completion_order.push((page.oid, r));
                 }
                 g.relevance.insert(page.oid, r);
-                g.class_probs.insert(
-                    page.oid,
-                    post.class_probs
-                        .iter()
-                        .copied()
-                        .filter(|&(_, p)| p > SAVED_PROB_FLOOR)
-                        .collect(),
-                );
+                g.class_probs.insert(page.oid, saved_probs);
                 let sid_src = host_server_id(&page.url);
                 *g.server_counts.entry(sid_src).or_insert(0) += 1;
 
@@ -900,7 +935,7 @@ impl CrawlSession {
                 // outlink endorsements through one `upsert_batch` pass —
                 // one ordered index traversal each, instead of a full
                 // B+tree descent per outlink.
-                let expansion = g.policy.decide(&post, hard);
+                let expansion = g.policy.decide_eval(&summary);
                 let link_tid = g.db.table_id("link")?;
                 let mut link_rows = Vec::with_capacity(page.outlinks.len());
                 let mut expansions = Vec::new();
@@ -956,7 +991,7 @@ impl CrawlSession {
                     oid: page.oid,
                     attempt,
                     relevance: r,
-                    best_leaf: post.best_leaf,
+                    best_leaf: summary.best_leaf,
                 });
 
                 // Distillation trigger (§3.1: "triggers to recompute
@@ -1142,6 +1177,15 @@ impl CrawlSession {
     /// Run a closure against the trained model (live good marking).
     pub fn with_model<R>(&self, f: impl FnOnce(&TrainedModel) -> R) -> R {
         f(&self.model.read())
+    }
+
+    /// The compiled inference engine currently serving the crawl hot
+    /// path. The returned `Arc` is a consistent snapshot: a concurrent
+    /// `mark_topic` swaps the session's copy but never mutates this one.
+    /// Pair with a per-thread [`Scratch`] to classify ad hoc documents
+    /// exactly as the crawl does.
+    pub fn compiled(&self) -> Arc<CompiledModel> {
+        Arc::clone(&self.compiled.read())
     }
 
     /// Capture everything needed to resume this crawl in a fresh session:
@@ -1752,7 +1796,14 @@ mod tests {
                 Arc::clone(&fetcher) as Arc<dyn Fetcher>,
                 model,
                 CrawlConfig {
-                    threads: 2,
+                    // One worker, deterministically: with two, both can
+                    // claim before the first panic aborts the pool,
+                    // leaking *every* seed as CLAIMED — the healed rerun
+                    // then (correctly) stagnates with zero successes,
+                    // which is not the property under test. One worker
+                    // claims one batch (8 of the 10 seeds), panics, and
+                    // provably leaves poppable work behind.
+                    threads: 1,
                     max_fetches: 100,
                     distill_every: None,
                     ..CrawlConfig::default()

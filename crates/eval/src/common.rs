@@ -1,6 +1,7 @@
 //! Shared experiment setup: generate a web, mark a good topic, train the
 //! classifier — the "administration" every figure starts from.
 
+use focus_classifier::compiled::CompiledModel;
 use focus_classifier::model::TrainedModel;
 use focus_classifier::train::{train, TrainConfig};
 use focus_types::{ClassId, Document, Taxonomy};
@@ -100,8 +101,11 @@ pub struct World {
     pub taxonomy: Taxonomy,
     /// The good topic.
     pub topic: ClassId,
-    /// Trained hierarchical classifier.
+    /// Trained hierarchical classifier (reference path).
     pub model: TrainedModel,
+    /// The same classifier compiled for the zero-alloc hot path; what
+    /// the crawl and throughput-sensitive experiments evaluate with.
+    pub compiled: CompiledModel,
     /// Scale used.
     pub scale: Scale,
 }
@@ -121,11 +125,13 @@ impl World {
             .unwrap_or_else(|| panic!("no topic {topic_name}"));
         taxonomy.mark_good(topic).expect("markable");
         let model = train_model(&graph, &taxonomy, scale, seed);
+        let compiled = CompiledModel::compile(&model);
         World {
             graph,
             taxonomy,
             topic,
             model,
+            compiled,
             scale,
         }
     }
@@ -173,6 +179,13 @@ mod tests {
             .expect("cycling pages exist");
         let r = w.model.evaluate(&page.terms).relevance;
         assert!(r > 0.3, "cycling page scored only {r}");
+        // The compiled engine agrees with the reference path.
+        let mut scratch = w.compiled.scratch();
+        let rc = w
+            .compiled
+            .evaluate_into(&page.terms, &mut scratch)
+            .relevance;
+        assert!((r - rc).abs() < 1e-9, "compiled {rc} vs reference {r}");
     }
 
     #[test]

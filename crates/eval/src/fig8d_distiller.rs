@@ -63,8 +63,15 @@ pub fn build_graph(scale: Scale) -> (Vec<LinkEdge>, FxHashMap<Oid, f64>) {
     pages.truncate(n_pages);
     let in_set: std::collections::HashSet<Oid> = pages.iter().map(|p| p.oid).collect();
     let mut relevance: FxHashMap<Oid, f64> = FxHashMap::default();
+    let mut scratch = world.compiled.scratch();
     for p in &pages {
-        relevance.insert(p.oid, world.model.evaluate(&p.terms).relevance);
+        relevance.insert(
+            p.oid,
+            world
+                .compiled
+                .evaluate_into(&p.terms, &mut scratch)
+                .relevance,
+        );
     }
     let mut raw = Vec::new();
     for p in &pages {

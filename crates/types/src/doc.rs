@@ -5,11 +5,17 @@
 //! the in-memory form: term ids sorted ascending with positive counts,
 //! which lets joins against `STAT_c0` stream in merge order.
 
-use crate::hash::FxHashMap;
 use crate::ids::{DocId, TermId};
 use serde::{Deserialize, Serialize};
 
 /// Sparse term-frequency vector: `(tid, freq)` sorted by `tid`, freq > 0.
+///
+/// **Canonical-form invariant:** entries are strictly ascending in `tid`
+/// with positive frequencies, established once at construction (every
+/// constructor funnels through [`TermVec::from_counts`]). Downstream
+/// consumers — the classifier's reference path, and especially the
+/// compiled engine's merge-join against CSR term columns — rely on this
+/// and never re-sort or re-deduplicate per node.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TermVec {
     entries: Vec<(TermId, u32)>,
@@ -17,15 +23,21 @@ pub struct TermVec {
 
 impl TermVec {
     /// Build from arbitrary (possibly repeated, unsorted) term occurrences.
+    ///
+    /// Canonicalizes by sort + adjacent merge — no hash table, so the
+    /// per-page tokenization path does one `O(n log n)` pass instead of
+    /// `n` hash probes plus a sort of the map's spill.
     pub fn from_counts(counts: impl IntoIterator<Item = (TermId, u32)>) -> Self {
-        let mut m: FxHashMap<TermId, u32> = FxHashMap::default();
-        for (t, c) in counts {
-            if c > 0 {
-                *m.entry(t).or_insert(0) += c;
-            }
-        }
-        let mut entries: Vec<(TermId, u32)> = m.into_iter().collect();
+        let mut entries: Vec<(TermId, u32)> = counts.into_iter().filter(|&(_, c)| c > 0).collect();
         entries.sort_unstable_by_key(|&(t, _)| t);
+        entries.dedup_by(|cur, prev| {
+            if cur.0 == prev.0 {
+                prev.1 = prev.1.saturating_add(cur.1);
+                true
+            } else {
+                false
+            }
+        });
         TermVec { entries }
     }
 
@@ -70,6 +82,13 @@ impl TermVec {
     /// Iterate `(tid, freq)` in ascending `tid` order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
         self.entries.iter().copied()
+    }
+
+    /// The canonical entries as a slice: strictly ascending `tid`,
+    /// positive frequencies. The compiled classifier merge-joins this
+    /// directly against its CSR term columns.
+    pub fn as_slice(&self) -> &[(TermId, u32)] {
+        &self.entries
     }
 
     /// Merge another vector into this one (summing frequencies).
@@ -119,6 +138,29 @@ mod tests {
         assert_eq!(v.len(), 7);
         let tids: Vec<u32> = v.iter().map(|(t, _)| t.raw()).collect();
         assert!(tids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn construction_canonicalizes_unsorted_duplicates() {
+        // The worst case a tokenizer can produce: interleaved repeats of
+        // the same ids, out of order. One construction pass must leave
+        // the canonical form the classifier paths rely on.
+        let v = TermVec::from_counts([
+            (TermId(7), 2),
+            (TermId(3), 1),
+            (TermId(7), 3),
+            (TermId(3), 4),
+            (TermId(7), 1),
+        ]);
+        assert_eq!(v.as_slice(), &[(TermId(3), 5), (TermId(7), 6)]);
+        // Strictly ascending (no equal neighbors survive).
+        assert!(v.as_slice().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn merging_duplicate_counts_saturates_instead_of_overflowing() {
+        let v = TermVec::from_counts([(TermId(1), u32::MAX), (TermId(1), 10)]);
+        assert_eq!(v.freq(TermId(1)), u32::MAX);
     }
 
     #[test]

@@ -558,6 +558,29 @@ mod tests {
     }
 
     #[test]
+    fn page_terms_are_canonical_at_construction() {
+        // The classifier's compiled merge-join (and the reference path's
+        // sorted iteration) rely on page term vectors being canonical —
+        // strictly ascending term ids, duplicates merged — *once*, at
+        // construction, not re-sorted per node. The generator funnels
+        // every page through `TermVec::from_counts`, which guarantees it.
+        let g = tiny();
+        for p in g.pages() {
+            let entries = p.terms.as_slice();
+            assert!(
+                entries.windows(2).all(|w| w[0].0 < w[1].0),
+                "unsorted/duplicated terms in {}",
+                p.url
+            );
+            assert!(
+                entries.iter().all(|&(_, c)| c > 0),
+                "zero-frequency term survived in {}",
+                p.url
+            );
+        }
+    }
+
+    #[test]
     fn oids_unique_and_resolvable() {
         let g = tiny();
         let mut seen = std::collections::HashSet::new();
