@@ -18,6 +18,7 @@
 //!
 //! Run with `cargo bench --bench frontier_throughput`.
 
+use focus_crawler::cluster::CrawlCluster;
 use focus_crawler::frontier::{self, FrontierEntry};
 use focus_crawler::session::{CrawlConfig, CrawlSession};
 use focus_crawler::{tables, CrawlPolicy};
@@ -90,6 +91,19 @@ struct ReadConcurrencyPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct ClusterPoint {
+    /// Shard count; 1 is a genuine single session (the baseline).
+    shards: usize,
+    /// Total workers across shards.
+    workers_total: usize,
+    attempts: u64,
+    pages_per_sec: f64,
+    /// Mean linear relevance of fetched pages (should be flat across
+    /// shard counts).
+    harvest: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchPoint {
     bench: &'static str,
     unix_time: u64,
@@ -101,6 +115,9 @@ struct BenchPoint {
     descent_reduction: f64,
     throughput: Vec<ThroughputPoint>,
     read_concurrency: ReadConcurrencyPoint,
+    /// Sharded-crawl ladder at equal total workers; the acceptance bar
+    /// is 4-shard pages/sec ≥ the shards=1 baseline.
+    cluster: Vec<ClusterPoint>,
 }
 
 /// Deterministic synthetic outlink set for a page: a mix of fresh
@@ -317,6 +334,85 @@ fn monitored_crawl(world: &World) -> (f64, u64) {
     (stats.attempts as f64 / secs, served.load(Ordering::Relaxed))
 }
 
+/// One timed crawl at `shards` (1 = plain session); returns
+/// `(attempts, pages/sec, mean harvest)`. Sessions/clusters are rebuilt
+/// per rep — budgets are spent by a run.
+fn one_sharded_crawl(world: &World, shards: usize, workers: usize) -> (u64, f64, f64) {
+    if shards == 1 {
+        let session = make_session(world, workers, BATCH);
+        let t = Instant::now();
+        let stats = session.run().expect("crawl");
+        let secs = t.elapsed().as_secs_f64();
+        return (
+            stats.attempts,
+            stats.attempts as f64 / secs,
+            stats.mean_harvest(),
+        );
+    }
+    let fetcher = Arc::new(focus_webgraph::SimFetcher::new(
+        Arc::clone(&world.graph),
+        Some(std::time::Duration::from_micros(FETCH_LATENCY_US)),
+    ));
+    let cluster = CrawlCluster::new(
+        shards,
+        fetcher,
+        world.model.clone(),
+        CrawlConfig {
+            policy: CrawlPolicy::Unfocused,
+            threads: workers,
+            max_fetches: CRAWL_BUDGET,
+            distill_every: None,
+            batch_size: BATCH,
+            ..CrawlConfig::default()
+        },
+    )
+    .expect("cluster");
+    cluster.seed(&world.start_set(10)).expect("seed");
+    let t = Instant::now();
+    let stats = cluster.run().expect("cluster crawl");
+    let secs = t.elapsed().as_secs_f64();
+    (
+        stats.attempts,
+        stats.attempts as f64 / secs,
+        stats.mean_harvest(),
+    )
+}
+
+/// Median-of-[`REPS`] sharded ladder, reps interleaved across shard
+/// counts like the worker ladder. Harvest is the *mean* over reps:
+/// claim interleaving makes a single sharded run's harvest vary by a
+/// few hundredths (which pages fill each shard's budget share depends
+/// on routing arrival order), and a one-rep number would read as a
+/// sharding regression that is really noise.
+fn cluster_ladder(world: &World, configs: &[(usize, usize)]) -> Vec<ClusterPoint> {
+    let mut rates: Vec<Vec<f64>> = vec![Vec::with_capacity(REPS); configs.len()];
+    let mut attempts = vec![0u64; configs.len()];
+    let mut harvest_sum = vec![0.0f64; configs.len()];
+    for _ in 0..REPS {
+        for (c, &(shards, workers)) in configs.iter().enumerate() {
+            let (a, pps, h) = one_sharded_crawl(world, shards, workers);
+            attempts[c] = a;
+            harvest_sum[c] += h;
+            rates[c].push(pps);
+        }
+    }
+    configs
+        .iter()
+        .zip(rates)
+        .zip(attempts)
+        .zip(harvest_sum)
+        .map(
+            |(((&(shards, workers_total), r), attempts), harvest_sum)| ClusterPoint {
+                shards,
+                workers_total,
+                attempts,
+                pages_per_sec: median(r),
+                harvest: harvest_sum / REPS as f64,
+            },
+        )
+        .collect()
+}
+
 fn read_concurrency(world: &World, baseline: f64) -> ReadConcurrencyPoint {
     let mut rates = Vec::with_capacity(REPS);
     let mut queries = 0;
@@ -444,6 +540,32 @@ fn main() {
         rc.monitor_queries
     );
 
+    println!("--- sharded crawl ladder, {CRAWL_BUDGET}-fetch budget, 4 total workers ---");
+    let cluster_configs = [(1, 4), (2, 4), (4, 4)];
+    let cluster = cluster_ladder(&world, &cluster_configs);
+    for p in &cluster {
+        println!(
+            "shards {:>2}  workers {:>2}: {:>9.0} pages/sec ({} attempts, harvest {:.3})",
+            p.shards, p.workers_total, p.pages_per_sec, p.attempts, p.harvest
+        );
+    }
+    let shard_pps = |shards: usize| {
+        cluster
+            .iter()
+            .find(|p| p.shards == shards)
+            .map(|p| p.pages_per_sec)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "4 shards vs single session at 4 workers:  {:.2}x ({})",
+        shard_pps(4) / shard_pps(1),
+        if shard_pps(4) >= shard_pps(1) {
+            "PASS: sharding never loses at equal workers"
+        } else {
+            "FAIL: sharding regressed"
+        }
+    );
+
     let point = BenchPoint {
         bench: "frontier",
         unix_time: std::time::SystemTime::now()
@@ -457,6 +579,7 @@ fn main() {
         descent_reduction: reduction,
         throughput,
         read_concurrency: rc,
+        cluster,
     };
     append_point(&point);
 }

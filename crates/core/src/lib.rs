@@ -53,13 +53,15 @@ pub mod system;
 
 pub use admin::FocusBuilder;
 pub use system::{
-    DiscoveryEvent, DiscoveryOutcome, DiscoveryRun, DiscoverySnapshot, FocusSystem, RunOptions,
+    ClusterRun, ClusterSnapshot, DiscoveryEvent, DiscoveryOutcome, DiscoveryRun, DiscoverySnapshot,
+    FocusSystem, RunOptions,
 };
 
 // Re-export the subsystem vocabulary so downstream users need one crate.
 pub use focus_classifier::compiled::{CompiledModel, EvalSummary, Scratch};
 pub use focus_classifier::model::{Posterior, TrainedModel};
 pub use focus_classifier::train::TrainConfig;
+pub use focus_crawler::cluster::CrawlCluster;
 pub use focus_crawler::events::{CrawlEvent, CrawlObserver, EventStream};
 pub use focus_crawler::run::RunState;
 pub use focus_crawler::session::{CrawlConfig, CrawlSession, CrawlStats};
@@ -76,7 +78,8 @@ pub use minirel::Database;
 pub mod prelude {
     pub use crate::admin::FocusBuilder;
     pub use crate::system::{
-        DiscoveryEvent, DiscoveryOutcome, DiscoveryRun, DiscoverySnapshot, FocusSystem, RunOptions,
+        ClusterRun, ClusterSnapshot, DiscoveryEvent, DiscoveryOutcome, DiscoveryRun,
+        DiscoverySnapshot, FocusSystem, RunOptions,
     };
     pub use focus_crawler::events::{CrawlEvent, CrawlObserver};
     pub use focus_crawler::run::RunState;

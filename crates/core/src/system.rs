@@ -10,6 +10,7 @@
 //! (`start(seeds)?.join()`).
 
 use focus_classifier::model::TrainedModel;
+use focus_crawler::cluster::{ClusterCheckpoint, CrawlCluster};
 use focus_crawler::events::EventStream;
 use focus_crawler::run::{CrawlRun, RunState, StartOptions};
 use focus_crawler::session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats};
@@ -25,6 +26,11 @@ use std::sync::Arc;
 /// live policy, and good marking. Produced by
 /// [`DiscoveryRun::checkpoint`], consumed by [`FocusSystem::resume`].
 pub type DiscoverySnapshot = CrawlCheckpoint;
+
+/// One [`DiscoverySnapshot`] per shard plus the manifest (shard count
+/// and order). Produced by [`ClusterRun::checkpoint`], consumed by
+/// [`FocusSystem::resume_cluster`].
+pub type ClusterSnapshot = ClusterCheckpoint;
 
 /// Options for [`FocusSystem::start_with`].
 pub type RunOptions = StartOptions;
@@ -149,6 +155,138 @@ impl FocusSystem {
     /// exclusive access.
     pub fn sql(&self, sql: &str) -> Result<minirel::ResultSet, FocusError> {
         Ok(self.session.sql(sql)?)
+    }
+
+    /// Build a sharded crawl cluster from this system's model and
+    /// configuration: `n_shards` independent sessions partitioned by
+    /// `host_server_id(url) % n_shards`, with the configured worker
+    /// count and fetch budget split across shards. Seed and start it
+    /// yourself, or use [`FocusSystem::start_cluster`] for the one-call
+    /// path.
+    pub fn build_cluster(&self, n_shards: usize) -> Result<CrawlCluster, FocusError> {
+        Ok(CrawlCluster::new(
+            n_shards,
+            Arc::clone(&self.fetcher),
+            self.model.clone(),
+            self.cfg.clone(),
+        )?)
+    }
+
+    /// Seed `D(C*)` across the shards of a fresh `n_shards`-way cluster
+    /// and start every shard's worker pool, returning the cluster
+    /// steering handle. The cluster is independent of this system's own
+    /// session ([`FocusSystem::start`] remains usable separately).
+    pub fn start_cluster(&self, n_shards: usize, seeds: &[Oid]) -> Result<ClusterRun, FocusError> {
+        let cluster = self.build_cluster(n_shards)?;
+        cluster.seed(seeds)?;
+        let run = cluster.start()?;
+        Ok(ClusterRun { cluster, run })
+    }
+
+    /// Rebuild a cluster from a [`ClusterSnapshot`] (shard count comes
+    /// from the manifest). Call [`CrawlCluster::start`] — optionally
+    /// after raising per-shard budgets — to continue the crawl.
+    pub fn resume_cluster(&self, snapshot: &ClusterSnapshot) -> Result<CrawlCluster, FocusError> {
+        Ok(CrawlCluster::restore(
+            Arc::clone(&self.fetcher),
+            self.model.clone(),
+            self.cfg.clone(),
+            snapshot,
+        )?)
+    }
+}
+
+/// A live sharded discovery run: the admin console of [`DiscoveryRun`],
+/// fanned out over every shard of a [`CrawlCluster`].
+///
+/// Control commands broadcast (`pause`/`resume`/`stop`, `mark_topic`) or
+/// route by owner (`add_seeds`); snapshots sum counters and merge the
+/// harvest series. Obtained from [`FocusSystem::start_cluster`].
+pub struct ClusterRun {
+    cluster: CrawlCluster,
+    run: focus_crawler::cluster::ClusterRun,
+}
+
+impl ClusterRun {
+    /// The underlying cluster (per-shard sessions, monitoring SQL).
+    pub fn cluster(&self) -> &CrawlCluster {
+        &self.cluster
+    }
+
+    /// Take shard `i`'s event stream (callable once per shard).
+    pub fn take_events(&mut self, shard: usize) -> Option<EventStream> {
+        self.run.take_events(shard)
+    }
+
+    /// Pause every shard (latency: one page per shard).
+    pub fn pause(&self) {
+        self.run.pause()
+    }
+
+    /// Release every shard.
+    pub fn resume(&self) {
+        self.run.resume()
+    }
+
+    /// Wind every shard down; [`ClusterRun::join`] then returns promptly.
+    pub fn stop(&self) {
+        self.run.stop()
+    }
+
+    /// Broadcast a §3.7 re-mark to every shard: each recompiles its
+    /// classifier and re-steers its own frontier.
+    pub fn mark_topic(&self, class: ClassId, good: bool) {
+        self.run.mark_topic(class, good)
+    }
+
+    /// [`ClusterRun::mark_topic`] by topic name.
+    pub fn mark_topic_by_name(&self, name: &str, good: bool) -> Result<ClassId, FocusError> {
+        let class = self
+            .cluster
+            .find_topic(name)
+            .ok_or_else(|| FocusError::InvalidTaxonomy(format!("no topic named {name}")))?;
+        self.run.mark_topic(class, good);
+        Ok(class)
+    }
+
+    /// Inject seeds, each routed to its owning shard.
+    pub fn add_seeds(&self, seeds: &[Oid]) {
+        self.run.add_seeds(seeds)
+    }
+
+    /// Raise the cluster-wide budget (split across shards).
+    pub fn add_budget(&self, extra: u64) {
+        self.run.add_budget(extra)
+    }
+
+    /// Summed counters + merged harvest series across shards.
+    pub fn stats(&self) -> CrawlStats {
+        self.run.stats()
+    }
+
+    /// Have all shards' workers exited?
+    pub fn is_finished(&self) -> bool {
+        self.run.is_finished()
+    }
+
+    /// Checkpoint every shard (pause first for stability).
+    pub fn checkpoint(&self) -> Result<ClusterSnapshot, FocusError> {
+        Ok(self.run.checkpoint()?)
+    }
+
+    /// Visited pages across all shards as `(oid, linear R, server)`.
+    pub fn visited(&self) -> Vec<(Oid, f64, ServerId)> {
+        self.cluster
+            .shards()
+            .iter()
+            .flat_map(|s| s.visited())
+            .collect()
+    }
+
+    /// Wait for every shard and return merged stats; any shard's
+    /// failure fails the cluster.
+    pub fn join(self) -> Result<CrawlStats, FocusError> {
+        Ok(self.run.join()?)
     }
 }
 
@@ -453,6 +591,35 @@ mod tests {
         // under the marking they captured.
         assert_eq!(before.taxonomy().mark(gardening), Mark::Null);
         assert_eq!(before.taxonomy().mark(cycling), Mark::Good);
+    }
+
+    #[test]
+    fn start_cluster_discovers_and_checkpoints() {
+        let (graph, system, cycling) = cycling_system(67, 240);
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 12);
+        let run = system.start_cluster(3, &seeds).unwrap();
+        let snapshot = {
+            while !run.is_finished() {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let snap = run.checkpoint().unwrap();
+            let stats = run.join().unwrap();
+            assert_eq!(stats.attempts, 240, "split budget spends exactly");
+            assert!(stats.successes > 50);
+            assert!(stats.mean_harvest() > 0.2, "cluster harvest collapsed");
+            snap
+        };
+        assert_eq!(snapshot.shards.len(), 3);
+        assert!(snapshot.visited_len() > 0);
+        // Resume into a fresh cluster and continue against the same
+        // frontier.
+        let resumed = system.resume_cluster(&snapshot).unwrap();
+        assert_eq!(resumed.stats().attempts, 240, "stats carried over");
+        for shard in resumed.shards() {
+            shard.add_budget(20);
+        }
+        let stats = resumed.run().unwrap();
+        assert_eq!(stats.attempts, 300, "240 checkpointed + 3×20 fresh");
     }
 
     #[test]

@@ -65,20 +65,21 @@ fn oid_key(oid: Oid) -> Vec<u8> {
 
 /// Strictly decode one column; a mistyped value is storage corruption,
 /// not a default (a fabricated `Oid(0)` or `""` would silently poison
-/// claims, checkpoints, and events downstream).
-fn col_i64(row: &[Value], col: usize, what: &str) -> DbResult<i64> {
+/// claims, checkpoints, and events downstream). Shared with the
+/// checkpoint path in [`crate::session`], which reads whole tables.
+pub(crate) fn col_i64(row: &[Value], col: usize, what: &str) -> DbResult<i64> {
     row[col]
         .as_i64()
         .ok_or_else(|| DbError::Corrupt(format!("crawl.{what}: expected int, got {}", row[col])))
 }
 
-fn col_f64(row: &[Value], col: usize, what: &str) -> DbResult<f64> {
+pub(crate) fn col_f64(row: &[Value], col: usize, what: &str) -> DbResult<f64> {
     row[col]
         .as_f64()
         .ok_or_else(|| DbError::Corrupt(format!("crawl.{what}: expected float, got {}", row[col])))
 }
 
-fn col_str<'a>(row: &'a [Value], col: usize, what: &str) -> DbResult<&'a str> {
+pub(crate) fn col_str<'a>(row: &'a [Value], col: usize, what: &str) -> DbResult<&'a str> {
     row[col]
         .as_str()
         .ok_or_else(|| DbError::Corrupt(format!("crawl.{what}: expected text, got {}", row[col])))

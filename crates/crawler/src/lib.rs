@@ -20,6 +20,7 @@
 //! (the standard-crawler baseline of Figure 5(a); pages are still
 //! *classified* so harvest can be measured, but relevance never steers).
 
+pub mod cluster;
 pub mod events;
 pub mod frontier;
 pub mod monitor;
@@ -28,6 +29,7 @@ pub mod run;
 pub mod session;
 pub mod tables;
 
+pub use cluster::{ClusterCheckpoint, ClusterRun, CrawlCluster};
 pub use events::{CrawlEvent, CrawlObserver, EventStream};
 pub use policy::CrawlPolicy;
 pub use run::{Command, CrawlError, CrawlRun, RunState, StartOptions};

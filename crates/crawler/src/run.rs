@@ -253,10 +253,36 @@ pub struct CrawlRun {
     tail_sink: EventSink,
 }
 
+/// How worker bodies become OS threads. Injectable so tests can make
+/// `spawn` fail deterministically (a real `thread::Builder::spawn`
+/// failure needs OS-level resource exhaustion).
+pub(crate) type WorkerSpawner =
+    dyn FnMut(usize, Box<dyn FnOnce() + Send + 'static>) -> std::io::Result<JoinHandle<()>>;
+
 impl CrawlRun {
     pub(crate) fn launch(
         session: Arc<CrawlSession>,
         opts: StartOptions,
+    ) -> Result<CrawlRun, CrawlError> {
+        Self::launch_with_spawner(session, opts, &mut |i, body| {
+            std::thread::Builder::new()
+                .name(format!("crawl-worker-{i}"))
+                .spawn(body)
+        })
+    }
+
+    /// [`CrawlRun::launch`] with an explicit thread spawner. A spawn
+    /// failure does **not** panic the launching thread: the failed slot
+    /// is recorded like a worker panic (`CrawlEvent::WorkerFailed`, then
+    /// `CrawlError::Worker` from `join()`), the pool is aborted so the
+    /// already-spawned workers wind down and hand their claims back at
+    /// the next page boundary, and the partially-spawned run is returned
+    /// for the caller to `join()` — the same surfacing contract a
+    /// mid-crawl panic has.
+    pub(crate) fn launch_with_spawner(
+        session: Arc<CrawlSession>,
+        opts: StartOptions,
+        spawn: &mut WorkerSpawner,
     ) -> Result<CrawlRun, CrawlError> {
         session.control().activate()?;
         // A previous run's verdict (worker panic, storage error) was
@@ -275,25 +301,40 @@ impl CrawlRun {
             .batch_size
             .unwrap_or(session.config().batch_size)
             .max(1);
+        // Cluster bookkeeping: the whole pool is registered before any
+        // worker runs, so a sibling shard can never observe this shard
+        // as dead while its workers are still being spawned.
+        session.note_workers_arming(threads);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let s = Arc::clone(&session);
             let worker_sink = Arc::clone(&sink);
-            let handle = std::thread::Builder::new()
-                .name(format!("crawl-worker-{i}"))
-                .spawn(move || {
-                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        s.worker(&worker_sink, batch_size)
-                    }));
-                    if let Err(payload) = caught {
-                        // `as_ref` reaches the panic payload itself; a
-                        // plain `&payload` would unsize the Box and make
-                        // the downcasts below see `Box<dyn Any>`.
-                        s.note_worker_panic(i, payload.as_ref(), &worker_sink);
+            let body = Box::new(move || {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    s.worker(&worker_sink, batch_size)
+                }));
+                if let Err(payload) = caught {
+                    // `as_ref` reaches the panic payload itself; a
+                    // plain `&payload` would unsize the Box and make
+                    // the downcasts below see `Box<dyn Any>`.
+                    s.note_worker_panic(i, payload.as_ref(), &worker_sink);
+                }
+                s.note_worker_exit();
+            });
+            match spawn(i, body) {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    session.note_spawn_failure(i, &e, &sink);
+                    // The failed slot and every slot after it never ran:
+                    // retire their registrations so shard-liveness
+                    // accounting (and any cluster peer waiting on it)
+                    // sees them as exited.
+                    for _ in i..threads {
+                        session.note_worker_exit();
                     }
-                })
-                .expect("spawn crawl worker");
-            workers.push(handle);
+                    break;
+                }
+            }
         }
         Ok(CrawlRun {
             session,
@@ -442,5 +483,126 @@ impl Drop for CrawlRun {
             self.stop();
         }
         self.wind_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CrawlEvent;
+    use focus_classifier::train::{train, TrainConfig};
+    use focus_types::ClassId;
+    use focus_webgraph::{SimFetcher, WebConfig, WebGraph};
+
+    fn test_session(threads: usize) -> (Arc<WebGraph>, Arc<CrawlSession>) {
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let mut taxonomy = graph.taxonomy().clone();
+        let topic = taxonomy.find("recreation/cycling").unwrap();
+        taxonomy.mark_good(topic).unwrap();
+        let mut examples = Vec::new();
+        for c in taxonomy.all() {
+            if c == ClassId::ROOT {
+                continue;
+            }
+            for d in graph.example_docs(c, 6, 99) {
+                examples.push((c, d));
+            }
+        }
+        let model = train(&taxonomy, &examples, &TrainConfig::default());
+        let fetcher = Arc::new(SimFetcher::new(Arc::clone(&graph), None));
+        let session = Arc::new(
+            CrawlSession::new(
+                fetcher,
+                model,
+                crate::session::CrawlConfig {
+                    threads,
+                    max_fetches: 200,
+                    distill_every: None,
+                    ..crate::session::CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        (graph, session)
+    }
+
+    #[test]
+    fn spawn_failure_surfaces_like_a_worker_panic() {
+        // Regression for the `.expect("spawn crawl worker")` panic: a
+        // failed `thread::Builder::spawn` must not panic the launching
+        // thread. It surfaces as WorkerFailed + CrawlError::Worker, the
+        // spawned subset winds down releasing its claims, and the
+        // session stays usable.
+        let (graph, session) = test_session(3);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(
+                &graph, cycling, 10,
+            ))
+            .unwrap();
+        let mut run = CrawlRun::launch_with_spawner(
+            Arc::clone(&session),
+            StartOptions::default(),
+            &mut |i, body| {
+                if i >= 1 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "Resource temporarily unavailable (injected)",
+                    ));
+                }
+                std::thread::Builder::new()
+                    .name(format!("crawl-worker-{i}"))
+                    .spawn(body)
+            },
+        )
+        .expect("a partial pool is returned, not a panic");
+        let events = run.take_events().unwrap();
+        let err = run.join().expect_err("spawn failure must fail the run");
+        assert!(
+            matches!(&err, CrawlError::Worker(m) if m.contains("spawn")),
+            "unexpected outcome: {err:?}"
+        );
+        let all: Vec<CrawlEvent> = events.collect();
+        assert!(
+            all.iter()
+                .any(|e| matches!(e, CrawlEvent::WorkerFailed { worker: 1, .. })),
+            "no WorkerFailed for the unspawnable slot: {all:?}"
+        );
+        // The aborting pool handed its claims back: nothing stuck.
+        let claimed = session.with_db(|db| {
+            db.execute("select count(*) from crawl where visited = 2")
+                .unwrap()
+                .scalar_i64()
+                .unwrap()
+        });
+        assert_eq!(claimed, 0, "claims leaked after spawn failure");
+        // The session heals: a fully-spawned rerun crawls.
+        let stats = session.run().expect("healthy rerun succeeds");
+        assert!(stats.successes > 0, "no progress after failed launch");
+    }
+
+    #[test]
+    fn spawn_failure_of_the_whole_pool_still_reports() {
+        // Even worker 0 failing to spawn (an empty pool) must produce a
+        // joinable run with a Worker error, not a panic or a hang.
+        let (graph, session) = test_session(1);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        session
+            .seed(&focus_webgraph::search::topic_start_set(&graph, cycling, 5))
+            .unwrap();
+        let run = CrawlRun::launch_with_spawner(
+            Arc::clone(&session),
+            StartOptions::default(),
+            &mut |_, _| {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "injected",
+                ))
+            },
+        )
+        .expect("launch returns the empty run");
+        assert!(run.is_finished(), "an empty pool is finished");
+        let err = run.join().expect_err("must fail");
+        assert!(matches!(&err, CrawlError::Worker(m) if m.contains("spawn")));
     }
 }

@@ -47,6 +47,7 @@
 //! control mutation (pause, new seeds, re-marked topics, policy swaps)
 //! lands at a page boundary with the tables consistent.
 
+use crate::cluster::ShardCtx;
 use crate::events::{CrawlEvent, EventSink};
 use crate::frontier::{self, Claim, FrontierEntry};
 use crate::policy::{log_clamped, CrawlPolicy};
@@ -242,6 +243,12 @@ pub struct CrawlSession {
     diag: Mutex<RunDiag>,
     control: ControlState,
     start: Instant,
+    /// Present when this session is one shard of a
+    /// [`crate::cluster::CrawlCluster`]: pages whose server hashes to
+    /// another shard are routed through the cluster's exchange instead
+    /// of entering the local frontier, and stagnation becomes a
+    /// cluster-wide verdict.
+    shard: Option<ShardCtx>,
 }
 
 /// What a worker decided to do with one scheduling tick.
@@ -272,6 +279,26 @@ impl CrawlSession {
         fetcher: Arc<dyn Fetcher>,
         model: TrainedModel,
         cfg: CrawlConfig,
+    ) -> DbResult<CrawlSession> {
+        Self::new_inner(fetcher, model, cfg, None)
+    }
+
+    /// [`CrawlSession::new`] as one shard of a cluster (see
+    /// [`crate::cluster`]): same session, plus the routing context.
+    pub(crate) fn new_sharded(
+        fetcher: Arc<dyn Fetcher>,
+        model: TrainedModel,
+        cfg: CrawlConfig,
+        shard: ShardCtx,
+    ) -> DbResult<CrawlSession> {
+        Self::new_inner(fetcher, model, cfg, Some(shard))
+    }
+
+    fn new_inner(
+        fetcher: Arc<dyn Fetcher>,
+        model: TrainedModel,
+        cfg: CrawlConfig,
+        shard: Option<ShardCtx>,
     ) -> DbResult<CrawlSession> {
         let mut db = Database::in_memory_with_frames(cfg.db_frames);
         tables::create_tables(&mut db)?;
@@ -307,6 +334,7 @@ impl CrawlSession {
             diag: Mutex::new(RunDiag::default()),
             control: ControlState::new(),
             start: Instant::now(),
+            shard,
         })
     }
 
@@ -315,9 +343,30 @@ impl CrawlSession {
     /// link graph, stats, remaining budget, and good marking intact.
     pub fn restore(
         fetcher: Arc<dyn Fetcher>,
+        model: TrainedModel,
+        cfg: CrawlConfig,
+        ckpt: &CrawlCheckpoint,
+    ) -> DbResult<CrawlSession> {
+        Self::restore_inner(fetcher, model, cfg, ckpt, None)
+    }
+
+    /// [`CrawlSession::restore`] as one shard of a cluster.
+    pub(crate) fn restore_sharded(
+        fetcher: Arc<dyn Fetcher>,
+        model: TrainedModel,
+        cfg: CrawlConfig,
+        ckpt: &CrawlCheckpoint,
+        shard: ShardCtx,
+    ) -> DbResult<CrawlSession> {
+        Self::restore_inner(fetcher, model, cfg, ckpt, Some(shard))
+    }
+
+    fn restore_inner(
+        fetcher: Arc<dyn Fetcher>,
         mut model: TrainedModel,
         cfg: CrawlConfig,
         ckpt: &CrawlCheckpoint,
+        shard: Option<ShardCtx>,
     ) -> DbResult<CrawlSession> {
         // The checkpoint's marking replaces the caller's wholesale:
         // live `mark_topic` calls may have both added and *removed*
@@ -340,7 +389,7 @@ impl CrawlSession {
                 .mark_good(c)
                 .map_err(|e| minirel::DbError::Eval(format!("restore: {e}")))?;
         }
-        let session = CrawlSession::new(fetcher, model, cfg)?;
+        let session = CrawlSession::new_inner(fetcher, model, cfg, shard)?;
         let mut g = session.store.write();
         let crawl_tid = g.db.table_id("crawl")?;
         let mut crawl_rows = Vec::with_capacity(ckpt.pages.len());
@@ -406,9 +455,97 @@ impl CrawlSession {
                 serverload: 0,
             })
             .collect();
+        self.seed_entries(entries)
+    }
+
+    /// Seed resolved frontier entries. In cluster mode, entries whose
+    /// host belongs to another shard are handed to the exchange (drained
+    /// by the owner's workers at page boundaries); a seed with no
+    /// resolvable URL falls back to `oid % n_shards`.
+    pub(crate) fn seed_entries(&self, entries: Vec<FrontierEntry>) -> DbResult<()> {
+        let local: Vec<FrontierEntry> = match &self.shard {
+            None => entries,
+            Some(ctx) => {
+                let mut local = Vec::with_capacity(entries.len());
+                let mut remote: Vec<Vec<FrontierEntry>> = vec![Vec::new(); ctx.n_shards];
+                for e in entries {
+                    let owner = crate::cluster::seed_owner(&e.url, e.oid, ctx.n_shards);
+                    if owner == ctx.shard {
+                        local.push(e);
+                    } else {
+                        remote[owner].push(e);
+                    }
+                }
+                for (owner, batch) in remote.into_iter().enumerate() {
+                    ctx.exchange.route(owner, batch);
+                }
+                local
+            }
+        };
         let mut g = self.store.write();
-        frontier::upsert_batch(&mut g.db, &entries)?;
+        self.clear_shard_idle();
+        frontier::upsert_batch(&mut g.db, &local)?;
+        drop(g);
         Ok(())
+    }
+
+    /// Clear this shard's cluster-idle flag (no-op outside a cluster).
+    /// Must be called while holding the store write lock, **before**
+    /// inserting local frontier work, from any path that can insert
+    /// with no claims in flight (seeds, re-steer boosts, distiller
+    /// boosts, exchange landings). The lock orders the clear against
+    /// `next_tick`'s verdict, and clear-*before*-insert upholds the
+    /// coverage invariant [`crate::cluster::ShardExchange::try_finish`]
+    /// rests on: at no instant does poppable work exist on a shard
+    /// whose idle flag reads true.
+    fn clear_shard_idle(&self) {
+        if let Some(ctx) = &self.shard {
+            ctx.exchange.clear_idle(ctx.shard);
+        }
+    }
+
+    /// Land cross-shard frontier entries routed to this shard: pop the
+    /// inbox, fill in the local server-load accounting (the classifying
+    /// shard does not track our servers), and upsert in one batch.
+    /// Called wherever the command queue drains — page boundaries, the
+    /// top of the worker loop, and the pause park — so exchange latency
+    /// matches steering latency; the cluster checkpoint also calls it
+    /// so no routed entry is left in an inbox a snapshot cannot see.
+    /// No-op outside a cluster or with an empty inbox.
+    pub(crate) fn drain_exchange(&self) {
+        let Some(ctx) = &self.shard else { return };
+        let batch = ctx.exchange.take(ctx.shard);
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        let mut g = self.store.write();
+        let entries: Vec<FrontierEntry> = batch
+            .into_iter()
+            .map(|mut e| {
+                if !e.url.is_empty() {
+                    let sid = host_server_id(&e.url);
+                    e.serverload = g.server_counts.get(&sid).copied().unwrap_or(0);
+                }
+                e
+            })
+            .collect();
+        // Clear-before-insert under the store lock (see
+        // `clear_shard_idle`); the queued-gauge release follows outside
+        // the lock, after the upsert, so the entries stay covered
+        // throughout.
+        ctx.exchange.clear_idle(ctx.shard);
+        let res = frontier::upsert_batch(&mut g.db, &entries);
+        drop(g);
+        // `take` left these counted in the exchange's `queued` gauge so
+        // no cluster-idle verdict could fire while they were in neither
+        // an inbox nor a frontier; release them now that they landed.
+        // On error the run is aborting anyway — still release, or
+        // cluster termination would wedge on entries nobody will land.
+        ctx.exchange.landed(ctx.shard, n);
+        if let Err(e) = res {
+            self.record_error(e);
+        }
     }
 
     /// Spawn the worker pool in the background and return the steering
@@ -464,6 +601,9 @@ impl CrawlSession {
         self.counters
             .in_flight
             .fetch_sub(rest.len(), Ordering::AcqRel);
+        if let Some(ctx) = &self.shard {
+            ctx.exchange.sub_in_flight(rest.len());
+        }
         if let Err(e) = frontier::unclaim_batch(&mut g.db, rest) {
             drop(g);
             // `record_error` keeps the first error, so this cannot mask
@@ -484,8 +624,16 @@ impl CrawlSession {
         let mut scratch = Scratch::default();
         loop {
             self.control.drain(|cmd| self.apply_command(cmd, sink));
+            self.drain_exchange();
             if self.control.abort.load(Ordering::Acquire) {
                 break;
+            }
+            if let Some(ctx) = &self.shard {
+                // A peer shard proved the whole cluster idle; nothing
+                // can repopulate any frontier, so exit.
+                if ctx.exchange.finished() {
+                    break;
+                }
             }
             match self.control.run_state() {
                 RunState::Stopping => break,
@@ -502,8 +650,21 @@ impl CrawlSession {
                     // (judged inside the claim's critical section), the
                     // crawl has stagnated or finished. A peer may still
                     // be mid-fetch and about to enqueue links, so wait
-                    // rather than exit while work is in flight.
-                    if idle {
+                    // rather than exit while work is in flight. In
+                    // cluster mode, locally idle is not cluster idle —
+                    // a peer shard may still route entries here — so the
+                    // verdict escalates to the exchange (the local idle
+                    // flag was already recorded by `next_tick` *inside*
+                    // the claim's critical section; recording it here
+                    // would let a concurrent landing be overwritten by
+                    // a stale verdict), and only the global
+                    // all-shards-drained verdict ends the crawl.
+                    let stagnated = idle
+                        && self
+                            .shard
+                            .as_ref()
+                            .is_none_or(|ctx| ctx.exchange.try_finish());
+                    if stagnated {
                         if !self
                             .control
                             .stagnation_reported
@@ -572,7 +733,14 @@ impl CrawlSession {
             // The gauge falls only after the page's outlinks are in the
             // frontier (still under the write lock): a peer observing
             // `in_flight == 0` with an empty frontier can trust it.
+            // In cluster mode the same applies to the global gauge —
+            // `process` routed this page's remote outlinks *before*
+            // this decrement, so a peer shard observing zero global
+            // in-flight is guaranteed to see them in `queued`.
             self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
+            if let Some(ctx) = &self.shard {
+                ctx.exchange.sub_in_flight(1);
+            }
             if let Err(e) = res {
                 drop(g);
                 self.record_error(e);
@@ -582,16 +750,23 @@ impl CrawlSession {
             drop(g);
             i += 1;
             // Page boundary inside the batch: steering commands take
-            // effect between pages, not only between batches.
+            // effect between pages, not only between batches — and
+            // cross-shard entries land here with the same latency.
             self.control.drain(|cmd| self.apply_command(cmd, sink));
+            self.drain_exchange();
             // A pause parks right here, with the batch remainder checked
             // out but no further fetches issued (attempts stay flat, as
-            // the pause contract promises).
+            // the pause contract promises). Commands still apply and
+            // routed entries still land while parked — a paused cluster
+            // drains its exchange, so pause-then-checkpoint captures
+            // cross-shard work instead of leaving it in inboxes no
+            // snapshot covers.
             while self.control.run_state() == RunState::Paused
                 && !self.control.abort.load(Ordering::Acquire)
             {
                 std::thread::sleep(std::time::Duration::from_micros(200));
                 self.control.drain(|cmd| self.apply_command(cmd, sink));
+                self.drain_exchange();
             }
             // Abort (a peer failed) and stop both end the batch at this
             // page boundary; either way the unfetched remainder goes
@@ -651,6 +826,20 @@ impl CrawlSession {
                 // holds the gauge up (it falls under this lock, after
                 // the flush).
                 let idle = self.counters.in_flight.load(Ordering::Acquire) == 0;
+                // Record the cluster-idle verdict while still holding
+                // the store lock. Every local frontier insertion clears
+                // the flag inside its own store critical section, so
+                // the lock serializes verdict against repopulation: an
+                // upsert before this claim makes the frontier non-empty
+                // (no verdict), an upsert after it clears the flag
+                // after we set it. Recording the flag outside the lock
+                // would let a stale verdict overwrite a landing's
+                // clear and terminate the cluster with poppable work.
+                if idle {
+                    if let Some(ctx) = &self.shard {
+                        ctx.exchange.mark_idle(ctx.shard);
+                    }
+                }
                 Tick::EmptyFrontier { idle, attempts }
             }
             Ok(claims) => {
@@ -661,6 +850,9 @@ impl CrawlSession {
                 self.counters
                     .in_flight
                     .fetch_add(claims.len(), Ordering::AcqRel);
+                if let Some(ctx) = &self.shard {
+                    ctx.exchange.add_in_flight(claims.len());
+                }
                 Tick::Work {
                     claims,
                     first_attempt,
@@ -785,29 +977,43 @@ impl CrawlSession {
         }
         // Re-prioritize: unvisited targets of now-relevant pages inherit
         // the new relevance, exactly the soft-focus rule applied
-        // retroactively.
-        let candidates: Vec<(Oid, f64)> = g
+        // retroactively. The link cache carries the target's server id,
+        // so boosts for pages another shard owns route through the
+        // exchange (a `mark_topic` broadcast re-steers *every* shard's
+        // frontier, each from its own link evidence).
+        let candidates: Vec<(Oid, u32, f64)> = g
             .links
             .iter()
-            .filter_map(|&(src, _, dst, _)| {
+            .filter_map(|&(src, _, dst, sid_dst)| {
                 if g.relevance.contains_key(&dst) {
                     return None; // already fetched
                 }
                 match g.relevance.get(&src) {
-                    Some(&r) if r > RESTEER_MIN_RELEVANCE => Some((dst, r)),
+                    Some(&r) if r > RESTEER_MIN_RELEVANCE => Some((dst, sid_dst, r)),
                     _ => None,
                 }
             })
             .collect();
-        let boosts: Vec<FrontierEntry> = candidates
-            .into_iter()
-            .map(|(dst, r)| FrontierEntry {
+        let mut boosts = Vec::new();
+        let mut remote: Vec<Vec<FrontierEntry>> = match &self.shard {
+            Some(ctx) => vec![Vec::new(); ctx.n_shards],
+            None => Vec::new(),
+        };
+        for (dst, sid_dst, r) in candidates {
+            let entry = FrontierEntry {
                 oid: dst,
                 url: String::new(),
                 log_relevance: log_clamped(r),
                 serverload: 0,
-            })
-            .collect();
+            };
+            match owner_shard(&self.shard, ServerId(sid_dst)) {
+                Some(owner) => remote[owner].push(entry),
+                None => boosts.push(entry),
+            }
+        }
+        // Clear-before-insert under the store lock (see
+        // `clear_shard_idle`).
+        self.clear_shard_idle();
         let boosted = match frontier::upsert_batch(&mut g.db, &boosts) {
             Ok(res) => res.changed(),
             Err(e) => {
@@ -816,6 +1022,12 @@ impl CrawlSession {
                 return;
             }
         };
+        if let Some(ctx) = &self.shard {
+            for (owner, batch) in remote.into_iter().enumerate() {
+                ctx.exchange.route(owner, batch);
+            }
+        }
+        drop(g);
         self.control
             .stagnation_reported
             .store(false, Ordering::Release);
@@ -856,6 +1068,46 @@ impl CrawlSession {
         self.control.abort.store(true, Ordering::Release);
         self.control.set_state(RunState::Stopping);
         sink.emit(CrawlEvent::WorkerFailed { worker, message });
+    }
+
+    /// Record a failed `thread::Builder::spawn`: same surfacing contract
+    /// as a worker panic (a `WorkerFailed` event now, `CrawlError::Worker`
+    /// from `join()`), and the pool aborts so the workers that *did*
+    /// spawn hand their claims back at the next page boundary.
+    pub(crate) fn note_spawn_failure(&self, worker: usize, err: &std::io::Error, sink: &EventSink) {
+        let message = format!("failed to spawn: {err}");
+        self.diag
+            .lock()
+            .worker_failures
+            .push(format!("worker {worker}: {message}"));
+        self.control.abort.store(true, Ordering::Release);
+        self.control.set_state(RunState::Stopping);
+        sink.emit(CrawlEvent::WorkerFailed { worker, message });
+    }
+
+    /// Register this run's whole worker pool with the cluster exchange
+    /// *before* any worker runs (no-op outside a cluster): a peer shard
+    /// must never observe this shard as dead mid-spawn.
+    pub(crate) fn note_workers_arming(&self, workers: usize) {
+        if let Some(ctx) = &self.shard {
+            ctx.exchange.workers_arming(ctx.shard, workers);
+        }
+    }
+
+    /// Retire one worker registration (called as each worker exits, and
+    /// for slots whose spawn failed). When the last registration of this
+    /// shard retires, reconcile the cluster gauges: any in-flight count
+    /// a panicking worker leaked is subtracted from the global gauge,
+    /// and the shard's inbox is discarded — entries nobody will ever
+    /// drain must not wedge the cluster-idle verdict of the surviving
+    /// shards. No-op outside a cluster.
+    pub(crate) fn note_worker_exit(&self) {
+        if let Some(ctx) = &self.shard {
+            if ctx.exchange.worker_exited(ctx.shard) {
+                let leaked = self.counters.in_flight.load(Ordering::Acquire);
+                ctx.exchange.reconcile_dead_shard(ctx.shard, leaked);
+            }
+        }
     }
 
     /// Final verdict of a run: worker panics and storage errors win over
@@ -905,7 +1157,22 @@ impl CrawlSession {
                 Ok(())
             }
             Ok(page) => {
-                let (summary, saved_probs) = eval.expect("successful fetches are classified");
+                // A successful fetch is always classified by
+                // `process_batch`; if the evaluation is missing anyway
+                // (an invariant break upstream), record the attempt as
+                // a retriable failure rather than panicking the worker
+                // — the page stays in the frontier and the pool stays
+                // alive.
+                let Some((summary, saved_probs)) = eval else {
+                    self.counters.tallies.lock().failures += 1;
+                    frontier::mark_failed(&mut g.db, claim.oid, true, self.cfg.max_tries)?;
+                    sink.emit(CrawlEvent::FetchFailed {
+                        oid: claim.oid,
+                        attempt,
+                        retriable: true,
+                    });
+                    return Ok(());
+                };
                 let r = summary.relevance;
                 let log_r = log_clamped(r);
                 frontier::mark_done(
@@ -939,6 +1206,16 @@ impl CrawlSession {
                 let link_tid = g.db.table_id("link")?;
                 let mut link_rows = Vec::with_capacity(page.outlinks.len());
                 let mut expansions = Vec::new();
+                // Cluster routing: an outlink whose server hashes to
+                // another shard carries its endorsement (the saved
+                // priority from *this* shard's classification) through
+                // the exchange instead of the local frontier. The LINK
+                // row stays local — the edge was discovered here, and
+                // the distiller is per-shard.
+                let mut remote: Vec<Vec<FrontierEntry>> = match &self.shard {
+                    Some(ctx) => vec![Vec::new(); ctx.n_shards],
+                    None => Vec::new(),
+                };
                 for (dst, dst_url) in &page.outlinks {
                     let sid_dst = host_server_id(dst_url);
                     g.links.push((page.oid, sid_src.raw(), *dst, sid_dst.raw()));
@@ -950,13 +1227,21 @@ impl CrawlSession {
                         Value::Int(now),
                     ]);
                     if expansion.expand {
-                        let load = g.server_counts.get(&sid_dst).copied().unwrap_or(0);
-                        expansions.push(FrontierEntry {
+                        let entry = FrontierEntry {
                             oid: *dst,
                             url: dst_url.clone(),
                             log_relevance: expansion.child_log_relevance,
-                            serverload: load,
-                        });
+                            // The owner fills in its own server-load
+                            // accounting at landing time.
+                            serverload: 0,
+                        };
+                        match owner_shard(&self.shard, sid_dst) {
+                            Some(owner) => remote[owner].push(entry),
+                            None => expansions.push(FrontierEntry {
+                                serverload: g.server_counts.get(&sid_dst).copied().unwrap_or(0),
+                                ..entry
+                            }),
+                        }
                     }
                 }
                 g.db.insert_many(link_tid, link_rows)?;
@@ -969,21 +1254,34 @@ impl CrawlSession {
                     if r > threshold {
                         if let Some(citers) = self.fetcher.backlinks(page.oid) {
                             let prio = log_clamped(r * 0.8);
-                            let backlinks: Vec<FrontierEntry> = citers
-                                .into_iter()
-                                .map(|(src, src_url)| {
-                                    let sid = host_server_id(&src_url);
-                                    let load = g.server_counts.get(&sid).copied().unwrap_or(0);
-                                    FrontierEntry {
-                                        oid: src,
-                                        url: src_url,
-                                        log_relevance: prio,
-                                        serverload: load,
-                                    }
-                                })
-                                .collect();
+                            let mut backlinks = Vec::new();
+                            for (src, src_url) in citers {
+                                let sid = host_server_id(&src_url);
+                                let entry = FrontierEntry {
+                                    oid: src,
+                                    url: src_url,
+                                    log_relevance: prio,
+                                    serverload: 0,
+                                };
+                                match owner_shard(&self.shard, sid) {
+                                    Some(owner) => remote[owner].push(entry),
+                                    None => backlinks.push(FrontierEntry {
+                                        serverload: g.server_counts.get(&sid).copied().unwrap_or(0),
+                                        ..entry
+                                    }),
+                                }
+                            }
                             frontier::upsert_batch(&mut g.db, &backlinks)?;
                         }
+                    }
+                }
+                // Hand cross-shard endorsements to their owners. Still
+                // under the store write lock, i.e. *before* this page's
+                // in-flight gauge falls: a peer shard that observes the
+                // cluster as idle can never miss these entries.
+                if let Some(ctx) = &self.shard {
+                    for (owner, batch) in remote.into_iter().enumerate() {
+                        ctx.exchange.route(owner, batch);
                     }
                 }
 
@@ -1029,7 +1327,9 @@ impl CrawlSession {
             g.db.insert(auth_tid, vec![Value::Int(o.raw() as i64), Value::Float(s)])?;
         }
         // Hub-boost trigger: raise priority of unvisited pages cited by
-        // the best hubs.
+        // the best hubs. Targets another shard owns route through the
+        // exchange (distillation is per-shard, but its boosts still
+        // respect the partition).
         if self.cfg.hub_boost_top_k > 0 {
             let boost = log_clamped(0.9);
             let top: Vec<Oid> = result
@@ -1037,20 +1337,39 @@ impl CrawlSession {
                 .iter()
                 .map(|&(o, _)| o)
                 .collect();
-            let targets: Vec<FrontierEntry> = g
+            let mut targets = Vec::new();
+            let mut remote: Vec<Vec<FrontierEntry>> = match &self.shard {
+                Some(ctx) => vec![Vec::new(); ctx.n_shards],
+                None => Vec::new(),
+            };
+            for &(_, _, dst, sid_dst) in g
                 .links
                 .iter()
                 .filter(|(src, ss, _, sd)| top.contains(src) && ss != sd)
-                .map(|&(_, _, dst, _)| dst)
-                .filter(|dst| !g.relevance.contains_key(dst))
-                .map(|dst| FrontierEntry {
+            {
+                if g.relevance.contains_key(&dst) {
+                    continue;
+                }
+                let entry = FrontierEntry {
                     oid: dst,
                     url: String::new(),
                     log_relevance: boost,
                     serverload: 0,
-                })
-                .collect();
+                };
+                match owner_shard(&self.shard, ServerId(sid_dst)) {
+                    Some(owner) => remote[owner].push(entry),
+                    None => targets.push(entry),
+                }
+            }
+            // Clear-before-insert (see `clear_shard_idle`; the caller
+            // holds the store write lock).
+            self.clear_shard_idle();
             frontier::upsert_batch(&mut g.db, &targets)?;
+            if let Some(ctx) = &self.shard {
+                for (owner, batch) in remote.into_iter().enumerate() {
+                    ctx.exchange.route(owner, batch);
+                }
+            }
         }
         if let Some(sink) = sink {
             sink.emit(CrawlEvent::DistillCompleted {
@@ -1138,10 +1457,17 @@ impl CrawlSession {
     }
 
     /// Force a distillation now (used at end-of-crawl by Figure 7).
+    /// An empty link graph distills to an empty [`DistillResult`] —
+    /// never a panic — so end-of-crawl reporting works on sessions that
+    /// fetched nothing.
     pub fn distill_now(&self) -> DbResult<DistillResult> {
         let mut g = self.store.write();
         self.distill_locked(&mut g, None)?;
-        Ok(g.last_distill.clone().expect("just distilled"))
+        // `distill_locked` always records its result on success; the
+        // default is unreachable but keeps the no-panic guarantee
+        // structural (the periodic trigger path deliberately skips this
+        // clone — only the forced path pays for the returned copy).
+        Ok(g.last_distill.clone().unwrap_or_default())
     }
 
     /// Latest distillation result, if any.
@@ -1201,43 +1527,47 @@ impl CrawlSession {
             "select oid, url, kcid, numtries, relevance, serverload, lastvisited, \
              visited from crawl",
         )?;
+        // Strict decodes throughout: a torn row surfaces as
+        // `DbError::Corrupt` instead of silently resurrecting an
+        // `Oid(0)`/empty-URL page into the restored session (the same
+        // treatment `frontier.rs` gives claims).
         let pages = rs
             .rows
             .iter()
             .map(|row| {
-                let state = match row[7].as_i64().unwrap_or(visited::FRONTIER) {
+                let state = match frontier::col_i64(row, 7, "visited")? {
                     // A claim in flight at checkpoint time will not land
                     // in the restored session: re-fetch it.
                     visited::CLAIMED => visited::FRONTIER,
                     s => s,
                 };
-                CheckpointPage {
-                    oid: Oid(row[0].as_i64().unwrap_or(0) as u64),
-                    url: row[1].as_str().unwrap_or("").to_owned(),
-                    kcid: row[2].as_i64().unwrap_or(-1),
-                    numtries: row[3].as_i64().unwrap_or(0),
-                    log_relevance: row[4].as_f64().unwrap_or(f64::NEG_INFINITY),
-                    serverload: row[5].as_i64().unwrap_or(0),
-                    lastvisited: row[6].as_i64().unwrap_or(0),
+                Ok(CheckpointPage {
+                    oid: Oid(frontier::col_i64(row, 0, "oid")? as u64),
+                    url: frontier::col_str(row, 1, "url")?.to_owned(),
+                    kcid: frontier::col_i64(row, 2, "kcid")?,
+                    numtries: frontier::col_i64(row, 3, "numtries")?,
+                    log_relevance: frontier::col_f64(row, 4, "relevance")?,
+                    serverload: frontier::col_i64(row, 5, "serverload")?,
+                    lastvisited: frontier::col_i64(row, 6, "lastvisited")?,
                     state,
-                }
+                })
             })
-            .collect();
+            .collect::<DbResult<Vec<CheckpointPage>>>()?;
         let link_rs =
             g.db.query("select oid_src, sid_src, oid_dst, sid_dst, discovered from link")?;
         let links = link_rs
             .rows
             .iter()
             .map(|row| {
-                (
-                    Oid(row[0].as_i64().unwrap_or(0) as u64),
-                    row[1].as_i64().unwrap_or(0) as u32,
-                    Oid(row[2].as_i64().unwrap_or(0) as u64),
-                    row[3].as_i64().unwrap_or(0) as u32,
-                    row[4].as_i64().unwrap_or(0),
-                )
+                Ok((
+                    Oid(frontier::col_i64(row, 0, "link.oid_src")? as u64),
+                    frontier::col_i64(row, 1, "link.sid_src")? as u32,
+                    Oid(frontier::col_i64(row, 2, "link.oid_dst")? as u64),
+                    frontier::col_i64(row, 3, "link.sid_dst")? as u32,
+                    frontier::col_i64(row, 4, "link.discovered")?,
+                ))
             })
-            .collect();
+            .collect::<DbResult<Vec<_>>>()?;
         let stats = self.stats();
         let budget_remaining = self
             .counters
@@ -1333,6 +1663,19 @@ impl CrawlSession {
     pub fn relevance_map(&self) -> FxHashMap<Oid, f64> {
         self.store.read().relevance.clone()
     }
+}
+
+/// The owning shard of server `sid`, when routing applies: `Some(owner)`
+/// only in cluster mode *and* when the owner is a different shard —
+/// `None` means "keep the entry local" (single-session mode, or the
+/// server hashes to this shard). The `% n_shards` partition is the
+/// cluster's one invariant: a server's pages always land on one shard,
+/// so the §2.2 nepotism filter and per-server load accounting stay
+/// local facts.
+fn owner_shard(shard: &Option<ShardCtx>, sid: ServerId) -> Option<usize> {
+    let ctx = shard.as_ref()?;
+    let owner = ctx.owner_of(sid);
+    (owner != ctx.shard).then_some(owner)
 }
 
 /// `Pr[c|d]` from a saved posterior, falling back to the deepest
@@ -2192,6 +2535,112 @@ mod tests {
         // of the batch size (claims are clamped to the remainder).
         assert_eq!(stats.attempts, 62);
         assert!(stats.successes > 0);
+    }
+
+    #[test]
+    fn successful_fetch_without_eval_is_a_recorded_failure_not_a_panic() {
+        // Regression for the `eval.expect("successful fetches are
+        // classified")` panic path: a successful fetch whose evaluation
+        // is absent must surface as a retriable failure (mark_failed +
+        // FetchFailed) and leave the page refetchable — never kill the
+        // worker.
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 50);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 1);
+        session.seed(&seeds).unwrap();
+        let recorder = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let sink = EventSink::new(
+            None,
+            vec![Arc::new(Arc::clone(&recorder))],
+            Arc::new(AtomicU64::new(0)),
+        );
+        let mut g = session.store.write();
+        let claim = frontier::claim_next(&mut g.db).unwrap().unwrap();
+        let page = session.fetcher.fetch(claim.oid).expect("seed page fetches");
+        // Inject the invariant break: Ok(page) with no evaluation.
+        session
+            .process(&mut g, &claim, Ok(page), None, 1, &sink)
+            .expect("no storage error");
+        drop(g);
+        let stats = session.stats();
+        assert_eq!(stats.failures, 1, "must count as a failure");
+        assert_eq!(stats.successes, 0);
+        let events = recorder.0.lock().unwrap().clone();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                CrawlEvent::FetchFailed {
+                    retriable: true,
+                    ..
+                }
+            )),
+            "expected a retriable FetchFailed: {events:?}"
+        );
+        // The page went back to the frontier with numtries advanced.
+        let mut g = session.store.write();
+        let again = frontier::claim_next(&mut g.db).unwrap().unwrap();
+        assert_eq!(again.oid, claim.oid);
+        assert_eq!(again.numtries, 1);
+    }
+
+    #[test]
+    fn distill_now_on_a_fresh_session_returns_empty_not_panic() {
+        // Regression for the `.expect("just distilled")` panic path: an
+        // empty link graph distills to an empty result.
+        let (_graph, session) = setup(CrawlPolicy::SoftFocus, 10);
+        let result = session
+            .distill_now()
+            .expect("empty-graph distillation succeeds");
+        assert!(result.hubs.is_empty(), "no edges, no hubs");
+        assert!(result.auths.is_empty(), "no edges, no authorities");
+        assert!(session.last_distill().is_some(), "result recorded");
+        assert_eq!(session.stats().distillations, 1);
+        // maintenance_pass rides on the same path.
+        let (revisited, new_links) = session.maintenance_pass(5).unwrap();
+        assert_eq!((revisited, new_links), (0, 0));
+    }
+
+    #[test]
+    fn checkpoint_surfaces_corrupt_crawl_rows() {
+        // Regression for the silent unwrap_or decodes: a torn CRAWL row
+        // must fail the checkpoint loudly, not resurrect an
+        // Oid(0)/empty-URL page into the restored session.
+        let (_graph, session) = setup(CrawlPolicy::SoftFocus, 10);
+        session.with_db(|db| {
+            let tid = db.table_id("crawl").unwrap();
+            let mut row = tables::frontier_row(Oid(7), "u7", -0.5, 0);
+            row[crawl_col::URL] = Value::Null;
+            db.insert(tid, row).unwrap();
+        });
+        let err = session.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, DbError::Corrupt(ref m) if m.contains("url")),
+            "expected Corrupt(url), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_surfaces_corrupt_link_rows() {
+        let (_graph, session) = setup(CrawlPolicy::SoftFocus, 10);
+        session.with_db(|db| {
+            let tid = db.table_id("link").unwrap();
+            db.insert(
+                tid,
+                vec![
+                    Value::Int(1),
+                    Value::Int(2),
+                    Value::Null, // torn oid_dst
+                    Value::Int(4),
+                    Value::Int(5),
+                ],
+            )
+            .unwrap();
+        });
+        let err = session.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, DbError::Corrupt(ref m) if m.contains("oid_dst")),
+            "expected Corrupt(link.oid_dst), got {err:?}"
+        );
     }
 
     #[test]

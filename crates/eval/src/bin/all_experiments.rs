@@ -26,6 +26,9 @@ fn main() {
     radius_rules::print(&radius);
     let soc = citation_sociology::run(scale);
     citation_sociology::print(&soc);
+    println!("\n--- cluster scaling (1/2/4 shards, equal total workers) ---");
+    let scal = scaling::run(scale);
+    scal.print();
 
     println!();
     let comparisons = vec![
@@ -111,6 +114,26 @@ fn main() {
                 .first()
                 .map(|l| l.topic == "health/first-aid")
                 .unwrap_or(false),
+        },
+        Comparison {
+            experiment: "Sharded crawl".into(),
+            paper: "title: *distributed* discovery; partitioning must not cost precision".into(),
+            measured: {
+                let (s1, s4) = (scal.row(1), scal.row(4));
+                format!(
+                    "4-shard {:.0} vs single {:.0} pages/sec; harvest {:.3} vs {:.3}",
+                    s4.map(|r| r.pages_per_sec).unwrap_or(0.0),
+                    s1.map(|r| r.pages_per_sec).unwrap_or(0.0),
+                    s4.map(|r| r.harvest).unwrap_or(0.0),
+                    s1.map(|r| r.harvest).unwrap_or(0.0),
+                )
+            },
+            holds: match (scal.row(1), scal.row(4)) {
+                (Some(s1), Some(s4)) => {
+                    s4.pages_per_sec >= s1.pages_per_sec * 0.9 && s4.harvest > s1.harvest - 0.1
+                }
+                _ => false,
+            },
         },
     ];
     print_comparisons(&comparisons);

@@ -18,6 +18,7 @@ pub mod fig8c_output;
 pub mod fig8d_distiller;
 pub mod radius_rules;
 pub mod report;
+pub mod scaling;
 
 pub use common::{Scale, World};
 pub use report::Series;
