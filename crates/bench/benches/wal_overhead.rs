@@ -1,0 +1,284 @@
+//! Durability overhead benchmark: end-to-end crawl throughput with the
+//! session store's write-ahead log off versus on — in memory at the
+//! default group-commit quota, file-backed at the default quota, and
+//! file-backed with a forced fsync per batch commit — plus the
+//! replication scenario: a WAL-shipping read replica tailing the leader
+//! while monitor threads hammer the *replica* with §3.7 queries.
+//!
+//! Acceptance bars:
+//! * WAL on (default group commit) keeps ≥ 0.90× the WAL-off
+//!   throughput (≤ 10% overhead);
+//! * the leader with a replica serving monitors keeps ≥ 0.95× its solo
+//!   throughput (monitors on a follower cost the crawl nothing but the
+//!   log-shipping itself).
+//!
+//! Wall-clock numbers are the median of [`REPS`] runs, reps interleaved
+//! across configurations (same discipline as `frontier_throughput`).
+//! Appends one trajectory point to `BENCH_frontier.json`.
+//!
+//! Run with `cargo bench --bench wal_overhead`.
+
+use focus_crawler::session::{CrawlConfig, CrawlSession, Durability};
+use focus_crawler::{monitor, CrawlPolicy};
+use focus_eval::common::{Scale, World};
+use minirel::DEFAULT_GROUP_COMMIT;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fetch budget per timed crawl.
+const CRAWL_BUDGET: u64 = 2000;
+/// Simulated network latency per fetch (the paper's latency-bound
+/// regime; see `frontier_throughput` for the rationale).
+const FETCH_LATENCY_US: u64 = 500;
+/// Workers per crawl.
+const WORKERS: usize = 4;
+/// Claim-batch size (also the WAL commit cadence).
+const BATCH: usize = 8;
+/// Timed repetitions per configuration (median reported).
+const REPS: usize = 5;
+/// Monitor threads querying the replica in the replication scenario.
+/// Each tick runs the §3.7 *dashboard* queries — harvest-per-minute
+/// (the live applet), the class census, and frontier health; the
+/// heavier one-off sociology joins are exercised for correctness by
+/// the `durability` integration test, not polled here. The replica
+/// shares no lock with the leader, so the only coupling left is
+/// log-shipping plus the monitors' CPU share — pacing keeps that share
+/// to a couple percent of a core so the ≥ 0.95 bar measures shipping
+/// rather than core starvation on small boxes.
+const MONITORS: usize = 2;
+/// Poll interval per monitor thread (aggregate ~4 dashboard
+/// refreshes/sec — brisker than any human-watched applet).
+const MONITOR_POLL_MS: u64 = 500;
+
+#[derive(Debug, Serialize)]
+struct WalPoint {
+    bench: &'static str,
+    unix_time: u64,
+    budget: u64,
+    workers: usize,
+    batch_size: usize,
+    group_commit: usize,
+    /// No WAL: the in-memory baseline every other series is read against.
+    wal_off_pages_per_sec: f64,
+    /// In-memory WAL, default group commit.
+    wal_mem_pages_per_sec: f64,
+    /// File-backed data + WAL, default group commit.
+    wal_file_pages_per_sec: f64,
+    /// File-backed, fsync on every batch commit (group_commit = 1).
+    wal_file_sync_every_pages_per_sec: f64,
+    /// wal_mem ÷ wal_off; the acceptance bar is ≥ 0.90.
+    wal_overhead_ratio: f64,
+    /// Leader throughput with a replica + monitor threads attached,
+    /// in-memory WAL.
+    replicated_pages_per_sec: f64,
+    /// replicated ÷ wal_mem; the acceptance bar is ≥ 0.95.
+    replica_ratio: f64,
+    /// Monitor queries the replica served during the replicated crawls
+    /// (max over reps).
+    replica_queries: u64,
+}
+
+fn bench_db_path(rep: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("wal-overhead-{}-{rep}.db", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(minirel::wal_path_for(path));
+}
+
+fn make_session(world: &World, durability: Durability) -> Arc<CrawlSession> {
+    let fetcher = Arc::new(focus_webgraph::SimFetcher::new(
+        Arc::clone(&world.graph),
+        Some(std::time::Duration::from_micros(FETCH_LATENCY_US)),
+    ));
+    let session = Arc::new(
+        CrawlSession::new(
+            fetcher,
+            world.model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::Unfocused,
+                threads: WORKERS,
+                max_fetches: CRAWL_BUDGET,
+                distill_every: None,
+                batch_size: BATCH,
+                durability,
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
+    session.seed(&world.start_set(10)).expect("seed");
+    session
+}
+
+/// One timed crawl; returns pages/sec.
+fn one_crawl(world: &World, durability: Durability) -> f64 {
+    let session = make_session(world, durability);
+    let t = Instant::now();
+    let stats = session.run().expect("crawl");
+    stats.attempts as f64 / t.elapsed().as_secs_f64()
+}
+
+/// One timed crawl with a replica spawned before the run and
+/// [`MONITORS`] threads querying the *replica* throughout; returns
+/// `(pages/sec, monitor queries served)`.
+fn one_replicated_crawl(world: &World) -> (f64, u64) {
+    let session = make_session(
+        world,
+        Durability::Wal {
+            group_commit: DEFAULT_GROUP_COMMIT,
+        },
+    );
+    let replica = Arc::new(session.replica().expect("replica"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut monitors = Vec::new();
+    for _ in 0..MONITORS {
+        let replica = Arc::clone(&replica);
+        let stop = Arc::clone(&stop);
+        let served = Arc::clone(&served);
+        monitors.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                replica.with_db(|db| {
+                    std::hint::black_box(monitor::harvest_per_minute(db).expect("monitor"));
+                    std::hint::black_box(monitor::census_by_class(db).expect("monitor"));
+                    std::hint::black_box(monitor::frontier_by_numtries(db).expect("monitor"));
+                });
+                served.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(MONITOR_POLL_MS));
+            }
+        }));
+    }
+    let t = Instant::now();
+    let stats = session.run().expect("crawl");
+    let secs = t.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    for m in monitors {
+        m.join().expect("monitor thread");
+    }
+    (stats.attempts as f64 / secs, served.load(Ordering::Relaxed))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// Append `point` to the JSON array in BENCH_frontier.json (created on
+/// first run). The vendored serde_json only serializes, so appending is
+/// done textually.
+fn append_point(point: &WalPoint) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontier.json");
+    let rendered = serde_json::to_string_pretty(point).expect("serialize");
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if head.trim_end().ends_with('[') => format!("[\n{rendered}\n]"),
+                Some(head) => format!("{},\n{rendered}\n]", head.trim_end()),
+                None => format!("[\n{rendered}\n]"),
+            }
+        }
+        Err(_) => format!("[\n{rendered}\n]"),
+    };
+    std::fs::write(path, body + "\n").expect("write BENCH_frontier.json");
+    println!("wrote trajectory point to {path}");
+}
+
+fn main() {
+    let world = World::cycling(Scale::Tiny, 23);
+    println!(
+        "--- WAL overhead: {CRAWL_BUDGET}-fetch crawls, {WORKERS} workers, \
+         batch {BATCH}, median of {REPS} ---"
+    );
+    let mut off = Vec::with_capacity(REPS);
+    let mut mem = Vec::with_capacity(REPS);
+    let mut file = Vec::with_capacity(REPS);
+    let mut file_sync = Vec::with_capacity(REPS);
+    let mut replicated = Vec::with_capacity(REPS);
+    let mut replica_queries = 0u64;
+    for rep in 0..REPS {
+        off.push(one_crawl(&world, Durability::None));
+        mem.push(one_crawl(
+            &world,
+            Durability::Wal {
+                group_commit: DEFAULT_GROUP_COMMIT,
+            },
+        ));
+        let path = bench_db_path(rep);
+        cleanup(&path);
+        file.push(one_crawl(
+            &world,
+            Durability::File {
+                path: path.clone(),
+                group_commit: DEFAULT_GROUP_COMMIT,
+            },
+        ));
+        cleanup(&path);
+        file_sync.push(one_crawl(
+            &world,
+            Durability::File {
+                path: path.clone(),
+                group_commit: 1,
+            },
+        ));
+        cleanup(&path);
+        let (pps, q) = one_replicated_crawl(&world);
+        replicated.push(pps);
+        replica_queries = replica_queries.max(q);
+    }
+    let wal_off = median(off);
+    let wal_mem = median(mem);
+    let wal_file = median(file);
+    let wal_file_sync = median(file_sync);
+    let repl = median(replicated);
+    let overhead_ratio = wal_mem / wal_off;
+    let replica_ratio = repl / wal_mem;
+
+    println!("wal off:               {wal_off:>9.0} pages/sec");
+    println!(
+        "wal mem  (group {DEFAULT_GROUP_COMMIT}):    {wal_mem:>9.0} pages/sec  ratio {:.3} ({})",
+        overhead_ratio,
+        if overhead_ratio >= 0.90 {
+            "PASS: <= 10% overhead"
+        } else {
+            "FAIL: > 10% overhead"
+        }
+    );
+    println!("wal file (group {DEFAULT_GROUP_COMMIT}):    {wal_file:>9.0} pages/sec");
+    println!("wal file (sync every): {wal_file_sync:>9.0} pages/sec");
+    println!(
+        "replicated + monitors: {repl:>9.0} pages/sec  ratio {:.3} ({}) | {} replica queries",
+        replica_ratio,
+        if replica_ratio >= 0.95 {
+            "PASS: >= 0.95x solo"
+        } else {
+            "FAIL: < 0.95x solo"
+        },
+        replica_queries
+    );
+
+    append_point(&WalPoint {
+        bench: "wal_overhead",
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        budget: CRAWL_BUDGET,
+        workers: WORKERS,
+        batch_size: BATCH,
+        group_commit: DEFAULT_GROUP_COMMIT,
+        wal_off_pages_per_sec: wal_off,
+        wal_mem_pages_per_sec: wal_mem,
+        wal_file_pages_per_sec: wal_file,
+        wal_file_sync_every_pages_per_sec: wal_file_sync,
+        wal_overhead_ratio: overhead_ratio,
+        replicated_pages_per_sec: repl,
+        replica_ratio,
+        replica_queries,
+    });
+}

@@ -64,7 +64,7 @@ pub use focus_classifier::train::TrainConfig;
 pub use focus_crawler::cluster::CrawlCluster;
 pub use focus_crawler::events::{CrawlEvent, CrawlObserver, EventStream};
 pub use focus_crawler::run::RunState;
-pub use focus_crawler::session::{CrawlConfig, CrawlSession, CrawlStats};
+pub use focus_crawler::session::{CrawlConfig, CrawlSession, CrawlStats, Durability};
 pub use focus_crawler::CrawlPolicy;
 pub use focus_distiller::{DistillConfig, DistillResult};
 pub use focus_types::{
@@ -72,7 +72,7 @@ pub use focus_types::{
 };
 pub use focus_webgraph::search;
 pub use focus_webgraph::{Fetcher, SimFetcher, WebConfig, WebGraph};
-pub use minirel::Database;
+pub use minirel::{Database, Replica};
 
 /// Everything a quickstart needs.
 pub mod prelude {

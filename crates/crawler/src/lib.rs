@@ -33,5 +33,5 @@ pub use cluster::{ClusterCheckpoint, ClusterRun, CrawlCluster};
 pub use events::{CrawlEvent, CrawlObserver, EventStream};
 pub use policy::CrawlPolicy;
 pub use run::{Command, CrawlError, CrawlRun, RunState, StartOptions};
-pub use session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats};
+pub use session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats, Durability};
 pub use tables::host_server_id;

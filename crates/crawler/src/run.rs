@@ -468,6 +468,10 @@ impl CrawlRun {
         session
             .control()
             .drain(|cmd| session.apply_command(cmd, &self.tail_sink));
+        // Everything the run wrote — including commands applied just
+        // above, after the last worker's batch commit — becomes durable
+        // before `join()` acknowledges the run. No-op without a WAL.
+        session.final_durable_commit();
         self.session.control().deactivate();
     }
 }

@@ -29,9 +29,13 @@
 //!   a crawl never contends with page processing.
 //!
 //! Lock order (always acquire left before right, release before going
-//! back left): `model → compiled → store → counters/diag`. Monitors
-//! touch only `store` (read) or the counter mutex, so they can never
-//! deadlock with workers.
+//! back left): `model → compiled → store → wal → counters/diag`.
+//! Monitors touch only `store` (read) or the counter mutex, so they can
+//! never deadlock with workers. The `wal` position is the WAL latch of
+//! a durable session database ([`Durability`]): minirel acquires it
+//! inside store operations (page eviction, batch commits) and it is a
+//! leaf with respect to every crawler lock — no callback ever runs
+//! under it, so holding the store write lock across a commit is safe.
 //!
 //! **Classification never holds a lock.** The crawl hot path evaluates
 //! the classifier through an [`Arc<CompiledModel>`] swapped behind its
@@ -62,6 +66,7 @@ use focus_types::{ClassId, Oid, ServerId};
 use focus_webgraph::{FetchError, Fetcher};
 use minirel::{Database, DbError, DbResult, ResultSet, Value};
 use parking_lot::{Mutex, RwLock};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -74,6 +79,42 @@ const RESTEER_MIN_RELEVANCE: f64 = 0.2;
 /// Posterior probabilities below this are not cached per page (the saved
 /// posteriors back mid-crawl re-marking; the tail adds nothing).
 const SAVED_PROB_FLOOR: f64 = 1e-4;
+
+/// Durability of the session store (default: none — the in-memory,
+/// crash-simple database the access-path experiments sweep).
+///
+/// With a WAL attached, workers commit at batch boundaries (the same
+/// critical-section cadence as claiming), [`CrawlRun::join`] issues a
+/// final fsynced commit, and [`CrawlSession::replica`] can ship the log
+/// to a read-only follower. File-backed sessions additionally survive a
+/// process crash: [`CrawlSession::recover`] reopens the files, replays
+/// the log, and demotes claims that were in flight at crash time back
+/// to the frontier — exactly the treatment [`CrawlSession::checkpoint`]
+/// gives them.
+#[derive(Debug, Clone, Default)]
+pub enum Durability {
+    /// Plain in-memory database, no WAL. Commits and replicas are
+    /// unavailable; nothing survives the process.
+    #[default]
+    None,
+    /// In-memory pages with an in-memory WAL: commit points and
+    /// [`CrawlSession::replica`] work, nothing survives the process.
+    /// For tests and WAL-overhead measurement.
+    Wal {
+        /// Commits per forced sync ([`minirel::DEFAULT_GROUP_COMMIT`]
+        /// is the production default; 1 syncs every commit).
+        group_commit: usize,
+    },
+    /// File-backed pages and an on-disk WAL beside them
+    /// ([`minirel::wal_path_for`]): every committed batch is
+    /// recoverable via [`CrawlSession::recover`].
+    File {
+        /// The data-file path; the WAL lives at `<path>.wal`.
+        path: PathBuf,
+        /// Commits per fsync (group commit; 1 = sync every batch).
+        group_commit: usize,
+    },
+}
 
 /// Session parameters.
 #[derive(Debug, Clone)]
@@ -109,6 +150,8 @@ pub struct CrawlConfig {
     /// claiming. 1 restores strict claim-per-page behavior. Overridable
     /// per run via [`crate::run::StartOptions::batch_size`].
     pub batch_size: usize,
+    /// Durability of the session store (WAL, crash recovery, replicas).
+    pub durability: Durability,
 }
 
 impl Default for CrawlConfig {
@@ -124,6 +167,7 @@ impl Default for CrawlConfig {
             backlink_expansion_above: None,
             db_frames: 512,
             batch_size: 8,
+            durability: Durability::None,
         }
     }
 }
@@ -300,13 +344,35 @@ impl CrawlSession {
         cfg: CrawlConfig,
         shard: Option<ShardCtx>,
     ) -> DbResult<CrawlSession> {
-        let mut db = Database::in_memory_with_frames(cfg.db_frames);
+        let mut db = match &cfg.durability {
+            Durability::None => Database::in_memory_with_frames(cfg.db_frames),
+            Durability::Wal { group_commit } => {
+                Database::in_memory_durable(cfg.db_frames, *group_commit)
+            }
+            Durability::File { path, group_commit } => {
+                let db = Database::open_with(path, cfg.db_frames, *group_commit)?;
+                if db.table_id("crawl").is_ok() {
+                    // `new` builds fresh sessions; silently re-creating
+                    // tables over a recovered crawl would corrupt it.
+                    return Err(DbError::Eval(format!(
+                        "database at {} already holds a crawl — resume it with \
+                         CrawlSession::recover",
+                        path.display()
+                    )));
+                }
+                db
+            }
+        };
         tables::create_tables(&mut db)?;
         tables::create_taxonomy_dim(&mut db, &model.taxonomy)?;
         db.execute("create table hubs (oid int, score float)")?;
         db.execute("create index hubs_oid on hubs (oid)")?;
         db.execute("create table auth (oid int, score float)")?;
         db.execute("create index auth_oid on auth (oid)")?;
+        // A durable session commits its schema immediately: from here
+        // on the file holds a recoverable crawl (and `new` on the same
+        // path will refuse to re-initialize it).
+        Self::commit_if_durable(&mut db)?;
         let initial_budget = cfg.max_fetches;
         let initial_policy = cfg.policy;
         let compiled = Arc::new(CompiledModel::compile(&model));
@@ -438,6 +504,137 @@ impl CrawlSession {
         Ok(session)
     }
 
+    /// Reopen a crashed (or cleanly stopped) file-backed session from
+    /// its data file and WAL: the log is replayed to the last committed
+    /// batch, claims that were in flight at crash time are demoted back
+    /// to the frontier (they never landed, so they must be poppable
+    /// again — the same rule the checkpoint path applies), and the
+    /// in-memory caches are rebuilt from the recovered tables.
+    ///
+    /// Requires `cfg.durability = Durability::File` pointing at the
+    /// files the crashed session used. Saved per-page posteriors (the
+    /// §3.7 re-marking cache) live only in memory and are not recovered;
+    /// a re-mark after recovery falls back to refetching. The fetch
+    /// budget restarts at `cfg.max_fetches`.
+    pub fn recover(
+        fetcher: Arc<dyn Fetcher>,
+        model: TrainedModel,
+        cfg: CrawlConfig,
+    ) -> DbResult<CrawlSession> {
+        let Durability::File { path, group_commit } = &cfg.durability else {
+            return Err(DbError::Eval(
+                "CrawlSession::recover requires CrawlConfig.durability = Durability::File".into(),
+            ));
+        };
+        let mut db = Database::open_with(path, cfg.db_frames, *group_commit)?;
+        // A recovered file must actually hold a crawl.
+        db.table_id("crawl")?;
+        db.execute(&format!(
+            "update crawl set visited = {} where visited = {}",
+            visited::FRONTIER,
+            visited::CLAIMED
+        ))?;
+        // Rebuild the caches the tables back: linear relevance and
+        // server tallies from visited rows, the link cache from `LINK`.
+        let mut relevance = FxHashMap::default();
+        let mut server_counts: FxHashMap<ServerId, i64> = FxHashMap::default();
+        let rs = db.query(&format!(
+            "select oid, relevance, url from crawl where visited = {}",
+            visited::DONE
+        ))?;
+        for row in &rs.rows {
+            let oid = Oid(frontier::col_i64(row, 0, "oid")? as u64);
+            relevance.insert(oid, frontier::col_f64(row, 1, "relevance")?.exp());
+            let url = frontier::col_str(row, 2, "url")?;
+            if !url.is_empty() {
+                *server_counts.entry(host_server_id(url)).or_insert(0) += 1;
+            }
+        }
+        let link_rs = db.query("select oid_src, sid_src, oid_dst, sid_dst from link")?;
+        let mut links = Vec::with_capacity(link_rs.rows.len());
+        for row in &link_rs.rows {
+            links.push((
+                Oid(frontier::col_i64(row, 0, "link.oid_src")? as u64),
+                frontier::col_i64(row, 1, "link.sid_src")? as u32,
+                Oid(frontier::col_i64(row, 2, "link.oid_dst")? as u64),
+                frontier::col_i64(row, 3, "link.sid_dst")? as u32,
+            ));
+        }
+        // Make the demotion itself durable before handing the session
+        // out: a crash right after recovery must not resurrect CLAIMED
+        // rows.
+        db.commit_durable()?;
+        let initial_budget = cfg.max_fetches;
+        let initial_policy = cfg.policy;
+        let compiled = Arc::new(CompiledModel::compile(&model));
+        Ok(CrawlSession {
+            fetcher,
+            model: RwLock::new(model),
+            compiled: RwLock::new(compiled),
+            cfg,
+            store: RwLock::new(StoreState {
+                db,
+                relevance,
+                class_probs: FxHashMap::default(),
+                links,
+                server_counts,
+                policy: initial_policy,
+                since_distill: 0,
+                last_distill: None,
+            }),
+            counters: CounterState {
+                attempts: AtomicU64::new(0),
+                budget: AtomicU64::new(initial_budget),
+                in_flight: AtomicUsize::new(0),
+                tallies: Mutex::new(CrawlStats::default()),
+            },
+            diag: Mutex::new(RunDiag::default()),
+            control: ControlState::new(),
+            start: Instant::now(),
+            shard: None,
+        })
+    }
+
+    /// Spawn a WAL-shipping read replica of the session store: a
+    /// read-only [`minirel::Replica`] that tails this session's log on
+    /// its own thread and serves the whole monitor suite
+    /// ([`crate::monitor`], via [`minirel::Replica::with_db`]) without
+    /// ever touching the store lock again — monitors pointed at a
+    /// replica contend with the crawl exactly once, here at spawn.
+    /// Requires a durable session ([`Durability::Wal`] or
+    /// [`Durability::File`]); the replica lags the leader by at most
+    /// one batch commit ([`minirel::Replica::applied_lsn`] /
+    /// [`minirel::Replica::wait_for_lsn`] expose the staleness).
+    pub fn replica(&self) -> DbResult<minirel::Replica> {
+        let mut g = self.store.write();
+        minirel::Replica::spawn(&mut g.db)
+    }
+
+    /// Commit the store's dirty pages to the WAL (group-commit cadence)
+    /// when this session is durable; a no-op otherwise. Callers hold
+    /// the store write lock.
+    fn commit_if_durable(db: &mut Database) -> DbResult<()> {
+        if db.wal().is_some() {
+            db.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Final wind-down commit: everything the run wrote becomes durable
+    /// (fsynced past group-commit batching) before `join()` returns.
+    /// No-op for non-durable sessions; a failure surfaces through
+    /// [`CrawlSession::run_outcome`] like any storage error.
+    pub(crate) fn final_durable_commit(&self) {
+        let mut g = self.store.write();
+        if g.db.wal().is_none() {
+            return;
+        }
+        if let Err(e) = g.db.commit_durable() {
+            drop(g);
+            self.record_error(e);
+        }
+    }
+
     /// Seed the frontier with the start set `D(C*)` at top priority.
     ///
     /// URLs are resolved through [`Fetcher::url_of`] (outside the lock)
@@ -485,6 +682,9 @@ impl CrawlSession {
         let mut g = self.store.write();
         self.clear_shard_idle();
         frontier::upsert_batch(&mut g.db, &local)?;
+        // Seeds are acknowledged work: a durable session must not lose
+        // them to a crash before the first batch commit.
+        Self::commit_if_durable(&mut g.db)?;
         drop(g);
         Ok(())
     }
@@ -777,6 +977,20 @@ impl CrawlSession {
                 || self.control.run_state() == RunState::Stopping
             {
                 self.release_unfetched(&claims[i..]);
+                return true;
+            }
+        }
+        // Batch boundary: cut a WAL commit point so the batch's pages
+        // are recoverable (fsync cadence follows the group-commit
+        // quota; the wind-down commit forces the last sync). Write-
+        // ahead discipline means the pages themselves may already be
+        // in the log — this just makes them part of the committed
+        // prefix.
+        {
+            let mut g = self.store.write();
+            if let Err(e) = Self::commit_if_durable(&mut g.db) {
+                drop(g);
+                self.record_error(e);
                 return true;
             }
         }

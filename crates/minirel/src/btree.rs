@@ -438,6 +438,17 @@ impl BTree {
         self.len
     }
 
+    /// Root page id (persisted in the WAL catalog image).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Rebuild from a catalog image decoded at recovery; the node pages
+    /// themselves are recovered through the data file / WAL replay.
+    pub(crate) fn from_parts(root: PageId, len: u64) -> BTree {
+        BTree { root, len }
+    }
+
     /// True when no entries exist.
     pub fn is_empty(&self) -> bool {
         self.len == 0

@@ -43,12 +43,25 @@
 //! crawler's session lock) are responsible for ordering writers against
 //! readers. What the pool guarantees is that a single page view is never
 //! torn and the counters never lose increments.
+//!
+//! # Write-ahead discipline
+//!
+//! With a [`Wal`] attached ([`BufferPool::attach_wal`]) the pool runs
+//! **no-steal**: a dirty page leaving the pool (eviction, `flush_all`,
+//! [`BufferPool::log_dirty_frames`]) is appended to the log as a page
+//! image instead of being written to the data file, and a pool miss
+//! consults the log's page index before the data file. The data file is
+//! written only by checkpoint/recovery code, so it always holds a
+//! committed state. The WAL mutex is a leaf in the latch order:
+//! `shard → {disk, wal}`.
 
 use crate::disk::DiskManager;
 use crate::error::{DbError, DbResult};
 use crate::page::{PageId, INVALID_PAGE, PAGE_SIZE};
+use crate::wal::Wal;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Replacement policy. LRU is the default; Clock exists for the ablation
 /// bench (`bench_ablation` in `focus-bench`).
@@ -195,6 +208,9 @@ pub struct BufferPool {
     /// not touch the shard latches — `Database::sort_budget_rows` asks
     /// on every statement, including the concurrent read path.
     capacity: usize,
+    /// Write-ahead log; when present, dirty pages leave the pool into
+    /// the log, never the data file (see module docs).
+    wal: Option<Arc<Wal>>,
 }
 
 impl BufferPool {
@@ -207,7 +223,20 @@ impl BufferPool {
             policy,
             stats: AtomicIoStats::default(),
             capacity,
+            wal: None,
         }
+    }
+
+    /// Attach a write-ahead log: from here on, dirty pages leave the
+    /// pool into the log and the data file is checkpoint-only. Must be
+    /// called before the pool holds dirty state (construction time).
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL, if any (cloned handle).
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.clone()
     }
 
     fn build_shards(capacity: usize, nshards: usize) -> Vec<Mutex<Shard>> {
@@ -321,21 +350,71 @@ impl BufferPool {
         self.with_page_mut(dst, |b| b.copy_from_slice(&buf))
     }
 
-    /// Write every dirty frame back to disk.
+    /// Write every dirty frame out of the pool: to the WAL when one is
+    /// attached (write-ahead discipline), to the data file otherwise.
     pub fn flush_all(&self) -> DbResult<()> {
         for s in &self.shards {
             let mut shard = s.lock();
             for i in 0..shard.frames.len() {
                 if shard.frames[i].page != INVALID_PAGE && shard.frames[i].dirty {
                     self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
-                    self.disk
-                        .lock()
-                        .write(shard.frames[i].page, &shard.frames[i].data)?;
+                    match &self.wal {
+                        Some(wal) => wal.log_page(shard.frames[i].page, &shard.frames[i].data)?,
+                        None => self
+                            .disk
+                            .lock()
+                            .write(shard.frames[i].page, &shard.frames[i].data)?,
+                    }
                     shard.frames[i].dirty = false;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Log every dirty frame as a WAL page image and mark it clean (the
+    /// page-image half of a commit; the caller appends the Commit record
+    /// after). Returns the number of frames logged.
+    pub fn log_dirty_frames(&self) -> DbResult<u64> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| DbError::Page("log_dirty_frames without a wal".into()))?;
+        let mut logged = 0u64;
+        for s in &self.shards {
+            let mut shard = s.lock();
+            for i in 0..shard.frames.len() {
+                if shard.frames[i].page != INVALID_PAGE && shard.frames[i].dirty {
+                    wal.log_page(shard.frames[i].page, &shard.frames[i].data)?;
+                    shard.frames[i].dirty = false;
+                    logged += 1;
+                }
+            }
+        }
+        Ok(logged)
+    }
+
+    /// Write `buf` straight into the data file, bypassing the frames
+    /// (checkpoint/recovery path: installing committed WAL images).
+    pub fn write_data_direct(&self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        self.disk.lock().write_ensure(pid, buf)
+    }
+
+    /// fsync the data file.
+    pub fn sync_data(&self) -> DbResult<()> {
+        self.disk.lock().sync_all()
+    }
+
+    /// Install a page image into this pool's store *and* any resident
+    /// frame (replica apply path: the image is authoritative committed
+    /// state, so the frame comes out clean).
+    pub fn install_page(&self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        let mut shard = self.shard_of(pid).lock();
+        if let Some(&i) = shard.map.get(&pid) {
+            shard.frames[i].data.copy_from_slice(buf);
+            shard.frames[i].dirty = false;
+        }
+        self.disk.lock().write_ensure(pid, buf)
     }
 
     fn fetch(&self, shard: &mut Shard, pid: PageId) -> DbResult<usize> {
@@ -346,7 +425,15 @@ impl BufferPool {
         self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
         let frame = self.victim_frame(shard)?;
         let f = &mut shard.frames[frame];
-        self.disk.lock().read(pid, &mut f.data)?;
+        // Newest image may live in the WAL (evicted since the last
+        // checkpoint); the data file only holds checkpointed state.
+        let in_wal = match &self.wal {
+            Some(wal) => wal.read_page_into(pid, &mut f.data)?,
+            None => false,
+        };
+        if !in_wal {
+            self.disk.lock().read(pid, &mut f.data)?;
+        }
         f.page = pid;
         f.dirty = false;
         shard.map.insert(pid, frame);
@@ -390,7 +477,12 @@ impl BufferPool {
         let f = &mut shard.frames[victim];
         if f.dirty {
             self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
-            self.disk.lock().write(f.page, &f.data)?;
+            match &self.wal {
+                // Write-ahead: the image is durable-loggable before the
+                // page leaves the pool; the data file stays committed-only.
+                Some(wal) => wal.log_page(f.page, &f.data)?,
+                None => self.disk.lock().write(f.page, &f.data)?,
+            }
         }
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         shard.map.remove(&f.page);

@@ -349,6 +349,25 @@ impl Catalog {
         }
     }
 
+    /// Every table slot in id order, **including dropped slots** (empty
+    /// name) — the WAL catalog image must preserve slot positions so
+    /// `TableId`s stay stable across recovery.
+    pub(crate) fn slots(&self) -> &[TableInfo] {
+        &self.tables
+    }
+
+    /// Rebuild a catalog from decoded slots (recovery / replica apply).
+    /// `by_name` is reconstructed; dropped slots keep their position.
+    pub(crate) fn from_slots(tables: Vec<TableInfo>) -> Catalog {
+        let by_name = tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.name.is_empty())
+            .map(|(i, t)| (t.name.clone(), i))
+            .collect();
+        Catalog { tables, by_name }
+    }
+
     /// Find the index (if any) on `table` whose key columns start with `cols`.
     pub fn find_index(&self, tid: TableId, cols: &[usize]) -> Option<usize> {
         self.tables[tid]

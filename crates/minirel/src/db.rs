@@ -27,10 +27,22 @@ use crate::buffer::{BufferPool, EvictionPolicy, IoStats};
 use crate::catalog::{Catalog, TableId};
 use crate::disk::DiskManager;
 use crate::error::{DbError, DbResult};
-use crate::page::PAGE_SIZE;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::recovery;
 use crate::sql::run::{run_select, run_statement, Relation, SqlCtx, StmtResult};
 use crate::sql::{parse_script, parse_statement, Statement};
 use crate::value::{Row, Value};
+use crate::wal::{Wal, DEFAULT_GROUP_COMMIT};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The WAL file that pairs with a data file at `data`: same path with
+/// `.wal` appended (`crawl.db` → `crawl.db.wal`).
+pub fn wal_path_for(data: &Path) -> PathBuf {
+    let mut os = data.as_os_str().to_owned();
+    os.push(".wal");
+    PathBuf::from(os)
+}
 
 /// Rows + column names returned by a query.
 #[derive(Debug, Clone, Default)]
@@ -141,6 +153,191 @@ impl Database {
         Database {
             pool: BufferPool::new(disk, frames, policy),
             catalog: Catalog::new(),
+            current_timestamp: 0,
+            sort_budget_override: None,
+        }
+    }
+
+    /// In-memory database with a write-ahead log (also in memory):
+    /// durable *semantics* — commit points, replication stream, group
+    /// commit — without files. What the crawler uses when it wants a
+    /// replica but not crash persistence, and what the WAL-overhead
+    /// bench compares against [`Database::in_memory_with_frames`].
+    pub fn in_memory_durable(frames: usize, group_commit: usize) -> Database {
+        let mut pool = BufferPool::new(DiskManager::in_memory(), frames, EvictionPolicy::Lru);
+        pool.attach_wal(Arc::new(Wal::in_memory(group_commit)));
+        Database {
+            pool,
+            catalog: Catalog::new(),
+            current_timestamp: 0,
+            sort_budget_override: None,
+        }
+    }
+
+    /// Open (or create) a durable database at `path`, with its WAL at
+    /// `path + ".wal"`. An existing pair is **recovered**: the log's
+    /// valid prefix is replayed into the data file up to the last
+    /// commit (redo-on-open; a torn tail is truncated by checksum), the
+    /// catalog comes from that commit, and the log is rotated — the
+    /// fresh log is written beside the old one and atomically renamed
+    /// over it, so a crash mid-rotation still leaves one valid log.
+    ///
+    /// A data file with no WAL beside it is refused as corrupt rather
+    /// than silently wiped or trusted: without a log there is no way to
+    /// know what state the file is in (and no catalog to read it with).
+    pub fn open(path: &Path, frames: usize) -> DbResult<Database> {
+        Self::open_with(path, frames, DEFAULT_GROUP_COMMIT)
+    }
+
+    /// [`Database::open`] with an explicit group-commit quota
+    /// (commits per fsync; 1 = every commit is durable immediately).
+    pub fn open_with(path: &Path, frames: usize, group_commit: usize) -> DbResult<Database> {
+        let wal_path = wal_path_for(path);
+        if path.exists() && !wal_path.exists() {
+            return Err(DbError::Corrupt(format!(
+                "data file {} exists without its wal {} — cannot establish a committed state",
+                path.display(),
+                wal_path.display()
+            )));
+        }
+        let mut disk = DiskManager::at_path(path)?;
+        let (catalog, next_lsn) = if wal_path.exists() {
+            let bytes = std::fs::read(&wal_path).map_err(|e| DbError::io("read", &wal_path, e))?;
+            match recovery::replay_into(&mut disk, &bytes)? {
+                Some(rec) => {
+                    disk.sync_all()?;
+                    (rec.catalog, rec.last_lsn + 1)
+                }
+                None => (Catalog::new(), 1),
+            }
+        } else {
+            (Catalog::new(), 1)
+        };
+        // Rotate: fresh log seeded with one commit carrying the
+        // recovered catalog, written at a temp path then renamed.
+        let tmp = {
+            let mut os = wal_path.as_os_str().to_owned();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let wal = Wal::create_file(&tmp, group_commit, next_lsn)?;
+        wal.commit(&recovery::encode_catalog(&catalog), disk.num_pages())?;
+        wal.sync()?;
+        wal.rename_to(&wal_path)?;
+        let mut pool = BufferPool::new(disk, frames, EvictionPolicy::Lru);
+        pool.attach_wal(Arc::new(wal));
+        Ok(Database {
+            pool,
+            catalog,
+            current_timestamp: 0,
+            sort_budget_override: None,
+        })
+    }
+
+    /// The attached WAL handle, when this database is durable.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.pool.wal()
+    }
+
+    /// Commit: log every dirty page image plus the catalog, append a
+    /// Commit record, and publish to replicas. fsync happens on the
+    /// group-commit quota ([`Database::commit_durable`] forces it).
+    /// Returns the commit's LSN.
+    pub fn commit(&mut self) -> DbResult<u64> {
+        let wal = self.pool.wal().ok_or_else(|| {
+            DbError::ReadOnly(
+                "commit() requires a durable database (open/in_memory_durable)".into(),
+            )
+        })?;
+        self.pool.log_dirty_frames()?;
+        wal.commit(
+            &recovery::encode_catalog(&self.catalog),
+            self.pool.num_pages(),
+        )
+    }
+
+    /// [`Database::commit`] plus a forced WAL fsync — the point after
+    /// which the commit survives a crash.
+    pub fn commit_durable(&mut self) -> DbResult<u64> {
+        let lsn = self.commit()?;
+        self.pool.wal().expect("commit() verified the wal").sync()?;
+        Ok(lsn)
+    }
+
+    /// Incremental checkpoint: commit, then copy every page image the
+    /// log is carrying into the data file and mark the log with a
+    /// checkpoint record. Rides the page images already logged by the
+    /// ordinary flush path — nothing is re-serialized from the catalog
+    /// up. Afterwards pool misses read the data file again and an
+    /// in-memory log drops its retained bytes.
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        let wal = self
+            .pool
+            .wal()
+            .ok_or_else(|| DbError::ReadOnly("checkpoint() requires a durable database".into()))?;
+        self.commit()?;
+        wal.sync()?;
+        let mut buf = [0u8; PAGE_SIZE];
+        for pid in wal.indexed_pages() {
+            if wal.read_page_into(pid, &mut buf)? {
+                self.pool.write_data_direct(pid, &buf)?;
+            }
+        }
+        self.pool.sync_data()?;
+        wal.checkpoint_done(self.pool.num_pages())
+    }
+
+    /// Total pages in the backing store.
+    pub fn num_pages(&self) -> u32 {
+        self.pool.num_pages()
+    }
+
+    /// Copy of page `pid`'s current bytes (replica base snapshots).
+    pub fn page_snapshot(&self, pid: PageId) -> DbResult<[u8; PAGE_SIZE]> {
+        self.pool.with_page(pid, |b| {
+            let mut out = [0u8; PAGE_SIZE];
+            out.copy_from_slice(b);
+            out
+        })
+    }
+
+    /// Install a committed page image (replica apply path; see
+    /// [`BufferPool::install_page`]).
+    pub fn install_page(&self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        self.pool.install_page(pid, buf)
+    }
+
+    /// Swap in a catalog decoded from a WAL commit (replica apply path).
+    pub fn replace_catalog(&mut self, catalog: Catalog) {
+        self.catalog = catalog;
+    }
+
+    /// Clone this database's committed state into a fresh in-memory
+    /// database (the replica base snapshot). `&mut self` guarantees no
+    /// writer is mid-flight, so the copy is a clean commit boundary.
+    pub fn clone_committed_state(&mut self) -> DbResult<Database> {
+        let follower = Database::in_memory_with_frames(self.pool.capacity());
+        for pid in 0..self.pool.num_pages() {
+            let img = self.page_snapshot(pid)?;
+            follower.install_page(pid, &img)?;
+        }
+        let mut follower = follower;
+        follower.replace_catalog(recovery::decode_catalog(&recovery::encode_catalog(
+            &self.catalog,
+        ))?);
+        follower.current_timestamp = self.current_timestamp;
+        Ok(follower)
+    }
+
+    /// Assemble a database from recovered parts (file-tailing replicas).
+    pub(crate) fn from_recovered_parts(
+        disk: DiskManager,
+        frames: usize,
+        catalog: Catalog,
+    ) -> Database {
+        Database {
+            pool: BufferPool::new(disk, frames, EvictionPolicy::Lru),
+            catalog,
             current_timestamp: 0,
             sort_budget_override: None,
         }

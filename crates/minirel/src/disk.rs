@@ -5,6 +5,11 @@
 //! backend exists so tests and CI are hermetic, while the file backend is
 //! used by benchmarks that want OS-level I/O too. Counter behaviour is
 //! identical for both.
+//!
+//! File-backed managers are **durable-safe**: opening an existing file
+//! never truncates it (`num_pages` is recovered from the file length),
+//! and every I/O error surfaces as a [`DbError::Io`] carrying the
+//! operation and path, so a failed `sync` is never silently swallowed.
 
 use crate::error::{DbError, DbResult};
 use crate::page::{PageId, PAGE_SIZE};
@@ -35,14 +40,45 @@ impl DiskManager {
         }
     }
 
-    /// Pages live in the file at `path` (created/truncated).
+    /// Pages live in the file at `path`, **created if absent, reopened if
+    /// present** — an existing file's pages survive and `num_pages` is
+    /// recovered from the file length. A trailing partial page (torn
+    /// final write) is excluded from the page count rather than read as
+    /// garbage.
     pub fn at_path(path: &Path) -> DbResult<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| DbError::io("open", path, e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| DbError::io("stat", path, e))?
+            .len();
+        let num_pages = (len / PAGE_SIZE as u64) as u32;
+        Ok(DiskManager {
+            backend: Backend::File {
+                file,
+                path: path.to_owned(),
+                delete_on_drop: false,
+                num_pages,
+            },
+        })
+    }
+
+    /// Pages live in the file at `path`, created fresh (any existing
+    /// content is truncated). The explicit "start over" constructor;
+    /// [`DiskManager::at_path`] reopens.
+    pub fn create_at_path(path: &Path) -> DbResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(path)
+            .map_err(|e| DbError::io("create", path, e))?;
         Ok(DiskManager {
             backend: Backend::File {
                 file,
@@ -66,11 +102,19 @@ impl DiskManager {
                 .map(|d| d.as_nanos())
                 .unwrap_or(0)
         ));
-        let mut dm = Self::at_path(&path)?;
+        let mut dm = Self::create_at_path(&path)?;
         if let Backend::File { delete_on_drop, .. } = &mut dm.backend {
             *delete_on_drop = true;
         }
         Ok(dm)
+    }
+
+    /// Path of the backing file, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::File { path, .. } => Some(path),
+        }
     }
 
     /// Number of allocated pages.
@@ -89,11 +133,16 @@ impl DiskManager {
                 Ok((v.len() - 1) as PageId)
             }
             Backend::File {
-                file, num_pages, ..
+                file,
+                path,
+                num_pages,
+                ..
             } => {
                 let id = *num_pages;
-                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-                file.write_all(&[0u8; PAGE_SIZE])?;
+                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+                    .map_err(|e| DbError::io("seek", &path, e))?;
+                file.write_all(&[0u8; PAGE_SIZE])
+                    .map_err(|e| DbError::io("extend", &path, e))?;
                 *num_pages += 1;
                 Ok(id)
             }
@@ -111,13 +160,18 @@ impl DiskManager {
                 Ok(())
             }
             Backend::File {
-                file, num_pages, ..
+                file,
+                path,
+                num_pages,
+                ..
             } => {
                 if id >= *num_pages {
                     return Err(DbError::Page(format!("page {id} not allocated")));
                 }
-                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-                file.read_exact(buf)?;
+                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+                    .map_err(|e| DbError::io("seek", &path, e))?;
+                file.read_exact(buf)
+                    .map_err(|e| DbError::io("read", &path, e))?;
                 Ok(())
             }
         }
@@ -134,14 +188,43 @@ impl DiskManager {
                 Ok(())
             }
             Backend::File {
-                file, num_pages, ..
+                file,
+                path,
+                num_pages,
+                ..
             } => {
                 if id >= *num_pages {
                     return Err(DbError::Page(format!("page {id} not allocated")));
                 }
-                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-                file.write_all(buf)?;
+                file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+                    .map_err(|e| DbError::io("seek", &path, e))?;
+                file.write_all(buf)
+                    .map_err(|e| DbError::io("write", &path, e))?;
                 Ok(())
+            }
+        }
+    }
+
+    /// Write `buf` to page `id`, zero-extending the store first if `id`
+    /// lies beyond the current allocation. The WAL-replay entry point:
+    /// recovery installs committed page images into a data file that may
+    /// be shorter than the log's view of it (the crash beat the
+    /// extension write).
+    pub fn write_ensure(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        while self.num_pages() <= id {
+            self.allocate()?;
+        }
+        self.write(id, buf)
+    }
+
+    /// Flush OS buffers to stable storage. A no-op for the memory
+    /// backend; for files, a failed `fsync` surfaces as [`DbError::Io`]
+    /// instead of being dropped.
+    pub fn sync_all(&mut self) -> DbResult<()> {
+        match &mut self.backend {
+            Backend::Memory(_) => Ok(()),
+            Backend::File { file, path, .. } => {
+                file.sync_all().map_err(|e| DbError::io("sync", &path, e))
             }
         }
     }
@@ -181,6 +264,7 @@ mod tests {
         assert!(rbuf.iter().all(|&x| x == 0), "fresh page must be zeroed");
         assert!(dm.read(99, &mut rbuf).is_err());
         assert!(dm.write(99, &wbuf).is_err());
+        dm.sync_all().unwrap();
     }
 
     #[test]
@@ -198,5 +282,66 @@ mod tests {
         exercise(dm);
         // dm dropped by exercise()
         assert!(!path.exists(), "temp file should be removed on drop");
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("minirel-reopen-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut dm = DiskManager::at_path(&path).unwrap();
+            assert_eq!(dm.num_pages(), 0, "fresh file starts empty");
+            let p0 = dm.allocate().unwrap();
+            let p1 = dm.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[17] = 0x5A;
+            dm.write(p0, &buf).unwrap();
+            buf[17] = 0xA5;
+            dm.write(p1, &buf).unwrap();
+            dm.sync_all().unwrap();
+        }
+        {
+            // Reopen: pages and their bytes must survive.
+            let mut dm = DiskManager::at_path(&path).unwrap();
+            assert_eq!(dm.num_pages(), 2, "reopen must recover the page count");
+            let mut buf = [0u8; PAGE_SIZE];
+            dm.read(0, &mut buf).unwrap();
+            assert_eq!(buf[17], 0x5A);
+            dm.read(1, &mut buf).unwrap();
+            assert_eq!(buf[17], 0xA5);
+            // And keep growing from where it left off.
+            assert_eq!(dm.allocate().unwrap(), 2);
+        }
+        {
+            // create_at_path is the explicit wipe.
+            let dm = DiskManager::create_at_path(&path).unwrap();
+            assert_eq!(dm.num_pages(), 0);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trailing_partial_page_is_not_counted() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("minirel-torn-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, vec![7u8; PAGE_SIZE + 100]).unwrap();
+        let dm = DiskManager::at_path(&path).unwrap();
+        assert_eq!(dm.num_pages(), 1, "torn tail must not count as a page");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_ensure_extends() {
+        let mut dm = DiskManager::in_memory();
+        let buf = [9u8; PAGE_SIZE];
+        dm.write_ensure(4, &buf).unwrap();
+        assert_eq!(dm.num_pages(), 5);
+        let mut rbuf = [0u8; PAGE_SIZE];
+        dm.read(4, &mut rbuf).unwrap();
+        assert_eq!(rbuf[0], 9);
+        dm.read(0, &mut rbuf).unwrap();
+        assert!(rbuf.iter().all(|&x| x == 0));
     }
 }

@@ -5,8 +5,17 @@ use std::fmt;
 /// Errors surfaced by the storage layer, executor, and SQL front-end.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DbError {
-    /// OS-level I/O failure (message carries `std::io::Error` text).
-    Io(String),
+    /// OS-level I/O failure, tagged with the operation and the file it
+    /// hit so a failed `sync` on the WAL is distinguishable from a
+    /// failed `read` on the data file.
+    Io {
+        /// What was being attempted ("open", "read", "write", "sync", …).
+        op: String,
+        /// Path (or "<memory>") the operation targeted.
+        path: String,
+        /// Underlying `std::io::Error` text.
+        source: String,
+    },
     /// Page id out of range or page corrupt.
     Page(String),
     /// A record id no longer resolves to a live record.
@@ -35,7 +44,9 @@ pub enum DbError {
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Io { op, path, source } => {
+                write!(f, "io error: {op} {path}: {source}")
+            }
             DbError::Page(m) => write!(f, "page error: {m}"),
             DbError::BadRid { page, slot } => {
                 write!(f, "dangling rid (page {page}, slot {slot})")
@@ -56,9 +67,24 @@ impl fmt::Display for DbError {
 
 impl std::error::Error for DbError {}
 
+impl DbError {
+    /// Build an [`DbError::Io`] with operation and path context.
+    pub fn io(op: &str, path: impl AsRef<std::path::Path>, e: std::io::Error) -> DbError {
+        DbError::Io {
+            op: op.to_owned(),
+            path: path.as_ref().display().to_string(),
+            source: e.to_string(),
+        }
+    }
+}
+
 impl From<std::io::Error> for DbError {
     fn from(e: std::io::Error) -> Self {
-        DbError::Io(e.to_string())
+        DbError::Io {
+            op: "io".to_owned(),
+            path: "<unknown>".to_owned(),
+            source: e.to_string(),
+        }
     }
 }
 
@@ -82,6 +108,20 @@ mod tests {
     #[test]
     fn io_error_converts() {
         let e: DbError = std::io::Error::other("boom").into();
-        assert!(matches!(e, DbError::Io(_)));
+        assert!(matches!(e, DbError::Io { .. }));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_carries_op_and_path() {
+        let e = DbError::io(
+            "sync",
+            std::path::Path::new("/tmp/db.wal"),
+            std::io::Error::other("disk gone"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("sync"), "{msg}");
+        assert!(msg.contains("/tmp/db.wal"), "{msg}");
+        assert!(msg.contains("disk gone"), "{msg}");
     }
 }

@@ -61,6 +61,27 @@ impl HeapFile {
         &self.pages
     }
 
+    /// Snapshot of the in-memory metadata, for the WAL catalog image:
+    /// (pages, free-space hints, live record count).
+    pub(crate) fn snapshot_parts(&self) -> (&[PageId], &[u16], u64) {
+        (&self.pages, &self.free_hints, self.live_records)
+    }
+
+    /// Rebuild from a catalog image decoded at recovery. The caller
+    /// vouches that the parts came from [`HeapFile::snapshot_parts`] of
+    /// a committed state (pages exist, hints match their content).
+    pub(crate) fn from_parts(
+        pages: Vec<PageId>,
+        free_hints: Vec<u16>,
+        live_records: u64,
+    ) -> HeapFile {
+        HeapFile {
+            pages,
+            free_hints,
+            live_records,
+        }
+    }
+
     /// Insert a record, returning its address.
     pub fn insert(&mut self, pool: &BufferPool, rec: &[u8]) -> DbResult<Rid> {
         if rec.len() + 8 > PAGE_SIZE {

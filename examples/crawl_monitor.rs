@@ -15,6 +15,7 @@
 //! and followed by an automatic frontier re-prioritization.
 
 use focus::prelude::*;
+use focus::Durability;
 use focus_crawler::monitor;
 use focus_crawler::RunState;
 use focus_eval::common::{train_model, Scale};
@@ -44,6 +45,10 @@ fn main() {
                 // backstops a forgotten console.
                 max_fetches: 100_000,
                 distill_every: Some(250),
+                // WAL-backed store: lets the monitoring queries below
+                // run against a read replica instead of the
+                // authoritative database the workers are writing.
+                durability: Durability::Wal { group_commit: 8 },
                 ..CrawlConfig::default()
             },
         )
@@ -52,6 +57,10 @@ fn main() {
     session
         .seed(&focus::search::topic_start_set(&graph, funds, 15))
         .expect("seed");
+    // The §3.7 monitoring console reads a WAL-shipping follower: ad-hoc
+    // SQL never touches the crawl's store lock (the paper's DBA would
+    // point the applets at a DB2 read replica for the same reason).
+    let replica = session.replica().expect("durable session has replicas");
 
     println!("=== phase 1: crawl good = {{business/investing/mutual-funds}} ===");
     let mut run = session.start().expect("no other run active");
@@ -95,14 +104,20 @@ fn main() {
     let phase1 = run.stats();
     println!("phase-1 mean harvest: {:.3}\n", phase1.mean_harvest());
 
-    println!("-- monitoring query 1: harvest per minute (the live applet) --");
+    // Catch the replica up to the leader's last commit so the paused
+    // snapshot below is exact, then monitor the *follower*.
     session.with_db_read(|db| {
+        let lsn = db.wal().expect("durable").last_commit_lsn();
+        replica.wait_for_lsn(lsn, Duration::from_secs(5));
+    });
+    println!("-- monitoring query 1: harvest per minute (the live applet, on the replica) --");
+    replica.with_db(|db| {
         let rs = monitor::harvest_per_minute(db).expect("query");
         print!("{}", rs.to_table());
     });
 
-    println!("-- monitoring query 2: census by class (the diagnosis) --");
-    session.with_db_read(|db| {
+    println!("-- monitoring query 2: census by class (the diagnosis, on the replica) --");
+    replica.with_db(|db| {
         let rs = monitor::census_by_class(db).expect("query");
         print!("{}", rs.to_table());
     });
@@ -111,8 +126,8 @@ fn main() {
          business pages — the sibling/ancestor topics, the paper's diagnosis.\n"
     );
 
-    println!("-- monitoring query 3: frontier health --");
-    session.with_db_read(|db| {
+    println!("-- monitoring query 3: frontier health (on the replica) --");
+    replica.with_db(|db| {
         let rs = monitor::frontier_by_numtries(db).expect("query");
         print!("{}", rs.to_table());
     });
