@@ -1,0 +1,360 @@
+//! §3.7 monitor-query suite: staged planner (bind → plan → lower →
+//! execute, prepared + parameterized) versus the reference interpreter
+//! running the same queries with literals formatted into the text — the
+//! pre-planner idiom. Measures logical page reads ([`minirel::IoStats`])
+//! and queries/sec on the leader, plus queries/sec and reads on a
+//! WAL-shipping read replica serving the same suite.
+//!
+//! The suite is one dashboard refresh plus drill-down: the six §3.7
+//! monitor queries (harvest-per-minute, class census, missed hub
+//! neighbours, frontier health, community evolution, cross-topic
+//! citations) followed by [`DRILLDOWNS`] per-hub outlink lookups
+//! (`select oid_dst from link where oid_src = ?`) — the hub-revisit
+//! query the crawler itself issues. The lookups are where the planner's
+//! B+tree probes pay off; the sociology joins scan either way.
+//!
+//! Acceptance bar (ISSUE 7): the planner runs the suite with ≥ 2×
+//! fewer logical reads than the interpreter baseline.
+//!
+//! Wall-clock numbers are the median of [`REPS`] runs, reps interleaved
+//! across configurations (same discipline as `wal_overhead`). Appends
+//! one trajectory point to `BENCH_sql.json`.
+//!
+//! Run with `cargo bench --bench monitor_queries`.
+
+use focus_crawler::{monitor, tables};
+use minirel::sql::reference::{run_select, SqlCtx};
+use minirel::sql::{parse_statement, Statement};
+use minirel::{Database, Replica, Value, DEFAULT_GROUP_COMMIT};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Visited pages in `crawl`.
+const CRAWL_VISITED: i64 = 4000;
+/// Frontier (unvisited) rows in `crawl`.
+const CRAWL_FRONTIER: i64 = 1000;
+/// Rows in `link`.
+const LINKS: i64 = 24_000;
+/// Rows in `hubs`.
+const HUBS: i64 = 40;
+/// Hub-score threshold for `missed_hub_neighbors` (ψ).
+const PSI: f64 = 0.8;
+/// Per-hub outlink lookups per suite run.
+const DRILLDOWNS: i64 = 20;
+/// Timed repetitions per configuration (median reported).
+const REPS: usize = 5;
+
+#[derive(Debug, Serialize)]
+struct SqlPoint {
+    bench: &'static str,
+    unix_time: u64,
+    crawl_rows: i64,
+    link_rows: i64,
+    suite_queries: usize,
+    /// Reference interpreter, literals formatted into the SQL text.
+    interp_logical_reads: u64,
+    /// Staged planner via prepared + parameterized statements.
+    planner_logical_reads: u64,
+    /// interp ÷ planner; the acceptance bar is ≥ 2.0.
+    logical_reads_ratio: f64,
+    interp_queries_per_sec: f64,
+    planner_queries_per_sec: f64,
+    /// Planner suite served by the WAL-shipping read replica.
+    replica_queries_per_sec: f64,
+    replica_logical_reads: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+}
+
+/// Leader database with the crawler schema populated mid-crawl: visited
+/// pages in two topic classes, a frontier, a link graph with ~20
+/// outlinks per source, and a `hubs` score table.
+fn build_leader() -> Database {
+    let mut db = Database::in_memory_durable(8192, DEFAULT_GROUP_COMMIT);
+    tables::create_tables(&mut db).expect("tables");
+    let mut taxonomy = focus_types::Taxonomy::new("root");
+    taxonomy.add_path("business/investing").expect("taxonomy");
+    taxonomy
+        .add_path("business/investing/mutual-funds")
+        .expect("taxonomy");
+    tables::create_taxonomy_dim(&mut db, &taxonomy).expect("taxonomy dim");
+    db.execute("create table hubs (oid int, score float)")
+        .expect("hubs");
+
+    let crawl = db.table_id("crawl").expect("crawl id");
+    for i in 0..CRAWL_VISITED {
+        db.insert(
+            crawl,
+            vec![
+                Value::Int(i),
+                Value::Str(format!("http://s{}/p{i}", i % 97)),
+                Value::Int(2 + i % 2),
+                Value::Int(0),
+                Value::Float(-0.5),
+                Value::Float(0.5),
+                Value::Int(0),
+                Value::Int(i % 600),
+                Value::Int(1),
+            ],
+        )
+        .expect("insert crawl");
+    }
+    for j in 0..CRAWL_FRONTIER {
+        db.insert(
+            crawl,
+            vec![
+                Value::Int(10_000 + j),
+                Value::Str(format!("http://s{}/f{j}", j % 97)),
+                Value::Int(-1),
+                Value::Int(j % 3),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+            ],
+        )
+        .expect("insert frontier");
+    }
+    let link = db.table_id("link").expect("link id");
+    for i in 0..LINKS {
+        // 1200 distinct sources, ~20 outlinks each; every fifth link
+        // points into the frontier (what missed_hub_neighbors surfaces).
+        let dst = if i % 5 == 0 {
+            10_000 + i % CRAWL_FRONTIER
+        } else {
+            i % CRAWL_VISITED
+        };
+        db.insert(
+            link,
+            vec![
+                Value::Int(i % 1200),
+                Value::Int(1),
+                Value::Int(dst),
+                Value::Int(2),
+                Value::Int(i % 1000),
+            ],
+        )
+        .expect("insert link");
+    }
+    let hubs = db.table_id("hubs").expect("hubs id");
+    for h in 0..HUBS {
+        db.insert(
+            hubs,
+            vec![Value::Int(h * 30), Value::Float(0.5 + h as f64 * 0.01)],
+        )
+        .expect("insert hub");
+    }
+    db.set_current_timestamp(650);
+    db
+}
+
+/// The suite's SQL with literals formatted in — exactly the shape the
+/// monitor module used before the planner grew parameters.
+fn interp_suite_sql() -> Vec<String> {
+    let mut sqls = vec![
+        "select minute(lastvisited), avg(exp(relevance)) from crawl \
+         where lastvisited + 1 hour > current timestamp and visited = 1 \
+         group by minute(lastvisited) order by minute(lastvisited)"
+            .to_owned(),
+        "with census(kcid, cnt) as \
+           (select kcid, count(oid) from crawl where visited = 1 group by kcid) \
+         select census.kcid, cnt, name from census, taxonomy \
+         where census.kcid = taxonomy.kcid order by cnt"
+            .to_owned(),
+        format!(
+            "select url, relevance from crawl where oid in \
+               (select oid_dst from link \
+                where oid_src in (select oid from hubs where score > {PSI}) \
+                  and sid_src <> sid_dst) \
+             and numtries = 0 and visited = 0"
+        ),
+        "select numtries, count(*) from crawl where visited = 0 \
+         group by numtries order by numtries"
+            .to_owned(),
+        "select count(*) from link, crawl c1, crawl c2 \
+         where oid_src = c1.oid and oid_dst = c2.oid \
+           and c1.kcid = 2 and c2.kcid = 3 and discovered >= 0"
+            .to_owned(),
+        "with citers(oid_dst, cnt) as \
+           (select oid_dst, count(*) from link, crawl \
+            where oid_src = crawl.oid and kcid = 2 group by oid_dst) \
+         select url, cnt from crawl, citers \
+         where crawl.oid = citers.oid_dst and kcid = 3 and cnt >= 2 \
+         order by cnt desc"
+            .to_owned(),
+    ];
+    for h in 0..DRILLDOWNS {
+        sqls.push(format!(
+            "select oid_dst from link where oid_src = {}",
+            h * 30
+        ));
+    }
+    sqls
+}
+
+/// Run one SELECT through the reference interpreter; returns row count.
+fn interp_run(db: &Database, sql: &str) -> usize {
+    let stmt = parse_statement(sql).expect("parse");
+    let Statement::Select(q) = &stmt else {
+        panic!("suite entry is not a SELECT: {sql}");
+    };
+    let (pool, catalog) = db.parts();
+    let mut ctx = SqlCtx::new(pool, catalog, db.current_timestamp(), db.sort_budget_rows());
+    run_select(&mut ctx, q).expect("interpret").rows.len()
+}
+
+/// One full suite through the interpreter; returns rows touched (sanity).
+fn interp_suite(db: &Database, sqls: &[String]) -> usize {
+    sqls.iter().map(|sql| interp_run(db, sql)).sum()
+}
+
+/// One full suite through the planner (monitor module + prepared
+/// drill-downs); returns rows touched (sanity).
+fn planner_suite(db: &Database) -> usize {
+    let mut rows = 0usize;
+    rows += monitor::harvest_per_minute(db).expect("harvest").rows.len();
+    rows += monitor::census_by_class(db).expect("census").rows.len();
+    rows += monitor::missed_hub_neighbors(db, PSI)
+        .expect("missed hubs")
+        .rows
+        .len();
+    rows += monitor::frontier_by_numtries(db)
+        .expect("frontier")
+        .rows
+        .len();
+    // Scalar result: one row, like the interpreter run counts it.
+    std::hint::black_box(monitor::community_evolution(db, 2, 3, 0).expect("community"));
+    rows += 1;
+    rows += monitor::cross_topic_citations(db, 3, 2, 2)
+        .expect("citations")
+        .rows
+        .len();
+    let lookup = db
+        .prepare("select oid_dst from link where oid_src = ?")
+        .expect("prepare drill-down");
+    for h in 0..DRILLDOWNS {
+        rows += db
+            .query_prepared(&lookup, &[Value::Int(h * 30)])
+            .expect("drill-down")
+            .rows
+            .len();
+    }
+    rows
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+/// Append `point` to the JSON array in BENCH_sql.json (created on first
+/// run). The vendored serde_json only serializes, so appending is done
+/// textually.
+fn append_point(point: &SqlPoint) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sql.json");
+    let rendered = serde_json::to_string_pretty(point).expect("serialize");
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if head.trim_end().ends_with('[') => format!("[\n{rendered}\n]"),
+                Some(head) => format!("{},\n{rendered}\n]", head.trim_end()),
+                None => format!("[\n{rendered}\n]"),
+            }
+        }
+        Err(_) => format!("[\n{rendered}\n]"),
+    };
+    std::fs::write(path, body + "\n").expect("write BENCH_sql.json");
+    println!("wrote trajectory point to {path}");
+}
+
+fn main() {
+    let mut db = build_leader();
+    let sqls = interp_suite_sql();
+    let suite_queries = sqls.len();
+    // The replica inherits the leader's current timestamp via the
+    // committed-state snapshot.
+    let replica = Replica::spawn(&mut db).expect("replica");
+
+    // Both engines must agree on every suite query before anything is
+    // timed — the bench doubles as a release-mode equivalence check.
+    let interp_rows = interp_suite(&db, &sqls);
+    let planner_rows = planner_suite(&db);
+    assert_eq!(
+        interp_rows, planner_rows,
+        "planner and interpreter disagree on the monitor suite"
+    );
+
+    // Logical reads: one deterministic suite pass per engine.
+    db.reset_io_stats();
+    interp_suite(&db, &sqls);
+    let interp_reads = db.io_stats().logical_reads;
+    db.reset_io_stats();
+    planner_suite(&db);
+    let planner_reads = db.io_stats().logical_reads;
+    let replica_reads = replica.with_db(|r| {
+        r.reset_io_stats();
+        planner_suite(r);
+        r.io_stats().logical_reads
+    });
+
+    println!(
+        "--- monitor suite: {suite_queries} queries over {CRAWL_VISITED}+{CRAWL_FRONTIER} crawl \
+         rows, {LINKS} links; median of {REPS} ---"
+    );
+    let mut interp_secs = Vec::with_capacity(REPS);
+    let mut planner_secs = Vec::with_capacity(REPS);
+    let mut replica_secs = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        std::hint::black_box(interp_suite(&db, &sqls));
+        interp_secs.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(planner_suite(&db));
+        planner_secs.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(replica.with_db(planner_suite));
+        replica_secs.push(t.elapsed().as_secs_f64());
+    }
+    let interp_qps = suite_queries as f64 / median(interp_secs);
+    let planner_qps = suite_queries as f64 / median(planner_secs);
+    let replica_qps = suite_queries as f64 / median(replica_secs);
+    let reads_ratio = interp_reads as f64 / planner_reads.max(1) as f64;
+    let (hits, misses) = db.plan_cache_stats();
+
+    println!("interpreter: {interp_reads:>7} logical reads  {interp_qps:>9.0} queries/sec");
+    println!(
+        "planner:     {planner_reads:>7} logical reads  {planner_qps:>9.0} queries/sec  \
+         reads ratio {reads_ratio:.2} ({})",
+        if reads_ratio >= 2.0 {
+            "PASS: >= 2x fewer reads"
+        } else {
+            "FAIL: < 2x fewer reads"
+        }
+    );
+    println!("replica:     {replica_reads:>7} logical reads  {replica_qps:>9.0} queries/sec");
+    println!("plan cache:  {hits} hits / {misses} misses");
+
+    replica.stop();
+
+    append_point(&SqlPoint {
+        bench: "monitor_queries",
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        crawl_rows: CRAWL_VISITED + CRAWL_FRONTIER,
+        link_rows: LINKS,
+        suite_queries,
+        interp_logical_reads: interp_reads,
+        planner_logical_reads: planner_reads,
+        logical_reads_ratio: reads_ratio,
+        interp_queries_per_sec: interp_qps,
+        planner_queries_per_sec: planner_qps,
+        replica_queries_per_sec: replica_qps,
+        replica_logical_reads: replica_reads,
+        plan_cache_hits: hits,
+        plan_cache_misses: misses,
+    });
+}

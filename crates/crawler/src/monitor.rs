@@ -5,7 +5,7 @@
 //! here wraps one of the queries printed in the paper; they run against a
 //! live [`crate::session::CrawlSession`] database.
 
-use minirel::{Database, DbResult, ResultSet};
+use minirel::{Database, DbResult, ResultSet, Value};
 
 /// Harvest-per-minute, the query behind the live Figure 5 applet:
 ///
@@ -52,13 +52,14 @@ pub fn census_by_class(db: &Database) -> DbResult<ResultSet> {
 /// and numtries = 0
 /// ```
 pub fn missed_hub_neighbors(db: &Database, psi: f64) -> DbResult<ResultSet> {
-    db.query(&format!(
+    db.query_with(
         "select url, relevance from crawl where oid in \
            (select oid_dst from link \
-            where oid_src in (select oid from hubs where score > {psi}) \
+            where oid_src in (select oid from hubs where score > ?) \
               and sid_src <> sid_dst) \
-         and numtries = 0 and visited = 0"
-    ))
+         and numtries = 0 and visited = 0",
+        &[Value::Float(psi)],
+    )
 }
 
 /// Frontier health: poppable entries by numtries (stagnation shows up as
@@ -80,12 +81,17 @@ pub fn community_evolution(
     dst_kcid: i64,
     since: i64,
 ) -> DbResult<i64> {
-    let rs = db.query(&format!(
+    let rs = db.query_with(
         "select count(*) from link, crawl c1, crawl c2 \
          where oid_src = c1.oid and oid_dst = c2.oid \
-           and c1.kcid = {src_kcid} and c2.kcid = {dst_kcid} \
-           and discovered >= {since}"
-    ))?;
+           and c1.kcid = ? and c2.kcid = ? \
+           and discovered >= ?",
+        &[
+            Value::Int(src_kcid),
+            Value::Int(dst_kcid),
+            Value::Int(since),
+        ],
+    )?;
     Ok(rs.scalar_i64().unwrap_or(0))
 }
 
@@ -99,16 +105,21 @@ pub fn cross_topic_citations(
     citer_kcid: i64,
     min_citers: i64,
 ) -> DbResult<ResultSet> {
-    db.query(&format!(
+    db.query_with(
         "with citers(oid_dst, cnt) as \
            (select oid_dst, count(*) from link, crawl \
-            where oid_src = crawl.oid and kcid = {citer_kcid} \
+            where oid_src = crawl.oid and kcid = ? \
             group by oid_dst) \
          select url, cnt from crawl, citers \
-         where crawl.oid = citers.oid_dst and kcid = {target_kcid} \
-           and cnt >= {min_citers} \
-         order by cnt desc"
-    ))
+         where crawl.oid = citers.oid_dst and kcid = ? \
+           and cnt >= ? \
+         order by cnt desc",
+        &[
+            Value::Int(citer_kcid),
+            Value::Int(target_kcid),
+            Value::Int(min_citers),
+        ],
+    )
 }
 
 #[cfg(test)]

@@ -1631,10 +1631,10 @@ impl CrawlSession {
             let now = self.start.elapsed().as_secs() as i64;
             // Known outlinks of this hub.
             let known: Vec<i64> = {
-                let rs = g.db.query(&format!(
-                    "select oid_dst from link where oid_src = {}",
-                    hub.raw() as i64
-                ))?;
+                let rs = g.db.query_with(
+                    "select oid_dst from link where oid_src = ?",
+                    &[Value::Int(hub.raw() as i64)],
+                )?;
                 rs.rows.iter().filter_map(|r| r[0].as_i64()).collect()
             };
             let sid_src = host_server_id(&page.url);
@@ -1857,13 +1857,27 @@ impl CrawlSession {
     /// sections. Anything else (DDL/DML steering surgery) escalates to
     /// the write lock and runs exclusively at the next page boundary.
     pub fn sql(&self, sql: &str) -> DbResult<ResultSet> {
+        self.sql_with(sql, &[])
+    }
+
+    /// [`CrawlSession::sql`] with positional `?` parameter bindings.
+    /// SELECTs plan through the database's prepared-statement cache, so a
+    /// monitor polling the same query text pays binding + execution only.
+    /// Parameters are rejected on the DML fallback path — `execute` has
+    /// no binding surface, and silently dropping them would be worse.
+    pub fn sql_with(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
         {
             let g = self.store.read();
-            match g.db.query(sql) {
+            match g.db.query_with(sql, params) {
                 // Not a SELECT: fall through to the exclusive path.
                 Err(DbError::ReadOnly(_)) => {}
                 other => return other,
             }
+        }
+        if !params.is_empty() {
+            return Err(DbError::Binding(
+                "parameters are only supported for SELECT statements".into(),
+            ));
         }
         self.store.write().db.execute(sql)
     }

@@ -29,10 +29,27 @@ pub struct Fig5 {
     pub unfocused_mean: f64,
     /// Overall mean harvest, soft focus.
     pub soft_mean: f64,
+    /// Soft-focus mean harvest re-measured by ad-hoc SQL over the crawl
+    /// table (`avg(exp(relevance))`, the §3.7 applet aggregate) — the
+    /// planner-served cross-check of the in-memory series.
+    pub soft_sql_mean: f64,
+    /// Fraction of visited pages above the R > e⁻¹ relevance cut, via a
+    /// parameterized query (the cut binds as `?`).
+    pub soft_sql_relevant_frac: f64,
 }
 
 /// Run one crawl with `policy` and return its raw harvest series.
 pub fn run_crawl(world: &World, policy: CrawlPolicy, budget: u64) -> Series {
+    run_crawl_with_session(world, policy, budget).0
+}
+
+/// Like [`run_crawl`], but also hands back the finished session so the
+/// caller can point ad-hoc SQL at the crawl tables.
+pub fn run_crawl_with_session(
+    world: &World,
+    policy: CrawlPolicy,
+    budget: u64,
+) -> (Series, std::sync::Arc<CrawlSession>) {
     let session = std::sync::Arc::new(
         CrawlSession::new(
             world.fetcher(),
@@ -58,10 +75,11 @@ pub fn run_crawl(world: &World, policy: CrawlPolicy, budget: u64) -> Series {
     );
     session.seed(&world.start_set(20)).expect("seed");
     let stats = session.run().expect("crawl");
-    Series::new(
+    let series = Series::new(
         format!("{policy:?}"),
         stats.harvest.iter().map(|&(x, r)| (x as f64, r)),
-    )
+    );
+    (series, session)
 }
 
 fn moving_avg(s: &Series, window: usize) -> Series {
@@ -83,7 +101,31 @@ pub fn run(scale: Scale) -> Fig5 {
     let world = World::cycling(scale, 42);
     let budget = scale.fetch_budget();
     let unf = run_crawl(&world, CrawlPolicy::Unfocused, budget);
-    let soft = run_crawl(&world, CrawlPolicy::SoftFocus, budget);
+    let (soft, soft_session) = run_crawl_with_session(&world, CrawlPolicy::SoftFocus, budget);
+    // The paper's live applet measures harvest by ad-hoc SQL (§3.7);
+    // re-measure the finished crawl the same way as a cross-check on
+    // the in-memory series. The relevance cut is a bound parameter.
+    let (soft_sql_mean, soft_sql_relevant_frac) = soft_session.with_db_read(|db| {
+        let mean = db
+            .query("select avg(exp(relevance)) from crawl where visited = 1")
+            .ok()
+            .and_then(|rs| rs.scalar_f64())
+            .unwrap_or(0.0);
+        let visited = db
+            .query("select count(*) from crawl where visited = 1")
+            .ok()
+            .and_then(|rs| rs.scalar_i64())
+            .unwrap_or(0);
+        let relevant = db
+            .query_with(
+                "select count(*) from crawl where visited = 1 and relevance > ?",
+                &[minirel::Value::Float(-1.0)],
+            )
+            .ok()
+            .and_then(|rs| rs.scalar_i64())
+            .unwrap_or(0);
+        (mean, relevant as f64 / visited.max(1) as f64)
+    });
     let win = match scale {
         Scale::Tiny => 30,
         _ => 100,
@@ -96,6 +138,8 @@ pub fn run(scale: Scale) -> Fig5 {
         soft_tail: soft.tail_mean(0.5),
         unfocused_mean: unf.tail_mean(1.0),
         soft_mean: soft.tail_mean(1.0),
+        soft_sql_mean,
+        soft_sql_relevant_frac,
     }
 }
 
@@ -109,6 +153,12 @@ pub fn print(f: &Fig5) {
         f.unfocused_tail,
         f.soft_tail,
         f.soft_tail / f.unfocused_tail.max(1e-6)
+    );
+    println!(
+        "SQL cross-check (planner): avg(exp(relevance)) = {:.4}, \
+         {:.1}% of visited pages above the R > e^-1 cut",
+        f.soft_sql_mean,
+        f.soft_sql_relevant_frac * 100.0
     );
     println!(
         "paper: unfocused \"completely lost within the next hundred page fetches\"; \
@@ -138,6 +188,11 @@ mod tests {
             f.unfocused_mean
         );
         assert!(f.soft_mean > 0.25, "absolute soft harvest {}", f.soft_mean);
+        assert!(
+            f.soft_sql_mean > 0.0 && f.soft_sql_mean <= 1.0,
+            "SQL cross-check harvest {}",
+            f.soft_sql_mean
+        );
         assert!(!f.soft_avg100.points.is_empty());
     }
 }

@@ -108,6 +108,14 @@ impl Catalog {
         &self.tables[id]
     }
 
+    /// `(row count, heap pages)` for planner cost estimates. Always
+    /// current — the heap tracks both incrementally, so the planner
+    /// never works from stale statistics.
+    pub fn table_stats(&self, id: TableId) -> (u64, usize) {
+        let t = &self.tables[id];
+        (t.heap.len(), t.heap.num_pages())
+    }
+
     /// Mutable table metadata by id.
     pub fn table_mut(&mut self, id: TableId) -> &mut TableInfo {
         &mut self.tables[id]

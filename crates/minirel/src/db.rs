@@ -29,12 +29,30 @@ use crate::disk::DiskManager;
 use crate::error::{DbError, DbResult};
 use crate::page::{PageId, PAGE_SIZE};
 use crate::recovery;
-use crate::sql::run::{run_select, run_statement, Relation, SqlCtx, StmtResult};
+use crate::sql::lower::{execute_plan, prepare_plan, ExecPlan};
+use crate::sql::reference::{run_statement, StmtResult};
 use crate::sql::{parse_script, parse_statement, Statement};
 use crate::value::{Row, Value};
 use crate::wal::{Wal, DEFAULT_GROUP_COMMIT};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A reusable prepared statement: an immutable, `Send + Sync` physical
+/// plan. Cheap to clone (it is an [`Arc`]) and executable from many
+/// threads at once through [`Database::query_prepared`].
+pub type Prepared = Arc<ExecPlan>;
+
+/// Cache of prepared plans keyed by normalized (trimmed) SQL text.
+/// Interior-mutable so the read-only query path can populate it through
+/// `&self`; invalidated wholesale on any catalog change.
+#[derive(Default)]
+struct PlanCache {
+    plans: RwLock<HashMap<String, Prepared>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// The WAL file that pairs with a data file at `data`: same path with
 /// `.wal` appended (`crawl.db` → `crawl.db.wal`).
@@ -126,6 +144,7 @@ pub struct Database {
     catalog: Catalog,
     current_timestamp: i64,
     sort_budget_override: Option<usize>,
+    plan_cache: PlanCache,
 }
 
 impl Database {
@@ -155,6 +174,7 @@ impl Database {
             catalog: Catalog::new(),
             current_timestamp: 0,
             sort_budget_override: None,
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -171,6 +191,7 @@ impl Database {
             catalog: Catalog::new(),
             current_timestamp: 0,
             sort_budget_override: None,
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -231,6 +252,7 @@ impl Database {
             catalog,
             current_timestamp: 0,
             sort_budget_override: None,
+            plan_cache: PlanCache::default(),
         })
     }
 
@@ -310,6 +332,7 @@ impl Database {
     /// Swap in a catalog decoded from a WAL commit (replica apply path).
     pub fn replace_catalog(&mut self, catalog: Catalog) {
         self.catalog = catalog;
+        self.invalidate_plans();
     }
 
     /// Clone this database's committed state into a fresh in-memory
@@ -340,6 +363,7 @@ impl Database {
             catalog,
             current_timestamp: 0,
             sort_budget_override: None,
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -359,50 +383,160 @@ impl Database {
         Ok(last)
     }
 
-    /// Execute a **SELECT** through shared borrows only — the read path
-    /// monitors use so observing a crawl never blocks it. Returns
+    /// Execute a **SELECT** (or `EXPLAIN <select>`) through shared
+    /// borrows only — the read path monitors use so observing a crawl
+    /// never blocks it. Plans through the staged pipeline and caches the
+    /// plan; equivalent to `query_with(sql, &[])`. Returns
     /// [`DbError::ReadOnly`] for any other statement kind; route DDL/DML
     /// through [`Database::execute`], which is exclusive.
     pub fn query(&self, sql: &str) -> DbResult<ResultSet> {
-        let stmt = parse_statement(sql)?;
-        let Statement::Select(q) = &stmt else {
-            return Err(DbError::ReadOnly(format!(
-                "query() accepts SELECT only (got {})",
-                sql.split_whitespace().next().unwrap_or("")
-            )));
-        };
-        let mut ctx = SqlCtx::new(
-            &self.pool,
-            &self.catalog,
-            self.current_timestamp,
-            self.sort_budget_rows(),
-        );
-        Ok(Self::rows_result(run_select(&mut ctx, q)?))
+        self.query_with(sql, &[])
     }
 
-    fn rows_result(rel: Relation) -> ResultSet {
+    /// [`Database::query`] with positional `?` parameter bindings.
+    /// The plan is prepared (or fetched from the cache) and executed with
+    /// `params` substituted — no SQL string formatting, no re-planning on
+    /// repeat queries.
+    pub fn query_with(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        let plan = self.prepare(sql)?;
+        self.query_prepared(&plan, params)
+    }
+
+    /// Prepare a SELECT / `EXPLAIN <select>` into a cached, reusable
+    /// plan. Cache hits are allocation-free: a read-lock, a map probe on
+    /// the trimmed SQL text, and an [`Arc`] bump. The cache is
+    /// invalidated by DDL and replica catalog swaps, never by DML —
+    /// plans read table data at execution time.
+    pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
+        let key = sql.trim();
+        if let Some(p) = self
+            .plan_cache
+            .plans
+            .read()
+            .expect("plan cache poisoned")
+            .get(key)
+        {
+            self.plan_cache.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(p));
+        }
+        self.plan_cache.misses.fetch_add(1, Ordering::Relaxed);
+        let stmt = parse_statement(sql)?;
+        let (sel, explain_only) = match &stmt {
+            Statement::Select(q) => (q.as_ref(), false),
+            Statement::Explain(q) => (q.as_ref(), true),
+            _ => {
+                return Err(DbError::ReadOnly(format!(
+                    "query() accepts SELECT only (got {})",
+                    sql.split_whitespace().next().unwrap_or("")
+                )))
+            }
+        };
+        let plan = Arc::new(prepare_plan(&self.catalog, sel, explain_only)?);
+        self.plan_cache
+            .plans
+            .write()
+            .expect("plan cache poisoned")
+            .insert(key.to_owned(), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Execute a prepared plan with `params` bound to its `?`
+    /// placeholders. Shared-borrow: runs concurrently with other readers.
+    pub fn query_prepared(&self, plan: &Prepared, params: &[Value]) -> DbResult<ResultSet> {
+        let rows = execute_plan(
+            &self.pool,
+            &self.catalog,
+            plan,
+            params,
+            self.current_timestamp,
+            self.sort_budget_rows(),
+        )?;
+        Ok(Self::plan_result(plan, rows))
+    }
+
+    /// `(hits, misses)` of the prepared-plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.plan_cache.hits.load(Ordering::Relaxed),
+            self.plan_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn invalidate_plans(&self) {
+        self.plan_cache
+            .plans
+            .write()
+            .expect("plan cache poisoned")
+            .clear();
+    }
+
+    fn plan_result(plan: &ExecPlan, rows: Vec<Row>) -> ResultSet {
         ResultSet {
-            columns: rel.cols.into_iter().map(|c| c.name).collect(),
-            rows: rel.rows,
+            columns: if plan.explain_only {
+                vec!["plan".to_owned()]
+            } else {
+                plan.columns.clone()
+            },
+            rows,
             affected: 0,
         }
     }
 
     fn run(&mut self, stmt: &crate::sql::Statement) -> DbResult<ResultSet> {
         let budget = self.sort_budget_rows();
-        match run_statement(
-            &self.pool,
-            &mut self.catalog,
-            self.current_timestamp,
-            budget,
-            stmt,
-        )? {
-            StmtResult::Rows(rel) => Ok(Self::rows_result(rel)),
-            StmtResult::Affected(n) => Ok(ResultSet {
-                affected: n,
-                ..Default::default()
-            }),
-            StmtResult::Done => Ok(ResultSet::default()),
+        match stmt {
+            // SELECT/EXPLAIN go through the planner (uncached: `execute`
+            // is the one-shot path; repeat queries belong on `query`).
+            Statement::Select(q) => {
+                let plan = prepare_plan(&self.catalog, q, false)?;
+                let rows = execute_plan(
+                    &self.pool,
+                    &self.catalog,
+                    &plan,
+                    &[],
+                    self.current_timestamp,
+                    budget,
+                )?;
+                Ok(Self::plan_result(&plan, rows))
+            }
+            Statement::Explain(q) => {
+                let plan = prepare_plan(&self.catalog, q, true)?;
+                let rows = execute_plan(
+                    &self.pool,
+                    &self.catalog,
+                    &plan,
+                    &[],
+                    self.current_timestamp,
+                    budget,
+                )?;
+                Ok(Self::plan_result(&plan, rows))
+            }
+            _ => {
+                let res = run_statement(
+                    &self.pool,
+                    &mut self.catalog,
+                    self.current_timestamp,
+                    budget,
+                    stmt,
+                )?;
+                match res {
+                    StmtResult::Rows(rel) => Ok(ResultSet {
+                        columns: rel.cols.into_iter().map(|c| c.name).collect(),
+                        rows: rel.rows,
+                        affected: 0,
+                    }),
+                    StmtResult::Affected(n) => Ok(ResultSet {
+                        affected: n,
+                        ..Default::default()
+                    }),
+                    StmtResult::Done => {
+                        // DDL changed the catalog out from under any
+                        // cached plans.
+                        self.invalidate_plans();
+                        Ok(ResultSet::default())
+                    }
+                }
+            }
         }
     }
 

@@ -97,6 +97,20 @@ pub enum Expr {
     InList(Box<Expr>, Vec<Value>, /*negated=*/ bool),
     /// `expr IS NULL` / `IS NOT NULL`.
     IsNull(Box<Expr>, /*negated=*/ bool),
+    /// `?` placeholder (0-based). Plans keep these symbolic; the executor
+    /// substitutes the bound value per execution. Evaluating one directly
+    /// is an error — a plan leaked out without specialization.
+    Param(usize),
+    /// Scalar subquery slot: index into the enclosing plan's subquery
+    /// list. Substituted with the subquery's value per execution.
+    SubScalar(usize),
+    /// `expr [NOT] IN (subquery slot)`. Substituted with [`Expr::InList`]
+    /// once the subquery has run (per execution, so a mutated source
+    /// table is observed by cached prepared plans).
+    InSub(Box<Expr>, usize, /*negated=*/ bool),
+    /// `current timestamp` — reads the session clock at execution time,
+    /// so cached plans see clock updates.
+    Now,
 }
 
 impl Expr {
@@ -167,6 +181,13 @@ impl Expr {
                 let v = e.eval(row)?;
                 Ok(Value::Int((v.is_null() != *negated) as i64))
             }
+            Expr::Param(i) => Err(DbError::Eval(format!(
+                "unbound parameter ?{} (execute through a prepared statement)",
+                i + 1
+            ))),
+            Expr::SubScalar(_) | Expr::InSub(..) | Expr::Now => Err(DbError::Eval(
+                "unspecialized plan expression evaluated directly".into(),
+            )),
         }
     }
 
@@ -181,6 +202,10 @@ impl Expr {
             Expr::Call(f, args) => Expr::Call(*f, args.iter().map(|a| a.remap(map)).collect()),
             Expr::InList(e, list, n) => Expr::InList(Box::new(e.remap(map)), list.clone(), *n),
             Expr::IsNull(e, n) => Expr::IsNull(Box::new(e.remap(map)), *n),
+            Expr::Param(i) => Expr::Param(*i),
+            Expr::SubScalar(i) => Expr::SubScalar(*i),
+            Expr::InSub(e, s, n) => Expr::InSub(Box::new(e.remap(map)), *s, *n),
+            Expr::Now => Expr::Now,
         }
     }
 }

@@ -205,6 +205,43 @@ impl HeapFile {
         })
     }
 
+    /// Fetch many records, one page access per *run* of same-page rids.
+    /// Callers that sort their rid lists (the index-scan path) therefore
+    /// pay one logical read per distinct page instead of one per record.
+    /// Results are in input order.
+    pub fn get_many(&self, pool: &BufferPool, rids: &[Rid]) -> DbResult<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(rids.len());
+        let mut i = 0usize;
+        while i < rids.len() {
+            let pid = rids[i].page;
+            if !self.pages.contains(&pid) {
+                return Err(DbError::BadRid {
+                    page: pid,
+                    slot: rids[i].slot,
+                });
+            }
+            let mut j = i;
+            while j < rids.len() && rids[j].page == pid {
+                j += 1;
+            }
+            let recs: Vec<Option<Vec<u8>>> = pool.with_page(pid, |b| {
+                let s = SlottedRef(b);
+                rids[i..j]
+                    .iter()
+                    .map(|r| s.record(r.slot).map(<[u8]>::to_vec))
+                    .collect()
+            })?;
+            for (r, rec) in rids[i..j].iter().zip(recs) {
+                out.push(rec.ok_or(DbError::BadRid {
+                    page: r.page,
+                    slot: r.slot,
+                })?);
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
     /// Delete the record at `rid`.
     pub fn delete(&mut self, pool: &BufferPool, rid: Rid) -> DbResult<()> {
         let idx = self

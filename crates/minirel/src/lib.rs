@@ -61,10 +61,11 @@ pub mod wal;
 
 pub use buffer::{BufferPool, EvictionPolicy, IoStats};
 pub use catalog::{Catalog, IndexInfo, TableId, TableInfo};
-pub use db::{wal_path_for, Database, ResultSet};
+pub use db::{wal_path_for, Database, Prepared, ResultSet};
 pub use error::{DbError, DbResult};
 pub use heap::Rid;
 pub use recovery::Replica;
 pub use schema::{Column, ColumnType, Schema};
+pub use sql::ExecPlan;
 pub use value::Value;
 pub use wal::{Wal, DEFAULT_GROUP_COMMIT};

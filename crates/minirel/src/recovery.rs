@@ -511,6 +511,14 @@ impl Replica {
         self.shared.db.read().query(sql)
     }
 
+    /// [`Replica::query`] with positional `?` parameter bindings. The
+    /// plan cache lives in the follower database, so repeated monitor
+    /// queries re-plan only after a catalog-changing commit is applied
+    /// (which swaps the catalog and invalidates cached plans).
+    pub fn query_with(&self, sql: &str, params: &[crate::value::Value]) -> DbResult<ResultSet> {
+        self.shared.db.read().query_with(sql, params)
+    }
+
     /// Run `f` over the follower database under the read lock.
     pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
         f(&self.shared.db.read())

@@ -59,6 +59,9 @@ pub enum Statement {
         /// Table to drop.
         name: String,
     },
+    /// `EXPLAIN <select>` — plan the query and return its logical and
+    /// physical plan as rows instead of executing it.
+    Explain(Box<SelectStmt>),
 }
 
 /// Row source of an INSERT.
@@ -216,6 +219,9 @@ pub enum AstExpr {
     },
     /// `current timestamp` — bound to the session clock.
     CurrentTimestamp,
+    /// `?` placeholder, numbered left to right from 0 across the
+    /// statement. Bound to a caller-supplied value at execution time.
+    Param(usize),
 }
 
 impl AstExpr {

@@ -48,6 +48,8 @@ pub enum Token {
     Gt,
     /// `>=`
     Ge,
+    /// `?` — prepared-statement parameter placeholder.
+    Question,
 }
 
 impl Token {
@@ -79,6 +81,7 @@ impl fmt::Display for Token {
             Token::Le => write!(f, "<="),
             Token::Gt => write!(f, ">"),
             Token::Ge => write!(f, ">="),
+            Token::Question => write!(f, "?"),
         }
     }
 }
@@ -248,6 +251,10 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
             }
             b'.' => {
                 out.push(Token::Dot);
+                i += 1;
+            }
+            b'?' => {
+                out.push(Token::Question);
                 i += 1;
             }
             other => {

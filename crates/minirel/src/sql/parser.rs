@@ -16,7 +16,11 @@ const RESERVED: &[&str] = &[
 /// Parse one SQL statement (a trailing `;` is allowed).
 pub fn parse_statement(sql: &str) -> DbResult<Statement> {
     let toks = tokenize(sql)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_semi();
     if p.pos != p.toks.len() {
@@ -28,7 +32,11 @@ pub fn parse_statement(sql: &str) -> DbResult<Statement> {
 /// Parse a `;`-separated script into statements.
 pub fn parse_script(sql: &str) -> DbResult<Vec<Statement>> {
     let toks = tokenize(sql)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
     let mut out = Vec::new();
     while p.pos < p.toks.len() {
         out.push(p.statement()?);
@@ -40,6 +48,8 @@ pub fn parse_script(sql: &str) -> DbResult<Vec<Statement>> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// `?` placeholders seen so far — numbers them left to right.
+    params: usize,
 }
 
 impl Parser {
@@ -121,6 +131,9 @@ impl Parser {
     }
 
     fn statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(Box::new(self.select()?)));
+        }
         if self.at_kw("select") || self.at_kw("with") {
             return Ok(Statement::Select(Box::new(self.select()?)));
         }
@@ -611,6 +624,12 @@ impl Parser {
             Some(Token::Str(s)) => {
                 self.bump();
                 Ok(AstExpr::Str(s))
+            }
+            Some(Token::Question) => {
+                self.bump();
+                let n = self.params;
+                self.params += 1;
+                Ok(AstExpr::Param(n))
             }
             Some(Token::LParen) => {
                 self.bump();

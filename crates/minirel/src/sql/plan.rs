@@ -1,0 +1,1016 @@
+//! Logical planning: bound SELECT → relational algebra.
+//!
+//! [`plan_select_stmt`] turns a parsed `SelectStmt` into a [`SelectPlan`]:
+//! a tree of [`Logical`] operators plus the subsidiary plans it depends
+//! on (CTEs and uncorrelated subqueries). Planning performs the rewrites
+//! the interpreter used to do implicitly, but as explicit, inspectable
+//! structure:
+//!
+//! * **Predicate pushdown** — WHERE conjuncts that bind against a single
+//!   source move into that source's scan node, where the lowering layer
+//!   can turn them into index probes or pruned heap scans.
+//! * **Projection pruning** — the set of referenced column names is
+//!   computed once and recorded on each scan as a keep-mask.
+//! * **Equi-join reordering** — comma-joined sources are joined greedily
+//!   by estimated cardinality (catalog row counts × per-predicate
+//!   selectivities) instead of textual order. The *output column order*
+//!   contract is preserved by simulating the interpreter's textual
+//!   greedy order symbolically and emitting a [`Logical::Permute`] above
+//!   the reordered join tree, so `select *` and name resolution are
+//!   byte-identical to the reference engine.
+//!
+//! Parameters (`?`), `current timestamp`, and uncorrelated subqueries
+//! stay **symbolic** in the plan ([`Expr::Param`], [`Expr::Now`],
+//! [`Expr::SubScalar`], [`Expr::InSub`]); the executor substitutes them
+//! per execution, which is what makes cached prepared plans see fresh
+//! parameter values, clocks, and subquery source tables.
+//!
+//! No I/O happens here beyond reading catalog statistics; all page
+//! traffic belongs to [`super::lower`].
+
+use crate::catalog::{Catalog, TableId};
+use crate::error::{DbError, DbResult};
+use crate::exec::agg::{AggCall, AggKind};
+use crate::exec::expr::{BinOp, Expr, Func, UnOp};
+use crate::sql::ast::*;
+use crate::sql::bind::{
+    ast_eq_loose, bindable, dealias, equi_keys, gather_cols, output_name, resolve_col, BoundCol,
+};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A planned SELECT: its CTEs, its uncorrelated subqueries, and the
+/// operator tree over them.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    /// CTE plans in definition order; each fills its slot before the body
+    /// runs.
+    pub ctes: Vec<CtePlan>,
+    /// Uncorrelated subquery plans, executed (in order) before the body's
+    /// expressions are specialized.
+    pub subs: Vec<SubPlan>,
+    /// The operator tree.
+    pub root: Logical,
+    /// Output column names.
+    pub out_cols: Vec<BoundCol>,
+    /// Row-count estimate of the output.
+    pub est_rows: f64,
+}
+
+/// One CTE: a plan whose result is materialized into `slot`.
+#[derive(Debug, Clone)]
+pub struct CtePlan {
+    /// CTE name (for EXPLAIN).
+    pub name: String,
+    /// Global materialization slot (unique across the whole statement).
+    pub slot: usize,
+    /// Defining query.
+    pub plan: SelectPlan,
+}
+
+/// What an uncorrelated subquery's result is used as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubKind {
+    /// Scalar value ([`Expr::SubScalar`]); 0 rows → NULL, >1 rows → error.
+    Scalar,
+    /// Value list for `IN` ([`Expr::InSub`]).
+    List,
+}
+
+/// One uncorrelated subquery of a select body.
+#[derive(Debug, Clone)]
+pub struct SubPlan {
+    /// How the body consumes the result.
+    pub kind: SubKind,
+    /// The subquery's plan.
+    pub plan: SelectPlan,
+}
+
+/// Logical operators. Expressions are bound (positional); every node's
+/// output arity is recoverable via [`arity`].
+#[derive(Debug, Clone)]
+pub enum Logical {
+    /// SELECT without FROM: one empty row.
+    Nothing,
+    /// Base-table scan with pushed-down filters and a keep-mask for
+    /// projection pruning (`None` = all columns needed).
+    Scan {
+        /// Table name (for EXPLAIN).
+        table: String,
+        /// Catalog id.
+        tid: TableId,
+        /// Schema arity (rows keep full width; pruned columns are NULL).
+        arity: usize,
+        /// Which columns must actually be decoded.
+        keep: Option<Vec<bool>>,
+        /// Pushed-down predicates, in consumption order.
+        filters: Vec<Expr>,
+    },
+    /// Scan of a materialized CTE slot.
+    CteScan {
+        /// CTE name (for EXPLAIN).
+        name: String,
+        /// Materialization slot.
+        slot: usize,
+        /// Output arity.
+        arity: usize,
+        /// Pushed-down predicates.
+        filters: Vec<Expr>,
+    },
+    /// Equi-join (lowering picks sort-merge or nested-loop).
+    Join {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+        /// Left key columns.
+        lk: Vec<usize>,
+        /// Right key columns.
+        rk: Vec<usize>,
+        /// LEFT OUTER?
+        outer: bool,
+        /// Estimated left input rows (drives the lowering choice).
+        lest: f64,
+        /// Estimated right input rows.
+        rest: f64,
+    },
+    /// Nested-loop join with an arbitrary predicate over the
+    /// concatenated row (`Lit(1)` = cartesian product).
+    NlJoin {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+        /// Join predicate over `left ++ right`.
+        pred: Expr,
+        /// LEFT OUTER?
+        outer: bool,
+    },
+    /// Column permutation restoring the interpreter's canonical column
+    /// order above a cost-reordered join tree: output column `j` is
+    /// input column `map[j]`.
+    Permute {
+        /// Input.
+        input: Box<Logical>,
+        /// Canonical position → physical position.
+        map: Vec<usize>,
+    },
+    /// Residual predicates, applied in order.
+    Filter {
+        /// Input.
+        input: Box<Logical>,
+        /// Predicates; a row must pass all, evaluated left to right.
+        preds: Vec<Expr>,
+    },
+    /// Hash aggregation; output columns are `group values ++ aggregates`.
+    Agg {
+        /// Input.
+        input: Box<Logical>,
+        /// Group-by expressions.
+        group: Vec<Expr>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+    },
+    /// External sort.
+    Sort {
+        /// Input.
+        input: Box<Logical>,
+        /// `(key expr, descending)` pairs.
+        keys: Vec<(Expr, bool)>,
+    },
+    /// LIMIT (applied before projection, as the dialect specifies).
+    Limit {
+        /// Input.
+        input: Box<Logical>,
+        /// Max rows.
+        n: u64,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Logical>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+    },
+    /// DISTINCT over projected rows.
+    Distinct {
+        /// Input.
+        input: Box<Logical>,
+    },
+}
+
+/// Output arity of a logical node.
+pub fn arity(node: &Logical) -> usize {
+    match node {
+        Logical::Nothing => 0,
+        Logical::Scan { arity, .. } | Logical::CteScan { arity, .. } => *arity,
+        Logical::Join { left, right, .. } | Logical::NlJoin { left, right, .. } => {
+            arity(left) + arity(right)
+        }
+        Logical::Permute { map, .. } => map.len(),
+        Logical::Filter { input, .. }
+        | Logical::Sort { input, .. }
+        | Logical::Limit { input, .. }
+        | Logical::Distinct { input } => arity(input),
+        Logical::Agg { group, aggs, .. } => group.len() + aggs.len(),
+        Logical::Project { exprs, .. } => exprs.len(),
+    }
+}
+
+/// Per-conjunct selectivity guesses (classic System R constants, scaled
+/// for the crawler's skewed columns).
+fn selectivity(c: &AstExpr) -> f64 {
+    match c {
+        AstExpr::Bin(BinOp::Eq, ..) => 0.05,
+        AstExpr::Bin(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, ..) => 0.3,
+        _ => 0.5,
+    }
+}
+
+/// Plan a SELECT statement. Returns the plan, the number of CTE slots the
+/// whole statement needs, and the number of `?` parameters it takes.
+pub fn plan_select_stmt(
+    catalog: &Catalog,
+    sel: &SelectStmt,
+) -> DbResult<(SelectPlan, usize, usize)> {
+    let mut p = Planner {
+        catalog,
+        scope: HashMap::new(),
+        next_slot: 0,
+        max_param: None,
+    };
+    let plan = p.plan_select(sel)?;
+    Ok((plan, p.next_slot, p.max_param.map_or(0, |m| m + 1)))
+}
+
+/// An in-scope CTE: its slot and output shape.
+#[derive(Clone)]
+struct CteInfo {
+    slot: usize,
+    cols: Vec<BoundCol>,
+    est: f64,
+}
+
+/// One FROM source before joins: its columns and its (filter-bearing)
+/// scan node.
+struct Src {
+    cols: Vec<BoundCol>,
+    node: Logical,
+    est: f64,
+}
+
+struct Planner<'a> {
+    catalog: &'a Catalog,
+    /// Lexical CTE scope (saved/restored around each SELECT).
+    scope: HashMap<String, CteInfo>,
+    /// Next global CTE slot.
+    next_slot: usize,
+    /// Highest `?` index seen.
+    max_param: Option<usize>,
+}
+
+impl<'a> Planner<'a> {
+    fn plan_select(&mut self, sel: &SelectStmt) -> DbResult<SelectPlan> {
+        let saved = self.scope.clone();
+        let result = self.plan_select_inner(sel);
+        self.scope = saved;
+        result
+    }
+
+    fn plan_select_inner(&mut self, sel: &SelectStmt) -> DbResult<SelectPlan> {
+        let mut ctes = Vec::new();
+        for cte in &sel.ctes {
+            let plan = self.plan_select(&cte.query)?;
+            let cols: Vec<BoundCol> = if !cte.cols.is_empty() {
+                if cte.cols.len() != plan.out_cols.len() {
+                    return Err(DbError::Binding(format!(
+                        "CTE {} declares {} columns but query produces {}",
+                        cte.name,
+                        cte.cols.len(),
+                        plan.out_cols.len()
+                    )));
+                }
+                cte.cols
+                    .iter()
+                    .map(|n| BoundCol {
+                        qualifier: Some(cte.name.clone()),
+                        name: n.clone(),
+                    })
+                    .collect()
+            } else {
+                plan.out_cols
+                    .iter()
+                    .map(|c| BoundCol {
+                        qualifier: Some(cte.name.clone()),
+                        name: c.name.clone(),
+                    })
+                    .collect()
+            };
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.scope.insert(
+                cte.name.clone(),
+                CteInfo {
+                    slot,
+                    cols,
+                    est: plan.est_rows,
+                },
+            );
+            ctes.push(CtePlan {
+                name: cte.name.clone(),
+                slot,
+                plan,
+            });
+        }
+        let mut subs = Vec::new();
+        let (root, out_cols, est_rows) = self.plan_body(sel, &mut subs)?;
+        Ok(SelectPlan {
+            ctes,
+            subs,
+            root,
+            out_cols,
+            est_rows,
+        })
+    }
+
+    // ------------------------------------------------------------ binding
+
+    /// Bind an AST expression against `cols`, planning any subqueries it
+    /// contains into `subs`.
+    fn bind_expr(
+        &mut self,
+        e: &AstExpr,
+        cols: &[BoundCol],
+        subs: &mut Vec<SubPlan>,
+    ) -> DbResult<Expr> {
+        match e {
+            AstExpr::Column { qualifier, name } => {
+                let i = resolve_col(cols, qualifier.as_deref(), name)?;
+                Ok(Expr::Col(i))
+            }
+            AstExpr::Int(i) => Ok(Expr::Lit(Value::Int(*i))),
+            AstExpr::Float(f) => Ok(Expr::Lit(Value::Float(*f))),
+            AstExpr::Str(s) => Ok(Expr::Lit(Value::Str(s.clone()))),
+            AstExpr::Null => Ok(Expr::Lit(Value::Null)),
+            AstExpr::CurrentTimestamp => Ok(Expr::Now),
+            AstExpr::Param(i) => {
+                self.max_param = Some(self.max_param.map_or(*i, |m| m.max(*i)));
+                Ok(Expr::Param(*i))
+            }
+            AstExpr::Bin(op, l, r) => Ok(Expr::bin(
+                *op,
+                self.bind_expr(l, cols, subs)?,
+                self.bind_expr(r, cols, subs)?,
+            )),
+            AstExpr::Neg(x) => Ok(Expr::Un(
+                UnOp::Neg,
+                Box::new(self.bind_expr(x, cols, subs)?),
+            )),
+            AstExpr::Not(x) => Ok(Expr::Un(
+                UnOp::Not,
+                Box::new(self.bind_expr(x, cols, subs)?),
+            )),
+            AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull(
+                Box::new(self.bind_expr(expr, cols, subs)?),
+                *negated,
+            )),
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let bound = self.bind_expr(expr, cols, subs)?;
+                // List items are row-free (the interpreter evaluates them
+                // eagerly at bind time). Fold constant items to values;
+                // items holding deferred leaves (params, subqueries, the
+                // clock) force a desugared comparison chain instead.
+                let items: Vec<Expr> = list
+                    .iter()
+                    .map(|item| self.bind_expr(item, &[], subs))
+                    .collect::<DbResult<_>>()?;
+                if items.iter().all(|it| !has_deferred(it)) {
+                    let empty: crate::value::Row = Vec::new();
+                    let mut vals = Vec::with_capacity(items.len());
+                    for it in &items {
+                        vals.push(it.eval(&empty)?);
+                    }
+                    return Ok(Expr::InList(Box::new(bound), vals, *negated));
+                }
+                // v IN (a, b) → v = a OR v = b (NULL probe yields false on
+                // its own); v NOT IN (a, b) needs an explicit NULL-probe
+                // guard to keep the engine's "NULL NOT IN → false" rule.
+                let mut chain = Expr::Lit(Value::Int(0));
+                for (i, it) in items.into_iter().enumerate() {
+                    let eq = Expr::bin(BinOp::Eq, bound.clone(), it);
+                    chain = if i == 0 {
+                        eq
+                    } else {
+                        Expr::bin(BinOp::Or, chain, eq)
+                    };
+                }
+                if *negated {
+                    Ok(Expr::bin(
+                        BinOp::And,
+                        Expr::Un(UnOp::Not, Box::new(Expr::IsNull(Box::new(bound), false))),
+                        Expr::Un(UnOp::Not, Box::new(chain)),
+                    ))
+                } else {
+                    Ok(chain)
+                }
+            }
+            AstExpr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let bound = self.bind_expr(expr, cols, subs)?;
+                let plan = self.plan_select(query)?;
+                if plan.out_cols.len() != 1 {
+                    return Err(DbError::Binding(
+                        "IN subquery must produce exactly one column".into(),
+                    ));
+                }
+                let idx = subs.len();
+                subs.push(SubPlan {
+                    kind: SubKind::List,
+                    plan,
+                });
+                Ok(Expr::InSub(Box::new(bound), idx, *negated))
+            }
+            AstExpr::ScalarSubquery(query) => {
+                let plan = self.plan_select(query)?;
+                if plan.out_cols.len() != 1 {
+                    return Err(DbError::Binding(
+                        "scalar subquery must produce exactly one column".into(),
+                    ));
+                }
+                let idx = subs.len();
+                subs.push(SubPlan {
+                    kind: SubKind::Scalar,
+                    plan,
+                });
+                Ok(Expr::SubScalar(idx))
+            }
+            AstExpr::Call { name, args, star } => {
+                if *star || AggKind::parse(name).is_some() {
+                    return Err(DbError::Binding(format!(
+                        "aggregate {name}() is not allowed in this context"
+                    )));
+                }
+                let f = Func::parse(name)
+                    .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
+                let bound: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.bind_expr(a, cols, subs))
+                    .collect::<DbResult<_>>()?;
+                Ok(Expr::Call(f, bound))
+            }
+        }
+    }
+
+    /// Planner twin of the interpreter's aggregate-context rewrite:
+    /// projection/order expressions become expressions over
+    /// `[group values ++ aggregate results]`.
+    fn rewrite_agg(
+        &mut self,
+        e: &AstExpr,
+        group_by: &[AstExpr],
+        input: &[BoundCol],
+        aggs: &mut Vec<AggCall>,
+        subs: &mut Vec<SubPlan>,
+    ) -> DbResult<Expr> {
+        for (i, g) in group_by.iter().enumerate() {
+            if ast_eq_loose(e, g) {
+                return Ok(Expr::Col(i));
+            }
+        }
+        match e {
+            AstExpr::Call { name, args, star } => {
+                if let Some(kind) = AggKind::parse(name) {
+                    let kind = if *star { AggKind::CountStar } else { kind };
+                    let arg = if *star {
+                        Expr::Lit(Value::Int(1))
+                    } else {
+                        if args.len() != 1 {
+                            return Err(DbError::Binding(format!(
+                                "{name}() takes exactly one argument"
+                            )));
+                        }
+                        self.bind_expr(&args[0], input, subs)?
+                    };
+                    let idx = group_by.len() + aggs.len();
+                    aggs.push(AggCall { kind, arg });
+                    return Ok(Expr::Col(idx));
+                }
+                let f = Func::parse(name)
+                    .ok_or_else(|| DbError::Binding(format!("unknown function {name}()")))?;
+                let rewritten: Vec<Expr> = args
+                    .iter()
+                    .map(|a| self.rewrite_agg(a, group_by, input, aggs, subs))
+                    .collect::<DbResult<_>>()?;
+                Ok(Expr::Call(f, rewritten))
+            }
+            AstExpr::Bin(op, l, r) => Ok(Expr::bin(
+                *op,
+                self.rewrite_agg(l, group_by, input, aggs, subs)?,
+                self.rewrite_agg(r, group_by, input, aggs, subs)?,
+            )),
+            AstExpr::Neg(x) => Ok(Expr::Un(
+                UnOp::Neg,
+                Box::new(self.rewrite_agg(x, group_by, input, aggs, subs)?),
+            )),
+            AstExpr::Not(x) => Ok(Expr::Un(
+                UnOp::Not,
+                Box::new(self.rewrite_agg(x, group_by, input, aggs, subs)?),
+            )),
+            AstExpr::Int(_)
+            | AstExpr::Float(_)
+            | AstExpr::Str(_)
+            | AstExpr::Null
+            | AstExpr::CurrentTimestamp
+            | AstExpr::Param(_)
+            | AstExpr::ScalarSubquery(_) => self.bind_expr(e, &[], subs),
+            AstExpr::Column { qualifier, name } => Err(DbError::Binding(format!(
+                "column {}{name} must appear in GROUP BY or inside an aggregate",
+                qualifier
+                    .as_deref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default()
+            ))),
+            other => Err(DbError::Binding(format!(
+                "unsupported expression in aggregate context: {other:?}"
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------ sources
+
+    fn load_src(
+        &mut self,
+        item: &FromItem,
+        wanted: Option<&std::collections::HashSet<String>>,
+    ) -> DbResult<Src> {
+        let binding = item.binding_name().to_ascii_lowercase();
+        if let Some(info) = self.scope.get(&item.table) {
+            let cols: Vec<BoundCol> = info
+                .cols
+                .iter()
+                .map(|c| BoundCol {
+                    qualifier: Some(binding.clone()),
+                    name: c.name.clone(),
+                })
+                .collect();
+            let arity = cols.len();
+            return Ok(Src {
+                cols,
+                node: Logical::CteScan {
+                    name: item.table.clone(),
+                    slot: info.slot,
+                    arity,
+                    filters: vec![],
+                },
+                est: info.est,
+            });
+        }
+        let tid = self.catalog.table_id(&item.table)?;
+        let t = self.catalog.table(tid);
+        let cols: Vec<BoundCol> = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| BoundCol {
+                qualifier: Some(binding.clone()),
+                name: c.name.clone(),
+            })
+            .collect();
+        let keep = wanted.map(|names| {
+            cols.iter()
+                .map(|c| names.contains(&c.name))
+                .collect::<Vec<_>>()
+        });
+        let arity = cols.len();
+        Ok(Src {
+            cols,
+            node: Logical::Scan {
+                table: item.table.clone(),
+                tid,
+                arity,
+                keep,
+                filters: vec![],
+            },
+            est: (t.heap.len() as f64).max(1.0),
+        })
+    }
+
+    /// Push every still-unconsumed conjunct that binds against this
+    /// source alone into its scan node.
+    fn apply_pushdown(
+        &mut self,
+        src: &mut Src,
+        conjs: &[AstExpr],
+        consumed: &mut [bool],
+        subs: &mut Vec<SubPlan>,
+    ) -> DbResult<()> {
+        for (i, c) in conjs.iter().enumerate() {
+            if !consumed[i] && bindable(c, &src.cols) {
+                consumed[i] = true;
+                let e = self.bind_expr(c, &src.cols, subs)?;
+                src.est = (src.est * selectivity(c)).max(1.0);
+                add_filter(&mut src.node, e);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ body
+
+    #[allow(clippy::type_complexity)]
+    fn plan_body(
+        &mut self,
+        sel: &SelectStmt,
+        subs: &mut Vec<SubPlan>,
+    ) -> DbResult<(Logical, Vec<BoundCol>, f64)> {
+        let wanted = gather_cols(sel);
+        let where_conjuncts: Vec<AstExpr> = sel
+            .where_
+            .clone()
+            .map(AstExpr::conjuncts)
+            .unwrap_or_default();
+        let mut consumed = vec![false; where_conjuncts.len()];
+
+        let mut acc: Src = if sel.from.is_empty() {
+            Src {
+                cols: vec![],
+                node: Logical::Nothing,
+                est: 1.0,
+            }
+        } else {
+            self.load_src(&sel.from[0].item, wanted.as_ref())?
+        };
+        self.apply_pushdown(&mut acc, &where_conjuncts, &mut consumed, subs)?;
+
+        // Explicit JOIN ... ON items fold into `acc` in textual order
+        // (both engines agree); comma items accumulate for the greedy
+        // ordering below.
+        let mut pending: Vec<(usize, Src)> = Vec::new();
+        let mut next_id = 1usize;
+        for fc in sel.from.iter().skip(1) {
+            match fc.kind {
+                JoinKind::Cross => {
+                    let mut s = self.load_src(&fc.item, wanted.as_ref())?;
+                    self.apply_pushdown(&mut s, &where_conjuncts, &mut consumed, subs)?;
+                    pending.push((next_id, s));
+                    next_id += 1;
+                }
+                JoinKind::Inner | JoinKind::LeftOuter => {
+                    let mut rel = self.load_src(&fc.item, wanted.as_ref())?;
+                    if fc.kind == JoinKind::Inner {
+                        self.apply_pushdown(&mut rel, &where_conjuncts, &mut consumed, subs)?;
+                    }
+                    let on = fc
+                        .on
+                        .clone()
+                        .ok_or_else(|| DbError::Binding("JOIN requires an ON predicate".into()))?;
+                    let on_conj = on.clone().conjuncts();
+                    let (used, lk, rk) = equi_keys(&on_conj, &acc.cols, &rel.cols);
+                    let outer = fc.kind == JoinKind::LeftOuter;
+                    if used.len() == on_conj.len() && !lk.is_empty() {
+                        acc = join_src(acc, rel, lk, rk, outer);
+                    } else {
+                        let cols: Vec<BoundCol> =
+                            acc.cols.iter().chain(rel.cols.iter()).cloned().collect();
+                        let pred = self.bind_expr(&on, &cols, subs)?;
+                        let est = (acc.est * rel.est * 0.5).max(1.0);
+                        acc = Src {
+                            cols,
+                            node: Logical::NlJoin {
+                                left: Box::new(acc.node),
+                                right: Box::new(rel.node),
+                                pred,
+                                outer,
+                            },
+                            est,
+                        };
+                    }
+                }
+            }
+        }
+
+        // --- canonical column order: simulate the interpreter's textual
+        // greedy join order symbolically (it is data-independent) ---
+        let mut canon_cols: Vec<BoundCol> = acc.cols.clone();
+        let mut canon_order: Vec<(usize, usize)> = vec![(0, acc.cols.len())];
+        {
+            let mut consumed_c = consumed.clone();
+            let mut pend: Vec<(usize, Vec<BoundCol>)> = pending
+                .iter()
+                .map(|(id, s)| (*id, s.cols.clone()))
+                .collect();
+            while !pend.is_empty() {
+                let unconsumed: Vec<AstExpr> = where_conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !consumed_c[*i])
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                let unconsumed_idx: Vec<usize> = (0..where_conjuncts.len())
+                    .filter(|i| !consumed_c[*i])
+                    .collect();
+                let mut chosen: Option<(usize, Vec<usize>)> = None;
+                for (pi, (_, cols)) in pend.iter().enumerate() {
+                    let (used, lk, _) = equi_keys(&unconsumed, &canon_cols, cols);
+                    if !lk.is_empty() {
+                        chosen = Some((pi, used));
+                        break;
+                    }
+                }
+                let (pi, used) = chosen.unwrap_or((0, Vec::new()));
+                for u in used {
+                    consumed_c[unconsumed_idx[u]] = true;
+                }
+                let (id, cols) = pend.remove(pi);
+                canon_order.push((id, cols.len()));
+                canon_cols.extend(cols);
+            }
+        }
+
+        // --- physical join order: greedy by estimated cardinality ---
+        let mut phys_order: Vec<(usize, usize)> = vec![(0, canon_order[0].1)];
+        while !pending.is_empty() {
+            let unconsumed: Vec<AstExpr> = where_conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !consumed[*i])
+                .map(|(_, c)| c.clone())
+                .collect();
+            let unconsumed_idx: Vec<usize> = (0..where_conjuncts.len())
+                .filter(|i| !consumed[*i])
+                .collect();
+            let mut best: Option<(usize, Vec<usize>, Vec<usize>, Vec<usize>)> = None;
+            for (pi, (_, s)) in pending.iter().enumerate() {
+                let (used, lk, rk) = equi_keys(&unconsumed, &acc.cols, &s.cols);
+                if !lk.is_empty() {
+                    let better = match &best {
+                        None => true,
+                        Some((bpi, ..)) => s.est < pending[*bpi].1.est,
+                    };
+                    if better {
+                        best = Some((pi, used, lk, rk));
+                    }
+                }
+            }
+            match best {
+                Some((pi, used, lk, rk)) => {
+                    for u in used {
+                        consumed[unconsumed_idx[u]] = true;
+                    }
+                    let (id, s) = pending.remove(pi);
+                    phys_order.push((id, s.cols.len()));
+                    acc = join_src(acc, s, lk, rk, false);
+                }
+                None => {
+                    // Cartesian: take the smallest estimated side first to
+                    // keep the intermediate product small.
+                    let pi = (0..pending.len())
+                        .min_by(|&a, &b| {
+                            pending[a]
+                                .1
+                                .est
+                                .partial_cmp(&pending[b].1.est)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("pending is non-empty");
+                    let (id, s) = pending.remove(pi);
+                    phys_order.push((id, s.cols.len()));
+                    let cols: Vec<BoundCol> =
+                        acc.cols.iter().chain(s.cols.iter()).cloned().collect();
+                    let est = (acc.est * s.est).max(1.0);
+                    acc = Src {
+                        cols,
+                        node: Logical::NlJoin {
+                            left: Box::new(acc.node),
+                            right: Box::new(s.node),
+                            pred: Expr::Lit(Value::Int(1)),
+                            outer: false,
+                        },
+                        est,
+                    };
+                }
+            }
+        }
+
+        // Restore canonical column order above the reordered join tree.
+        let mut node = acc.node;
+        if canon_order != phys_order {
+            let mut phys_off: HashMap<usize, usize> = HashMap::new();
+            let mut off = 0usize;
+            for (id, ar) in &phys_order {
+                phys_off.insert(*id, off);
+                off += ar;
+            }
+            let mut map = Vec::with_capacity(off);
+            for (id, ar) in &canon_order {
+                let base = phys_off[id];
+                map.extend(base..base + ar);
+            }
+            node = Logical::Permute {
+                input: Box::new(node),
+                map,
+            };
+        }
+        let mut est = acc.est;
+
+        // Residual WHERE conjuncts (everything not consumed by pushdown
+        // or physical join keys), bound against the canonical columns.
+        let residuals: Vec<Expr> = where_conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed[*i])
+            .map(|(_, c)| {
+                est = (est * selectivity(c)).max(1.0);
+                self.bind_expr(c, &canon_cols, subs)
+            })
+            .collect::<DbResult<_>>()?;
+        if !residuals.is_empty() {
+            node = Logical::Filter {
+                input: Box::new(node),
+                preds: residuals,
+            };
+        }
+
+        // ----- aggregation or plain projection -----
+        let has_agg = !sel.group_by.is_empty()
+            || sel.projections.iter().any(|p| match p {
+                Projection::Expr { expr, .. } => expr.has_aggregate(),
+                Projection::Star => false,
+            });
+        let aliases: Vec<(Option<String>, AstExpr)> = sel
+            .projections
+            .iter()
+            .filter_map(|p| match p {
+                Projection::Expr { expr, alias } => Some((alias.clone(), expr.clone())),
+                Projection::Star => None,
+            })
+            .collect();
+
+        let (proj_exprs, out_cols) = if has_agg {
+            let mut aggs: Vec<AggCall> = Vec::new();
+            let group_bound: Vec<Expr> = sel
+                .group_by
+                .iter()
+                .map(|g| self.bind_expr(g, &canon_cols, subs))
+                .collect::<DbResult<_>>()?;
+            let mut proj_exprs = Vec::new();
+            let mut out_cols = Vec::new();
+            for (i, p) in sel.projections.iter().enumerate() {
+                match p {
+                    Projection::Star => {
+                        return Err(DbError::Binding(
+                            "SELECT * is not allowed with GROUP BY/aggregates".into(),
+                        ))
+                    }
+                    Projection::Expr { expr, alias } => {
+                        let e =
+                            self.rewrite_agg(expr, &sel.group_by, &canon_cols, &mut aggs, subs)?;
+                        proj_exprs.push(e);
+                        out_cols.push(BoundCol {
+                            qualifier: None,
+                            name: output_name(expr, alias.as_ref(), i),
+                        });
+                    }
+                }
+            }
+            let order_keys: Vec<(Expr, bool)> = sel
+                .order_by
+                .iter()
+                .map(|(e, desc)| {
+                    let target = dealias(e, &aliases);
+                    let bound =
+                        self.rewrite_agg(&target, &sel.group_by, &canon_cols, &mut aggs, subs)?;
+                    Ok((bound, *desc))
+                })
+                .collect::<DbResult<_>>()?;
+            est = if sel.group_by.is_empty() {
+                1.0
+            } else {
+                est.sqrt().max(1.0)
+            };
+            node = Logical::Agg {
+                input: Box::new(node),
+                group: group_bound,
+                aggs,
+            };
+            if !order_keys.is_empty() {
+                node = Logical::Sort {
+                    input: Box::new(node),
+                    keys: order_keys,
+                };
+            }
+            (proj_exprs, out_cols)
+        } else {
+            let order_keys: Vec<(Expr, bool)> = sel
+                .order_by
+                .iter()
+                .map(|(e, desc)| {
+                    let target = dealias(e, &aliases);
+                    Ok((self.bind_expr(&target, &canon_cols, subs)?, *desc))
+                })
+                .collect::<DbResult<_>>()?;
+            if !order_keys.is_empty() {
+                node = Logical::Sort {
+                    input: Box::new(node),
+                    keys: order_keys,
+                };
+            }
+            let mut proj_exprs = Vec::new();
+            let mut out_cols = Vec::new();
+            for (i, p) in sel.projections.iter().enumerate() {
+                match p {
+                    Projection::Star => {
+                        for (j, c) in canon_cols.iter().enumerate() {
+                            proj_exprs.push(Expr::Col(j));
+                            out_cols.push(c.clone());
+                        }
+                    }
+                    Projection::Expr { expr, alias } => {
+                        proj_exprs.push(self.bind_expr(expr, &canon_cols, subs)?);
+                        out_cols.push(BoundCol {
+                            qualifier: None,
+                            name: output_name(expr, alias.as_ref(), i),
+                        });
+                    }
+                }
+            }
+            (proj_exprs, out_cols)
+        };
+
+        if let Some(n) = sel.limit {
+            node = Logical::Limit {
+                input: Box::new(node),
+                n,
+            };
+            est = est.min(n as f64);
+        }
+        node = Logical::Project {
+            input: Box::new(node),
+            exprs: proj_exprs,
+        };
+        if sel.distinct {
+            node = Logical::Distinct {
+                input: Box::new(node),
+            };
+        }
+        Ok((node, out_cols, est))
+    }
+}
+
+/// Does this bound expression hold an execution-time leaf (parameter,
+/// subquery slot, or the session clock)?
+fn has_deferred(e: &Expr) -> bool {
+    match e {
+        Expr::Param(_) | Expr::SubScalar(_) | Expr::InSub(..) | Expr::Now => true,
+        Expr::Col(_) | Expr::Lit(_) => false,
+        Expr::Bin(_, l, r) => has_deferred(l) || has_deferred(r),
+        Expr::Un(_, x) | Expr::IsNull(x, _) => has_deferred(x),
+        Expr::InList(x, _, _) => has_deferred(x),
+        Expr::Call(_, args) => args.iter().any(has_deferred),
+    }
+}
+
+/// Attach a pushed-down predicate to a source node.
+fn add_filter(node: &mut Logical, e: Expr) {
+    match node {
+        Logical::Scan { filters, .. } | Logical::CteScan { filters, .. } => filters.push(e),
+        Logical::Filter { preds, .. } => preds.push(e),
+        other => {
+            let input = std::mem::replace(other, Logical::Nothing);
+            *other = Logical::Filter {
+                input: Box::new(input),
+                preds: vec![e],
+            };
+        }
+    }
+}
+
+/// Combine two sources with an equi-join node.
+fn join_src(left: Src, right: Src, lk: Vec<usize>, rk: Vec<usize>, outer: bool) -> Src {
+    let cols: Vec<BoundCol> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
+    let est = if outer {
+        left.est.max(1.0)
+    } else {
+        left.est.max(right.est)
+    };
+    Src {
+        cols,
+        node: Logical::Join {
+            left: Box::new(left.node),
+            right: Box::new(right.node),
+            lk,
+            rk,
+            outer,
+            lest: left.est,
+            rest: right.est,
+        },
+        est,
+    }
+}

@@ -1,42 +1,43 @@
-//! Binding, planning, and execution of parsed statements.
+//! The reference interpreter: bind-and-evaluate execution of parsed
+//! statements.
 //!
-//! Planning is deliberately simple but covers the shapes the paper's SQL
-//! needs:
+//! SELECTs normally run through the staged planner ([`super::plan`] →
+//! [`super::lower`]); this module is the original one-pass engine, kept
+//! for two jobs:
 //!
-//! * **CTEs** materialize in order and are visible to later CTEs and the
-//!   body (Figure 3).
-//! * **Equi-joins** (explicit `ON` or comma-FROM + WHERE conjuncts) run as
-//!   sort-merge joins through the external sorter — the access path the
-//!   paper credits for its I/O wins; non-equi predicates fall back to
-//!   nested loops.
-//! * Single-relation predicates are **pushed down** below joins
-//!   (`taxonomy.pcid = c0` filters TAXONOMY before it joins).
-//! * Uncorrelated **IN subqueries** materialize to value lists;
-//!   uncorrelated **scalar subqueries** evaluate once at bind time
-//!   (Figure 4's `score / (select sum(score) from hubs)`).
-//! * Aggregation rewrites projections over `GROUP BY` outputs, so shapes
-//!   like `avg(exp(relevance))` and `sum(x)/count(y)` work.
+//! * **DML.** INSERT/UPDATE/DELETE (and DDL) still bind and evaluate
+//!   here — their read phases are tiny and their subtle points (e.g. an
+//!   UPDATE's scalar subquery seeing pre-update state) are encoded in
+//!   this code.
+//! * **Oracle.** The planner-equivalence suite runs every generated
+//!   query through both engines and compares row multisets, so this
+//!   interpreter is the executable spec the planner is tested against.
+//!
+//! Its planning is deliberately simple but covers the shapes the paper's
+//! SQL needs: CTEs materialize in order (Figure 3); equi-joins run as
+//! sort-merge through the external sorter; single-relation predicates
+//! are pushed below joins; uncorrelated IN subqueries materialize to
+//! value lists; uncorrelated scalar subqueries evaluate once at bind
+//! time; aggregation rewrites projections over GROUP BY outputs.
+//!
+//! Prepared-statement parameters (`?`) are *not* supported here — only
+//! planned queries take parameters, so this engine reports a binding
+//! error when it meets one.
 
 use crate::buffer::BufferPool;
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::exec::agg::{aggregate, AggCall, AggKind};
-use crate::exec::expr::{BinOp, Expr, Func, UnOp};
+use crate::exec::expr::{Expr, Func, UnOp};
 use crate::exec::join::{merge_join_inner, merge_join_left_outer, nested_loop_join};
 use crate::exec::sort::{external_sort, SortKey};
 use crate::sql::ast::*;
+use crate::sql::bind::{
+    ast_eq_loose, bindable, dealias, equi_keys, gather_cols, output_name, resolve_col, BoundCol,
+};
 use crate::value::{Row, Value};
 use std::collections::HashMap;
 use std::rc::Rc;
-
-/// A named output column of an intermediate relation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BoundCol {
-    /// Binding qualifier (table alias / CTE name); `None` for computed.
-    pub qualifier: Option<String>,
-    /// Column name (lower-cased).
-    pub name: String,
-}
 
 /// A materialized intermediate relation.
 #[derive(Debug, Clone, Default)]
@@ -156,6 +157,10 @@ pub fn run_statement(
             table,
             where_.as_ref(),
         ),
+        // EXPLAIN is a planner artifact; the interpreter has no plan to show.
+        Statement::Explain(_) => Err(DbError::Binding(
+            "EXPLAIN requires the planner (run it through Database::query)".into(),
+        )),
     }
 }
 
@@ -238,61 +243,10 @@ fn bind(ctx: &mut SqlCtx<'_>, e: &AstExpr, cols: &[BoundCol]) -> DbResult<Expr> 
                 .collect::<DbResult<_>>()?;
             Ok(Expr::Call(f, bound))
         }
-    }
-}
-
-fn resolve_col(cols: &[BoundCol], qualifier: Option<&str>, name: &str) -> DbResult<usize> {
-    let hits: Vec<usize> = cols
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| {
-            c.name == name
-                && match qualifier {
-                    Some(q) => c.qualifier.as_deref() == Some(q),
-                    None => true,
-                }
-        })
-        .map(|(i, _)| i)
-        .collect();
-    match hits.as_slice() {
-        [i] => Ok(*i),
-        [] => Err(DbError::Binding(format!(
-            "unknown column {}{name} (available: {})",
-            qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
-            cols.iter()
-                .map(|c| match &c.qualifier {
-                    Some(q) => format!("{q}.{}", c.name),
-                    None => c.name.clone(),
-                })
-                .collect::<Vec<_>>()
-                .join(", ")
+        AstExpr::Param(i) => Err(DbError::Binding(format!(
+            "parameter ?{} requires a prepared statement (use query_with)",
+            i + 1
         ))),
-        // Same-named columns from a self-join: first match wins, like the
-        // paper's DB2 queries that rely on unambiguous names.
-        many => Ok(many[0]),
-    }
-}
-
-/// Can `e` be fully bound against `cols`? (No side effects.)
-fn bindable(e: &AstExpr, cols: &[BoundCol]) -> bool {
-    match e {
-        AstExpr::Column { qualifier, name } => {
-            resolve_col(cols, qualifier.as_deref(), name).is_ok()
-        }
-        AstExpr::Int(_)
-        | AstExpr::Float(_)
-        | AstExpr::Str(_)
-        | AstExpr::Null
-        | AstExpr::CurrentTimestamp => true,
-        AstExpr::Bin(_, l, r) => bindable(l, cols) && bindable(r, cols),
-        AstExpr::Neg(x) | AstExpr::Not(x) => bindable(x, cols),
-        AstExpr::IsNull { expr, .. } => bindable(expr, cols),
-        AstExpr::InList { expr, .. } => bindable(expr, cols),
-        AstExpr::InSubquery { expr, .. } => bindable(expr, cols),
-        AstExpr::ScalarSubquery(_) => true,
-        AstExpr::Call { name, args, .. } => {
-            AggKind::parse(name).is_none() && args.iter().all(|a| bindable(a, cols))
-        }
     }
 }
 
@@ -332,78 +286,6 @@ pub fn run_select(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation> 
     })();
     ctx.ctes = saved;
     result
-}
-
-/// Column names referenced anywhere in a statement, for scan pruning.
-/// `None` means "needs every column" (a `*` projection somewhere).
-/// Over-approximates freely — names are collected unqualified and
-/// across subqueries — because pruning an extra column is a correctness
-/// bug while keeping one is only a few wasted nanoseconds.
-fn gather_cols(sel: &SelectStmt) -> Option<std::collections::HashSet<String>> {
-    fn walk_expr(e: &AstExpr, out: &mut std::collections::HashSet<String>) -> bool {
-        match e {
-            AstExpr::Column { name, .. } => {
-                out.insert(name.clone());
-                true
-            }
-            AstExpr::Int(_)
-            | AstExpr::Float(_)
-            | AstExpr::Str(_)
-            | AstExpr::Null
-            | AstExpr::CurrentTimestamp => true,
-            AstExpr::Bin(_, l, r) => walk_expr(l, out) && walk_expr(r, out),
-            AstExpr::Neg(x) | AstExpr::Not(x) => walk_expr(x, out),
-            AstExpr::IsNull { expr, .. } => walk_expr(expr, out),
-            AstExpr::InList { expr, list, .. } => {
-                walk_expr(expr, out) && list.iter().all(|x| walk_expr(x, out))
-            }
-            AstExpr::InSubquery { expr, query, .. } => walk_expr(expr, out) && walk_sel(query, out),
-            AstExpr::ScalarSubquery(q) => walk_sel(q, out),
-            AstExpr::Call { args, .. } => args.iter().all(|a| walk_expr(a, out)),
-        }
-    }
-    fn walk_sel(sel: &SelectStmt, out: &mut std::collections::HashSet<String>) -> bool {
-        for cte in &sel.ctes {
-            if !walk_sel(&cte.query, out) {
-                return false;
-            }
-        }
-        for p in &sel.projections {
-            match p {
-                Projection::Star => return false,
-                Projection::Expr { expr, .. } => {
-                    if !walk_expr(expr, out) {
-                        return false;
-                    }
-                }
-            }
-        }
-        for fc in &sel.from {
-            if let Some(on) = &fc.on {
-                if !walk_expr(on, out) {
-                    return false;
-                }
-            }
-        }
-        if let Some(w) = &sel.where_ {
-            if !walk_expr(w, out) {
-                return false;
-            }
-        }
-        for g in &sel.group_by {
-            if !walk_expr(g, out) {
-                return false;
-            }
-        }
-        for (e, _) in &sel.order_by {
-            if !walk_expr(e, out) {
-                return false;
-            }
-        }
-        true
-    }
-    let mut out = std::collections::HashSet::new();
-    walk_sel(sel, &mut out).then_some(out)
 }
 
 fn load_source(
@@ -448,49 +330,6 @@ fn load_source(
     Ok(Relation { cols, rows })
 }
 
-/// Extract equi-join key pairs from `conjuncts` connecting `left` and
-/// `right` bindings. Returns (used conjunct indexes, left cols, right cols).
-fn equi_keys(
-    conjuncts: &[AstExpr],
-    left: &[BoundCol],
-    right: &[BoundCol],
-) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
-    let mut used = Vec::new();
-    let mut lk = Vec::new();
-    let mut rk = Vec::new();
-    for (i, c) in conjuncts.iter().enumerate() {
-        if let AstExpr::Bin(BinOp::Eq, a, b) = c {
-            let try_pair = |x: &AstExpr, y: &AstExpr| -> Option<(usize, usize)> {
-                let (xq, xn) = match x {
-                    AstExpr::Column { qualifier, name } => (qualifier.as_deref(), name),
-                    _ => return None,
-                };
-                let (yq, yn) = match y {
-                    AstExpr::Column { qualifier, name } => (qualifier.as_deref(), name),
-                    _ => return None,
-                };
-                let li = resolve_col(left, xq, xn).ok()?;
-                // x must NOT be resolvable on the right under its qualifier,
-                // unless it is qualified and clearly belongs to the left.
-                let rj = resolve_col(right, yq, yn).ok()?;
-                if resolve_col(right, xq, xn).is_ok() && xq.is_none() {
-                    return None; // ambiguous side
-                }
-                if resolve_col(left, yq, yn).is_ok() && yq.is_none() {
-                    return None;
-                }
-                Some((li, rj))
-            };
-            if let Some((li, rj)) = try_pair(a, b).or_else(|| try_pair(b, a)) {
-                used.push(i);
-                lk.push(li);
-                rk.push(rj);
-            }
-        }
-    }
-    (used, lk, rk)
-}
-
 fn join_relations(
     ctx: &mut SqlCtx<'_>,
     left: Relation,
@@ -500,13 +339,17 @@ fn join_relations(
     outer: bool,
 ) -> DbResult<Relation> {
     let cols: Vec<BoundCol> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
+    // Pad unmatched left rows to the right side's declared arity — taking
+    // the width from the first right row mispads when the right side is
+    // empty.
+    let right_arity = right.cols.len();
     let budget = ctx.sort_budget_rows;
     let lkeys: Vec<SortKey> = lk.iter().map(|&i| SortKey::asc(i)).collect();
     let rkeys: Vec<SortKey> = rk.iter().map(|&i| SortKey::asc(i)).collect();
     let ls = external_sort(ctx.pool, left.rows, &lkeys, budget)?;
     let rs = external_sort(ctx.pool, right.rows, &rkeys, budget)?;
     let rows = if outer {
-        merge_join_left_outer(&ls, &rs, lk, rk, rs.first().map_or(0, Vec::len))?
+        merge_join_left_outer(&ls, &rs, lk, rk, right_arity)?
     } else {
         merge_join_inner(&ls, &rs, lk, rk)?
     };
@@ -775,75 +618,6 @@ fn run_select_body(ctx: &mut SqlCtx<'_>, sel: &SelectStmt) -> DbResult<Relation>
         cols: out_cols,
         rows: out_rows,
     })
-}
-
-/// Replace a bare column that names a projection alias with the projection's
-/// defining expression (ORDER BY `cnt` where `cnt` aliases `count(oid)`).
-fn dealias(e: &AstExpr, aliases: &[(Option<String>, AstExpr)]) -> AstExpr {
-    if let AstExpr::Column {
-        qualifier: None,
-        name,
-    } = e
-    {
-        for (alias, def) in aliases {
-            if alias.as_deref() == Some(name.as_str()) {
-                return def.clone();
-            }
-        }
-    }
-    e.clone()
-}
-
-fn output_name(expr: &AstExpr, alias: Option<&String>, i: usize) -> String {
-    if let Some(a) = alias {
-        return a.clone();
-    }
-    match expr {
-        AstExpr::Column { name, .. } => name.clone(),
-        AstExpr::Call { name, .. } => name.clone(),
-        _ => format!("col{i}"),
-    }
-}
-
-/// Loose structural equality used to match projections against GROUP BY
-/// expressions: qualifiers may be omitted on one side.
-fn ast_eq_loose(a: &AstExpr, b: &AstExpr) -> bool {
-    match (a, b) {
-        (
-            AstExpr::Column {
-                qualifier: qa,
-                name: na,
-            },
-            AstExpr::Column {
-                qualifier: qb,
-                name: nb,
-            },
-        ) => na == nb && (qa == qb || qa.is_none() || qb.is_none()),
-        (AstExpr::Bin(oa, la, ra), AstExpr::Bin(ob, lb, rb)) => {
-            oa == ob && ast_eq_loose(la, lb) && ast_eq_loose(ra, rb)
-        }
-        (AstExpr::Neg(xa), AstExpr::Neg(xb)) | (AstExpr::Not(xa), AstExpr::Not(xb)) => {
-            ast_eq_loose(xa, xb)
-        }
-        (
-            AstExpr::Call {
-                name: na,
-                args: aa,
-                star: sa,
-            },
-            AstExpr::Call {
-                name: nb,
-                args: ab,
-                star: sb,
-            },
-        ) => {
-            na == nb
-                && sa == sb
-                && aa.len() == ab.len()
-                && aa.iter().zip(ab).all(|(x, y)| ast_eq_loose(x, y))
-        }
-        _ => a == b,
-    }
 }
 
 /// Rewrite a projection/order expression in aggregate context into an

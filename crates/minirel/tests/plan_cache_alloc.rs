@@ -1,0 +1,78 @@
+//! The prepared-plan cache hit path must be allocation-free.
+//!
+//! `Database::prepare` on a cached statement does a read-lock, a map
+//! lookup keyed by the trimmed SQL text, and an `Arc::clone` — none of
+//! which may touch the allocator. This file holds exactly one test so
+//! no concurrent test in the same binary can allocate under the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use minirel::{Database, Value};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn prepared_plan_cache_hit_is_allocation_free() {
+    let mut db = Database::in_memory();
+    db.execute("create table t (a int, b float)").unwrap();
+    let tid = db.table_id("t").unwrap();
+    for i in 0..50i64 {
+        db.insert(tid, vec![Value::Int(i), Value::Float(i as f64)])
+            .unwrap();
+    }
+
+    let sql = "select b from t where a = ?";
+    // First call compiles and caches; a second warms any lazy lock or
+    // hasher state so the measured call sees steady state.
+    let miss = db.prepare(sql).unwrap();
+    drop(miss);
+    let warm = db.prepare(sql).unwrap();
+    drop(warm);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let hit = db.prepare(sql).unwrap();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "prepare() cache hit must not allocate (saw {} allocations)",
+        after - before
+    );
+
+    // The cached plan still executes correctly.
+    let rs = db.query_prepared(&hit, &[Value::Int(7)]).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Float(7.0));
+
+    let (hits, misses) = db.plan_cache_stats();
+    assert_eq!(misses, 1);
+    assert_eq!(hits, 2);
+}

@@ -219,6 +219,21 @@ fn main() {
         }
     });
 
+    // The planner's work is inspectable: EXPLAIN returns the logical
+    // and physical plans as rows. The hub-revisit lookup probes the
+    // link_src B+tree instead of scanning the link table.
+    println!("\n-- explain: the hub-revisit lookup --");
+    session.with_db_read(|db| {
+        let rs = db
+            .query("explain select oid_dst from link where oid_src = 42")
+            .expect("explain");
+        for row in &rs.rows {
+            println!("  {}", row[0]);
+        }
+        let (hits, misses) = db.plan_cache_stats();
+        println!("  (plan cache this session: {hits} hits, {misses} misses)");
+    });
+
     println!(
         "\nfinal stats: {} attempts, {} successes, {} distillations",
         total.attempts, total.successes, total.distillations
