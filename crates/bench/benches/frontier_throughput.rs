@@ -104,6 +104,21 @@ struct ClusterPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct ChaosPoint {
+    /// Fault profile (`clean` is the baseline row).
+    profile: String,
+    attempts: u64,
+    successes: u64,
+    harvest: f64,
+    /// Mean harvest over the last third of the budget (the recovery
+    /// half of the outage story).
+    tail_harvest: f64,
+    /// Breakers opened / closed again during the run.
+    quarantines: u64,
+    recoveries: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchPoint {
     bench: &'static str,
     unix_time: u64,
@@ -118,6 +133,10 @@ struct BenchPoint {
     /// Sharded-crawl ladder at equal total workers; the acceptance bar
     /// is 4-shard pages/sec ≥ the shards=1 baseline.
     cluster: Vec<ClusterPoint>,
+    /// Chaos matrix (fault profile × crawl vs clean baseline); the
+    /// acceptance bars are flaky yield ≥ 0.5× clean and breakers that
+    /// open *and* re-close across a healing outage.
+    chaos: Vec<ChaosPoint>,
 }
 
 /// Deterministic synthetic outlink set for a page: a mix of fresh
@@ -196,8 +215,9 @@ fn run_batched() -> f64 {
     db.reset_io_stats();
     let mut processed = 0usize;
     while processed < PAGES {
-        let claims =
-            frontier::claim_batch(&mut db, BATCH.min(PAGES - processed)).expect("claim batch");
+        let claims = frontier::claim_batch(&mut db, BATCH.min(PAGES - processed), i64::MAX)
+            .expect("claim batch")
+            .claims;
         if claims.is_empty() {
             break;
         }
@@ -566,6 +586,45 @@ fn main() {
         }
     );
 
+    println!("--- chaos matrix: fault profiles vs clean baseline ---");
+    let matrix = focus_eval::chaos::run(Scale::Tiny);
+    matrix.print();
+    let chaos: Vec<ChaosPoint> = matrix
+        .rows
+        .iter()
+        .map(|r| ChaosPoint {
+            profile: r.profile.clone(),
+            attempts: r.attempts,
+            successes: r.successes,
+            harvest: r.harvest,
+            tail_harvest: r.tail_harvest,
+            quarantines: r.quarantines,
+            recoveries: r.recoveries,
+        })
+        .collect();
+    let (clean_ok, flaky_ok) = (
+        matrix.clean().successes,
+        matrix.row("flaky").map(|r| r.successes).unwrap_or(0),
+    );
+    println!(
+        "flaky yield vs clean: {:.2}x ({})",
+        flaky_ok as f64 / clean_ok.max(1) as f64,
+        if flaky_ok as f64 >= 0.5 * clean_ok as f64 {
+            "PASS: >= 0.5x under 20% fault mass"
+        } else {
+            "FAIL: flaky web collapsed the crawl"
+        }
+    );
+    let recoveries = matrix.row("outage").map(|r| r.recoveries).unwrap_or(0);
+    println!(
+        "outage breaker round-trips: {recoveries} ({})",
+        if recoveries > 0 {
+            "PASS: breakers re-closed after healing"
+        } else {
+            "FAIL: no recovery observed"
+        }
+    );
+
     let point = BenchPoint {
         bench: "frontier",
         unix_time: std::time::SystemTime::now()
@@ -580,6 +639,7 @@ fn main() {
         throughput,
         read_concurrency: rc,
         cluster,
+        chaos,
     };
     append_point(&point);
 }

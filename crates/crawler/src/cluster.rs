@@ -533,6 +533,13 @@ impl CrawlCluster {
                 event_capacity: opts.event_capacity,
                 observers: opts.observers.clone(),
                 batch_size: opts.batch_size,
+                backoff: opts.backoff,
+                breaker: opts.breaker,
+                // A cluster-level retry budget is a *total*: split it
+                // like the fetch budget, so n shards cannot spend n× it.
+                retry_budget: opts
+                    .retry_budget
+                    .map(|rb| even_split(rb, self.shards.len() as u64, runs.len() as u64)),
             };
             match session.start_with(shard_opts) {
                 Ok(run) => {
@@ -752,6 +759,9 @@ fn split_config(cfg: &CrawlConfig, n_shards: usize) -> Vec<CrawlConfig> {
             let mut c = cfg.clone();
             c.max_fetches = even_split(cfg.max_fetches, n, i as u64);
             c.threads = even_split(cfg.threads as u64, n, i as u64).max(1) as usize;
+            // Like the fetch budget, the retry budget is a cluster
+            // total; shards spend disjoint slices of it.
+            c.retry_budget = even_split(cfg.retry_budget, n, i as u64);
             c
         })
         .collect()

@@ -10,7 +10,7 @@
 //! event is dropped and counted, so `dropped()` tells the consumer how
 //! much of the firehose it missed.
 
-use focus_types::{ClassId, Oid};
+use focus_types::{ClassId, Oid, ServerId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -40,8 +40,43 @@ pub enum CrawlEvent {
         oid: Oid,
         /// Fetch-attempt index.
         attempt: u64,
-        /// Timeouts requeue (until `max_tries`); hard 404s do not.
+        /// Timeouts requeue (until `max_tries` / the retry budget);
+        /// hard 404s do not.
         retriable: bool,
+        /// What kind of failure it was.
+        error: FetchErrorKind,
+        /// What happened to the page: retried, parked behind a
+        /// quarantined server, or declared dead.
+        outcome: FailureOutcome,
+    },
+    /// A previously failed page was claimed for another attempt (its
+    /// backoff expired).
+    FetchRetried {
+        /// Page identity.
+        oid: Oid,
+        /// Fetch-attempt index this retry was claimed at.
+        attempt: u64,
+        /// Failed attempts the page had already absorbed.
+        numtries: i64,
+        /// The page's server.
+        server: ServerId,
+    },
+    /// A server's circuit breaker opened: consecutive failures crossed
+    /// the threshold (or a half-open probe failed) and the server's
+    /// frontier entries are parked until the quarantine expires.
+    ServerQuarantined {
+        /// The quarantined server.
+        server: ServerId,
+        /// Consecutive failures at opening.
+        failures: u32,
+        /// Crawl tick at which the breaker goes half-open.
+        until: i64,
+    },
+    /// A half-open probe succeeded: the server's breaker closed and its
+    /// parked entries compete normally again.
+    ServerRecovered {
+        /// The recovered server.
+        server: ServerId,
     },
     /// A distillation pass finished and `HUBS`/`AUTH` were republished.
     DistillCompleted {
@@ -115,6 +150,50 @@ pub enum CrawlEvent {
         /// Panic payload rendered as text.
         message: String,
     },
+}
+
+/// The failure taxonomy carried on [`CrawlEvent::FetchFailed`] —
+/// [`focus_webgraph::FetchError`] without the redundant oid, plus the
+/// crawler-side case of a page that fetched but would not classify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchErrorKind {
+    /// Dead link / 404. Not retriable, says nothing about the server.
+    NotFound,
+    /// The server did not answer. Retriable; counts against the
+    /// server's health (backoff, circuit breaker).
+    Timeout,
+    /// The page fetched but could not be evaluated (malformed /
+    /// missing classification). Retriable; the server is fine.
+    Unclassifiable,
+}
+
+impl From<&focus_webgraph::FetchError> for FetchErrorKind {
+    fn from(e: &focus_webgraph::FetchError) -> FetchErrorKind {
+        match e {
+            focus_webgraph::FetchError::NotFound(_) => FetchErrorKind::NotFound,
+            focus_webgraph::FetchError::Timeout(_) => FetchErrorKind::Timeout,
+        }
+    }
+}
+
+/// What a failed fetch did to the page, carried on
+/// [`CrawlEvent::FetchFailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// Requeued for another attempt, poppable at `not_before`.
+    Retried {
+        /// Backoff expiry tick.
+        not_before: i64,
+    },
+    /// Requeued, but its server is quarantined: the row sits parked
+    /// until the breaker's next probe verdict.
+    Parked {
+        /// Quarantine expiry tick.
+        not_before: i64,
+    },
+    /// Declared dead: non-retriable, out of retry budget, or
+    /// `max_tries` reached.
+    Dead,
 }
 
 /// Synchronous event callback, invoked inline by worker threads.

@@ -227,20 +227,42 @@ pub fn upsert_batch(db: &mut Database, items: &[FrontierEntry]) -> DbResult<Batc
     Ok(out)
 }
 
-/// Pop the best frontier entry (lowest `(numtries, −logR, serverload)`)
-/// and mark it claimed. `None` when the frontier is empty.
-pub fn claim_next(db: &mut Database) -> DbResult<Option<Claim>> {
-    Ok(claim_batch(db, 1)?.pop())
+/// What a batch claim found: the due claims plus how much of the
+/// frontier was *parked* (skipped because `not_before` lies in the
+/// future). `parked`/`next_due` are exact when `claims` came back short
+/// (the whole frontier range was scanned) — exactly the case where the
+/// caller needs them for its idle verdict — and a lower bound otherwise.
+#[derive(Debug, Default)]
+pub struct ClaimOutcome {
+    /// Due entries, best first, now marked `CLAIMED`.
+    pub claims: Vec<Claim>,
+    /// Frontier rows skipped because their `not_before` has not passed.
+    pub parked: usize,
+    /// Earliest `not_before` among the parked rows seen.
+    pub next_due: Option<i64>,
 }
 
-/// Pop the `n` best frontier entries in one pass: a single range scan
-/// of the frontier index gathers the rids, and one batch update flips
-/// them all to `CLAIMED` — the range-pop counterpart of the paper's
-/// batch access paths. Returns fewer than `n` (possibly zero) claims
-/// when the frontier runs short.
-pub fn claim_batch(db: &mut Database, n: usize) -> DbResult<Vec<Claim>> {
+/// Pop the best frontier entry (lowest `(numtries, −logR, serverload)`)
+/// and mark it claimed. `None` when the frontier is empty. Treats every
+/// parked row as already due — a test/diagnostic convenience; the crawl
+/// itself claims through [`claim_batch`] with its real tick.
+pub fn claim_next(db: &mut Database) -> DbResult<Option<Claim>> {
+    Ok(claim_batch(db, 1, i64::MAX)?.claims.pop())
+}
+
+/// Pop the `n` best *due* frontier entries in one pass: a single range
+/// scan of the frontier index gathers the rids, and one batch update
+/// flips them all to `CLAIMED` — the range-pop counterpart of the
+/// paper's batch access paths. Rows parked past `now` are skipped
+/// without losing their place in the priority order; because they hide
+/// between poppable rows in the index, the scan over-fetches with a
+/// doubling window until `n` due rows surface or the frontier range is
+/// exhausted. Returns fewer than `n` (possibly zero) claims when the
+/// due frontier runs short.
+pub fn claim_batch(db: &mut Database, n: usize, now: i64) -> DbResult<ClaimOutcome> {
+    let mut out = ClaimOutcome::default();
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(out);
     }
     let tid = crawl_tid(db)?;
     let prefix = encode_composite_key(&[Value::Int(visited::FRONTIER)]);
@@ -256,33 +278,53 @@ pub fn claim_batch(db: &mut Database, n: usize) -> DbResult<Vec<Claim>> {
             ],
         )
         .ok_or_else(|| DbError::Catalog("crawl lacks frontier index".into()))?;
-    let hits = catalog.table(tid).indexes[idx]
-        .btree
-        .first_n_at_or_after(pool, &prefix, n)?;
-    let rids: Vec<Rid> = hits
-        .into_iter()
-        .take_while(|(key, _)| key.starts_with(&prefix))
-        .map(|(_, rid)| rid)
-        .collect();
-    let mut claims = Vec::with_capacity(rids.len());
-    let mut updates = Vec::with_capacity(rids.len());
-    for rid in rids {
-        let row = catalog.get_row(pool, tid, rid)?;
-        if col_i64(&row, crawl_col::VISITED, "visited")? != visited::FRONTIER {
-            return Err(DbError::Corrupt(format!(
-                "frontier index points at non-frontier row (oid {})",
-                row[crawl_col::OID]
-            )));
+    let mut want = n;
+    let due = loop {
+        let hits = catalog.table(tid).indexes[idx]
+            .btree
+            .first_n_at_or_after(pool, &prefix, want)?;
+        let rids: Vec<Rid> = hits
+            .into_iter()
+            .take_while(|(key, _)| key.starts_with(&prefix))
+            .map(|(_, rid)| rid)
+            .collect();
+        let exhausted = rids.len() < want;
+        let mut due: Vec<(Rid, Vec<Value>)> = Vec::with_capacity(n);
+        out.parked = 0;
+        out.next_due = None;
+        for rid in rids {
+            let row = catalog.get_row(pool, tid, rid)?;
+            if col_i64(&row, crawl_col::VISITED, "visited")? != visited::FRONTIER {
+                return Err(DbError::Corrupt(format!(
+                    "frontier index points at non-frontier row (oid {})",
+                    row[crawl_col::OID]
+                )));
+            }
+            let parked_until = col_i64(&row, crawl_col::NOT_BEFORE, "not_before")?;
+            if parked_until > now {
+                out.parked += 1;
+                out.next_due = Some(out.next_due.map_or(parked_until, |d| d.min(parked_until)));
+            } else if due.len() < n {
+                due.push((rid, row));
+            }
         }
-        claims.push(decode_claim(&row)?);
+        if due.len() >= n || exhausted {
+            break due;
+        }
+        want = want.saturating_mul(2);
+    };
+    let mut updates = Vec::with_capacity(due.len());
+    for (rid, row) in due {
+        out.claims.push(decode_claim(&row)?);
         let mut new_row = row.clone();
         new_row[crawl_col::VISITED] = Value::Int(visited::CLAIMED);
+        new_row[crawl_col::NOT_BEFORE] = Value::Int(0);
         updates.push((rid, row, new_row));
     }
     if !updates.is_empty() {
         catalog.update_many(pool, tid, updates)?;
     }
-    Ok(claims)
+    Ok(out)
 }
 
 /// Return claims to the frontier *unfetched* — a worker winding down on
@@ -326,6 +368,53 @@ pub fn unclaim_batch(db: &mut Database, claims: &[Claim]) -> DbResult<()> {
     Ok(())
 }
 
+/// Return claims to the frontier *parked*: each row keeps its priority
+/// and `numtries`, but cannot be popped again before its `not_before`
+/// tick. This is how a worker hands back claims whose server sits
+/// behind an open circuit breaker — the page was never fetched, so
+/// nothing else about the row changes. One ordered oid-index pass plus
+/// one batch update, like [`unclaim_batch`].
+pub fn park_batch(db: &mut Database, items: &[(Oid, i64)]) -> DbResult<()> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    let mut keyed: Vec<(Vec<u8>, i64)> = items
+        .iter()
+        .map(|&(oid, until)| (oid_key(oid), until))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    let keys: Vec<Vec<u8>> = keyed.iter().map(|(k, _)| k.clone()).collect();
+    let tid = crawl_tid(db)?;
+    let (pool, catalog) = db.parts_mut();
+    let idx = catalog
+        .find_index(tid, &[crawl_col::OID])
+        .ok_or_else(|| DbError::Catalog("crawl lacks oid index".into()))?;
+    let hits = catalog.table(tid).indexes[idx]
+        .btree
+        .lookup_many(pool, &keys)?;
+    let mut updates = Vec::with_capacity(items.len());
+    for ((key, until), rids) in keyed.iter().zip(&hits) {
+        let Some(&rid) = rids.first() else {
+            return Err(DbError::Corrupt(format!(
+                "park: claimed row vanished (key {key:?})"
+            )));
+        };
+        let row = catalog.get_row(pool, tid, rid)?;
+        if col_i64(&row, crawl_col::VISITED, "visited")? != visited::CLAIMED {
+            return Err(DbError::Corrupt(format!(
+                "park: row not claimed (oid {})",
+                row[crawl_col::OID]
+            )));
+        }
+        let mut new_row = row.clone();
+        new_row[crawl_col::VISITED] = Value::Int(visited::FRONTIER);
+        new_row[crawl_col::NOT_BEFORE] = Value::Int(*until);
+        updates.push((rid, row, new_row));
+    }
+    catalog.update_many(pool, tid, updates)?;
+    Ok(())
+}
+
 /// Record a successful fetch: relevance, best-leaf class, timestamps,
 /// and the fetched URL (filled in for rows that entered the frontier by
 /// oid alone) — one row update instead of two.
@@ -356,25 +445,109 @@ pub fn mark_done(
     Ok(())
 }
 
-/// Record a failed fetch; requeues (numtries+1) when retriable and under
-/// `max_tries`, otherwise marks the page dead.
-pub fn mark_failed(db: &mut Database, oid: Oid, retriable: bool, max_tries: i64) -> DbResult<()> {
-    let Some((rid, mut row)) = oid_lookup(db, oid)? else {
-        return Err(DbError::Eval(format!(
-            "mark_failed: {oid} not in crawl table"
-        )));
-    };
-    let tries = row[crawl_col::NUMTRIES].as_i64().unwrap_or(0) + 1;
-    row[crawl_col::NUMTRIES] = Value::Int(tries);
-    row[crawl_col::VISITED] = Value::Int(if retriable && tries < max_tries {
-        visited::FRONTIER
-    } else {
-        visited::DEAD
-    });
+/// One failed fetch in a batch. The caller has already made the backoff
+/// decision — the session computes `not_before` from per-server health
+/// and charges the retry budget inside its claim critical section, so
+/// this layer only has to write rows.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureUpdate {
+    /// The page that failed.
+    pub oid: Oid,
+    /// Whether this failure may requeue (a timeout with retry budget
+    /// left); hard 404s and budget-exhausted timeouts pass `false`.
+    pub retriable: bool,
+    /// Backoff: tick before which a requeued row must not be popped
+    /// (0 = immediately poppable).
+    pub not_before: i64,
+}
+
+/// What a failure did to the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailDisposition {
+    /// Requeued for another attempt, poppable at `not_before`.
+    Retried {
+        /// Earliest tick the retry can be claimed.
+        not_before: i64,
+    },
+    /// Marked dead: non-retriable, out of retry budget, or `max_tries`
+    /// reached.
+    Dead,
+}
+
+/// Record a batch of failed fetches in one ordered oid-index pass plus
+/// one batch update — a burst of failures from one sick server is one
+/// critical section, not N row rewrites. Each retriable row under
+/// `max_tries` requeues (numtries+1) parked until its `not_before`;
+/// the rest die. Dispositions come back aligned with `items`.
+pub fn mark_failed_batch(
+    db: &mut Database,
+    items: &[FailureUpdate],
+    max_tries: i64,
+) -> DbResult<Vec<FailDisposition>> {
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| oid_key(items[i].oid));
+    let keys: Vec<Vec<u8>> = order.iter().map(|&i| oid_key(items[i].oid)).collect();
     let tid = crawl_tid(db)?;
     let (pool, catalog) = db.parts_mut();
-    catalog.update_row(pool, tid, rid, row)?;
-    Ok(())
+    let idx = catalog
+        .find_index(tid, &[crawl_col::OID])
+        .ok_or_else(|| DbError::Catalog("crawl lacks oid index".into()))?;
+    let hits = catalog.table(tid).indexes[idx]
+        .btree
+        .lookup_many(pool, &keys)?;
+    let mut out = vec![FailDisposition::Dead; items.len()];
+    let mut updates = Vec::with_capacity(items.len());
+    for (&i, rids) in order.iter().zip(&hits) {
+        let item = &items[i];
+        let Some(&rid) = rids.first() else {
+            return Err(DbError::Eval(format!(
+                "mark_failed: {} not in crawl table",
+                item.oid
+            )));
+        };
+        let row = catalog.get_row(pool, tid, rid)?;
+        let tries = col_i64(&row, crawl_col::NUMTRIES, "numtries")? + 1;
+        let mut new_row = row.clone();
+        new_row[crawl_col::NUMTRIES] = Value::Int(tries);
+        if item.retriable && tries < max_tries {
+            new_row[crawl_col::VISITED] = Value::Int(visited::FRONTIER);
+            new_row[crawl_col::NOT_BEFORE] = Value::Int(item.not_before);
+            out[i] = FailDisposition::Retried {
+                not_before: item.not_before,
+            };
+        } else {
+            new_row[crawl_col::VISITED] = Value::Int(visited::DEAD);
+            new_row[crawl_col::NOT_BEFORE] = Value::Int(0);
+            out[i] = FailDisposition::Dead;
+        }
+        updates.push((rid, row, new_row));
+    }
+    catalog.update_many(pool, tid, updates)?;
+    Ok(out)
+}
+
+/// Record a single failed fetch; requeues (numtries+1, immediately
+/// poppable) when retriable and under `max_tries`, otherwise marks the
+/// page dead. A one-item [`mark_failed_batch`].
+pub fn mark_failed(
+    db: &mut Database,
+    oid: Oid,
+    retriable: bool,
+    max_tries: i64,
+) -> DbResult<FailDisposition> {
+    let dispo = mark_failed_batch(
+        db,
+        &[FailureUpdate {
+            oid,
+            retriable,
+            not_before: 0,
+        }],
+        max_tries,
+    )?;
+    Ok(dispo[0])
 }
 
 /// Raise the stored relevance of an *unvisited* page (distiller hub-boost
@@ -621,14 +794,17 @@ mod tests {
         for (oid, r) in [(1u64, -2.0), (2, -0.5), (3, -1.0), (4, -0.1), (5, -3.0)] {
             upsert_frontier(&mut db, Oid(oid), &format!("u{oid}"), r, 0).unwrap();
         }
-        let batch = claim_batch(&mut db, 3).unwrap();
+        let batch = claim_batch(&mut db, 3, 0).unwrap().claims;
         let oids: Vec<u64> = batch.iter().map(|c| c.oid.raw()).collect();
         assert_eq!(oids, vec![4, 2, 3], "three best, best first");
         // Claimed rows are out of the frontier; the rest still pop.
-        let rest = claim_batch(&mut db, 10).unwrap();
+        let rest = claim_batch(&mut db, 10, 0).unwrap().claims;
         let oids: Vec<u64> = rest.iter().map(|c| c.oid.raw()).collect();
         assert_eq!(oids, vec![1, 5]);
-        assert!(claim_batch(&mut db, 4).unwrap().is_empty(), "drained");
+        assert!(
+            claim_batch(&mut db, 4, 0).unwrap().claims.is_empty(),
+            "drained"
+        );
     }
 
     #[test]
@@ -647,13 +823,108 @@ mod tests {
         let mut many = build();
         let mut batched = Vec::new();
         loop {
-            let b = claim_batch(&mut many, 7).unwrap();
+            let b = claim_batch(&mut many, 7, 0).unwrap().claims;
             if b.is_empty() {
                 break;
             }
             batched.extend(b.into_iter().map(|c| c.oid.raw()));
         }
         assert_eq!(singly, batched);
+    }
+
+    #[test]
+    fn parked_rows_hide_until_due_without_losing_priority() {
+        let mut db = db();
+        upsert_frontier(&mut db, Oid(1), "u1", -0.5, 0).unwrap(); // best
+        upsert_frontier(&mut db, Oid(2), "u2", -1.0, 0).unwrap();
+        upsert_frontier(&mut db, Oid(3), "u3", -2.0, 0).unwrap();
+        // Park the best entry until tick 10.
+        let c = claim_batch(&mut db, 1, 0).unwrap().claims.pop().unwrap();
+        assert_eq!(c.oid, Oid(1));
+        park_batch(&mut db, &[(Oid(1), 10)]).unwrap();
+        // Before tick 10 the pop path skips it but reports it parked.
+        let out = claim_batch(&mut db, 3, 5).unwrap();
+        let oids: Vec<u64> = out.claims.iter().map(|c| c.oid.raw()).collect();
+        assert_eq!(oids, vec![2, 3], "parked row skipped, order kept");
+        assert_eq!(out.parked, 1);
+        assert_eq!(out.next_due, Some(10));
+        unclaim_batch(&mut db, &out.claims).unwrap();
+        // At tick 10 it pops first again: parking never cost priority.
+        let out = claim_batch(&mut db, 3, 10).unwrap();
+        let oids: Vec<u64> = out.claims.iter().map(|c| c.oid.raw()).collect();
+        assert_eq!(oids, vec![1, 2, 3]);
+        assert_eq!(out.parked, 0);
+    }
+
+    #[test]
+    fn all_parked_frontier_claims_nothing_but_counts() {
+        let mut db = db();
+        for oid in 1..=4u64 {
+            upsert_frontier(&mut db, Oid(oid), &format!("u{oid}"), -1.0, 0).unwrap();
+        }
+        let claims = claim_batch(&mut db, 4, 0).unwrap().claims;
+        let parked: Vec<(Oid, i64)> = claims.iter().map(|c| (c.oid, 7)).collect();
+        park_batch(&mut db, &parked).unwrap();
+        let out = claim_batch(&mut db, 2, 3).unwrap();
+        assert!(out.claims.is_empty());
+        assert_eq!(out.parked, 4, "exact when the scan exhausts the range");
+        assert_eq!(out.next_due, Some(7));
+        // claim_next (diagnostics) ignores parking entirely.
+        assert!(claim_next(&mut db).unwrap().is_some());
+    }
+
+    #[test]
+    fn mark_failed_batch_matches_sequential_and_parks_retries() {
+        let build = || {
+            let mut d = db();
+            for oid in 1..=3u64 {
+                upsert_frontier(&mut d, Oid(oid), &format!("u{oid}"), -1.0, 0).unwrap();
+            }
+            let claims = claim_batch(&mut d, 3, 0).unwrap().claims;
+            (d, claims)
+        };
+        let (mut seq, claims) = build();
+        for c in &claims {
+            mark_failed(&mut seq, c.oid, c.oid != Oid(2), 3).unwrap();
+        }
+        let (mut bat, claims) = build();
+        let items: Vec<FailureUpdate> = claims
+            .iter()
+            .map(|c| FailureUpdate {
+                oid: c.oid,
+                retriable: c.oid != Oid(2),
+                not_before: 0,
+            })
+            .collect();
+        let dispo = mark_failed_batch(&mut bat, &items, 3).unwrap();
+        assert_eq!(dispo[0], FailDisposition::Retried { not_before: 0 });
+        assert_eq!(dispo[1], FailDisposition::Dead, "non-retriable dies");
+        assert_eq!(dispo[2], FailDisposition::Retried { not_before: 0 });
+        let dump = |d: &mut Database| {
+            d.execute("select oid, numtries, visited, not_before from crawl order by oid")
+                .unwrap()
+                .rows
+        };
+        assert_eq!(dump(&mut seq), dump(&mut bat));
+        // A parked retry is invisible before its tick, poppable after.
+        let claims = claim_batch(&mut bat, 3, 0).unwrap().claims;
+        let items: Vec<FailureUpdate> = claims
+            .iter()
+            .map(|c| FailureUpdate {
+                oid: c.oid,
+                retriable: true,
+                not_before: 20,
+            })
+            .collect();
+        let dispo = mark_failed_batch(&mut bat, &items, 3).unwrap();
+        assert!(dispo
+            .iter()
+            .all(|d| *d == FailDisposition::Retried { not_before: 20 }));
+        let out = claim_batch(&mut bat, 3, 19).unwrap();
+        assert!(out.claims.is_empty());
+        assert_eq!(out.parked, 2);
+        let out = claim_batch(&mut bat, 3, 20).unwrap();
+        assert_eq!(out.claims.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Per-server health: exponential backoff, circuit breakers, and the
+//! failure taxonomy behind them.
+//!
+//! The paper's crawler absorbs failures one page at a time (`numtries`);
+//! this module adds the *server* dimension: consecutive failures from
+//! one host back off exponentially, and past a threshold the host's
+//! circuit breaker opens — its frontier entries are parked (see
+//! `crawl.not_before`) instead of burning fetch attempts on a machine
+//! that is down. After a cooldown the breaker goes half-open and admits
+//! exactly one probe; success closes it, failure re-opens it with a
+//! doubled cooldown.
+//!
+//! Everything here is pure bookkeeping over crawl *ticks* (fetch
+//! attempts + empty polls, see [`crate::session`]) — no clocks, no RNG.
+//! Jitter is a hash of `(server, consecutive failures)`, so
+//! single-threaded crawls stay deterministic. The map lives inside the
+//! session's store state, under the existing store lock: claim gating
+//! and failure recording both already happen inside that critical
+//! section, so server health adds **no new lock**.
+
+use focus_types::hash::{fx64, FxHashMap};
+use focus_types::ServerId;
+
+/// Exponential-backoff schedule for retriable failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Park length after the first consecutive failure, in crawl ticks;
+    /// doubles per further failure.
+    pub base: i64,
+    /// Cap on the exponential part (jitter can add up to half again).
+    pub max: i64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig { base: 4, max: 64 }
+    }
+}
+
+/// Consecutive-failure circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker (quarantine the
+    /// server).
+    pub threshold: u32,
+    /// Quarantine length after opening, in crawl ticks; doubles every
+    /// time a half-open probe fails.
+    pub cooldown: i64,
+    /// Cap on doubled cooldowns.
+    pub max_cooldown: i64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: 32,
+            max_cooldown: 256,
+        }
+    }
+}
+
+/// Breaker state machine: `Closed → Open → Probing → {Closed, Open}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Breaker {
+    /// Healthy: claims flow freely.
+    Closed,
+    /// Quarantined until the tick: claims are parked, not fetched.
+    Open {
+        /// Tick at which the breaker goes half-open.
+        until: i64,
+    },
+    /// Half-open: one probe is out; everything else stays parked until
+    /// the probe succeeds (close) or fails (re-open, doubled cooldown).
+    Probing,
+}
+
+/// One server's health record.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerHealth {
+    /// Server-attributable failures since the last success.
+    pub consec_failures: u32,
+    /// Breaker state.
+    pub breaker: Breaker,
+    /// Times the breaker has opened.
+    pub quarantines: u64,
+    /// Cooldown the *next* opening will use (doubles on failed probes).
+    next_cooldown: i64,
+}
+
+/// Claim-time gate: what to do with a popped claim for this server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimGate {
+    /// Server healthy — fetch it.
+    Fetch,
+    /// Quarantine expired — this claim is the half-open probe.
+    Probe,
+    /// Server quarantined — park the claim until the tick.
+    Parked {
+        /// Earliest tick the row may pop again.
+        until: i64,
+    },
+}
+
+/// What a recorded failure means for the failed page and the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureVerdict {
+    /// Requeue (if tries remain) parked until the tick.
+    Backoff {
+        /// Backoff expiry tick.
+        not_before: i64,
+    },
+    /// This failure opened (or re-opened) the breaker: quarantined.
+    Quarantined {
+        /// Quarantine expiry tick.
+        until: i64,
+        /// Consecutive failures at opening.
+        failures: u32,
+    },
+}
+
+impl FailureVerdict {
+    /// The tick a requeued row should be parked until.
+    pub fn not_before(&self) -> i64 {
+        match *self {
+            FailureVerdict::Backoff { not_before } => not_before,
+            FailureVerdict::Quarantined { until, .. } => until,
+        }
+    }
+}
+
+/// Shard-local server-health map. Keyed by
+/// [`crate::tables::host_server_id`], which is also the cluster's
+/// sharding key — one server's health never crosses shards.
+#[derive(Debug)]
+pub struct HealthMap {
+    servers: FxHashMap<ServerId, ServerHealth>,
+    backoff: BackoffConfig,
+    breaker: BreakerConfig,
+}
+
+impl HealthMap {
+    /// Empty map under the given policies.
+    pub fn new(backoff: BackoffConfig, breaker: BreakerConfig) -> HealthMap {
+        HealthMap {
+            servers: FxHashMap::default(),
+            backoff,
+            breaker,
+        }
+    }
+
+    fn entry(&mut self, server: ServerId) -> &mut ServerHealth {
+        let cooldown = self.breaker.cooldown;
+        self.servers.entry(server).or_insert(ServerHealth {
+            consec_failures: 0,
+            breaker: Breaker::Closed,
+            quarantines: 0,
+            next_cooldown: cooldown,
+        })
+    }
+
+    /// Gate a popped claim. Must be called inside the claim critical
+    /// section, with the tick the claim would fetch at.
+    pub fn admit(&mut self, server: ServerId, now: i64) -> ClaimGate {
+        let probe_wait = self.breaker.cooldown;
+        let h = self.entry(server);
+        match h.breaker {
+            Breaker::Closed => ClaimGate::Fetch,
+            Breaker::Open { until } if now >= until => {
+                h.breaker = Breaker::Probing;
+                ClaimGate::Probe
+            }
+            Breaker::Open { until } => ClaimGate::Parked { until },
+            // A probe is already out; queue up behind its verdict.
+            Breaker::Probing => ClaimGate::Parked {
+                until: now + probe_wait,
+            },
+        }
+    }
+
+    /// Record a server-attributable failure (a timeout — 404s say
+    /// nothing about the server, and a page that fetched but would not
+    /// classify says the server is fine). Returns the page's backoff or
+    /// the quarantine this failure triggered.
+    pub fn record_failure(&mut self, server: ServerId, now: i64) -> FailureVerdict {
+        let threshold = self.breaker.threshold.max(1);
+        let max_cooldown = self.breaker.max_cooldown;
+        let backoff = self.backoff;
+        let h = self.entry(server);
+        h.consec_failures = h.consec_failures.saturating_add(1);
+        match h.breaker {
+            // Half-open probe failed: straight back to quarantine, and
+            // the next one waits twice as long.
+            Breaker::Probing => {
+                let cooldown = h.next_cooldown;
+                h.next_cooldown = (cooldown * 2).min(max_cooldown);
+                h.breaker = Breaker::Open {
+                    until: now + cooldown,
+                };
+                h.quarantines += 1;
+                FailureVerdict::Quarantined {
+                    until: now + cooldown,
+                    failures: h.consec_failures,
+                }
+            }
+            Breaker::Closed if h.consec_failures >= threshold => {
+                let cooldown = h.next_cooldown;
+                h.next_cooldown = (cooldown * 2).min(max_cooldown);
+                h.breaker = Breaker::Open {
+                    until: now + cooldown,
+                };
+                h.quarantines += 1;
+                FailureVerdict::Quarantined {
+                    until: now + cooldown,
+                    failures: h.consec_failures,
+                }
+            }
+            // Already quarantined (this fetch was in flight when the
+            // breaker opened): park the page behind the quarantine.
+            Breaker::Open { until } => FailureVerdict::Backoff { not_before: until },
+            Breaker::Closed => FailureVerdict::Backoff {
+                not_before: now + backoff_ticks(&backoff, server, h.consec_failures),
+            },
+        }
+    }
+
+    /// Record a success. Returns `true` when this closed an open (or
+    /// probing) breaker — the server *recovered*.
+    pub fn record_success(&mut self, server: ServerId) -> bool {
+        let cooldown = self.breaker.cooldown;
+        let h = self.entry(server);
+        let recovered = h.breaker != Breaker::Closed;
+        h.consec_failures = 0;
+        h.breaker = Breaker::Closed;
+        h.next_cooldown = cooldown;
+        recovered
+    }
+
+    /// Current health of a server, if it has ever failed or recovered.
+    pub fn get(&self, server: ServerId) -> Option<&ServerHealth> {
+        self.servers.get(&server)
+    }
+
+    /// Servers currently quarantined (open or probing breaker).
+    pub fn quarantined(&self) -> usize {
+        self.servers
+            .values()
+            .filter(|h| h.breaker != Breaker::Closed)
+            .count()
+    }
+}
+
+/// Exponential backoff with deterministic jitter: `base · 2^(n−1)`
+/// capped at `max`, plus up to half that again from a hash of
+/// `(server, n)` — staggered retries without RNG state.
+fn backoff_ticks(cfg: &BackoffConfig, server: ServerId, consec: u32) -> i64 {
+    let exp = cfg
+        .base
+        .saturating_mul(1i64 << (consec.saturating_sub(1)).min(32))
+        .min(cfg.max)
+        .max(1);
+    let mut buf = [0u8; 8];
+    buf[..4].copy_from_slice(&server.0.to_le_bytes());
+    buf[4..].copy_from_slice(&consec.to_le_bytes());
+    let jitter = (fx64(&buf) % (exp as u64 / 2 + 1)) as i64;
+    exp + jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> HealthMap {
+        HealthMap::new(
+            BackoffConfig { base: 4, max: 64 },
+            BreakerConfig {
+                threshold: 3,
+                cooldown: 10,
+                max_cooldown: 40,
+            },
+        )
+    }
+
+    #[test]
+    fn backoff_grows_then_caps_and_is_deterministic() {
+        let cfg = BackoffConfig { base: 4, max: 64 };
+        let s = ServerId(9);
+        let seq: Vec<i64> = (1..=8).map(|n| backoff_ticks(&cfg, s, n)).collect();
+        // Exponential part: 4, 8, 16, 32, 64, 64, ... with jitter ≤ half.
+        for (i, &b) in seq.iter().enumerate() {
+            let exp = (4i64 << i).min(64);
+            assert!(
+                b >= exp && b <= exp + exp / 2,
+                "backoff {b} outside [{exp}, 1.5·{exp}]"
+            );
+        }
+        let again: Vec<i64> = (1..=8).map(|n| backoff_ticks(&cfg, s, n)).collect();
+        assert_eq!(seq, again, "jitter is a hash, not an RNG");
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_probes_after_cooldown() {
+        let mut m = map();
+        let s = ServerId(1);
+        assert_eq!(m.admit(s, 0), ClaimGate::Fetch);
+        assert!(matches!(
+            m.record_failure(s, 0),
+            FailureVerdict::Backoff { .. }
+        ));
+        assert!(matches!(
+            m.record_failure(s, 1),
+            FailureVerdict::Backoff { .. }
+        ));
+        // Third consecutive failure trips the breaker.
+        let v = m.record_failure(s, 2);
+        assert_eq!(
+            v,
+            FailureVerdict::Quarantined {
+                until: 12,
+                failures: 3
+            }
+        );
+        // Quarantined claims park; after cooldown exactly one probes.
+        assert_eq!(m.admit(s, 5), ClaimGate::Parked { until: 12 });
+        assert_eq!(m.admit(s, 12), ClaimGate::Probe);
+        assert_eq!(m.admit(s, 12), ClaimGate::Parked { until: 22 });
+        // Probe failure re-opens with doubled cooldown.
+        let v = m.record_failure(s, 13);
+        assert_eq!(
+            v,
+            FailureVerdict::Quarantined {
+                until: 33,
+                failures: 4
+            }
+        );
+        // Cooldown doubling caps at max_cooldown.
+        assert_eq!(m.admit(s, 33), ClaimGate::Probe);
+        assert!(matches!(
+            m.record_failure(s, 33),
+            FailureVerdict::Quarantined { until: 73, .. } // 33 + 40
+        ));
+        assert_eq!(m.get(s).unwrap().quarantines, 3);
+        assert_eq!(m.quarantined(), 1);
+    }
+
+    #[test]
+    fn probe_success_closes_and_resets() {
+        let mut m = map();
+        let s = ServerId(2);
+        for t in 0..3 {
+            m.record_failure(s, t);
+        }
+        assert!(matches!(m.get(s).unwrap().breaker, Breaker::Open { .. }));
+        assert_eq!(m.admit(s, 100), ClaimGate::Probe);
+        assert!(m.record_success(s), "probe success = recovery");
+        assert_eq!(m.admit(s, 101), ClaimGate::Fetch);
+        assert_eq!(m.get(s).unwrap().consec_failures, 0);
+        // Cooldown is back to base after recovery.
+        for t in 0..3 {
+            m.record_failure(s, 200 + t);
+        }
+        assert!(matches!(
+            m.get(s).unwrap().breaker,
+            Breaker::Open { until: 212 }
+        ));
+        // A plain success on a healthy server is not a "recovery".
+        assert!(!m.record_success(ServerId(3)));
+    }
+
+    #[test]
+    fn in_flight_failures_during_quarantine_park_behind_it() {
+        let mut m = map();
+        let s = ServerId(4);
+        for t in 0..3 {
+            m.record_failure(s, t);
+        }
+        // A fetch that was already in flight fails at t=4: no second
+        // quarantine event, page parks until the existing expiry.
+        assert_eq!(
+            m.record_failure(s, 4),
+            FailureVerdict::Backoff { not_before: 12 }
+        );
+        assert_eq!(m.get(s).unwrap().quarantines, 1);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod cluster;
 pub mod events;
 pub mod frontier;
+pub mod health;
 pub mod monitor;
 pub mod policy;
 pub mod run;
@@ -30,7 +31,8 @@ pub mod session;
 pub mod tables;
 
 pub use cluster::{ClusterCheckpoint, ClusterRun, CrawlCluster};
-pub use events::{CrawlEvent, CrawlObserver, EventStream};
+pub use events::{CrawlEvent, CrawlObserver, EventStream, FailureOutcome, FetchErrorKind};
+pub use health::{BackoffConfig, Breaker, BreakerConfig, HealthMap};
 pub use policy::CrawlPolicy;
 pub use run::{Command, CrawlError, CrawlRun, RunState, StartOptions};
 pub use session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats, Durability};

@@ -95,6 +95,20 @@ pub fn community_evolution(
     Ok(rs.scalar_i64().unwrap_or(0))
 }
 
+/// Server-health board: every server the breaker has touched, sickest
+/// first — quarantined servers (breaker open or probing), their failure
+/// streaks, when their quarantine expires (crawl ticks), and how often
+/// they have been quarantined. Rewritten on breaker transitions only,
+/// and shipped through the WAL, so pointing this at a
+/// [`crate::session::CrawlSession::replica`] monitors server health
+/// with zero contention on the crawl.
+pub fn server_health(db: &Database) -> DbResult<ResultSet> {
+    db.query(
+        "select sid, state, consec, until_tick, quarantines from server_health \
+         order by quarantines desc, consec desc",
+    )
+}
+
 /// §1 "spam filter" / "typed link" query class: pages classified as
 /// `target_kcid` that are cited by at least `min_citers` pages classified
 /// as `citer_kcid` — e.g. "pages apparently about database research which
@@ -154,6 +168,7 @@ mod tests {
                     Value::Int(0),
                     Value::Int(i * 6), // spread over 2 minutes
                     Value::Int(1),
+                    Value::Int(0),
                 ],
             )
             .unwrap();
@@ -169,6 +184,7 @@ mod tests {
                     Value::Int(i % 2),
                     Value::Float(0.0),
                     Value::Float(0.0),
+                    Value::Int(0),
                     Value::Int(0),
                     Value::Int(0),
                     Value::Int(0),
@@ -245,6 +261,26 @@ mod tests {
         let rs = cross_topic_citations(&db, 3, 2, 2).unwrap();
         assert_eq!(rs.rows.len(), 1, "only page 1 has >= 2 citers");
         assert_eq!(rs.rows[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn server_health_orders_sickest_first() {
+        let mut db = db_with_crawl_rows();
+        db.execute("insert into server_health values (7, 'open', 5, 40, 2)")
+            .unwrap();
+        db.execute("insert into server_health values (3, 'closed', 0, 0, 1)")
+            .unwrap();
+        db.execute("insert into server_health values (9, 'probing', 6, 0, 2)")
+            .unwrap();
+        let rs = server_health(&db).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(
+            rs.rows[0][0],
+            Value::Int(9),
+            "most quarantined + sickest first"
+        );
+        assert_eq!(rs.rows[1][0], Value::Int(7));
+        assert_eq!(rs.rows[2][1], Value::Str("closed".into()));
     }
 
     #[test]

@@ -228,6 +228,18 @@ pub struct StartOptions {
     /// [`crate::session::CrawlConfig::batch_size`]). 1 restores strict
     /// claim-per-page behavior, e.g. for latency-sensitive steering.
     pub batch_size: Option<usize>,
+    /// Override for the retriable-failure backoff schedule (`None`
+    /// uses [`crate::session::CrawlConfig::backoff`]). Applying an
+    /// override restarts the per-server health map for this run.
+    pub backoff: Option<crate::health::BackoffConfig>,
+    /// Override for the circuit-breaker policy (`None` uses
+    /// [`crate::session::CrawlConfig::breaker`]). Applying an override
+    /// restarts the per-server health map for this run.
+    pub breaker: Option<crate::health::BreakerConfig>,
+    /// Override for the run's retry budget (`None` keeps whatever the
+    /// session has left — budgets are *not* refilled between runs
+    /// unless overridden).
+    pub retry_budget: Option<u64>,
 }
 
 impl Default for StartOptions {
@@ -236,6 +248,9 @@ impl Default for StartOptions {
             event_capacity: 4096,
             observers: Vec::new(),
             batch_size: None,
+            backoff: None,
+            breaker: None,
+            retry_budget: None,
         }
     }
 }
@@ -288,6 +303,7 @@ impl CrawlRun {
         // A previous run's verdict (worker panic, storage error) was
         // delivered by its join(); it must not fail this run too.
         session.reset_run_diagnostics();
+        session.apply_run_overrides(&opts);
         let dropped = Arc::new(AtomicU64::new(0));
         let (tx, rx) = std::sync::mpsc::sync_channel(opts.event_capacity.max(1));
         let tail_sink = EventSink::new(None, opts.observers.clone(), Arc::clone(&dropped));

@@ -50,10 +50,23 @@
 //! Workers drain the command queue between page fetches, so every
 //! control mutation (pause, new seeds, re-marked topics, policy swaps)
 //! lands at a page boundary with the tables consistent.
+//!
+//! **Per-server health adds no lock.** The backoff/breaker map
+//! ([`crate::health::HealthMap`]) lives inside [`StoreState`], because
+//! both of its touch points — gating a popped claim and recording a
+//! failure — already run inside store write critical sections. The
+//! crawl *ticks* that backoffs and quarantines are measured in come
+//! from a counter advanced under that same lock: by the number of
+//! claims issued, and by one per empty poll, so an all-parked frontier
+//! (every server quarantined) still marches toward cooldown expiry
+//! without wall-clock sleeps — and without ever wedging termination.
 
 use crate::cluster::ShardCtx;
-use crate::events::{CrawlEvent, EventSink};
+use crate::events::{CrawlEvent, EventSink, FailureOutcome, FetchErrorKind};
 use crate::frontier::{self, Claim, FrontierEntry};
+use crate::health::{
+    BackoffConfig, Breaker, BreakerConfig, ClaimGate, FailureVerdict, HealthMap, ServerHealth,
+};
 use crate::policy::{log_clamped, CrawlPolicy};
 use crate::run::{Command, ControlState, CrawlError, CrawlRun, RunState, StartOptions};
 use crate::tables::{self, crawl_col, host_server_id, visited};
@@ -152,6 +165,17 @@ pub struct CrawlConfig {
     pub batch_size: usize,
     /// Durability of the session store (WAL, crash recovery, replicas).
     pub durability: Durability,
+    /// Exponential-backoff schedule for retriable failures (crawl
+    /// ticks).
+    pub backoff: BackoffConfig,
+    /// Per-server circuit breaker: consecutive timeouts past the
+    /// threshold quarantine the server (its frontier rows park).
+    pub breaker: BreakerConfig,
+    /// Total retries the run may spend. A retriable failure only
+    /// requeues while budget remains; after that it is terminal — so a
+    /// pathological all-timeout world can never starve first-visit
+    /// fetches out of the fetch budget.
+    pub retry_budget: u64,
 }
 
 impl Default for CrawlConfig {
@@ -168,6 +192,9 @@ impl Default for CrawlConfig {
             db_frames: 512,
             batch_size: 8,
             durability: Durability::None,
+            backoff: BackoffConfig::default(),
+            breaker: BreakerConfig::default(),
+            retry_budget: 1000,
         }
     }
 }
@@ -235,6 +262,10 @@ struct StoreState {
     policy: CrawlPolicy,
     since_distill: usize,
     last_distill: Option<DistillResult>,
+    /// Per-server backoff/breaker state (see module docs: no new lock —
+    /// claim gating and failure recording already hold the store write
+    /// lock).
+    health: HealthMap,
 }
 
 /// Budget and outcome counters. The hot gauges are atomics so
@@ -251,6 +282,16 @@ struct CounterState {
     budget: AtomicU64,
     /// Claims checked out and not yet flushed (pool-wide gauge).
     in_flight: AtomicUsize,
+    /// The crawl tick clock backoffs and quarantines are measured in.
+    /// Advanced only under the store write lock: by the number of
+    /// claims issued, and by one per empty poll — so parked rows make
+    /// progress toward their due ticks even when nothing is claimable,
+    /// and single-threaded crawls stay deterministic.
+    clock: AtomicU64,
+    /// Retries left ([`CrawlConfig::retry_budget`]); decremented when a
+    /// retriable failure decides to requeue. At zero, retriable
+    /// failures become terminal.
+    retry_budget: AtomicU64,
     /// Success/failure tallies and the harvest series. `attempts` inside
     /// is refreshed from the atomic at snapshot time.
     tallies: Mutex<CrawlStats>,
@@ -309,6 +350,9 @@ enum Tick {
     /// `in_flight` only falls *after* a page's outlinks are flushed,
     /// under that same lock — so `idle == true` is a race-free verdict
     /// that no in-flight work can still repopulate the frontier.
+    /// Parked rows (backoffs, quarantines) are future work: they keep
+    /// `idle` false, and each empty poll advances the tick clock so
+    /// their cooldowns actually expire.
     EmptyFrontier {
         idle: bool,
         attempts: u64,
@@ -375,6 +419,8 @@ impl CrawlSession {
         Self::commit_if_durable(&mut db)?;
         let initial_budget = cfg.max_fetches;
         let initial_policy = cfg.policy;
+        let initial_retries = cfg.retry_budget;
+        let health = HealthMap::new(cfg.backoff, cfg.breaker);
         let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
@@ -390,11 +436,14 @@ impl CrawlSession {
                 policy: initial_policy,
                 since_distill: 0,
                 last_distill: None,
+                health,
             }),
             counters: CounterState {
                 attempts: AtomicU64::new(0),
                 budget: AtomicU64::new(initial_budget),
                 in_flight: AtomicUsize::new(0),
+                clock: AtomicU64::new(0),
+                retry_budget: AtomicU64::new(initial_retries),
                 tallies: Mutex::new(CrawlStats::default()),
             },
             diag: Mutex::new(RunDiag::default()),
@@ -465,6 +514,7 @@ impl CrawlSession {
             r[crawl_col::NUMTRIES] = Value::Int(row.numtries);
             r[crawl_col::LASTVISITED] = Value::Int(row.lastvisited);
             r[crawl_col::VISITED] = Value::Int(row.state);
+            r[crawl_col::NOT_BEFORE] = Value::Int(row.not_before);
             crawl_rows.push(r);
             if row.state == visited::DONE && !row.url.is_empty() {
                 *g.server_counts.entry(host_server_id(&row.url)).or_insert(0) += 1;
@@ -501,6 +551,10 @@ impl CrawlSession {
             ckpt.stats.attempts + ckpt.budget_remaining,
             Ordering::Release,
         );
+        // Resume the tick clock where the checkpoint cut it, so parked
+        // rows (backoffs, quarantines) keep their remaining cooldowns
+        // instead of re-serving them from zero — or being sprung early.
+        session.counters.clock.store(ckpt.clock, Ordering::Release);
         Ok(session)
     }
 
@@ -515,7 +569,9 @@ impl CrawlSession {
     /// files the crashed session used. Saved per-page posteriors (the
     /// §3.7 re-marking cache) live only in memory and are not recovered;
     /// a re-mark after recovery falls back to refetching. The fetch
-    /// budget restarts at `cfg.max_fetches`.
+    /// budget restarts at `cfg.max_fetches`, and so do the retry budget
+    /// and every circuit breaker — server health is re-learned from
+    /// live evidence, not trusted across a crash.
     pub fn recover(
         fetcher: Arc<dyn Fetcher>,
         model: TrainedModel,
@@ -560,12 +616,28 @@ impl CrawlSession {
                 frontier::col_i64(row, 3, "link.sid_dst")? as u32,
             ));
         }
+        // The tick clock did not survive the crash, but parked rows
+        // (`not_before`) did. Restart the clock at the *latest* park
+        // expiry so every surviving row is immediately due: breakers
+        // restart closed and re-quarantine servers that are still sick,
+        // rather than honoring stale cooldowns against a clock that no
+        // longer means anything.
+        let mut clock = 0i64;
+        let parked_rs = db.query(&format!(
+            "select not_before from crawl where visited = {}",
+            visited::FRONTIER
+        ))?;
+        for row in &parked_rs.rows {
+            clock = clock.max(frontier::col_i64(row, 0, "not_before")?);
+        }
         // Make the demotion itself durable before handing the session
         // out: a crash right after recovery must not resurrect CLAIMED
         // rows.
         db.commit_durable()?;
         let initial_budget = cfg.max_fetches;
         let initial_policy = cfg.policy;
+        let initial_retries = cfg.retry_budget;
+        let health = HealthMap::new(cfg.backoff, cfg.breaker);
         let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
@@ -581,11 +653,14 @@ impl CrawlSession {
                 policy: initial_policy,
                 since_distill: 0,
                 last_distill: None,
+                health,
             }),
             counters: CounterState {
                 attempts: AtomicU64::new(0),
                 budget: AtomicU64::new(initial_budget),
                 in_flight: AtomicUsize::new(0),
+                clock: AtomicU64::new(clock.max(0) as u64),
+                retry_budget: AtomicU64::new(initial_retries),
                 tallies: Mutex::new(CrawlStats::default()),
             },
             diag: Mutex::new(RunDiag::default()),
@@ -771,6 +846,22 @@ impl CrawlSession {
         &self.control
     }
 
+    /// Apply per-run robustness overrides before the pool spawns: a
+    /// backoff or breaker override restarts the per-server health map
+    /// under the new policies (servers re-earn their quarantines), and
+    /// a retry-budget override refills the budget. No workers are alive
+    /// here (`ControlState::activate` guarantees one run at a time).
+    pub(crate) fn apply_run_overrides(&self, opts: &StartOptions) {
+        if opts.backoff.is_some() || opts.breaker.is_some() {
+            let backoff = opts.backoff.unwrap_or(self.cfg.backoff);
+            let breaker = opts.breaker.unwrap_or(self.cfg.breaker);
+            self.store.write().health = HealthMap::new(backoff, breaker);
+        }
+        if let Some(rb) = opts.retry_budget {
+            self.counters.retry_budget.store(rb, Ordering::Release);
+        }
+    }
+
     /// Clear the previous run's verdict so a fresh `start()` is judged on
     /// its own work. The tables themselves are left as-is: commands and
     /// page processing only mutate them at page boundaries, so even an
@@ -902,6 +993,11 @@ impl CrawlSession {
         sink: &EventSink,
         scratch: &mut Scratch,
     ) -> bool {
+        // Failed fetches accumulate here and flush in *one* critical
+        // section — before the next success lands, at stop/abort, and
+        // at the batch boundary — so an error storm from a down server
+        // costs one B+tree pass, not one per page.
+        let mut pending: Vec<(Claim, FetchErrorKind, u64)> = Vec::new();
         let mut i = 0usize;
         while i < claims.len() {
             let claim = &claims[i];
@@ -928,26 +1024,39 @@ impl CrawlSession {
                     .collect();
                 (summary, saved)
             });
-            let mut g = self.store.write();
-            let res = self.process(&mut g, claim, result, eval, attempt, sink);
-            // The gauge falls only after the page's outlinks are in the
-            // frontier (still under the write lock): a peer observing
-            // `in_flight == 0` with an empty frontier can trust it.
-            // In cluster mode the same applies to the global gauge —
-            // `process` routed this page's remote outlinks *before*
-            // this decrement, so a peer shard observing zero global
-            // in-flight is guaranteed to see them in `queued`.
-            self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
-            if let Some(ctx) = &self.shard {
-                ctx.exchange.sub_in_flight(1);
+            match result {
+                Err(e) => {
+                    // No lock taken for a failure: it joins the pending
+                    // flush. The claim stays in flight (gauge and row
+                    // both) until the flush lands it.
+                    pending.push((claim.clone(), FetchErrorKind::from(&e), attempt));
+                }
+                Ok(page) => {
+                    let mut g = self.store.write();
+                    let res = self
+                        .flush_failures(&mut g, &mut pending, sink)
+                        .and_then(|()| self.process(&mut g, claim, Ok(page), eval, attempt, sink));
+                    // The gauge falls only after the page's outlinks are
+                    // in the frontier (still under the write lock): a
+                    // peer observing `in_flight == 0` with an empty
+                    // frontier can trust it. In cluster mode the same
+                    // applies to the global gauge — `process` routed
+                    // this page's remote outlinks *before* this
+                    // decrement, so a peer shard observing zero global
+                    // in-flight is guaranteed to see them in `queued`.
+                    self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    if let Some(ctx) = &self.shard {
+                        ctx.exchange.sub_in_flight(1);
+                    }
+                    if let Err(e) = res {
+                        drop(g);
+                        self.record_error(e);
+                        self.release_unfetched(&claims[i + 1..]);
+                        return true;
+                    }
+                    drop(g);
+                }
             }
-            if let Err(e) = res {
-                drop(g);
-                self.record_error(e);
-                self.release_unfetched(&claims[i + 1..]);
-                return true;
-            }
-            drop(g);
             i += 1;
             // Page boundary inside the batch: steering commands take
             // effect between pages, not only between batches — and
@@ -976,25 +1085,75 @@ impl CrawlSession {
             if self.control.abort.load(Ordering::Acquire)
                 || self.control.run_state() == RunState::Stopping
             {
+                // The fetched-and-failed prefix must still land — those
+                // claims were *used* (they burned attempts) and cannot
+                // be handed back as unfetched.
+                self.flush_failures_standalone(&mut pending, sink);
                 self.release_unfetched(&claims[i..]);
                 return true;
             }
         }
-        // Batch boundary: cut a WAL commit point so the batch's pages
-        // are recoverable (fsync cadence follows the group-commit
-        // quota; the wind-down commit forces the last sync). Write-
-        // ahead discipline means the pages themselves may already be
-        // in the log — this just makes them part of the committed
-        // prefix.
+        // Batch boundary: land any trailing failures, then cut a WAL
+        // commit point so the batch's pages are recoverable (fsync
+        // cadence follows the group-commit quota; the wind-down commit
+        // forces the last sync). Write-ahead discipline means the pages
+        // themselves may already be in the log — this just makes them
+        // part of the committed prefix.
         {
             let mut g = self.store.write();
-            if let Err(e) = Self::commit_if_durable(&mut g.db) {
+            let res = self
+                .flush_failures(&mut g, &mut pending, sink)
+                .and_then(|()| Self::commit_if_durable(&mut g.db));
+            if let Err(e) = res {
                 drop(g);
                 self.record_error(e);
                 return true;
             }
         }
         false
+    }
+
+    /// Flush accumulated batch failures under an already-held store
+    /// write lock. The in-flight gauge falls here, *after* the rows are
+    /// back in the frontier (or dead) — the same lock discipline
+    /// successes use, so idle verdicts stay race-free.
+    fn flush_failures(
+        &self,
+        g: &mut StoreState,
+        pending: &mut Vec<(Claim, FetchErrorKind, u64)>,
+        sink: &EventSink,
+    ) -> DbResult<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let res = self.process_failures(g, pending, sink);
+        // Release the gauge even on error: the run is aborting, and
+        // `reset_run_diagnostics` treats lingering in-flight as stale
+        // anyway — matching the success path's unconditional decrement.
+        let n = pending.len();
+        pending.clear();
+        self.counters.in_flight.fetch_sub(n, Ordering::AcqRel);
+        if let Some(ctx) = &self.shard {
+            ctx.exchange.sub_in_flight(n);
+        }
+        res
+    }
+
+    /// [`CrawlSession::flush_failures`] for exit paths that do not
+    /// already hold the store lock.
+    fn flush_failures_standalone(
+        &self,
+        pending: &mut Vec<(Claim, FetchErrorKind, u64)>,
+        sink: &EventSink,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut g = self.store.write();
+        if let Err(e) = self.flush_failures(&mut g, pending, sink) {
+            drop(g);
+            self.record_error(e);
+        }
     }
 
     /// Claim the next batch of work, or decide why there is none. The
@@ -1032,14 +1191,20 @@ impl CrawlSession {
         let budget = self.counters.budget.load(Ordering::Acquire);
         let remaining = (budget - attempts) as usize;
         let want = batch_size.max(1).min(remaining);
-        match frontier::claim_batch(&mut g.db, want) {
-            Ok(claims) if claims.is_empty() => {
+        match self.claim_admitted(&mut g, want) {
+            Ok((claims, parked)) if claims.is_empty() => {
+                // Advance the clock on the empty poll so parked rows
+                // march toward their due ticks even when nothing is
+                // claimable (the all-quarantined crawl must eventually
+                // probe, not spin forever).
+                self.counters.clock.fetch_add(1, Ordering::AcqRel);
                 // Verdict under the same lock as the empty claim: any
                 // flush that completed before it contributed its
                 // outlinks to this claim, and any still-running flush
                 // holds the gauge up (it falls under this lock, after
-                // the flush).
-                let idle = self.counters.in_flight.load(Ordering::Acquire) == 0;
+                // the flush). Parked rows are future work, so they veto
+                // idleness exactly like in-flight claims do.
+                let idle = parked == 0 && self.counters.in_flight.load(Ordering::Acquire) == 0;
                 // Record the cluster-idle verdict while still holding
                 // the store lock. Every local frontier insertion clears
                 // the flag inside its own store critical section, so
@@ -1056,16 +1221,32 @@ impl CrawlSession {
                 }
                 Tick::EmptyFrontier { idle, attempts }
             }
-            Ok(claims) => {
+            Ok((claims, _)) => {
                 let first_attempt = attempts + 1;
                 self.counters
                     .attempts
+                    .fetch_add(claims.len() as u64, Ordering::AcqRel);
+                self.counters
+                    .clock
                     .fetch_add(claims.len() as u64, Ordering::AcqRel);
                 self.counters
                     .in_flight
                     .fetch_add(claims.len(), Ordering::AcqRel);
                 if let Some(ctx) = &self.shard {
                     ctx.exchange.add_in_flight(claims.len());
+                }
+                // Surface retries now that the claims are numbered: a
+                // nonzero `numtries` means this page failed before and
+                // its backoff just expired.
+                for (k, c) in claims.iter().enumerate() {
+                    if c.numtries > 0 {
+                        sink.emit(CrawlEvent::FetchRetried {
+                            oid: c.oid,
+                            attempt: first_attempt + k as u64,
+                            numtries: c.numtries,
+                            server: host_server_id(&c.url),
+                        });
+                    }
                 }
                 Tick::Work {
                     claims,
@@ -1078,6 +1259,59 @@ impl CrawlSession {
                 Tick::Exit
             }
         }
+    }
+
+    /// Claim up to `want` due frontier entries, gating every pop
+    /// through the per-server breaker *inside the claim critical
+    /// section*. Claims for quarantined servers are parked back
+    /// ([`frontier::park_batch`]) and the pop retried, so an open
+    /// breaker never starves the healthy work behind it in priority
+    /// order — and a parked claim is never counted as an attempt or
+    /// held in flight, so the budget and gauges stay exact.
+    ///
+    /// Returns the admitted claims plus a count of parked rows
+    /// encountered. The count can double-count rows parked by this
+    /// very call and re-seen by a later pop round; only its
+    /// zero/non-zero distinction is load-bearing (the idle verdict),
+    /// and that is exact.
+    fn claim_admitted(&self, g: &mut StoreState, want: usize) -> DbResult<(Vec<Claim>, usize)> {
+        let now = self.counters.clock.load(Ordering::Acquire) as i64;
+        let mut admitted: Vec<Claim> = Vec::with_capacity(want);
+        let mut parks: Vec<(Oid, i64)> = Vec::new();
+        let mut parked_rows = 0usize;
+        loop {
+            let outcome = frontier::claim_batch(&mut g.db, want - admitted.len(), now)?;
+            parked_rows = parked_rows.max(outcome.parked);
+            if outcome.claims.is_empty() {
+                break;
+            }
+            let mut parked_this_round = false;
+            for c in outcome.claims {
+                match g.health.admit(host_server_id(&c.url), now) {
+                    ClaimGate::Fetch | ClaimGate::Probe => admitted.push(c),
+                    ClaimGate::Parked { until } => {
+                        // Clamp into the future: a degenerate zero
+                        // cooldown must not hand the row straight back
+                        // to the next pop round (infinite loop).
+                        parks.push((c.oid, until.max(now + 1)));
+                        parked_this_round = true;
+                    }
+                }
+            }
+            if admitted.len() >= want || !parked_this_round {
+                break;
+            }
+            // Park before re-popping, or the same rows come straight
+            // back from the index.
+            frontier::park_batch(&mut g.db, &parks)?;
+            parked_rows += parks.len();
+            parks.clear();
+        }
+        if !parks.is_empty() {
+            parked_rows += parks.len();
+            frontier::park_batch(&mut g.db, &parks)?;
+        }
+        Ok((admitted, parked_rows))
     }
 
     /// Apply one steering command at a page boundary.
@@ -1350,42 +1584,25 @@ impl CrawlSession {
         let now = self.start.elapsed().as_secs() as i64;
         g.db.set_current_timestamp(now);
         match result {
-            Err(FetchError::Timeout(_)) => {
-                self.counters.tallies.lock().failures += 1;
-                frontier::mark_failed(&mut g.db, claim.oid, true, self.cfg.max_tries)?;
-                sink.emit(CrawlEvent::FetchFailed {
-                    oid: claim.oid,
-                    attempt,
-                    retriable: true,
-                });
-                Ok(())
-            }
-            Err(FetchError::NotFound(_)) => {
-                self.counters.tallies.lock().failures += 1;
-                frontier::mark_failed(&mut g.db, claim.oid, false, self.cfg.max_tries)?;
-                sink.emit(CrawlEvent::FetchFailed {
-                    oid: claim.oid,
-                    attempt,
-                    retriable: false,
-                });
-                Ok(())
-            }
+            Err(ref e) => self.process_failures(
+                g,
+                &[(claim.clone(), FetchErrorKind::from(e), attempt)],
+                sink,
+            ),
             Ok(page) => {
                 // A successful fetch is always classified by
                 // `process_batch`; if the evaluation is missing anyway
                 // (an invariant break upstream), record the attempt as
                 // a retriable failure rather than panicking the worker
                 // — the page stays in the frontier and the pool stays
-                // alive.
+                // alive. The server answered, so its breaker is not
+                // charged ([`FetchErrorKind::Unclassifiable`]).
                 let Some((summary, saved_probs)) = eval else {
-                    self.counters.tallies.lock().failures += 1;
-                    frontier::mark_failed(&mut g.db, claim.oid, true, self.cfg.max_tries)?;
-                    sink.emit(CrawlEvent::FetchFailed {
-                        oid: claim.oid,
-                        attempt,
-                        retriable: true,
-                    });
-                    return Ok(());
+                    return self.process_failures(
+                        g,
+                        &[(claim.clone(), FetchErrorKind::Unclassifiable, attempt)],
+                        sink,
+                    );
                 };
                 let r = summary.relevance;
                 let log_r = log_clamped(r);
@@ -1410,6 +1627,12 @@ impl CrawlSession {
                 g.class_probs.insert(page.oid, saved_probs);
                 let sid_src = host_server_id(&page.url);
                 *g.server_counts.entry(sid_src).or_insert(0) += 1;
+                // A success closes the server's breaker (the half-open
+                // probe came back) and resets its failure streak.
+                if g.health.record_success(sid_src) {
+                    Self::write_server_health(&mut g.db, sid_src, g.health.get(sid_src))?;
+                    sink.emit(CrawlEvent::ServerRecovered { server: sid_src });
+                }
 
                 // Record links and expand the frontier. The whole page's
                 // LINK rows land through one batch insert and its
@@ -1519,6 +1742,139 @@ impl CrawlSession {
                 Ok(())
             }
         }
+    }
+
+    /// Record a batch of failed fetches in one critical section: route
+    /// server-attributable failures through the health map (backoff,
+    /// breaker, retry budget), write every row via one
+    /// [`frontier::mark_failed_batch`] pass, mirror breaker transitions
+    /// into `server_health`, and emit the enriched
+    /// [`CrawlEvent::FetchFailed`] events.
+    fn process_failures(
+        &self,
+        g: &mut StoreState,
+        failures: &[(Claim, FetchErrorKind, u64)],
+        sink: &EventSink,
+    ) -> DbResult<()> {
+        if failures.is_empty() {
+            return Ok(());
+        }
+        g.db.set_current_timestamp(self.start.elapsed().as_secs() as i64);
+        self.counters.tallies.lock().failures += failures.len() as u64;
+        let now = self.counters.clock.load(Ordering::Acquire) as i64;
+        let mut updates = Vec::with_capacity(failures.len());
+        // Per item: (quarantine opened by this failure, row is behind
+        // an open breaker) — computed in the first pass, consumed when
+        // events are cut after the rows land.
+        let mut verdicts = Vec::with_capacity(failures.len());
+        for (claim, kind, _) in failures {
+            let mut not_before = 0i64;
+            let mut quarantined: Option<(ServerId, u32, i64)> = None;
+            let mut behind_breaker = false;
+            if *kind == FetchErrorKind::Timeout {
+                // Only timeouts say anything about the *server*: a 404
+                // is a dead page on a live host, and an unclassifiable
+                // page was served fine.
+                let sid = host_server_id(&claim.url);
+                match g.health.record_failure(sid, now) {
+                    FailureVerdict::Backoff { not_before: nb } => {
+                        not_before = nb;
+                        behind_breaker = g
+                            .health
+                            .get(sid)
+                            .is_some_and(|h| h.breaker != Breaker::Closed);
+                    }
+                    FailureVerdict::Quarantined { until, failures: n } => {
+                        not_before = until;
+                        behind_breaker = true;
+                        quarantined = Some((sid, n, until));
+                    }
+                }
+            }
+            // Retriable failures spend the retry budget — but only when
+            // the page would actually requeue. With the budget dry the
+            // failure is terminal, so retries can never starve
+            // first-visit fetches out of the remaining fetch budget.
+            let mut retriable = *kind != FetchErrorKind::NotFound;
+            if retriable && claim.numtries + 1 < self.cfg.max_tries {
+                let charged = self
+                    .counters
+                    .retry_budget
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+                    .is_ok();
+                if !charged {
+                    retriable = false;
+                }
+            }
+            updates.push(frontier::FailureUpdate {
+                oid: claim.oid,
+                retriable,
+                not_before,
+            });
+            verdicts.push((quarantined, behind_breaker));
+        }
+        let dispositions = frontier::mark_failed_batch(&mut g.db, &updates, self.cfg.max_tries)?;
+        for (i, (claim, kind, attempt)) in failures.iter().enumerate() {
+            let (quarantined, behind_breaker) = verdicts[i];
+            let outcome = match dispositions[i] {
+                frontier::FailDisposition::Dead => FailureOutcome::Dead,
+                frontier::FailDisposition::Retried { not_before } if behind_breaker => {
+                    FailureOutcome::Parked { not_before }
+                }
+                frontier::FailDisposition::Retried { not_before } => {
+                    FailureOutcome::Retried { not_before }
+                }
+            };
+            sink.emit(CrawlEvent::FetchFailed {
+                oid: claim.oid,
+                attempt: *attempt,
+                retriable: *kind != FetchErrorKind::NotFound,
+                error: *kind,
+                outcome,
+            });
+            if let Some((sid, n, until)) = quarantined {
+                Self::write_server_health(&mut g.db, sid, g.health.get(sid))?;
+                sink.emit(CrawlEvent::ServerQuarantined {
+                    server: sid,
+                    failures: n,
+                    until,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror one server's breaker record into the `server_health`
+    /// table. Written on state *transitions* only (quarantine opened,
+    /// server recovered) so the §3.7 monitoring view stays off the hot
+    /// path; the rows ride the WAL, so replicas serve the view too.
+    fn write_server_health(
+        db: &mut Database,
+        sid: ServerId,
+        health: Option<&ServerHealth>,
+    ) -> DbResult<()> {
+        db.execute(&format!(
+            "delete from server_health where sid = {}",
+            sid.raw() as i64
+        ))?;
+        let Some(h) = health else { return Ok(()) };
+        let (state, until) = match h.breaker {
+            Breaker::Closed => ("closed", 0),
+            Breaker::Open { until } => ("open", until),
+            Breaker::Probing => ("probing", 0),
+        };
+        let tid = db.table_id("server_health")?;
+        db.insert(
+            tid,
+            vec![
+                Value::Int(sid.raw() as i64),
+                Value::Str(state.to_owned()),
+                Value::Int(h.consec_failures as i64),
+                Value::Int(until),
+                Value::Int(h.quarantines as i64),
+            ],
+        )?;
+        Ok(())
     }
 
     fn distill_locked(&self, g: &mut StoreState, sink: Option<&EventSink>) -> DbResult<()> {
@@ -1739,7 +2095,7 @@ impl CrawlSession {
         let g = self.store.read();
         let rs = g.db.query(
             "select oid, url, kcid, numtries, relevance, serverload, lastvisited, \
-             visited from crawl",
+             visited, not_before from crawl",
         )?;
         // Strict decodes throughout: a torn row surfaces as
         // `DbError::Corrupt` instead of silently resurrecting an
@@ -1764,6 +2120,7 @@ impl CrawlSession {
                     serverload: frontier::col_i64(row, 5, "serverload")?,
                     lastvisited: frontier::col_i64(row, 6, "lastvisited")?,
                     state,
+                    not_before: frontier::col_i64(row, 8, "not_before")?,
                 })
             })
             .collect::<DbResult<Vec<CheckpointPage>>>()?;
@@ -1811,6 +2168,7 @@ impl CrawlSession {
             budget_remaining,
             policy,
             good_topics,
+            clock: self.counters.clock.load(Ordering::Acquire),
         })
     }
 
@@ -1949,6 +2307,9 @@ pub struct CheckpointPage {
     pub lastvisited: i64,
     /// Lifecycle state ([`crate::tables::visited`] constants).
     pub state: i64,
+    /// Earliest tick the row may be claimed again (backoff/quarantine
+    /// parking; 0 = immediately poppable).
+    pub not_before: i64,
 }
 
 /// Frontier + relevance state of a crawl, sufficient to resume the run in
@@ -1972,6 +2333,9 @@ pub struct CrawlCheckpoint {
     pub policy: CrawlPolicy,
     /// Names of the good topics at checkpoint time.
     pub good_topics: Vec<String>,
+    /// The tick clock at checkpoint time — restored verbatim so parked
+    /// rows serve out exactly their remaining cooldowns.
+    pub clock: u64,
 }
 
 impl CrawlCheckpoint {
@@ -2888,5 +3252,220 @@ mod tests {
         assert_eq!(session.policy(), CrawlPolicy::Unfocused);
         run.stop();
         run.join().unwrap();
+    }
+
+    #[test]
+    fn fetch_failed_events_carry_kind_and_outcome() {
+        // Satellite of the enriched-event contract: every failure names
+        // its error kind and actual disposition, and each requeue is
+        // announced (FetchRetried) before the retry's own verdict.
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
+        let session = Arc::new(
+            CrawlSession::new(
+                Arc::new(AllTimeoutFetcher),
+                model,
+                CrawlConfig {
+                    threads: 1,
+                    max_fetches: 100,
+                    max_tries: 3,
+                    distill_every: None,
+                    backoff: BackoffConfig { base: 2, max: 4 },
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        session.seed(&[Oid(1)]).unwrap();
+        let recorder = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let run = session
+            .start_with(StartOptions {
+                observers: vec![Arc::new(Arc::clone(&recorder))],
+                ..StartOptions::default()
+            })
+            .unwrap();
+        let stats = run.join().unwrap();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.failures, 3);
+        let events = recorder.0.lock().unwrap().clone();
+        let fail_pos: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, CrawlEvent::FetchFailed { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(fail_pos.len(), 3, "{events:?}");
+        for (k, &i) in fail_pos.iter().enumerate() {
+            let CrawlEvent::FetchFailed {
+                oid,
+                retriable,
+                error,
+                outcome,
+                ..
+            } = &events[i]
+            else {
+                unreachable!()
+            };
+            assert_eq!(*oid, Oid(1));
+            assert_eq!(*error, FetchErrorKind::Timeout);
+            assert!(*retriable, "timeouts are kind-retriable");
+            if k < 2 {
+                // Default breaker threshold (5) never trips here, so
+                // the page backs off rather than parks.
+                assert!(
+                    matches!(outcome, FailureOutcome::Retried { not_before } if *not_before > 0),
+                    "attempt {k} outcome: {outcome:?}"
+                );
+            } else {
+                assert_eq!(*outcome, FailureOutcome::Dead, "max_tries reached");
+            }
+        }
+        // Each backoff expiry is announced between the failure that
+        // caused it and the retry's own failure.
+        let r1 = position_of(&events, |e| {
+            matches!(e, CrawlEvent::FetchRetried { numtries: 1, .. })
+        });
+        let r2 = position_of(&events, |e| {
+            matches!(e, CrawlEvent::FetchRetried { numtries: 2, .. })
+        });
+        assert!(
+            fail_pos[0] < r1 && r1 < fail_pos[1],
+            "first retry at {r1}, failures at {fail_pos:?}"
+        );
+        assert!(
+            fail_pos[1] < r2 && r2 < fail_pos[2],
+            "second retry at {r2}, failures at {fail_pos:?}"
+        );
+    }
+
+    #[test]
+    fn dry_retry_budget_never_starves_first_visits() {
+        // Satellite regression for retry starvation: with every fetch
+        // timing out and only two retries in the budget, every seed must
+        // still get its first visit, hopeless retries must stop the
+        // moment the budget dries (terminal Dead, not endless requeues),
+        // and the run must terminate with fetch budget to spare.
+        let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+        let model = trained_model(&graph, "recreation/cycling");
+        let session = Arc::new(
+            CrawlSession::new(
+                Arc::new(AllTimeoutFetcher),
+                model,
+                CrawlConfig {
+                    threads: 1,
+                    max_fetches: 1000,
+                    max_tries: 5,
+                    distill_every: None,
+                    backoff: BackoffConfig { base: 2, max: 4 },
+                    // Never trip the breaker: this test isolates the
+                    // retry budget.
+                    breaker: BreakerConfig {
+                        threshold: u32::MAX,
+                        cooldown: 4,
+                        max_cooldown: 8,
+                    },
+                    retry_budget: 2,
+                    ..CrawlConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let seeds: Vec<Oid> = (1..=6).map(Oid).collect();
+        session.seed(&seeds).unwrap();
+        let recorder = Arc::new(Recorder(StdMutex::new(Vec::new())));
+        let run = session
+            .start_with(StartOptions {
+                observers: vec![Arc::new(Arc::clone(&recorder))],
+                ..StartOptions::default()
+            })
+            .unwrap();
+        let stats = run.join().unwrap();
+        // 6 first visits + exactly the 2 budgeted retries.
+        assert_eq!(stats.attempts, 8, "{stats:?}");
+        assert_eq!(stats.failures, 8);
+        assert!(
+            stats.attempts < 1000,
+            "fetch budget must survive a dry retry budget"
+        );
+        let events = recorder.0.lock().unwrap().clone();
+        let mut seen = std::collections::HashSet::new();
+        let (mut requeued, mut dead) = (0, 0);
+        for e in &events {
+            if let CrawlEvent::FetchFailed { oid, outcome, .. } = e {
+                seen.insert(*oid);
+                match outcome {
+                    FailureOutcome::Retried { .. } | FailureOutcome::Parked { .. } => {
+                        requeued += 1;
+                    }
+                    FailureOutcome::Dead => dead += 1,
+                }
+            }
+        }
+        assert_eq!(seen.len(), 6, "every seed got its first visit");
+        assert_eq!(requeued, 2, "exactly the budgeted retries requeued");
+        assert_eq!(dead, 6, "everything else died promptly");
+    }
+
+    #[test]
+    fn parked_rows_survive_checkpoint_and_restore() {
+        // Satellite of the parking/durability coupling: a parked row
+        // keeps its `not_before` through checkpoint/restore, and the
+        // tick clock rides along, so the row serves out exactly its
+        // remaining cooldown in the restored session.
+        let (graph, session) = setup(CrawlPolicy::SoftFocus, 80);
+        let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+        let seeds = focus_webgraph::search::topic_start_set(&graph, cycling, 5);
+        session.seed(&seeds).unwrap();
+        let parked_oid = {
+            let mut g = session.store.write();
+            let claim = frontier::claim_next(&mut g.db).unwrap().unwrap();
+            frontier::park_batch(&mut g.db, &[(claim.oid, 42)]).unwrap();
+            claim.oid
+        };
+        session.counters.clock.store(7, Ordering::Release);
+        let ckpt = session.checkpoint().unwrap();
+        assert_eq!(ckpt.clock, 7, "tick clock checkpointed");
+        let page = ckpt
+            .pages
+            .iter()
+            .find(|p| p.oid == parked_oid)
+            .expect("parked row in checkpoint");
+        assert_eq!(page.state, visited::FRONTIER, "parked rows are frontier");
+        assert_eq!(page.not_before, 42, "cooldown survives the checkpoint");
+
+        let model = trained_model(&graph, "recreation/cycling");
+        let restored = CrawlSession::restore(
+            Arc::new(SimFetcher::new(Arc::clone(&graph), None)),
+            model,
+            CrawlConfig {
+                threads: 1,
+                max_fetches: 80,
+                distill_every: None,
+                ..CrawlConfig::default()
+            },
+            &ckpt,
+        )
+        .unwrap();
+        assert_eq!(
+            restored.counters.clock.load(Ordering::Acquire),
+            7,
+            "clock restored verbatim"
+        );
+        let mut g = restored.store.write();
+        // Before its tick the row hides from claims without losing its
+        // place...
+        let early = frontier::claim_batch(&mut g.db, 16, 7).unwrap();
+        assert!(
+            early.claims.iter().all(|c| c.oid != parked_oid),
+            "parked row popped early: {early:?}"
+        );
+        assert_eq!(early.parked, 1, "parked row visible to the idle verdict");
+        assert_eq!(early.next_due, Some(42));
+        // ...and pops the moment the clock reaches it.
+        let due = frontier::claim_batch(&mut g.db, 16, 42).unwrap();
+        assert!(
+            due.claims.iter().any(|c| c.oid == parked_oid),
+            "parked row must be due at its tick: {due:?}"
+        );
     }
 }

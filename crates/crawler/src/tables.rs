@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! CRAWL(oid, url, kcid, numtries, relevance, negrel, serverload,
-//!       lastvisited, visited)
+//!       lastvisited, visited, not_before)
 //! LINK (oid_src, sid_src, oid_dst, sid_dst, discovered)
 //! ```
 //!
@@ -15,7 +15,11 @@
 //! frontier index `(visited, numtries, negrel, serverload)` realizes the
 //! paper's lexicographic order with an ascending-only B+tree. `visited`
 //! encodes the lifecycle: 0 = frontier, 1 = fetched, 2 = claimed by a
-//! worker, 3 = dead. Edge weights are *not* stored in `LINK`; the
+//! worker, 3 = dead. `not_before` parks a frontier row until a crawl
+//! tick: backoff after a retriable failure, or quarantine while the
+//! page's server sits behind an open circuit breaker — the pop path
+//! skips parked rows without disturbing their priority-order position.
+//! Edge weights are *not* stored in `LINK`; the
 //! distillation trigger derives `EF`/`EB` from current `CRAWL` relevance
 //! (the paper recomputes weights by trigger as the neighborhood changes).
 
@@ -56,13 +60,16 @@ pub mod crawl_col {
     pub const LASTVISITED: usize = 7;
     /// Lifecycle state.
     pub const VISITED: usize = 8;
+    /// Earliest crawl tick at which a frontier row may be claimed
+    /// (0 = immediately poppable).
+    pub const NOT_BEFORE: usize = 9;
 }
 
 /// Create `CRAWL` + `LINK` and their indexes.
 pub fn create_tables(db: &mut Database) -> DbResult<()> {
     db.execute(
         "create table crawl (oid int, url text, kcid int, numtries int, relevance float, \
-         negrel float, serverload int, lastvisited int, visited int)",
+         negrel float, serverload int, lastvisited int, visited int, not_before int)",
     )?;
     db.execute("create index crawl_oid on crawl (oid)")?;
     db.execute("create index crawl_frontier on crawl (visited, numtries, negrel, serverload)")?;
@@ -71,6 +78,15 @@ pub fn create_tables(db: &mut Database) -> DbResult<()> {
          discovered int)",
     )?;
     db.execute("create index link_src on link (oid_src)")?;
+    // Per-server breaker ledger behind the §3.7-style monitoring SQL:
+    // one row per server whose circuit breaker ever left `closed`,
+    // rewritten on every state transition. Flows through the WAL like
+    // any other table, so replicas serve the server-health view too.
+    db.execute(
+        "create table server_health (sid int, state text, consec int, \
+         until_tick int, quarantines int)",
+    )?;
+    db.execute("create index server_health_sid on server_health (sid)")?;
     Ok(())
 }
 
@@ -146,6 +162,7 @@ pub fn frontier_row(oid: Oid, url: &str, log_relevance: f64, serverload: i64) ->
         Value::Int(serverload),
         Value::Int(0),
         Value::Int(visited::FRONTIER),
+        Value::Int(0),
     ]
 }
 

@@ -1,0 +1,447 @@
+//! The chaos bars: seeded fault injection (`focus_webgraph::chaos`)
+//! driven against the crawler's health layer (backoff, circuit
+//! breakers, retry budget). Four acceptance bars:
+//!
+//! 1. dead servers are quarantined within `breaker.threshold`
+//!    consecutive failures each;
+//! 2. healthy servers keep ≥ 0.8× their clean-run throughput while the
+//!    outage lasts (a deterministic work-proxy — success counts under
+//!    the same fetch budget — so no wall-clock gating is needed);
+//! 3. harvest recovers to within 0.05 of the clean run after the
+//!    outage heals;
+//! 4. a crawl whose *every* server is quarantined still terminates.
+//!
+//! Two server-id spaces meet here: [`ChaosSchedule`] keys on the
+//! generator's [`ServerId`]s (via [`Fetcher::server_of`]), while the
+//! crawler's health map and its `Server*` events key on
+//! [`host_server_id`] of the page URL. The tests translate through the
+//! page table.
+
+use focus_classifier::train::{train, TrainConfig};
+use focus_crawler::session::{CrawlConfig, CrawlSession};
+use focus_crawler::{
+    host_server_id, BackoffConfig, BreakerConfig, CrawlCluster, CrawlEvent, CrawlObserver,
+    CrawlPolicy, FetchErrorKind, StartOptions,
+};
+use focus_types::{ClassId, Oid, ServerId};
+use focus_webgraph::{
+    ChaosFetcher, ChaosSchedule, FaultProfile, Fetcher, SimFetcher, WebConfig, WebGraph,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn trained_model(graph: &Arc<WebGraph>, good: &str) -> focus_classifier::model::TrainedModel {
+    let mut taxonomy = graph.taxonomy().clone();
+    let topic = taxonomy.find(good).unwrap();
+    taxonomy.mark_good(topic).unwrap();
+    let mut examples = Vec::new();
+    for c in taxonomy.all() {
+        if c == ClassId::ROOT {
+            continue;
+        }
+        for d in graph.example_docs(c, 6, 99) {
+            examples.push((c, d));
+        }
+    }
+    train(&taxonomy, &examples, &TrainConfig::default())
+}
+
+/// Records every event from every shard; per-server orderings are
+/// preserved because one server lives on exactly one shard and each
+/// shard here runs a single worker.
+struct Recorder(Mutex<Vec<CrawlEvent>>);
+
+impl CrawlObserver for Recorder {
+    fn on_event(&self, event: &CrawlEvent) {
+        self.0.lock().unwrap().push(event.clone());
+    }
+}
+
+fn recorder() -> Arc<Recorder> {
+    Arc::new(Recorder(Mutex::new(Vec::new())))
+}
+
+fn events_of(r: &Recorder) -> Vec<CrawlEvent> {
+    r.0.lock().unwrap().clone()
+}
+
+/// The world under test plus the fault plan: the two cycling-heaviest
+/// generator servers are marked for death (the crawl will certainly
+/// visit them), seeds are restricted to the surviving servers so the
+/// crawl can start, and both id spaces are mapped.
+struct ChaosWorld {
+    graph: Arc<WebGraph>,
+    /// Seeds on servers that stay healthy.
+    seeds: Vec<Oid>,
+    /// Generator-side ids of the servers taken down.
+    dead: Vec<ServerId>,
+    /// Crawler-side (`host_server_id`) ids of the same servers.
+    dead_sids: HashSet<ServerId>,
+    /// oid → crawler-side server id, for event attribution.
+    sid_of: HashMap<Oid, ServerId>,
+}
+
+fn chaos_world() -> ChaosWorld {
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(13)));
+    let sim = SimFetcher::new(Arc::clone(&graph), None);
+    let cycling = graph.taxonomy().find("recreation/cycling").unwrap();
+    let mut weight: HashMap<ServerId, usize> = HashMap::new();
+    for p in graph.pages() {
+        if p.topic == cycling {
+            *weight.entry(p.server).or_default() += 1;
+        }
+    }
+    let mut ranked: Vec<(ServerId, usize)> = weight.into_iter().collect();
+    ranked.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s.raw()));
+    assert!(ranked.len() >= 3, "cycling must span several servers");
+    let dead: Vec<ServerId> = ranked.iter().take(2).map(|&(s, _)| s).collect();
+    let sid_of: HashMap<Oid, ServerId> = graph
+        .pages()
+        .iter()
+        .map(|p| {
+            let url = sim.url_of(p.oid).expect("generated pages have URLs");
+            (p.oid, host_server_id(&url))
+        })
+        .collect();
+    let server_of: HashMap<Oid, ServerId> =
+        graph.pages().iter().map(|p| (p.oid, p.server)).collect();
+    let dead_sids: HashSet<ServerId> = graph
+        .pages()
+        .iter()
+        .filter(|p| dead.contains(&p.server))
+        .map(|p| sid_of[&p.oid])
+        .collect();
+    let seeds: Vec<Oid> = focus_webgraph::search::topic_start_set(&graph, cycling, 12)
+        .into_iter()
+        .filter(|o| !dead.contains(&server_of[o]))
+        .collect();
+    assert!(
+        seeds.len() >= 2,
+        "need seeds on healthy servers to start the crawl"
+    );
+    ChaosWorld {
+        graph,
+        seeds,
+        dead,
+        dead_sids,
+        sid_of,
+    }
+}
+
+/// The shared crawl shape: small breaker/backoff constants keep the
+/// cooldown arithmetic (and hence the test) fast.
+fn chaos_cfg(max_fetches: u64) -> CrawlConfig {
+    CrawlConfig {
+        policy: CrawlPolicy::SoftFocus,
+        threads: 4,
+        max_fetches,
+        max_tries: 4,
+        distill_every: None,
+        backoff: BackoffConfig { base: 2, max: 8 },
+        breaker: BreakerConfig {
+            threshold: 3,
+            cooldown: 8,
+            max_cooldown: 32,
+        },
+        ..CrawlConfig::default()
+    }
+}
+
+/// An outage covering `[0, duration)` fetch ticks on every dead server.
+fn outage_schedule(w: &ChaosWorld, duration: u64) -> ChaosSchedule {
+    let mut s = ChaosSchedule::new(4242);
+    for &srv in &w.dead {
+        s = s.with_profile(srv, FaultProfile::Outage { start: 0, duration });
+    }
+    s
+}
+
+/// Successes attributed to servers outside `dead_sids`.
+fn healthy_successes(events: &[CrawlEvent], w: &ChaosWorld) -> usize {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(e, CrawlEvent::PageClassified { oid, .. }
+                     if !w.dead_sids.contains(&w.sid_of[oid]))
+        })
+        .count()
+}
+
+/// Bars 1 and 2 on a 4-shard cluster: a full-run outage on the two
+/// cycling-heaviest servers. Both dead servers must be quarantined
+/// within `threshold` failures (counted since the server's last
+/// success), healthy-server throughput must hold at ≥ 0.8× the clean
+/// run's, and the cluster must terminate.
+#[test]
+fn outage_quarantines_dead_servers_within_threshold() {
+    let w = chaos_world();
+    let model = trained_model(&w.graph, "recreation/cycling");
+    let budget = 240;
+
+    // Clean reference: same seeds, same budget, no faults.
+    let clean_rec = recorder();
+    let clean = CrawlCluster::new(
+        4,
+        Arc::new(SimFetcher::new(Arc::clone(&w.graph), None)),
+        model.clone(),
+        chaos_cfg(budget),
+    )
+    .unwrap();
+    clean.seed(&w.seeds).unwrap();
+    clean
+        .start_with(StartOptions {
+            observers: vec![Arc::clone(&clean_rec) as _],
+            ..StartOptions::default()
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    let clean_healthy = healthy_successes(&events_of(&clean_rec), &w);
+    assert!(clean_healthy > 0, "clean run fetched nothing off-outage");
+
+    // Chaos run: the outage outlives the whole fetch budget.
+    let chaos_rec = recorder();
+    let chaos = CrawlCluster::new(
+        4,
+        Arc::new(ChaosFetcher::new(
+            Arc::new(SimFetcher::new(Arc::clone(&w.graph), None)),
+            outage_schedule(&w, u64::MAX),
+        )),
+        model,
+        chaos_cfg(budget),
+    )
+    .unwrap();
+    chaos.seed(&w.seeds).unwrap();
+    let stats = chaos
+        .start_with(StartOptions {
+            observers: vec![Arc::clone(&chaos_rec) as _],
+            ..StartOptions::default()
+        })
+        .unwrap()
+        .join()
+        .expect("outage run must terminate cleanly");
+    let events = events_of(&chaos_rec);
+
+    // Bar 1: every dead server quarantined, each within `threshold`
+    // failures of its last success (here: of the crawl start).
+    let quarantined: HashSet<ServerId> = events
+        .iter()
+        .filter_map(|e| match e {
+            CrawlEvent::ServerQuarantined { server, .. } => Some(*server),
+            _ => None,
+        })
+        .collect();
+    for sid in &w.dead_sids {
+        assert!(
+            quarantined.contains(sid),
+            "dead server {sid:?} never quarantined; quarantined={quarantined:?}"
+        );
+    }
+    let threshold = chaos_cfg(budget).breaker.threshold as usize;
+    let mut since_success: HashMap<ServerId, usize> = HashMap::new();
+    let mut first_quarantine: HashSet<ServerId> = HashSet::new();
+    for e in &events {
+        match e {
+            CrawlEvent::PageClassified { oid, .. } => {
+                since_success.insert(w.sid_of[oid], 0);
+            }
+            CrawlEvent::FetchFailed { oid, error, .. } if *error == FetchErrorKind::Timeout => {
+                *since_success.entry(w.sid_of[oid]).or_default() += 1;
+            }
+            CrawlEvent::ServerQuarantined { server, .. } if first_quarantine.insert(*server) => {
+                let n = since_success.get(server).copied().unwrap_or(0);
+                assert!(
+                    n <= threshold,
+                    "server {server:?} absorbed {n} timeouts before its \
+                     first quarantine (threshold {threshold})"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Bar 2: healthy servers keep ≥ 0.8× clean throughput during the
+    // outage (the outage spans the whole budget, so every success is
+    // "during").
+    let chaos_healthy = healthy_successes(&events, &w);
+    assert!(
+        chaos_healthy as f64 >= 0.8 * clean_healthy as f64,
+        "healthy-server throughput collapsed under the outage: \
+         {chaos_healthy} vs {clean_healthy} clean (stats {stats:?})"
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, CrawlEvent::PageClassified { oid, .. }
+                                 if w.dead_sids.contains(&w.sid_of[oid])))
+            .count(),
+        0,
+        "a page landed from a server that was down all run"
+    );
+}
+
+/// Bar 3 on a single shard (one worker, so both runs are fully
+/// deterministic): an outage over the first third of the budget, healed
+/// after. The breakers must re-admit the healed servers (ServerRecovered)
+/// and tail harvest must come back to within 0.05 of the clean run's.
+#[test]
+fn harvest_recovers_after_outage_heals() {
+    let w = chaos_world();
+    let model = trained_model(&w.graph, "recreation/cycling");
+    let budget = 240u64;
+    let outage_ticks = 80u64;
+    let cfg = CrawlConfig {
+        threads: 1,
+        ..chaos_cfg(budget)
+    };
+    let tail_mean = |stats: &focus_crawler::CrawlStats| {
+        let tail: Vec<f64> = stats
+            .harvest
+            .iter()
+            .filter(|&&(x, _)| x > 2 * budget / 3)
+            .map(|&(_, r)| r)
+            .collect();
+        assert!(!tail.is_empty(), "no tail harvest: {stats:?}");
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+
+    let clean = Arc::new(
+        CrawlSession::new(
+            Arc::new(SimFetcher::new(Arc::clone(&w.graph), None)),
+            model.clone(),
+            cfg.clone(),
+        )
+        .unwrap(),
+    );
+    clean.seed(&w.seeds).unwrap();
+    let clean_tail = tail_mean(&clean.run().unwrap());
+
+    let rec = recorder();
+    let chaos = Arc::new(
+        CrawlSession::new(
+            Arc::new(ChaosFetcher::new(
+                Arc::new(SimFetcher::new(Arc::clone(&w.graph), None)),
+                outage_schedule(&w, outage_ticks),
+            )),
+            model,
+            cfg,
+        )
+        .unwrap(),
+    );
+    chaos.seed(&w.seeds).unwrap();
+    let run = chaos
+        .start_with(StartOptions {
+            observers: vec![Arc::clone(&rec) as _],
+            ..StartOptions::default()
+        })
+        .unwrap();
+    let stats = run.join().unwrap();
+    let events = events_of(&rec);
+
+    let recovered: HashSet<ServerId> = events
+        .iter()
+        .filter_map(|e| match e {
+            CrawlEvent::ServerRecovered { server } => Some(*server),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        recovered.iter().any(|s| w.dead_sids.contains(s)),
+        "no dead server recovered after the outage healed: {events:?}"
+    );
+    let chaos_tail = tail_mean(&stats);
+    assert!(
+        chaos_tail >= clean_tail - 0.05,
+        "tail harvest never recovered: chaos {chaos_tail:.3} vs clean {clean_tail:.3}"
+    );
+}
+
+/// Bar 4: with *every* server down forever, a 4-shard cluster must
+/// still terminate — parked rows keep the idle verdict false while the
+/// tick clock (advanced by empty polls) serves out the cooldowns, and
+/// `max_tries` plus the retry budget drive every row to a terminal
+/// state. A wedge here shows up as this test hanging past its deadline.
+#[test]
+fn fully_quarantined_cluster_terminates() {
+    let w = chaos_world();
+    let model = trained_model(&w.graph, "recreation/cycling");
+    let all_servers: HashSet<ServerId> = w.graph.pages().iter().map(|p| p.server).collect();
+    let mut schedule = ChaosSchedule::new(99);
+    for &srv in &all_servers {
+        schedule = schedule.with_profile(
+            srv,
+            FaultProfile::Outage {
+                start: 0,
+                duration: u64::MAX,
+            },
+        );
+    }
+    let cfg = CrawlConfig {
+        max_tries: 3,
+        retry_budget: 40,
+        breaker: BreakerConfig {
+            threshold: 2,
+            cooldown: 4,
+            max_cooldown: 16,
+        },
+        backoff: BackoffConfig { base: 2, max: 4 },
+        ..chaos_cfg(400)
+    };
+    let cluster = CrawlCluster::new(
+        4,
+        Arc::new(ChaosFetcher::new(
+            Arc::new(SimFetcher::new(Arc::clone(&w.graph), None)),
+            schedule,
+        )),
+        model,
+        cfg,
+    )
+    .unwrap();
+    cluster
+        .seed(&focus_webgraph::search::topic_start_set(
+            &w.graph,
+            w.graph.taxonomy().find("recreation/cycling").unwrap(),
+            12,
+        ))
+        .unwrap();
+    let rec = recorder();
+    let run = cluster
+        .start_with(StartOptions {
+            observers: vec![Arc::clone(&rec) as _],
+            ..StartOptions::default()
+        })
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !run.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "all-quarantined cluster wedged: {:?}",
+            run.stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = run.join().expect("all-quarantined run must join cleanly");
+    assert_eq!(
+        stats.successes, 0,
+        "nothing can land with every server down"
+    );
+    assert!(stats.attempts > 0, "the crawl never even tried");
+    assert_eq!(stats.attempts, stats.failures);
+    assert!(
+        events_of(&rec)
+            .iter()
+            .any(|e| matches!(e, CrawlEvent::ServerQuarantined { .. })),
+        "breakers never opened with every server down"
+    );
+    // Every frontier row reached a terminal state; none is left parked
+    // behind a breaker that will never close.
+    for shard in cluster.shards() {
+        let open = shard
+            .sql("select count(*) from crawl where visited = 0 or visited = 2")
+            .unwrap()
+            .scalar_i64()
+            .unwrap();
+        assert_eq!(open, 0, "shard left live rows after terminating");
+    }
+}

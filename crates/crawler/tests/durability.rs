@@ -225,7 +225,7 @@ fn file_backed_crawl_recovers() {
         // Uncommitted garbage past the joined run's durable commit: a
         // crash discards it, the committed crawl state stays.
         session
-            .sql("insert into crawl values (999999, 'http://torn', -1, 0, 0.0, 0.0, 0, 0, 0)")
+            .sql("insert into crawl values (999999, 'http://torn', -1, 0, 0.0, 0.0, 0, 0, 0, 0)")
             .unwrap();
     } // "crash": drop without committing the trailing insert
 
@@ -285,6 +285,98 @@ fn file_backed_crawl_recovers() {
     assert!(
         final_visited as usize >= visited_after.len(),
         "recovered session lost pages while crawling (more stats: {more:?})"
+    );
+    cleanup(&path);
+}
+
+/// A fetcher that always times out: every attempt is retriable and the
+/// failure backoff parks every row (`not_before` in the future).
+struct TimeoutFetcher;
+
+impl Fetcher for TimeoutFetcher {
+    fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+        Err(FetchError::Timeout(oid))
+    }
+
+    fn fetch_count(&self) -> u64 {
+        0
+    }
+}
+
+/// Rows parked by failure backoff survive a crash — and because the
+/// tick clock does not, `recover` restarts it at the frontier's highest
+/// `not_before`, so every parked row is immediately due: the recovered
+/// session keeps crawling instead of wedging on cooldowns it can no
+/// longer measure.
+#[test]
+fn recovered_parked_rows_are_immediately_due() {
+    let path = temp_db_path("parked");
+    cleanup(&path);
+    let graph = Arc::new(WebGraph::generate(WebConfig::tiny(5)));
+    let cfg = CrawlConfig {
+        threads: 1,
+        max_fetches: 4,
+        max_tries: 3,
+        distill_every: None,
+        durability: Durability::File {
+            path: path.clone(),
+            group_commit: 1,
+        },
+        ..CrawlConfig::default()
+    };
+    {
+        let session = Arc::new(
+            CrawlSession::new(
+                Arc::new(TimeoutFetcher),
+                trained_model(&graph, "recreation/cycling"),
+                cfg.clone(),
+            )
+            .unwrap(),
+        );
+        session.seed(&[Oid(1), Oid(2), Oid(3)]).unwrap();
+        // 3 first visits + 1 retry exhaust the budget, leaving every
+        // seed in the frontier parked behind its backoff.
+        let stats = session.run().unwrap();
+        assert_eq!(stats.attempts, 4, "{stats:?}");
+        let parked = session
+            .sql("select count(*) from crawl where visited = 0 and not_before > 0")
+            .unwrap()
+            .scalar_i64()
+            .unwrap();
+        assert!(parked >= 1, "run left no parked rows to recover");
+    } // crash
+
+    let recovered = Arc::new(
+        CrawlSession::recover(
+            Arc::new(TimeoutFetcher),
+            trained_model(&graph, "recreation/cycling"),
+            cfg,
+        )
+        .unwrap(),
+    );
+    // The parked state survived with its cooldowns intact...
+    let parked = recovered
+        .sql("select count(*) from crawl where visited = 0 and not_before > 0")
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    assert!(parked >= 1, "parked rows lost in recovery");
+    // ...and the recovered run attempts every one of them without
+    // waiting (clock restarted at the highest not_before), then
+    // terminates rather than wedging on an all-parked frontier.
+    recovered.add_budget(20);
+    let stats = recovered.run().unwrap();
+    assert!(
+        stats.attempts >= parked as u64,
+        "recovered run never re-attempted the parked rows: {stats:?}"
+    );
+    assert_eq!(
+        recovered
+            .sql("select count(*) from crawl where visited = 0")
+            .unwrap()
+            .scalar_i64(),
+        Some(0),
+        "every parked row must be driven to a terminal state"
     );
     cleanup(&path);
 }

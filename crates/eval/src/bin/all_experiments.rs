@@ -29,6 +29,9 @@ fn main() {
     println!("\n--- cluster scaling (1/2/4 shards, equal total workers) ---");
     let scal = scaling::run(scale);
     scal.print();
+    println!("\n--- chaos matrix (fault profiles vs clean baseline) ---");
+    let cha = chaos::run(scale);
+    cha.print();
 
     println!();
     let comparisons = vec![
@@ -131,6 +134,31 @@ fn main() {
             holds: match (scal.row(1), scal.row(4)) {
                 (Some(s1), Some(s4)) => {
                     s4.pages_per_sec >= s1.pages_per_sec * 0.9 && s4.harvest > s1.harvest - 0.1
+                }
+                _ => false,
+            },
+        },
+        Comparison {
+            experiment: "Chaos matrix".into(),
+            paper: "robustness: crawler survives dead links, slow servers (§3.1)".into(),
+            measured: {
+                let (fl, out) = (cha.row("flaky"), cha.row("outage"));
+                format!(
+                    "flaky ok {}/{} clean; outage quar {} recov {}, tail {:.3} vs {:.3}",
+                    fl.map(|r| r.successes).unwrap_or(0),
+                    cha.clean().successes,
+                    out.map(|r| r.quarantines).unwrap_or(0),
+                    out.map(|r| r.recoveries).unwrap_or(0),
+                    out.map(|r| r.tail_harvest).unwrap_or(0.0),
+                    cha.clean().tail_harvest,
+                )
+            },
+            holds: match (cha.row("flaky"), cha.row("outage")) {
+                (Some(fl), Some(out)) => {
+                    fl.successes as f64 >= 0.5 * cha.clean().successes as f64
+                        && out.quarantines > 0
+                        && out.recoveries > 0
+                        && out.tail_harvest >= cha.clean().tail_harvest - 0.1
                 }
                 _ => false,
             },

@@ -7,6 +7,7 @@
 //! repository examples, and the integration tests — tiny scales for CI,
 //! full scales for the recorded EXPERIMENTS.md numbers.
 
+pub mod chaos;
 pub mod citation_sociology;
 pub mod common;
 pub mod fig5_harvest;

@@ -1,0 +1,358 @@
+//! Deterministic fault injection — the chaos harness for crawler
+//! robustness experiments.
+//!
+//! The generator's static per-page [`crate::page::FailureMode`] models a
+//! web where individual *pages* are broken; real crawls also meet broken
+//! *servers*: hosts that flake, melt down in bursts, brown out under
+//! load, or drop off the net and come back. [`ChaosFetcher`] wraps any
+//! [`Fetcher`] and injects those failures according to a
+//! [`ChaosSchedule`] of per-server [`FaultProfile`]s.
+//!
+//! Every decision is a pure function of `(seed, server, oid, tick)`
+//! where `tick` is the global fetch ordinal — no RNG state, no clocks —
+//! so a given schedule replays identically and eval tables stay stable
+//! across runs.
+
+use crate::fetch::{FetchError, FetchedPage, Fetcher};
+use focus_types::hash::{fx64, FxHashMap};
+use focus_types::{Oid, ServerId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How one server misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultProfile {
+    /// Each fetch fails (retriable timeout) with probability `p`.
+    Flaky {
+        /// Failure probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Error storms: `burst` consecutive failing ticks out of every
+    /// `period`, phase-shifted per server so storms do not synchronize.
+    Bursty {
+        /// Storm cycle length in fetch ticks.
+        period: u64,
+        /// Failing ticks at the start of each cycle.
+        burst: u64,
+    },
+    /// Latency spikes: every `period`-th fetch to the server stalls for
+    /// `spike` before being served (the fetch itself succeeds).
+    Brownout {
+        /// Spike cycle length in fetch ticks.
+        period: u64,
+        /// Added latency on a spiking fetch.
+        spike: Duration,
+    },
+    /// Hard down for `[start, start + duration)` fetch ticks, healthy
+    /// before and after — the recovery half is the point: harvest must
+    /// climb back once the window closes.
+    Outage {
+        /// First failing tick.
+        start: u64,
+        /// Window length in ticks.
+        duration: u64,
+    },
+}
+
+/// What the schedule injects into one fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Serve normally.
+    None,
+    /// Fail with a retriable [`FetchError::Timeout`].
+    Timeout,
+    /// Stall for the duration, then serve normally.
+    Delay(Duration),
+}
+
+fn mix(seed: u64, sid: ServerId, oid: u64, tick: u64) -> u64 {
+    let mut buf = [0u8; 28];
+    buf[..8].copy_from_slice(&seed.to_le_bytes());
+    buf[8..12].copy_from_slice(&sid.0.to_le_bytes());
+    buf[12..20].copy_from_slice(&oid.to_le_bytes());
+    buf[20..28].copy_from_slice(&tick.to_le_bytes());
+    fx64(&buf)
+}
+
+/// Map a hash to a uniform fraction in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Seeded per-server fault assignment, reproducible by construction.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSchedule {
+    seed: u64,
+    profiles: FxHashMap<ServerId, FaultProfile>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule (no server misbehaves) under `seed`.
+    pub fn new(seed: u64) -> ChaosSchedule {
+        ChaosSchedule {
+            seed,
+            profiles: FxHashMap::default(),
+        }
+    }
+
+    /// Assign `profile` to `server` (builder-style).
+    pub fn with_profile(mut self, server: ServerId, profile: FaultProfile) -> ChaosSchedule {
+        self.profiles.insert(server, profile);
+        self
+    }
+
+    /// The profile assigned to `server`, if any.
+    pub fn profile(&self, server: ServerId) -> Option<&FaultProfile> {
+        self.profiles.get(&server)
+    }
+
+    /// Servers with an assigned profile.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.profiles.keys().copied()
+    }
+
+    /// The fault (if any) injected into a fetch of `oid` from `server`
+    /// at global fetch ordinal `tick`. Pure and deterministic.
+    pub fn fault(&self, server: ServerId, oid: Oid, tick: u64) -> Fault {
+        let Some(profile) = self.profiles.get(&server) else {
+            return Fault::None;
+        };
+        match *profile {
+            FaultProfile::Flaky { p } => {
+                if unit(mix(self.seed, server, oid.raw(), tick)) < p {
+                    Fault::Timeout
+                } else {
+                    Fault::None
+                }
+            }
+            FaultProfile::Bursty { period, burst } => {
+                let period = period.max(1);
+                let phase = mix(self.seed, server, 0, 0) % period;
+                if (tick + phase) % period < burst.min(period) {
+                    Fault::Timeout
+                } else {
+                    Fault::None
+                }
+            }
+            FaultProfile::Brownout { period, spike } => {
+                let period = period.max(1);
+                let phase = mix(self.seed, server, 0, 0) % period;
+                if (tick + phase).is_multiple_of(period) {
+                    Fault::Delay(spike)
+                } else {
+                    Fault::None
+                }
+            }
+            FaultProfile::Outage { start, duration } => {
+                if tick >= start && tick < start.saturating_add(duration) {
+                    Fault::Timeout
+                } else {
+                    Fault::None
+                }
+            }
+        }
+    }
+
+    /// The tick by which every `Outage` window has closed (`0` when the
+    /// schedule has none) — the earliest point an experiment may call
+    /// the world "healed".
+    pub fn healed_by(&self) -> u64 {
+        self.profiles
+            .values()
+            .filter_map(|p| match *p {
+                FaultProfile::Outage { start, duration } => Some(start.saturating_add(duration)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A [`Fetcher`] that injects scheduled faults in front of an inner
+/// fetcher. Injected timeouts never reach the inner fetcher (the server
+/// "didn't answer"), but still advance the tick and count as attempts.
+pub struct ChaosFetcher {
+    inner: Arc<dyn Fetcher>,
+    schedule: ChaosSchedule,
+    ticks: AtomicU64,
+}
+
+impl ChaosFetcher {
+    /// Wrap `inner`, injecting faults per `schedule`.
+    pub fn new(inner: Arc<dyn Fetcher>, schedule: ChaosSchedule) -> ChaosFetcher {
+        ChaosFetcher {
+            inner,
+            schedule,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch attempts seen so far (the next fetch's tick).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The schedule driving the injection.
+    pub fn schedule(&self) -> &ChaosSchedule {
+        &self.schedule
+    }
+}
+
+impl Fetcher for ChaosFetcher {
+    fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        if let Some(server) = self.inner.server_of(oid) {
+            match self.schedule.fault(server, oid, tick) {
+                Fault::Timeout => return Err(FetchError::Timeout(oid)),
+                Fault::Delay(d) => std::thread::sleep(d),
+                Fault::None => {}
+            }
+        }
+        self.inner.fetch(oid)
+    }
+
+    /// Every attempt counts, including injected failures the inner
+    /// fetcher never saw — experiments use #fetches as their x-axis.
+    fn fetch_count(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    fn backlinks(&self, oid: Oid) -> Option<Vec<(Oid, String)>> {
+        self.inner.backlinks(oid)
+    }
+
+    fn url_of(&self, oid: Oid) -> Option<String> {
+        self.inner.url_of(oid)
+    }
+
+    fn server_of(&self, oid: Oid) -> Option<ServerId> {
+        self.inner.server_of(oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::SimFetcher;
+    use crate::generator::{WebConfig, WebGraph};
+    use crate::page::FailureMode;
+
+    fn sim() -> Arc<SimFetcher> {
+        Arc::new(SimFetcher::new(
+            Arc::new(WebGraph::generate(WebConfig::tiny(3))),
+            None,
+        ))
+    }
+
+    /// A healthy oid on each distinct server, in page order.
+    fn healthy_per_server(f: &SimFetcher) -> Vec<(ServerId, Oid)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for p in f.graph().pages() {
+            if p.failure == FailureMode::None && seen.insert(p.server) {
+                out.push((p.server, p.oid));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_fault_sequence() {
+        let sched = |seed| {
+            let mut s = ChaosSchedule::new(seed);
+            for sid in [ServerId(1), ServerId(2), ServerId(3)] {
+                s = s.with_profile(sid, FaultProfile::Flaky { p: 0.4 });
+            }
+            s
+        };
+        let a = sched(42);
+        let b = sched(42);
+        let c = sched(43);
+        let trace = |s: &ChaosSchedule| {
+            let mut t = Vec::new();
+            for tick in 0..200 {
+                for sid in [ServerId(1), ServerId(2), ServerId(3)] {
+                    t.push(s.fault(sid, Oid(7), tick));
+                }
+            }
+            t
+        };
+        assert_eq!(trace(&a), trace(&b), "same seed, same schedule");
+        assert_ne!(trace(&a), trace(&c), "different seed diverges");
+    }
+
+    #[test]
+    fn flaky_rate_tracks_p() {
+        let s = ChaosSchedule::new(9).with_profile(ServerId(5), FaultProfile::Flaky { p: 0.3 });
+        let fails = (0..10_000)
+            .filter(|&t| s.fault(ServerId(5), Oid(t), t) == Fault::Timeout)
+            .count();
+        let rate = fails as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn outage_window_fails_then_heals() {
+        let sid = ServerId(1);
+        let s = ChaosSchedule::new(1).with_profile(
+            sid,
+            FaultProfile::Outage {
+                start: 10,
+                duration: 20,
+            },
+        );
+        assert_eq!(s.fault(sid, Oid(1), 9), Fault::None);
+        for t in 10..30 {
+            assert_eq!(s.fault(sid, Oid(1), t), Fault::Timeout);
+        }
+        assert_eq!(s.fault(sid, Oid(1), 30), Fault::None, "healed");
+        assert_eq!(s.healed_by(), 30);
+        // Unassigned servers never fault.
+        assert_eq!(s.fault(ServerId(2), Oid(1), 15), Fault::None);
+    }
+
+    #[test]
+    fn bursty_storms_cover_the_configured_fraction() {
+        let sid = ServerId(3);
+        let s = ChaosSchedule::new(2).with_profile(
+            sid,
+            FaultProfile::Bursty {
+                period: 10,
+                burst: 4,
+            },
+        );
+        let fails = (0..1000)
+            .filter(|&t| s.fault(sid, Oid(0), t) == Fault::Timeout)
+            .count();
+        assert_eq!(fails, 400, "4 failing ticks out of every 10");
+    }
+
+    #[test]
+    fn chaos_fetcher_injects_only_on_scheduled_servers() {
+        let sim = sim();
+        let targets = healthy_per_server(&sim);
+        assert!(targets.len() >= 2, "tiny graph spans several servers");
+        let (down, down_oid) = targets[0];
+        let (_up, up_oid) = targets[1];
+        let chaos = ChaosFetcher::new(
+            sim.clone(),
+            ChaosSchedule::new(7).with_profile(
+                down,
+                FaultProfile::Outage {
+                    start: 0,
+                    duration: 1_000,
+                },
+            ),
+        );
+        assert!(matches!(chaos.fetch(down_oid), Err(FetchError::Timeout(_))));
+        assert!(chaos.fetch(up_oid).is_ok(), "healthy server unaffected");
+        // Injected failures count as attempts but never hit the inner
+        // fetcher.
+        assert_eq!(chaos.fetch_count(), 2);
+        assert_eq!(sim.fetch_count(), 1);
+        // Metadata passes through.
+        assert_eq!(chaos.server_of(down_oid), Some(down));
+        assert_eq!(chaos.url_of(up_oid), sim.url_of(up_oid));
+    }
+}

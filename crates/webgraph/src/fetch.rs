@@ -69,6 +69,12 @@ pub trait Fetcher: Send + Sync {
     fn url_of(&self, _oid: Oid) -> Option<String> {
         None
     }
+    /// Resolve the server behind an oid *without* charging a fetch —
+    /// the DNS-level metadata a fault injector needs to key per-server
+    /// fault profiles (see [`crate::chaos`]). Default: unknown.
+    fn server_of(&self, _oid: Oid) -> Option<ServerId> {
+        None
+    }
 }
 
 /// Shared reverse-adjacency map (target → citers).
@@ -184,6 +190,10 @@ impl Fetcher for SimFetcher {
 
     fn url_of(&self, oid: Oid) -> Option<String> {
         self.graph.page(oid).map(|p| p.url.clone())
+    }
+
+    fn server_of(&self, oid: Oid) -> Option<ServerId> {
+        self.graph.page(oid).map(|p| p.server)
     }
 
     fn backlinks(&self, oid: Oid) -> Option<Vec<(Oid, String)>> {

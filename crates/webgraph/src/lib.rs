@@ -18,6 +18,7 @@
 //! [`stats`] empirically verifies the radius rules on generated graphs;
 //! the crate's tests pin them.
 
+pub mod chaos;
 pub mod evolve;
 pub mod fetch;
 pub mod generator;
@@ -26,6 +27,7 @@ pub mod page;
 pub mod search;
 pub mod stats;
 
+pub use chaos::{ChaosFetcher, ChaosSchedule, Fault, FaultProfile};
 pub use evolve::{evolve, EvolutionConfig, EvolvingFetcher};
 pub use fetch::{FetchError, FetchedPage, Fetcher, SimFetcher};
 pub use generator::{default_taxonomy, WebConfig, WebGraph};
