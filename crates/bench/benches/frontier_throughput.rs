@@ -1,10 +1,12 @@
 //! Frontier hot-path benchmark: B+tree descents — counted as buffer-pool
 //! logical reads, since every index node visit is one page request —
 //! per crawled page for the per-link path versus the batched path, plus
-//! end-to-end crawl throughput (pages/sec) at 1/2/4/8/16 workers and a
+//! end-to-end crawl throughput (pages/sec) at 1/2/4/8/16 workers, a
 //! **read-concurrency** scenario (monitor threads hammering SQL
 //! snapshots while the crawl runs, exercising the reader-parallel
-//! session lock).
+//! session lock), and a **fetch-pipeline latency ladder** (simulated
+//! 0/5/20/50 ms fetches × pool sizes, measuring how much of the
+//! zero-latency ceiling the async pipeline preserves).
 //!
 //! Wall-clock numbers are the **median of [`REPS`] runs** per
 //! configuration: a single 400–500 ms crawl has ±5% run-to-run noise on
@@ -67,6 +69,37 @@ const MONITORS: usize = 4;
 const MONITOR_POLL_MS: u64 = 25;
 /// Workers in the read-concurrency scenario.
 const RC_WORKERS: usize = 4;
+/// Simulated fetch latencies for the fetch-pipeline ladder. 0 is the
+/// ceiling row; 5–50 ms is the realistic WAN band ROADMAP's acceptance
+/// bar names.
+const LADDER_LATENCIES_MS: [u64; 4] = [0, 5, 20, 50];
+/// Fetch-pool sizes for the ladder. 64 is deliberately undersized — at
+/// 50 ms it caps in-flight work at 64 fetches (~1 300 pages/sec) and
+/// shows the pool size mattering. The largest pool is the one the
+/// 1.5× acceptance bar is measured against, and it must satisfy
+/// `pool ≥ ceiling × latency / 1.5` or the bar is arithmetically
+/// unreachable: at 50 ms hiding a ~5 000 pages/sec ceiling needs
+/// several hundred fetches genuinely in flight, so 512 is the
+/// shipping-scale tier. Probing showed the residual 50 ms gap is the
+/// host, not the pipeline: on this box (often a single core) the
+/// classify/flush CPU itself caps out near ~5 300 pages/sec and pool
+/// threads compete with the CPU workers for cycles — which is also why
+/// each pool size gets its *own* zero-latency ceiling below.
+const LADDER_POOLS: [usize; 3] = [64, 256, 512];
+/// Fetch budget for the ladder crawls. Larger than [`CRAWL_BUDGET`] to
+/// amortize the pipeline-fill ramp (at 50 ms the first latency window
+/// produces zero completions — a fixed tax that a short run cannot
+/// absorb), but clear of the tiny web's exhaustion tail: Unfocused on
+/// this world runs dry near ~3 400 attempts, and a starving frontier
+/// would measure stagnation sleeps, not the pipeline.
+const LADDER_BUDGET: u64 = 2500;
+/// CPU workers in the ladder. Two is enough to drain completions at
+/// CPU speed while keeping the ceiling low enough that the interesting
+/// regime — latency-bound, not core-bound — dominates.
+const LADDER_WORKERS: usize = 2;
+/// Claim-batch size in the ladder: large batches keep the submission
+/// queue topped up so pool threads never starve between claims.
+const LADDER_BATCH: usize = 128;
 
 #[derive(Debug, Serialize)]
 struct ThroughputPoint {
@@ -119,6 +152,23 @@ struct ChaosPoint {
 }
 
 #[derive(Debug, Serialize)]
+struct LatencyPoint {
+    latency_ms: u64,
+    workers: usize,
+    /// Fetch-pool threads (0 would be the inline path; the ladder only
+    /// runs pooled configurations — inline at 50 ms would take minutes
+    /// per rep, which is the point of the pipeline).
+    fetch_pool: usize,
+    attempts: u64,
+    pages_per_sec: f64,
+    /// pages/sec ÷ the same pool size's zero-latency ceiling. The
+    /// acceptance bar is ≥ 1/1.5 ≈ 0.67 at the largest pool for every
+    /// nonzero latency: the pipeline must hide the round-trip, not
+    /// merely survive it.
+    vs_ceiling: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchPoint {
     bench: &'static str,
     unix_time: u64,
@@ -129,6 +179,10 @@ struct BenchPoint {
     /// per-link ÷ batched; the PR acceptance bar is ≥ 2.0.
     descent_reduction: f64,
     throughput: Vec<ThroughputPoint>,
+    /// Fetch-pipeline latency ladder (latency × pool size at fixed
+    /// workers); the acceptance bar is pages/sec ≥ zero-latency
+    /// ceiling ÷ 1.5 at every nonzero latency for the largest pool.
+    latency_ladder: Vec<LatencyPoint>,
     read_concurrency: ReadConcurrencyPoint,
     /// Sharded-crawl ladder at equal total workers; the acceptance bar
     /// is 4-shard pages/sec ≥ the shards=1 baseline.
@@ -314,6 +368,87 @@ fn throughput_ladder(world: &World, configs: &[(usize, usize)]) -> Vec<Throughpu
             attempts,
             pages_per_sec: median(r),
         })
+        .collect()
+}
+
+/// A fresh seeded session for one fetch-pipeline ladder crawl: pooled
+/// fetches at a millisecond-scale simulated latency. Everything else
+/// (default per-server politeness included — ~114 servers × 8 in
+/// flight leaves politeness far from binding on the tiny web) matches
+/// the shipping configuration.
+fn pooled_session(world: &World, latency_ms: u64, fetch_pool: usize) -> Arc<CrawlSession> {
+    let fetcher = Arc::new(focus_webgraph::SimFetcher::new(
+        Arc::clone(&world.graph),
+        (latency_ms > 0).then(|| std::time::Duration::from_millis(latency_ms)),
+    ));
+    let session = Arc::new(
+        CrawlSession::new(
+            fetcher,
+            world.model.clone(),
+            CrawlConfig {
+                policy: CrawlPolicy::Unfocused,
+                threads: LADDER_WORKERS,
+                max_fetches: LADDER_BUDGET,
+                distill_every: None,
+                batch_size: LADDER_BATCH,
+                fetch_pool,
+                ..CrawlConfig::default()
+            },
+        )
+        .expect("session"),
+    );
+    session.seed(&world.start_set(10)).expect("seed");
+    session
+}
+
+/// Median-of-[`REPS`] fetch-pipeline ladder: every latency × pool-size
+/// configuration, reps interleaved like the worker ladder. Each row's
+/// `vs_ceiling` is against the zero-latency row of the *same* pool
+/// size, so the ratio isolates latency-hiding from pool overhead: on a
+/// small box hundreds of pool threads shave the ceiling itself by
+/// stealing scheduler share from the CPU workers, and comparing a
+/// 50 ms run against a *different* thread count's ceiling would
+/// measure that scheduler tax, not the pipeline.
+fn latency_ladder(world: &World) -> Vec<LatencyPoint> {
+    let configs: Vec<(u64, usize)> = LADDER_POOLS
+        .iter()
+        .flat_map(|&pool| LADDER_LATENCIES_MS.iter().map(move |&ms| (ms, pool)))
+        .collect();
+    let mut rates: Vec<Vec<f64>> = vec![Vec::with_capacity(REPS); configs.len()];
+    let mut attempts = vec![0u64; configs.len()];
+    for _ in 0..REPS {
+        for (c, &(ms, pool)) in configs.iter().enumerate() {
+            let session = pooled_session(world, ms, pool);
+            let t = Instant::now();
+            let stats = session.run().expect("ladder crawl");
+            let secs = t.elapsed().as_secs_f64();
+            attempts[c] = stats.attempts;
+            rates[c].push(stats.attempts as f64 / secs);
+        }
+    }
+    let medians: Vec<f64> = rates.into_iter().map(median).collect();
+    let ceiling = |pool: usize| {
+        configs
+            .iter()
+            .zip(&medians)
+            .find(|(cfg, _)| cfg.0 == 0 && cfg.1 == pool)
+            .map(|(_, &m)| m)
+            .unwrap_or(f64::INFINITY)
+    };
+    configs
+        .iter()
+        .zip(&medians)
+        .zip(attempts)
+        .map(
+            |((&(latency_ms, fetch_pool), &pps), attempts)| LatencyPoint {
+                latency_ms,
+                workers: LADDER_WORKERS,
+                fetch_pool,
+                attempts,
+                pages_per_sec: pps,
+                vs_ceiling: pps / ceiling(fetch_pool),
+            },
+        )
         .collect()
 }
 
@@ -545,6 +680,34 @@ fn main() {
         }
     );
 
+    println!(
+        "--- fetch-pipeline latency ladder: {LADDER_WORKERS} workers, batch {LADDER_BATCH}, median of {REPS} ---"
+    );
+    let ladder = latency_ladder(&world);
+    for p in &ladder {
+        println!(
+            "latency {:>2} ms  pool {:>3}: {:>9.0} pages/sec ({} attempts, {:.2}x ceiling)",
+            p.latency_ms, p.fetch_pool, p.pages_per_sec, p.attempts, p.vs_ceiling
+        );
+    }
+    let big_pool = *LADDER_POOLS.iter().max().expect("pool sizes");
+    for p in ladder
+        .iter()
+        .filter(|p| p.fetch_pool == big_pool && p.latency_ms > 0)
+    {
+        println!(
+            "pool {} at {:>2} ms vs zero-latency ceiling: {:.2}x ({})",
+            big_pool,
+            p.latency_ms,
+            p.vs_ceiling,
+            if p.vs_ceiling >= 1.0 / 1.5 {
+                "PASS: >= 1/1.5"
+            } else {
+                "FAIL: latency not hidden"
+            }
+        );
+    }
+
     println!("--- read concurrency: {RC_WORKERS} workers + {MONITORS} monitor threads ---");
     let rc = read_concurrency(&world, pps(RC_WORKERS, BATCH));
     println!(
@@ -637,6 +800,7 @@ fn main() {
         reads_per_page_batched: batched,
         descent_reduction: reduction,
         throughput,
+        latency_ladder: ladder,
         read_concurrency: rc,
         cluster,
         chaos,

@@ -540,6 +540,20 @@ impl CrawlCluster {
                 retry_budget: opts
                     .retry_budget
                     .map(|rb| even_split(rb, self.shards.len() as u64, runs.len() as u64)),
+                // So is a fetch-pool override: the total thread count
+                // splits across shards, each keeping at least one
+                // thread when pooling is on at all (mirrors
+                // `split_config`).
+                fetch_pool: opts.fetch_pool.map(|fp| {
+                    if fp == 0 {
+                        0
+                    } else {
+                        (even_split(fp as u64, self.shards.len() as u64, runs.len() as u64)
+                            as usize)
+                            .max(1)
+                    }
+                }),
+                politeness: opts.politeness,
             };
             match session.start_with(shard_opts) {
                 Ok(run) => {
@@ -762,6 +776,13 @@ fn split_config(cfg: &CrawlConfig, n_shards: usize) -> Vec<CrawlConfig> {
             // Like the fetch budget, the retry budget is a cluster
             // total; shards spend disjoint slices of it.
             c.retry_budget = even_split(cfg.retry_budget, n, i as u64);
+            // The fetch pool is a cluster-wide thread count split the
+            // same way — but a cluster asked to pool at all (total > 0)
+            // gives every shard at least one fetcher thread, or a thin
+            // shard would silently fall back to inline fetching.
+            if cfg.fetch_pool > 0 {
+                c.fetch_pool = (even_split(cfg.fetch_pool as u64, n, i as u64) as usize).max(1);
+            }
             c
         })
         .collect()

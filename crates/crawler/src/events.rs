@@ -78,6 +78,29 @@ pub enum CrawlEvent {
         /// The recovered server.
         server: ServerId,
     },
+    /// A maintenance-pass hub revisit was skipped: the hub's server is
+    /// quarantined (or politeness-deferred), and the maintenance pass
+    /// never probes past the health map.
+    HubRevisitSkipped {
+        /// The hub that was not revisited.
+        oid: Oid,
+        /// Its server.
+        server: ServerId,
+        /// Crawl tick at which the server becomes admissible again.
+        until: i64,
+    },
+    /// A maintenance-pass hub revisit was admitted but the fetch
+    /// failed. The failure is charged to the server's health exactly
+    /// like a crawl fetch (timeouts feed the breaker), instead of being
+    /// swallowed.
+    HubRevisitFailed {
+        /// The hub whose revisit failed.
+        oid: Oid,
+        /// Its server.
+        server: ServerId,
+        /// What went wrong.
+        error: FetchErrorKind,
+    },
     /// A distillation pass finished and `HUBS`/`AUTH` were republished.
     DistillCompleted {
         /// 1-based distillation counter.

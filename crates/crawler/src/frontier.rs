@@ -238,6 +238,11 @@ pub struct ClaimOutcome {
     pub claims: Vec<Claim>,
     /// Frontier rows skipped because their `not_before` has not passed.
     pub parked: usize,
+    /// Due rows skipped in-scan by the caller's admission predicate
+    /// (politeness: their server is saturated right now). They keep
+    /// their frontier position untouched — near-future work, so the
+    /// caller's idle verdict must count them like parked rows.
+    pub deferred: usize,
     /// Earliest `not_before` among the parked rows seen.
     pub next_due: Option<i64>,
 }
@@ -260,6 +265,22 @@ pub fn claim_next(db: &mut Database) -> DbResult<Option<Claim>> {
 /// exhausted. Returns fewer than `n` (possibly zero) claims when the
 /// due frontier runs short.
 pub fn claim_batch(db: &mut Database, n: usize, now: i64) -> DbResult<ClaimOutcome> {
+    claim_batch_where(db, n, now, |_| true)
+}
+
+/// [`claim_batch`] with an admission predicate: a due row whose decoded
+/// claim fails `admit` is *deferred* — left in place, uncounted against
+/// `n`, tallied in [`ClaimOutcome::deferred`] — and the scan keeps
+/// looking further down the priority order. This is how per-server
+/// politeness caps shape claiming without the pop/park churn a
+/// round-trip through `CLAIMED` would cost: a saturated server's rows
+/// simply wait their turn in the frontier.
+pub fn claim_batch_where(
+    db: &mut Database,
+    n: usize,
+    now: i64,
+    mut admit: impl FnMut(&Claim) -> bool,
+) -> DbResult<ClaimOutcome> {
     let mut out = ClaimOutcome::default();
     if n == 0 {
         return Ok(out);
@@ -289,8 +310,9 @@ pub fn claim_batch(db: &mut Database, n: usize, now: i64) -> DbResult<ClaimOutco
             .map(|(_, rid)| rid)
             .collect();
         let exhausted = rids.len() < want;
-        let mut due: Vec<(Rid, Vec<Value>)> = Vec::with_capacity(n);
+        let mut due: Vec<(Rid, Vec<Value>, Claim)> = Vec::with_capacity(n);
         out.parked = 0;
+        out.deferred = 0;
         out.next_due = None;
         for rid in rids {
             let row = catalog.get_row(pool, tid, rid)?;
@@ -305,7 +327,12 @@ pub fn claim_batch(db: &mut Database, n: usize, now: i64) -> DbResult<ClaimOutco
                 out.parked += 1;
                 out.next_due = Some(out.next_due.map_or(parked_until, |d| d.min(parked_until)));
             } else if due.len() < n {
-                due.push((rid, row));
+                let claim = decode_claim(&row)?;
+                if admit(&claim) {
+                    due.push((rid, row, claim));
+                } else {
+                    out.deferred += 1;
+                }
             }
         }
         if due.len() >= n || exhausted {
@@ -314,8 +341,8 @@ pub fn claim_batch(db: &mut Database, n: usize, now: i64) -> DbResult<ClaimOutco
         want = want.saturating_mul(2);
     };
     let mut updates = Vec::with_capacity(due.len());
-    for (rid, row) in due {
-        out.claims.push(decode_claim(&row)?);
+    for (rid, row, claim) in due {
+        out.claims.push(claim);
         let mut new_row = row.clone();
         new_row[crawl_col::VISITED] = Value::Int(visited::CLAIMED);
         new_row[crawl_col::NOT_BEFORE] = Value::Int(0);

@@ -10,13 +10,24 @@
 //! exactly one probe; success closes it, failure re-opens it with a
 //! doubled cooldown.
 //!
+//! On top of the failure machinery sits **politeness**
+//! ([`PolitenessConfig`]): a per-server cap on concurrently admitted
+//! claims and a minimum inter-admission delay, so the fetch pool can
+//! hold hundreds of fetches in flight without hammering any one host.
+//! Admission charges the slot; the flush (or unclaim) that ends the
+//! claim's life releases it.
+//!
 //! Everything here is pure bookkeeping over crawl *ticks* (fetch
 //! attempts + empty polls, see [`crate::session`]) — no clocks, no RNG.
 //! Jitter is a hash of `(server, consecutive failures)`, so
 //! single-threaded crawls stay deterministic. The map lives inside the
-//! session's store state, under the existing store lock: claim gating
-//! and failure recording both already happen inside that critical
-//! section, so server health adds **no new lock**.
+//! session's store state, under the existing store lock: claim gating,
+//! failure recording, and politeness charge/release all already happen
+//! inside that critical section, so server health adds **no new lock**
+//! and sits at the `store` rung of the session's lock order
+//! (`model → compiled → store → wal → counters/diag` — see
+//! [`crate::session`]'s module docs). Never take another session lock
+//! while holding `&mut HealthMap`.
 
 use focus_types::hash::{fx64, FxHashMap};
 use focus_types::ServerId;
@@ -60,6 +71,43 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Per-server politeness: how hard one host may be hit.
+///
+/// Enforced at claim admission (the same critical section as breaker
+/// gating), so the fetch pool can run hundreds of fetches concurrently
+/// while any single server sees at most `max_in_flight` of them and at
+/// most one admission per `min_delay` ticks. The in-flight window spans
+/// admission → flush, a superset of the actual network fetch, so the
+/// cap is conservative: the fetcher itself can never exceed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolitenessConfig {
+    /// Max claims admitted-but-not-yet-flushed per server. Claims over
+    /// the cap stay in the frontier (deferred in-scan, not parked).
+    pub max_in_flight: usize,
+    /// Min crawl ticks between successive admissions to one server
+    /// (`0` = no pacing).
+    pub min_delay: i64,
+}
+
+impl Default for PolitenessConfig {
+    fn default() -> PolitenessConfig {
+        PolitenessConfig {
+            max_in_flight: 8,
+            min_delay: 0,
+        }
+    }
+}
+
+impl PolitenessConfig {
+    /// No cap, no pacing — the pre-politeness behavior.
+    pub fn unlimited() -> PolitenessConfig {
+        PolitenessConfig {
+            max_in_flight: usize::MAX,
+            min_delay: 0,
+        }
+    }
+}
+
 /// Breaker state machine: `Closed → Open → Probing → {Closed, Open}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Breaker {
@@ -86,6 +134,13 @@ pub struct ServerHealth {
     pub quarantines: u64,
     /// Cooldown the *next* opening will use (doubles on failed probes).
     next_cooldown: i64,
+    /// Claims admitted (Fetch or Probe) and not yet released at flush —
+    /// the politeness concurrency gauge.
+    in_flight: u32,
+    /// Tick of the most recent admission, for `min_delay` pacing.
+    /// Survives breaker transitions, so a post-probe admission still
+    /// respects the gap from the probe itself.
+    last_admit: i64,
 }
 
 /// Claim-time gate: what to do with a popped claim for this server.
@@ -137,15 +192,21 @@ pub struct HealthMap {
     servers: FxHashMap<ServerId, ServerHealth>,
     backoff: BackoffConfig,
     breaker: BreakerConfig,
+    politeness: PolitenessConfig,
 }
 
 impl HealthMap {
     /// Empty map under the given policies.
-    pub fn new(backoff: BackoffConfig, breaker: BreakerConfig) -> HealthMap {
+    pub fn new(
+        backoff: BackoffConfig,
+        breaker: BreakerConfig,
+        politeness: PolitenessConfig,
+    ) -> HealthMap {
         HealthMap {
             servers: FxHashMap::default(),
             backoff,
             breaker,
+            politeness,
         }
     }
 
@@ -156,15 +217,31 @@ impl HealthMap {
             breaker: Breaker::Closed,
             quarantines: 0,
             next_cooldown: cooldown,
+            in_flight: 0,
+            last_admit: i64::MIN / 2,
         })
     }
 
     /// Gate a popped claim. Must be called inside the claim critical
-    /// section, with the tick the claim would fetch at.
+    /// section, with the tick the claim would fetch at. An admitted
+    /// claim (`Fetch` or `Probe`) occupies one politeness slot until
+    /// [`HealthMap::release`] at flush.
+    ///
+    /// Politeness is checked *before* the breaker so a deferral never
+    /// consumes the Open→Probing transition.
     pub fn admit(&mut self, server: ServerId, now: i64) -> ClaimGate {
         let probe_wait = self.breaker.cooldown;
+        let pol = self.politeness;
         let h = self.entry(server);
-        match h.breaker {
+        if (h.in_flight as usize) >= pol.max_in_flight {
+            return ClaimGate::Parked { until: now + 1 };
+        }
+        if pol.min_delay > 0 && now < h.last_admit.saturating_add(pol.min_delay) {
+            return ClaimGate::Parked {
+                until: h.last_admit.saturating_add(pol.min_delay),
+            };
+        }
+        let gate = match h.breaker {
             Breaker::Closed => ClaimGate::Fetch,
             Breaker::Open { until } if now >= until => {
                 h.breaker = Breaker::Probing;
@@ -175,7 +252,56 @@ impl HealthMap {
             Breaker::Probing => ClaimGate::Parked {
                 until: now + probe_wait,
             },
+        };
+        if matches!(gate, ClaimGate::Fetch | ClaimGate::Probe) {
+            h.in_flight += 1;
+            h.last_admit = now;
         }
+        gate
+    }
+
+    /// Would politeness alone defer an admission to `server` right now?
+    /// Pure (no entry creation, no probe transition) — the frontier scan
+    /// uses this to *skip* rows for saturated servers without popping
+    /// them. [`HealthMap::admit`] stays authoritative for claims that do
+    /// pop.
+    pub fn politeness_deferred(&self, server: ServerId, now: i64) -> bool {
+        let Some(h) = self.servers.get(&server) else {
+            return false;
+        };
+        (h.in_flight as usize) >= self.politeness.max_in_flight
+            || (self.politeness.min_delay > 0
+                && now < h.last_admit.saturating_add(self.politeness.min_delay))
+    }
+
+    /// Release the politeness slot taken at admission. Every admitted
+    /// claim must be released exactly once — at success flush, failure
+    /// flush, or unclaim.
+    pub fn release(&mut self, server: ServerId) {
+        if let Some(h) = self.servers.get_mut(&server) {
+            h.in_flight = h.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Claims currently admitted against `server`.
+    pub fn in_flight(&self, server: ServerId) -> usize {
+        self.servers
+            .get(&server)
+            .map_or(0, |h| h.in_flight as usize)
+    }
+
+    /// Zero every politeness gauge. Run-start hygiene: a panicked worker
+    /// can leak admitted-but-never-released slots; the next run must not
+    /// inherit them as phantom load.
+    pub fn reset_in_flight(&mut self) {
+        for h in self.servers.values_mut() {
+            h.in_flight = 0;
+        }
+    }
+
+    /// The politeness policy in force.
+    pub fn politeness(&self) -> PolitenessConfig {
+        self.politeness
     }
 
     /// Record a server-attributable failure (a timeout — 404s say
@@ -278,6 +404,7 @@ mod tests {
                 cooldown: 10,
                 max_cooldown: 40,
             },
+            PolitenessConfig::default(),
         )
     }
 

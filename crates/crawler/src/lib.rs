@@ -22,6 +22,7 @@
 
 pub mod cluster;
 pub mod events;
+pub mod fetch_pool;
 pub mod frontier;
 pub mod health;
 pub mod monitor;
@@ -32,7 +33,8 @@ pub mod tables;
 
 pub use cluster::{ClusterCheckpoint, ClusterRun, CrawlCluster};
 pub use events::{CrawlEvent, CrawlObserver, EventStream, FailureOutcome, FetchErrorKind};
-pub use health::{BackoffConfig, Breaker, BreakerConfig, HealthMap};
+pub use fetch_pool::{FetchPool, PoolHandle};
+pub use health::{BackoffConfig, Breaker, BreakerConfig, HealthMap, PolitenessConfig};
 pub use policy::CrawlPolicy;
 pub use run::{Command, CrawlError, CrawlRun, RunState, StartOptions};
 pub use session::{CrawlCheckpoint, CrawlConfig, CrawlSession, CrawlStats, Durability};

@@ -240,6 +240,15 @@ pub struct StartOptions {
     /// session has left — budgets are *not* refilled between runs
     /// unless overridden).
     pub retry_budget: Option<u64>,
+    /// Override for the async fetch pipeline's pool size (`None` uses
+    /// [`crate::session::CrawlConfig::fetch_pool`]). `Some(0)` forces
+    /// the inline fetch path for this run; `Some(n)` spawns `n`
+    /// dedicated fetcher threads shared by the run's workers.
+    pub fetch_pool: Option<usize>,
+    /// Override for the per-server politeness policy (`None` uses
+    /// [`crate::session::CrawlConfig::politeness`]). Applying an
+    /// override restarts the per-server health map for this run.
+    pub politeness: Option<crate::health::PolitenessConfig>,
 }
 
 impl Default for StartOptions {
@@ -251,6 +260,8 @@ impl Default for StartOptions {
             backoff: None,
             breaker: None,
             retry_budget: None,
+            fetch_pool: None,
+            politeness: None,
         }
     }
 }
@@ -481,6 +492,10 @@ impl CrawlRun {
             let _ = h.join();
         }
         let session = Arc::clone(&self.session);
+        // Workers have all exited, and the wind-down contract says they
+        // cancelled or drained every job first — the idle pool can be
+        // torn down (fetcher threads joined) before the final commit.
+        session.teardown_fetch_pool();
         session
             .control()
             .drain(|cmd| session.apply_command(cmd, &self.tail_sink));

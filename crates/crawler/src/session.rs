@@ -51,21 +51,40 @@
 //! control mutation (pause, new seeds, re-marked topics, policy swaps)
 //! lands at a page boundary with the tables consistent.
 //!
-//! **Per-server health adds no lock.** The backoff/breaker map
-//! ([`crate::health::HealthMap`]) lives inside [`StoreState`], because
-//! both of its touch points — gating a popped claim and recording a
-//! failure — already run inside store write critical sections. The
-//! crawl *ticks* that backoffs and quarantines are measured in come
-//! from a counter advanced under that same lock: by the number of
-//! claims issued, and by one per empty poll, so an all-parked frontier
-//! (every server quarantined) still marches toward cooldown expiry
-//! without wall-clock sleeps — and without ever wedging termination.
+//! **Per-server health adds no lock.** The backoff/breaker/politeness
+//! map ([`crate::health::HealthMap`]) lives inside [`StoreState`],
+//! because all of its touch points — gating a popped claim, recording
+//! a failure, charging and releasing politeness slots — already run
+//! inside store write critical sections. The crawl *ticks* that
+//! backoffs and quarantines are measured in come from a counter
+//! advanced under that same lock: by the number of claims issued, and
+//! by one per empty poll, so an all-parked frontier (every server
+//! quarantined) still marches toward cooldown expiry without
+//! wall-clock sleeps — and without ever wedging termination.
+//!
+//! **The async fetch pipeline adds only leaf locks.** With
+//! [`CrawlConfig::fetch_pool`] > 0, a run owns a
+//! [`crate::fetch_pool::FetchPool`] and each CPU worker splits its loop
+//! into a *submit* half (claim a batch under the store lock exactly as
+//! the inline path does — attempts, clock, gauges, and politeness all
+//! charge at claim time — then queue the claims to the pool) and a
+//! *drain* half (pull `(claim, result)` completions and flush each
+//! through the same classify/flush critical section). The pool's
+//! submission queue and per-worker completion mailboxes sit behind
+//! their own mutexes, but those are leaves in the lock order above:
+//! they are never taken while any session lock is held, and no session
+//! lock is ever taken under them (fetcher threads touch no session
+//! state at all). Order with pool locks spelled out:
+//! `model → compiled → store → wal → counters/diag`, with
+//! `pool queue / completion mailbox` taken only outside that chain.
 
 use crate::cluster::ShardCtx;
-use crate::events::{CrawlEvent, EventSink, FailureOutcome, FetchErrorKind};
+use crate::events::{CrawlEvent, CrawlObserver, EventSink, FailureOutcome, FetchErrorKind};
+use crate::fetch_pool::{Completion, FetchPool, PoolHandle};
 use crate::frontier::{self, Claim, FrontierEntry};
 use crate::health::{
-    BackoffConfig, Breaker, BreakerConfig, ClaimGate, FailureVerdict, HealthMap, ServerHealth,
+    BackoffConfig, Breaker, BreakerConfig, ClaimGate, FailureVerdict, HealthMap, PolitenessConfig,
+    ServerHealth,
 };
 use crate::policy::{log_clamped, CrawlPolicy};
 use crate::run::{Command, ControlState, CrawlError, CrawlRun, RunState, StartOptions};
@@ -176,6 +195,17 @@ pub struct CrawlConfig {
     /// pathological all-timeout world can never starve first-visit
     /// fetches out of the fetch budget.
     pub retry_budget: u64,
+    /// Dedicated fetcher threads for the async fetch pipeline. `0`
+    /// (the default) fetches inline on the CPU workers, exactly the
+    /// pre-pipeline behavior; with `n > 0` a run spawns `n` pool
+    /// threads and keeps up to ~2n fetches in flight so network
+    /// latency overlaps classify/flush instead of serializing with it.
+    /// Overridable per run via [`crate::run::StartOptions::fetch_pool`].
+    pub fetch_pool: usize,
+    /// Per-server politeness (max in-flight, min inter-admission
+    /// delay), enforced at claim admission. Overridable per run via
+    /// [`crate::run::StartOptions::politeness`].
+    pub politeness: PolitenessConfig,
 }
 
 impl Default for CrawlConfig {
@@ -195,6 +225,8 @@ impl Default for CrawlConfig {
             backoff: BackoffConfig::default(),
             breaker: BreakerConfig::default(),
             retry_budget: 1000,
+            fetch_pool: 0,
+            politeness: PolitenessConfig::default(),
         }
     }
 }
@@ -327,6 +359,11 @@ pub struct CrawlSession {
     counters: CounterState,
     diag: Mutex<RunDiag>,
     control: ControlState,
+    /// The current run's fetch pool, when [`CrawlConfig::fetch_pool`]
+    /// (or its per-run override) is non-zero. Armed at launch, torn
+    /// down at wind-down; the mutex is a leaf taken only at those two
+    /// points and at worker startup (to clone the `Arc`).
+    run_pool: Mutex<Option<Arc<FetchPool>>>,
     start: Instant,
     /// Present when this session is one shard of a
     /// [`crate::cluster::CrawlCluster`]: pages whose server hashes to
@@ -420,7 +457,7 @@ impl CrawlSession {
         let initial_budget = cfg.max_fetches;
         let initial_policy = cfg.policy;
         let initial_retries = cfg.retry_budget;
-        let health = HealthMap::new(cfg.backoff, cfg.breaker);
+        let health = HealthMap::new(cfg.backoff, cfg.breaker, cfg.politeness);
         let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
@@ -448,6 +485,7 @@ impl CrawlSession {
             },
             diag: Mutex::new(RunDiag::default()),
             control: ControlState::new(),
+            run_pool: Mutex::new(None),
             start: Instant::now(),
             shard,
         })
@@ -637,7 +675,7 @@ impl CrawlSession {
         let initial_budget = cfg.max_fetches;
         let initial_policy = cfg.policy;
         let initial_retries = cfg.retry_budget;
-        let health = HealthMap::new(cfg.backoff, cfg.breaker);
+        let health = HealthMap::new(cfg.backoff, cfg.breaker, cfg.politeness);
         let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
@@ -665,6 +703,7 @@ impl CrawlSession {
             },
             diag: Mutex::new(RunDiag::default()),
             control: ControlState::new(),
+            run_pool: Mutex::new(None),
             start: Instant::now(),
             shard: None,
         })
@@ -847,19 +886,34 @@ impl CrawlSession {
     }
 
     /// Apply per-run robustness overrides before the pool spawns: a
-    /// backoff or breaker override restarts the per-server health map
-    /// under the new policies (servers re-earn their quarantines), and
-    /// a retry-budget override refills the budget. No workers are alive
-    /// here (`ControlState::activate` guarantees one run at a time).
+    /// backoff, breaker, or politeness override restarts the per-server
+    /// health map under the new policies (servers re-earn their
+    /// quarantines), a retry-budget override refills the budget, and a
+    /// non-zero fetch-pool size arms the async fetch pipeline for this
+    /// run. No workers are alive here (`ControlState::activate`
+    /// guarantees one run at a time).
     pub(crate) fn apply_run_overrides(&self, opts: &StartOptions) {
-        if opts.backoff.is_some() || opts.breaker.is_some() {
+        if opts.backoff.is_some() || opts.breaker.is_some() || opts.politeness.is_some() {
             let backoff = opts.backoff.unwrap_or(self.cfg.backoff);
             let breaker = opts.breaker.unwrap_or(self.cfg.breaker);
-            self.store.write().health = HealthMap::new(backoff, breaker);
+            let politeness = opts.politeness.unwrap_or(self.cfg.politeness);
+            self.store.write().health = HealthMap::new(backoff, breaker, politeness);
         }
         if let Some(rb) = opts.retry_budget {
             self.counters.retry_budget.store(rb, Ordering::Release);
         }
+        let pool_size = opts.fetch_pool.unwrap_or(self.cfg.fetch_pool);
+        *self.run_pool.lock() =
+            (pool_size > 0).then(|| Arc::new(FetchPool::new(Arc::clone(&self.fetcher), pool_size)));
+    }
+
+    /// Tear down the run's fetch pool (if any): drop the `Arc`, which
+    /// joins the fetcher threads once the workers' handles are gone.
+    /// Called from the run's wind-down, after every worker has exited —
+    /// the worker wind-down contract guarantees the queue is empty by
+    /// then (claims were drained or unclaimed).
+    pub(crate) fn teardown_fetch_pool(&self) {
+        *self.run_pool.lock() = None;
     }
 
     /// Clear the previous run's verdict so a fresh `start()` is judged on
@@ -878,6 +932,10 @@ impl CrawlSession {
         // workers are alive here: `ControlState::activate` guarantees
         // one run at a time.
         self.counters.in_flight.store(0, Ordering::Release);
+        // Same reasoning for the politeness gauges: a dead worker's
+        // admitted-but-never-flushed claims would otherwise hold their
+        // servers' per-server slots forever.
+        self.store.write().health.reset_in_flight();
     }
 
     /// Hand claims that will not be fetched back to the frontier
@@ -895,6 +953,12 @@ impl CrawlSession {
         if let Some(ctx) = &self.shard {
             ctx.exchange.sub_in_flight(rest.len());
         }
+        // Every admitted claim charged a per-server politeness slot at
+        // `HealthMap::admit`; hand those back too, keyed exactly as the
+        // admission was (the claim's URL, not any fetched page's).
+        for c in rest {
+            g.health.release(host_server_id(&c.url));
+        }
         if let Err(e) = frontier::unclaim_batch(&mut g.db, rest) {
             drop(g);
             // `record_error` keeps the first error, so this cannot mask
@@ -903,12 +967,28 @@ impl CrawlSession {
         }
     }
 
-    /// The worker loop: drain control commands, honor pause/stop, claim
-    /// a small batch in one critical section, then for each claimed page
-    /// fetch (lock released), classify (lock released), and flush the
-    /// page's accumulated writes in one short critical section at the
-    /// page boundary (where steering commands also drain).
+    /// The worker loop. With a fetch pool armed for this run the worker
+    /// runs the pipelined submit/drain loop ([`worker_pooled`]);
+    /// otherwise it fetches inline, one page at a time
+    /// ([`worker_inline`]).
+    ///
+    /// [`worker_pooled`]: CrawlSession::worker_pooled
+    /// [`worker_inline`]: CrawlSession::worker_inline
     pub(crate) fn worker(&self, sink: &EventSink, batch_size: usize) {
+        let pool = self.run_pool.lock().clone();
+        match pool {
+            Some(pool) => self.worker_pooled(&pool, sink, batch_size),
+            None => self.worker_inline(sink, batch_size),
+        }
+    }
+
+    /// The inline worker loop: drain control commands, honor
+    /// pause/stop, claim a small batch in one critical section, then
+    /// for each claimed page fetch (lock released), classify (lock
+    /// released), and flush the page's accumulated writes in one short
+    /// critical section at the page boundary (where steering commands
+    /// also drain).
+    fn worker_inline(&self, sink: &EventSink, batch_size: usize) {
         // Per-worker inference buffers: warmed up on the first page,
         // zero allocations per page after that. Never shared (the
         // `Scratch` contract), so no lock guards it.
@@ -979,6 +1059,278 @@ impl CrawlSession {
         }
     }
 
+    /// The pipelined worker loop over the run's fetch pool: keep
+    /// topping the submission queue up toward an in-flight target
+    /// (claims still numbered and gated through [`next_tick`], the same
+    /// budget/health critical section the inline path uses), and drain
+    /// one completion per turn through the classify/flush path — so
+    /// fetch latency overlaps this worker's CPU work instead of
+    /// serializing with it.
+    ///
+    /// Control latency stays one *page*: commands drain every turn, a
+    /// pause cancels the queued-but-unfetched jobs immediately and only
+    /// waits out fetches already on the wire, and stop/abort unwinds
+    /// the same way ([`wind_down_pooled`]).
+    ///
+    /// [`next_tick`]: CrawlSession::next_tick
+    /// [`wind_down_pooled`]: CrawlSession::wind_down_pooled
+    fn worker_pooled(&self, pool: &Arc<FetchPool>, sink: &EventSink, batch_size: usize) {
+        let mut scratch = Scratch::default();
+        let mut handle = pool.handle();
+        // Failed fetches accumulate here and flush in one critical
+        // section, exactly as in the inline batch path.
+        let mut pending: Vec<(Claim, FetchErrorKind, u64)> = Vec::new();
+        // Completions landed since the last commit point; the commit
+        // cadence below mirrors the inline path's batch boundary.
+        let mut since_commit = 0usize;
+        let batch = batch_size.max(1);
+        // Split the pool's capacity across this run's workers, keeping
+        // ~2 jobs per pool thread in flight so a completing thread
+        // always finds its next job queued; never below one batch, or
+        // a tiny pool would defeat batching.
+        let workers = self.cfg.threads.max(1);
+        let target = batch.max((pool.size() * 2).div_ceil(workers));
+        loop {
+            self.control.drain(|cmd| self.apply_command(cmd, sink));
+            self.drain_exchange();
+            if self.control.abort.load(Ordering::Acquire)
+                || self.control.run_state() == RunState::Stopping
+            {
+                break;
+            }
+            if let Some(ctx) = &self.shard {
+                // A peer shard proved the whole cluster idle. Our own
+                // outstanding jobs hold the global in-flight gauge up,
+                // so `finished` can only be true with an empty pipeline.
+                if ctx.exchange.finished() {
+                    break;
+                }
+            }
+            if self.control.run_state() == RunState::Paused {
+                self.pause_pooled(&mut handle, &mut pending, sink, &mut scratch);
+                continue;
+            }
+            // Top up the pipeline toward the in-flight target.
+            if handle.outstanding() < target {
+                match self.next_tick(sink, (target - handle.outstanding()).min(batch)) {
+                    Tick::Exit => {
+                        // Budget spent (or a fatal claim error): stop
+                        // feeding the queue. Whatever is already on the
+                        // wire still completes and flushes below.
+                        if handle.outstanding() == 0 && pending.is_empty() {
+                            break;
+                        }
+                    }
+                    Tick::EmptyFrontier { idle, attempts } => {
+                        if handle.outstanding() == 0 {
+                            // Land trailing failures before judging
+                            // idleness: they hold the in-flight gauge up
+                            // (vetoing the verdict) and may requeue rows.
+                            if !pending.is_empty() {
+                                self.flush_failures_standalone(&mut pending, sink);
+                                continue;
+                            }
+                            let stagnated = idle
+                                && self
+                                    .shard
+                                    .as_ref()
+                                    .is_none_or(|ctx| ctx.exchange.try_finish());
+                            if stagnated {
+                                if !self
+                                    .control
+                                    .stagnation_reported
+                                    .swap(true, Ordering::AcqRel)
+                                {
+                                    sink.emit(CrawlEvent::FrontierStagnated { attempts });
+                                }
+                                break;
+                            }
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        // Otherwise the frontier is merely empty *now*;
+                        // outstanding completions are about to
+                        // repopulate it — fall through to the drain.
+                    }
+                    Tick::Work {
+                        claims,
+                        first_attempt,
+                    } => handle.submit(claims, first_attempt),
+                }
+            }
+            // Drain one completion per turn; the short timeout keeps
+            // the loop responsive to commands and the submit half.
+            match handle.next_completion(std::time::Duration::from_millis(1)) {
+                Some(done) => {
+                    since_commit += 1;
+                    if self.process_completion(done, &mut pending, sink, &mut scratch) {
+                        break;
+                    }
+                    if since_commit < batch {
+                        continue;
+                    }
+                    // Fall through to the commit point below.
+                }
+                None if since_commit == 0 && pending.is_empty() => continue,
+                None => {}
+            }
+            // Batch-boundary analogue: a quiet turn (or `batch`
+            // completions since the last point) lands trailing failures
+            // and cuts a WAL commit point, the same cadence the inline
+            // path gets for free at its batch boundary.
+            since_commit = 0;
+            let mut g = self.store.write();
+            let res = self
+                .flush_failures(&mut g, &mut pending, sink)
+                .and_then(|()| Self::commit_if_durable(&mut g.db));
+            if let Err(e) = res {
+                drop(g);
+                self.record_error(e);
+                break;
+            }
+        }
+        self.wind_down_pooled(&mut handle, &mut pending, sink, &mut scratch);
+    }
+
+    /// Land one pool completion through the same classify/flush path
+    /// the inline loop uses. Returns `true` when the worker should wind
+    /// down (a storage error was recorded). A completion carrying a
+    /// fetcher panic is re-raised here, on the worker thread, so it
+    /// surfaces through the existing worker-panic machinery exactly as
+    /// an inline fetch panic would.
+    fn process_completion(
+        &self,
+        done: Completion,
+        pending: &mut Vec<(Claim, FetchErrorKind, u64)>,
+        sink: &EventSink,
+        scratch: &mut Scratch,
+    ) -> bool {
+        let Completion {
+            claim,
+            attempt,
+            outcome,
+        } = done;
+        let result = match outcome {
+            Ok(r) => r,
+            Err(msg) => panic!("fetch pool: {msg}"),
+        };
+        // Classify outside every lock — same engine-Arc discipline as
+        // the inline path (`process_batch` documents it).
+        let eval = result.as_ref().ok().map(|page| {
+            let compiled = Arc::clone(&self.compiled.read());
+            let summary = compiled.evaluate_into(&page.terms, scratch);
+            let saved: Vec<(ClassId, f64)> = scratch
+                .class_probs()
+                .iter()
+                .copied()
+                .filter(|&(_, p)| p > SAVED_PROB_FLOOR)
+                .collect();
+            (summary, saved)
+        });
+        match result {
+            Err(e) => {
+                // Failures join the pending flush; the claim stays in
+                // flight (gauge and row) until the flush lands it.
+                pending.push((claim, FetchErrorKind::from(&e), attempt));
+                false
+            }
+            Ok(page) => {
+                let mut g = self.store.write();
+                let res = self
+                    .flush_failures(&mut g, pending, sink)
+                    .and_then(|()| self.process(&mut g, &claim, Ok(page), eval, attempt, sink));
+                // Gauge discipline identical to the inline path: the
+                // decrement happens under the write lock, after the
+                // page's outlinks are in the frontier (local or routed).
+                self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
+                if let Some(ctx) = &self.shard {
+                    ctx.exchange.sub_in_flight(1);
+                }
+                if let Err(e) = res {
+                    drop(g);
+                    self.record_error(e);
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Park the pooled pipeline for a pause: pull the
+    /// queued-but-unfetched jobs back out of the submission queue (no
+    /// further fetches issue; the claims keep their attempt numbers, so
+    /// `attempts` stays flat exactly as the pause contract promises),
+    /// drain the fetches already on the wire and land them normally,
+    /// then spin at the park point — commands still apply and routed
+    /// entries still land, so pause-then-checkpoint captures
+    /// cross-shard work. On resume the held jobs are resubmitted with
+    /// their original attempt numbers (their chaos ordinals are
+    /// unchanged by the round-trip); on stop-while-paused they are
+    /// handed back to the frontier instead.
+    fn pause_pooled(
+        &self,
+        handle: &mut PoolHandle,
+        pending: &mut Vec<(Claim, FetchErrorKind, u64)>,
+        sink: &EventSink,
+        scratch: &mut Scratch,
+    ) {
+        let held = handle.cancel_unstarted();
+        while handle.outstanding() > 0 {
+            if let Some(done) = handle.next_completion(std::time::Duration::from_millis(5)) {
+                // On a storage error the run is already aborting; keep
+                // draining so no completion is abandoned in the mailbox.
+                let _ = self.process_completion(done, pending, sink, scratch);
+            }
+        }
+        self.flush_failures_standalone(pending, sink);
+        while self.control.run_state() == RunState::Paused
+            && !self.control.abort.load(Ordering::Acquire)
+        {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            self.control.drain(|cmd| self.apply_command(cmd, sink));
+            self.drain_exchange();
+        }
+        if self.control.abort.load(Ordering::Acquire)
+            || self.control.run_state() == RunState::Stopping
+        {
+            let claims: Vec<Claim> = held.into_iter().map(|(c, _)| c).collect();
+            self.release_unfetched(&claims);
+            return;
+        }
+        handle.resubmit(held);
+    }
+
+    /// Unwind the pooled pipeline on any worker exit: unclaim the
+    /// queued-but-unfetched jobs (they go back to the frontier, the
+    /// same contract as the inline path's unfetched batch remainder),
+    /// drain the fetches already on the wire and land them
+    /// (completed-then-flushed — those claims burned attempts and
+    /// cannot be handed back), then flush trailing failures and cut a
+    /// final commit point.
+    fn wind_down_pooled(
+        &self,
+        handle: &mut PoolHandle,
+        pending: &mut Vec<(Claim, FetchErrorKind, u64)>,
+        sink: &EventSink,
+        scratch: &mut Scratch,
+    ) {
+        let unstarted = handle.cancel_unstarted();
+        let claims: Vec<Claim> = unstarted.into_iter().map(|(c, _)| c).collect();
+        self.release_unfetched(&claims);
+        while handle.outstanding() > 0 {
+            if let Some(done) = handle.next_completion(std::time::Duration::from_millis(5)) {
+                // `record_error` keeps the first error; keep draining so
+                // every claim's gauge and row are accounted for.
+                let _ = self.process_completion(done, pending, sink, scratch);
+            }
+        }
+        self.flush_failures_standalone(pending, sink);
+        let mut g = self.store.write();
+        if let Err(e) = Self::commit_if_durable(&mut g.db) {
+            drop(g);
+            self.record_error(e);
+        }
+    }
+
     /// Process one claimed batch: fetch + classify each page outside the
     /// lock, flush its writes in one short critical section, and honor
     /// control at every *page* boundary — pause parks here (claims held,
@@ -1002,8 +1354,12 @@ impl CrawlSession {
         while i < claims.len() {
             let claim = &claims[i];
             let attempt = first_attempt + i as u64;
-            // Fetch without holding the lock (network latency).
-            let result = self.fetcher.fetch(claim.oid);
+            // Fetch without holding the lock (network latency). The
+            // submission ordinal is the claim's attempt number minus
+            // one — assigned under the store lock at claim time, so
+            // chaos schedules keyed on it replay identically whether
+            // the fetch runs inline here or on a pool thread.
+            let result = self.fetcher.fetch_with_ordinal(claim.oid, attempt - 1);
             // Classify without holding *any* lock: clone the compiled
             // engine's Arc (a refcount bump under a momentary read
             // lock), drop the lock, then run zero-alloc inference in
@@ -1269,19 +1625,33 @@ impl CrawlSession {
     /// order — and a parked claim is never counted as an attempt or
     /// held in flight, so the budget and gauges stay exact.
     ///
-    /// Returns the admitted claims plus a count of parked rows
-    /// encountered. The count can double-count rows parked by this
-    /// very call and re-seen by a later pop round; only its
+    /// Returns the admitted claims plus a count of parked-or-deferred
+    /// rows encountered. The count can double-count rows parked by
+    /// this very call and re-seen by a later pop round; only its
     /// zero/non-zero distinction is load-bearing (the idle verdict),
     /// and that is exact.
+    ///
+    /// Politeness-saturated servers are filtered *in-scan* by a
+    /// [`frontier::claim_batch_where`] predicate, so a server at its
+    /// per-server cap never has its rows popped and parked (no B+tree
+    /// churn); the rows are merely skipped and counted as `deferred`,
+    /// which vetoes the idle verdict exactly like parked rows do.
+    /// `HealthMap::admit` stays authoritative behind the predicate:
+    /// the scan's view of `in_flight` is stale for claims admitted in
+    /// the same batch, so the re-check parks any overshoot.
     fn claim_admitted(&self, g: &mut StoreState, want: usize) -> DbResult<(Vec<Claim>, usize)> {
         let now = self.counters.clock.load(Ordering::Acquire) as i64;
         let mut admitted: Vec<Claim> = Vec::with_capacity(want);
         let mut parks: Vec<(Oid, i64)> = Vec::new();
         let mut parked_rows = 0usize;
         loop {
-            let outcome = frontier::claim_batch(&mut g.db, want - admitted.len(), now)?;
-            parked_rows = parked_rows.max(outcome.parked);
+            // Borrow-split the guard: the scan predicate reads health
+            // while the claim scan holds `db` mutably.
+            let StoreState { db, health, .. } = &mut *g;
+            let outcome = frontier::claim_batch_where(db, want - admitted.len(), now, |c| {
+                !health.politeness_deferred(host_server_id(&c.url), now)
+            })?;
+            parked_rows = parked_rows.max(outcome.parked + outcome.deferred);
             if outcome.claims.is_empty() {
                 break;
             }
@@ -1604,6 +1974,12 @@ impl CrawlSession {
                         sink,
                     );
                 };
+                // The fetch is over: hand back the per-server politeness
+                // slot charged at admission. Keyed by the *claim's* URL
+                // (the admission key) — `page.url` can differ (or the
+                // claim's can be empty for raw seeds), and releasing a
+                // different server would leak the slot forever.
+                g.health.release(host_server_id(&claim.url));
                 let r = summary.relevance;
                 let log_r = log_clamped(r);
                 frontier::mark_done(
@@ -1768,6 +2144,10 @@ impl CrawlSession {
         // events are cut after the rows land.
         let mut verdicts = Vec::with_capacity(failures.len());
         for (claim, kind, _) in failures {
+            // Every admitted claim charged exactly one politeness slot,
+            // whatever the failure kind; release it before the breaker
+            // bookkeeping, keyed as the admission was (the claim URL).
+            g.health.release(host_server_id(&claim.url));
             let mut not_before = 0i64;
             let mut quarantined: Option<(ServerId, u32, i64)> = None;
             let mut behind_breaker = false;
@@ -1966,7 +2346,28 @@ impl CrawlSession {
     /// fetched. New edges are recorded in `LINK` with a fresh `discovered`
     /// timestamp, and their targets enter the frontier at high priority.
     /// Returns `(hubs revisited, new links found)`.
+    ///
+    /// Revisit fetches go through the same per-server admission path as
+    /// crawl fetches: a quarantined or politeness-saturated server is
+    /// *skipped* (never probed past its breaker), and a failed revisit
+    /// charges the server's health instead of being swallowed. Use
+    /// [`maintenance_pass_with`] to observe the skip/failure events.
+    ///
+    /// [`maintenance_pass_with`]: CrawlSession::maintenance_pass_with
     pub fn maintenance_pass(&self, top_k_hubs: usize) -> DbResult<(usize, usize)> {
+        self.maintenance_pass_with(top_k_hubs, Vec::new())
+    }
+
+    /// [`maintenance_pass`](CrawlSession::maintenance_pass) with
+    /// observers: skips surface as [`CrawlEvent::HubRevisitSkipped`],
+    /// failures as [`CrawlEvent::HubRevisitFailed`], and breaker
+    /// transitions as the usual quarantine/recovery events.
+    pub fn maintenance_pass_with(
+        &self,
+        top_k_hubs: usize,
+        observers: Vec<Arc<dyn CrawlObserver>>,
+    ) -> DbResult<(usize, usize)> {
+        let sink = EventSink::new(None, observers, Arc::new(AtomicU64::new(0)));
         let distill = match self.last_distill() {
             Some(d) => d,
             None => self.distill_now()?,
@@ -1979,11 +2380,73 @@ impl CrawlSession {
         let mut revisited = 0;
         let mut new_links = 0;
         for hub in hubs {
-            let Ok(page) = self.fetcher.fetch(hub) else {
+            // Resolve the hub's server the same way crawl claims do:
+            // by URL. A fetcher without URL metadata resolves to the
+            // same default server id empty-URL claims use.
+            let url = self.fetcher.url_of(hub).unwrap_or_default();
+            let sid = host_server_id(&url);
+            let tick = self.counters.clock.load(Ordering::Acquire) as i64;
+            // Admission under the store lock, exactly like a claim: a
+            // parked verdict means the breaker is open or the server is
+            // politeness-saturated — skip, never probe past it.
+            let admitted = {
+                let mut g = self.store.write();
+                match g.health.admit(sid, tick) {
+                    ClaimGate::Fetch | ClaimGate::Probe => true,
+                    ClaimGate::Parked { until } => {
+                        sink.emit(CrawlEvent::HubRevisitSkipped {
+                            oid: hub,
+                            server: sid,
+                            until,
+                        });
+                        false
+                    }
+                }
+            };
+            if !admitted {
                 continue;
+            }
+            // Maintenance traffic sits outside the crawl's attempt
+            // numbering, so it takes the legacy serialized-tick fetch
+            // (no submission ordinal to pass).
+            let result = self.fetcher.fetch(hub);
+            let page = match result {
+                Err(ref e) => {
+                    let kind = FetchErrorKind::from(e);
+                    let mut g = self.store.write();
+                    // Reborrow so `db` and `health` borrows can split.
+                    let g = &mut *g;
+                    g.health.release(sid);
+                    if kind == FetchErrorKind::Timeout {
+                        if let FailureVerdict::Quarantined { until, failures } =
+                            g.health.record_failure(sid, tick)
+                        {
+                            Self::write_server_health(&mut g.db, sid, g.health.get(sid))?;
+                            sink.emit(CrawlEvent::ServerQuarantined {
+                                server: sid,
+                                failures,
+                                until,
+                            });
+                        }
+                    }
+                    sink.emit(CrawlEvent::HubRevisitFailed {
+                        oid: hub,
+                        server: sid,
+                        error: kind,
+                    });
+                    continue;
+                }
+                Ok(page) => page,
             };
             revisited += 1;
             let mut g = self.store.write();
+            // Reborrow so `db` and `health` borrows can split.
+            let g = &mut *g;
+            g.health.release(sid);
+            if g.health.record_success(sid) {
+                Self::write_server_health(&mut g.db, sid, g.health.get(sid))?;
+                sink.emit(CrawlEvent::ServerRecovered { server: sid });
+            }
             let now = self.start.elapsed().as_secs() as i64;
             // Known outlinks of this hub.
             let known: Vec<i64> = {

@@ -1,0 +1,152 @@
+//! Property tests of the per-server politeness invariants: under any
+//! interleaving of admissions, releases, and failure/success records —
+//! including breaker Open → Probing → Closed transitions — a server's
+//! in-flight count never exceeds `max_in_flight`, and two admissions on
+//! the same server are never closer than `min_delay` crawl ticks.
+
+use focus_crawler::health::{ClaimGate, HealthMap, PolitenessConfig};
+use focus_crawler::{BackoffConfig, BreakerConfig};
+use focus_types::ServerId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One step of the simulated crawl.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Try to admit a fetch on server `sid` after advancing the clock
+    /// by `dt` ticks.
+    Admit { sid: u32, dt: i64 },
+    /// Finish one outstanding fetch on `sid` as a timeout (charges the
+    /// breaker — this is what drives Open/Probing transitions).
+    FinishTimeout { sid: u32 },
+    /// Finish one outstanding fetch on `sid` as a success (closes the
+    /// breaker from Probing).
+    FinishOk { sid: u32 },
+}
+
+fn op_strategy(n_servers: u32) -> impl Strategy<Value = Op> {
+    (0u32..n_servers, 0i64..4, 0u32..3).prop_map(|(sid, dt, kind)| match kind {
+        0 => Op::Admit { sid, dt },
+        1 => Op::FinishTimeout { sid },
+        _ => Op::FinishOk { sid },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn per_server_cap_and_min_delay_hold(
+        ops in proptest::collection::vec(op_strategy(3), 1..200),
+        max_in_flight in 1usize..4,
+        min_delay in 0i64..5,
+    ) {
+        let politeness = PolitenessConfig { max_in_flight, min_delay };
+        let mut health = HealthMap::new(
+            BackoffConfig::default(),
+            // A low threshold so generated timeout streaks actually
+            // open breakers and the invariants get exercised across
+            // Open → Probing → Closed.
+            BreakerConfig { threshold: 2, ..BreakerConfig::default() },
+            politeness,
+        );
+        let mut now = 0i64;
+        // Externally tracked ground truth per server.
+        let mut outstanding: HashMap<u32, usize> = HashMap::new();
+        let mut last_admit: HashMap<u32, i64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Admit { sid, dt } => {
+                    now += dt;
+                    let server = ServerId(sid);
+                    match health.admit(server, now) {
+                        ClaimGate::Fetch | ClaimGate::Probe => {
+                            let o = outstanding.entry(sid).or_insert(0);
+                            *o += 1;
+                            prop_assert!(
+                                *o <= max_in_flight,
+                                "server {sid} admitted past its cap: {o} > {max_in_flight}"
+                            );
+                            if let Some(&prev) = last_admit.get(&sid) {
+                                prop_assert!(
+                                    now - prev >= min_delay,
+                                    "server {sid} admitted {} ticks after the previous \
+                                     admission; min_delay is {min_delay}",
+                                    now - prev
+                                );
+                            }
+                            last_admit.insert(sid, now);
+                        }
+                        ClaimGate::Parked { until } => {
+                            // A deferral must always point forward,
+                            // never trap the row in the past.
+                            prop_assert!(until >= now || min_delay == 0);
+                        }
+                    }
+                }
+                Op::FinishTimeout { sid } => {
+                    if outstanding.get(&sid).copied().unwrap_or(0) > 0 {
+                        let server = ServerId(sid);
+                        health.release(server);
+                        health.record_failure(server, now);
+                        *outstanding.get_mut(&sid).unwrap() -= 1;
+                    }
+                }
+                Op::FinishOk { sid } => {
+                    if outstanding.get(&sid).copied().unwrap_or(0) > 0 {
+                        let server = ServerId(sid);
+                        health.release(server);
+                        health.record_success(server);
+                        *outstanding.get_mut(&sid).unwrap() -= 1;
+                    }
+                }
+            }
+            // The map's gauge must agree with the ground truth exactly:
+            // every admission charged once, every finish released once.
+            for (&sid, &o) in &outstanding {
+                prop_assert_eq!(
+                    health.in_flight(ServerId(sid)),
+                    o,
+                    "server {} gauge drifted from ground truth",
+                    sid
+                );
+            }
+        }
+    }
+
+    /// Saturating a server defers further claims (predicate view) until
+    /// a slot frees, and the deferral never lies: `politeness_deferred`
+    /// is exactly "admit would park for politeness" while the breaker
+    /// is closed.
+    #[test]
+    fn deferral_predicate_matches_admission(
+        max_in_flight in 1usize..4,
+        fills in 0usize..6,
+    ) {
+        let politeness = PolitenessConfig { max_in_flight, min_delay: 0 };
+        let mut health = HealthMap::new(
+            BackoffConfig::default(),
+            BreakerConfig::default(),
+            politeness,
+        );
+        let server = ServerId(7);
+        let mut admitted = 0usize;
+        for _ in 0..fills {
+            match health.admit(server, 10) {
+                ClaimGate::Fetch | ClaimGate::Probe => admitted += 1,
+                ClaimGate::Parked { .. } => {}
+            }
+        }
+        prop_assert_eq!(admitted, fills.min(max_in_flight));
+        prop_assert_eq!(
+            health.politeness_deferred(server, 10),
+            admitted == max_in_flight,
+            "predicate must flip exactly at the cap"
+        );
+        if admitted > 0 {
+            health.release(server);
+            health.record_success(server);
+            prop_assert!(!health.politeness_deferred(server, 10));
+        }
+    }
+}

@@ -9,9 +9,16 @@
 //! [`ChaosSchedule`] of per-server [`FaultProfile`]s.
 //!
 //! Every decision is a pure function of `(seed, server, oid, tick)`
-//! where `tick` is the global fetch ordinal — no RNG state, no clocks —
-//! so a given schedule replays identically and eval tables stay stable
-//! across runs.
+//! where `tick` is the **submission ordinal** of the attempt — no RNG
+//! state, no clocks — so a given schedule replays identically and eval
+//! tables stay stable across runs. When the crawler runs fetches
+//! concurrently it assigns each attempt its ordinal *before* handing it
+//! to a pool thread and passes it down via
+//! [`Fetcher::fetch_with_ordinal`]; the injected-fault set is then a
+//! function of the submission sequence alone, identical at any pool
+//! size. Callers of plain [`Fetcher::fetch`] (which self-assigns the
+//! next ordinal at call time) keep the old behavior, which is only
+//! deterministic when those calls are serialized.
 
 use crate::fetch::{FetchError, FetchedPage, Fetcher};
 use focus_types::hash::{fx64, FxHashMap};
@@ -199,9 +206,8 @@ impl ChaosFetcher {
     }
 }
 
-impl Fetcher for ChaosFetcher {
-    fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
-        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+impl ChaosFetcher {
+    fn inject(&self, oid: Oid, tick: u64) -> Result<FetchedPage, FetchError> {
         if let Some(server) = self.inner.server_of(oid) {
             match self.schedule.fault(server, oid, tick) {
                 Fault::Timeout => return Err(FetchError::Timeout(oid)),
@@ -210,6 +216,26 @@ impl Fetcher for ChaosFetcher {
             }
         }
         self.inner.fetch(oid)
+    }
+}
+
+impl Fetcher for ChaosFetcher {
+    /// Self-assigns the next tick at call time. Deterministic only when
+    /// calls are serialized; concurrent callers should assign submission
+    /// ordinals themselves and use [`Fetcher::fetch_with_ordinal`].
+    fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError> {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        self.inject(oid, tick)
+    }
+
+    /// Keys the fault decision on the caller-assigned submission
+    /// ordinal, so the injected-fault set is a pure function of the
+    /// submission sequence — identical whether one fetch or hundreds
+    /// are in flight. `ticks` only ratchets up to the high-water mark
+    /// (it never double-counts the attempt the way `fetch` would).
+    fn fetch_with_ordinal(&self, oid: Oid, ordinal: u64) -> Result<FetchedPage, FetchError> {
+        self.ticks.fetch_max(ordinal + 1, Ordering::Relaxed);
+        self.inject(oid, ordinal)
     }
 
     /// Every attempt counts, including injected failures the inner

@@ -49,9 +49,23 @@ pub struct FetchedPage {
 }
 
 /// Anything the crawler can pull pages from.
+///
+/// Implementations must be safe under *concurrent* fetches: the crawler
+/// may run hundreds of calls in flight at once from a pool of fetcher
+/// threads (see the crawler's fetch pool). In particular `fetch_count`
+/// is a monotone attempts counter, not a serialization point.
 pub trait Fetcher: Send + Sync {
     /// Fetch one URL by oid.
     fn fetch(&self, oid: Oid) -> Result<FetchedPage, FetchError>;
+    /// Fetch one URL, carrying the caller-assigned *submission ordinal*
+    /// — the position of this attempt in submission order, assigned
+    /// before the fetch is handed to any thread. Deterministic fault
+    /// injectors ([`crate::chaos::ChaosFetcher`]) key their decisions on
+    /// this ordinal so that the injected-fault set is independent of
+    /// completion interleaving. Plain fetchers ignore it.
+    fn fetch_with_ordinal(&self, oid: Oid, _ordinal: u64) -> Result<FetchedPage, FetchError> {
+        self.fetch(oid)
+    }
     /// Total fetch attempts so far.
     fn fetch_count(&self) -> u64;
     /// Pages linking *to* `oid`, when the server exposes such metadata
@@ -81,6 +95,14 @@ pub trait Fetcher: Send + Sync {
 type ReverseAdjacency = Arc<focus_types::hash::FxHashMap<Oid, Vec<Oid>>>;
 
 /// Fetcher over a generated [`WebGraph`].
+///
+/// Concurrency semantics (relied on by the crawler's fetch pool):
+/// `fetches` and `failures` are relaxed atomics — counts are exact
+/// under any interleaving, though `fetch_count` observed mid-storm may
+/// trail in-flight calls. Per-oid timeout retry counting goes through a
+/// mutex, so concurrent attempts at the *same* timed-out page each
+/// consume one retry; the page still recovers after exactly
+/// `timeout_retries` failures regardless of which threads raced.
 pub struct SimFetcher {
     graph: Arc<WebGraph>,
     latency: Option<Duration>,
