@@ -48,6 +48,8 @@
 //! assert_eq!(classified, outcome.stats.successes);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod admin;
 pub mod system;
 

@@ -57,8 +57,8 @@ use crate::tables::host_server_id;
 use focus_classifier::model::TrainedModel;
 use focus_types::{ClassId, Oid, ServerId};
 use focus_webgraph::Fetcher;
+use lockcheck::{rank, OrderedMutex};
 use minirel::{DbError, DbResult};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -123,7 +123,7 @@ pub(crate) fn seed_owner(url: &str, oid: Oid, n_shards: usize) -> usize {
 /// ordering contract that keeps [`ShardExchange::try_finish`] race-free.
 pub(crate) struct ShardExchange {
     /// One bounded inbox per shard.
-    inboxes: Vec<Mutex<VecDeque<FrontierEntry>>>,
+    inboxes: Vec<OrderedMutex<VecDeque<FrontierEntry>>>,
     /// Entries routed but not yet landed in the owner's frontier. This
     /// deliberately covers the take→upsert gap: [`ShardExchange::take`]
     /// leaves entries counted until [`ShardExchange::landed`].
@@ -153,7 +153,9 @@ pub(crate) struct ShardExchange {
 impl ShardExchange {
     pub(crate) fn new(n_shards: usize, capacity: usize) -> ShardExchange {
         ShardExchange {
-            inboxes: (0..n_shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inboxes: (0..n_shards)
+                .map(|_| OrderedMutex::new(rank::EXCHANGE_INBOX, VecDeque::new()))
+                .collect(),
             queued: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             idle: (0..n_shards).map(|_| AtomicBool::new(false)).collect(),

@@ -25,17 +25,11 @@
 
 use crate::frontier::Claim;
 use focus_webgraph::{FetchError, FetchedPage, Fetcher};
+use lockcheck::{rank, OrderedCondvar, OrderedMutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Lock with parking_lot's non-poisoning semantics: a fetcher thread
-/// that panicked mid-fetch already delivered the panic payload as its
-/// completion, so the queue state it left behind is consistent.
-fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// What a pool thread produced for one submitted claim.
 #[derive(Debug)]
@@ -59,20 +53,20 @@ struct Job {
 
 /// Per-handle completion mailbox.
 struct HandleShared {
-    completions: Mutex<VecDeque<Completion>>,
-    ready: Condvar,
+    completions: OrderedMutex<VecDeque<Completion>>,
+    ready: OrderedCondvar,
 }
 
 struct PoolShared {
     fetcher: Arc<dyn Fetcher>,
-    queue: Mutex<VecDeque<Job>>,
-    job_ready: Condvar,
+    queue: OrderedMutex<VecDeque<Job>>,
+    job_ready: OrderedCondvar,
     shutdown: AtomicBool,
 }
 
 impl PoolShared {
     fn complete(&self, dest: &Arc<HandleShared>, done: Completion) {
-        locked(&dest.completions).push_back(done);
+        dest.completions.lock().push_back(done);
         dest.ready.notify_one();
     }
 }
@@ -91,8 +85,8 @@ impl FetchPool {
     pub fn new(fetcher: Arc<dyn Fetcher>, size: usize) -> FetchPool {
         let shared = Arc::new(PoolShared {
             fetcher,
-            queue: Mutex::new(VecDeque::new()),
-            job_ready: Condvar::new(),
+            queue: OrderedMutex::new(rank::POOL_QUEUE, VecDeque::new()),
+            job_ready: OrderedCondvar::new(),
             shutdown: AtomicBool::new(false),
         });
         let threads = (0..size.max(1))
@@ -117,8 +111,8 @@ impl FetchPool {
         PoolHandle {
             pool: Arc::clone(&self.shared),
             dest: Arc::new(HandleShared {
-                completions: Mutex::new(VecDeque::new()),
-                ready: Condvar::new(),
+                completions: OrderedMutex::new(rank::POOL_MAILBOX, VecDeque::new()),
+                ready: OrderedCondvar::new(),
             }),
             outstanding: 0,
         }
@@ -146,7 +140,7 @@ impl Drop for FetchPool {
 fn fetcher_thread(shared: &PoolShared) {
     loop {
         let job = {
-            let mut q = locked(&shared.queue);
+            let mut q = shared.queue.lock();
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -154,10 +148,7 @@ fn fetcher_thread(shared: &PoolShared) {
                 if let Some(j) = q.pop_front() {
                     break j;
                 }
-                q = shared
-                    .job_ready
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
+                q = shared.job_ready.wait(q);
             }
         };
         let ordinal = job.attempt.saturating_sub(1);
@@ -209,7 +200,7 @@ impl PoolHandle {
             return;
         }
         self.outstanding += claims.len();
-        let mut q = locked(&self.pool.queue);
+        let mut q = self.pool.queue.lock();
         for (i, claim) in claims.into_iter().enumerate() {
             q.push_back(Job {
                 claim,
@@ -233,14 +224,9 @@ impl PoolHandle {
         if self.outstanding == 0 {
             return None;
         }
-        let mut c = locked(&self.dest.completions);
+        let mut c = self.dest.completions.lock();
         if c.is_empty() {
-            c = self
-                .dest
-                .ready
-                .wait_timeout(c, timeout)
-                .unwrap_or_else(PoisonError::into_inner)
-                .0;
+            c = self.dest.ready.wait_timeout(c, timeout).0;
         }
         let done = c.pop_front();
         if done.is_some() {
@@ -260,7 +246,7 @@ impl PoolHandle {
             return;
         }
         self.outstanding += jobs.len();
-        let mut q = locked(&self.pool.queue);
+        let mut q = self.pool.queue.lock();
         for (claim, attempt) in jobs {
             q.push_back(Job {
                 claim,
@@ -277,7 +263,7 @@ impl PoolHandle {
     /// and must be drained. Used by pause (hold and resubmit) and stop
     /// (unclaim).
     pub fn cancel_unstarted(&mut self) -> Vec<(Claim, u64)> {
-        let mut q = locked(&self.pool.queue);
+        let mut q = self.pool.queue.lock();
         let mut mine = Vec::new();
         q.retain_mut(|j| {
             if Arc::ptr_eq(&j.dest, &self.dest) {

@@ -21,8 +21,8 @@ use crate::events::{CrawlObserver, EventSink, EventStream};
 use crate::policy::CrawlPolicy;
 use crate::session::{CrawlSession, CrawlStats};
 use focus_types::{ClassId, Oid};
+use lockcheck::{rank, OrderedMutex};
 use minirel::DbError;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -119,12 +119,12 @@ const STATE_STOPPING: u8 = 2;
 /// flags. Lives outside the session's big data mutex so steering never
 /// contends with page processing.
 pub(crate) struct ControlState {
-    queue: Mutex<VecDeque<Command>>,
+    queue: OrderedMutex<VecDeque<Command>>,
     /// Serializes command *application* (not submission): drainers hold
     /// this — never `queue` — while running handlers, so a slow command
     /// (e.g. a `mark_topic` re-prioritization sweep) cannot block
     /// [`ControlState::push`] from the control thread.
-    applying: Mutex<()>,
+    applying: OrderedMutex<()>,
     state: AtomicU8,
     /// A run's workers are alive (guards against double `start()`).
     active: AtomicBool,
@@ -139,8 +139,8 @@ pub(crate) struct ControlState {
 impl ControlState {
     pub(crate) fn new() -> ControlState {
         ControlState {
-            queue: Mutex::new(VecDeque::new()),
-            applying: Mutex::new(()),
+            queue: OrderedMutex::new(rank::CTRL_QUEUE, VecDeque::new()),
+            applying: OrderedMutex::new(rank::CTRL_APPLY, ()),
             state: AtomicU8::new(STATE_RUNNING),
             active: AtomicBool::new(false),
             abort: AtomicBool::new(false),

@@ -29,7 +29,11 @@
 //!   a crawl never contends with page processing.
 //!
 //! Lock order (always acquire left before right, release before going
-//! back left): `model → compiled → store → wal → counters/diag`.
+//! back left): `model → compiled → store → wal → counters/diag`. The
+//! session's locks are rank-carrying [`lockcheck`] wrappers, so this
+//! order is not just documentation: debug builds panic on any
+//! out-of-order interleaving, and `cargo run -p lockcheck` rejects any
+//! code path that contradicts `LOCK_ORDER.toml`.
 //! Monitors touch only `store` (read) or the counter mutex, so they can
 //! never deadlock with workers. The `wal` position is the WAL latch of
 //! a durable session database ([`Durability`]): minirel acquires it
@@ -96,8 +100,8 @@ use focus_distiller::{DistillConfig, DistillResult};
 use focus_types::hash::FxHashMap;
 use focus_types::{ClassId, Oid, ServerId};
 use focus_webgraph::{FetchError, Fetcher};
+use lockcheck::{rank, OrderedMutex, OrderedRwLock};
 use minirel::{Database, DbError, DbResult, ResultSet, Value};
-use parking_lot::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -326,7 +330,7 @@ struct CounterState {
     retry_budget: AtomicU64,
     /// Success/failure tallies and the harvest series. `attempts` inside
     /// is refreshed from the atomic at snapshot time.
-    tallies: Mutex<CrawlStats>,
+    tallies: OrderedMutex<CrawlStats>,
 }
 
 /// First storage error and worker-panic messages of the current run.
@@ -347,23 +351,23 @@ pub struct CrawlSession {
     /// The trained parameters — the *source of truth* for markings.
     /// Behind a rwlock so `mark_topic` can change the good set while
     /// workers classify (§3.7 administration against a live crawl).
-    model: RwLock<TrainedModel>,
+    model: OrderedRwLock<TrainedModel>,
     /// The compiled inference engine the hot path runs. Workers clone
     /// the `Arc` and release the lock before evaluating; topic re-marks
     /// compile a fresh model and swap the `Arc` in (see module docs).
-    compiled: RwLock<Arc<CompiledModel>>,
+    compiled: OrderedRwLock<Arc<CompiledModel>>,
     cfg: CrawlConfig,
     /// The relational store: readers share, writers exclude (see the
     /// module docs for the lock order).
-    store: RwLock<StoreState>,
+    store: OrderedRwLock<StoreState>,
     counters: CounterState,
-    diag: Mutex<RunDiag>,
+    diag: OrderedMutex<RunDiag>,
     control: ControlState,
     /// The current run's fetch pool, when [`CrawlConfig::fetch_pool`]
     /// (or its per-run override) is non-zero. Armed at launch, torn
     /// down at wind-down; the mutex is a leaf taken only at those two
     /// points and at worker startup (to clone the `Arc`).
-    run_pool: Mutex<Option<Arc<FetchPool>>>,
+    run_pool: OrderedMutex<Option<Arc<FetchPool>>>,
     start: Instant,
     /// Present when this session is one shard of a
     /// [`crate::cluster::CrawlCluster`]: pages whose server hashes to
@@ -461,31 +465,34 @@ impl CrawlSession {
         let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
-            model: RwLock::new(model),
-            compiled: RwLock::new(compiled),
+            model: OrderedRwLock::new(rank::MODEL, model),
+            compiled: OrderedRwLock::new(rank::COMPILED, compiled),
             cfg,
-            store: RwLock::new(StoreState {
-                db,
-                relevance: FxHashMap::default(),
-                class_probs: FxHashMap::default(),
-                links: Vec::new(),
-                server_counts: FxHashMap::default(),
-                policy: initial_policy,
-                since_distill: 0,
-                last_distill: None,
-                health,
-            }),
+            store: OrderedRwLock::new(
+                rank::STORE,
+                StoreState {
+                    db,
+                    relevance: FxHashMap::default(),
+                    class_probs: FxHashMap::default(),
+                    links: Vec::new(),
+                    server_counts: FxHashMap::default(),
+                    policy: initial_policy,
+                    since_distill: 0,
+                    last_distill: None,
+                    health,
+                },
+            ),
             counters: CounterState {
                 attempts: AtomicU64::new(0),
                 budget: AtomicU64::new(initial_budget),
                 in_flight: AtomicUsize::new(0),
                 clock: AtomicU64::new(0),
                 retry_budget: AtomicU64::new(initial_retries),
-                tallies: Mutex::new(CrawlStats::default()),
+                tallies: OrderedMutex::new(rank::TALLIES, CrawlStats::default()),
             },
-            diag: Mutex::new(RunDiag::default()),
+            diag: OrderedMutex::new(rank::DIAG, RunDiag::default()),
             control: ControlState::new(),
-            run_pool: Mutex::new(None),
+            run_pool: OrderedMutex::new(rank::RUN_POOL, None),
             start: Instant::now(),
             shard,
         })
@@ -679,31 +686,34 @@ impl CrawlSession {
         let compiled = Arc::new(CompiledModel::compile(&model));
         Ok(CrawlSession {
             fetcher,
-            model: RwLock::new(model),
-            compiled: RwLock::new(compiled),
+            model: OrderedRwLock::new(rank::MODEL, model),
+            compiled: OrderedRwLock::new(rank::COMPILED, compiled),
             cfg,
-            store: RwLock::new(StoreState {
-                db,
-                relevance,
-                class_probs: FxHashMap::default(),
-                links,
-                server_counts,
-                policy: initial_policy,
-                since_distill: 0,
-                last_distill: None,
-                health,
-            }),
+            store: OrderedRwLock::new(
+                rank::STORE,
+                StoreState {
+                    db,
+                    relevance,
+                    class_probs: FxHashMap::default(),
+                    links,
+                    server_counts,
+                    policy: initial_policy,
+                    since_distill: 0,
+                    last_distill: None,
+                    health,
+                },
+            ),
             counters: CounterState {
                 attempts: AtomicU64::new(0),
                 budget: AtomicU64::new(initial_budget),
                 in_flight: AtomicUsize::new(0),
                 clock: AtomicU64::new(clock.max(0) as u64),
                 retry_budget: AtomicU64::new(initial_retries),
-                tallies: Mutex::new(CrawlStats::default()),
+                tallies: OrderedMutex::new(rank::TALLIES, CrawlStats::default()),
             },
-            diag: Mutex::new(RunDiag::default()),
+            diag: OrderedMutex::new(rank::DIAG, RunDiag::default()),
             control: ControlState::new(),
-            run_pool: Mutex::new(None),
+            run_pool: OrderedMutex::new(rank::RUN_POOL, None),
             start: Instant::now(),
             shard: None,
         })

@@ -25,6 +25,8 @@
 //! * [`db::join_iteration`] — the Figure 4 SQL (one aggregate join per
 //!   direction; ≈3× faster in the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod db;
 pub mod memory;
 

@@ -7,6 +7,8 @@
 //! repository examples, and the integration tests — tiny scales for CI,
 //! full scales for the recorded EXPERIMENTS.md numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod citation_sociology;
 pub mod common;

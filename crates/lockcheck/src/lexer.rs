@@ -1,0 +1,339 @@
+//! A minimal hand-rolled Rust lexer: just enough fidelity to walk item
+//! structure and method-call chains without pulling `syn` into the
+//! offline `vendor/` tree (see ISSUE 10). Comments, strings (including
+//! raw and byte strings), char literals, and numbers are consumed
+//! correctly so bracket depths and identifier positions are exact; that
+//! is all the analyzer needs.
+
+/// Token class; the analyzer only distinguishes identifiers, single-char
+/// punctuation, collapsed literals, and lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// String/char/number literal, collapsed to one token.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never mistaken
+    /// for an unterminated char literal).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Class of the token.
+    pub kind: TokKind,
+    /// Source text (single char for punctuation; literals keep only
+    /// their first character to stay cheap).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// Lex `src` into tokens, skipping whitespace and comments.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    // Count newlines in bytes[start..end) into `line`.
+    let count_lines = |bytes: &[u8], start: usize, end: usize, line: &mut u32| {
+        *line += bytes[start..end].iter().filter(|&&b| b == b'\n').count() as u32;
+    };
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                count_lines(bytes, start, i, &mut line);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i);
+                count_lines(bytes, start, i, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: "\"".into(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start = i;
+                i = skip_raw_or_byte_string(bytes, i);
+                count_lines(bytes, start, i, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: "\"".into(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let mut j = i + 1;
+                if j < n && (bytes[j].is_ascii_alphabetic() || bytes[j] == b'_') {
+                    let id_start = j;
+                    while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == b'\'' {
+                        // 'a' — a char literal.
+                        i = j + 1;
+                        toks.push(Token {
+                            kind: TokKind::Literal,
+                            text: "'".into(),
+                            line,
+                        });
+                    } else {
+                        let text = String::from_utf8_lossy(&bytes[id_start..j]).into_owned();
+                        i = j;
+                        toks.push(Token {
+                            kind: TokKind::Lifetime,
+                            text,
+                            line,
+                        });
+                    }
+                } else {
+                    // '\n', '\'', '(' etc — a char literal with escape or punct.
+                    j = i + 1;
+                    while j < n && bytes[j] != b'\'' {
+                        if bytes[j] == b'\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                    toks.push(Token {
+                        kind: TokKind::Literal,
+                        text: "'".into(),
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                while j < n {
+                    let c = bytes[j];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        j += 1;
+                    } else if c == b'.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                        // `1.5` continues the literal; `0..n` does not.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                i = j;
+                toks.push(Token {
+                    kind: TokKind::Literal,
+                    text: "0".into(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                i = j;
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                // Multibyte UTF-8 only appears inside strings/comments in
+                // this workspace's code, but advance safely regardless.
+                let ch_len = utf8_len(b);
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    toks
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Skip a `"..."` string starting at `i` (which points at the quote).
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n && bytes[j] != b'"' {
+        if bytes[j] == b'\\' {
+            j += 1;
+        }
+        j += 1;
+    }
+    (j + 1).min(n)
+}
+
+/// True if `bytes[i..]` starts `r"`, `r#`, `b"`, `br"`, or `br#`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let n = bytes.len();
+    match bytes[i] {
+        b'r' => i + 1 < n && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#'),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => i + 2 < n && (bytes[i + 2] == b'"' || bytes[i + 2] == b'#'),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skip a raw/byte string (`r#"..."#`, `b"..."`, `br"..."`, `b'x'`).
+fn skip_raw_or_byte_string(bytes: &[u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < n && bytes[j] == b'\'' {
+            // b'x' byte literal.
+            j += 1;
+            while j < n && bytes[j] != b'\'' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            return (j + 1).min(n);
+        }
+    }
+    if j < n && bytes[j] == b'r' {
+        j += 1;
+        let mut hashes = 0;
+        while j < n && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && bytes[j] == b'"' {
+            j += 1;
+            loop {
+                while j < n && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= n {
+                    return n;
+                }
+                j += 1; // past the quote
+                let mut h = 0;
+                while h < hashes && j < n && bytes[j] == b'#' {
+                    h += 1;
+                    j += 1;
+                }
+                if h == hashes {
+                    return j;
+                }
+            }
+        }
+        return j;
+    }
+    // Plain b"..." byte string.
+    skip_string(bytes, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_skipped() {
+        let src = r##"
+            // comment with .lock() in it
+            /* nested /* block */ .read() */
+            let s = "string with .write()";
+            let r = r#"raw "with" .lock()"#;
+            let c = '\n';
+            let l: &'static str = "x";
+            real.lock();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"lock".to_string()));
+        // Exactly one `lock` ident: the ones in comments/strings vanish.
+        assert_eq!(ids.iter().filter(|s| *s == "lock").count(), 1);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let toks = lex("for i in 0..10 { x.lock(); }");
+        assert!(toks.iter().any(|t| t.is_ident("lock")));
+        // The `.` of `.lock` must survive as punctuation.
+        let lock_pos = toks.iter().position(|t| t.is_ident("lock")).unwrap();
+        assert!(toks[lock_pos - 1].is_punct('.'));
+    }
+}

@@ -1,0 +1,22 @@
+//! Control fixture: acquisitions ascend (`low` rank 10, then `high`
+//! rank 20), the fetch happens with no guard live, and every lock is
+//! declared. The static pass must report nothing.
+
+pub struct Fine {
+    low: lockcheck::OrderedMutex<u32>,
+    high: lockcheck::OrderedMutex<u32>,
+    fetcher: Fetcher,
+}
+
+impl Fine {
+    pub fn forwards(&self) -> u32 {
+        let l = self.low.lock();
+        let h = self.high.lock();
+        *l + *h
+    }
+
+    pub fn fetch_unlocked(&self) {
+        let n = { *self.low.lock() };
+        self.fetcher.fetch(n);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: the `low` guard is still live when the blocking
+//! `fetcher.fetch` call runs. The static pass must report
+//! held-across-blocking.
+
+pub struct Crawler {
+    low: lockcheck::OrderedMutex<u32>,
+    fetcher: Fetcher,
+}
+
+impl Crawler {
+    pub fn fetch_under_lock(&self) {
+        let g = self.low.lock();
+        self.fetcher.fetch(*g);
+    }
+}

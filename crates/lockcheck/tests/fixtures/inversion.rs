@@ -1,0 +1,16 @@
+//! Seeded violation: `high` (rank 20) is acquired before `low` (rank
+//! 10), so the second acquisition descends. The static pass must report
+//! an inversion on the `low.lock()` line.
+
+pub struct Pair {
+    low: lockcheck::OrderedMutex<u32>,
+    high: lockcheck::OrderedMutex<u32>,
+}
+
+impl Pair {
+    pub fn backwards(&self) -> u32 {
+        let h = self.high.lock();
+        let l = self.low.lock();
+        *h + *l
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded violation, one call deep: `outer` holds `high` (rank 20)
+//! while calling `helper`, which acquires `low` (rank 10). The edge
+//! only exists across the intra-crate call graph — a per-function scan
+//! would miss it.
+
+pub struct Deep {
+    low: lockcheck::OrderedMutex<u32>,
+    high: lockcheck::OrderedMutex<u32>,
+}
+
+impl Deep {
+    pub fn outer(&self) {
+        let g = self.high.lock();
+        self.helper();
+        drop(g);
+    }
+
+    fn helper(&self) {
+        let _g = self.low.lock();
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded violation: a raw `std::sync::Mutex` bypasses the rank
+//! wrappers entirely. The static pass must report unknown-lock — both
+//! for the bare `Mutex` type and for the `.lock()` on an undeclared
+//! receiver.
+
+use std::sync::Mutex;
+
+pub struct Naked {
+    naked: Mutex<Vec<u8>>,
+}
+
+impl Naked {
+    pub fn push(&self, b: u8) {
+        self.naked.lock().unwrap().push(b);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the debug-build held-rank table: acquisitions and
+//! drops stay balanced under arbitrary drop orders, reentrant reads
+//! stack to any depth, and one thread's holds never leak into another's
+//! table.
+#![cfg(debug_assertions)]
+
+use lockcheck::rank::Rank;
+use lockcheck::{held_ranks, OrderedMutex, OrderedRwLock};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Acquire an ascending chain, then drop guards in a generated
+    /// order: after every drop the table holds exactly the survivors
+    /// (in acquisition order), and it is empty at the end.
+    #[test]
+    fn push_pop_balance_under_any_drop_order(
+        n in 1usize..8,
+        picks in vec(0usize..8, 8),
+    ) {
+        let locks: Vec<OrderedMutex<()>> = (0..n)
+            .map(|i| OrderedMutex::new(Rank::new(10 * (i as u16 + 1), "prop.chain"), ()))
+            .collect();
+        let mut guards: Vec<Option<_>> = locks.iter().map(|l| Some(l.lock())).collect();
+        let expect_all: Vec<u16> = (0..n).map(|i| 10 * (i as u16 + 1)).collect();
+        prop_assert_eq!(held_ranks(), expect_all);
+
+        let mut alive: Vec<usize> = (0..n).collect();
+        for &p in &picks {
+            if alive.is_empty() {
+                break;
+            }
+            let idx = alive.remove(p % alive.len());
+            guards[idx] = None;
+            let expect: Vec<u16> = (0..n)
+                .filter(|i| alive.contains(i))
+                .map(|i| 10 * (i as u16 + 1))
+                .collect();
+            prop_assert_eq!(held_ranks(), expect);
+        }
+        drop(guards);
+        prop_assert!(held_ranks().is_empty());
+    }
+
+    /// Reentrant reads: any number of read guards on one rwlock stack,
+    /// the table reports one entry per guard, and releasing them in any
+    /// of two canonical orders empties it.
+    #[test]
+    fn reentrant_reads_stack_and_unwind(depth in 1usize..12, reverse in any::<bool>()) {
+        let lock = OrderedRwLock::new(Rank::new(50, "prop.reads"), 0u8);
+        let mut guards: Vec<_> = (0..depth).map(|_| lock.read()).collect();
+        prop_assert_eq!(held_ranks().len(), depth);
+        prop_assert!(held_ranks().iter().all(|&r| r == 50));
+        if reverse {
+            while guards.pop().is_some() {}
+        } else {
+            for g in guards.drain(..) {
+                drop(g);
+            }
+        }
+        prop_assert!(held_ranks().is_empty());
+        // The rank is free again: a writer may now take it.
+        let _w = lock.write();
+        prop_assert_eq!(held_ranks(), vec![50]);
+    }
+
+    /// Cross-thread independence: whatever this thread holds, a fresh
+    /// thread starts with an empty table and may acquire any rank —
+    /// including one below everything held here.
+    #[test]
+    fn threads_have_independent_tables(here in 1u16..100, there in 1u16..100) {
+        let held_here = OrderedMutex::new(Rank::new(here, "prop.here"), ());
+        let _g = held_here.lock();
+        prop_assert_eq!(held_ranks(), vec![here]);
+        let observed = std::thread::spawn(move || {
+            assert!(held_ranks().is_empty(), "fresh thread inherits nothing");
+            let lock = OrderedMutex::new(Rank::new(there, "prop.there"), ());
+            let _g = lock.lock();
+            held_ranks()
+        })
+        .join()
+        .expect("spawned thread");
+        prop_assert_eq!(observed, vec![there]);
+        prop_assert_eq!(held_ranks(), vec![here]);
+    }
+}

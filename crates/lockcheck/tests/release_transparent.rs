@@ -1,0 +1,34 @@
+//! Release-build zero-cost claim, checked where it applies: without
+//! debug assertions the wrappers carry no rank field and add no size
+//! over the raw `parking_lot` primitives. (`cargo test --release`; the
+//! CI `release-dbg` profile keeps debug assertions on and so skips
+//! this file by design.)
+#![cfg(not(debug_assertions))]
+
+use lockcheck::{OrderedMutex, OrderedRwLock};
+use std::mem::size_of;
+
+#[test]
+fn wrappers_add_no_size_in_release() {
+    assert_eq!(
+        size_of::<OrderedMutex<u64>>(),
+        size_of::<parking_lot::Mutex<u64>>()
+    );
+    assert_eq!(
+        size_of::<OrderedRwLock<u64>>(),
+        size_of::<parking_lot::RwLock<u64>>()
+    );
+    assert_eq!(
+        size_of::<OrderedMutex<Vec<u8>>>(),
+        size_of::<parking_lot::Mutex<Vec<u8>>>()
+    );
+}
+
+#[test]
+fn held_token_is_zero_sized_and_table_is_inert() {
+    let m = OrderedMutex::new(lockcheck::rank::WAL, 9u32);
+    let g = m.lock();
+    // Release builds track nothing: no thread-local table is populated.
+    assert!(lockcheck::held_ranks().is_empty());
+    assert_eq!(*g, 9);
+}

@@ -1,0 +1,60 @@
+//! The real workspace against the real `LOCK_ORDER.toml`: the manifest
+//! must mirror the compiled-in rank registry, and the migration must
+//! stay finding-free. This is the regression net for every violation
+//! the initial static sweep surfaced — a reintroduced raw lock or a
+//! descending edge fails here, not just in the CI lockcheck step.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn load_manifest() -> lockcheck::manifest::Manifest {
+    let path = workspace_root().join("LOCK_ORDER.toml");
+    let src = std::fs::read_to_string(&path).expect("read LOCK_ORDER.toml");
+    lockcheck::manifest::parse(&src).expect("LOCK_ORDER.toml parses")
+}
+
+#[test]
+fn lock_order_toml_matches_rank_registry() {
+    let manifest = load_manifest();
+    assert_eq!(
+        manifest.locks.len(),
+        lockcheck::rank::ALL.len(),
+        "every rank constant needs a LOCK_ORDER.toml entry and vice versa"
+    );
+    for decl in &manifest.locks {
+        let reg = lockcheck::rank::ALL
+            .iter()
+            .find(|r| r.name == decl.name)
+            .unwrap_or_else(|| panic!("`{}` missing from rank registry", decl.name));
+        assert_eq!(
+            reg.value, decl.rank,
+            "rank drift for `{}`: registry {} vs manifest {}",
+            decl.name, reg.value, decl.rank
+        );
+    }
+}
+
+#[test]
+fn workspace_scan_is_finding_free() {
+    let manifest = load_manifest();
+    let analysis =
+        lockcheck::analyze::analyze_workspace(workspace_root(), &manifest).expect("workspace scan");
+    assert!(
+        analysis.findings.is_empty(),
+        "workspace must stay clean under lockcheck:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity that the scan actually saw the tree: the migrated lock
+    // sites across minirel/crawler/webgraph, not an empty walk.
+    assert!(analysis.files_scanned > 50, "{analysis:?}");
+    assert!(analysis.acquisitions > 80, "{analysis:?}");
+    assert!(analysis.edges > 20, "{analysis:?}");
+}

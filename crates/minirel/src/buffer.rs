@@ -22,10 +22,11 @@
 //! concurrent readers (monitoring SQL, catalog scans, B+tree probes) can
 //! share one pool without an external lock. Frames are partitioned into
 //! lock-striped **shards** — a page lives in shard `pid % N`, each shard
-//! behind its own short [`parking_lot::Mutex`] — so two threads touching
-//! different shards never contend. The I/O counters are atomics.
+//! behind its own short [`lockcheck::OrderedMutex`] — so two threads
+//! touching different shards never contend. The I/O counters are atomics.
 //!
-//! Latch order, which every caller and this module obey:
+//! Latch order, which every caller and this module obey (and which the
+//! lock ranks enforce — see `LOCK_ORDER.toml` and `crates/lockcheck`):
 //!
 //! 1. **shard → disk**: a shard lock may acquire the disk lock (to fault
 //!    a page in or write a victim back), never the reverse;
@@ -59,7 +60,7 @@ use crate::disk::DiskManager;
 use crate::error::{DbError, DbResult};
 use crate::page::{PageId, INVALID_PAGE, PAGE_SIZE};
 use crate::wal::Wal;
-use parking_lot::Mutex;
+use lockcheck::{rank, OrderedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -199,8 +200,8 @@ fn shard_count(capacity: usize) -> usize {
 /// share across threads (`&self` everywhere; see the module docs for the
 /// latch order).
 pub struct BufferPool {
-    disk: Mutex<DiskManager>,
-    shards: Vec<Mutex<Shard>>,
+    disk: OrderedMutex<DiskManager>,
+    shards: Vec<OrderedMutex<Shard>>,
     policy: EvictionPolicy,
     stats: AtomicIoStats,
     /// Total frames across shards. Cached: it only changes through
@@ -218,7 +219,7 @@ impl BufferPool {
     pub fn new(disk: DiskManager, capacity: usize, policy: EvictionPolicy) -> Self {
         let capacity = capacity.max(1);
         BufferPool {
-            disk: Mutex::new(disk),
+            disk: OrderedMutex::new(rank::DISK, disk),
             shards: Self::build_shards(capacity, shard_count(capacity)),
             policy,
             stats: AtomicIoStats::default(),
@@ -239,17 +240,17 @@ impl BufferPool {
         self.wal.clone()
     }
 
-    fn build_shards(capacity: usize, nshards: usize) -> Vec<Mutex<Shard>> {
+    fn build_shards(capacity: usize, nshards: usize) -> Vec<OrderedMutex<Shard>> {
         // Distribute frames as evenly as possible; every shard gets ≥ 1.
         (0..nshards)
             .map(|i| {
                 let cap = capacity / nshards + usize::from(i < capacity % nshards);
-                Mutex::new(Shard::new(cap.max(1)))
+                OrderedMutex::new(rank::BUFFER_SHARD, Shard::new(cap.max(1)))
             })
             .collect()
     }
 
-    fn shard_of(&self, pid: PageId) -> &Mutex<Shard> {
+    fn shard_of(&self, pid: PageId) -> &OrderedMutex<Shard> {
         &self.shards[pid as usize % self.shards.len()]
     }
 

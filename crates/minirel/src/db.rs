@@ -34,10 +34,11 @@ use crate::sql::reference::{run_statement, StmtResult};
 use crate::sql::{parse_script, parse_statement, Statement};
 use crate::value::{Row, Value};
 use crate::wal::{Wal, DEFAULT_GROUP_COMMIT};
+use lockcheck::{rank, OrderedRwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// A reusable prepared statement: an immutable, `Send + Sync` physical
 /// plan. Cheap to clone (it is an [`Arc`]) and executable from many
@@ -47,11 +48,20 @@ pub type Prepared = Arc<ExecPlan>;
 /// Cache of prepared plans keyed by normalized (trimmed) SQL text.
 /// Interior-mutable so the read-only query path can populate it through
 /// `&self`; invalidated wholesale on any catalog change.
-#[derive(Default)]
 struct PlanCache {
-    plans: RwLock<HashMap<String, Prepared>>,
+    plans: OrderedRwLock<HashMap<String, Prepared>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            plans: OrderedRwLock::new(rank::PLAN_CACHE, HashMap::new()),
+            hits: AtomicU64::default(),
+            misses: AtomicU64::default(),
+        }
+    }
 }
 
 /// The WAL file that pairs with a data file at `data`: same path with
@@ -409,13 +419,7 @@ impl Database {
     /// plans read table data at execution time.
     pub fn prepare(&self, sql: &str) -> DbResult<Prepared> {
         let key = sql.trim();
-        if let Some(p) = self
-            .plan_cache
-            .plans
-            .read()
-            .expect("plan cache poisoned")
-            .get(key)
-        {
+        if let Some(p) = self.plan_cache.plans.read().get(key) {
             self.plan_cache.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(p));
         }
@@ -435,7 +439,6 @@ impl Database {
         self.plan_cache
             .plans
             .write()
-            .expect("plan cache poisoned")
             .insert(key.to_owned(), Arc::clone(&plan));
         Ok(plan)
     }
@@ -463,11 +466,7 @@ impl Database {
     }
 
     fn invalidate_plans(&self) {
-        self.plan_cache
-            .plans
-            .write()
-            .expect("plan cache poisoned")
-            .clear();
+        self.plan_cache.plans.write().clear();
     }
 
     fn plan_result(plan: &ExecPlan, rows: Vec<Row>) -> ResultSet {

@@ -43,7 +43,7 @@ use crate::heap::HeapFile;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::schema::{Column, ColumnType, Schema};
 use crate::wal::{self, Record, KIND_CHECKPOINT, KIND_COMMIT, KIND_PAGE_IMAGE};
-use parking_lot::{Mutex, RwLock};
+use lockcheck::{rank, OrderedMutex, OrderedRwLock};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -322,10 +322,10 @@ fn count_checkpoints(wal_bytes: &[u8]) -> u64 {
 
 /// Shared follower state the apply thread and readers both touch.
 struct ReplicaShared {
-    db: RwLock<Database>,
+    db: OrderedRwLock<Database>,
     applied_lsn: AtomicU64,
     stop: AtomicBool,
-    error: Mutex<Option<String>>,
+    error: OrderedMutex<Option<String>>,
 }
 
 /// A read-only replica `Database` kept fresh from the leader's WAL.
@@ -389,10 +389,10 @@ impl Replica {
         let rx = wal.subscribe();
         let follower = leader.clone_committed_state()?;
         let shared = Arc::new(ReplicaShared {
-            db: RwLock::new(follower),
+            db: OrderedRwLock::new(rank::REPLICA_DB, follower),
             applied_lsn: AtomicU64::new(base_lsn),
             stop: AtomicBool::new(false),
-            error: Mutex::new(None),
+            error: OrderedMutex::new(rank::REPLICA_ERR, None),
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -451,10 +451,10 @@ impl Replica {
         };
         let follower = Database::from_recovered_parts(disk, frames, catalog);
         let shared = Arc::new(ReplicaShared {
-            db: RwLock::new(follower),
+            db: OrderedRwLock::new(rank::REPLICA_DB, follower),
             applied_lsn: AtomicU64::new(base_lsn),
             stop: AtomicBool::new(false),
-            error: Mutex::new(None),
+            error: OrderedMutex::new(rank::REPLICA_ERR, None),
         });
         let thread_shared = Arc::clone(&shared);
         let wal_path_t = wal_path.clone();

@@ -45,7 +45,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::page::{PageId, PAGE_SIZE};
-use parking_lot::Mutex;
+use lockcheck::{rank, OrderedMutex};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -299,28 +299,31 @@ struct WalInner {
 /// The write-ahead log. Interior-mutable (`&self` everywhere) behind a
 /// single leaf mutex; share via `Arc`.
 pub struct Wal {
-    inner: Mutex<WalInner>,
+    inner: OrderedMutex<WalInner>,
 }
 
 impl Wal {
     fn with_store(store: WalStore, group_every: usize, next_lsn: u64) -> Wal {
         let end = store.end();
         Wal {
-            inner: Mutex::new(WalInner {
-                store,
-                next_lsn,
-                committed_end: end,
-                durable_end: end,
-                last_commit_lsn: 0,
-                durable_commit_lsn: 0,
-                page_index: HashMap::new(),
-                commits_since_sync: 0,
-                group_every: group_every.max(1),
-                subscribers: Vec::new(),
-                published_end: end,
-                publish_buf: Vec::new(),
-                checkpoints: 0,
-            }),
+            inner: OrderedMutex::new(
+                rank::WAL,
+                WalInner {
+                    store,
+                    next_lsn,
+                    committed_end: end,
+                    durable_end: end,
+                    last_commit_lsn: 0,
+                    durable_commit_lsn: 0,
+                    page_index: HashMap::new(),
+                    commits_since_sync: 0,
+                    group_every: group_every.max(1),
+                    subscribers: Vec::new(),
+                    published_end: end,
+                    publish_buf: Vec::new(),
+                    checkpoints: 0,
+                },
+            ),
         }
     }
 

@@ -9,6 +9,8 @@
 //! Everything downstream — the synthetic web, the classifier, the distiller,
 //! the crawler, and the relational schemas — speaks these types.
 
+#![forbid(unsafe_code)]
+
 pub mod doc;
 pub mod error;
 pub mod hash;

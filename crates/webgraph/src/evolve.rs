@@ -16,7 +16,7 @@ use crate::generator::{WebConfig, WebGraph};
 use crate::lexicon::LexiconConfig;
 use crate::page::{FailureMode, PageKind, SimPage};
 use focus_types::{ClassId, Oid};
-use parking_lot::RwLock;
+use lockcheck::{rank, OrderedRwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,7 +136,7 @@ pub fn evolve(base: &WebGraph, generation: u32, cfg: &EvolutionConfig) -> WebGra
 
 /// A [`Fetcher`] whose underlying web can be swapped mid-crawl.
 pub struct EvolvingFetcher {
-    graph: RwLock<Arc<WebGraph>>,
+    graph: OrderedRwLock<Arc<WebGraph>>,
     fetches: AtomicU64,
 }
 
@@ -144,7 +144,7 @@ impl EvolvingFetcher {
     /// Start at generation 0.
     pub fn new(graph: Arc<WebGraph>) -> EvolvingFetcher {
         EvolvingFetcher {
-            graph: RwLock::new(graph),
+            graph: OrderedRwLock::new(rank::EVOLVE_GRAPH, graph),
             fetches: AtomicU64::new(0),
         }
     }

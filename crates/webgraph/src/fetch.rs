@@ -111,9 +111,9 @@ pub struct SimFetcher {
     /// Timeout pages succeed on the k-th retry (k = 3), exercising
     /// `numtries` without making pages permanently unreachable.
     timeout_retries: u64,
-    attempts: parking_lot::Mutex<focus_types::hash::FxHashMap<Oid, u64>>,
+    attempts: lockcheck::OrderedMutex<focus_types::hash::FxHashMap<Oid, u64>>,
     /// Lazily-built reverse adjacency (only when backlinks are served).
-    reverse: parking_lot::Mutex<Option<ReverseAdjacency>>,
+    reverse: lockcheck::OrderedMutex<Option<ReverseAdjacency>>,
     serve_backlinks: bool,
 }
 
@@ -127,8 +127,11 @@ impl SimFetcher {
             fetches: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             timeout_retries: 3,
-            attempts: parking_lot::Mutex::new(focus_types::hash::FxHashMap::default()),
-            reverse: parking_lot::Mutex::new(None),
+            attempts: lockcheck::OrderedMutex::new(
+                lockcheck::rank::SIM_ATTEMPTS,
+                focus_types::hash::FxHashMap::default(),
+            ),
+            reverse: lockcheck::OrderedMutex::new(lockcheck::rank::SIM_REVERSE, None),
             serve_backlinks: false,
         }
     }
